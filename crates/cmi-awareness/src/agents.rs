@@ -1,0 +1,178 @@
+//! The agent pipeline — CMI's "collection of communicating agents acting as
+//! a single server" (§6.1).
+//!
+//! The synchronous path (`AwarenessEngine::ingest` called from the event
+//! source callbacks) is deterministic and is what tests and benches use. This
+//! module provides the *asynchronous* deployment shape of the prototype:
+//! event source agents send primitive events over a channel to a detector
+//! agent thread, which performs detection and hands recognized composite
+//! events to the delivery agent (here: the same `AwarenessEngine` delivery
+//! path). Experiment FIG5 boots this pipeline to demonstrate the run-time
+//! architecture.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+
+use cmi_core::context::ContextManager;
+use cmi_core::instance::InstanceStore;
+use cmi_events::event::Event;
+use cmi_events::producers;
+
+use crate::engine::AwarenessEngine;
+
+/// A message on the agent channel. Event source agents hold `Sender` clones
+/// that outlive the pipeline (they are captured by the store subscription
+/// callbacks), so termination must be an explicit sentinel rather than
+/// channel closure.
+enum Msg {
+    Event(Event),
+    Shutdown,
+}
+
+/// A running agent pipeline. Dropping it (or calling
+/// [`AgentPipeline::shutdown`]) stops the detector agent after it drains the
+/// events queued ahead of the shutdown signal.
+pub struct AgentPipeline {
+    tx: Sender<Msg>,
+    detector: Option<JoinHandle<u64>>,
+}
+
+impl AgentPipeline {
+    /// Spawns the detector agent thread over `engine` and returns the
+    /// pipeline handle. Use [`AgentPipeline::attach_sources`] to wire event
+    /// source agents, or [`AgentPipeline::sender`] to feed events manually.
+    pub fn spawn(engine: Arc<AwarenessEngine>) -> Self {
+        let (tx, rx) = unbounded::<Msg>();
+        let detector = std::thread::Builder::new()
+            .name("cmi-detector-agent".into())
+            .spawn(move || {
+                let mut processed = 0u64;
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        Msg::Event(ev) => {
+                            engine.ingest(&ev);
+                            processed += 1;
+                        }
+                        Msg::Shutdown => break,
+                    }
+                }
+                processed
+            })
+            .expect("spawn detector agent");
+        AgentPipeline {
+            tx,
+            detector: Some(detector),
+        }
+    }
+
+    /// An event source agent endpoint: a closure feeding events to the
+    /// detector agent.
+    pub fn sender(&self) -> impl Fn(Event) + Send + Sync + Clone {
+        let tx = self.tx.clone();
+        move |ev| {
+            let _ = tx.send(Msg::Event(ev));
+        }
+    }
+
+    /// Registers event source agents on the CORE stores: state changes and
+    /// context changes are forwarded over the channel instead of being
+    /// processed inline.
+    pub fn attach_sources(&self, store: &InstanceStore, contexts: &ContextManager) {
+        let send1 = self.sender();
+        store.subscribe(Arc::new(move |change| {
+            send1(producers::activity_event(change));
+        }));
+        let send2 = self.sender();
+        contexts.subscribe(Arc::new(move |change| {
+            send2(producers::context_event(change));
+        }));
+    }
+
+    /// Signals shutdown and joins the detector agent, returning how many
+    /// events it processed. Events sent before this call are drained first.
+    pub fn shutdown(mut self) -> u64 {
+        let _ = self.tx.send(Msg::Shutdown);
+        self.detector
+            .take()
+            .map(|h| h.join().unwrap_or(0))
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for AgentPipeline {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(h) = self.detector.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::AwarenessSchemaBuilder;
+    use crate::queue::DeliveryQueue;
+    use cmi_core::ids::{AwarenessSchemaId, ProcessInstanceId, ProcessSchemaId};
+    use cmi_core::participant::Directory;
+    use cmi_core::roles::RoleSpec;
+    use cmi_core::time::{SimClock, Timestamp};
+    use cmi_core::value::Value;
+
+    #[test]
+    fn pipeline_detects_and_delivers_asynchronously() {
+        let clock = SimClock::new();
+        let directory = Arc::new(Directory::new());
+        let contexts = Arc::new(ContextManager::new(Arc::new(clock.clone())));
+        let queue = Arc::new(DeliveryQueue::in_memory());
+        let engine = Arc::new(AwarenessEngine::new(
+            directory.clone(),
+            contexts.clone(),
+            queue.clone(),
+        ));
+        let u = directory.add_user("watcher");
+        let r = directory.add_role("watchers").unwrap();
+        directory.assign(u, r).unwrap();
+
+        let p = ProcessSchemaId(1);
+        let mut b = AwarenessSchemaBuilder::new(AwarenessSchemaId(1), "AS", p);
+        let f = b.context_filter("C", "x").unwrap();
+        engine.register(b.deliver_to(f, RoleSpec::org("watchers")).build().unwrap());
+
+        let pipeline = AgentPipeline::spawn(engine.clone());
+        pipeline.attach_sources(
+            &InstanceStore::new(
+                Arc::new(clock.clone()),
+                Arc::new(cmi_core::repository::SchemaRepository::new()),
+            ),
+            &contexts,
+        );
+
+        let ctx = contexts.create("C", Some((p, ProcessInstanceId(7))));
+        for i in 0..10 {
+            contexts.set_field(ctx, "x", Value::Int(i)).unwrap();
+        }
+        let _ = Timestamp::EPOCH;
+        let processed = pipeline.shutdown();
+        assert_eq!(processed, 10);
+        assert_eq!(queue.pending_for(u), 10);
+    }
+
+    #[test]
+    fn manual_sender_and_drop_shutdown() {
+        let clock = SimClock::new();
+        let directory = Arc::new(Directory::new());
+        let contexts = Arc::new(ContextManager::new(Arc::new(clock.clone())));
+        let queue = Arc::new(DeliveryQueue::in_memory());
+        let engine = Arc::new(AwarenessEngine::new(directory, contexts, queue));
+        let pipeline = AgentPipeline::spawn(engine);
+        let send = pipeline.sender();
+        send(Event::new(
+            cmi_events::event::EventType::Activity,
+            Timestamp::EPOCH,
+        ));
+        drop(pipeline); // joins cleanly via the shutdown sentinel
+    }
+}

@@ -1,0 +1,195 @@
+//! Awareness role assignment functions `RA_P` (§5.3).
+//!
+//! The role assignment is "an arbitrary function on the set of users gathered
+//! by resolving the awareness role that returns a subset of those users. The
+//! function may choose users that should receive awareness information based
+//! on their load or whether they are currently signed-on to the system."
+//!
+//! The paper's prototype implemented only the identity function; this crate
+//! implements the identity plus the two selection policies the paper names
+//! (signed-on, load-based) and a first-N policy useful for on-call rotations.
+
+use cmi_core::ids::UserId;
+use cmi_core::participant::Directory;
+
+/// The role assignment function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoleAssignment {
+    /// Deliver to every user in the delivery role (the paper's implemented
+    /// default).
+    Identity,
+    /// Deliver only to users currently signed on; if nobody is signed on,
+    /// fall back to everyone (nobody may miss a crisis notification).
+    SignedOn,
+    /// Deliver to the `n` least-loaded users.
+    LeastLoaded {
+        /// How many recipients to select.
+        n: usize,
+    },
+    /// Deliver to the first `n` users in role order.
+    FirstN {
+        /// How many recipients to select.
+        n: usize,
+    },
+}
+
+impl RoleAssignment {
+    /// Applies the assignment to the users resolved from the delivery role.
+    /// The input order (user-id order, from role resolution) is preserved.
+    pub fn apply(&self, users: &[UserId], directory: &Directory) -> Vec<UserId> {
+        match self {
+            RoleAssignment::Identity => users.to_vec(),
+            RoleAssignment::SignedOn => {
+                let on: Vec<UserId> = users
+                    .iter()
+                    .copied()
+                    .filter(|u| {
+                        directory
+                            .participant(*u)
+                            .map(|p| p.signed_on)
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                if on.is_empty() {
+                    users.to_vec()
+                } else {
+                    on
+                }
+            }
+            RoleAssignment::LeastLoaded { n } => {
+                let mut with_load: Vec<(u32, UserId)> = users
+                    .iter()
+                    .copied()
+                    .map(|u| {
+                        (
+                            directory.participant(u).map(|p| p.load).unwrap_or(u32::MAX),
+                            u,
+                        )
+                    })
+                    .collect();
+                with_load.sort(); // by load, ties by user id
+                let mut out: Vec<UserId> =
+                    with_load.into_iter().take(*n).map(|(_, u)| u).collect();
+                out.sort();
+                out
+            }
+            RoleAssignment::FirstN { n } => users.iter().copied().take(*n).collect(),
+        }
+    }
+
+    /// Parses the DSL form: `identity`, `signed-on`, `least-loaded(n)`,
+    /// `first(n)`.
+    pub fn parse(s: &str) -> Option<RoleAssignment> {
+        let s = s.trim();
+        if s == "identity" {
+            return Some(RoleAssignment::Identity);
+        }
+        if s == "signed-on" {
+            return Some(RoleAssignment::SignedOn);
+        }
+        let inner = |prefix: &str| -> Option<usize> {
+            s.strip_prefix(prefix)?
+                .strip_prefix('(')?
+                .strip_suffix(')')?
+                .trim()
+                .parse()
+                .ok()
+        };
+        if let Some(n) = inner("least-loaded") {
+            return Some(RoleAssignment::LeastLoaded { n });
+        }
+        if let Some(n) = inner("first") {
+            return Some(RoleAssignment::FirstN { n });
+        }
+        None
+    }
+}
+
+impl std::fmt::Display for RoleAssignment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoleAssignment::Identity => write!(f, "identity"),
+            RoleAssignment::SignedOn => write!(f, "signed-on"),
+            RoleAssignment::LeastLoaded { n } => write!(f, "least-loaded({n})"),
+            RoleAssignment::FirstN { n } => write!(f, "first({n})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir_with_users(n: usize) -> (Directory, Vec<UserId>) {
+        let d = Directory::new();
+        let users = (0..n).map(|i| d.add_user(&format!("u{i}"))).collect();
+        (d, users)
+    }
+
+    #[test]
+    fn identity_delivers_to_all() {
+        let (d, users) = dir_with_users(3);
+        assert_eq!(RoleAssignment::Identity.apply(&users, &d), users);
+    }
+
+    #[test]
+    fn signed_on_filters_with_fallback() {
+        let (d, users) = dir_with_users(3);
+        d.set_signed_on(users[1], true).unwrap();
+        assert_eq!(
+            RoleAssignment::SignedOn.apply(&users, &d),
+            vec![users[1]]
+        );
+        d.set_signed_on(users[1], false).unwrap();
+        // Nobody signed on: deliver to everyone rather than no one.
+        assert_eq!(RoleAssignment::SignedOn.apply(&users, &d), users);
+    }
+
+    #[test]
+    fn least_loaded_picks_lowest_load() {
+        let (d, users) = dir_with_users(3);
+        d.set_load(users[0], 9).unwrap();
+        d.set_load(users[1], 1).unwrap();
+        d.set_load(users[2], 5).unwrap();
+        assert_eq!(
+            RoleAssignment::LeastLoaded { n: 2 }.apply(&users, &d),
+            vec![users[1], users[2]]
+        );
+    }
+
+    #[test]
+    fn least_loaded_breaks_ties_by_user_id() {
+        let (d, users) = dir_with_users(3);
+        assert_eq!(
+            RoleAssignment::LeastLoaded { n: 1 }.apply(&users, &d),
+            vec![users[0]]
+        );
+    }
+
+    #[test]
+    fn first_n_truncates() {
+        let (d, users) = dir_with_users(4);
+        assert_eq!(
+            RoleAssignment::FirstN { n: 2 }.apply(&users, &d),
+            &users[..2]
+        );
+        assert_eq!(
+            RoleAssignment::FirstN { n: 9 }.apply(&users, &d),
+            users
+        );
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for ra in [
+            RoleAssignment::Identity,
+            RoleAssignment::SignedOn,
+            RoleAssignment::LeastLoaded { n: 3 },
+            RoleAssignment::FirstN { n: 1 },
+        ] {
+            assert_eq!(RoleAssignment::parse(&ra.to_string()), Some(ra));
+        }
+        assert_eq!(RoleAssignment::parse("bogus"), None);
+        assert_eq!(RoleAssignment::parse("first(x)"), None);
+    }
+}

@@ -1,0 +1,319 @@
+//! Ergonomic builder for awareness schemas — the programmatic counterpart of
+//! the CMI graphical awareness specification tool (§6.2).
+//!
+//! The tool's three steps map directly: placing operator boxes =
+//! `context_filter` / `activity_filter` / `and` / `seq` / … calls; drawing
+//! edges = passing the returned node handles as inputs; parameter dialogs =
+//! the method arguments. `deliver_to` attaches the output operator with its
+//! delivery instructions, completing the awareness schema.
+
+use std::sync::Arc;
+
+use cmi_core::ids::{ActivityVarId, AwarenessSchemaId, ProcessSchemaId, SpecId};
+use cmi_core::roles::RoleSpec;
+use cmi_events::operator::CmpOp;
+use cmi_events::operators::{
+    ActivityFilter, AndOp, Compare1Op, Compare2Op, ContextFilter, CountOp, ExternalFilter, OrOp,
+    OutputOp, SeqOp, TranslateOp,
+};
+use cmi_events::producers::Producer;
+use cmi_events::spec::{NodeId, SpecBuilder, SpecError};
+
+use crate::assignment::RoleAssignment;
+use crate::queue::Priority;
+use crate::schema::AwarenessSchema;
+
+/// Builder state after `deliver_to`: only description/assignment remain.
+pub struct AwarenessSchemaFinisher {
+    inner: AwarenessSchemaBuilder,
+    root_input: NodeId,
+    role: RoleSpec,
+    assignment: RoleAssignment,
+    description: String,
+    priority: Priority,
+}
+
+/// Builder for [`AwarenessSchema`].
+pub struct AwarenessSchemaBuilder {
+    id: AwarenessSchemaId,
+    name: String,
+    process: ProcessSchemaId,
+    spec: SpecBuilder,
+}
+
+impl AwarenessSchemaBuilder {
+    /// Starts an awareness schema named `name` on process schema `process`.
+    pub fn new(id: AwarenessSchemaId, name: &str, process: ProcessSchemaId) -> Self {
+        AwarenessSchemaBuilder {
+            id,
+            name: name.to_owned(),
+            process,
+            spec: SpecBuilder::new(),
+        }
+    }
+
+    /// `Filter_context[P, context, field](E_context)`.
+    pub fn context_filter(&mut self, context: &str, field: &str) -> Result<NodeId, SpecError> {
+        let leaf = self.spec.producer(Producer::Context);
+        self.spec.operator(
+            Arc::new(ContextFilter::new(self.process, context, field)),
+            &[leaf],
+        )
+    }
+
+    /// `Filter_activity[P, var, *, new_states](E_activity)`.
+    pub fn activity_filter(
+        &mut self,
+        var: ActivityVarId,
+        new_states: &[&str],
+    ) -> Result<NodeId, SpecError> {
+        let leaf = self.spec.producer(Producer::Activity);
+        self.spec.operator(
+            Arc::new(ActivityFilter::entering(self.process, var, new_states)),
+            &[leaf],
+        )
+    }
+
+    /// `Filter_activity` over instances of `P` itself entering `new_states`.
+    pub fn process_filter(&mut self, new_states: &[&str]) -> Result<NodeId, SpecError> {
+        let leaf = self.spec.producer(Producer::Activity);
+        self.spec.operator(
+            Arc::new(ActivityFilter::process_entering(self.process, new_states)),
+            &[leaf],
+        )
+    }
+
+    /// An application-specific external filter.
+    pub fn external_filter(&mut self, filter: ExternalFilter) -> Result<NodeId, SpecError> {
+        let leaf = self.spec.producer(Producer::External(filter.source.clone()));
+        self.spec.operator(Arc::new(filter), &[leaf])
+    }
+
+    /// `And[P, copy]` over the given inputs.
+    pub fn and(&mut self, copy: usize, inputs: &[NodeId]) -> Result<NodeId, SpecError> {
+        self.spec.operator(
+            Arc::new(AndOp::new(self.process, inputs.len().max(2), copy.min(inputs.len().max(2)).max(1))),
+            inputs,
+        )
+    }
+
+    /// `Seq[P, copy]` over the given inputs.
+    pub fn seq(&mut self, copy: usize, inputs: &[NodeId]) -> Result<NodeId, SpecError> {
+        self.spec.operator(
+            Arc::new(SeqOp::new(self.process, inputs.len().max(2), copy.min(inputs.len().max(2)).max(1))),
+            inputs,
+        )
+    }
+
+    /// `Or[P]` over the given inputs.
+    pub fn or(&mut self, inputs: &[NodeId]) -> Result<NodeId, SpecError> {
+        self.spec
+            .operator(Arc::new(OrOp::new(self.process, inputs.len().max(2))), inputs)
+    }
+
+    /// `Count[P]`.
+    pub fn count(&mut self, input: NodeId) -> Result<NodeId, SpecError> {
+        self.spec
+            .operator(Arc::new(CountOp::new(self.process)), &[input])
+    }
+
+    /// `Compare1[P, intInfo <op> constant]`.
+    pub fn compare1(
+        &mut self,
+        op: CmpOp,
+        constant: i64,
+        input: NodeId,
+    ) -> Result<NodeId, SpecError> {
+        self.spec.operator(
+            Arc::new(Compare1Op::new(self.process, op, constant)),
+            &[input],
+        )
+    }
+
+    /// `Compare2[P, op](a, b)`.
+    pub fn compare2(&mut self, op: CmpOp, a: NodeId, b: NodeId) -> Result<NodeId, SpecError> {
+        self.spec
+            .operator(Arc::new(Compare2Op::new(self.process, op)), &[a, b])
+    }
+
+    /// `Translate[P, invoked, var]` re-addressing `invoked_events` (a
+    /// canonical stream of the invoked schema) to this builder's process.
+    pub fn translate(
+        &mut self,
+        invoked: ProcessSchemaId,
+        var: ActivityVarId,
+        invoked_events: NodeId,
+    ) -> Result<NodeId, SpecError> {
+        let act = self.spec.producer(Producer::Activity);
+        self.spec.operator(
+            Arc::new(TranslateOp::new(self.process, invoked, var)),
+            &[act, invoked_events],
+        )
+    }
+
+    /// Raw access for operators not covered by a convenience method.
+    pub fn raw(&mut self) -> &mut SpecBuilder {
+        &mut self.spec
+    }
+
+    /// Attaches the delivery role, moving to the finishing stage. `root` is
+    /// the awareness description's result node; the output operator is added
+    /// on top of it.
+    pub fn deliver_to(self, root: NodeId, role: RoleSpec) -> AwarenessSchemaFinisher {
+        AwarenessSchemaFinisher {
+            inner: self,
+            root_input: root,
+            role,
+            assignment: RoleAssignment::Identity,
+            description: String::new(),
+            priority: Priority::Normal,
+        }
+    }
+}
+
+impl AwarenessSchemaFinisher {
+    /// Sets the role assignment (default: identity, as in the prototype).
+    pub fn assign(mut self, assignment: RoleAssignment) -> Self {
+        self.assignment = assignment;
+        self
+    }
+
+    /// Sets the user-friendly event description.
+    pub fn describe(mut self, description: &str) -> Self {
+        self.description = description.to_owned();
+        self
+    }
+
+    /// Sets the delivery priority (default `Normal`).
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Validates and builds the awareness schema.
+    pub fn build(self) -> Result<AwarenessSchema, SpecError> {
+        let mut inner = self.inner;
+        let description = if self.description.is_empty() {
+            inner.name.clone()
+        } else {
+            self.description
+        };
+        let out = inner.spec.operator(
+            Arc::new(OutputOp::new(inner.process, &description)),
+            &[self.root_input],
+        )?;
+        let spec = inner
+            .spec
+            .build(SpecId(inner.id.raw()), &inner.name, out)?;
+        Ok(AwarenessSchema {
+            id: inner.id,
+            name: inner.name,
+            process: inner.process,
+            description: spec,
+            delivery_role: self.role,
+            assignment: self.assignment,
+            event_description: description,
+            priority: self.priority,
+        })
+    }
+}
+
+/// Builds the paper's §5.4 deadline-violation awareness schema over the given
+/// information-request process schema:
+///
+/// ```text
+/// AS_InfoRequest = (Compare2[InfoRequest, <=](op1, op2),
+///                   InfoRequestContext.Requestor, Identity)
+/// op1 = Filter_context[InfoRequest, TaskForceContext, TaskForceDeadline]
+/// op2 = Filter_context[InfoRequest, InfoRequestContext, RequestDeadline]
+/// ```
+pub fn deadline_violation_schema(
+    id: AwarenessSchemaId,
+    info_request: ProcessSchemaId,
+) -> AwarenessSchema {
+    let mut b = AwarenessSchemaBuilder::new(id, "AS_InfoRequest", info_request);
+    let op1 = b
+        .context_filter("TaskForceContext", "TaskForceDeadline")
+        .expect("op1");
+    let op2 = b
+        .context_filter("InfoRequestContext", "RequestDeadline")
+        .expect("op2");
+    let cmp = b.compare2(CmpOp::Le, op1, op2).expect("compare2");
+    b.deliver_to(cmp, RoleSpec::scoped("InfoRequestContext", "Requestor"))
+        .assign(RoleAssignment::Identity)
+        .describe("task force deadline moved to or before the information request deadline")
+        .build()
+        .expect("statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: ProcessSchemaId = ProcessSchemaId(1);
+
+    #[test]
+    fn section_5_4_schema_builds() {
+        let s = deadline_violation_schema(AwarenessSchemaId(1), P);
+        assert_eq!(s.name, "AS_InfoRequest");
+        assert_eq!(s.operator_count(), 4);
+        assert_eq!(
+            s.delivery_role,
+            RoleSpec::scoped("InfoRequestContext", "Requestor")
+        );
+        assert_eq!(s.assignment, RoleAssignment::Identity);
+    }
+
+    #[test]
+    fn builder_composes_count_and_compare1() {
+        // "Notify when three lab tests have completed."
+        let mut b = AwarenessSchemaBuilder::new(AwarenessSchemaId(2), "labs", P);
+        let f = b
+            .activity_filter(ActivityVarId(5), &["Completed"])
+            .unwrap();
+        let c = b.count(f).unwrap();
+        let gate = b.compare1(CmpOp::Ge, 3, c).unwrap();
+        let s = b
+            .deliver_to(gate, RoleSpec::org("health-crisis-leader"))
+            .describe("three lab tests completed")
+            .build()
+            .unwrap();
+        assert_eq!(s.operator_count(), 4);
+    }
+
+    #[test]
+    fn builder_or_and_seq() {
+        let mut b = AwarenessSchemaBuilder::new(AwarenessSchemaId(3), "mix", P);
+        let f1 = b.context_filter("C", "a").unwrap();
+        let f2 = b.context_filter("C", "b").unwrap();
+        let f3 = b.context_filter("C", "c").unwrap();
+        let any = b.or(&[f1, f2]).unwrap();
+        let then = b.seq(2, &[any, f3]).unwrap();
+        let s = b
+            .deliver_to(then, RoleSpec::org("observer"))
+            .build()
+            .unwrap();
+        assert!(s.operator_count() >= 5);
+        assert_eq!(s.event_description, "mix", "defaults to schema name");
+    }
+
+    #[test]
+    fn type_errors_propagate_from_spec_layer() {
+        let mut b = AwarenessSchemaBuilder::new(AwarenessSchemaId(4), "bad", P);
+        let f = b.context_filter("C", "a").unwrap();
+        // copy index out of range panics in AndOp::new; arity error instead:
+        let err = b.and(1, &[f]).unwrap_err();
+        assert!(matches!(err, SpecError::BadArity { .. }));
+    }
+
+    #[test]
+    fn process_filter_watches_own_lifecycle() {
+        let mut b = AwarenessSchemaBuilder::new(AwarenessSchemaId(5), "lifecycle", P);
+        let f = b.process_filter(&["Completed", "Terminated"]).unwrap();
+        let s = b
+            .deliver_to(f, RoleSpec::org("manager"))
+            .build()
+            .unwrap();
+        assert_eq!(s.operator_count(), 2);
+    }
+}

@@ -1,0 +1,861 @@
+//! The awareness specification language (§5: "AM provides an awareness
+//! specification language that is used by awareness designers to construct
+//! awareness schemas").
+//!
+//! The CMI prototype exposed this language through a graphical tool (Fig. 6);
+//! this module provides it as text. One source file declares any number of
+//! awareness schemas:
+//!
+//! ```text
+//! # The §5.4 deadline-violation schema.
+//! awareness "AS_InfoRequest" on "InfoRequest" {
+//!     op1  = context_filter(TaskForceContext, TaskForceDeadline)
+//!     op2  = context_filter(InfoRequestContext, RequestDeadline)
+//!     viol = compare2(<=, op1, op2)
+//!     deliver viol to scoped(InfoRequestContext, Requestor) assign identity
+//!     describe "task force deadline moved before the request deadline"
+//! }
+//! ```
+//!
+//! Expressions: `context_filter(Ctx, Field)`, `activity_filter(var, S1|S2)`,
+//! `process_filter(S1|S2)`, `external(source[, instanceParam])`,
+//! `and(copy, a, b, …)`, `seq(copy, a, b, …)`, `or(a, b, …)`, `count(x)`,
+//! `compare1(op, const, x)`, `compare2(op, a, b)`, and
+//! `translate(var, expr)` — where `expr` is evaluated *relative to the
+//! subprocess schema* bound to activity variable `var`, reproducing the
+//! paper's process invocation operator. `#` starts a line comment.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use cmi_core::ids::{AwarenessSchemaId, ProcessSchemaId};
+use cmi_core::repository::SchemaRepository;
+use cmi_core::roles::RoleSpec;
+use cmi_events::operator::CmpOp;
+use cmi_events::operators::{
+    ActivityFilter, AndOp, Compare1Op, Compare2Op, ContextFilter, CountOp, ExternalFilter, OrOp,
+    OutputOp, SeqOp, TranslateOp,
+};
+use cmi_events::producers::Producer;
+use cmi_events::spec::{NodeId, SpecBuilder};
+
+use crate::assignment::RoleAssignment;
+use crate::queue::Priority;
+use crate::schema::AwarenessSchema;
+
+/// Errors raised while parsing an awareness specification source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DslError {
+    /// 1-based line where the problem was noticed.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DslError {}
+
+type DslResult<T> = Result<T, DslError>;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Op(CmpOp),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Equals,
+    Pipe,
+    Star,
+}
+
+struct Lexer {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Lexer {
+    fn new(src: &str) -> DslResult<Self> {
+        let mut toks = Vec::new();
+        for (lineno, line) in src.lines().enumerate() {
+            let line_no = lineno + 1;
+            let line = line.split('#').next().unwrap_or("");
+            let mut chars = line.char_indices().peekable();
+            while let Some(&(i, c)) = chars.peek() {
+                match c {
+                    c if c.is_whitespace() => {
+                        chars.next();
+                    }
+                    '(' => {
+                        toks.push((line_no, Tok::LParen));
+                        chars.next();
+                    }
+                    ')' => {
+                        toks.push((line_no, Tok::RParen));
+                        chars.next();
+                    }
+                    '{' => {
+                        toks.push((line_no, Tok::LBrace));
+                        chars.next();
+                    }
+                    '}' => {
+                        toks.push((line_no, Tok::RBrace));
+                        chars.next();
+                    }
+                    ',' => {
+                        toks.push((line_no, Tok::Comma));
+                        chars.next();
+                    }
+                    '|' => {
+                        toks.push((line_no, Tok::Pipe));
+                        chars.next();
+                    }
+                    '*' => {
+                        toks.push((line_no, Tok::Star));
+                        chars.next();
+                    }
+                    '"' => {
+                        chars.next();
+                        let mut s = String::new();
+                        let mut closed = false;
+                        for (_, c) in chars.by_ref() {
+                            if c == '"' {
+                                closed = true;
+                                break;
+                            }
+                            s.push(c);
+                        }
+                        if !closed {
+                            return Err(DslError {
+                                line: line_no,
+                                message: "unterminated string literal".into(),
+                            });
+                        }
+                        toks.push((line_no, Tok::Str(s)));
+                    }
+                    '<' | '>' | '=' | '!' => {
+                        // Longest-match comparison operators; a lone '=' is
+                        // the assignment token.
+                        let rest: String = line[i..].chars().take(2).collect();
+                        let (tok, len) = if rest.starts_with("<=") {
+                            (Tok::Op(CmpOp::Le), 2)
+                        } else if rest.starts_with(">=") {
+                            (Tok::Op(CmpOp::Ge), 2)
+                        } else if rest.starts_with("==") {
+                            (Tok::Op(CmpOp::Eq), 2)
+                        } else if rest.starts_with("!=") {
+                            (Tok::Op(CmpOp::Ne), 2)
+                        } else if rest.starts_with('<') {
+                            (Tok::Op(CmpOp::Lt), 1)
+                        } else if rest.starts_with('>') {
+                            (Tok::Op(CmpOp::Gt), 1)
+                        } else {
+                            (Tok::Equals, 1)
+                        };
+                        toks.push((line_no, tok));
+                        for _ in 0..len {
+                            chars.next();
+                        }
+                    }
+                    c if c.is_ascii_digit() || c == '-' => {
+                        let mut s = String::new();
+                        s.push(c);
+                        chars.next();
+                        while let Some(&(_, d)) = chars.peek() {
+                            if d.is_ascii_digit() {
+                                s.push(d);
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        let v = s.parse().map_err(|_| DslError {
+                            line: line_no,
+                            message: format!("bad integer `{s}`"),
+                        })?;
+                        toks.push((line_no, Tok::Int(v)));
+                    }
+                    c if c.is_alphanumeric() || c == '_' || c == '-' => {
+                        let mut s = String::new();
+                        while let Some(&(_, d)) = chars.peek() {
+                            if d.is_alphanumeric() || d == '_' || d == '-' {
+                                s.push(d);
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        toks.push((line_no, Tok::Ident(s)));
+                    }
+                    other => {
+                        return Err(DslError {
+                            line: line_no,
+                            message: format!("unexpected character `{other}`"),
+                        })
+                    }
+                }
+            }
+        }
+        Ok(Lexer { toks, pos: 0 })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |(l, _)| *l)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> DslResult<()> {
+        let line = self.line();
+        match self.next() {
+            Some(t) if t == *tok => Ok(()),
+            other => Err(DslError {
+                line,
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> DslResult<String> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(DslError {
+                line,
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn string(&mut self, what: &str) -> DslResult<String> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Str(s)) => Ok(s),
+            other => Err(DslError {
+                line,
+                message: format!("expected {what} (a \"string\"), found {other:?}"),
+            }),
+        }
+    }
+}
+
+/// Parses awareness specification source into awareness schemas. Process
+/// schema names and activity variable names are resolved against `repo`;
+/// schema ids are drawn from `next_id` (incremented per schema).
+pub fn parse(
+    src: &str,
+    repo: &SchemaRepository,
+    next_id: &mut u64,
+) -> DslResult<Vec<AwarenessSchema>> {
+    let mut lex = Lexer::new(src)?;
+    let mut schemas = Vec::new();
+    while lex.peek().is_some() {
+        schemas.push(parse_schema(&mut lex, repo, next_id)?);
+    }
+    Ok(schemas)
+}
+
+fn err(lex: &Lexer, message: impl Into<String>) -> DslError {
+    DslError {
+        line: lex.line(),
+        message: message.into(),
+    }
+}
+
+fn parse_schema(
+    lex: &mut Lexer,
+    repo: &SchemaRepository,
+    next_id: &mut u64,
+) -> DslResult<AwarenessSchema> {
+    let kw = lex.ident("`awareness`")?;
+    if kw != "awareness" {
+        return Err(err(lex, format!("expected `awareness`, found `{kw}`")));
+    }
+    let name = lex.string("schema name")?;
+    let on = lex.ident("`on`")?;
+    if on != "on" {
+        return Err(err(lex, "expected `on <process>`"));
+    }
+    let proc_name = match lex.next() {
+        Some(Tok::Str(s)) | Some(Tok::Ident(s)) => s,
+        other => return Err(err(lex, format!("expected process name, found {other:?}"))),
+    };
+    let process = repo
+        .activity_schema_by_name(&proc_name)
+        .ok_or_else(|| err(lex, format!("unknown process schema `{proc_name}`")))?;
+    if !process.is_process() {
+        return Err(err(lex, format!("`{proc_name}` is not a process schema")));
+    }
+    lex.expect(&Tok::LBrace, "`{`")?;
+
+    let mut spec = SpecBuilder::new();
+    let mut bindings: BTreeMap<String, (NodeId, ProcessSchemaId)> = BTreeMap::new();
+    let mut delivered: Option<(NodeId, RoleSpec, RoleAssignment)> = None;
+    let mut description: Option<String> = None;
+    let mut priority = Priority::Normal;
+
+    loop {
+        match lex.peek() {
+            Some(Tok::RBrace) => {
+                lex.next();
+                break;
+            }
+            Some(Tok::Ident(id)) if id == "deliver" => {
+                lex.next();
+                let var = lex.ident("node name")?;
+                let (node, _) = *bindings
+                    .get(&var)
+                    .ok_or_else(|| err(lex, format!("unknown node `{var}`")))?;
+                let to = lex.ident("`to`")?;
+                if to != "to" {
+                    return Err(err(lex, "expected `to`"));
+                }
+                let role = parse_role(lex)?;
+                let mut assignment = RoleAssignment::Identity;
+                if let Some(Tok::Ident(a)) = lex.peek() {
+                    if a == "assign" {
+                        lex.next();
+                        assignment = parse_assignment(lex)?;
+                    }
+                }
+                delivered = Some((node, role, assignment));
+            }
+            Some(Tok::Ident(id)) if id == "describe" => {
+                lex.next();
+                description = Some(lex.string("description")?);
+            }
+            Some(Tok::Ident(id)) if id == "priority" => {
+                lex.next();
+                let p = lex.ident("priority level")?;
+                priority = match p.as_str() {
+                    "low" => Priority::Low,
+                    "normal" => Priority::Normal,
+                    "high" => Priority::High,
+                    other => {
+                        return Err(err(lex, format!("unknown priority `{other}`")))
+                    }
+                };
+            }
+            Some(Tok::Ident(_)) => {
+                let name = lex.ident("node name")?;
+                lex.expect(&Tok::Equals, "`=`")?;
+                let node = parse_expr(lex, repo, &mut spec, &mut bindings, process.id())?;
+                bindings.insert(name, node);
+            }
+            other => return Err(err(lex, format!("unexpected token {other:?}"))),
+        }
+    }
+
+    let (root, role, assignment) = delivered
+        .ok_or_else(|| err(lex, "awareness schema has no `deliver` statement"))?;
+    let desc = description.unwrap_or_else(|| name.clone());
+    let out = spec
+        .operator(Arc::new(OutputOp::new(process.id(), &desc)), &[root])
+        .map_err(|e| err(lex, e.to_string()))?;
+    let id = AwarenessSchemaId(*next_id);
+    *next_id += 1;
+    let spec = spec
+        .build(cmi_core::ids::SpecId(id.raw()), &name, out)
+        .map_err(|e| err(lex, e.to_string()))?;
+    Ok(AwarenessSchema {
+        id,
+        name,
+        process: process.id(),
+        description: spec,
+        delivery_role: role,
+        assignment,
+        event_description: desc,
+        priority,
+    })
+}
+
+fn parse_role(lex: &mut Lexer) -> DslResult<RoleSpec> {
+    let kind = lex.ident("`org` or `scoped`")?;
+    lex.expect(&Tok::LParen, "`(`")?;
+    let role = match kind.as_str() {
+        "org" => {
+            let name = lex.ident("role name")?;
+            RoleSpec::org(&name)
+        }
+        "scoped" => {
+            let ctx = lex.ident("context name")?;
+            lex.expect(&Tok::Comma, "`,`")?;
+            let role = lex.ident("role name")?;
+            RoleSpec::scoped(&ctx, &role)
+        }
+        other => return Err(err(lex, format!("unknown role kind `{other}`"))),
+    };
+    lex.expect(&Tok::RParen, "`)`")?;
+    Ok(role)
+}
+
+fn parse_assignment(lex: &mut Lexer) -> DslResult<RoleAssignment> {
+    let name = lex.ident("assignment")?;
+    match name.as_str() {
+        "identity" => Ok(RoleAssignment::Identity),
+        "signed-on" => Ok(RoleAssignment::SignedOn),
+        "least-loaded" | "first" => {
+            lex.expect(&Tok::LParen, "`(`")?;
+            let n = match lex.next() {
+                Some(Tok::Int(n)) if n >= 0 => n as usize,
+                other => return Err(err(lex, format!("expected count, found {other:?}"))),
+            };
+            lex.expect(&Tok::RParen, "`)`")?;
+            Ok(if name == "first" {
+                RoleAssignment::FirstN { n }
+            } else {
+                RoleAssignment::LeastLoaded { n }
+            })
+        }
+        other => Err(err(lex, format!("unknown assignment `{other}`"))),
+    }
+}
+
+type Bound = (NodeId, ProcessSchemaId);
+
+fn parse_expr(
+    lex: &mut Lexer,
+    repo: &SchemaRepository,
+    spec: &mut SpecBuilder,
+    bindings: &mut BTreeMap<String, Bound>,
+    process: ProcessSchemaId,
+) -> DslResult<Bound> {
+    let func = lex.ident("expression")?;
+    // Bare identifier reference?
+    if lex.peek() != Some(&Tok::LParen) {
+        return bindings
+            .get(&func)
+            .copied()
+            .ok_or_else(|| err(lex, format!("unknown node `{func}`")));
+    }
+    lex.expect(&Tok::LParen, "`(`")?;
+    let op_err = |lex: &Lexer, e: cmi_events::spec::SpecError| err(lex, e.to_string());
+
+    let bound: Bound = match func.as_str() {
+        "context_filter" => {
+            let ctx = lex.ident("context name")?;
+            lex.expect(&Tok::Comma, "`,`")?;
+            let field = lex.ident("field name")?;
+            let leaf = spec.producer(Producer::Context);
+            let n = spec
+                .operator(Arc::new(ContextFilter::new(process, &ctx, &field)), &[leaf])
+                .map_err(|e| op_err(lex, e))?;
+            (n, process)
+        }
+        "activity_filter" => {
+            let var_name = lex.ident("activity variable")?;
+            lex.expect(&Tok::Comma, "`,`")?;
+            let states = parse_states(lex)?;
+            let schema = repo
+                .activity_schema(process)
+                .map_err(|e| err(lex, e.to_string()))?;
+            let var = schema
+                .activity_var(&var_name)
+                .map_err(|e| err(lex, e.to_string()))?;
+            let filter = ActivityFilter {
+                process,
+                var: Some(var.id),
+                old_states: None,
+                new_states: states,
+            };
+            let leaf = spec.producer(Producer::Activity);
+            let n = spec
+                .operator(Arc::new(filter), &[leaf])
+                .map_err(|e| op_err(lex, e))?;
+            (n, process)
+        }
+        "process_filter" => {
+            let states = parse_states(lex)?;
+            let filter = ActivityFilter {
+                process,
+                var: None,
+                old_states: None,
+                new_states: states,
+            };
+            let leaf = spec.producer(Producer::Activity);
+            let n = spec
+                .operator(Arc::new(filter), &[leaf])
+                .map_err(|e| op_err(lex, e))?;
+            (n, process)
+        }
+        "external" => {
+            let source = lex.ident("source name")?;
+            let instance_param = if lex.peek() == Some(&Tok::Comma) {
+                lex.next();
+                Some(lex.ident("instance parameter")?)
+            } else {
+                None
+            };
+            let f = ExternalFilter::new(process, &source, instance_param.as_deref());
+            let leaf = spec.producer(Producer::External(source));
+            let n = spec
+                .operator(Arc::new(f), &[leaf])
+                .map_err(|e| op_err(lex, e))?;
+            (n, process)
+        }
+        "and" | "seq" => {
+            let copy = match lex.next() {
+                Some(Tok::Int(c)) if c >= 1 => c as usize,
+                other => return Err(err(lex, format!("expected copy index, found {other:?}"))),
+            };
+            let mut inputs = Vec::new();
+            while lex.peek() == Some(&Tok::Comma) {
+                lex.next();
+                let (n, _) = parse_expr(lex, repo, spec, bindings, process)?;
+                inputs.push(n);
+            }
+            let op: Arc<dyn cmi_events::operator::EventOperator> = if func == "and" {
+                Arc::new(AndOp::new(process, inputs.len().max(2), copy))
+            } else {
+                Arc::new(SeqOp::new(process, inputs.len().max(2), copy))
+            };
+            let n = spec.operator(op, &inputs).map_err(|e| op_err(lex, e))?;
+            (n, process)
+        }
+        "or" => {
+            let mut inputs = Vec::new();
+            loop {
+                let (n, _) = parse_expr(lex, repo, spec, bindings, process)?;
+                inputs.push(n);
+                if lex.peek() == Some(&Tok::Comma) {
+                    lex.next();
+                } else {
+                    break;
+                }
+            }
+            let n = spec
+                .operator(Arc::new(OrOp::new(process, inputs.len().max(2))), &inputs)
+                .map_err(|e| op_err(lex, e))?;
+            (n, process)
+        }
+        "count" => {
+            let (input, _) = parse_expr(lex, repo, spec, bindings, process)?;
+            let n = spec
+                .operator(Arc::new(CountOp::new(process)), &[input])
+                .map_err(|e| op_err(lex, e))?;
+            (n, process)
+        }
+        "compare1" => {
+            let op = parse_cmp(lex)?;
+            lex.expect(&Tok::Comma, "`,`")?;
+            let c = match lex.next() {
+                Some(Tok::Int(c)) => c,
+                other => return Err(err(lex, format!("expected constant, found {other:?}"))),
+            };
+            lex.expect(&Tok::Comma, "`,`")?;
+            let (input, _) = parse_expr(lex, repo, spec, bindings, process)?;
+            let n = spec
+                .operator(Arc::new(Compare1Op::new(process, op, c)), &[input])
+                .map_err(|e| op_err(lex, e))?;
+            (n, process)
+        }
+        "compare2" => {
+            let op = parse_cmp(lex)?;
+            lex.expect(&Tok::Comma, "`,`")?;
+            let (a, _) = parse_expr(lex, repo, spec, bindings, process)?;
+            lex.expect(&Tok::Comma, "`,`")?;
+            let (b, _) = parse_expr(lex, repo, spec, bindings, process)?;
+            let n = spec
+                .operator(Arc::new(Compare2Op::new(process, op)), &[a, b])
+                .map_err(|e| op_err(lex, e))?;
+            (n, process)
+        }
+        "translate" => {
+            let var_name = lex.ident("activity variable")?;
+            lex.expect(&Tok::Comma, "`,`")?;
+            let schema = repo
+                .activity_schema(process)
+                .map_err(|e| err(lex, e.to_string()))?;
+            let var = schema
+                .activity_var(&var_name)
+                .map_err(|e| err(lex, e.to_string()))?;
+            let invoked = var.schema;
+            // The inner expression is relative to the invoked schema.
+            let (inner, inner_p) = parse_expr(lex, repo, spec, bindings, invoked)?;
+            if inner_p != invoked {
+                return Err(err(
+                    lex,
+                    format!(
+                        "translate({var_name}, …): inner expression is relative to {inner_p}, \
+                         expected the invoked schema {invoked}"
+                    ),
+                ));
+            }
+            let act = spec.producer(Producer::Activity);
+            let n = spec
+                .operator(
+                    Arc::new(TranslateOp::new(process, invoked, var.id)),
+                    &[act, inner],
+                )
+                .map_err(|e| op_err(lex, e))?;
+            (n, process)
+        }
+        other => return Err(err(lex, format!("unknown operator `{other}`"))),
+    };
+    lex.expect(&Tok::RParen, "`)`")?;
+    Ok(bound)
+}
+
+fn parse_cmp(lex: &mut Lexer) -> DslResult<CmpOp> {
+    let line = lex.line();
+    match lex.next() {
+        Some(Tok::Op(op)) => Ok(op),
+        other => Err(DslError {
+            line,
+            message: format!("expected comparison operator, found {other:?}"),
+        }),
+    }
+}
+
+/// Parses `S1|S2|…` or `*` (wildcard → `None`).
+fn parse_states(lex: &mut Lexer) -> DslResult<Option<std::collections::BTreeSet<String>>> {
+    if lex.peek() == Some(&Tok::Star) {
+        lex.next();
+        return Ok(None);
+    }
+    let mut states = std::collections::BTreeSet::new();
+    states.insert(lex.ident("state name")?);
+    while lex.peek() == Some(&Tok::Pipe) {
+        lex.next();
+        states.insert(lex.ident("state name")?);
+    }
+    Ok(Some(states))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_core::schema::ActivitySchemaBuilder;
+    use cmi_core::state_schema::ActivityStateSchema;
+
+    fn repo_with_info_request() -> SchemaRepository {
+        let repo = SchemaRepository::new();
+        let ss = repo
+            .register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+        let basic = repo.fresh_activity_schema_id();
+        repo.register_activity_schema(
+            ActivitySchemaBuilder::basic(basic, "Gather", ss.clone())
+                .build()
+                .unwrap(),
+        );
+        // Subprocess used by translate tests.
+        let sub = repo.fresh_activity_schema_id();
+        let mut sb = ActivitySchemaBuilder::process(sub, "LabTest", ss.clone());
+        sb.activity_var("run", basic, false).unwrap();
+        repo.register_activity_schema(sb.build().unwrap());
+        let pid = repo.fresh_activity_schema_id();
+        let mut pb = ActivitySchemaBuilder::process(pid, "InfoRequest", ss);
+        pb.activity_var("gather", basic, false).unwrap();
+        pb.activity_var("lab", sub, true).unwrap();
+        repo.register_activity_schema(pb.build().unwrap());
+        repo
+    }
+
+    const SECTION_5_4: &str = r#"
+        # The paper's deadline-violation example.
+        awareness "AS_InfoRequest" on "InfoRequest" {
+            op1  = context_filter(TaskForceContext, TaskForceDeadline)
+            op2  = context_filter(InfoRequestContext, RequestDeadline)
+            viol = compare2(<=, op1, op2)
+            deliver viol to scoped(InfoRequestContext, Requestor) assign identity
+            describe "task force deadline moved before the request deadline"
+        }
+    "#;
+
+    #[test]
+    fn parses_the_section_5_4_example() {
+        let repo = repo_with_info_request();
+        let mut id = 1;
+        let schemas = parse(SECTION_5_4, &repo, &mut id).unwrap();
+        assert_eq!(schemas.len(), 1);
+        let s = &schemas[0];
+        assert_eq!(s.name, "AS_InfoRequest");
+        assert_eq!(s.operator_count(), 4);
+        assert_eq!(
+            s.delivery_role,
+            RoleSpec::scoped("InfoRequestContext", "Requestor")
+        );
+        assert_eq!(s.assignment, RoleAssignment::Identity);
+        assert!(s.event_description.contains("deadline"));
+        assert_eq!(id, 2);
+    }
+
+    #[test]
+    fn parses_activity_filters_count_and_compare1() {
+        let repo = repo_with_info_request();
+        let src = r#"
+            awareness "three-gathers" on InfoRequest {
+                done = activity_filter(gather, Completed)
+                n    = count(done)
+                gate = compare1(>=, 3, n)
+                deliver gate to org(health-crisis-leader) assign least-loaded(2)
+            }
+        "#;
+        let mut id = 10;
+        let s = &parse(src, &repo, &mut id).unwrap()[0];
+        assert_eq!(s.assignment, RoleAssignment::LeastLoaded { n: 2 });
+        assert_eq!(s.operator_count(), 4);
+        assert_eq!(s.event_description, "three-gathers", "defaults to name");
+    }
+
+    #[test]
+    fn parses_and_or_seq_with_inline_and_named_operands() {
+        let repo = repo_with_info_request();
+        let src = r#"
+            awareness "combo" on InfoRequest {
+                a = context_filter(C, x)
+                both = and(1, a, context_filter(C, y))
+                anyof = or(both, context_filter(C, z))
+                chain = seq(2, a, anyof)
+                deliver chain to org(watchers)
+            }
+        "#;
+        let mut id = 1;
+        let s = &parse(src, &repo, &mut id).unwrap()[0];
+        assert!(s.operator_count() >= 6);
+    }
+
+    #[test]
+    fn translate_evaluates_inner_relative_to_invoked_schema() {
+        let repo = repo_with_info_request();
+        let src = r#"
+            awareness "lab-status" on InfoRequest {
+                inner = translate(lab, process_filter(Completed|Terminated))
+                deliver inner to org(requestors)
+            }
+        "#;
+        let mut id = 1;
+        let s = &parse(src, &repo, &mut id).unwrap()[0];
+        // translate + inner filter + output = 3 operators.
+        assert_eq!(s.operator_count(), 3);
+        assert_eq!(s.process, repo.activity_schema_by_name("InfoRequest").unwrap().id());
+    }
+
+    #[test]
+    fn wildcard_states_and_external_source() {
+        let repo = repo_with_info_request();
+        let src = r#"
+            awareness "ext" on InfoRequest {
+                any = activity_filter(gather, *)
+                news = external(news-service, queryId)
+                both = and(2, any, news)
+                deliver both to org(watchers) assign signed-on
+            }
+        "#;
+        let mut id = 1;
+        let s = &parse(src, &repo, &mut id).unwrap()[0];
+        assert_eq!(s.assignment, RoleAssignment::SignedOn);
+    }
+
+    #[test]
+    fn priority_statement_parses() {
+        let repo = repo_with_info_request();
+        let src = r#"
+            awareness "urgent" on InfoRequest {
+                a = context_filter(C, f)
+                deliver a to org(r)
+                priority high
+            }
+        "#;
+        let s = &parse(src, &repo, &mut 1).unwrap()[0];
+        assert_eq!(s.priority, Priority::High);
+        // Default is Normal; unknown levels error with a line number.
+        let src_default = r#"
+            awareness "plain" on InfoRequest {
+                a = context_filter(C, f)
+                deliver a to org(r)
+            }
+        "#;
+        assert_eq!(parse(src_default, &repo, &mut 1).unwrap()[0].priority, Priority::Normal);
+        let bad = r#"
+            awareness "x" on InfoRequest {
+                a = context_filter(C, f)
+                deliver a to org(r)
+                priority shrill
+            }
+        "#;
+        assert!(parse(bad, &repo, &mut 1).unwrap_err().message.contains("unknown priority"));
+    }
+
+    #[test]
+    fn multiple_schemas_in_one_source() {
+        let repo = repo_with_info_request();
+        let src = r#"
+            awareness "a" on InfoRequest {
+                x = context_filter(C, f)
+                deliver x to org(r1)
+            }
+            awareness "b" on InfoRequest {
+                y = context_filter(C, g)
+                deliver y to org(r2)
+            }
+        "#;
+        let mut id = 1;
+        let schemas = parse(src, &repo, &mut id).unwrap();
+        assert_eq!(schemas.len(), 2);
+        assert_ne!(schemas[0].id, schemas[1].id);
+    }
+
+    #[test]
+    fn error_reporting_includes_line_numbers() {
+        let repo = repo_with_info_request();
+        let src = "awareness \"x\" on \"Nope\" {\n}\n";
+        let e = parse(src, &repo, &mut 1).unwrap_err();
+        assert!(e.to_string().contains("unknown process schema"));
+
+        let src = r#"
+            awareness "x" on InfoRequest {
+                a = bogus_op(1)
+                deliver a to org(r)
+            }
+        "#;
+        let e = parse(src, &repo, &mut 1).unwrap_err();
+        assert!(e.message.contains("unknown operator"));
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn missing_deliver_is_rejected() {
+        let repo = repo_with_info_request();
+        let src = r#"
+            awareness "x" on InfoRequest {
+                a = context_filter(C, f)
+            }
+        "#;
+        let e = parse(src, &repo, &mut 1).unwrap_err();
+        assert!(e.message.contains("no `deliver`"));
+    }
+
+    #[test]
+    fn unknown_var_and_unterminated_string() {
+        let repo = repo_with_info_request();
+        let src = r#"
+            awareness "x" on InfoRequest {
+                a = activity_filter(nonexistent, Completed)
+                deliver a to org(r)
+            }
+        "#;
+        assert!(parse(src, &repo, &mut 1).is_err());
+        assert!(Lexer::new("describe \"oops").is_err());
+    }
+}

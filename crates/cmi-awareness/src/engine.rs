@@ -1,0 +1,447 @@
+//! The awareness engine: detector agents plus the delivery agent (§6.3–6.5).
+//!
+//! Awareness schemata are compiled into a detector (the merged multiply-
+//! rooted DAG of `cmi-events`). When a detector root fires, the **delivery
+//! agent** resolves the schema's awareness delivery role and role assignment
+//! — *at detection time*, against the live directory and context state — to a
+//! set of participants, and queues the event's information for each of them
+//! in the persistent delivery queue.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use cmi_core::context::ContextManager;
+use cmi_core::ids::{AwarenessSchemaId, ProcessInstanceId, UserId};
+use cmi_core::instance::InstanceStore;
+use cmi_core::participant::Directory;
+use cmi_core::roles::RoleSpec;
+use cmi_events::engine::Engine;
+use cmi_events::event::{params, Event};
+use cmi_events::producers;
+
+use crate::queue::{DeliveryQueue, Notification};
+use crate::schema::AwarenessSchema;
+
+/// Delivery counters for experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryStats {
+    /// Composite events detected.
+    pub detections: u64,
+    /// Notifications enqueued (detections × recipients).
+    pub notifications: u64,
+    /// Detections whose delivery role could not be resolved (e.g. scope
+    /// already ended) — delivered to no one.
+    pub unresolved_roles: u64,
+}
+
+/// The awareness engine.
+pub struct AwarenessEngine {
+    detector: RwLock<Engine>,
+    schemas: RwLock<BTreeMap<AwarenessSchemaId, AwarenessSchema>>,
+    queue: Arc<DeliveryQueue>,
+    directory: Arc<Directory>,
+    contexts: Arc<ContextManager>,
+    stats: Mutex<DeliveryStats>,
+}
+
+impl fmt::Debug for AwarenessEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AwarenessEngine")
+            .field("schemas", &self.schemas.read().len())
+            .field("stats", &*self.stats.lock())
+            .finish()
+    }
+}
+
+impl AwarenessEngine {
+    /// An engine delivering through `queue`, resolving roles against
+    /// `directory` and `contexts`.
+    pub fn new(
+        directory: Arc<Directory>,
+        contexts: Arc<ContextManager>,
+        queue: Arc<DeliveryQueue>,
+    ) -> Self {
+        AwarenessEngine {
+            detector: RwLock::new(Engine::new()),
+            schemas: RwLock::new(BTreeMap::new()),
+            queue,
+            directory,
+            contexts,
+            stats: Mutex::new(DeliveryStats::default()),
+        }
+    }
+
+    /// Registers an awareness schema: compiles its description into the
+    /// detector (sharing sub-DAGs with previously registered schemas).
+    pub fn register(&self, schema: AwarenessSchema) {
+        self.detector.write().add_spec(&schema.description);
+        self.schemas.write().insert(schema.id, schema);
+    }
+
+    /// Number of registered awareness schemas.
+    pub fn schema_count(&self) -> usize {
+        self.schemas.read().len()
+    }
+
+    /// The delivery queue.
+    pub fn queue(&self) -> &Arc<DeliveryQueue> {
+        &self.queue
+    }
+
+    /// Delivery counters.
+    pub fn stats(&self) -> DeliveryStats {
+        *self.stats.lock()
+    }
+
+    /// Detector topology (node/sharing counts), for experiments.
+    pub fn topology(&self) -> cmi_events::engine::EngineTopology {
+        self.detector.read().topology()
+    }
+
+    /// Renders the merged detector DAG (Fig. 6 content, engine-wide).
+    pub fn describe_detector(&self) -> String {
+        self.detector.read().describe()
+    }
+
+    /// Pushes one primitive event through detection and delivery. Returns
+    /// the notifications that were enqueued (one per recipient per
+    /// detection).
+    pub fn ingest(&self, event: &Event) -> Vec<Notification> {
+        let detections = self.detector.read().ingest(event);
+        let mut delivered = Vec::new();
+        if detections.is_empty() {
+            return delivered;
+        }
+        let schemas = self.schemas.read();
+        let mut stats = self.stats.lock();
+        for d in detections {
+            stats.detections += 1;
+            let Some(schema) = schemas.get(&AwarenessSchemaId(d.spec.raw())) else {
+                continue;
+            };
+            let instance = d
+                .event
+                .process_instance()
+                .unwrap_or(ProcessInstanceId(0));
+            let Some(candidates) = self.resolve_delivery_role(&schema.delivery_role, instance)
+            else {
+                stats.unresolved_roles += 1;
+                continue;
+            };
+            let recipients = schema.assignment.apply(&candidates, &self.directory);
+            for user in recipients {
+                let n = self.make_notification(schema, user, &d.event, instance);
+                if self.queue.enqueue(n.clone()).is_ok() {
+                    stats.notifications += 1;
+                    let _ = self.directory.adjust_load(user, 1);
+                    delivered.push(n);
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Resolves the delivery role at detection time. `None` when the role
+    /// cannot be resolved (unknown org role, no live context, ended scope).
+    fn resolve_delivery_role(
+        &self,
+        role: &RoleSpec,
+        instance: ProcessInstanceId,
+    ) -> Option<Vec<UserId>> {
+        match role {
+            RoleSpec::Org(name) => {
+                let r = self.directory.role_by_name(name)?;
+                self.directory.resolve(r).ok()
+            }
+            RoleSpec::Scoped { context_name, role } => {
+                // Prefer a context attached to the event's process instance;
+                // fall back to any live context of that name (events related
+                // globally, instance 0).
+                let ctx = self
+                    .contexts
+                    .find(context_name, instance)
+                    .or_else(|| self.contexts.find_by_name(context_name))?;
+                self.contexts.resolve_role(ctx, role).ok()
+            }
+        }
+    }
+
+    fn make_notification(
+        &self,
+        schema: &AwarenessSchema,
+        user: UserId,
+        event: &Event,
+        instance: ProcessInstanceId,
+    ) -> Notification {
+        Notification {
+            seq: 0,
+            user,
+            time: event.time,
+            schema: schema.id,
+            schema_name: schema.name.clone(),
+            description: event
+                .get_str(cmi_events::operators::DESCRIPTION_PARAM)
+                .unwrap_or(&schema.event_description)
+                .to_owned(),
+            process_schema: schema.process,
+            process_instance: instance,
+            int_info: event.int_info(),
+            str_info: event.get_str(params::STR_INFO).map(str::to_owned),
+            priority: schema.priority,
+        }
+    }
+}
+
+/// Wires the awareness engine's **event source agents** (§6.3) to the CORE
+/// and coordination stores: every activity state change and context field
+/// change is converted to its primitive event and ingested synchronously.
+pub fn attach_event_sources(
+    engine: &Arc<AwarenessEngine>,
+    store: &InstanceStore,
+    contexts: &ContextManager,
+) {
+    let e1 = engine.clone();
+    store.subscribe(Arc::new(move |change| {
+        e1.ingest(&producers::activity_event(change));
+    }));
+    let e2 = engine.clone();
+    contexts.subscribe(Arc::new(move |change| {
+        e2.ingest(&producers::context_event(change));
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::RoleAssignment;
+    use crate::builder::{deadline_violation_schema, AwarenessSchemaBuilder};
+    use cmi_core::ids::ProcessSchemaId;
+    use cmi_core::time::{SimClock, Timestamp};
+    use cmi_core::value::Value;
+
+    const P: ProcessSchemaId = ProcessSchemaId(1);
+
+    struct Fixture {
+        engine: Arc<AwarenessEngine>,
+        directory: Arc<Directory>,
+        contexts: Arc<ContextManager>,
+        clock: SimClock,
+    }
+
+    fn fixture() -> Fixture {
+        let clock = SimClock::new();
+        let directory = Arc::new(Directory::new());
+        let contexts = Arc::new(ContextManager::new(Arc::new(clock.clone())));
+        let queue = Arc::new(DeliveryQueue::in_memory());
+        let engine = Arc::new(AwarenessEngine::new(
+            directory.clone(),
+            contexts.clone(),
+            queue,
+        ));
+        Fixture {
+            engine,
+            directory,
+            contexts,
+            clock,
+        }
+    }
+
+    /// Drives the full §5.4 scenario through real context resources.
+    #[test]
+    fn deadline_violation_delivered_to_scoped_requestor() {
+        let f = fixture();
+        let requestor = f.directory.add_user("requestor");
+        let other = f.directory.add_user("other-member");
+        f.engine
+            .register(deadline_violation_schema(AwarenessSchemaId(1), P));
+        attach_event_sources(&f.engine,
+            // no instance store needed for this context-only scenario; make
+            // a throwaway one
+            &InstanceStore::new(
+                Arc::new(f.clock.clone()),
+                Arc::new(cmi_core::repository::SchemaRepository::new()),
+            ),
+            &f.contexts,
+        );
+
+        let pi = ProcessInstanceId(10);
+        // Task force context with a deadline at day 5.
+        let tf = f.contexts.create("TaskForceContext", Some((P, pi)));
+        f.contexts
+            .set_field(
+                tf,
+                "TaskForceDeadline",
+                Value::Time(Timestamp::from_millis(5_000)),
+            )
+            .unwrap();
+        // Information request context: requestor role + deadline at day 3.
+        let ir = f.contexts.create("InfoRequestContext", Some((P, pi)));
+        f.contexts.create_role(ir, "Requestor", &[requestor]).unwrap();
+        let _ = other;
+        f.contexts
+            .set_field(
+                ir,
+                "RequestDeadline",
+                Value::Time(Timestamp::from_millis(3_000)),
+            )
+            .unwrap();
+        assert_eq!(f.engine.queue().pending_for(requestor), 0, "5000 <= 3000 false");
+
+        // The leader moves the task force deadline to 2_000 < 3_000.
+        f.contexts
+            .set_field(
+                tf,
+                "TaskForceDeadline",
+                Value::Time(Timestamp::from_millis(2_000)),
+            )
+            .unwrap();
+        assert_eq!(f.engine.queue().pending_for(requestor), 1);
+        let n = &f.engine.queue().fetch(requestor, 10)[0];
+        assert!(n.description.contains("deadline"));
+        assert_eq!(n.process_instance, pi);
+        assert_eq!(n.int_info, Some(2_000));
+        let s = f.engine.stats();
+        assert_eq!(s.detections, 1);
+        assert_eq!(s.notifications, 1);
+    }
+
+    #[test]
+    fn delivery_role_resolved_at_detection_time_not_registration() {
+        let f = fixture();
+        let u1 = f.directory.add_user("u1");
+        let u2 = f.directory.add_user("u2");
+        let mut b = AwarenessSchemaBuilder::new(AwarenessSchemaId(1), "AS", P);
+        let filt = b.context_filter("C", "f").unwrap();
+        f.engine.register(
+            b.deliver_to(filt, RoleSpec::scoped("C", "R"))
+                .build()
+                .unwrap(),
+        );
+        let pi = ProcessInstanceId(4);
+        let ctx = f.contexts.create("C", Some((P, pi)));
+        f.contexts.create_role(ctx, "R", &[u1]).unwrap();
+
+        let ev = |v: i64| {
+            producers::context_event(&cmi_core::context::ContextFieldChange {
+                time: Timestamp::EPOCH,
+                context_id: ctx,
+                context_name: "C".into(),
+                processes: vec![(P, pi)],
+                field_name: "f".into(),
+                old_value: None,
+                new_value: Value::Int(v),
+            })
+        };
+        f.engine.ingest(&ev(1));
+        assert_eq!(f.engine.queue().pending_for(u1), 1);
+        assert_eq!(f.engine.queue().pending_for(u2), 0);
+        // Membership changes between detections are honored.
+        f.contexts.remove_role_member(ctx, "R", u1).unwrap();
+        f.contexts.add_role_member(ctx, "R", u2).unwrap();
+        f.engine.ingest(&ev(2));
+        assert_eq!(f.engine.queue().pending_for(u1), 1, "unchanged");
+        assert_eq!(f.engine.queue().pending_for(u2), 1);
+    }
+
+    #[test]
+    fn ended_scope_means_no_delivery() {
+        let f = fixture();
+        let u = f.directory.add_user("u");
+        let mut b = AwarenessSchemaBuilder::new(AwarenessSchemaId(1), "AS", P);
+        let filt = b.context_filter("C", "f").unwrap();
+        f.engine.register(
+            b.deliver_to(filt, RoleSpec::scoped("Gone", "R"))
+                .build()
+                .unwrap(),
+        );
+        let pi = ProcessInstanceId(4);
+        let gone = f.contexts.create("Gone", Some((P, pi)));
+        f.contexts.create_role(gone, "R", &[u]).unwrap();
+        f.contexts.destroy(gone).unwrap();
+        let c = f.contexts.create("C", Some((P, pi)));
+        f.contexts.set_field(c, "f", Value::Int(1)).unwrap();
+        f.engine.ingest(&producers::context_event(
+            &cmi_core::context::ContextFieldChange {
+                time: Timestamp::EPOCH,
+                context_id: c,
+                context_name: "C".into(),
+                processes: vec![(P, pi)],
+                field_name: "f".into(),
+                old_value: None,
+                new_value: Value::Int(2),
+            },
+        ));
+        assert_eq!(f.engine.queue().pending_for(u), 0);
+        assert_eq!(f.engine.stats().unresolved_roles, 1);
+    }
+
+    #[test]
+    fn org_role_delivery_and_assignment() {
+        let f = fixture();
+        let u1 = f.directory.add_user("u1");
+        let u2 = f.directory.add_user("u2");
+        let leaders = f.directory.add_role("leaders").unwrap();
+        f.directory.assign(u1, leaders).unwrap();
+        f.directory.assign(u2, leaders).unwrap();
+        f.directory.set_signed_on(u2, true).unwrap();
+
+        let mut b = AwarenessSchemaBuilder::new(AwarenessSchemaId(1), "AS", P);
+        let filt = b.context_filter("C", "f").unwrap();
+        f.engine.register(
+            b.deliver_to(filt, RoleSpec::org("leaders"))
+                .assign(RoleAssignment::SignedOn)
+                .build()
+                .unwrap(),
+        );
+        let pi = ProcessInstanceId(1);
+        let c = f.contexts.create("C", Some((P, pi)));
+        attach_event_sources(
+            &f.engine,
+            &InstanceStore::new(
+                Arc::new(f.clock.clone()),
+                Arc::new(cmi_core::repository::SchemaRepository::new()),
+            ),
+            &f.contexts,
+        );
+        f.contexts.set_field(c, "f", Value::Int(1)).unwrap();
+        assert_eq!(f.engine.queue().pending_for(u2), 1, "signed-on only");
+        assert_eq!(f.engine.queue().pending_for(u1), 0);
+        // Delivery bumps recipient load.
+        assert_eq!(f.directory.participant(u2).unwrap().load, 1);
+    }
+
+    #[test]
+    fn notifications_carry_str_info() {
+        let f = fixture();
+        let u = f.directory.add_user("u");
+        let r = f.directory.add_role("watchers").unwrap();
+        f.directory.assign(u, r).unwrap();
+        let mut b = AwarenessSchemaBuilder::new(AwarenessSchemaId(1), "AS", P);
+        let filt = b.context_filter("C", "status").unwrap();
+        f.engine.register(
+            b.deliver_to(filt, RoleSpec::org("watchers"))
+                .describe("status changed")
+                .build()
+                .unwrap(),
+        );
+        let pi = ProcessInstanceId(1);
+        let c = f.contexts.create("C", Some((P, pi)));
+        attach_event_sources(
+            &f.engine,
+            &InstanceStore::new(
+                Arc::new(f.clock.clone()),
+                Arc::new(cmi_core::repository::SchemaRepository::new()),
+            ),
+            &f.contexts,
+        );
+        f.contexts
+            .set_field(c, "status", Value::from("positive"))
+            .unwrap();
+        let n = &f.engine.queue().fetch(u, 1)[0];
+        assert_eq!(n.str_info.as_deref(), Some("positive"));
+        assert_eq!(n.description, "status changed");
+    }
+}

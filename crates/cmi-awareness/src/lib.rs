@@ -1,0 +1,43 @@
+//! # cmi-awareness — the CMI Awareness Model (AM)
+//!
+//! The paper's primary contribution: customized process and situation
+//! awareness (§5–6). An awareness schema `AS_P = (AD_P, R_P, RA_P)` couples a
+//! composite event specification with delivery instructions:
+//!
+//! * [`schema`] — the `(AD, R, RA)` triplet.
+//! * [`builder`] — programmatic construction (the specification tool's API).
+//! * [`dsl`] — the textual awareness specification language.
+//! * [`assignment`] — role assignment functions (identity, signed-on,
+//!   least-loaded, first-N).
+//! * [`engine`] — the awareness engine: detector compilation with shared
+//!   sub-DAGs, detection-time role resolution, the delivery agent.
+//! * [`queue`] — persistent per-participant delivery queues (WAL + recovery).
+//! * [`viewer`] — the participant-side awareness information viewer.
+//! * [`agents`] — the asynchronous agent pipeline of the Fig. 5 architecture.
+//! * [`render`] — Fig. 6-style textual rendering of awareness schemas.
+//! * [`system`] — [`CmiServer`]: the fully wired CMI server.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod agents;
+pub mod assignment;
+pub mod builder;
+pub mod dsl;
+pub mod engine;
+pub mod queue;
+pub mod render;
+pub mod schema;
+pub mod system;
+pub mod viewer;
+
+pub use agents::AgentPipeline;
+pub use assignment::RoleAssignment;
+pub use builder::{deadline_violation_schema, AwarenessSchemaBuilder};
+pub use dsl::{parse as parse_awareness_source, DslError};
+pub use engine::{attach_event_sources, AwarenessEngine, DeliveryStats};
+pub use queue::{DeliveryQueue, Notification, Priority};
+pub use render::render_schema;
+pub use schema::AwarenessSchema;
+pub use system::CmiServer;
+pub use viewer::{AwarenessViewer, DigestEntry};

@@ -1,0 +1,484 @@
+//! Persistent per-participant awareness queues (§6.5).
+//!
+//! "A persistent queue is necessary because a participant is not assumed to
+//! be logged-on to the system when he receives an awareness event." This
+//! module provides that queue: notifications are appended to a write-ahead
+//! log before being made visible, acknowledgements are logged too, and
+//! recovery replays the log — so after a crash every unacknowledged
+//! notification is still waiting and acknowledged ones do not reappear.
+//!
+//! The WAL is JSON-lines: one self-describing record per line. A torn final
+//! line (partial write at crash) is detected and dropped during recovery.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use cmi_core::ids::{AwarenessSchemaId, ProcessInstanceId, ProcessSchemaId, UserId};
+use cmi_core::time::Timestamp;
+
+/// Notification priority (§6.5 lists priority as under consideration; this
+/// implementation provides three levels). Order: `Low < Normal < High`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum Priority {
+    /// Background information.
+    Low,
+    /// The default.
+    #[default]
+    Normal,
+    /// Requires prompt attention (e.g. deadline violations).
+    High,
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        })
+    }
+}
+
+/// One awareness notification queued for one participant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Notification {
+    /// Global sequence number (assigned by the queue; total order).
+    pub seq: u64,
+    /// The recipient.
+    pub user: UserId,
+    /// Detection time.
+    pub time: Timestamp,
+    /// The awareness schema that produced it.
+    pub schema: AwarenessSchemaId,
+    /// The awareness schema's name.
+    pub schema_name: String,
+    /// The user-friendly description from the output operator.
+    pub description: String,
+    /// The process schema the detected event is relative to.
+    pub process_schema: ProcessSchemaId,
+    /// The process instance the detected event is relative to.
+    pub process_instance: ProcessInstanceId,
+    /// The canonical `intInfo`, if set.
+    pub int_info: Option<i64>,
+    /// The canonical `strInfo`, if set.
+    pub str_info: Option<String>,
+    /// Delivery priority (absent in older WALs → `Normal`).
+    #[serde(default)]
+    pub priority: Priority,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+enum WalRecord {
+    Event(Notification),
+    Ack {
+        user: UserId,
+        /// All notifications for `user` with `seq <= up_to` are acknowledged.
+        up_to: u64,
+    },
+    /// A single notification acknowledged out of order (priority
+    /// consumption).
+    AckOne { user: UserId, seq: u64 },
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    next_seq: u64,
+    pending: BTreeMap<UserId, VecDeque<Notification>>,
+    acked: BTreeMap<UserId, u64>,
+    acked_exact: BTreeMap<UserId, std::collections::BTreeSet<u64>>,
+}
+
+/// The delivery queue. With a path it is durable (WAL + recovery); without,
+/// it is an in-memory queue with identical semantics.
+pub struct DeliveryQueue {
+    state: Mutex<QueueState>,
+    wal: Mutex<Option<File>>,
+    path: Option<PathBuf>,
+}
+
+impl std::fmt::Debug for DeliveryQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeliveryQueue")
+            .field("durable", &self.path.is_some())
+            .field("pending", &self.pending_total())
+            .finish()
+    }
+}
+
+impl DeliveryQueue {
+    /// An in-memory (non-durable) queue.
+    pub fn in_memory() -> Self {
+        DeliveryQueue {
+            state: Mutex::new(QueueState {
+                next_seq: 1,
+                ..QueueState::default()
+            }),
+            wal: Mutex::new(None),
+            path: None,
+        }
+    }
+
+    /// Opens (or creates) a durable queue at `path`, replaying any existing
+    /// WAL. Unacknowledged notifications become pending again.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let mut state = QueueState {
+            next_seq: 1,
+            ..QueueState::default()
+        };
+        if path.exists() {
+            let mut reader = BufReader::new(File::open(path)?);
+            let mut events: Vec<Notification> = Vec::new();
+            let mut buf = Vec::new();
+            loop {
+                buf.clear();
+                if reader.read_until(b'\n', &mut buf)? == 0 {
+                    break;
+                }
+                // Corrupt bytes (torn append, disk damage) must never abort
+                // recovery: any line that is not valid UTF-8 JSON of a known
+                // record is dropped; it was never acknowledged to a producer.
+                let Ok(line) = std::str::from_utf8(&buf) else {
+                    continue;
+                };
+                let Ok(rec) = serde_json::from_str::<WalRecord>(line) else {
+                    continue;
+                };
+                match rec {
+                    WalRecord::Event(n) => {
+                        state.next_seq = state.next_seq.max(n.seq + 1);
+                        events.push(n);
+                    }
+                    WalRecord::Ack { user, up_to } => {
+                        let e = state.acked.entry(user).or_insert(0);
+                        *e = (*e).max(up_to);
+                    }
+                    WalRecord::AckOne { user, seq } => {
+                        state.acked_exact.entry(user).or_default().insert(seq);
+                    }
+                }
+            }
+            for n in events {
+                let prefix_acked = state.acked.get(&n.user).copied().unwrap_or(0) >= n.seq;
+                let exact_acked = state
+                    .acked_exact
+                    .get(&n.user)
+                    .is_some_and(|s| s.contains(&n.seq));
+                if !prefix_acked && !exact_acked {
+                    state.pending.entry(n.user).or_default().push_back(n);
+                }
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(DeliveryQueue {
+            state: Mutex::new(state),
+            wal: Mutex::new(Some(file)),
+            path: Some(path.to_owned()),
+        })
+    }
+
+    /// Enqueues a notification for its recipient, assigning the sequence
+    /// number and logging before making it visible. Returns the sequence
+    /// number.
+    pub fn enqueue(&self, mut n: Notification) -> std::io::Result<u64> {
+        let mut state = self.state.lock();
+        n.seq = state.next_seq;
+        state.next_seq += 1;
+        self.append(&WalRecord::Event(n.clone()))?;
+        let seq = n.seq;
+        state.pending.entry(n.user).or_default().push_back(n);
+        Ok(seq)
+    }
+
+    /// Returns (without removing) up to `max` pending notifications for the
+    /// user, oldest first.
+    pub fn fetch(&self, user: UserId, max: usize) -> Vec<Notification> {
+        let state = self.state.lock();
+        state
+            .pending
+            .get(&user)
+            .map(|q| q.iter().take(max).cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Acknowledges every notification for `user` with `seq <= up_to`,
+    /// removing them from the pending queue (durably, if the queue is).
+    pub fn ack(&self, user: UserId, up_to: u64) -> std::io::Result<usize> {
+        let mut state = self.state.lock();
+        self.append(&WalRecord::Ack { user, up_to })?;
+        let e = state.acked.entry(user).or_insert(0);
+        *e = (*e).max(up_to);
+        let q = state.pending.entry(user).or_default();
+        let before = q.len();
+        q.retain(|n| n.seq > up_to);
+        Ok(before - q.len())
+    }
+
+    /// Acknowledges exactly the given sequence numbers for `user` (used by
+    /// priority-ordered consumption, where acknowledged items need not be a
+    /// prefix). Returns how many were removed.
+    pub fn ack_exact(&self, user: UserId, seqs: &[u64]) -> std::io::Result<usize> {
+        let mut state = self.state.lock();
+        for &seq in seqs {
+            self.append(&WalRecord::AckOne { user, seq })?;
+            state.acked_exact.entry(user).or_default().insert(seq);
+        }
+        let set: std::collections::BTreeSet<u64> = seqs.iter().copied().collect();
+        let q = state.pending.entry(user).or_default();
+        let before = q.len();
+        q.retain(|n| !set.contains(&n.seq));
+        Ok(before - q.len())
+    }
+
+    /// Returns (without removing) up to `max` pending notifications for the
+    /// user ordered by priority (high first), ties broken oldest-first.
+    pub fn fetch_prioritized(&self, user: UserId, max: usize) -> Vec<Notification> {
+        let state = self.state.lock();
+        let Some(q) = state.pending.get(&user) else {
+            return Vec::new();
+        };
+        let mut all: Vec<Notification> = q.iter().cloned().collect();
+        all.sort_by(|a, b| b.priority.cmp(&a.priority).then(a.seq.cmp(&b.seq)));
+        all.truncate(max);
+        all
+    }
+
+    /// Number of pending notifications for `user`.
+    pub fn pending_for(&self, user: UserId) -> usize {
+        self.state
+            .lock()
+            .pending
+            .get(&user)
+            .map_or(0, VecDeque::len)
+    }
+
+    /// Total pending notifications across users.
+    pub fn pending_total(&self) -> usize {
+        self.state.lock().pending.values().map(VecDeque::len).sum()
+    }
+
+    /// Users with at least one pending notification.
+    pub fn users_with_pending(&self) -> Vec<UserId> {
+        self.state
+            .lock()
+            .pending
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(u, _)| *u)
+            .collect()
+    }
+
+    /// Rewrites the WAL to contain only the currently pending notifications,
+    /// dropping acknowledged events and ack records. Returns the number of
+    /// records written. The rewrite goes through a temp file + atomic rename
+    /// so a crash mid-compaction leaves either the old or the new log intact.
+    /// No-op (returning 0) for in-memory queues.
+    pub fn compact(&self) -> std::io::Result<usize> {
+        let Some(path) = &self.path else {
+            return Ok(0);
+        };
+        // Hold both locks across the swap so no append interleaves.
+        let state = self.state.lock();
+        let mut wal = self.wal.lock();
+        let tmp = path.with_extension("compact");
+        let mut written = 0usize;
+        {
+            let mut f = File::create(&tmp)?;
+            for q in state.pending.values() {
+                for n in q {
+                    let mut line =
+                        serde_json::to_string(&WalRecord::Event(n.clone())).expect("serialize");
+                    line.push('\n');
+                    f.write_all(line.as_bytes())?;
+                    written += 1;
+                }
+            }
+            f.flush()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        *wal = Some(OpenOptions::new().append(true).open(path)?);
+        Ok(written)
+    }
+
+    /// Current WAL size in bytes (0 for in-memory queues).
+    pub fn wal_bytes(&self) -> u64 {
+        self.path
+            .as_ref()
+            .and_then(|p| std::fs::metadata(p).ok())
+            .map(|m| m.len())
+            .unwrap_or(0)
+    }
+
+    fn append(&self, rec: &WalRecord) -> std::io::Result<()> {
+        let mut wal = self.wal.lock();
+        if let Some(f) = wal.as_mut() {
+            let mut line = serde_json::to_string(rec).expect("WAL records serialize");
+            line.push('\n');
+            f.write_all(line.as_bytes())?;
+            f.flush()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn notif(user: u64, desc: &str) -> Notification {
+        Notification {
+            seq: 0,
+            user: UserId(user),
+            time: Timestamp::from_millis(1),
+            schema: AwarenessSchemaId(1),
+            schema_name: "AS".into(),
+            description: desc.into(),
+            process_schema: ProcessSchemaId(1),
+            process_instance: ProcessInstanceId(2),
+            int_info: Some(7),
+            str_info: None,
+            priority: Default::default(),
+        }
+    }
+
+    #[test]
+    fn in_memory_fifo_per_user() {
+        let q = DeliveryQueue::in_memory();
+        q.enqueue(notif(1, "a")).unwrap();
+        q.enqueue(notif(2, "b")).unwrap();
+        q.enqueue(notif(1, "c")).unwrap();
+        assert_eq!(q.pending_for(UserId(1)), 2);
+        assert_eq!(q.pending_for(UserId(2)), 1);
+        let got = q.fetch(UserId(1), 10);
+        assert_eq!(
+            got.iter().map(|n| n.description.as_str()).collect::<Vec<_>>(),
+            vec!["a", "c"]
+        );
+        assert_eq!(got[0].seq, 1);
+        assert_eq!(got[1].seq, 3);
+        assert_eq!(q.users_with_pending(), vec![UserId(1), UserId(2)]);
+    }
+
+    #[test]
+    fn fetch_does_not_remove_ack_does() {
+        let q = DeliveryQueue::in_memory();
+        q.enqueue(notif(1, "a")).unwrap();
+        q.enqueue(notif(1, "b")).unwrap();
+        assert_eq!(q.fetch(UserId(1), 1).len(), 1);
+        assert_eq!(q.pending_for(UserId(1)), 2, "fetch is non-destructive");
+        assert_eq!(q.ack(UserId(1), 1).unwrap(), 1);
+        assert_eq!(q.pending_for(UserId(1)), 1);
+        assert_eq!(q.fetch(UserId(1), 10)[0].description, "b");
+    }
+
+    #[test]
+    fn durable_queue_survives_restart() {
+        let dir = std::env::temp_dir().join(format!("cmi-q-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal-restart.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        {
+            let q = DeliveryQueue::open(&path).unwrap();
+            q.enqueue(notif(1, "a")).unwrap();
+            q.enqueue(notif(1, "b")).unwrap();
+            q.enqueue(notif(2, "c")).unwrap();
+            q.ack(UserId(1), 1).unwrap();
+        } // "crash"
+
+        let q = DeliveryQueue::open(&path).unwrap();
+        assert_eq!(q.pending_for(UserId(1)), 1, "acked one gone, other kept");
+        assert_eq!(q.fetch(UserId(1), 10)[0].description, "b");
+        assert_eq!(q.pending_for(UserId(2)), 1);
+        // Sequence numbers continue after the recovered maximum.
+        let s = q.enqueue(notif(3, "d")).unwrap();
+        assert_eq!(s, 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_trailing_line_is_dropped() {
+        let dir = std::env::temp_dir().join(format!("cmi-q-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal-torn.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let q = DeliveryQueue::open(&path).unwrap();
+            q.enqueue(notif(1, "a")).unwrap();
+        }
+        // Simulate a torn append.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"kind\":\"event\",\"seq\":99,").unwrap();
+        }
+        let q = DeliveryQueue::open(&path).unwrap();
+        assert_eq!(q.pending_for(UserId(1)), 1);
+        assert_eq!(q.fetch(UserId(1), 10)[0].description, "a");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_shrinks_wal_and_preserves_pending() {
+        let dir = std::env::temp_dir().join(format!("cmi-q-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal-compact.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let q = DeliveryQueue::open(&path).unwrap();
+        for i in 0..50 {
+            q.enqueue(notif(1 + i % 2, &format!("n{i}"))).unwrap();
+        }
+        q.ack(UserId(1), 40).unwrap();
+        q.ack(UserId(2), 30).unwrap();
+        let before = q.wal_bytes();
+        let kept = q.compact().unwrap();
+        assert_eq!(kept, q.pending_total());
+        assert!(q.wal_bytes() < before, "compaction shrinks the log");
+
+        // Pending state is unchanged, appends keep working, and the
+        // compacted log recovers identically.
+        let pending_user2: Vec<String> = q
+            .fetch(UserId(2), 100)
+            .into_iter()
+            .map(|n| n.description)
+            .collect();
+        q.enqueue(notif(2, "after-compact")).unwrap();
+        drop(q);
+        let q = DeliveryQueue::open(&path).unwrap();
+        let recovered: Vec<String> = q
+            .fetch(UserId(2), 100)
+            .into_iter()
+            .map(|n| n.description)
+            .collect();
+        assert_eq!(&recovered[..recovered.len() - 1], &pending_user2[..]);
+        assert_eq!(recovered.last().map(String::as_str), Some("after-compact"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compact_is_noop_in_memory() {
+        let q = DeliveryQueue::in_memory();
+        q.enqueue(notif(1, "a")).unwrap();
+        assert_eq!(q.compact().unwrap(), 0);
+        assert_eq!(q.wal_bytes(), 0);
+        assert_eq!(q.pending_for(UserId(1)), 1);
+    }
+
+    #[test]
+    fn ack_is_idempotent_and_monotonic() {
+        let q = DeliveryQueue::in_memory();
+        q.enqueue(notif(1, "a")).unwrap();
+        q.enqueue(notif(1, "b")).unwrap();
+        assert_eq!(q.ack(UserId(1), 2).unwrap(), 2);
+        assert_eq!(q.ack(UserId(1), 2).unwrap(), 0);
+        assert_eq!(q.ack(UserId(1), 1).unwrap(), 0, "lower ack is a no-op");
+        assert_eq!(q.pending_total(), 0);
+    }
+}

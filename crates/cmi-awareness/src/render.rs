@@ -1,0 +1,129 @@
+//! Textual rendering of awareness schemas — the Fig. 6 view.
+//!
+//! The CMI awareness specification tool draws operators as boxes, primitive
+//! event sources as diamonds, and event connections as lines. This renderer
+//! produces the same content as a tree rooted at the output operator, with
+//! slot numbers on the edges and diamonds (`◇`) marking producer leaves.
+//! Nodes consumed by more than one operator are rendered at each consumer
+//! and tagged `(shared)`.
+
+use cmi_events::spec::{NodeId, SpecNode};
+
+use crate::schema::AwarenessSchema;
+
+/// Renders the complete awareness schema: the description DAG plus the
+/// delivery role and role assignment carried by the output operator.
+pub fn render_schema(schema: &AwarenessSchema) -> String {
+    let mut out = format!(
+        "awareness schema `{}` on process {}\n",
+        schema.name, schema.process
+    );
+    out.push_str(&format!(
+        "  deliver to : {}   assign: {}   priority: {}\n",
+        schema.delivery_role, schema.assignment, schema.priority
+    ));
+    out.push_str(&format!("  describes  : {}\n", schema.event_description));
+    out.push_str("  awareness description (DAG):\n");
+    let nodes = schema.description.nodes();
+    // Count consumers to tag shared nodes.
+    let mut consumer_count = vec![0usize; nodes.len()];
+    for n in nodes {
+        if let SpecNode::Operator { inputs, .. } = n {
+            for i in inputs {
+                consumer_count[i.index()] += 1;
+            }
+        }
+    }
+    render_node(
+        &mut out,
+        nodes,
+        &consumer_count,
+        schema.description.root(),
+        "    ",
+        None,
+        true,
+    );
+    out
+}
+
+fn render_node(
+    out: &mut String,
+    nodes: &[SpecNode],
+    consumers: &[usize],
+    node: NodeId,
+    prefix: &str,
+    slot: Option<usize>,
+    last: bool,
+) {
+    let n = &nodes[node.index()];
+    let connector = if slot.is_none() {
+        String::new()
+    } else if last {
+        "└─".to_owned()
+    } else {
+        "├─".to_owned()
+    };
+    let slot_label = slot.map_or(String::new(), |s| format!("[{}] ", s + 1));
+    let shape = match n {
+        SpecNode::Producer(_) => format!("◇ {}", n.label()),
+        SpecNode::Operator { .. } => format!("[ {} ]", n.label()),
+    };
+    let shared = if consumers[node.index()] > 1 {
+        "  (shared)"
+    } else {
+        ""
+    };
+    out.push_str(&format!("{prefix}{connector}{slot_label}{shape}{shared}\n"));
+    if let SpecNode::Operator { inputs, .. } = n {
+        let child_prefix = if slot.is_none() {
+            format!("{prefix}  ")
+        } else if last {
+            format!("{prefix}    ")
+        } else {
+            format!("{prefix}│   ")
+        };
+        for (i, input) in inputs.iter().enumerate() {
+            render_node(
+                out,
+                nodes,
+                consumers,
+                *input,
+                &child_prefix,
+                Some(i),
+                i + 1 == inputs.len(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::deadline_violation_schema;
+    use cmi_core::ids::{AwarenessSchemaId, ProcessSchemaId};
+
+    #[test]
+    fn renders_the_figure_6_schema() {
+        let s = deadline_violation_schema(AwarenessSchemaId(1), ProcessSchemaId(3));
+        let out = render_schema(&s);
+        // Structure of Fig. 6: output atop Compare2 atop two context filters
+        // sharing the context event diamond.
+        assert!(out.contains("deliver to : InfoRequestContext.Requestor"));
+        assert!(out.contains("assign: identity"));
+        assert!(out.contains("priority: normal"));
+        assert!(out.contains("[ Output[as3] ]"));
+        assert!(out.contains("[ Compare2[as3, <=] ]"));
+        assert!(out.contains("TaskForceContext, TaskForceDeadline"));
+        assert!(out.contains("InfoRequestContext, RequestDeadline"));
+        assert!(out.contains("◇ Context Event  (shared)"));
+        // Slot labels on the compare edges.
+        assert!(out.contains("├─[1]"));
+        assert!(out.contains("└─[2]"));
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let s = deadline_violation_schema(AwarenessSchemaId(1), ProcessSchemaId(3));
+        assert_eq!(render_schema(&s), render_schema(&s));
+    }
+}

@@ -1,0 +1,75 @@
+//! Awareness schemas `AS_P = (AD_P, R_P, RA_P)` (§5).
+//!
+//! An awareness schema on process schema `P` is a triplet of:
+//!
+//! * **`AD_P`** — an *awareness description*: a composite event specification
+//!   over event sources visible in `P` (a [`CompositeEventSpec`] whose root
+//!   is the implementation's output operator, §6.2);
+//! * **`R_P`** — an *awareness delivery role*: a role visible in the scope of
+//!   `P`, resolved **at composite event detection time** to the candidate
+//!   recipients. It may be a global organizational role or a scoped role;
+//!   awareness roles need not coincide with coordination roles;
+//! * **`RA_P`** — an *awareness role assignment*: a function selecting the
+//!   subset of the resolved candidates who actually receive the information.
+
+use cmi_core::ids::{AwarenessSchemaId, ProcessSchemaId};
+use cmi_core::roles::RoleSpec;
+use cmi_events::spec::CompositeEventSpec;
+
+use crate::assignment::RoleAssignment;
+
+/// A complete awareness schema, ready for registration with the awareness
+/// engine.
+#[derive(Debug, Clone)]
+pub struct AwarenessSchema {
+    /// The schema's id.
+    pub id: AwarenessSchemaId,
+    /// The schema's name (e.g. `AS_InfoRequest`).
+    pub name: String,
+    /// `P` — the process schema the awareness description is over.
+    pub process: ProcessSchemaId,
+    /// `AD_P` — the awareness description DAG (root: output operator).
+    pub description: CompositeEventSpec,
+    /// `R_P` — the awareness delivery role, as a design-time role expression
+    /// bound at detection time against the detected event's process instance.
+    pub delivery_role: RoleSpec,
+    /// `RA_P` — the role assignment function.
+    pub assignment: RoleAssignment,
+    /// Human-readable description stamped onto delivered events.
+    pub event_description: String,
+    /// Delivery priority stamped on every notification (§6.5 future work).
+    pub priority: crate::queue::Priority,
+}
+
+impl AwarenessSchema {
+    /// Number of operator nodes in the awareness description (excluding
+    /// producer leaves).
+    pub fn operator_count(&self) -> usize {
+        self.description.operator_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::AwarenessSchemaBuilder;
+
+    #[test]
+    fn schema_carries_the_triplet() {
+        // Built through the builder (tested in depth there); here we check
+        // the triplet structure of the result.
+        let p = ProcessSchemaId(1);
+        let mut b = AwarenessSchemaBuilder::new(AwarenessSchemaId(1), "AS_Test", p);
+        let f = b.context_filter("C", "f").unwrap();
+        let schema = b
+            .deliver_to(f, RoleSpec::scoped("C", "Requestor"))
+            .describe("test event")
+            .build()
+            .unwrap();
+        assert_eq!(schema.process, p);
+        assert_eq!(schema.delivery_role, RoleSpec::scoped("C", "Requestor"));
+        assert_eq!(schema.assignment, RoleAssignment::Identity);
+        assert_eq!(schema.operator_count(), 2, "filter + output");
+        assert_eq!(schema.event_description, "test event");
+    }
+}

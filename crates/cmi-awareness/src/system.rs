@@ -1,0 +1,429 @@
+//! The CMI server assembly — the run-time architecture of Fig. 5.
+//!
+//! A [`CmiServer`] wires together the CORE engine (schema repository,
+//! instance store, context store, directory), the Coordination engine
+//! (enactment + worklist), and the Awareness engine (detector + delivery
+//! agents + persistent queue), with event source agents connecting them.
+//! Clients are the worklist (participants), the awareness viewer
+//! (participants), and the specification APIs/DSL (designers).
+
+use std::path::Path;
+use std::sync::Arc;
+
+use cmi_core::context::ContextManager;
+use cmi_core::instance::InstanceStore;
+use cmi_core::participant::Directory;
+use cmi_core::repository::SchemaRepository;
+use cmi_core::time::{SimClock, Timestamp};
+use cmi_core::value::Value;
+use cmi_coord::engine::{EnactmentEngine, EngineConfig};
+use cmi_coord::worklist::Worklist;
+use cmi_events::producers::external_event;
+
+use crate::dsl;
+use crate::engine::{attach_event_sources, AwarenessEngine};
+use crate::queue::DeliveryQueue;
+use crate::schema::AwarenessSchema;
+use crate::viewer::AwarenessViewer;
+
+/// The external event source name carrying dependency status changes.
+pub const DEPENDENCY_STATUS_SOURCE: &str = "dependency-status";
+
+/// A fully wired CMI server.
+pub struct CmiServer {
+    clock: SimClock,
+    repository: Arc<SchemaRepository>,
+    directory: Arc<Directory>,
+    contexts: Arc<ContextManager>,
+    store: Arc<InstanceStore>,
+    coordination: Arc<EnactmentEngine>,
+    awareness: Arc<AwarenessEngine>,
+    next_awareness_id: parking_lot::Mutex<u64>,
+}
+
+impl CmiServer {
+    /// Boots a server with an in-memory delivery queue.
+    pub fn new() -> Self {
+        Self::with_queue(Arc::new(DeliveryQueue::in_memory()))
+    }
+
+    /// Boots a server whose delivery queue is durable at `path`.
+    pub fn with_durable_queue(path: &Path) -> std::io::Result<Self> {
+        Ok(Self::with_queue(Arc::new(DeliveryQueue::open(path)?)))
+    }
+
+    fn with_queue(queue: Arc<DeliveryQueue>) -> Self {
+        let clock = SimClock::new();
+        let clock_arc: Arc<dyn cmi_core::time::Clock> = Arc::new(clock.clone());
+        let repository = Arc::new(SchemaRepository::new());
+        let directory = Arc::new(Directory::new());
+        let contexts = Arc::new(ContextManager::new(clock_arc.clone()));
+        let store = Arc::new(InstanceStore::new(clock_arc.clone(), repository.clone()));
+        let coordination = Arc::new(EnactmentEngine::new(
+            store.clone(),
+            contexts.clone(),
+            directory.clone(),
+            clock_arc,
+            EngineConfig::default(),
+        ));
+        let awareness = Arc::new(AwarenessEngine::new(
+            directory.clone(),
+            contexts.clone(),
+            queue,
+        ));
+        attach_event_sources(&awareness, &store, &contexts);
+        // Dependency status changes (§5's third awareness event class) are
+        // published to the awareness engine as external events on the
+        // `dependency-status` source, related to their process instance.
+        {
+            let aw = awareness.clone();
+            let clk = clock.clone();
+            coordination.subscribe_dependencies(Arc::new(move |dep| {
+                let t = cmi_core::time::Clock::now(&clk);
+                aw.ingest(&external_event(
+                    DEPENDENCY_STATUS_SOURCE,
+                    t,
+                    vec![
+                        (
+                            "processSchemaId".to_owned(),
+                            Value::Id(dep.process_schema.raw()),
+                        ),
+                        (
+                            "processInstanceId".to_owned(),
+                            Value::Id(dep.process_instance.raw()),
+                        ),
+                        (
+                            "dependencyType".to_owned(),
+                            Value::from(dep.dependency_type),
+                        ),
+                        ("targetVar".to_owned(), Value::Id(dep.target.raw())),
+                        ("targetName".to_owned(), Value::from(dep.target_name.as_str())),
+                    ],
+                ));
+            }));
+        }
+        // Reactive guard routing: a context-field change re-evaluates the
+        // dependencies of every process instance the context is attached to,
+        // so `Guard` dependencies enable activities the moment their
+        // condition becomes true (no manual `route` call needed). A weak
+        // reference avoids the Arc cycle contexts → listener → coordination.
+        {
+            let coord = std::sync::Arc::downgrade(&coordination);
+            contexts.subscribe(Arc::new(move |change| {
+                if let Some(coord) = coord.upgrade() {
+                    for &(_, pi) in &change.processes {
+                        let _ = coord.route(pi);
+                    }
+                }
+            }));
+        }
+        CmiServer {
+            clock,
+            repository,
+            directory,
+            contexts,
+            store,
+            coordination,
+            awareness,
+            next_awareness_id: parking_lot::Mutex::new(1),
+        }
+    }
+
+    /// The scenario clock (advance it to simulate the passage of time).
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+    /// The schema repository (designer API).
+    pub fn repository(&self) -> &Arc<SchemaRepository> {
+        &self.repository
+    }
+    /// The participant directory.
+    pub fn directory(&self) -> &Arc<Directory> {
+        &self.directory
+    }
+    /// The context store.
+    pub fn contexts(&self) -> &Arc<ContextManager> {
+        &self.contexts
+    }
+    /// The instance store.
+    pub fn store(&self) -> &Arc<InstanceStore> {
+        &self.store
+    }
+    /// The coordination engine.
+    pub fn coordination(&self) -> &Arc<EnactmentEngine> {
+        &self.coordination
+    }
+    /// The awareness engine.
+    pub fn awareness(&self) -> &Arc<AwarenessEngine> {
+        &self.awareness
+    }
+
+    /// A worklist client.
+    pub fn worklist(&self) -> Worklist {
+        Worklist::new(self.coordination.clone())
+    }
+
+    /// An awareness viewer client for `user` (signs them on).
+    pub fn viewer(&self, user: cmi_core::ids::UserId) -> cmi_core::error::CoreResult<AwarenessViewer> {
+        AwarenessViewer::sign_on(
+            self.awareness.queue().clone(),
+            self.directory.clone(),
+            user,
+        )
+    }
+
+    /// Registers an awareness schema built through the builder API.
+    pub fn register_awareness(&self, schema: AwarenessSchema) {
+        self.awareness.register(schema);
+    }
+
+    /// Allocates a fresh awareness schema id.
+    pub fn fresh_awareness_id(&self) -> cmi_core::ids::AwarenessSchemaId {
+        let mut g = self.next_awareness_id.lock();
+        let id = cmi_core::ids::AwarenessSchemaId(*g);
+        *g += 1;
+        id
+    }
+
+    /// Parses awareness specification source (the designer DSL) and
+    /// registers every schema it declares. Returns how many were registered.
+    pub fn load_awareness_source(&self, src: &str) -> Result<usize, dsl::DslError> {
+        let mut next = self.next_awareness_id.lock();
+        let schemas = dsl::parse(src, &self.repository, &mut next)?;
+        drop(next);
+        let n = schemas.len();
+        for s in schemas {
+            self.awareness.register(s);
+        }
+        Ok(n)
+    }
+
+    /// Injects an application-specific external event (e.g. the news
+    /// service of §5.1.1) into awareness processing.
+    pub fn external_event(
+        &self,
+        source: &str,
+        fields: impl IntoIterator<Item = (String, Value)>,
+    ) -> usize {
+        let t: Timestamp = cmi_core::time::Clock::now(&self.clock);
+        self.awareness
+            .ingest(&external_event(source, t, fields))
+            .len()
+    }
+
+    /// Renders the component wiring of Fig. 5 with live statistics.
+    pub fn architecture_diagram(&self) -> String {
+        let topo = self.awareness.topology();
+        let stats = self.awareness.stats();
+        format!(
+            "CMI Enactment System\n\
+             ├─ CORE Engine\n\
+             │    schema repository : {} activity schemas\n\
+             │    instance store    : {} instances\n\
+             │    context store     : {} contexts ({} live)\n\
+             │    directory         : {} participants, {} org roles\n\
+             ├─ Coordination Engine (WfMS substrate)\n\
+             │    scripts           : {} basic activity scripts\n\
+             ├─ Service Engine      : (attach cmi-service::ServiceEngine; violations feed awareness)\n\
+             └─ Awareness Engine (CEDMOS)\n\
+                  event source agents: activity + context (wired)\n\
+                  detector agent     : {} nodes ({} shared), {} awareness schemas\n\
+                  delivery agent     : {} detections, {} notifications\n\
+                  persistent queue   : {} pending\n\
+             Clients\n\
+             ├─ Participants: worklist, monitor (instance snapshots), awareness viewer\n\
+             └─ Designers  : process schemas (builder), awareness specs (builder + DSL)\n",
+            self.repository.activity_schema_count(),
+            self.store.instance_count(),
+            self.contexts.context_count(),
+            self.contexts.live_contexts().len(),
+            self.directory.participant_count(),
+            self.directory.role_count(),
+            self.coordination.script_count(),
+            topo.nodes,
+            topo.shared_nodes,
+            self.awareness.schema_count(),
+            stats.detections,
+            stats.notifications,
+            self.awareness.queue().pending_total(),
+        )
+    }
+}
+
+impl Default for CmiServer {
+    fn default() -> Self {
+        CmiServer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_core::schema::ActivitySchemaBuilder;
+    use cmi_core::state_schema::{generic, ActivityStateSchema};
+    use cmi_coord::scripts::{ActivityScript, MemberSource, ScriptAction, ScriptValue};
+    use cmi_core::time::Duration;
+
+    /// End-to-end: process enactment drives awareness delivery through the
+    /// full server, §5.4 style.
+    #[test]
+    fn full_stack_deadline_violation() {
+        let server = CmiServer::new();
+        let repo = server.repository();
+        let leader = server.directory().add_user("crisis-leader");
+        let member = server.directory().add_user("member");
+
+        // Schemas: InfoRequest subprocess inside TaskForce process.
+        let ss = repo
+            .register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+        let gather = repo.fresh_activity_schema_id();
+        repo.register_activity_schema(
+            ActivitySchemaBuilder::basic(gather, "Gather", ss.clone())
+                .build()
+                .unwrap(),
+        );
+        let info_req = repo.fresh_activity_schema_id();
+        let mut ib = ActivitySchemaBuilder::process(info_req, "InfoRequest", ss.clone());
+        ib.activity_var("gather", gather, false).unwrap();
+        repo.register_activity_schema(ib.build().unwrap());
+        let task_force = repo.fresh_activity_schema_id();
+        let mut tb = ActivitySchemaBuilder::process(task_force, "TaskForce", ss);
+        tb.activity_var("request", info_req, true).unwrap();
+        repo.register_activity_schema(tb.build().unwrap());
+
+        // Scripts: task force creates its context; the info request creates
+        // its own with the Requestor scoped role.
+        server.coordination().register_script(
+            task_force,
+            generic::RUNNING,
+            ActivityScript::new(
+                "tf-init",
+                vec![
+                    ScriptAction::CreateContext {
+                        name: "TaskForceContext".into(),
+                    },
+                    ScriptAction::SetField {
+                        context: "TaskForceContext".into(),
+                        field: "TaskForceDeadline".into(),
+                        value: ScriptValue::NowPlus(Duration::from_days(5)),
+                    },
+                ],
+            ),
+        );
+        server.coordination().register_script(
+            info_req,
+            generic::RUNNING,
+            ActivityScript::new(
+                "ir-init",
+                vec![
+                    ScriptAction::CreateContext {
+                        name: "InfoRequestContext".into(),
+                    },
+                    ScriptAction::CreateRole {
+                        context: "InfoRequestContext".into(),
+                        role: "Requestor".into(),
+                        members: MemberSource::TriggeringUser,
+                    },
+                    ScriptAction::SetField {
+                        context: "InfoRequestContext".into(),
+                        field: "RequestDeadline".into(),
+                        value: ScriptValue::NowPlus(Duration::from_days(3)),
+                    },
+                ],
+            ),
+        );
+
+        // Awareness spec via DSL. Note: the spec is on InfoRequest; both
+        // contexts must be visible to it, so the TaskForceContext is
+        // attached to the request instance below (the paper: "this context
+        // would be passed to the information request subprocess").
+        let n = server
+            .load_awareness_source(
+                r#"
+                awareness "AS_InfoRequest" on "InfoRequest" {
+                    op1  = context_filter(TaskForceContext, TaskForceDeadline)
+                    op2  = context_filter(InfoRequestContext, RequestDeadline)
+                    viol = compare2(<=, op1, op2)
+                    deliver viol to scoped(InfoRequestContext, Requestor)
+                    describe "task force deadline moved before the request deadline"
+                }
+                "#,
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+
+        // Enact: leader starts the task force; member makes an info request.
+        let tf = server.coordination().start_process(task_force, Some(leader)).unwrap();
+        let req = server
+            .coordination()
+            .start_optional(tf, "request", Some(member))
+            .unwrap();
+        // Pass the task force context to the subprocess (schema-level
+        // context visibility), then stamp the deadline *after* attachment so
+        // the filter (relative to InfoRequest) sees it.
+        let tf_ctx = server.contexts().find("TaskForceContext", tf).unwrap();
+        server.contexts().attach(tf_ctx, (info_req, req)).unwrap();
+        server
+            .contexts()
+            .set_field(
+                tf_ctx,
+                "TaskForceDeadline",
+                Value::Time(cmi_core::time::Clock::now(server.clock()).plus(Duration::from_days(5))),
+            )
+            .unwrap();
+
+        let viewer = server.viewer(member).unwrap();
+        assert_eq!(viewer.unread(), 0, "no violation yet: 5d > 3d");
+
+        // The leader moves the task force deadline to 2 days.
+        server
+            .contexts()
+            .set_field(
+                tf_ctx,
+                "TaskForceDeadline",
+                Value::Time(cmi_core::time::Clock::now(server.clock()).plus(Duration::from_days(2))),
+            )
+            .unwrap();
+        assert_eq!(viewer.unread(), 1);
+        let batch = viewer.take(10);
+        assert!(batch[0].description.contains("deadline"));
+        assert_eq!(batch[0].user, member);
+        // The leader (not the requestor) receives nothing.
+        assert_eq!(server.awareness().queue().pending_for(leader), 0);
+
+        // Architecture diagram reflects the live system.
+        let diagram = server.architecture_diagram();
+        assert!(diagram.contains("Awareness Engine"));
+        assert!(diagram.contains("1 awareness schemas"));
+    }
+
+    #[test]
+    fn external_events_flow_through_server() {
+        let server = CmiServer::new();
+        let repo = server.repository();
+        let ss = repo
+            .register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+        let pid = repo.fresh_activity_schema_id();
+        let pb = ActivitySchemaBuilder::process(pid, "Watch", ss);
+        repo.register_activity_schema(pb.build().unwrap());
+        let u = server.directory().add_user("analyst");
+        let r = server.directory().add_role("analysts").unwrap();
+        server.directory().assign(u, r).unwrap();
+        server
+            .load_awareness_source(
+                r#"
+                awareness "news" on Watch {
+                    hit = external(news-service, queryId)
+                    deliver hit to org(analysts)
+                }
+                "#,
+            )
+            .unwrap();
+        let delivered = server.external_event(
+            "news-service",
+            vec![("queryId".to_owned(), Value::Id(3))],
+        );
+        assert_eq!(delivered, 1);
+        assert_eq!(server.awareness().queue().pending_for(u), 1);
+    }
+}

@@ -1,0 +1,286 @@
+//! The awareness information viewer — the participant-side client (§6.5).
+//!
+//! "The awareness information viewer in the CMI Client for Participants is
+//! responsible for registering an interest in the event queue for its user,
+//! retrieving event information, and displaying it to him."
+
+use std::sync::Arc;
+
+use cmi_core::ids::UserId;
+use cmi_core::participant::Directory;
+
+use crate::queue::{DeliveryQueue, Notification};
+
+/// One aggregated line of the viewer's digest: all pending notifications of
+/// one awareness schema about one process instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestEntry {
+    /// The awareness schema's name.
+    pub schema_name: String,
+    /// The (most recent) event description.
+    pub description: String,
+    /// The process instance the events are about.
+    pub process_instance: cmi_core::ids::ProcessInstanceId,
+    /// How many pending notifications were aggregated.
+    pub count: usize,
+    /// Time of the most recent one.
+    pub latest: cmi_core::time::Timestamp,
+    /// Highest priority among them.
+    pub max_priority: crate::queue::Priority,
+}
+
+/// A per-participant viewer session over the delivery queue.
+pub struct AwarenessViewer {
+    queue: Arc<DeliveryQueue>,
+    directory: Arc<Directory>,
+    user: UserId,
+}
+
+impl AwarenessViewer {
+    /// Opens a viewer for `user` and signs them on (awareness assignment
+    /// functions may consult the signed-on flag).
+    pub fn sign_on(
+        queue: Arc<DeliveryQueue>,
+        directory: Arc<Directory>,
+        user: UserId,
+    ) -> cmi_core::error::CoreResult<Self> {
+        directory.set_signed_on(user, true)?;
+        Ok(AwarenessViewer {
+            queue,
+            directory,
+            user,
+        })
+    }
+
+    /// The viewing user.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// Retrieves up to `max` pending notifications without consuming them.
+    pub fn peek(&self, max: usize) -> Vec<Notification> {
+        self.queue.fetch(self.user, max)
+    }
+
+    /// Retrieves and acknowledges up to `max` notifications; acknowledged
+    /// notifications never reappear, even across engine restarts. The user's
+    /// load figure drops accordingly.
+    pub fn take(&self, max: usize) -> Vec<Notification> {
+        let batch = self.queue.fetch(self.user, max);
+        if let Some(last) = batch.last() {
+            let _ = self.queue.ack(self.user, last.seq);
+            let _ = self
+                .directory
+                .adjust_load(self.user, -(batch.len() as i32));
+        }
+        batch
+    }
+
+    /// Retrieves and acknowledges up to `max` notifications in **priority
+    /// order** (high first, then oldest). Uses exact acknowledgement so
+    /// lower-priority items left behind are not lost.
+    pub fn take_prioritized(&self, max: usize) -> Vec<Notification> {
+        let batch = self.queue.fetch_prioritized(self.user, max);
+        if !batch.is_empty() {
+            let seqs: Vec<u64> = batch.iter().map(|n| n.seq).collect();
+            let _ = self.queue.ack_exact(self.user, &seqs);
+            let _ = self
+                .directory
+                .adjust_load(self.user, -(batch.len() as i32));
+        }
+        batch
+    }
+
+    /// Aggregates the pending notifications into a digest: one entry per
+    /// (awareness schema, process instance), with the count, the most recent
+    /// time and the highest priority (§6.5's "event aggregation"). Does not
+    /// consume anything.
+    pub fn digest(&self) -> Vec<DigestEntry> {
+        let mut map: std::collections::BTreeMap<
+            (cmi_core::ids::AwarenessSchemaId, cmi_core::ids::ProcessInstanceId),
+            DigestEntry,
+        > = std::collections::BTreeMap::new();
+        for n in self.queue.fetch(self.user, usize::MAX) {
+            let e = map
+                .entry((n.schema, n.process_instance))
+                .or_insert_with(|| DigestEntry {
+                    schema_name: n.schema_name.clone(),
+                    description: n.description.clone(),
+                    process_instance: n.process_instance,
+                    count: 0,
+                    latest: n.time,
+                    max_priority: n.priority,
+                });
+            e.count += 1;
+            e.latest = e.latest.max(n.time);
+            e.max_priority = e.max_priority.max(n.priority);
+            e.description = n.description.clone(); // most recent wording
+        }
+        map.into_values().collect()
+    }
+
+    /// Number of unread notifications.
+    pub fn unread(&self) -> usize {
+        self.queue.pending_for(self.user)
+    }
+
+    /// Renders a notification the way the viewer displays it. High-priority
+    /// notifications carry a `(!)` marker.
+    pub fn render(n: &Notification) -> String {
+        let marker = if n.priority == crate::queue::Priority::High {
+            "(!) "
+        } else {
+            ""
+        };
+        let mut s = format!(
+            "{marker}[{}] {} — {} (process {} / instance {})",
+            n.time, n.schema_name, n.description, n.process_schema, n.process_instance
+        );
+        if let Some(i) = n.int_info {
+            s.push_str(&format!(" [value: {i}]"));
+        }
+        if let Some(t) = &n.str_info {
+            s.push_str(&format!(" [{t}]"));
+        }
+        s
+    }
+
+    /// Signs the user off.
+    pub fn sign_off(self) {
+        let _ = self.directory.set_signed_on(self.user, false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_core::ids::{AwarenessSchemaId, ProcessInstanceId, ProcessSchemaId};
+    use cmi_core::time::Timestamp;
+
+    fn notif(user: UserId, seq_hint: &str) -> Notification {
+        Notification {
+            seq: 0,
+            user,
+            time: Timestamp::from_millis(1500),
+            schema: AwarenessSchemaId(1),
+            schema_name: "AS_InfoRequest".into(),
+            description: seq_hint.into(),
+            process_schema: ProcessSchemaId(1),
+            process_instance: ProcessInstanceId(2),
+            int_info: Some(42),
+            str_info: Some("positive".into()),
+            priority: crate::queue::Priority::Normal,
+        }
+    }
+
+    #[test]
+    fn sign_on_take_and_ack_cycle() {
+        let q = Arc::new(DeliveryQueue::in_memory());
+        let d = Arc::new(Directory::new());
+        let u = d.add_user("alice");
+        d.set_load(u, 2).unwrap();
+        q.enqueue(notif(u, "first")).unwrap();
+        q.enqueue(notif(u, "second")).unwrap();
+
+        let v = AwarenessViewer::sign_on(q.clone(), d.clone(), u).unwrap();
+        assert!(d.participant(u).unwrap().signed_on);
+        assert_eq!(v.unread(), 2);
+        assert_eq!(v.peek(10).len(), 2);
+        assert_eq!(v.unread(), 2, "peek does not consume");
+
+        let got = v.take(1);
+        assert_eq!(got[0].description, "first");
+        assert_eq!(v.unread(), 1);
+        assert_eq!(d.participant(u).unwrap().load, 1, "load decremented");
+
+        let got = v.take(10);
+        assert_eq!(got[0].description, "second");
+        assert_eq!(v.unread(), 0);
+
+        v.sign_off();
+        assert!(!d.participant(u).unwrap().signed_on);
+    }
+
+    #[test]
+    fn take_on_empty_queue_is_noop() {
+        let q = Arc::new(DeliveryQueue::in_memory());
+        let d = Arc::new(Directory::new());
+        let u = d.add_user("bob");
+        let v = AwarenessViewer::sign_on(q, d, u).unwrap();
+        assert!(v.take(5).is_empty());
+    }
+
+    #[test]
+    fn prioritized_take_serves_high_first_without_losing_low() {
+        let q = Arc::new(DeliveryQueue::in_memory());
+        let d = Arc::new(Directory::new());
+        let u = d.add_user("alice");
+        let mut low = notif(u, "routine");
+        low.priority = crate::queue::Priority::Low;
+        let mut high = notif(u, "deadline!");
+        high.priority = crate::queue::Priority::High;
+        q.enqueue(low).unwrap();
+        q.enqueue(notif(u, "normal")).unwrap();
+        q.enqueue(high).unwrap();
+
+        let v = AwarenessViewer::sign_on(q.clone(), d, u).unwrap();
+        let first = v.take_prioritized(1);
+        assert_eq!(first[0].description, "deadline!");
+        // The earlier, lower-priority items are still pending.
+        assert_eq!(v.unread(), 2);
+        let rest = v.take_prioritized(10);
+        assert_eq!(
+            rest.iter().map(|n| n.description.as_str()).collect::<Vec<_>>(),
+            vec!["normal", "routine"]
+        );
+        assert_eq!(v.unread(), 0);
+    }
+
+    #[test]
+    fn digest_groups_by_schema_and_instance() {
+        let q = Arc::new(DeliveryQueue::in_memory());
+        let d = Arc::new(Directory::new());
+        let u = d.add_user("alice");
+        for i in 0..3 {
+            let mut n = notif(u, &format!("update {i}"));
+            n.time = Timestamp::from_millis(i);
+            if i == 2 {
+                n.priority = crate::queue::Priority::High;
+            }
+            q.enqueue(n).unwrap();
+        }
+        let mut other = notif(u, "elsewhere");
+        other.process_instance = ProcessInstanceId(9);
+        q.enqueue(other).unwrap();
+
+        let v = AwarenessViewer::sign_on(q, d, u).unwrap();
+        let digest = v.digest();
+        assert_eq!(digest.len(), 2);
+        let main = digest.iter().find(|e| e.process_instance == ProcessInstanceId(2)).unwrap();
+        assert_eq!(main.count, 3);
+        assert_eq!(main.latest, Timestamp::from_millis(2));
+        assert_eq!(main.max_priority, crate::queue::Priority::High);
+        assert_eq!(main.description, "update 2");
+        assert_eq!(v.unread(), 4, "digest does not consume");
+    }
+
+    #[test]
+    fn render_marks_high_priority() {
+        let d = Directory::new();
+        let u = d.add_user("x");
+        let mut n = notif(u, "urgent");
+        n.priority = crate::queue::Priority::High;
+        assert!(AwarenessViewer::render(&n).starts_with("(!) "));
+    }
+
+    #[test]
+    fn render_shows_all_relevant_fields() {
+        let d = Directory::new();
+        let u = d.add_user("x");
+        let s = AwarenessViewer::render(&notif(u, "deadline moved"));
+        assert!(s.contains("AS_InfoRequest"));
+        assert!(s.contains("deadline moved"));
+        assert!(s.contains("[value: 42]"));
+        assert!(s.contains("[positive]"));
+    }
+}

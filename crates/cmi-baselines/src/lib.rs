@@ -1,0 +1,22 @@
+//! # cmi-baselines — related-work awareness baselines (§2)
+//!
+//! The paper positions CMI's Awareness Model against the awareness choices of
+//! existing technology: WfMS built-ins (workers see their worklist, managers
+//! monitor everything), InConcert-style condition→mail notification, and
+//! Elvin-style content-based publish/subscribe. This crate implements those
+//! baselines behind a common [`mechanism::AwarenessMechanism`] interface,
+//! plus the relevance [`metrics`] used to compare them with AM — making the
+//! paper's information-overload argument measurable (experiment EXP-OVL).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod mechanism;
+pub mod metrics;
+pub mod pubsub;
+pub mod simple;
+
+pub use mechanism::{info_id, replay, AwarenessMechanism, Delivery, TraceEvent};
+pub use metrics::{evaluate, GroundTruth, MechanismReport};
+pub use pubsub::{ElvinPubSub, Predicate, Subscription};
+pub use simple::{MailNotify, MailRule, MonitorAll, WorklistOnly};

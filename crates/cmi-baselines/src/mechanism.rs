@@ -1,0 +1,174 @@
+//! The common interface all awareness mechanisms implement, so CMI's AM and
+//! the related-work baselines of §2 can be evaluated head-to-head.
+//!
+//! A mechanism observes the same primitive event streams the AM sees
+//! (activity state changes, context field changes) and decides which
+//! *deliveries* — (recipient, information item) pairs — to make. The
+//! experiment harness replays one workload trace through every mechanism and
+//! scores the deliveries against ground-truth relevance (see
+//! [`crate::metrics`]).
+
+use cmi_core::context::ContextFieldChange;
+use cmi_core::ids::UserId;
+use cmi_core::instance::ActivityStateChange;
+use cmi_core::time::Timestamp;
+
+/// One piece of information delivered to one participant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Delivery {
+    /// The recipient.
+    pub user: UserId,
+    /// Canonical identity of the information item (see [`info_id`] helpers);
+    /// ground truth relevance is keyed on this.
+    pub info: String,
+    /// When it was delivered.
+    pub time: Timestamp,
+}
+
+/// Canonical information-item identifiers shared by all mechanisms and the
+/// ground-truth generator.
+pub mod info_id {
+    use cmi_core::context::ContextFieldChange;
+    use cmi_core::instance::ActivityStateChange;
+
+    /// Identity of an activity state change item.
+    pub fn activity(ev: &ActivityStateChange) -> String {
+        format!(
+            "activity:{}:{}->{}",
+            ev.activity_instance_id, ev.old_state, ev.new_state
+        )
+    }
+
+    /// Identity of a context field change item.
+    pub fn context(ev: &ContextFieldChange) -> String {
+        format!(
+            "context:{}:{}#{}",
+            ev.context_id,
+            ev.field_name,
+            ev.time.millis()
+        )
+    }
+}
+
+/// An awareness mechanism under evaluation.
+pub trait AwarenessMechanism: Send {
+    /// Mechanism name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Observes an activity state change, returning the deliveries it makes.
+    fn on_activity(&mut self, ev: &ActivityStateChange) -> Vec<Delivery>;
+
+    /// Observes a context field change, returning the deliveries it makes.
+    fn on_context(&mut self, ev: &ContextFieldChange) -> Vec<Delivery>;
+}
+
+/// Replays a recorded trace of primitive events through a mechanism,
+/// collecting every delivery.
+pub fn replay(
+    mechanism: &mut dyn AwarenessMechanism,
+    trace: &[TraceEvent],
+) -> Vec<Delivery> {
+    let mut out = Vec::new();
+    for ev in trace {
+        match ev {
+            TraceEvent::Activity(a) => out.extend(mechanism.on_activity(a)),
+            TraceEvent::Context(c) => out.extend(mechanism.on_context(c)),
+        }
+    }
+    out
+}
+
+/// One recorded primitive event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An activity state change.
+    Activity(ActivityStateChange),
+    /// A context field change.
+    Context(ContextFieldChange),
+}
+
+impl TraceEvent {
+    /// The canonical information-item id of the event.
+    pub fn info_id(&self) -> String {
+        match self {
+            TraceEvent::Activity(a) => info_id::activity(a),
+            TraceEvent::Context(c) => info_id::context(c),
+        }
+    }
+
+    /// Event time.
+    pub fn time(&self) -> Timestamp {
+        match self {
+            TraceEvent::Activity(a) => a.time,
+            TraceEvent::Context(c) => c.time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_core::ids::{ActivityInstanceId, ContextId};
+    use cmi_core::value::Value;
+
+    pub(crate) fn activity_ev(id: u64, old: &str, new: &str, t: u64) -> ActivityStateChange {
+        ActivityStateChange {
+            time: Timestamp::from_millis(t),
+            activity_instance_id: ActivityInstanceId(id),
+            parent_process_schema_id: None,
+            parent_process_instance_id: None,
+            user: None,
+            activity_var_id: None,
+            activity_process_schema_id: None,
+            old_state: old.into(),
+            new_state: new.into(),
+        }
+    }
+
+    #[test]
+    fn info_ids_are_stable_and_distinct() {
+        let a = activity_ev(5, "Ready", "Running", 1);
+        assert_eq!(info_id::activity(&a), "activity:ai5:Ready->Running");
+        let c = ContextFieldChange {
+            time: Timestamp::from_millis(9),
+            context_id: ContextId(3),
+            context_name: "C".into(),
+            processes: vec![],
+            field_name: "deadline".into(),
+            old_value: None,
+            new_value: Value::Int(1),
+        };
+        assert_eq!(info_id::context(&c), "context:cx3:deadline#9");
+        assert_eq!(TraceEvent::Context(c).time(), Timestamp::from_millis(9));
+    }
+
+    struct Echo(UserId);
+    impl AwarenessMechanism for Echo {
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+        fn on_activity(&mut self, ev: &ActivityStateChange) -> Vec<Delivery> {
+            vec![Delivery {
+                user: self.0,
+                info: info_id::activity(ev),
+                time: ev.time,
+            }]
+        }
+        fn on_context(&mut self, _: &ContextFieldChange) -> Vec<Delivery> {
+            vec![]
+        }
+    }
+
+    #[test]
+    fn replay_collects_deliveries_in_order() {
+        let trace = vec![
+            TraceEvent::Activity(activity_ev(1, "Ready", "Running", 1)),
+            TraceEvent::Activity(activity_ev(1, "Running", "Completed", 2)),
+        ];
+        let mut m = Echo(UserId(7));
+        let out = replay(&mut m, &trace);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].info.contains("Ready->Running"));
+        assert!(out[1].info.contains("Running->Completed"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Relevance metrics for awareness mechanisms.
+//!
+//! The paper's thesis (§1): "If given too little or improperly targeted
+//! information, users will act inappropriately or be less effective. With too
+//! much information, users must deal with an information overload." We score
+//! each mechanism's deliveries against a ground truth of which information
+//! items each participant actually needed:
+//!
+//! * **precision** — delivered ∧ relevant / delivered (1 − overload);
+//! * **recall** — delivered ∧ relevant / relevant (completeness);
+//! * **events per participant** — the raw attention cost.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cmi_core::ids::UserId;
+
+use crate::mechanism::Delivery;
+
+/// Which information items each participant needed.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    relevant: BTreeMap<UserId, BTreeSet<String>>,
+}
+
+impl GroundTruth {
+    /// Empty ground truth.
+    pub fn new() -> Self {
+        GroundTruth::default()
+    }
+
+    /// Marks `info` as relevant to `user`.
+    pub fn mark(&mut self, user: UserId, info: &str) {
+        self.relevant
+            .entry(user)
+            .or_default()
+            .insert(info.to_owned());
+    }
+
+    /// Total relevant (user, item) pairs.
+    pub fn relevant_pairs(&self) -> usize {
+        self.relevant.values().map(BTreeSet::len).sum()
+    }
+
+    /// Is `info` relevant to `user`?
+    pub fn is_relevant(&self, user: UserId, info: &str) -> bool {
+        self.relevant
+            .get(&user)
+            .is_some_and(|s| s.contains(info))
+    }
+}
+
+/// Scores for one mechanism on one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MechanismReport {
+    /// Mechanism name.
+    pub name: String,
+    /// Total deliveries made (duplicates to the same user collapse).
+    pub delivered: usize,
+    /// Deliveries that were relevant.
+    pub delivered_relevant: usize,
+    /// Relevant pairs that existed.
+    pub relevant_total: usize,
+    /// Number of participants considered.
+    pub participants: usize,
+}
+
+impl MechanismReport {
+    /// delivered ∧ relevant / delivered. 1.0 for an idle mechanism (it
+    /// delivered nothing irrelevant).
+    pub fn precision(&self) -> f64 {
+        if self.delivered == 0 {
+            1.0
+        } else {
+            self.delivered_relevant as f64 / self.delivered as f64
+        }
+    }
+
+    /// delivered ∧ relevant / relevant. 1.0 when nothing was relevant.
+    pub fn recall(&self) -> f64 {
+        if self.relevant_total == 0 {
+            1.0
+        } else {
+            self.delivered_relevant as f64 / self.relevant_total as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Average deliveries per participant — the attention cost.
+    pub fn events_per_participant(&self) -> f64 {
+        if self.participants == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.participants as f64
+        }
+    }
+}
+
+/// Evaluates a mechanism's deliveries against the ground truth. Duplicate
+/// (user, item) deliveries are collapsed — re-delivering the same item adds
+/// no information, and charging for it would conflate noise with volume.
+pub fn evaluate(
+    name: &str,
+    deliveries: &[Delivery],
+    truth: &GroundTruth,
+    participants: usize,
+) -> MechanismReport {
+    let unique: BTreeSet<(UserId, &str)> = deliveries
+        .iter()
+        .map(|d| (d.user, d.info.as_str()))
+        .collect();
+    let delivered_relevant = unique
+        .iter()
+        .filter(|(u, i)| truth.is_relevant(*u, i))
+        .count();
+    MechanismReport {
+        name: name.to_owned(),
+        delivered: unique.len(),
+        delivered_relevant,
+        relevant_total: truth.relevant_pairs(),
+        participants,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_core::time::Timestamp;
+
+    fn d(user: u64, info: &str) -> Delivery {
+        Delivery {
+            user: UserId(user),
+            info: info.to_owned(),
+            time: Timestamp::EPOCH,
+        }
+    }
+
+    #[test]
+    fn precision_recall_f1_basic() {
+        let mut t = GroundTruth::new();
+        t.mark(UserId(1), "a");
+        t.mark(UserId(1), "b");
+        t.mark(UserId(2), "a");
+        assert_eq!(t.relevant_pairs(), 3);
+
+        // User 1 got a (relevant) and x (noise); user 2 got nothing.
+        let r = evaluate("m", &[d(1, "a"), d(1, "x")], &t, 2);
+        assert_eq!(r.delivered, 2);
+        assert_eq!(r.delivered_relevant, 1);
+        assert!((r.precision() - 0.5).abs() < 1e-9);
+        assert!((r.recall() - 1.0 / 3.0).abs() < 1e-9);
+        assert!(r.f1() > 0.0 && r.f1() < 1.0);
+        assert_eq!(r.events_per_participant(), 1.0);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let mut t = GroundTruth::new();
+        t.mark(UserId(1), "a");
+        let r = evaluate("m", &[d(1, "a"), d(1, "a"), d(1, "a")], &t, 1);
+        assert_eq!(r.delivered, 1);
+        assert_eq!(r.precision(), 1.0);
+        assert_eq!(r.recall(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let t = GroundTruth::new();
+        let r = evaluate("idle", &[], &t, 0);
+        assert_eq!(r.precision(), 1.0);
+        assert_eq!(r.recall(), 1.0);
+        assert_eq!(r.events_per_participant(), 0.0);
+
+        let mut t = GroundTruth::new();
+        t.mark(UserId(1), "a");
+        let r = evaluate("silent", &[], &t, 1);
+        assert_eq!(r.recall(), 0.0);
+        assert_eq!(r.precision(), 1.0, "nothing irrelevant delivered");
+        assert_eq!(r.f1(), 0.0);
+    }
+
+    #[test]
+    fn relevance_is_per_user() {
+        let mut t = GroundTruth::new();
+        t.mark(UserId(1), "a");
+        // Same item delivered to the wrong user is noise.
+        let r = evaluate("m", &[d(2, "a")], &t, 2);
+        assert_eq!(r.delivered_relevant, 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Elvin-style content-based publish/subscribe (§2).
+//!
+//! "Elvin is a general publish/subscribe framework … subscriptions are done
+//! with content-based filtering, but no other form of customized event
+//! processing is performed." Each user registers subscriptions — predicates
+//! over the flattened attributes of a single event. There is **no**
+//! composition across events, no per-instance state, and no role indirection:
+//! when task-force membership changes, somebody has to rewrite the
+//! subscriptions by hand (the experiment harness exploits exactly this gap).
+
+use cmi_core::context::ContextFieldChange;
+use cmi_core::ids::UserId;
+use cmi_core::instance::ActivityStateChange;
+use cmi_core::value::Value;
+
+use crate::mechanism::{info_id, AwarenessMechanism, Delivery};
+
+/// One attribute predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Attribute exists.
+    Exists(String),
+    /// Attribute equals a value.
+    Eq(String, Value),
+    /// Attribute (numeric axis) is less than the constant.
+    Lt(String, i64),
+    /// Attribute (numeric axis) is greater than the constant.
+    Gt(String, i64),
+}
+
+impl Predicate {
+    fn matches(&self, attrs: &[(String, Value)]) -> bool {
+        let find = |name: &str| attrs.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        match self {
+            Predicate::Exists(k) => find(k).is_some(),
+            Predicate::Eq(k, v) => find(k) == Some(v),
+            Predicate::Lt(k, c) => find(k)
+                .and_then(Value::comparison_key)
+                .is_some_and(|x| x < *c),
+            Predicate::Gt(k, c) => find(k)
+                .and_then(Value::comparison_key)
+                .is_some_and(|x| x > *c),
+        }
+    }
+}
+
+/// A subscription: all predicates must match (conjunction), as in Elvin's
+/// subscription language.
+#[derive(Debug, Clone)]
+pub struct Subscription {
+    /// The subscribing user.
+    pub user: UserId,
+    /// The conjunction of predicates.
+    pub predicates: Vec<Predicate>,
+}
+
+/// The content-based pub/sub baseline.
+#[derive(Debug, Clone, Default)]
+pub struct ElvinPubSub {
+    subscriptions: Vec<Subscription>,
+}
+
+impl ElvinPubSub {
+    /// An empty broker.
+    pub fn new() -> Self {
+        ElvinPubSub::default()
+    }
+
+    /// Registers a subscription.
+    pub fn subscribe(&mut self, sub: Subscription) {
+        self.subscriptions.push(sub);
+    }
+
+    /// Removes every subscription of `user`.
+    pub fn unsubscribe_all(&mut self, user: UserId) {
+        self.subscriptions.retain(|s| s.user != user);
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.subscriptions.len()
+    }
+
+    fn deliver(&self, attrs: &[(String, Value)], info: String, time: cmi_core::time::Timestamp) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        for sub in &self.subscriptions {
+            if sub.predicates.iter().all(|p| p.matches(attrs)) {
+                out.push(Delivery {
+                    user: sub.user,
+                    info: info.clone(),
+                    time,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Flattens an activity event into pub/sub attributes.
+pub fn activity_attrs(ev: &ActivityStateChange) -> Vec<(String, Value)> {
+    let mut attrs = vec![
+        ("kind".to_owned(), Value::from("activity")),
+        ("instance".to_owned(), Value::Id(ev.activity_instance_id.raw())),
+        ("oldState".to_owned(), Value::from(ev.old_state.as_str())),
+        ("newState".to_owned(), Value::from(ev.new_state.as_str())),
+    ];
+    if let Some(p) = ev.parent_process_instance_id {
+        attrs.push(("processInstance".to_owned(), Value::Id(p.raw())));
+    }
+    if let Some(u) = ev.user {
+        attrs.push(("user".to_owned(), Value::User(u)));
+    }
+    attrs
+}
+
+/// Flattens a context event into pub/sub attributes.
+pub fn context_attrs(ev: &ContextFieldChange) -> Vec<(String, Value)> {
+    vec![
+        ("kind".to_owned(), Value::from("context")),
+        ("contextName".to_owned(), Value::from(ev.context_name.as_str())),
+        ("field".to_owned(), Value::from(ev.field_name.as_str())),
+        ("value".to_owned(), ev.new_value.clone()),
+    ]
+}
+
+impl AwarenessMechanism for ElvinPubSub {
+    fn name(&self) -> &'static str {
+        "elvin-pubsub"
+    }
+
+    fn on_activity(&mut self, ev: &ActivityStateChange) -> Vec<Delivery> {
+        self.deliver(&activity_attrs(ev), info_id::activity(ev), ev.time)
+    }
+
+    fn on_context(&mut self, ev: &ContextFieldChange) -> Vec<Delivery> {
+        self.deliver(&context_attrs(ev), info_id::context(ev), ev.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_core::ids::{ActivityInstanceId, ContextId};
+    use cmi_core::time::Timestamp;
+
+    fn activity(new: &str) -> ActivityStateChange {
+        ActivityStateChange {
+            time: Timestamp::from_millis(1),
+            activity_instance_id: ActivityInstanceId(4),
+            parent_process_schema_id: None,
+            parent_process_instance_id: Some(cmi_core::ids::ProcessInstanceId(9)),
+            user: None,
+            activity_var_id: None,
+            activity_process_schema_id: None,
+            old_state: "Running".into(),
+            new_state: new.into(),
+        }
+    }
+
+    fn ctx(field: &str, v: Value) -> ContextFieldChange {
+        ContextFieldChange {
+            time: Timestamp::from_millis(2),
+            context_id: ContextId(1),
+            context_name: "TaskForceContext".into(),
+            processes: vec![],
+            field_name: field.into(),
+            old_value: None,
+            new_value: v,
+        }
+    }
+
+    #[test]
+    fn conjunction_of_predicates_must_all_match() {
+        let mut ps = ElvinPubSub::new();
+        ps.subscribe(Subscription {
+            user: UserId(1),
+            predicates: vec![
+                Predicate::Eq("kind".into(), Value::from("activity")),
+                Predicate::Eq("newState".into(), Value::from("Completed")),
+            ],
+        });
+        assert!(ps.on_activity(&activity("Suspended")).is_empty());
+        let d = ps.on_activity(&activity("Completed"));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].user, UserId(1));
+    }
+
+    #[test]
+    fn numeric_predicates_on_context_values() {
+        let mut ps = ElvinPubSub::new();
+        ps.subscribe(Subscription {
+            user: UserId(2),
+            predicates: vec![
+                Predicate::Eq("field".into(), Value::from("TaskForceDeadline")),
+                Predicate::Lt("value".into(), 100),
+            ],
+        });
+        assert!(ps
+            .on_context(&ctx("TaskForceDeadline", Value::Int(500)))
+            .is_empty());
+        assert_eq!(
+            ps.on_context(&ctx("TaskForceDeadline", Value::Int(50))).len(),
+            1
+        );
+        // But it cannot compare two *events* — no composition. A change to
+        // the request deadline is invisible to this subscription:
+        assert!(ps
+            .on_context(&ctx("RequestDeadline", Value::Int(10)))
+            .is_empty());
+    }
+
+    #[test]
+    fn exists_and_unsubscribe() {
+        let mut ps = ElvinPubSub::new();
+        ps.subscribe(Subscription {
+            user: UserId(3),
+            predicates: vec![Predicate::Exists("user".into())],
+        });
+        assert_eq!(ps.subscription_count(), 1);
+        let mut ev = activity("Completed");
+        ev.user = Some(UserId(8));
+        assert_eq!(ps.on_activity(&ev).len(), 1);
+        ps.unsubscribe_all(UserId(3));
+        assert!(ps.on_activity(&ev).is_empty());
+    }
+
+    #[test]
+    fn multiple_subscribers_each_get_a_copy() {
+        let mut ps = ElvinPubSub::new();
+        for u in 1..=3 {
+            ps.subscribe(Subscription {
+                user: UserId(u),
+                predicates: vec![Predicate::Eq("kind".into(), Value::from("context"))],
+            });
+        }
+        assert_eq!(ps.on_context(&ctx("f", Value::Int(1))).len(), 3);
+    }
+}

@@ -1,0 +1,202 @@
+//! The built-in awareness choices of existing WfMSs and simple notification
+//! systems (§2):
+//!
+//! * [`MonitorAll`] — WfMS "managers … must know the status of all the
+//!   activities in the entire process, i.e., monitor the entire process":
+//!   every event goes to every configured monitor user.
+//! * [`WorklistOnly`] — WfMS "workers … need to be aware only of the
+//!   activities assigned to them": a user learns about an activity event only
+//!   if they are the attributed performer.
+//! * [`MailNotify`] — InConcert-style "e-mail notification of simple workflow
+//!   conditions": a fixed condition (an activity entering a given state)
+//!   mails a fixed recipient list. No roles, no composition, no context.
+
+use cmi_core::context::ContextFieldChange;
+use cmi_core::ids::UserId;
+use cmi_core::instance::ActivityStateChange;
+
+use crate::mechanism::{info_id, AwarenessMechanism, Delivery};
+
+/// The monitor-everything baseline.
+#[derive(Debug, Clone)]
+pub struct MonitorAll {
+    /// The monitoring users ("managers").
+    pub monitors: Vec<UserId>,
+}
+
+impl MonitorAll {
+    /// Monitors for the given users.
+    pub fn new(monitors: Vec<UserId>) -> Self {
+        MonitorAll { monitors }
+    }
+}
+
+impl AwarenessMechanism for MonitorAll {
+    fn name(&self) -> &'static str {
+        "monitor-all"
+    }
+
+    fn on_activity(&mut self, ev: &ActivityStateChange) -> Vec<Delivery> {
+        let info = info_id::activity(ev);
+        self.monitors
+            .iter()
+            .map(|&user| Delivery {
+                user,
+                info: info.clone(),
+                time: ev.time,
+            })
+            .collect()
+    }
+
+    fn on_context(&mut self, ev: &ContextFieldChange) -> Vec<Delivery> {
+        let info = info_id::context(ev);
+        self.monitors
+            .iter()
+            .map(|&user| Delivery {
+                user,
+                info: info.clone(),
+                time: ev.time,
+            })
+            .collect()
+    }
+}
+
+/// The worklist-only baseline.
+#[derive(Debug, Clone, Default)]
+pub struct WorklistOnly;
+
+impl AwarenessMechanism for WorklistOnly {
+    fn name(&self) -> &'static str {
+        "worklist-only"
+    }
+
+    fn on_activity(&mut self, ev: &ActivityStateChange) -> Vec<Delivery> {
+        // The performer learns about their own activity's transitions —
+        // nothing else. Context changes are invisible to workers.
+        match ev.user {
+            Some(user) => vec![Delivery {
+                user,
+                info: info_id::activity(ev),
+                time: ev.time,
+            }],
+            None => Vec::new(),
+        }
+    }
+
+    fn on_context(&mut self, _ev: &ContextFieldChange) -> Vec<Delivery> {
+        Vec::new()
+    }
+}
+
+/// One InConcert-style mail rule.
+#[derive(Debug, Clone)]
+pub struct MailRule {
+    /// Fires when an activity enters this state.
+    pub state: String,
+    /// The fixed recipient list (no role indirection).
+    pub recipients: Vec<UserId>,
+}
+
+/// The condition→mail baseline.
+#[derive(Debug, Clone, Default)]
+pub struct MailNotify {
+    /// The configured rules.
+    pub rules: Vec<MailRule>,
+}
+
+impl MailNotify {
+    /// A notifier with the given rules.
+    pub fn new(rules: Vec<MailRule>) -> Self {
+        MailNotify { rules }
+    }
+}
+
+impl AwarenessMechanism for MailNotify {
+    fn name(&self) -> &'static str {
+        "mail-notify"
+    }
+
+    fn on_activity(&mut self, ev: &ActivityStateChange) -> Vec<Delivery> {
+        let info = info_id::activity(ev);
+        self.rules
+            .iter()
+            .filter(|r| r.state == ev.new_state)
+            .flat_map(|r| {
+                r.recipients.iter().map({
+                    let info = info.clone();
+                    move |&user| Delivery {
+                        user,
+                        info: info.clone(),
+                        time: ev.time,
+                    }
+                })
+            })
+            .collect()
+    }
+
+    fn on_context(&mut self, _ev: &ContextFieldChange) -> Vec<Delivery> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_core::ids::ActivityInstanceId;
+    use cmi_core::time::Timestamp;
+    use cmi_core::value::Value;
+
+    fn activity(user: Option<UserId>, new: &str) -> ActivityStateChange {
+        ActivityStateChange {
+            time: Timestamp::from_millis(1),
+            activity_instance_id: ActivityInstanceId(1),
+            parent_process_schema_id: None,
+            parent_process_instance_id: None,
+            user,
+            activity_var_id: None,
+            activity_process_schema_id: None,
+            old_state: "Running".into(),
+            new_state: new.into(),
+        }
+    }
+
+    fn context() -> ContextFieldChange {
+        ContextFieldChange {
+            time: Timestamp::from_millis(2),
+            context_id: cmi_core::ids::ContextId(1),
+            context_name: "C".into(),
+            processes: vec![],
+            field_name: "f".into(),
+            old_value: None,
+            new_value: Value::Int(1),
+        }
+    }
+
+    #[test]
+    fn monitor_all_floods_every_monitor() {
+        let mut m = MonitorAll::new(vec![UserId(1), UserId(2)]);
+        assert_eq!(m.on_activity(&activity(None, "Completed")).len(), 2);
+        assert_eq!(m.on_context(&context()).len(), 2);
+    }
+
+    #[test]
+    fn worklist_only_reaches_just_the_performer() {
+        let mut m = WorklistOnly;
+        assert!(m.on_activity(&activity(None, "Completed")).is_empty());
+        let d = m.on_activity(&activity(Some(UserId(9)), "Completed"));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].user, UserId(9));
+        assert!(m.on_context(&context()).is_empty(), "workers never see contexts");
+    }
+
+    #[test]
+    fn mail_notify_fires_on_configured_states_only() {
+        let mut m = MailNotify::new(vec![MailRule {
+            state: "Completed".into(),
+            recipients: vec![UserId(1), UserId(2)],
+        }]);
+        assert_eq!(m.on_activity(&activity(None, "Completed")).len(), 2);
+        assert!(m.on_activity(&activity(None, "Suspended")).is_empty());
+        assert!(m.on_context(&context()).is_empty());
+    }
+}

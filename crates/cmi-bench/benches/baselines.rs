@@ -1,0 +1,94 @@
+//! Baseline-mechanism throughput: replaying one recorded crisis trace
+//! through each awareness mechanism and through CMI's AM ingest path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use cmi_baselines::mechanism::{replay, AwarenessMechanism, TraceEvent};
+use cmi_baselines::pubsub::{ElvinPubSub, Predicate, Subscription};
+use cmi_baselines::simple::{MailNotify, MailRule, MonitorAll, WorklistOnly};
+use cmi_core::ids::UserId;
+use cmi_core::value::Value;
+
+fn synthetic_trace(n: usize) -> Vec<TraceEvent> {
+    use cmi_core::context::ContextFieldChange;
+    use cmi_core::ids::{ActivityInstanceId, ContextId, ProcessInstanceId, ProcessSchemaId};
+    use cmi_core::instance::ActivityStateChange;
+    use cmi_core::time::Timestamp;
+    (0..n)
+        .map(|i| {
+            if i % 3 == 0 {
+                TraceEvent::Context(ContextFieldChange {
+                    time: Timestamp::from_millis(i as u64),
+                    context_id: ContextId((i % 7) as u64),
+                    context_name: "TaskForceContext".into(),
+                    processes: vec![(ProcessSchemaId(1), ProcessInstanceId((i % 7) as u64))],
+                    field_name: if i % 2 == 0 { "LabResult" } else { "TaskForceDeadline" }.into(),
+                    old_value: None,
+                    new_value: Value::Int((i % 2) as i64),
+                })
+            } else {
+                TraceEvent::Activity(ActivityStateChange {
+                    time: Timestamp::from_millis(i as u64),
+                    activity_instance_id: ActivityInstanceId(i as u64),
+                    parent_process_schema_id: Some(ProcessSchemaId(1)),
+                    parent_process_instance_id: Some(ProcessInstanceId((i % 7) as u64)),
+                    user: Some(UserId((i % 20) as u64)),
+                    activity_var_id: Some(cmi_core::ids::ActivityVarId(3)),
+                    activity_process_schema_id: None,
+                    old_state: "Running".into(),
+                    new_state: if i % 2 == 0 { "Completed" } else { "Suspended" }.into(),
+                })
+            }
+        })
+        .collect()
+}
+
+fn bench_mechanism(
+    c: &mut Criterion,
+    trace: &[TraceEvent],
+    name: &str,
+    make: impl Fn() -> Box<dyn AwarenessMechanism>,
+) {
+    let mut g = c.benchmark_group("baselines");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function(name, |b| {
+        b.iter(|| {
+            let mut m = make();
+            black_box(replay(m.as_mut(), trace).len())
+        })
+    });
+    g.finish();
+}
+
+fn baselines(c: &mut Criterion) {
+    let trace = synthetic_trace(20_000);
+    let users: Vec<UserId> = (0..20).map(UserId).collect();
+    bench_mechanism(c, &trace, "monitor_all", || {
+        Box::new(MonitorAll::new(users[..4].to_vec()))
+    });
+    bench_mechanism(c, &trace, "worklist_only", || Box::new(WorklistOnly));
+    bench_mechanism(c, &trace, "mail_notify", || {
+        Box::new(MailNotify::new(vec![MailRule {
+            state: "Completed".into(),
+            recipients: users[..4].to_vec(),
+        }]))
+    });
+    bench_mechanism(c, &trace, "elvin_pubsub_100subs", || {
+        let mut ps = ElvinPubSub::new();
+        for (i, &u) in users.iter().enumerate() {
+            for j in 0..5 {
+                ps.subscribe(Subscription {
+                    user: u,
+                    predicates: vec![
+                        Predicate::Eq("field".into(), Value::from("LabResult")),
+                        Predicate::Eq("value".into(), Value::Int(((i + j) % 2) as i64)),
+                    ],
+                });
+            }
+        }
+        Box::new(ps)
+    });
+}
+
+criterion_group!(benches, baselines);
+criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! EXP-DELIV — the delivery pipeline (§6.5): detection-time role resolution,
+//! role assignment, and the persistent queue.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use cmi_awareness::assignment::RoleAssignment;
+use cmi_awareness::builder::AwarenessSchemaBuilder;
+use cmi_awareness::engine::AwarenessEngine;
+use cmi_awareness::queue::{DeliveryQueue, Notification};
+use cmi_core::context::{ContextFieldChange, ContextManager};
+use cmi_core::ids::{AwarenessSchemaId, ProcessInstanceId, ProcessSchemaId, UserId};
+use cmi_core::participant::Directory;
+use cmi_core::roles::RoleSpec;
+use cmi_core::time::{SimClock, Timestamp};
+use cmi_core::value::Value;
+use cmi_events::producers::context_event;
+
+const P: ProcessSchemaId = ProcessSchemaId(1);
+
+fn notif(user: u64, seq_hint: u64) -> Notification {
+    Notification {
+        seq: 0,
+        user: UserId(user),
+        time: Timestamp::from_millis(seq_hint),
+        schema: AwarenessSchemaId(1),
+        schema_name: "AS".into(),
+        description: "bench notification".into(),
+        process_schema: P,
+        process_instance: ProcessInstanceId(2),
+        int_info: Some(seq_hint as i64),
+        str_info: None,
+        priority: Default::default(),
+    }
+}
+
+fn queue_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue");
+    const N: u64 = 5_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("enqueue_in_memory", |b| {
+        b.iter(|| {
+            let q = DeliveryQueue::in_memory();
+            for i in 0..N {
+                q.enqueue(black_box(notif(i % 32, i))).unwrap();
+            }
+            q.pending_total()
+        })
+    });
+    g.bench_function("enqueue_durable_wal", |b| {
+        let dir = std::env::temp_dir().join(format!("cmi-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench-wal.jsonl");
+        b.iter(|| {
+            let _ = std::fs::remove_file(&path);
+            let q = DeliveryQueue::open(&path).unwrap();
+            for i in 0..N {
+                q.enqueue(black_box(notif(i % 32, i))).unwrap();
+            }
+            q.pending_total()
+        });
+        let _ = std::fs::remove_file(&path);
+    });
+    g.bench_function("fetch_ack_cycle", |b| {
+        let q = DeliveryQueue::in_memory();
+        for i in 0..N {
+            q.enqueue(notif(i % 32, i)).unwrap();
+        }
+        b.iter(|| {
+            let batch = q.fetch(UserId(1), 64);
+            black_box(batch.len())
+        })
+    });
+    g.bench_function("recovery_replay", |b| {
+        let dir = std::env::temp_dir().join(format!("cmi-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench-recover.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let q = DeliveryQueue::open(&path).unwrap();
+            for i in 0..N {
+                q.enqueue(notif(i % 32, i)).unwrap();
+            }
+            for u in 0..16 {
+                q.ack(UserId(u), N / 2).unwrap();
+            }
+        }
+        b.iter(|| {
+            let q = DeliveryQueue::open(&path).unwrap();
+            black_box(q.pending_total())
+        });
+        let _ = std::fs::remove_file(&path);
+    });
+    g.finish();
+}
+
+fn end_to_end_delivery(c: &mut Criterion) {
+    // Detection → role resolution → assignment → enqueue, for each
+    // assignment function.
+    let mut g = c.benchmark_group("delivery");
+    const N: usize = 2_000;
+    g.throughput(Throughput::Elements(N as u64));
+    for (name, assignment) in [
+        ("identity", RoleAssignment::Identity),
+        ("signed_on", RoleAssignment::SignedOn),
+        ("least_loaded", RoleAssignment::LeastLoaded { n: 2 }),
+    ] {
+        g.bench_function(name, |b| {
+            let clock = SimClock::new();
+            let dir = Arc::new(Directory::new());
+            let contexts = Arc::new(ContextManager::new(Arc::new(clock)));
+            let users: Vec<UserId> = (0..16).map(|i| dir.add_user(&format!("u{i}"))).collect();
+            for (i, &u) in users.iter().enumerate() {
+                dir.set_signed_on(u, i % 2 == 0).unwrap();
+                dir.set_load(u, i as u32).unwrap();
+            }
+            let ctx = contexts.create("C", Some((P, ProcessInstanceId(1))));
+            contexts.create_role(ctx, "R", &users).unwrap();
+            let engine = AwarenessEngine::new(
+                dir,
+                contexts,
+                Arc::new(DeliveryQueue::in_memory()),
+            );
+            let mut bld = AwarenessSchemaBuilder::new(AwarenessSchemaId(1), "AS", P);
+            let f = bld.context_filter("C", "x").unwrap();
+            engine.register(
+                bld.deliver_to(f, RoleSpec::scoped("C", "R"))
+                    .assign(assignment.clone())
+                    .build()
+                    .unwrap(),
+            );
+            let events: Vec<_> = (0..N)
+                .map(|i| {
+                    context_event(&ContextFieldChange {
+                        time: Timestamp::from_millis(i as u64),
+                        context_id: ctx,
+                        context_name: "C".into(),
+                        processes: vec![(P, ProcessInstanceId(1))],
+                        field_name: "x".into(),
+                        old_value: None,
+                        new_value: Value::Int(i as i64),
+                    })
+                })
+                .collect();
+            b.iter(|| {
+                let mut n = 0usize;
+                for e in &events {
+                    n += engine.ingest(black_box(e)).len();
+                }
+                n
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, queue_ops, end_to_end_delivery);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Enactment-engine benchmarks: process instantiation/routing throughput and
+//! query-time worklist resolution.
+
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cmi_awareness::system::CmiServer;
+use cmi_core::ids::ActivitySchemaId;
+use cmi_core::roles::RoleSpec;
+use cmi_core::schema::ActivitySchemaBuilder;
+use cmi_core::state_schema::ActivityStateSchema;
+
+/// Registers a linear process of `steps` basic activities on `server`.
+fn linear_process(server: &CmiServer, steps: usize, staffed: bool) -> ActivitySchemaId {
+    let repo = server.repository();
+    let ss = repo.register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+    let basic = repo.fresh_activity_schema_id();
+    let mut bb = ActivitySchemaBuilder::basic(basic, "Step", ss.clone());
+    if staffed {
+        bb = bb.performed_by(RoleSpec::org("worker"));
+    }
+    repo.register_activity_schema(bb.build().unwrap());
+    let pid = repo.fresh_activity_schema_id();
+    let mut b = ActivitySchemaBuilder::process(pid, "Linear", ss);
+    let mut prev = None;
+    for i in 0..steps {
+        let v = b.activity_var(&format!("s{i}"), basic, false).unwrap();
+        if let Some(p) = prev {
+            b.sequence(p, v);
+        }
+        prev = Some(v);
+    }
+    repo.register_activity_schema(b.build().unwrap());
+    pid
+}
+
+fn run_one(server: &CmiServer, pid: ActivitySchemaId, steps: usize) {
+    let pi = server.coordination().start_process(pid, None).unwrap();
+    let schema = server.repository().activity_schema(pid).unwrap();
+    for i in 0..steps {
+        let var = schema.activity_var(&format!("s{i}")).unwrap().id;
+        let inst = server.store().child_for_var(pi, var).unwrap().unwrap();
+        server.coordination().start_activity(inst, None).unwrap();
+        server.coordination().complete_activity(inst, None).unwrap();
+    }
+    assert!(server.store().is_closed(pi).unwrap());
+}
+
+fn enactment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enactment");
+    for steps in [4usize, 16, 64] {
+        g.throughput(Throughput::Elements(steps as u64));
+        g.bench_with_input(
+            BenchmarkId::new("linear_process", steps),
+            &steps,
+            |b, &steps| {
+                b.iter(|| {
+                    // Fresh server per iteration: measures the full path
+                    // including instance creation and routing.
+                    let server = CmiServer::new();
+                    let pid = linear_process(&server, steps, false);
+                    run_one(&server, pid, steps);
+                    black_box(server.store().instance_count())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn worklist(c: &mut Criterion) {
+    let mut g = c.benchmark_group("worklist");
+    for open_items in [10usize, 100, 1_000] {
+        g.bench_with_input(
+            BenchmarkId::new("for_user", open_items),
+            &open_items,
+            |b, &n| {
+                let server = CmiServer::new();
+                let worker = server.directory().add_user("w");
+                let role = server.directory().add_role("worker").unwrap();
+                server.directory().assign(worker, role).unwrap();
+                let pid = linear_process(&server, 1, true);
+                // n one-step processes, each offering its single step.
+                for _ in 0..n {
+                    server.coordination().start_process(pid, None).unwrap();
+                }
+                let wl = server.worklist();
+                b.iter(|| {
+                    let items = wl.for_user(black_box(worker)).unwrap();
+                    assert_eq!(items.len(), n);
+                    items.len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, enactment, worklist);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! EXP-SCALE (bench form) — detection throughput vs. concurrent process
+//! instances and vs. number of hosted awareness schemas.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cmi_core::context::ContextFieldChange;
+use cmi_core::ids::{ContextId, ProcessInstanceId, ProcessSchemaId, SpecId};
+use cmi_core::time::Timestamp;
+use cmi_core::value::Value;
+use cmi_events::engine::Engine;
+use cmi_events::event::Event;
+use cmi_events::operator::CmpOp;
+use cmi_events::operators::{Compare2Op, ContextFilter, OutputOp};
+use cmi_events::producers::{context_event, Producer};
+use cmi_events::spec::{CompositeEventSpec, SpecBuilder};
+
+const P: ProcessSchemaId = ProcessSchemaId(1);
+
+fn spec(id: u64, field_a: &str, field_b: &str) -> CompositeEventSpec {
+    let mut b = SpecBuilder::new();
+    let ctx = b.producer(Producer::Context);
+    let op1 = b
+        .operator(Arc::new(ContextFilter::new(P, "C", field_a)), &[ctx])
+        .unwrap();
+    let op2 = b
+        .operator(Arc::new(ContextFilter::new(P, "C", field_b)), &[ctx])
+        .unwrap();
+    let cmp = b
+        .operator(Arc::new(Compare2Op::new(P, CmpOp::Le)), &[op1, op2])
+        .unwrap();
+    let out = b
+        .operator(Arc::new(OutputOp::new(P, "bench")), &[cmp])
+        .unwrap();
+    b.build(SpecId(id), "bench", out).unwrap()
+}
+
+fn ev(instance: u64, field: &str, v: i64, t: u64) -> Event {
+    context_event(&ContextFieldChange {
+        time: Timestamp::from_millis(t),
+        context_id: ContextId(instance),
+        context_name: "C".into(),
+        processes: vec![(P, ProcessInstanceId(instance))],
+        field_name: field.into(),
+        old_value: None,
+        new_value: Value::Int(v),
+    })
+}
+
+fn instance_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/instances");
+    const N: usize = 20_000;
+    g.throughput(Throughput::Elements(N as u64));
+    for instances in [1usize, 16, 256, 4096] {
+        let events: Vec<Event> = (0..N)
+            .map(|i| {
+                let inst = (i % instances) as u64 + 1;
+                let field = if (i / instances) % 2 == 0 { "a" } else { "b" };
+                ev(inst, field, (i % 100) as i64, i as u64)
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(instances), &events, |b, evs| {
+            b.iter(|| {
+                let mut engine = Engine::new();
+                engine.add_spec(&spec(1, "a", "b"));
+                let mut d = 0usize;
+                for e in evs {
+                    d += engine.ingest(black_box(e)).len();
+                }
+                d
+            })
+        });
+    }
+    g.finish();
+}
+
+fn schema_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/schemas");
+    const N: usize = 5_000;
+    g.throughput(Throughput::Elements(N as u64));
+    let events: Vec<Event> = (0..N)
+        .map(|i| {
+            ev(
+                (i % 16) as u64,
+                if i % 2 == 0 { "f0" } else { "f1" },
+                i as i64,
+                i as u64,
+            )
+        })
+        .collect();
+    for schemas in [1usize, 8, 32, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(schemas), &schemas, |b, &n| {
+            let mut engine = Engine::new();
+            for s in 0..n {
+                // Distinct field pairs so specs do not fully collapse.
+                engine.add_spec(&spec(
+                    s as u64 + 1,
+                    &format!("f{}", s % 4),
+                    &format!("f{}", (s + 1) % 4),
+                ));
+            }
+            b.iter(|| {
+                let mut d = 0usize;
+                for e in &events {
+                    d += engine.ingest(black_box(e)).len();
+                }
+                d
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, instance_sweep, schema_sweep);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! EXP-OPS — per-operator throughput (the engine substrate's micro-costs).
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use cmi_core::context::ContextFieldChange;
+use cmi_core::ids::{ContextId, ProcessInstanceId, ProcessSchemaId};
+use cmi_core::instance::ActivityStateChange;
+use cmi_core::time::Timestamp;
+use cmi_core::value::Value;
+use cmi_events::event::{params, Event};
+use cmi_events::operator::{CmpOp, EventOperator};
+use cmi_events::operators::{
+    ActivityFilter, AndOp, Compare1Op, Compare2Op, ContextFilter, CountOp, OrOp, OutputOp, SeqOp,
+};
+use cmi_events::producers::{activity_event, context_event};
+
+const P: ProcessSchemaId = ProcessSchemaId(1);
+const N: usize = 10_000;
+
+fn canonical(i: usize) -> Event {
+    Event::canonical(
+        P,
+        ProcessInstanceId((i % 16) as u64),
+        Timestamp::from_millis(i as u64),
+    )
+    .with(params::INT_INFO, i as i64)
+}
+
+fn bench_operator(c: &mut Criterion, name: &str, op: Arc<dyn EventOperator>, slots: usize) {
+    let events: Vec<Event> = (0..N).map(canonical).collect();
+    let mut g = c.benchmark_group("operators");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function(name, |b| {
+        b.iter(|| {
+            let mut st = op.new_state();
+            let mut out = Vec::new();
+            for (i, e) in events.iter().enumerate() {
+                op.apply(i % slots, black_box(e), &mut st, &mut out);
+                out.clear();
+            }
+        })
+    });
+    g.finish();
+}
+
+fn operators(c: &mut Criterion) {
+    bench_operator(c, "and2", Arc::new(AndOp::new(P, 2, 1)), 2);
+    bench_operator(c, "seq2", Arc::new(SeqOp::new(P, 2, 1)), 2);
+    bench_operator(c, "or2", Arc::new(OrOp::new(P, 2)), 2);
+    bench_operator(c, "count", Arc::new(CountOp::new(P)), 1);
+    bench_operator(c, "compare1", Arc::new(Compare1Op::new(P, CmpOp::Ge, 5_000)), 1);
+    bench_operator(c, "compare2", Arc::new(Compare2Op::new(P, CmpOp::Le)), 2);
+    bench_operator(c, "output", Arc::new(OutputOp::new(P, "bench")), 1);
+}
+
+fn filters(c: &mut Criterion) {
+    // Filters consume primitive events.
+    let act: Vec<Event> = (0..N)
+        .map(|i| {
+            activity_event(&ActivityStateChange {
+                time: Timestamp::from_millis(i as u64),
+                activity_instance_id: cmi_core::ids::ActivityInstanceId(i as u64),
+                parent_process_schema_id: Some(P),
+                parent_process_instance_id: Some(ProcessInstanceId((i % 16) as u64)),
+                user: None,
+                activity_var_id: Some(cmi_core::ids::ActivityVarId(7)),
+                activity_process_schema_id: None,
+                old_state: "Running".into(),
+                new_state: if i % 2 == 0 { "Completed" } else { "Suspended" }.into(),
+            })
+        })
+        .collect();
+    let ctx: Vec<Event> = (0..N)
+        .map(|i| {
+            context_event(&ContextFieldChange {
+                time: Timestamp::from_millis(i as u64),
+                context_id: ContextId(1),
+                context_name: "C".into(),
+                processes: vec![(P, ProcessInstanceId((i % 16) as u64))],
+                field_name: if i % 2 == 0 { "f" } else { "g" }.into(),
+                old_value: None,
+                new_value: Value::Int(i as i64),
+            })
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("filters");
+    g.throughput(Throughput::Elements(N as u64));
+    let af = ActivityFilter::entering(P, cmi_core::ids::ActivityVarId(7), &["Completed"]);
+    g.bench_function("activity_filter", |b| {
+        b.iter(|| {
+            let mut st = af.new_state();
+            let mut out = Vec::new();
+            for e in &act {
+                af.apply(0, black_box(e), &mut st, &mut out);
+                out.clear();
+            }
+        })
+    });
+    let cf = ContextFilter::new(P, "C", "f");
+    g.bench_function("context_filter", |b| {
+        b.iter(|| {
+            let mut st = cf.new_state();
+            let mut out = Vec::new();
+            for e in &ctx {
+                cf.apply(0, black_box(e), &mut st, &mut out);
+                out.clear();
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, operators, filters);
+criterion_main!(benches);

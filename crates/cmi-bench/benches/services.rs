@@ -1,0 +1,86 @@
+//! Service Model benchmarks: provider selection at registry scale and the
+//! full invoke→complete agreement cycle.
+
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cmi_awareness::system::CmiServer;
+use cmi_core::ids::ActivitySchemaId;
+use cmi_core::schema::ActivitySchemaBuilder;
+use cmi_core::state_schema::ActivityStateSchema;
+use cmi_core::time::Duration;
+use cmi_service::{QualityOfService, SelectionPolicy, ServiceEngine, ServiceRegistry};
+
+fn selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service_selection");
+    for providers in [4usize, 64, 1024] {
+        let reg = ServiceRegistry::new();
+        for i in 0..providers {
+            reg.publish(
+                "svc",
+                &format!("p{i}"),
+                ActivitySchemaId(1),
+                cmi_core::ids::UserId(i as u64),
+                QualityOfService::new(
+                    Duration::from_mins(10 + (i as u64 * 7) % 100),
+                    0.8 + (i % 20) as f64 / 100.0,
+                    (i as u64 * 13) % 200,
+                ),
+            );
+        }
+        for policy in [
+            SelectionPolicy::MostReliable,
+            SelectionPolicy::LeastLoaded,
+            SelectionPolicy::Fastest,
+            SelectionPolicy::Cheapest,
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{policy:?}"), providers),
+                &reg,
+                |b, reg| b.iter(|| black_box(reg.select("svc", policy)).is_some()),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn agreement_cycle(c: &mut Criterion) {
+    c.bench_function("service_invoke_complete_cycle", |b| {
+        let server = CmiServer::new();
+        let repo = server.repository();
+        let ss = repo
+            .register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+        let iface = repo.fresh_activity_schema_id();
+        repo.register_activity_schema(
+            ActivitySchemaBuilder::basic(iface, "Svc", ss.clone()).build().unwrap(),
+        );
+        let pid = repo.fresh_activity_schema_id();
+        let mut pb = ActivitySchemaBuilder::process(pid, "P", ss);
+        pb.activity_var("svc", iface, true).unwrap();
+        repo.register_activity_schema(pb.build().unwrap());
+        let services = ServiceEngine::new(server.coordination().clone(), None);
+        let bot = server.directory().add_user("bot");
+        services.registry().publish(
+            "svc",
+            "p",
+            iface,
+            bot,
+            QualityOfService::new(Duration::from_mins(30), 0.9, 10),
+        );
+        let pi = server.coordination().start_process(pid, None).unwrap();
+        b.iter(|| {
+            let a = services
+                .invoke(pi, "svc", "svc", SelectionPolicy::Fastest, None, 2.0)
+                .unwrap();
+            services.complete(a.invocation).unwrap();
+            black_box(a.id)
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = selection, agreement_cycle
+);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! EXP-DAG — awareness schema compilation and the shared-sub-DAG ablation
+//! (§6.2: "both interior nodes and leaves may be shared amongst all awareness
+//! schemata DAGs").
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cmi_core::context::ContextFieldChange;
+use cmi_core::ids::{ContextId, ProcessInstanceId, ProcessSchemaId, SpecId};
+use cmi_core::time::Timestamp;
+use cmi_core::value::Value;
+use cmi_events::engine::Engine;
+use cmi_events::operator::CmpOp;
+use cmi_events::operators::{Compare1Op, ContextFilter, CountOp, OutputOp};
+use cmi_events::producers::{context_event, Producer};
+use cmi_events::spec::{CompositeEventSpec, SpecBuilder};
+
+const P: ProcessSchemaId = ProcessSchemaId(1);
+
+/// N schemas all built over the same two filters — the sharing-friendly
+/// workload: only thresholds and descriptions differ.
+fn similar_specs(n: usize) -> Vec<CompositeEventSpec> {
+    (0..n)
+        .map(|i| {
+            let mut b = SpecBuilder::new();
+            let ctx = b.producer(Producer::Context);
+            let f = b
+                .operator(Arc::new(ContextFilter::new(P, "C", "progress")), &[ctx])
+                .unwrap();
+            let count = b.operator(Arc::new(CountOp::new(P)), &[f]).unwrap();
+            let gate = b
+                .operator(
+                    Arc::new(Compare1Op::new(P, CmpOp::Ge, i as i64 + 1)),
+                    &[count],
+                )
+                .unwrap();
+            let out = b
+                .operator(
+                    Arc::new(OutputOp::new(P, &format!("milestone {i}"))),
+                    &[gate],
+                )
+                .unwrap();
+            b.build(SpecId(i as u64 + 1), &format!("s{i}"), out).unwrap()
+        })
+        .collect()
+}
+
+fn compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spec_compile");
+    for n in [8usize, 64, 256] {
+        let specs = similar_specs(n);
+        g.bench_with_input(BenchmarkId::new("shared", n), &specs, |b, specs| {
+            b.iter(|| {
+                let mut e = Engine::new();
+                for s in specs {
+                    e.add_spec(black_box(s));
+                }
+                e.topology().nodes
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("unshared", n), &specs, |b, specs| {
+            b.iter(|| {
+                let mut e = Engine::without_sharing();
+                for s in specs {
+                    e.add_spec(black_box(s));
+                }
+                e.topology().nodes
+            })
+        });
+    }
+    g.finish();
+}
+
+fn detection_with_sharing(c: &mut Criterion) {
+    // The runtime effect of sharing: the shared filter+count prefix runs
+    // once per event instead of once per schema.
+    let specs = similar_specs(64);
+    let events: Vec<_> = (0..2_000)
+        .map(|i| {
+            context_event(&ContextFieldChange {
+                time: Timestamp::from_millis(i as u64),
+                context_id: ContextId(1),
+                context_name: "C".into(),
+                processes: vec![(P, ProcessInstanceId(1))],
+                field_name: "progress".into(),
+                old_value: None,
+                new_value: Value::Int(i as i64),
+            })
+        })
+        .collect();
+    let mut g = c.benchmark_group("spec_detect");
+    for (name, shared) in [("shared", true), ("unshared", false)] {
+        g.bench_function(name, |b| {
+            let mut e = if shared {
+                Engine::new()
+            } else {
+                Engine::without_sharing()
+            };
+            for s in &specs {
+                e.add_spec(s);
+            }
+            b.iter(|| {
+                let mut d = 0usize;
+                for ev in &events {
+                    d += e.ingest(black_box(ev)).len();
+                }
+                d
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, compile, detection_with_sharing);
+criterion_main!(benches);

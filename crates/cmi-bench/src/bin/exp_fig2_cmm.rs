@@ -1,0 +1,34 @@
+//! FIG2 — reproduces Fig. 2: "CMM: CORE + Extensions".
+//!
+//! Prints the CMM sub-model structure (CORE, CM, AM, SM, application-specific
+//! extensions) with each sub-model's primitives and the crate implementing it.
+
+use cmi_bench::{banner, render_table};
+use cmi_core::meta::cmm_submodels;
+
+fn main() {
+    println!("{}", banner("FIG2: CMM = CORE + extensions"));
+    let mut rows = vec![vec![
+        "sub-model".to_owned(),
+        "extends".to_owned(),
+        "implemented by".to_owned(),
+    ]];
+    for s in cmm_submodels() {
+        rows.push(vec![
+            s.name.to_owned(),
+            s.extends
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("+"),
+            s.implemented_by.to_owned(),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+    for s in cmm_submodels() {
+        println!("{}:", s.name);
+        for p in s.primitives {
+            println!("  - {p}");
+        }
+    }
+}

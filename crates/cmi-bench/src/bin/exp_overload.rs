@@ -1,0 +1,61 @@
+//! EXP-OVL — the information-overload experiment.
+//!
+//! The paper's motivating claim (§1–2): built-in WfMS awareness choices
+//! either overload participants (monitor everything) or give too little
+//! (worklist only), while content-based pub/sub cannot compose events or
+//! follow roles. This experiment sweeps workload scale and reports, for
+//! CMI's AM and each baseline: deliveries per participant (attention cost),
+//! precision, recall and F1 against the ground-truth relevance of the crisis
+//! scenario.
+
+use cmi_bench::{banner, f3, render_table};
+use cmi_workloads::synthetic::{run_crisis_workload, SyntheticParams};
+
+fn main() {
+    println!("{}", banner("EXP-OVL: customized awareness vs. built-in choices"));
+    for (task_forces, members) in [(2, 3), (4, 4), (8, 6), (16, 8)] {
+        let out = run_crisis_workload(SyntheticParams {
+            seed: 42,
+            task_forces,
+            members_per_force: members,
+            lab_tests_per_force: 5,
+            info_requests_per_force: 3,
+            deadline_moves_per_force: 2,
+            positive_rate: 0.4,
+            churn_rate: 0.0,
+        });
+        println!(
+            "--- {} task forces, {} members each ({} participants, {} primitive events, \
+             {} relevant items) ---",
+            task_forces,
+            members,
+            out.participants.len(),
+            out.trace_len,
+            out.truth.relevant_pairs()
+        );
+        let mut rows = vec![vec![
+            "mechanism".to_owned(),
+            "deliveries".to_owned(),
+            "per participant".to_owned(),
+            "precision".to_owned(),
+            "recall".to_owned(),
+            "F1".to_owned(),
+        ]];
+        for r in &out.reports {
+            rows.push(vec![
+                r.name.clone(),
+                r.delivered.to_string(),
+                f3(r.events_per_participant()),
+                f3(r.precision()),
+                f3(r.recall()),
+                f3(r.f1()),
+            ]);
+        }
+        println!("{}", render_table(&rows));
+    }
+    println!(
+        "reading: cmi-am keeps precision/recall ≈ 1 with the lowest attention cost; \
+         monitor-all attains recall only by flooding managers; worklist-only and \
+         mail-notify miss the cross-cutting items; pub/sub leaks across task forces."
+    );
+}

@@ -1,0 +1,119 @@
+//! EXP-SCALE — per-process-instance operator replication (§5.1.2).
+//!
+//! Sweeps the number of concurrent process instances while holding the event
+//! volume fixed, and reports detection throughput, allocated state
+//! partitions, and the effect of evicting closed instances' state. The point:
+//! replication isolates instances (no cross-talk) at a cost linear in *live*
+//! instances, not in events.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cmi_bench::{banner, render_table};
+use cmi_core::context::ContextFieldChange;
+use cmi_core::ids::{AwarenessSchemaId, ContextId, ProcessInstanceId, ProcessSchemaId, SpecId};
+use cmi_core::time::Timestamp;
+use cmi_core::value::Value;
+use cmi_events::engine::Engine;
+use cmi_events::operator::CmpOp;
+use cmi_events::operators::{Compare2Op, ContextFilter, OutputOp};
+use cmi_events::producers::{context_event, Producer};
+use cmi_events::spec::SpecBuilder;
+
+const P: ProcessSchemaId = ProcessSchemaId(1);
+const EVENTS: usize = 200_000;
+
+fn deadline_engine() -> Engine {
+    let mut b = SpecBuilder::new();
+    let ctx = b.producer(Producer::Context);
+    let op1 = b
+        .operator(
+            Arc::new(ContextFilter::new(P, "TaskForceContext", "TaskForceDeadline")),
+            &[ctx],
+        )
+        .unwrap();
+    let op2 = b
+        .operator(
+            Arc::new(ContextFilter::new(P, "InfoRequestContext", "RequestDeadline")),
+            &[ctx],
+        )
+        .unwrap();
+    let cmp = b
+        .operator(Arc::new(Compare2Op::new(P, CmpOp::Le)), &[op1, op2])
+        .unwrap();
+    let out = b
+        .operator(Arc::new(OutputOp::new(P, "violation")), &[cmp])
+        .unwrap();
+    let spec = b.build(SpecId(AwarenessSchemaId(1).raw()), "AS", out).unwrap();
+    let mut e = Engine::new();
+    e.add_spec(&spec);
+    e
+}
+
+fn event(instance: u64, ctx_name: &str, field: &str, v: u64, t: u64) -> cmi_events::event::Event {
+    context_event(&ContextFieldChange {
+        time: Timestamp::from_millis(t),
+        context_id: ContextId(instance),
+        context_name: ctx_name.into(),
+        processes: vec![(P, ProcessInstanceId(instance))],
+        field_name: field.into(),
+        old_value: None,
+        new_value: Value::Time(Timestamp::from_millis(v)),
+    })
+}
+
+fn main() {
+    println!("{}", banner("EXP-SCALE: per-instance replication under instance sweep"));
+    let mut rows = vec![vec![
+        "instances".to_owned(),
+        "events".to_owned(),
+        "detections".to_owned(),
+        "throughput (ev/s)".to_owned(),
+        "state partitions".to_owned(),
+        "partitions after evict".to_owned(),
+    ]];
+    for instances in [1usize, 10, 100, 1_000, 10_000] {
+        let engine = deadline_engine();
+        let start = Instant::now();
+        let mut detections = 0usize;
+        for i in 0..EVENTS {
+            let inst = (i % instances) as u64 + 1;
+            let round = i / instances;
+            // Even rounds refresh the request deadline (75); odd rounds move
+            // the task force deadline, alternating between a violating value
+            // (50 <= 75) and a safe one (100 > 75) — so roughly a quarter of
+            // the events fire a detection once both slots are primed.
+            let (ctx, field, v) = if round % 2 == 0 {
+                ("InfoRequestContext", "RequestDeadline", 75)
+            } else if (round / 2) % 2 == 0 {
+                ("TaskForceContext", "TaskForceDeadline", 50)
+            } else {
+                ("TaskForceContext", "TaskForceDeadline", 100)
+            };
+            detections += engine
+                .ingest(&event(inst, ctx, field, v, i as u64))
+                .len();
+        }
+        let dt = start.elapsed();
+        let partitions = engine.topology().state_partitions;
+        // Evict the first half of the instances (as if those processes
+        // closed).
+        for inst in 1..=(instances as u64 / 2).max(1) {
+            engine.evict_instance(inst);
+        }
+        rows.push(vec![
+            instances.to_string(),
+            EVENTS.to_string(),
+            detections.to_string(),
+            format!("{:.0}", EVENTS as f64 / dt.as_secs_f64()),
+            partitions.to_string(),
+            engine.topology().state_partitions.to_string(),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+    println!(
+        "reading: state partitions grow with live instances only (one Compare2 \
+         partition per instance); throughput stays within a small factor across \
+         four orders of magnitude of concurrency."
+    );
+}

@@ -1,0 +1,83 @@
+//! # cmi-bench — experiment harnesses and benchmarks
+//!
+//! One binary per paper figure/table (run with
+//! `cargo run --release -p cmi-bench --bin exp_...`) plus Criterion
+//! micro-benchmarks (`cargo bench -p cmi-bench`). This library crate holds
+//! the small table-formatting helpers the binaries share.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Renders rows as an aligned plain-text table. The first row is the header.
+pub fn render_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:<w$}", w = widths[i]));
+        }
+        out.push('\n');
+        if r == 0 {
+            for (i, w) in widths.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&"-".repeat(*w));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Formats a float to 3 decimal places.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Section banner for experiment output.
+pub fn banner(title: &str) -> String {
+    format!("\n=== {title} ===\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(&[
+            vec!["name".into(), "value".into()],
+            vec!["a".into(), "1".into()],
+            vec!["longer".into(), "22".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("----"));
+        assert!(lines[3].starts_with("longer  22"));
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        assert_eq!(render_table(&[]), "");
+    }
+
+    #[test]
+    fn f3_rounds() {
+        assert_eq!(f3(0.123456), "0.123");
+        assert_eq!(f3(1.0), "1.000");
+    }
+}

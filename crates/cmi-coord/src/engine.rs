@@ -1,0 +1,904 @@
+//! The enactment engine — the Coordination Model's operations plus the WfMS
+//! substrate CMI layered over IBM FlowMark (§3, §6.1).
+//!
+//! CORE defines *which* state transitions are legal; the Coordination Model
+//! "enhances CORE's activities and activity states with operations that cause
+//! state transitions". This engine provides those operations (`start`,
+//! `complete`, `suspend`, `resume`, `terminate`), evaluates the fixed
+//! dependency types to decide which activity variables become `Ready`,
+//! invokes subprocesses, runs basic activity scripts on state entry, and
+//! enforces deadline dependencies against the scenario clock.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use cmi_core::context::ContextManager;
+use cmi_core::ids::{
+    ActivityInstanceId, ActivitySchemaId, ActivityVarId, ProcessInstanceId, UserId,
+};
+use cmi_core::instance::InstanceStore;
+use cmi_core::participant::Directory;
+use cmi_core::schema::{ActivitySchema, Dependency};
+use cmi_core::state_schema::generic;
+use cmi_core::time::Clock;
+use cmi_core::value::Value;
+
+use crate::error::{CoordError, CoordResult};
+use crate::scripts::ActivityScript;
+
+/// A dependency status change — the third class of awareness event the
+/// paper lists (§5: "activity state changes, resource status events, and
+/// dependency status changes"). Emitted when routing finds a dependency's
+/// condition newly satisfied and enables its target variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DependencyStatusChange {
+    /// When the dependency fired.
+    pub time: cmi_core::time::Timestamp,
+    /// The process schema whose dependency fired.
+    pub process_schema: ActivitySchemaId,
+    /// The process instance it fired in.
+    pub process_instance: ProcessInstanceId,
+    /// The dependency type (`sequence`, `and-join`, `or-join`, `guard`,
+    /// `deadline`, or `initial` for variables with no inbound dependency).
+    pub dependency_type: &'static str,
+    /// The enabled target variable.
+    pub target: ActivityVarId,
+    /// The target variable's name.
+    pub target_name: String,
+}
+
+/// Callback invoked synchronously when a dependency fires.
+pub type DependencyListener = Arc<dyn Fn(&DependencyStatusChange) + Send + Sync>;
+
+/// Engine behaviour knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Automatically transition subprocess instances `Ready -> Running` and
+    /// spawn their children (the usual WfMS behaviour). Basic activities are
+    /// never auto-started: a participant (or program) starts them.
+    pub auto_start_subprocesses: bool,
+    /// Automatically complete a process once all its required activity
+    /// variables have completed and nothing is still open.
+    pub auto_complete_processes: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            auto_start_subprocesses: true,
+            auto_complete_processes: true,
+        }
+    }
+}
+
+/// The coordination/enactment engine.
+pub struct EnactmentEngine {
+    store: Arc<InstanceStore>,
+    contexts: Arc<ContextManager>,
+    directory: Arc<Directory>,
+    clock: Arc<dyn Clock>,
+    config: EngineConfig,
+    /// Scripts keyed by (activity schema, entered state).
+    scripts: RwLock<BTreeMap<(ActivitySchemaId, String), Vec<ActivityScript>>>,
+    dep_listeners: RwLock<Vec<DependencyListener>>,
+}
+
+impl fmt::Debug for EnactmentEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EnactmentEngine")
+            .field("instances", &self.store.instance_count())
+            .finish()
+    }
+}
+
+impl EnactmentEngine {
+    /// An engine over the given stores.
+    pub fn new(
+        store: Arc<InstanceStore>,
+        contexts: Arc<ContextManager>,
+        directory: Arc<Directory>,
+        clock: Arc<dyn Clock>,
+        config: EngineConfig,
+    ) -> Self {
+        EnactmentEngine {
+            store,
+            contexts,
+            directory,
+            clock,
+            config,
+            scripts: RwLock::new(BTreeMap::new()),
+            dep_listeners: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Registers a listener for dependency status changes.
+    pub fn subscribe_dependencies(&self, l: DependencyListener) {
+        self.dep_listeners.write().push(l);
+    }
+
+    fn emit_dependency(&self, change: DependencyStatusChange) {
+        let listeners = self.dep_listeners.read();
+        for l in listeners.iter() {
+            l(&change);
+        }
+    }
+
+    /// The instance store the engine drives.
+    pub fn store(&self) -> &Arc<InstanceStore> {
+        &self.store
+    }
+    /// The context store.
+    pub fn contexts(&self) -> &Arc<ContextManager> {
+        &self.contexts
+    }
+    /// The participant directory.
+    pub fn directory(&self) -> &Arc<Directory> {
+        &self.directory
+    }
+    /// The scenario clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Registers a basic activity script to run whenever an instance of
+    /// `schema` enters `state`.
+    pub fn register_script(&self, schema: ActivitySchemaId, state: &str, script: ActivityScript) {
+        self.scripts
+            .write()
+            .entry((schema, state.to_owned()))
+            .or_default()
+            .push(script);
+    }
+
+    /// Number of registered scripts (the §7 inventory).
+    pub fn script_count(&self) -> usize {
+        self.scripts.read().values().map(Vec::len).sum()
+    }
+
+    /// Starts a top-level process: creates the instance, moves it `Ready`
+    /// then `Running` (running its entry scripts), and enables its initial
+    /// activity variables.
+    pub fn start_process(
+        &self,
+        schema: ActivitySchemaId,
+        user: Option<UserId>,
+    ) -> CoordResult<ProcessInstanceId> {
+        let pi = self.store.create_top_level(schema)?;
+        self.transition(pi, generic::READY, user)?;
+        self.transition(pi, generic::RUNNING, user)?;
+        self.route(pi)?;
+        Ok(pi)
+    }
+
+    /// Starts a `Ready` activity: `Ready -> Running`, attributing and
+    /// assigning `user` as performer. For subprocesses this also enables
+    /// their initial variables.
+    pub fn start_activity(
+        &self,
+        instance: ActivityInstanceId,
+        user: Option<UserId>,
+    ) -> CoordResult<()> {
+        self.expect_state(instance, generic::READY, "Ready")?;
+        if let Some(u) = user {
+            self.store.set_performer(instance, u)?;
+        }
+        self.transition(instance, generic::RUNNING, user)?;
+        if self.store.schema_of(instance)?.is_process() {
+            self.route(instance)?;
+        }
+        Ok(())
+    }
+
+    /// Completes a `Running` activity and routes its parent: dependent
+    /// variables may become `Ready`, and the parent may auto-complete.
+    pub fn complete_activity(
+        &self,
+        instance: ActivityInstanceId,
+        user: Option<UserId>,
+    ) -> CoordResult<()> {
+        self.expect_state(instance, generic::RUNNING, "Running")?;
+        self.transition(instance, generic::COMPLETED, user)?;
+        self.after_close(instance, user)
+    }
+
+    /// Suspends a `Running` activity.
+    pub fn suspend_activity(
+        &self,
+        instance: ActivityInstanceId,
+        user: Option<UserId>,
+    ) -> CoordResult<()> {
+        self.expect_state(instance, generic::RUNNING, "Running")?;
+        self.transition(instance, generic::SUSPENDED, user)
+    }
+
+    /// Resumes a `Suspended` activity.
+    pub fn resume_activity(
+        &self,
+        instance: ActivityInstanceId,
+        user: Option<UserId>,
+    ) -> CoordResult<()> {
+        self.expect_state(instance, generic::SUSPENDED, "Suspended")?;
+        self.transition(instance, generic::RUNNING, user)
+    }
+
+    /// Moves a running activity between application-specific substates (§4's
+    /// refinements), e.g. `Gathering -> Analyzing`. Any legal leaf-to-leaf
+    /// transition is accepted; state-entry scripts run as usual.
+    pub fn advance_state(
+        &self,
+        instance: ActivityInstanceId,
+        to_state: &str,
+        user: Option<UserId>,
+    ) -> CoordResult<()> {
+        self.transition(instance, to_state, user)
+    }
+
+    /// Terminates an open activity (from `Ready`, `Running` or `Suspended`),
+    /// then routes the parent like any closure.
+    pub fn terminate_activity(
+        &self,
+        instance: ActivityInstanceId,
+        user: Option<UserId>,
+    ) -> CoordResult<()> {
+        self.transition(instance, generic::TERMINATED, user)?;
+        self.after_close(instance, user)
+    }
+
+    /// Starts an **optional** activity variable on demand (Fig. 1's lab
+    /// tests / local expertise): creates an instance and moves it `Ready`.
+    /// Returns the new instance, which a participant then claims and starts.
+    pub fn start_optional(
+        &self,
+        parent: ProcessInstanceId,
+        var_name: &str,
+        user: Option<UserId>,
+    ) -> CoordResult<ActivityInstanceId> {
+        let schema = self.store.schema_of(parent)?;
+        let var = schema.activity_var(var_name)?;
+        if !var.optional {
+            return Err(CoordError::NotOptional(var_name.to_owned()));
+        }
+        let child = self.store.create_subactivity(parent, var.id)?;
+        self.transition(child, generic::READY, user)?;
+        if self.config.auto_start_subprocesses && self.store.schema_of(child)?.is_process() {
+            self.start_activity(child, user)?;
+        }
+        Ok(child)
+    }
+
+    /// Terminates every open deadline-bound activity whose deadline (a
+    /// `Time`-valued context field, per the `Deadline` dependency) has
+    /// passed. Returns the terminated instances. Call after advancing the
+    /// scenario clock.
+    pub fn enforce_deadlines(&self) -> CoordResult<Vec<ActivityInstanceId>> {
+        let now = self.clock.now();
+        let mut terminated = Vec::new();
+        for pi in self.store.all_instances() {
+            let schema = match self.store.schema_of(pi) {
+                Ok(s) if s.is_process() => s,
+                _ => continue,
+            };
+            if self.store.is_closed(pi)? {
+                continue;
+            }
+            for dep in schema.dependencies() {
+                let Dependency::Deadline {
+                    target,
+                    context_name,
+                    field,
+                } = dep
+                else {
+                    continue;
+                };
+                let Some(ctx) = self.contexts.find(context_name, pi) else {
+                    continue;
+                };
+                let Ok(v) = self.contexts.get_field(ctx, field) else {
+                    continue;
+                };
+                let Some(deadline) = v.as_time() else {
+                    continue;
+                };
+                if now <= deadline {
+                    continue;
+                }
+                if let Some(child) = self.store.child_for_var(pi, *target)? {
+                    if !self.store.is_closed(child)? {
+                        self.terminate_activity(child, None)?;
+                        terminated.push(child);
+                    }
+                }
+            }
+        }
+        Ok(terminated)
+    }
+
+    /// Re-evaluates the dependencies of a process instance, enabling any
+    /// newly satisfied activity variables. Called automatically after every
+    /// closure; callers may invoke it after context changes that affect
+    /// `Guard` dependencies.
+    pub fn route(&self, pi: ProcessInstanceId) -> CoordResult<()> {
+        let schema = self.store.schema_of(pi)?;
+        if !schema.is_process() || !self.store.is_within(pi, generic::RUNNING)? {
+            return Ok(());
+        }
+        for var in schema.activity_vars() {
+            if var.optional {
+                continue;
+            }
+            // Skip variables whose instance already left Uninitialized.
+            if let Some(child) = self.store.child_for_var(pi, var.id)? {
+                if !self.store.is_within(child, generic::UNINITIALIZED)? {
+                    continue;
+                }
+            }
+            if !self.flow_enabled(&schema, pi, var.id)? || !self.guards_hold(&schema, pi, var.id)?
+            {
+                continue;
+            }
+            let child = match self.store.child_for_var(pi, var.id)? {
+                Some(c) => c,
+                None => self.store.create_subactivity(pi, var.id)?,
+            };
+            // The dependency whose satisfaction enabled the variable: the
+            // last flow dependency targeting it, a guard if only guards, or
+            // `initial` when nothing targets it.
+            let dep_type = schema
+                .dependencies()
+                .iter()
+                .filter(|d| d.target() == var.id)
+                .map(|d| d.type_name())
+                .find(|t| matches!(*t, "sequence" | "and-join" | "or-join"))
+                .or_else(|| {
+                    schema
+                        .dependencies()
+                        .iter()
+                        .filter(|d| d.target() == var.id)
+                        .map(|d| d.type_name())
+                        .next()
+                })
+                .unwrap_or("initial");
+            self.emit_dependency(DependencyStatusChange {
+                time: self.clock.now(),
+                process_schema: schema.id(),
+                process_instance: pi,
+                dependency_type: dep_type,
+                target: var.id,
+                target_name: var.name.clone(),
+            });
+            self.transition(child, generic::READY, None)?;
+            if self.config.auto_start_subprocesses && self.store.schema_of(child)?.is_process() {
+                self.start_activity(child, None)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn after_close(
+        &self,
+        instance: ActivityInstanceId,
+        user: Option<UserId>,
+    ) -> CoordResult<()> {
+        let snap = self.store.snapshot(instance)?;
+        if let Some((_, parent)) = snap.parent {
+            self.route(parent)?;
+            self.maybe_complete(parent, user)?;
+        }
+        Ok(())
+    }
+
+    fn maybe_complete(&self, pi: ProcessInstanceId, user: Option<UserId>) -> CoordResult<()> {
+        if !self.config.auto_complete_processes {
+            return Ok(());
+        }
+        let schema = self.store.schema_of(pi)?;
+        if !schema.is_process() || !self.store.is_within(pi, generic::RUNNING)? {
+            return Ok(());
+        }
+        // Every required variable must have a Completed instance...
+        for var in schema.activity_vars() {
+            if var.optional {
+                continue;
+            }
+            match self.store.child_for_var(pi, var.id)? {
+                Some(c) if self.store.is_within(c, generic::COMPLETED)? => {}
+                _ => return Ok(()),
+            }
+        }
+        // ...and nothing (required or optional) may still be open.
+        let snap = self.store.snapshot(pi)?;
+        for c in snap.children {
+            if !self.store.is_closed(c)? {
+                return Ok(());
+            }
+        }
+        self.transition(pi, generic::COMPLETED, user)?;
+        self.after_close(pi, user)
+    }
+
+    fn flow_enabled(
+        &self,
+        schema: &ActivitySchema,
+        pi: ProcessInstanceId,
+        var: ActivityVarId,
+    ) -> CoordResult<bool> {
+        let mut has_flow_dep = false;
+        let mut enabled = true;
+        for dep in schema.dependencies() {
+            if dep.target() != var || dep.sources().is_empty() {
+                continue;
+            }
+            has_flow_dep = true;
+            let ok = match dep {
+                Dependency::Sequence { from, .. } => self.var_completed(pi, *from)?,
+                Dependency::AndJoin { sources, .. } => {
+                    let mut all = true;
+                    for s in sources {
+                        all &= self.var_completed(pi, *s)?;
+                    }
+                    all
+                }
+                Dependency::OrJoin { sources, .. } => {
+                    let mut any = false;
+                    for s in sources {
+                        any |= self.var_completed(pi, *s)?;
+                    }
+                    any
+                }
+                _ => true,
+            };
+            enabled &= ok;
+        }
+        // Variables without inbound flow edges are initial: enabled at start.
+        Ok(!has_flow_dep || enabled)
+    }
+
+    fn guards_hold(
+        &self,
+        schema: &ActivitySchema,
+        pi: ProcessInstanceId,
+        var: ActivityVarId,
+    ) -> CoordResult<bool> {
+        for dep in schema.dependencies() {
+            let Dependency::Guard {
+                target,
+                context_name,
+                field,
+                expect,
+            } = dep
+            else {
+                continue;
+            };
+            if *target != var {
+                continue;
+            }
+            let actual: Option<Value> = self
+                .contexts
+                .find(context_name, pi)
+                .and_then(|c| self.contexts.get_field(c, field).ok());
+            if actual.as_ref() != Some(expect) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn var_completed(&self, pi: ProcessInstanceId, var: ActivityVarId) -> CoordResult<bool> {
+        Ok(match self.store.child_for_var(pi, var)? {
+            Some(c) => self.store.is_within(c, generic::COMPLETED)?,
+            None => false,
+        })
+    }
+
+    fn expect_state(
+        &self,
+        instance: ActivityInstanceId,
+        state: &str,
+        needed: &'static str,
+    ) -> CoordResult<()> {
+        // Superstate-aware: an instance in `Gathering` (a refinement of
+        // `Running`) satisfies an expectation of `Running`.
+        if !self.store.is_within(instance, state).unwrap_or(false) {
+            return Err(CoordError::WrongState {
+                instance,
+                state: self.store.state_of(instance)?,
+                needed,
+            });
+        }
+        Ok(())
+    }
+
+    /// Applies a transition and runs any scripts registered for the entered
+    /// state.
+    fn transition(
+        &self,
+        instance: ActivityInstanceId,
+        to: &str,
+        user: Option<UserId>,
+    ) -> CoordResult<()> {
+        let ev = self.store.transition(instance, to, user)?;
+        let schema = self.store.schema_of(instance)?;
+        let scripts = {
+            let g = self.scripts.read();
+            g.get(&(schema.id(), ev.new_state.clone())).cloned()
+        };
+        if let Some(scripts) = scripts {
+            for s in &scripts {
+                s.run(
+                    &self.contexts,
+                    &self.directory,
+                    self.clock.as_ref(),
+                    (schema.id(), instance),
+                    user,
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scripts::{ScriptAction, ScriptValue};
+    use cmi_core::repository::SchemaRepository;
+    use cmi_core::schema::ActivitySchemaBuilder;
+    use cmi_core::state_schema::ActivityStateSchema;
+    use cmi_core::time::{Duration, SimClock};
+
+    struct Fixture {
+        engine: EnactmentEngine,
+        repo: Arc<SchemaRepository>,
+        clock: SimClock,
+    }
+
+    fn fixture() -> Fixture {
+        let clock = SimClock::new();
+        let repo = Arc::new(SchemaRepository::new());
+        let store = Arc::new(InstanceStore::new(Arc::new(clock.clone()), repo.clone()));
+        let contexts = Arc::new(ContextManager::new(Arc::new(clock.clone())));
+        let directory = Arc::new(Directory::new());
+        let engine = EnactmentEngine::new(
+            store,
+            contexts,
+            directory,
+            Arc::new(clock.clone()),
+            EngineConfig::default(),
+        );
+        Fixture { engine, repo, clock }
+    }
+
+    fn basic(repo: &SchemaRepository, name: &str) -> ActivitySchemaId {
+        let ss = repo
+            .register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+        let id = repo.fresh_activity_schema_id();
+        repo.register_activity_schema(
+            ActivitySchemaBuilder::basic(id, name, ss).build().unwrap(),
+        );
+        id
+    }
+
+    #[test]
+    fn sequential_process_runs_to_completion() {
+        let f = fixture();
+        let a = basic(&f.repo, "A");
+        let b = basic(&f.repo, "B");
+        let ss = f
+            .repo
+            .register_state_schema(ActivityStateSchema::generic(f.repo.fresh_state_schema_id()));
+        let pid = f.repo.fresh_activity_schema_id();
+        let mut pb = ActivitySchemaBuilder::process(pid, "P", ss);
+        let va = pb.activity_var("a", a, false).unwrap();
+        let vb = pb.activity_var("b", b, false).unwrap();
+        pb.sequence(va, vb);
+        f.repo.register_activity_schema(pb.build().unwrap());
+
+        let pi = f.engine.start_process(pid, None).unwrap();
+        let store = f.engine.store();
+        // a is Ready, b not yet created.
+        let ia = store.child_for_var(pi, va).unwrap().unwrap();
+        assert_eq!(store.state_of(ia).unwrap(), generic::READY);
+        assert!(store.child_for_var(pi, vb).unwrap().is_none());
+
+        f.engine.start_activity(ia, Some(UserId(1))).unwrap();
+        f.engine.complete_activity(ia, Some(UserId(1))).unwrap();
+        // b now Ready.
+        let ib = store.child_for_var(pi, vb).unwrap().unwrap();
+        assert_eq!(store.state_of(ib).unwrap(), generic::READY);
+        assert_eq!(store.state_of(pi).unwrap(), generic::RUNNING);
+
+        f.engine.start_activity(ib, None).unwrap();
+        f.engine.complete_activity(ib, None).unwrap();
+        // Parent auto-completes.
+        assert_eq!(store.state_of(pi).unwrap(), generic::COMPLETED);
+    }
+
+    #[test]
+    fn and_join_waits_for_all_sources() {
+        let f = fixture();
+        let a = basic(&f.repo, "A");
+        let b = basic(&f.repo, "B");
+        let c = basic(&f.repo, "C");
+        let ss = f
+            .repo
+            .register_state_schema(ActivityStateSchema::generic(f.repo.fresh_state_schema_id()));
+        let pid = f.repo.fresh_activity_schema_id();
+        let mut pb = ActivitySchemaBuilder::process(pid, "P", ss);
+        let va = pb.activity_var("a", a, false).unwrap();
+        let vb = pb.activity_var("b", b, false).unwrap();
+        let vc = pb.activity_var("c", c, false).unwrap();
+        pb.dependency(Dependency::AndJoin {
+            sources: vec![va, vb],
+            target: vc,
+        });
+        f.repo.register_activity_schema(pb.build().unwrap());
+
+        let pi = f.engine.start_process(pid, None).unwrap();
+        let store = f.engine.store();
+        let ia = store.child_for_var(pi, va).unwrap().unwrap();
+        let ib = store.child_for_var(pi, vb).unwrap().unwrap();
+        f.engine.start_activity(ia, None).unwrap();
+        f.engine.complete_activity(ia, None).unwrap();
+        assert!(store.child_for_var(pi, vc).unwrap().is_none(), "b still open");
+        f.engine.start_activity(ib, None).unwrap();
+        f.engine.complete_activity(ib, None).unwrap();
+        let ic = store.child_for_var(pi, vc).unwrap().unwrap();
+        assert_eq!(store.state_of(ic).unwrap(), generic::READY);
+    }
+
+    #[test]
+    fn or_join_fires_on_first_source() {
+        let f = fixture();
+        let a = basic(&f.repo, "A");
+        let b = basic(&f.repo, "B");
+        let c = basic(&f.repo, "C");
+        let ss = f
+            .repo
+            .register_state_schema(ActivityStateSchema::generic(f.repo.fresh_state_schema_id()));
+        let pid = f.repo.fresh_activity_schema_id();
+        let mut pb = ActivitySchemaBuilder::process(pid, "P", ss);
+        let va = pb.activity_var("a", a, false).unwrap();
+        let vb = pb.activity_var("b", b, false).unwrap();
+        let vc = pb.activity_var("c", c, false).unwrap();
+        pb.dependency(Dependency::OrJoin {
+            sources: vec![va, vb],
+            target: vc,
+        });
+        f.repo.register_activity_schema(pb.build().unwrap());
+
+        let pi = f.engine.start_process(pid, None).unwrap();
+        let store = f.engine.store();
+        let ia = store.child_for_var(pi, va).unwrap().unwrap();
+        f.engine.start_activity(ia, None).unwrap();
+        f.engine.complete_activity(ia, None).unwrap();
+        assert!(store.child_for_var(pi, vc).unwrap().is_some());
+    }
+
+    #[test]
+    fn guard_blocks_until_context_field_matches() {
+        let f = fixture();
+        let a = basic(&f.repo, "A");
+        let b = basic(&f.repo, "B");
+        let ss = f
+            .repo
+            .register_state_schema(ActivityStateSchema::generic(f.repo.fresh_state_schema_id()));
+        let pid = f.repo.fresh_activity_schema_id();
+        let mut pb = ActivitySchemaBuilder::process(pid, "P", ss);
+        let va = pb.activity_var("a", a, false).unwrap();
+        let vb = pb.activity_var("b", b, false).unwrap();
+        pb.sequence(va, vb);
+        pb.dependency(Dependency::Guard {
+            target: vb,
+            context_name: "Ctx".into(),
+            field: "approved".into(),
+            expect: Value::Bool(true),
+        });
+        f.repo.register_activity_schema(pb.build().unwrap());
+        f.engine.register_script(
+            pid,
+            generic::RUNNING,
+            ActivityScript::new(
+                "init",
+                vec![
+                    ScriptAction::CreateContext { name: "Ctx".into() },
+                    ScriptAction::SetField {
+                        context: "Ctx".into(),
+                        field: "approved".into(),
+                        value: ScriptValue::Lit(Value::Bool(false)),
+                    },
+                ],
+            ),
+        );
+
+        let pi = f.engine.start_process(pid, None).unwrap();
+        let store = f.engine.store();
+        let ia = store.child_for_var(pi, va).unwrap().unwrap();
+        f.engine.start_activity(ia, None).unwrap();
+        f.engine.complete_activity(ia, None).unwrap();
+        assert!(
+            store.child_for_var(pi, vb).unwrap().is_none(),
+            "guard holds b back"
+        );
+        // Approve and re-route.
+        let ctx = f.engine.contexts().find("Ctx", pi).unwrap();
+        f.engine
+            .contexts()
+            .set_field(ctx, "approved", Value::Bool(true))
+            .unwrap();
+        f.engine.route(pi).unwrap();
+        assert!(store.child_for_var(pi, vb).unwrap().is_some());
+    }
+
+    #[test]
+    fn subprocess_invocation_spawns_children_automatically() {
+        let f = fixture();
+        let leaf = basic(&f.repo, "leaf");
+        let ss = f
+            .repo
+            .register_state_schema(ActivityStateSchema::generic(f.repo.fresh_state_schema_id()));
+        let childp = f.repo.fresh_activity_schema_id();
+        let mut cb = ActivitySchemaBuilder::process(childp, "Child", ss.clone());
+        let vleaf = cb.activity_var("leaf", leaf, false).unwrap();
+        f.repo.register_activity_schema(cb.build().unwrap());
+        let parentp = f.repo.fresh_activity_schema_id();
+        let mut pb = ActivitySchemaBuilder::process(parentp, "Parent", ss);
+        let vchild = pb.activity_var("child", childp, false).unwrap();
+        f.repo.register_activity_schema(pb.build().unwrap());
+
+        let pi = f.engine.start_process(parentp, None).unwrap();
+        let store = f.engine.store();
+        let ci = store.child_for_var(pi, vchild).unwrap().unwrap();
+        assert_eq!(store.state_of(ci).unwrap(), generic::RUNNING, "auto-started");
+        let li = store.child_for_var(ci, vleaf).unwrap().unwrap();
+        assert_eq!(store.state_of(li).unwrap(), generic::READY);
+        // Completing the grandchild completes child then parent.
+        f.engine.start_activity(li, None).unwrap();
+        f.engine.complete_activity(li, None).unwrap();
+        assert_eq!(store.state_of(ci).unwrap(), generic::COMPLETED);
+        assert_eq!(store.state_of(pi).unwrap(), generic::COMPLETED);
+    }
+
+    #[test]
+    fn optional_vars_started_on_demand_only() {
+        let f = fixture();
+        let a = basic(&f.repo, "A");
+        let lab = basic(&f.repo, "LabTest");
+        let ss = f
+            .repo
+            .register_state_schema(ActivityStateSchema::generic(f.repo.fresh_state_schema_id()));
+        let pid = f.repo.fresh_activity_schema_id();
+        let mut pb = ActivitySchemaBuilder::process(pid, "P", ss);
+        let va = pb.activity_var("a", a, false).unwrap();
+        let vlab = pb.activity_var("lab", lab, true).unwrap();
+        f.repo.register_activity_schema(pb.build().unwrap());
+
+        let pi = f.engine.start_process(pid, None).unwrap();
+        let store = f.engine.store();
+        assert!(store.child_for_var(pi, vlab).unwrap().is_none());
+        // Start two lab tests on demand (repeated instantiation).
+        let l1 = f.engine.start_optional(pi, "lab", Some(UserId(2))).unwrap();
+        let l2 = f.engine.start_optional(pi, "lab", Some(UserId(2))).unwrap();
+        assert_ne!(l1, l2);
+        assert_eq!(store.state_of(l1).unwrap(), generic::READY);
+        // Non-optional vars cannot be started this way.
+        assert!(matches!(
+            f.engine.start_optional(pi, "a", None),
+            Err(CoordError::NotOptional(_))
+        ));
+        // Parent cannot auto-complete while an optional instance is open.
+        let ia = store.child_for_var(pi, va).unwrap().unwrap();
+        f.engine.start_activity(ia, None).unwrap();
+        f.engine.complete_activity(ia, None).unwrap();
+        assert_eq!(store.state_of(pi).unwrap(), generic::RUNNING);
+        f.engine.start_activity(l1, None).unwrap();
+        f.engine.complete_activity(l1, None).unwrap();
+        f.engine.terminate_activity(l2, None).unwrap();
+        assert_eq!(store.state_of(pi).unwrap(), generic::COMPLETED);
+    }
+
+    #[test]
+    fn deadline_dependency_terminates_overdue_activity() {
+        let f = fixture();
+        let slow = basic(&f.repo, "Slow");
+        let ss = f
+            .repo
+            .register_state_schema(ActivityStateSchema::generic(f.repo.fresh_state_schema_id()));
+        let pid = f.repo.fresh_activity_schema_id();
+        let mut pb = ActivitySchemaBuilder::process(pid, "P", ss);
+        let vs = pb.activity_var("slow", slow, false).unwrap();
+        pb.dependency(Dependency::Deadline {
+            target: vs,
+            context_name: "Ctx".into(),
+            field: "deadline".into(),
+        });
+        f.repo.register_activity_schema(pb.build().unwrap());
+        f.engine.register_script(
+            pid,
+            generic::RUNNING,
+            ActivityScript::new(
+                "init",
+                vec![
+                    ScriptAction::CreateContext { name: "Ctx".into() },
+                    ScriptAction::SetField {
+                        context: "Ctx".into(),
+                        field: "deadline".into(),
+                        value: ScriptValue::NowPlus(Duration::from_hours(2)),
+                    },
+                ],
+            ),
+        );
+
+        let pi = f.engine.start_process(pid, None).unwrap();
+        let store = f.engine.store();
+        let is = store.child_for_var(pi, vs).unwrap().unwrap();
+        f.engine.start_activity(is, None).unwrap();
+        // Before the deadline nothing happens.
+        f.clock.advance(Duration::from_hours(1));
+        assert!(f.engine.enforce_deadlines().unwrap().is_empty());
+        // After the deadline the activity is terminated.
+        f.clock.advance(Duration::from_hours(2));
+        let t = f.engine.enforce_deadlines().unwrap();
+        assert_eq!(t, vec![is]);
+        assert_eq!(store.state_of(is).unwrap(), generic::TERMINATED);
+        // Idempotent.
+        assert!(f.engine.enforce_deadlines().unwrap().is_empty());
+    }
+
+    #[test]
+    fn operations_enforce_current_state() {
+        let f = fixture();
+        let a = basic(&f.repo, "A");
+        let ss = f
+            .repo
+            .register_state_schema(ActivityStateSchema::generic(f.repo.fresh_state_schema_id()));
+        let pid = f.repo.fresh_activity_schema_id();
+        let mut pb = ActivitySchemaBuilder::process(pid, "P", ss);
+        pb.activity_var("a", a, false).unwrap();
+        f.repo.register_activity_schema(pb.build().unwrap());
+        let pi = f.engine.start_process(pid, None).unwrap();
+        let ia = f
+            .engine
+            .store()
+            .child_for_var(pi, f.repo.activity_schema(pid).unwrap().activity_vars()[0].id)
+            .unwrap()
+            .unwrap();
+        // Completing before starting fails.
+        assert!(matches!(
+            f.engine.complete_activity(ia, None),
+            Err(CoordError::WrongState { .. })
+        ));
+        f.engine.start_activity(ia, None).unwrap();
+        assert!(matches!(
+            f.engine.start_activity(ia, None),
+            Err(CoordError::WrongState { .. })
+        ));
+        f.engine.suspend_activity(ia, None).unwrap();
+        f.engine.resume_activity(ia, None).unwrap();
+        f.engine.complete_activity(ia, None).unwrap();
+    }
+
+    #[test]
+    fn scripts_run_on_state_entry() {
+        let f = fixture();
+        let ss = f
+            .repo
+            .register_state_schema(ActivityStateSchema::generic(f.repo.fresh_state_schema_id()));
+        let pid = f.repo.fresh_activity_schema_id();
+        let pb = ActivitySchemaBuilder::process(pid, "P", ss);
+        f.repo.register_activity_schema(pb.build().unwrap());
+        f.engine.register_script(
+            pid,
+            generic::RUNNING,
+            ActivityScript::new(
+                "init",
+                vec![ScriptAction::CreateContext { name: "C".into() }],
+            ),
+        );
+        assert_eq!(f.engine.script_count(), 1);
+        let pi = f.engine.start_process(pid, None).unwrap();
+        assert!(f.engine.contexts().find("C", pi).is_some());
+    }
+}

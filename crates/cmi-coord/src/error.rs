@@ -1,0 +1,87 @@
+//! Errors raised by the coordination engine.
+
+use std::fmt;
+
+use cmi_core::error::CoreError;
+use cmi_core::ids::ActivityInstanceId;
+
+/// Errors from enactment operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordError {
+    /// An underlying CORE model error.
+    Core(CoreError),
+    /// The operation requires the instance to be in a different state.
+    WrongState {
+        /// The instance.
+        instance: ActivityInstanceId,
+        /// Its current state.
+        state: String,
+        /// What the operation needed.
+        needed: &'static str,
+    },
+    /// Tried to start an optional activity variable that is not declared
+    /// optional, or vice versa.
+    NotOptional(String),
+    /// A work item was claimed by a user who does not play the required role.
+    NotAuthorized {
+        /// The instance being claimed.
+        instance: ActivityInstanceId,
+        /// The role requirement, rendered.
+        role: String,
+    },
+}
+
+impl fmt::Display for CoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordError::Core(e) => write!(f, "{e}"),
+            CoordError::WrongState {
+                instance,
+                state,
+                needed,
+            } => write!(f, "{instance} is in state `{state}`, operation needs {needed}"),
+            CoordError::NotOptional(v) => {
+                write!(f, "activity variable `{v}` is not optional; it is flow-scheduled")
+            }
+            CoordError::NotAuthorized { instance, role } => {
+                write!(f, "claiming {instance} requires playing role {role}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoordError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoordError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for CoordError {
+    fn from(e: CoreError) -> Self {
+        CoordError::Core(e)
+    }
+}
+
+/// Convenience alias.
+pub type CoordResult<T> = Result<T, CoordError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoordError::Core(CoreError::UnknownState("X".into()));
+        assert_eq!(e.to_string(), "unknown state `X`");
+        assert!(std::error::Error::source(&e).is_some());
+        let w = CoordError::WrongState {
+            instance: ActivityInstanceId(3),
+            state: "Closed".into(),
+            needed: "Running",
+        };
+        assert!(w.to_string().contains("ai3"));
+    }
+}

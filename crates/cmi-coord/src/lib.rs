@@ -1,0 +1,35 @@
+//! # cmi-coord — the Coordination Model and WfMS substrate
+//!
+//! The Coordination Model (CM) of CMM "provides primitives for coordinating
+//! participants and for automating process enactment" (§3): operations that
+//! cause the state transitions CORE declares, dependency evaluation and
+//! routing, subprocess invocation, and worklists. The CMI prototype enacted
+//! processes on IBM FlowMark; this crate replaces that commercial substrate
+//! with a from-scratch enactment engine plus a lowering pass reproducing the
+//! CMM→WfMS translation the paper reports in §7.
+//!
+//! * [`engine`] — the enactment engine: start/complete/suspend/resume/
+//!   terminate operations, dependency routing (sequence, and-join, or-join,
+//!   guard, deadline), subprocess invocation, basic activity scripts.
+//! * [`worklist`] — the participant worklist with query-time role resolution
+//!   (organizational and scoped).
+//! * [`scripts`] — basic activity scripts creating and managing context
+//!   resources (the paper's §7 inventory lists thirty of them).
+//! * [`lowering`] — the CMM→WfMS translation pass.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod error;
+pub mod lowering;
+pub mod monitor;
+pub mod scripts;
+pub mod worklist;
+
+pub use engine::{DependencyListener, DependencyStatusChange, EnactmentEngine, EngineConfig};
+pub use error::{CoordError, CoordResult};
+pub use lowering::{lower, lower_closure, lower_per_use, LoweredActivity, LoweringReport, WfmsStep, WfmsStepKind};
+pub use monitor::{ProcessMonitor, ProcessStats};
+pub use scripts::{ActivityScript, MemberSource, ScriptAction, ScriptValue};
+pub use worklist::{WorkItem, Worklist};

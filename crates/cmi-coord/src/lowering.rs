@@ -1,0 +1,328 @@
+//! CMM → WfMS lowering.
+//!
+//! The CMI prototype enacted CMM activities by translating them into a
+//! commercial WfMS (IBM FlowMark). The paper reports that "CMM activity
+//! translation into the commercial WfMS used by the CMI system resulted into
+//! a few hundreds of WfMS activities" from "more than fifty CMM activities"
+//! (§7) — an expansion factor of roughly 4–8×, because one CMM activity needs
+//! several primitive WfMS steps (role staffing, data container handling, the
+//! work step itself, completion notification) plus routing nodes for
+//! dependencies and script hooks.
+//!
+//! This module reproduces that translation as a lowering pass over activity
+//! schemas, so experiment TAB7 can regenerate the paper's counts from first
+//! principles rather than hard-coding them.
+
+use std::collections::BTreeSet;
+
+use cmi_core::ids::ActivitySchemaId;
+use cmi_core::repository::SchemaRepository;
+use cmi_core::schema::{ActivityKind, Dependency};
+
+/// One primitive step of the lowered WfMS process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WfmsStep {
+    /// Step name, e.g. `Interview.perform`.
+    pub name: String,
+    /// What kind of step it is.
+    pub kind: WfmsStepKind,
+}
+
+/// Kinds of primitive WfMS steps produced by the lowering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WfmsStepKind {
+    /// Resolve the performing role and assign a worklist entry.
+    Staff,
+    /// Move input data containers to the work step.
+    FetchInputs,
+    /// The user/program work step itself.
+    Perform,
+    /// Store output data containers.
+    StoreOutputs,
+    /// Signal completion to the routing layer.
+    Notify,
+    /// Process-level initialization (instance creation, context scripts).
+    ProcessInit,
+    /// A routing node evaluating one dependency.
+    Route,
+    /// Process-level finalization.
+    ProcessFinalize,
+    /// A hook step invoking a basic activity script.
+    ScriptHook,
+}
+
+/// The lowered form of one CMM activity schema (not counting nested
+/// subprocess schemas; see [`lower_closure`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoweredActivity {
+    /// The CMM schema that was lowered.
+    pub schema: ActivitySchemaId,
+    /// The schema's name.
+    pub name: String,
+    /// The generated WfMS steps.
+    pub steps: Vec<WfmsStep>,
+}
+
+impl LoweredActivity {
+    /// Number of generated WfMS steps.
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+/// Lowers a single activity schema into its WfMS steps. `script_hooks` is
+/// the number of basic activity scripts registered against the schema (each
+/// becomes a hook step).
+pub fn lower(
+    repo: &SchemaRepository,
+    schema: ActivitySchemaId,
+    script_hooks: usize,
+) -> cmi_core::error::CoreResult<LoweredActivity> {
+    let s = repo.activity_schema(schema)?;
+    let mut steps = Vec::new();
+    let mut push = |name: String, kind: WfmsStepKind| steps.push(WfmsStep { name, kind });
+    match s.kind() {
+        ActivityKind::Basic => {
+            // One staffing step if a performer is declared, data container
+            // moves per input/output resource variable, the work step, and a
+            // completion notification.
+            if s.performer().is_some() {
+                push(format!("{}.staff", s.name()), WfmsStepKind::Staff);
+            }
+            let inputs = s
+                .resource_vars()
+                .iter()
+                .filter(|r| matches!(r.usage, cmi_core::resource::ResourceUsage::Input))
+                .count();
+            let outputs = s
+                .resource_vars()
+                .iter()
+                .filter(|r| matches!(r.usage, cmi_core::resource::ResourceUsage::Output))
+                .count();
+            if inputs > 0 {
+                push(format!("{}.fetch-inputs", s.name()), WfmsStepKind::FetchInputs);
+            }
+            push(format!("{}.perform", s.name()), WfmsStepKind::Perform);
+            if outputs > 0 {
+                push(format!("{}.store-outputs", s.name()), WfmsStepKind::StoreOutputs);
+            }
+            push(format!("{}.notify", s.name()), WfmsStepKind::Notify);
+        }
+        ActivityKind::Process => {
+            push(format!("{}.init", s.name()), WfmsStepKind::ProcessInit);
+            for (i, d) in s.dependencies().iter().enumerate() {
+                let label = match d {
+                    Dependency::Sequence { .. } => "seq",
+                    Dependency::AndJoin { .. } => "and-join",
+                    Dependency::OrJoin { .. } => "or-join",
+                    Dependency::Guard { .. } => "guard",
+                    Dependency::Deadline { .. } => "deadline",
+                };
+                push(format!("{}.route{}[{}]", s.name(), i, label), WfmsStepKind::Route);
+            }
+            push(format!("{}.finalize", s.name()), WfmsStepKind::ProcessFinalize);
+        }
+    }
+    for i in 0..script_hooks {
+        push(format!("{}.script{}", s.name(), i), WfmsStepKind::ScriptHook);
+    }
+    Ok(LoweredActivity {
+        schema,
+        name: s.name().to_owned(),
+        steps,
+    })
+}
+
+/// Summary of lowering a whole schema closure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoweringReport {
+    /// Every lowered activity.
+    pub activities: Vec<LoweredActivity>,
+}
+
+impl LoweringReport {
+    /// Total CMM activities lowered.
+    pub fn cmm_activity_count(&self) -> usize {
+        self.activities.len()
+    }
+
+    /// Total WfMS steps generated.
+    pub fn wfms_step_count(&self) -> usize {
+        self.activities.iter().map(LoweredActivity::step_count).sum()
+    }
+
+    /// Expansion factor (WfMS steps per CMM activity).
+    pub fn expansion_factor(&self) -> f64 {
+        if self.activities.is_empty() {
+            return 0.0;
+        }
+        self.wfms_step_count() as f64 / self.cmm_activity_count() as f64
+    }
+}
+
+/// Lowers each root process and every schema *use* reachable through
+/// activity variables, expanding shared schemas once **per use** — the way
+/// the FlowMark translation inlined a CMM activity into each process
+/// template that referenced it. This is the count behind the paper's "more
+/// than fifty CMM activities … resulted into a few hundreds of WfMS
+/// activities" (§7); [`lower_closure`] is the deduplicated variant.
+pub fn lower_per_use(
+    repo: &SchemaRepository,
+    roots: &[ActivitySchemaId],
+    script_count_for: impl Fn(ActivitySchemaId) -> usize + Copy,
+) -> cmi_core::error::CoreResult<LoweringReport> {
+    fn go(
+        repo: &SchemaRepository,
+        id: ActivitySchemaId,
+        script_count_for: impl Fn(ActivitySchemaId) -> usize + Copy,
+        path: &mut Vec<ActivitySchemaId>,
+        report: &mut LoweringReport,
+    ) -> cmi_core::error::CoreResult<()> {
+        if path.contains(&id) {
+            return Ok(()); // defensive: break recursive schema references
+        }
+        path.push(id);
+        report.activities.push(lower(repo, id, script_count_for(id))?);
+        let schema = repo.activity_schema(id)?;
+        for var in schema.activity_vars() {
+            go(repo, var.schema, script_count_for, path, report)?;
+        }
+        path.pop();
+        Ok(())
+    }
+    let mut report = LoweringReport::default();
+    let mut path = Vec::new();
+    for &root in roots {
+        go(repo, root, script_count_for, &mut path, &mut report)?;
+    }
+    Ok(report)
+}
+
+/// Lowers a process schema and every schema transitively reachable through
+/// its activity variables. `script_count_for` reports how many scripts are
+/// registered for a schema.
+pub fn lower_closure(
+    repo: &SchemaRepository,
+    roots: &[ActivitySchemaId],
+    script_count_for: impl Fn(ActivitySchemaId) -> usize,
+) -> cmi_core::error::CoreResult<LoweringReport> {
+    let mut seen: BTreeSet<ActivitySchemaId> = BTreeSet::new();
+    let mut stack: Vec<ActivitySchemaId> = roots.to_vec();
+    let mut report = LoweringReport::default();
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        let schema = repo.activity_schema(id)?;
+        for var in schema.activity_vars() {
+            stack.push(var.schema);
+        }
+        report.activities.push(lower(repo, id, script_count_for(id))?);
+    }
+    report.activities.sort_by_key(|a| a.schema);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_core::resource::ResourceUsage;
+    use cmi_core::roles::RoleSpec;
+    use cmi_core::schema::ActivitySchemaBuilder;
+    use cmi_core::state_schema::ActivityStateSchema;
+
+    fn repo() -> SchemaRepository {
+        SchemaRepository::new()
+    }
+
+    fn states(r: &SchemaRepository) -> std::sync::Arc<ActivityStateSchema> {
+        r.register_state_schema(ActivityStateSchema::generic(r.fresh_state_schema_id()))
+    }
+
+    #[test]
+    fn basic_activity_lowers_to_staffed_pipeline() {
+        let r = repo();
+        let ss = states(&r);
+        let id = r.fresh_activity_schema_id();
+        r.register_activity_schema(
+            ActivitySchemaBuilder::basic(id, "Interview", ss)
+                .performed_by(RoleSpec::org("doctor"))
+                .resource_var("notes", r.fresh_resource_schema_id(), ResourceUsage::Input)
+                .resource_var("report", r.fresh_resource_schema_id(), ResourceUsage::Output)
+                .build()
+                .unwrap(),
+        );
+        let l = lower(&r, id, 0).unwrap();
+        let kinds: Vec<WfmsStepKind> = l.steps.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                WfmsStepKind::Staff,
+                WfmsStepKind::FetchInputs,
+                WfmsStepKind::Perform,
+                WfmsStepKind::StoreOutputs,
+                WfmsStepKind::Notify
+            ]
+        );
+    }
+
+    #[test]
+    fn minimal_basic_activity_is_two_steps() {
+        let r = repo();
+        let ss = states(&r);
+        let id = r.fresh_activity_schema_id();
+        r.register_activity_schema(ActivitySchemaBuilder::basic(id, "T", ss).build().unwrap());
+        let l = lower(&r, id, 0).unwrap();
+        assert_eq!(l.step_count(), 2); // perform + notify
+    }
+
+    #[test]
+    fn process_lowering_counts_dependencies_and_scripts() {
+        let r = repo();
+        let ss = states(&r);
+        let a = r.fresh_activity_schema_id();
+        r.register_activity_schema(
+            ActivitySchemaBuilder::basic(a, "A", ss.clone()).build().unwrap(),
+        );
+        let pid = r.fresh_activity_schema_id();
+        let mut pb = ActivitySchemaBuilder::process(pid, "P", ss);
+        let va = pb.activity_var("a", a, false).unwrap();
+        let vb = pb.activity_var("b", a, false).unwrap();
+        pb.sequence(va, vb);
+        r.register_activity_schema(pb.build().unwrap());
+        let l = lower(&r, pid, 2).unwrap();
+        // init + 1 route + finalize + 2 script hooks
+        assert_eq!(l.step_count(), 5);
+        assert!(l.steps.iter().any(|s| s.name.contains("route0[seq]")));
+    }
+
+    #[test]
+    fn closure_reaches_nested_schemas_once() {
+        let r = repo();
+        let ss = states(&r);
+        let leaf = r.fresh_activity_schema_id();
+        r.register_activity_schema(
+            ActivitySchemaBuilder::basic(leaf, "Leaf", ss.clone()).build().unwrap(),
+        );
+        let child = r.fresh_activity_schema_id();
+        let mut cb = ActivitySchemaBuilder::process(child, "Child", ss.clone());
+        cb.activity_var("l", leaf, false).unwrap();
+        r.register_activity_schema(cb.build().unwrap());
+        let parent = r.fresh_activity_schema_id();
+        let mut pb = ActivitySchemaBuilder::process(parent, "Parent", ss);
+        pb.activity_var("c1", child, false).unwrap();
+        pb.activity_var("c2", child, false).unwrap(); // same schema twice
+        r.register_activity_schema(pb.build().unwrap());
+
+        let report = lower_closure(&r, &[parent], |_| 0).unwrap();
+        assert_eq!(report.cmm_activity_count(), 3, "each schema lowered once");
+        assert!(report.wfms_step_count() >= 6);
+        assert!(report.expansion_factor() >= 2.0);
+    }
+
+    #[test]
+    fn empty_report_factor_is_zero() {
+        let report = LoweringReport::default();
+        assert_eq!(report.expansion_factor(), 0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! The process monitoring tool — the "Monitor" of the CMI Client for
+//! Participants (Fig. 5), in the spirit of the WfMC process monitoring API
+//! the paper contrasts with (§2).
+//!
+//! The monitor renders a live process instance tree with states, performers,
+//! timing and attached contexts, and computes summary statistics. The paper's
+//! point stands: this is the "managers monitor the entire process" view —
+//! complete but undigested; the Awareness Model exists because most
+//! participants need far less than this.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use cmi_core::context::ContextManager;
+use cmi_core::error::CoreResult;
+use cmi_core::ids::{ActivityInstanceId, ProcessInstanceId};
+use cmi_core::instance::InstanceStore;
+use cmi_core::state_schema::generic;
+
+/// Summary statistics over a process instance tree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcessStats {
+    /// Instances in the tree (including the root).
+    pub total: usize,
+    /// Instances currently open (not in a final state).
+    pub open: usize,
+    /// Instances in `Ready` (offered work).
+    pub ready: usize,
+    /// Instances in `Running`.
+    pub running: usize,
+    /// Instances in `Suspended`.
+    pub suspended: usize,
+    /// Completed instances.
+    pub completed: usize,
+    /// Terminated instances.
+    pub terminated: usize,
+}
+
+/// The monitor client.
+pub struct ProcessMonitor {
+    store: Arc<InstanceStore>,
+    contexts: Arc<ContextManager>,
+}
+
+impl ProcessMonitor {
+    /// A monitor over the given stores.
+    pub fn new(store: Arc<InstanceStore>, contexts: Arc<ContextManager>) -> Self {
+        ProcessMonitor { store, contexts }
+    }
+
+    /// Computes summary statistics for the tree rooted at `root`.
+    pub fn stats(&self, root: ProcessInstanceId) -> CoreResult<ProcessStats> {
+        let mut stats = ProcessStats::default();
+        self.walk(root, &mut |snap| {
+            stats.total += 1;
+            match snap.state.as_str() {
+                generic::READY => {
+                    stats.ready += 1;
+                    stats.open += 1;
+                }
+                generic::RUNNING => {
+                    stats.running += 1;
+                    stats.open += 1;
+                }
+                generic::SUSPENDED => {
+                    stats.suspended += 1;
+                    stats.open += 1;
+                }
+                generic::COMPLETED => stats.completed += 1,
+                generic::TERMINATED => stats.terminated += 1,
+                _ => stats.open += 1, // Uninitialized / app-specific open states
+            }
+        })?;
+        Ok(stats)
+    }
+
+    /// Renders the instance tree: name, state, performer, timing, contexts.
+    pub fn render(&self, root: ProcessInstanceId) -> CoreResult<String> {
+        let mut out = String::new();
+        self.render_node(root, 0, &mut out)?;
+        Ok(out)
+    }
+
+    fn render_node(
+        &self,
+        id: ActivityInstanceId,
+        depth: usize,
+        out: &mut String,
+    ) -> CoreResult<()> {
+        let snap = self.store.snapshot(id)?;
+        let pad = "  ".repeat(depth);
+        let _ = write!(out, "{pad}{} `{}` [{}]", snap.id, snap.schema_name, snap.state);
+        if let Some(p) = snap.performer {
+            let _ = write!(out, " by {p}");
+        }
+        let _ = write!(out, " (created {}", snap.created);
+        if let Some(c) = snap.closed_at {
+            let _ = write!(out, ", closed {c}");
+        }
+        let _ = write!(out, ")");
+        for ctx in &snap.contexts {
+            if let Ok(name) = self.contexts.name(*ctx) {
+                let _ = write!(
+                    out,
+                    " ctx:{name}{}",
+                    if self.contexts.is_alive(*ctx) { "" } else { "(ended)" }
+                );
+            }
+        }
+        out.push('\n');
+        for child in snap.children {
+            self.render_node(child, depth + 1, out)?;
+        }
+        Ok(())
+    }
+
+    fn walk(
+        &self,
+        id: ActivityInstanceId,
+        f: &mut impl FnMut(&cmi_core::instance::InstanceSnapshot),
+    ) -> CoreResult<()> {
+        let snap = self.store.snapshot(id)?;
+        f(&snap);
+        for child in snap.children {
+            self.walk(child, f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EnactmentEngine, EngineConfig};
+    use cmi_core::participant::Directory;
+    use cmi_core::repository::SchemaRepository;
+    use cmi_core::schema::ActivitySchemaBuilder;
+    use cmi_core::state_schema::ActivityStateSchema;
+    use cmi_core::time::SimClock;
+
+    fn setup() -> (Arc<EnactmentEngine>, Arc<SchemaRepository>) {
+        let clock = SimClock::new();
+        let repo = Arc::new(SchemaRepository::new());
+        let store = Arc::new(InstanceStore::new(Arc::new(clock.clone()), repo.clone()));
+        let contexts = Arc::new(ContextManager::new(Arc::new(clock.clone())));
+        let directory = Arc::new(Directory::new());
+        (
+            Arc::new(EnactmentEngine::new(
+                store,
+                contexts,
+                directory,
+                Arc::new(clock),
+                EngineConfig::default(),
+            )),
+            repo,
+        )
+    }
+
+    #[test]
+    fn stats_and_render_over_a_small_tree() {
+        let (eng, repo) = setup();
+        let ss = repo
+            .register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+        let a = repo.fresh_activity_schema_id();
+        repo.register_activity_schema(
+            ActivitySchemaBuilder::basic(a, "Step", ss.clone()).build().unwrap(),
+        );
+        let pid = repo.fresh_activity_schema_id();
+        let mut pb = ActivitySchemaBuilder::process(pid, "P", ss);
+        let va = pb.activity_var("one", a, false).unwrap();
+        let vb = pb.activity_var("two", a, false).unwrap();
+        pb.sequence(va, vb);
+        repo.register_activity_schema(pb.build().unwrap());
+
+        let pi = eng.start_process(pid, None).unwrap();
+        let monitor = ProcessMonitor::new(eng.store().clone(), eng.contexts().clone());
+        let s = monitor.stats(pi).unwrap();
+        assert_eq!(s.total, 2, "process + first step");
+        assert_eq!(s.running, 1);
+        assert_eq!(s.ready, 1);
+        assert_eq!(s.open, 2);
+
+        let ia = eng.store().child_for_var(pi, va).unwrap().unwrap();
+        eng.start_activity(ia, Some(cmi_core::ids::UserId(7))).unwrap();
+        eng.complete_activity(ia, None).unwrap();
+        let s = monitor.stats(pi).unwrap();
+        assert_eq!(s.total, 3);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.ready, 1);
+
+        let view = monitor.render(pi).unwrap();
+        assert!(view.contains("`P` [Running]"));
+        assert!(view.contains("`Step` [Completed] by u7"));
+        assert!(view.lines().count() >= 3);
+    }
+
+    #[test]
+    fn render_shows_contexts_and_their_liveness() {
+        let (eng, repo) = setup();
+        let ss = repo
+            .register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+        let pid = repo.fresh_activity_schema_id();
+        repo.register_activity_schema(
+            ActivitySchemaBuilder::process(pid, "P", ss).build().unwrap(),
+        );
+        let pi = eng.start_process(pid, None).unwrap();
+        let ctx = eng.contexts().create("MissionContext", Some((pid, pi)));
+        eng.store().attach_context(pi, ctx).unwrap();
+        let monitor = ProcessMonitor::new(eng.store().clone(), eng.contexts().clone());
+        assert!(monitor.render(pi).unwrap().contains("ctx:MissionContext"));
+        eng.contexts().destroy(ctx).unwrap();
+        assert!(monitor
+            .render(pi)
+            .unwrap()
+            .contains("ctx:MissionContext(ended)"));
+    }
+
+    #[test]
+    fn unknown_root_errors() {
+        let (eng, _) = setup();
+        let monitor = ProcessMonitor::new(eng.store().clone(), eng.contexts().clone());
+        assert!(monitor.stats(ActivityInstanceId(404)).is_err());
+        assert!(monitor.render(ActivityInstanceId(404)).is_err());
+    }
+}

@@ -1,0 +1,336 @@
+//! Basic activity scripts for creating and managing context resources.
+//!
+//! The paper's deployment used "thirty basic activity scripts for creating
+//! and managing context resources" (§7). A script is a short sequence of
+//! context operations that the enactment engine runs when an instance of a
+//! given activity schema enters a given state — e.g. when a task force
+//! process starts Running, create its `TaskForceContext`, stamp the deadline
+//! field, and create the `Leader` scoped role.
+
+use cmi_core::context::ContextManager;
+use cmi_core::error::CoreResult;
+use cmi_core::ids::{ProcessInstanceId, ProcessSchemaId, UserId};
+use cmi_core::participant::Directory;
+use cmi_core::time::{Clock, Duration};
+use cmi_core::value::Value;
+
+/// A value computed when the script runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScriptValue {
+    /// A literal value.
+    Lit(Value),
+    /// The current scenario time plus an offset — how deadline fields are
+    /// stamped.
+    NowPlus(Duration),
+    /// The user attributed with the triggering transition (the performer),
+    /// as a `Value::User`; `Null` if none.
+    TriggeringUser,
+}
+
+impl ScriptValue {
+    fn eval(&self, clock: &dyn Clock, user: Option<UserId>) -> Value {
+        match self {
+            ScriptValue::Lit(v) => v.clone(),
+            ScriptValue::NowPlus(d) => Value::Time(clock.now().plus(*d)),
+            ScriptValue::TriggeringUser => user.map_or(Value::Null, Value::User),
+        }
+    }
+}
+
+/// Who populates a scoped role created by a script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemberSource {
+    /// Explicit users.
+    Users(Vec<UserId>),
+    /// Everyone currently playing the named organizational role.
+    OrgRole(String),
+    /// The user attributed with the triggering transition.
+    TriggeringUser,
+}
+
+impl MemberSource {
+    fn resolve(&self, directory: &Directory, user: Option<UserId>) -> Vec<UserId> {
+        match self {
+            MemberSource::Users(u) => u.clone(),
+            MemberSource::OrgRole(name) => directory
+                .role_by_name(name)
+                .and_then(|r| directory.resolve(r).ok())
+                .unwrap_or_default(),
+            MemberSource::TriggeringUser => user.into_iter().collect(),
+        }
+    }
+}
+
+/// One step of a script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScriptAction {
+    /// Create a context with the given name, attached to the triggering
+    /// process instance.
+    CreateContext {
+        /// Context name.
+        name: String,
+    },
+    /// Set a field of the named context (found via the triggering instance).
+    SetField {
+        /// Context name.
+        context: String,
+        /// Field name.
+        field: String,
+        /// Value to store.
+        value: ScriptValue,
+    },
+    /// Create a scoped role inside the named context.
+    CreateRole {
+        /// Context name.
+        context: String,
+        /// Role name.
+        role: String,
+        /// Initial membership.
+        members: MemberSource,
+    },
+    /// Add a member to a scoped role.
+    AddMember {
+        /// Context name.
+        context: String,
+        /// Role name.
+        role: String,
+        /// Members to add.
+        members: MemberSource,
+    },
+    /// End the named context's scope.
+    DestroyContext {
+        /// Context name.
+        name: String,
+    },
+}
+
+/// A basic activity script: a named sequence of context actions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActivityScript {
+    /// Script name (for the §7 inventory).
+    pub name: String,
+    /// The actions, run in order.
+    pub actions: Vec<ScriptAction>,
+}
+
+impl ActivityScript {
+    /// A new script.
+    pub fn new(name: &str, actions: Vec<ScriptAction>) -> Self {
+        ActivityScript {
+            name: name.to_owned(),
+            actions,
+        }
+    }
+
+    /// Runs the script against the context store, relative to the triggering
+    /// process instance. `process` is the `(schema, instance)` the created
+    /// contexts attach to; `user` is the transition's attributed user.
+    pub fn run(
+        &self,
+        contexts: &ContextManager,
+        directory: &Directory,
+        clock: &dyn Clock,
+        process: (ProcessSchemaId, ProcessInstanceId),
+        user: Option<UserId>,
+    ) -> CoreResult<()> {
+        let (_, instance) = process;
+        // Contexts created earlier in this same script run are found by name
+        // through the instance attachment, like any pre-existing context.
+        let find = |contexts: &ContextManager, name: &str| {
+            contexts
+                .find(name, instance)
+                .ok_or_else(|| cmi_core::error::CoreError::UnknownContextField {
+                    context: cmi_core::ids::ContextId(0),
+                    field: format!("(no live context named `{name}` attached to {instance})"),
+                })
+        };
+        for action in &self.actions {
+            match action {
+                ScriptAction::CreateContext { name } => {
+                    contexts.create(name, Some(process));
+                }
+                ScriptAction::SetField {
+                    context,
+                    field,
+                    value,
+                } => {
+                    let ctx = find(contexts, context)?;
+                    contexts.set_field(ctx, field, value.eval(clock, user))?;
+                }
+                ScriptAction::CreateRole {
+                    context,
+                    role,
+                    members,
+                } => {
+                    let ctx = find(contexts, context)?;
+                    contexts.create_role(ctx, role, &members.resolve(directory, user))?;
+                }
+                ScriptAction::AddMember {
+                    context,
+                    role,
+                    members,
+                } => {
+                    let ctx = find(contexts, context)?;
+                    for m in members.resolve(directory, user) {
+                        contexts.add_role_member(ctx, role, m)?;
+                    }
+                }
+                ScriptAction::DestroyContext { name } => {
+                    let ctx = find(contexts, name)?;
+                    contexts.destroy(ctx)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_core::ids::ProcessSchemaId;
+    use cmi_core::time::SimClock;
+    use std::sync::Arc;
+
+    fn setup() -> (ContextManager, Directory, SimClock) {
+        let clock = SimClock::new();
+        (
+            ContextManager::new(Arc::new(clock.clone())),
+            Directory::new(),
+            clock,
+        )
+    }
+
+    const PROC: (ProcessSchemaId, ProcessInstanceId) =
+        (ProcessSchemaId(1), ProcessInstanceId(10));
+
+    #[test]
+    fn script_creates_context_with_deadline_and_roles() {
+        let (ctxs, dir, clock) = setup();
+        let alice = dir.add_user("alice");
+        let bob = dir.add_user("bob");
+        let epi = dir.add_role("epidemiologist").unwrap();
+        dir.assign(alice, epi).unwrap();
+        dir.assign(bob, epi).unwrap();
+        clock.advance(Duration::from_hours(1));
+
+        let script = ActivityScript::new(
+            "init-task-force",
+            vec![
+                ScriptAction::CreateContext {
+                    name: "TaskForceContext".into(),
+                },
+                ScriptAction::SetField {
+                    context: "TaskForceContext".into(),
+                    field: "TaskForceDeadline".into(),
+                    value: ScriptValue::NowPlus(Duration::from_days(3)),
+                },
+                ScriptAction::CreateRole {
+                    context: "TaskForceContext".into(),
+                    role: "TaskForceMembers".into(),
+                    members: MemberSource::OrgRole("epidemiologist".into()),
+                },
+                ScriptAction::CreateRole {
+                    context: "TaskForceContext".into(),
+                    role: "Leader".into(),
+                    members: MemberSource::TriggeringUser,
+                },
+            ],
+        );
+        script.run(&ctxs, &dir, &clock, PROC, Some(alice)).unwrap();
+
+        let ctx = ctxs.find("TaskForceContext", PROC.1).unwrap();
+        let deadline = ctxs.get_field(ctx, "TaskForceDeadline").unwrap();
+        assert_eq!(
+            deadline.as_time().unwrap().millis(),
+            Duration::from_hours(1).millis() + Duration::from_days(3).millis()
+        );
+        assert_eq!(
+            ctxs.resolve_role(ctx, "TaskForceMembers").unwrap(),
+            vec![alice, bob]
+        );
+        assert_eq!(ctxs.resolve_role(ctx, "Leader").unwrap(), vec![alice]);
+    }
+
+    #[test]
+    fn destroy_action_ends_scope() {
+        let (ctxs, dir, clock) = setup();
+        let create = ActivityScript::new(
+            "create",
+            vec![ScriptAction::CreateContext { name: "C".into() }],
+        );
+        create.run(&ctxs, &dir, &clock, PROC, None).unwrap();
+        let ctx = ctxs.find("C", PROC.1).unwrap();
+        let destroy = ActivityScript::new(
+            "destroy",
+            vec![ScriptAction::DestroyContext { name: "C".into() }],
+        );
+        destroy.run(&ctxs, &dir, &clock, PROC, None).unwrap();
+        assert!(!ctxs.is_alive(ctx));
+    }
+
+    #[test]
+    fn missing_context_fails_cleanly() {
+        let (ctxs, dir, clock) = setup();
+        let s = ActivityScript::new(
+            "bad",
+            vec![ScriptAction::SetField {
+                context: "Nope".into(),
+                field: "f".into(),
+                value: ScriptValue::Lit(Value::Int(1)),
+            }],
+        );
+        assert!(s.run(&ctxs, &dir, &clock, PROC, None).is_err());
+    }
+
+    #[test]
+    fn add_member_and_explicit_users() {
+        let (ctxs, dir, clock) = setup();
+        let u1 = dir.add_user("u1");
+        let u2 = dir.add_user("u2");
+        let s = ActivityScript::new(
+            "roles",
+            vec![
+                ScriptAction::CreateContext { name: "C".into() },
+                ScriptAction::CreateRole {
+                    context: "C".into(),
+                    role: "R".into(),
+                    members: MemberSource::Users(vec![u1]),
+                },
+                ScriptAction::AddMember {
+                    context: "C".into(),
+                    role: "R".into(),
+                    members: MemberSource::Users(vec![u2]),
+                },
+            ],
+        );
+        s.run(&ctxs, &dir, &clock, PROC, None).unwrap();
+        let ctx = ctxs.find("C", PROC.1).unwrap();
+        assert_eq!(ctxs.resolve_role(ctx, "R").unwrap(), vec![u1, u2]);
+    }
+
+    #[test]
+    fn triggering_user_value_and_null() {
+        let (ctxs, dir, clock) = setup();
+        let u = dir.add_user("u");
+        let s = ActivityScript::new(
+            "who",
+            vec![
+                ScriptAction::CreateContext { name: "C".into() },
+                ScriptAction::SetField {
+                    context: "C".into(),
+                    field: "requestor".into(),
+                    value: ScriptValue::TriggeringUser,
+                },
+            ],
+        );
+        s.run(&ctxs, &dir, &clock, PROC, Some(u)).unwrap();
+        let ctx = ctxs.find("C", PROC.1).unwrap();
+        assert_eq!(ctxs.get_field(ctx, "requestor").unwrap(), Value::User(u));
+        // Without a user the field is Null.
+        s.run(&ctxs, &dir, &clock, (ProcessSchemaId(1), ProcessInstanceId(11)), None)
+            .unwrap();
+        let ctx2 = ctxs.find("C", ProcessInstanceId(11)).unwrap();
+        assert_eq!(ctxs.get_field(ctx2, "requestor").unwrap(), Value::Null);
+    }
+}

@@ -1,0 +1,294 @@
+//! The worklist — the traditional WfMS client view (§6.1's "variant of the
+//! traditional WfMS worklist").
+//!
+//! A work item is a `Ready` activity instance offered to the members of the
+//! performing role its schema declares. Role resolution happens **at query
+//! time** against the directory (organizational roles) or the live contexts
+//! of the enclosing process instance (scoped roles), so membership changes
+//! are reflected immediately. Claiming a work item starts the activity with
+//! the claimant as performer; the engine rejects claims by users who do not
+//! currently play the required role.
+
+use std::sync::Arc;
+
+use cmi_core::ids::{ActivityInstanceId, UserId};
+use cmi_core::roles::RoleSpec;
+use cmi_core::state_schema::generic;
+
+use crate::engine::EnactmentEngine;
+use crate::error::{CoordError, CoordResult};
+
+/// One entry in a participant's worklist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkItem {
+    /// The `Ready` activity instance.
+    pub instance: ActivityInstanceId,
+    /// The activity schema's name.
+    pub activity: String,
+    /// The performing role requirement, rendered.
+    pub role: String,
+}
+
+/// Query-time worklist over an enactment engine.
+pub struct Worklist {
+    engine: Arc<EnactmentEngine>,
+}
+
+impl Worklist {
+    /// A worklist view over `engine`.
+    pub fn new(engine: Arc<EnactmentEngine>) -> Self {
+        Worklist { engine }
+    }
+
+    /// The work items currently offered to `user`: every `Ready` basic
+    /// activity whose performer role `user` plays right now. Activities with
+    /// no performer declaration are offered to everyone.
+    pub fn for_user(&self, user: UserId) -> CoordResult<Vec<WorkItem>> {
+        let store = self.engine.store();
+        let mut items = Vec::new();
+        for id in store.all_instances() {
+            if !store.is_within(id, generic::READY).unwrap_or(false) {
+                continue;
+            }
+            let schema = store.schema_of(id)?;
+            if schema.is_process() {
+                continue; // subprocesses are engine-started, not claimed
+            }
+            let eligible = match schema.performer() {
+                None => true,
+                Some(spec) => self.user_plays(user, spec, id)?,
+            };
+            if eligible {
+                items.push(WorkItem {
+                    instance: id,
+                    activity: schema.name().to_owned(),
+                    role: schema
+                        .performer()
+                        .map_or_else(|| "(anyone)".to_owned(), ToString::to_string),
+                });
+            }
+        }
+        Ok(items)
+    }
+
+    /// All outstanding (`Ready`) work items regardless of user — the
+    /// supervisor view.
+    pub fn all_open(&self) -> CoordResult<Vec<WorkItem>> {
+        let store = self.engine.store();
+        let mut items = Vec::new();
+        for id in store.all_instances() {
+            if !store.is_within(id, generic::READY).unwrap_or(false) {
+                continue;
+            }
+            let schema = store.schema_of(id)?;
+            if schema.is_process() {
+                continue;
+            }
+            items.push(WorkItem {
+                instance: id,
+                activity: schema.name().to_owned(),
+                role: schema
+                    .performer()
+                    .map_or_else(|| "(anyone)".to_owned(), ToString::to_string),
+            });
+        }
+        Ok(items)
+    }
+
+    /// Claims and starts a work item as `user`. Fails if the user does not
+    /// play the required role at claim time.
+    pub fn claim(&self, user: UserId, instance: ActivityInstanceId) -> CoordResult<()> {
+        let store = self.engine.store();
+        let schema = store.schema_of(instance)?;
+        if let Some(spec) = schema.performer() {
+            if !self.user_plays(user, spec, instance)? {
+                return Err(CoordError::NotAuthorized {
+                    instance,
+                    role: spec.to_string(),
+                });
+            }
+        }
+        self.engine.start_activity(instance, Some(user))
+    }
+
+    fn user_plays(
+        &self,
+        user: UserId,
+        spec: &RoleSpec,
+        instance: ActivityInstanceId,
+    ) -> CoordResult<bool> {
+        match spec {
+            RoleSpec::Org(name) => Ok(self
+                .engine
+                .directory()
+                .role_by_name(name)
+                .is_some_and(|r| self.engine.directory().plays(user, r))),
+            RoleSpec::Scoped { context_name, role } => {
+                // Scoped roles live in a context attached to the enclosing
+                // process instance (or, transitively, an ancestor).
+                let store = self.engine.store();
+                let mut cursor = store.snapshot(instance)?.parent;
+                while let Some((_, pi)) = cursor {
+                    if let Some(ctx) = self.engine.contexts().find(context_name, pi) {
+                        return Ok(self.engine.contexts().plays_scoped(ctx, role, user));
+                    }
+                    cursor = store.snapshot(pi)?.parent;
+                }
+                Ok(false)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::scripts::{ActivityScript, MemberSource, ScriptAction};
+    use cmi_core::context::ContextManager;
+    use cmi_core::instance::InstanceStore;
+    use cmi_core::participant::Directory;
+    use cmi_core::repository::SchemaRepository;
+    use cmi_core::schema::ActivitySchemaBuilder;
+    use cmi_core::state_schema::ActivityStateSchema;
+    use cmi_core::time::SimClock;
+
+    fn engine() -> (Arc<EnactmentEngine>, Arc<SchemaRepository>) {
+        let clock = SimClock::new();
+        let repo = Arc::new(SchemaRepository::new());
+        let store = Arc::new(InstanceStore::new(Arc::new(clock.clone()), repo.clone()));
+        let contexts = Arc::new(ContextManager::new(Arc::new(clock.clone())));
+        let directory = Arc::new(Directory::new());
+        (
+            Arc::new(EnactmentEngine::new(
+                store,
+                contexts,
+                directory,
+                Arc::new(clock),
+                EngineConfig::default(),
+            )),
+            repo,
+        )
+    }
+
+    #[test]
+    fn org_role_worklist_offer_and_claim() {
+        let (eng, repo) = engine();
+        let u1 = eng.directory().add_user("alice");
+        let u2 = eng.directory().add_user("bob");
+        let doc = eng.directory().add_role("doctor").unwrap();
+        eng.directory().assign(u1, doc).unwrap();
+
+        let ss = repo
+            .register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+        let aid = repo.fresh_activity_schema_id();
+        repo.register_activity_schema(
+            ActivitySchemaBuilder::basic(aid, "Interview", ss.clone())
+                .performed_by(RoleSpec::org("doctor"))
+                .build()
+                .unwrap(),
+        );
+        let pid = repo.fresh_activity_schema_id();
+        let mut pb = ActivitySchemaBuilder::process(pid, "P", ss);
+        pb.activity_var("interview", aid, false).unwrap();
+        repo.register_activity_schema(pb.build().unwrap());
+
+        eng.start_process(pid, None).unwrap();
+        let wl = Worklist::new(eng.clone());
+        assert_eq!(wl.for_user(u1).unwrap().len(), 1);
+        assert!(wl.for_user(u2).unwrap().is_empty());
+        assert_eq!(wl.all_open().unwrap().len(), 1);
+
+        let item = wl.for_user(u1).unwrap()[0].clone();
+        assert_eq!(item.activity, "Interview");
+        assert_eq!(item.role, "doctor");
+        // Wrong user cannot claim.
+        assert!(matches!(
+            wl.claim(u2, item.instance),
+            Err(CoordError::NotAuthorized { .. })
+        ));
+        wl.claim(u1, item.instance).unwrap();
+        assert!(wl.for_user(u1).unwrap().is_empty(), "started items leave list");
+        assert_eq!(
+            eng.store().snapshot(item.instance).unwrap().performer,
+            Some(u1)
+        );
+    }
+
+    #[test]
+    fn scoped_role_worklist_resolves_through_parent_contexts() {
+        let (eng, repo) = engine();
+        let leader = eng.directory().add_user("lead");
+        let other = eng.directory().add_user("other");
+
+        let ss = repo
+            .register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+        let aid = repo.fresh_activity_schema_id();
+        repo.register_activity_schema(
+            ActivitySchemaBuilder::basic(aid, "ApproveReport", ss.clone())
+                .performed_by(RoleSpec::scoped("TaskForceContext", "Leader"))
+                .build()
+                .unwrap(),
+        );
+        let pid = repo.fresh_activity_schema_id();
+        let mut pb = ActivitySchemaBuilder::process(pid, "TaskForce", ss);
+        pb.activity_var("approve", aid, false).unwrap();
+        repo.register_activity_schema(pb.build().unwrap());
+        eng.register_script(
+            pid,
+            generic::RUNNING,
+            ActivityScript::new(
+                "init",
+                vec![
+                    ScriptAction::CreateContext {
+                        name: "TaskForceContext".into(),
+                    },
+                    ScriptAction::CreateRole {
+                        context: "TaskForceContext".into(),
+                        role: "Leader".into(),
+                        members: MemberSource::Users(vec![leader]),
+                    },
+                ],
+            ),
+        );
+
+        let pi = eng.start_process(pid, None).unwrap();
+        let wl = Worklist::new(eng.clone());
+        assert_eq!(wl.for_user(leader).unwrap().len(), 1);
+        assert!(wl.for_user(other).unwrap().is_empty());
+
+        // Scoped role membership changes are reflected at query time.
+        let ctx = eng.contexts().find("TaskForceContext", pi).unwrap();
+        eng.contexts()
+            .add_role_member(ctx, "Leader", other)
+            .unwrap();
+        assert_eq!(wl.for_user(other).unwrap().len(), 1);
+        // Ending the scope removes the offer entirely.
+        eng.contexts().destroy(ctx).unwrap();
+        assert!(wl.for_user(leader).unwrap().is_empty());
+    }
+
+    #[test]
+    fn activities_without_performer_offered_to_everyone() {
+        let (eng, repo) = engine();
+        let u = eng.directory().add_user("anyone");
+        let ss = repo
+            .register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+        let aid = repo.fresh_activity_schema_id();
+        repo.register_activity_schema(
+            ActivitySchemaBuilder::basic(aid, "OpenTask", ss.clone())
+                .build()
+                .unwrap(),
+        );
+        let pid = repo.fresh_activity_schema_id();
+        let mut pb = ActivitySchemaBuilder::process(pid, "P", ss);
+        pb.activity_var("t", aid, false).unwrap();
+        repo.register_activity_schema(pb.build().unwrap());
+        eng.start_process(pid, None).unwrap();
+        let wl = Worklist::new(eng.clone());
+        let items = wl.for_user(u).unwrap();
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].role, "(anyone)");
+        wl.claim(u, items[0].instance).unwrap();
+    }
+}

@@ -1,0 +1,574 @@
+//! Context resources and scoped roles (§4, §5.1.1).
+//!
+//! A *context resource* is a collection of named resources — name–value pairs
+//! called **fields** — accessible only via context references, which is what
+//! lets CMM associate a *scope* with it. A context may be attached to several
+//! process instances (resource scoping), and every field modification produces
+//! a **context field change event** with exactly the parameters listed in
+//! §5.1.1.
+//!
+//! **Scoped roles** are the advanced participant resources that live inside a
+//! context: dynamically created, visible only to activity instances with
+//! access to the enclosing context, and with a lifetime bounded by the
+//! context's. Destroying the context ends the scope; resolving any of its
+//! roles afterwards fails with [`CoreError::ScopeEnded`].
+//!
+//! Scoped-role membership changes are *also* published as context field
+//! change events (the role name is the field, the member list is the value),
+//! so a single primitive producer — `E_context` — covers both, as in the
+//! paper's implementation where context scripts manipulate context resources.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{CoreError, CoreResult};
+use crate::ids::{ContextId, IdGen, ProcessInstanceId, ProcessSchemaId, UserId};
+use crate::time::{Clock, Timestamp};
+use crate::value::Value;
+
+/// A context field change event — the payload of the primitive producer
+/// `E_context` with type `T_context` (§5.1.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContextFieldChange {
+    /// The time of the event.
+    pub time: Timestamp,
+    /// The id of the context instance.
+    pub context_id: ContextId,
+    /// The context's name (used by the context filter operator's `Cname`).
+    pub context_name: String,
+    /// The `(processSchemaId, processInstanceId)` tuples of the processes
+    /// this context is associated with.
+    pub processes: Vec<(ProcessSchemaId, ProcessInstanceId)>,
+    /// The field being modified.
+    pub field_name: String,
+    /// The old value, if the field previously existed.
+    pub old_value: Option<Value>,
+    /// The new value.
+    pub new_value: Value,
+}
+
+impl fmt::Display for ContextFieldChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}.{}: {} -> {}",
+            self.time,
+            self.context_name,
+            self.field_name,
+            self.old_value
+                .as_ref()
+                .map_or_else(|| "(unset)".to_owned(), |v| v.to_string()),
+            self.new_value
+        )
+    }
+}
+
+/// Callback invoked synchronously on every context field change. Event source
+/// agents (§6.3) register one of these to feed the awareness engine.
+pub type ContextChangeListener = Arc<dyn Fn(&ContextFieldChange) + Send + Sync>;
+
+#[derive(Debug)]
+struct ContextState {
+    id: ContextId,
+    name: String,
+    fields: BTreeMap<String, Value>,
+    roles: BTreeMap<String, BTreeSet<UserId>>,
+    processes: BTreeSet<(ProcessSchemaId, ProcessInstanceId)>,
+    alive: bool,
+}
+
+impl ContextState {
+    fn process_list(&self) -> Vec<(ProcessSchemaId, ProcessInstanceId)> {
+        self.processes.iter().copied().collect()
+    }
+}
+
+/// Owns all live (and ended) context resources; the CORE engine's context
+/// store. Field and role mutations emit [`ContextFieldChange`] events to the
+/// registered listeners, in mutation order.
+pub struct ContextManager {
+    clock: Arc<dyn Clock>,
+    contexts: RwLock<BTreeMap<ContextId, ContextState>>,
+    listeners: RwLock<Vec<ContextChangeListener>>,
+    ids: IdGen,
+}
+
+impl fmt::Debug for ContextManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ContextManager")
+            .field("contexts", &self.contexts.read().len())
+            .field("listeners", &self.listeners.read().len())
+            .finish()
+    }
+}
+
+impl ContextManager {
+    /// A manager reading timestamps from `clock`.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        ContextManager {
+            clock,
+            contexts: RwLock::new(BTreeMap::new()),
+            listeners: RwLock::new(Vec::new()),
+            ids: IdGen::new(),
+        }
+    }
+
+    /// Registers a listener for all subsequent context field changes.
+    pub fn subscribe(&self, l: ContextChangeListener) {
+        self.listeners.write().push(l);
+    }
+
+    fn emit(&self, ev: ContextFieldChange) {
+        let listeners = self.listeners.read();
+        for l in listeners.iter() {
+            l(&ev);
+        }
+    }
+
+    /// Creates a context named `name`, optionally attached to a process
+    /// instance, and returns its reference.
+    pub fn create(
+        &self,
+        name: &str,
+        attach_to: Option<(ProcessSchemaId, ProcessInstanceId)>,
+    ) -> ContextId {
+        let id: ContextId = self.ids.next();
+        let mut processes = BTreeSet::new();
+        if let Some(p) = attach_to {
+            processes.insert(p);
+        }
+        self.contexts.write().insert(
+            id,
+            ContextState {
+                id,
+                name: name.to_owned(),
+                fields: BTreeMap::new(),
+                roles: BTreeMap::new(),
+                processes,
+                alive: true,
+            },
+        );
+        id
+    }
+
+    /// Attaches the context to an additional process instance — e.g. the task
+    /// force context being "passed to the information request subprocess"
+    /// (§5.4).
+    pub fn attach(
+        &self,
+        ctx: ContextId,
+        process: (ProcessSchemaId, ProcessInstanceId),
+    ) -> CoreResult<()> {
+        let mut g = self.contexts.write();
+        let c = live_mut(&mut g, ctx)?;
+        c.processes.insert(process);
+        Ok(())
+    }
+
+    /// Ends the context's scope. Its scoped roles become unresolvable and all
+    /// further mutation fails; reads of past fields keep working so that
+    /// post-mortem inspection is possible.
+    pub fn destroy(&self, ctx: ContextId) -> CoreResult<()> {
+        let mut g = self.contexts.write();
+        let c = g.get_mut(&ctx).ok_or(CoreError::UnknownContext(ctx))?;
+        c.alive = false;
+        Ok(())
+    }
+
+    /// True while the context's scope is live.
+    pub fn is_alive(&self, ctx: ContextId) -> bool {
+        self.contexts.read().get(&ctx).is_some_and(|c| c.alive)
+    }
+
+    /// The context's name.
+    pub fn name(&self, ctx: ContextId) -> CoreResult<String> {
+        self.contexts
+            .read()
+            .get(&ctx)
+            .map(|c| c.name.clone())
+            .ok_or(CoreError::UnknownContext(ctx))
+    }
+
+    /// The processes the context is attached to.
+    pub fn processes(
+        &self,
+        ctx: ContextId,
+    ) -> CoreResult<Vec<(ProcessSchemaId, ProcessInstanceId)>> {
+        self.contexts
+            .read()
+            .get(&ctx)
+            .map(|c| c.process_list())
+            .ok_or(CoreError::UnknownContext(ctx))
+    }
+
+    /// Sets (creating or overwriting) a field, emitting a field change event.
+    pub fn set_field(&self, ctx: ContextId, field: &str, value: Value) -> CoreResult<()> {
+        let ev = {
+            let mut g = self.contexts.write();
+            let c = live_mut(&mut g, ctx)?;
+            let old = c.fields.insert(field.to_owned(), value.clone());
+            ContextFieldChange {
+                time: self.clock.now(),
+                context_id: ctx,
+                context_name: c.name.clone(),
+                processes: c.process_list(),
+                field_name: field.to_owned(),
+                old_value: old,
+                new_value: value,
+            }
+        };
+        self.emit(ev);
+        Ok(())
+    }
+
+    /// Reads a field's current value.
+    pub fn get_field(&self, ctx: ContextId, field: &str) -> CoreResult<Value> {
+        let g = self.contexts.read();
+        let c = g.get(&ctx).ok_or(CoreError::UnknownContext(ctx))?;
+        c.fields
+            .get(field)
+            .cloned()
+            .ok_or_else(|| CoreError::UnknownContextField {
+                context: ctx,
+                field: field.to_owned(),
+            })
+    }
+
+    /// All field names currently present.
+    pub fn field_names(&self, ctx: ContextId) -> CoreResult<Vec<String>> {
+        let g = self.contexts.read();
+        let c = g.get(&ctx).ok_or(CoreError::UnknownContext(ctx))?;
+        Ok(c.fields.keys().cloned().collect())
+    }
+
+    /// Creates a scoped role with the given initial members; the membership is
+    /// also published as a context field change (field = role name).
+    pub fn create_role(&self, ctx: ContextId, role: &str, members: &[UserId]) -> CoreResult<()> {
+        let ev = {
+            let mut g = self.contexts.write();
+            let c = live_mut(&mut g, ctx)?;
+            if c.roles.contains_key(role) || c.fields.contains_key(role) {
+                return Err(CoreError::DuplicateName(role.to_owned()));
+            }
+            let set: BTreeSet<UserId> = members.iter().copied().collect();
+            c.roles.insert(role.to_owned(), set.clone());
+            role_change_event(self.clock.now(), c, role, None, &set)
+        };
+        self.emit(ev);
+        Ok(())
+    }
+
+    /// Adds a member to a scoped role, emitting a change event.
+    pub fn add_role_member(&self, ctx: ContextId, role: &str, user: UserId) -> CoreResult<()> {
+        self.mutate_role(ctx, role, |set| {
+            set.insert(user);
+        })
+    }
+
+    /// Removes a member from a scoped role, emitting a change event.
+    pub fn remove_role_member(&self, ctx: ContextId, role: &str, user: UserId) -> CoreResult<()> {
+        self.mutate_role(ctx, role, |set| {
+            set.remove(&user);
+        })
+    }
+
+    fn mutate_role(
+        &self,
+        ctx: ContextId,
+        role: &str,
+        f: impl FnOnce(&mut BTreeSet<UserId>),
+    ) -> CoreResult<()> {
+        let ev = {
+            let mut g = self.contexts.write();
+            let c = live_mut(&mut g, ctx)?;
+            let set = c
+                .roles
+                .get_mut(role)
+                .ok_or_else(|| CoreError::UnknownScopedRole {
+                    context: ctx,
+                    name: role.to_owned(),
+                })?;
+            let old = set.clone();
+            f(set);
+            let new = set.clone();
+            role_change_event(self.clock.now(), c, role, Some(&old), &new)
+        };
+        self.emit(ev);
+        Ok(())
+    }
+
+    /// Resolves a scoped role to its current members — **only while the scope
+    /// is live** (§4: a scoped role's lifetime is restricted to its scope's).
+    pub fn resolve_role(&self, ctx: ContextId, role: &str) -> CoreResult<Vec<UserId>> {
+        let g = self.contexts.read();
+        let c = g.get(&ctx).ok_or(CoreError::UnknownContext(ctx))?;
+        if !c.alive {
+            return Err(CoreError::ScopeEnded(ctx));
+        }
+        c.roles
+            .get(role)
+            .map(|s| s.iter().copied().collect())
+            .ok_or_else(|| CoreError::UnknownScopedRole {
+                context: ctx,
+                name: role.to_owned(),
+            })
+    }
+
+    /// True if `user` currently plays the scoped role (false once the scope
+    /// has ended).
+    pub fn plays_scoped(&self, ctx: ContextId, role: &str, user: UserId) -> bool {
+        self.resolve_role(ctx, role)
+            .map(|m| m.contains(&user))
+            .unwrap_or(false)
+    }
+
+    /// Names of the scoped roles declared in the context.
+    pub fn role_names(&self, ctx: ContextId) -> CoreResult<Vec<String>> {
+        let g = self.contexts.read();
+        let c = g.get(&ctx).ok_or(CoreError::UnknownContext(ctx))?;
+        Ok(c.roles.keys().cloned().collect())
+    }
+
+    /// Finds the most recently created *live* context with the given name
+    /// attached to the given process instance. This is how runtime components
+    /// turn a schema-level context name (e.g. `TaskForceContext`) into a
+    /// context reference.
+    pub fn find(&self, name: &str, process: ProcessInstanceId) -> Option<ContextId> {
+        let g = self.contexts.read();
+        g.values()
+            .rev()
+            .find(|c| {
+                c.alive && c.name == name && c.processes.iter().any(|(_, pi)| *pi == process)
+            })
+            .map(|c| c.id)
+    }
+
+    /// Finds the most recently created live context with the given name,
+    /// regardless of attachment.
+    pub fn find_by_name(&self, name: &str) -> Option<ContextId> {
+        let g = self.contexts.read();
+        g.values()
+            .rev()
+            .find(|c| c.alive && c.name == name)
+            .map(|c| c.id)
+    }
+
+    /// Number of contexts ever created.
+    pub fn context_count(&self) -> usize {
+        self.contexts.read().len()
+    }
+
+    /// Ids of all live contexts.
+    pub fn live_contexts(&self) -> Vec<ContextId> {
+        self.contexts
+            .read()
+            .values()
+            .filter(|c| c.alive)
+            .map(|c| c.id)
+            .collect()
+    }
+}
+
+fn live_mut(
+    g: &mut BTreeMap<ContextId, ContextState>,
+    ctx: ContextId,
+) -> CoreResult<&mut ContextState> {
+    let c = g.get_mut(&ctx).ok_or(CoreError::UnknownContext(ctx))?;
+    if !c.alive {
+        return Err(CoreError::ScopeEnded(ctx));
+    }
+    Ok(c)
+}
+
+fn role_change_event(
+    time: Timestamp,
+    c: &ContextState,
+    role: &str,
+    old: Option<&BTreeSet<UserId>>,
+    new: &BTreeSet<UserId>,
+) -> ContextFieldChange {
+    let to_value = |s: &BTreeSet<UserId>| Value::List(s.iter().map(|&u| Value::User(u)).collect());
+    ContextFieldChange {
+        time,
+        context_id: c.id,
+        context_name: c.name.clone(),
+        processes: c.process_list(),
+        field_name: role.to_owned(),
+        old_value: old.map(to_value),
+        new_value: to_value(new),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{Duration, SimClock};
+    use parking_lot::Mutex;
+
+    fn mgr() -> (ContextManager, SimClock) {
+        let clock = SimClock::new();
+        (ContextManager::new(Arc::new(clock.clone())), clock)
+    }
+
+    #[test]
+    fn field_set_get_and_change_event() {
+        let (m, clock) = mgr();
+        let seen: Arc<Mutex<Vec<ContextFieldChange>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        m.subscribe(Arc::new(move |ev| sink.lock().push(ev.clone())));
+
+        let ctx = m.create("TaskForceContext", Some((1.into(), 10.into())));
+        clock.advance(Duration::from_mins(5));
+        m.set_field(ctx, "TaskForceDeadline", Value::Time(Timestamp::from_millis(99)))
+            .unwrap();
+        assert_eq!(
+            m.get_field(ctx, "TaskForceDeadline").unwrap(),
+            Value::Time(Timestamp::from_millis(99))
+        );
+
+        let evs = seen.lock();
+        assert_eq!(evs.len(), 1);
+        let ev = &evs[0];
+        assert_eq!(ev.context_id, ctx);
+        assert_eq!(ev.context_name, "TaskForceContext");
+        assert_eq!(ev.field_name, "TaskForceDeadline");
+        assert_eq!(ev.old_value, None);
+        assert_eq!(ev.processes, vec![(1.into(), 10.into())]);
+        assert_eq!(ev.time, Timestamp::from_millis(5 * 60_000));
+    }
+
+    #[test]
+    fn overwriting_a_field_reports_old_value() {
+        let (m, _) = mgr();
+        let seen: Arc<Mutex<Vec<ContextFieldChange>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        m.subscribe(Arc::new(move |ev| sink.lock().push(ev.clone())));
+        let ctx = m.create("C", None);
+        m.set_field(ctx, "x", Value::Int(1)).unwrap();
+        m.set_field(ctx, "x", Value::Int(2)).unwrap();
+        let evs = seen.lock();
+        assert_eq!(evs[1].old_value, Some(Value::Int(1)));
+        assert_eq!(evs[1].new_value, Value::Int(2));
+    }
+
+    #[test]
+    fn scoped_role_lifecycle_matches_scope() {
+        let (m, _) = mgr();
+        let ctx = m.create("InfoRequestContext", None);
+        let requestor = UserId(7);
+        m.create_role(ctx, "Requestor", &[requestor]).unwrap();
+        assert_eq!(m.resolve_role(ctx, "Requestor").unwrap(), vec![requestor]);
+        assert!(m.plays_scoped(ctx, "Requestor", requestor));
+
+        // "The Requestor role disappears upon completion of the information
+        // request process, i.e., it is a scoped role." (§5.4)
+        m.destroy(ctx).unwrap();
+        assert!(matches!(
+            m.resolve_role(ctx, "Requestor"),
+            Err(CoreError::ScopeEnded(_))
+        ));
+        assert!(!m.plays_scoped(ctx, "Requestor", requestor));
+        // Mutation after scope end fails too.
+        assert!(m.set_field(ctx, "f", Value::Int(1)).is_err());
+        assert!(m.add_role_member(ctx, "Requestor", UserId(8)).is_err());
+    }
+
+    #[test]
+    fn role_membership_changes_emit_context_events() {
+        let (m, _) = mgr();
+        let seen: Arc<Mutex<Vec<ContextFieldChange>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        m.subscribe(Arc::new(move |ev| sink.lock().push(ev.clone())));
+        let ctx = m.create("TaskForceContext", None);
+        m.create_role(ctx, "TaskForceMembers", &[UserId(1)]).unwrap();
+        m.add_role_member(ctx, "TaskForceMembers", UserId(2)).unwrap();
+        m.remove_role_member(ctx, "TaskForceMembers", UserId(1)).unwrap();
+        let evs = seen.lock();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].field_name, "TaskForceMembers");
+        assert_eq!(
+            evs[1].new_value,
+            Value::List(vec![Value::User(UserId(1)), Value::User(UserId(2))])
+        );
+        assert_eq!(evs[2].new_value, Value::List(vec![Value::User(UserId(2))]));
+        assert_eq!(m.resolve_role(ctx, "TaskForceMembers").unwrap(), vec![UserId(2)]);
+    }
+
+    #[test]
+    fn contexts_attach_to_multiple_processes() {
+        let (m, _) = mgr();
+        let ctx = m.create("Shared", Some((1.into(), 10.into())));
+        m.attach(ctx, (2.into(), 20.into())).unwrap();
+        assert_eq!(
+            m.processes(ctx).unwrap(),
+            vec![(1.into(), 10.into()), (2.into(), 20.into())]
+        );
+        // Subsequent events carry both associations (§5.1.1's tuple set).
+        let seen: Arc<Mutex<Vec<ContextFieldChange>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        m.subscribe(Arc::new(move |ev| sink.lock().push(ev.clone())));
+        m.set_field(ctx, "k", Value::Int(0)).unwrap();
+        assert_eq!(seen.lock()[0].processes.len(), 2);
+    }
+
+    #[test]
+    fn find_locates_live_context_by_name_and_process() {
+        let (m, _) = mgr();
+        let p: ProcessInstanceId = 44.into();
+        let a = m.create("C", Some((1.into(), p)));
+        assert_eq!(m.find("C", p), Some(a));
+        let b = m.create("C", Some((1.into(), p)));
+        assert_eq!(m.find("C", p), Some(b), "most recent live context wins");
+        m.destroy(b).unwrap();
+        assert_eq!(m.find("C", p), Some(a), "dead contexts are skipped");
+        assert_eq!(m.find("C", 999.into()), None);
+        assert_eq!(m.find_by_name("C"), Some(a));
+    }
+
+    #[test]
+    fn duplicate_role_or_field_name_rejected() {
+        let (m, _) = mgr();
+        let ctx = m.create("C", None);
+        m.create_role(ctx, "R", &[]).unwrap();
+        assert!(matches!(
+            m.create_role(ctx, "R", &[]),
+            Err(CoreError::DuplicateName(_))
+        ));
+        m.set_field(ctx, "F", Value::Int(1)).unwrap();
+        assert!(matches!(
+            m.create_role(ctx, "F", &[]),
+            Err(CoreError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_context_and_field_errors() {
+        let (m, _) = mgr();
+        assert!(matches!(
+            m.get_field(ContextId(9), "x"),
+            Err(CoreError::UnknownContext(_))
+        ));
+        let ctx = m.create("C", None);
+        assert!(matches!(
+            m.get_field(ctx, "x"),
+            Err(CoreError::UnknownContextField { .. })
+        ));
+        assert!(matches!(
+            m.resolve_role(ctx, "nope"),
+            Err(CoreError::UnknownScopedRole { .. })
+        ));
+    }
+
+    #[test]
+    fn reads_still_work_after_scope_end() {
+        let (m, _) = mgr();
+        let ctx = m.create("C", None);
+        m.set_field(ctx, "x", Value::Int(3)).unwrap();
+        m.destroy(ctx).unwrap();
+        assert_eq!(m.get_field(ctx, "x").unwrap(), Value::Int(3));
+        assert_eq!(m.field_names(ctx).unwrap(), vec!["x".to_owned()]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Error types for the CORE model.
+
+use std::fmt;
+
+use crate::ids::{ActivityInstanceId, ActivitySchemaId, ActivityVarId, ContextId, RoleId, UserId};
+
+/// Errors raised by CORE model operations (schema construction, state
+/// transitions, resource/context/role manipulation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A schema failed structural validation; the message says which rule.
+    InvalidSchema(String),
+    /// A state name was not found in a state schema.
+    UnknownState(String),
+    /// Attempted a state transition that the activity state schema forbids.
+    IllegalTransition {
+        /// Current (leaf) state name.
+        from: String,
+        /// Requested target state name.
+        to: String,
+    },
+    /// A transition was attempted from or to a non-leaf state.
+    NonLeafState(String),
+    /// Referenced an activity schema that is not registered.
+    UnknownActivitySchema(ActivitySchemaId),
+    /// Referenced an activity instance that does not exist.
+    UnknownActivityInstance(ActivityInstanceId),
+    /// Referenced an activity variable not declared by the process schema.
+    UnknownActivityVar(ActivityVarId),
+    /// Referenced a context that does not exist or is already destroyed.
+    UnknownContext(ContextId),
+    /// The context exists but the named field is not present.
+    UnknownContextField {
+        /// The context.
+        context: ContextId,
+        /// The missing field name.
+        field: String,
+    },
+    /// A context field exists but holds a different value type.
+    ContextFieldType {
+        /// The field name.
+        field: String,
+        /// Explanation of the mismatch.
+        detail: String,
+    },
+    /// Referenced an organizational role that is not in the directory.
+    UnknownRole(RoleId),
+    /// Referenced a scoped role not present in its context.
+    UnknownScopedRole {
+        /// The enclosing context.
+        context: ContextId,
+        /// The missing role name.
+        name: String,
+    },
+    /// The scoped role's enclosing context scope has ended; the role is no
+    /// longer resolvable (§4: lifetime is restricted to the scope's).
+    ScopeEnded(ContextId),
+    /// Referenced a user not present in the directory.
+    UnknownUser(UserId),
+    /// A name collided with an existing declaration.
+    DuplicateName(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidSchema(m) => write!(f, "invalid schema: {m}"),
+            CoreError::UnknownState(s) => write!(f, "unknown state `{s}`"),
+            CoreError::IllegalTransition { from, to } => {
+                write!(f, "illegal state transition `{from}` -> `{to}`")
+            }
+            CoreError::NonLeafState(s) => {
+                write!(f, "state `{s}` is not a leaf; transitions must connect leaves")
+            }
+            CoreError::UnknownActivitySchema(id) => write!(f, "unknown activity schema {id}"),
+            CoreError::UnknownActivityInstance(id) => write!(f, "unknown activity instance {id}"),
+            CoreError::UnknownActivityVar(id) => write!(f, "unknown activity variable {id}"),
+            CoreError::UnknownContext(id) => write!(f, "unknown context {id}"),
+            CoreError::UnknownContextField { context, field } => {
+                write!(f, "context {context} has no field `{field}`")
+            }
+            CoreError::ContextFieldType { field, detail } => {
+                write!(f, "context field `{field}` type error: {detail}")
+            }
+            CoreError::UnknownRole(id) => write!(f, "unknown organizational role {id}"),
+            CoreError::UnknownScopedRole { context, name } => {
+                write!(f, "context {context} has no scoped role `{name}`")
+            }
+            CoreError::ScopeEnded(id) => {
+                write!(f, "context scope {id} has ended; scoped roles inside it are gone")
+            }
+            CoreError::UnknownUser(id) => write!(f, "unknown user {id}"),
+            CoreError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_helpfully() {
+        let e = CoreError::IllegalTransition {
+            from: "Ready".into(),
+            to: "Closed".into(),
+        };
+        assert_eq!(e.to_string(), "illegal state transition `Ready` -> `Closed`");
+        let e = CoreError::ScopeEnded(ContextId(4));
+        assert!(e.to_string().contains("cx4"));
+    }
+}

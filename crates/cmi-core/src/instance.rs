@@ -1,0 +1,529 @@
+//! Activity and process instances, and the activity state change event
+//! producer (§4, §5.1.1).
+//!
+//! Schemas are instantiated during application execution (Fig. 3). The
+//! [`InstanceStore`] owns every instance, enforces the instance's activity
+//! state schema on each transition, and emits an [`ActivityStateChange`] —
+//! the payload of the primitive producer `E_activity` — for every transition,
+//! with exactly the parameters the paper lists.
+//!
+//! CORE deliberately does *not* decide when transitions happen ("an activity
+//! state schema … does **not** define how and when a state transition
+//! occurs"); the Coordination Model (`cmi-coord`) provides the operations
+//! that cause them by calling [`InstanceStore::transition`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{CoreError, CoreResult};
+use crate::ids::{
+    ActivityInstanceId, ActivitySchemaId, ActivityVarId, ContextId, IdGen, ProcessInstanceId,
+    ProcessSchemaId, UserId,
+};
+use crate::repository::SchemaRepository;
+use crate::schema::{ActivityKind, ActivitySchema};
+use crate::state_schema::{generic, StateRef};
+use crate::time::{Clock, Timestamp};
+
+/// An activity state change event — the payload of the primitive producer
+/// `E_activity` with type `T_activity` (§5.1.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActivityStateChange {
+    /// The time of the event.
+    pub time: Timestamp,
+    /// The activity instance changing state.
+    pub activity_instance_id: ActivityInstanceId,
+    /// The process schema id of the activity's parent process, if the
+    /// activity is not itself a top-level process.
+    pub parent_process_schema_id: Option<ProcessSchemaId>,
+    /// The process instance id of the activity's parent process, if any.
+    pub parent_process_instance_id: Option<ProcessInstanceId>,
+    /// The user responsible for the state change, if any.
+    pub user: Option<UserId>,
+    /// The activity variable id of the activity changing state, if the
+    /// activity is not itself a top-level process.
+    pub activity_var_id: Option<ActivityVarId>,
+    /// The process schema id of the activity, if the activity is a process.
+    pub activity_process_schema_id: Option<ProcessSchemaId>,
+    /// The old state (leaf name).
+    pub old_state: String,
+    /// The new state (leaf name).
+    pub new_state: String,
+}
+
+impl fmt::Display for ActivityStateChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}: {} -> {}",
+            self.time, self.activity_instance_id, self.old_state, self.new_state
+        )
+    }
+}
+
+/// Callback invoked synchronously on every activity state change. Event
+/// source agents (§6.3) register one to feed the awareness engine.
+pub type StateChangeListener = Arc<dyn Fn(&ActivityStateChange) + Send + Sync>;
+
+#[derive(Debug, Clone)]
+struct InstanceState {
+    id: ActivityInstanceId,
+    schema: Arc<ActivitySchema>,
+    /// The slot this instance fills in its parent, if it is a subactivity.
+    var: Option<ActivityVarId>,
+    parent: Option<(ProcessSchemaId, ProcessInstanceId)>,
+    state: StateRef,
+    performer: Option<UserId>,
+    created: Timestamp,
+    closed_at: Option<Timestamp>,
+    children: Vec<ActivityInstanceId>,
+    contexts: Vec<ContextId>,
+}
+
+/// An immutable snapshot of one instance, for inspection and display.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceSnapshot {
+    /// The instance id.
+    pub id: ActivityInstanceId,
+    /// Its schema.
+    pub schema_id: ActivitySchemaId,
+    /// Schema name.
+    pub schema_name: String,
+    /// Basic or process.
+    pub kind: ActivityKind,
+    /// The variable slot in the parent, if any.
+    pub var: Option<ActivityVarId>,
+    /// Parent process, if any.
+    pub parent: Option<(ProcessSchemaId, ProcessInstanceId)>,
+    /// Current state (leaf name).
+    pub state: String,
+    /// Who performs/performed it, if assigned.
+    pub performer: Option<UserId>,
+    /// Creation time.
+    pub created: Timestamp,
+    /// Time the instance entered a final state, if it has.
+    pub closed_at: Option<Timestamp>,
+    /// Child instances (for processes).
+    pub children: Vec<ActivityInstanceId>,
+    /// Contexts attached to the instance.
+    pub contexts: Vec<ContextId>,
+}
+
+/// Owns all activity/process instances; the CORE engine's instance store.
+pub struct InstanceStore {
+    clock: Arc<dyn Clock>,
+    repo: Arc<SchemaRepository>,
+    instances: RwLock<BTreeMap<ActivityInstanceId, InstanceState>>,
+    listeners: RwLock<Vec<StateChangeListener>>,
+    ids: IdGen,
+}
+
+impl fmt::Debug for InstanceStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InstanceStore")
+            .field("instances", &self.instances.read().len())
+            .finish()
+    }
+}
+
+impl InstanceStore {
+    /// A store reading time from `clock` and schemas from `repo`.
+    pub fn new(clock: Arc<dyn Clock>, repo: Arc<SchemaRepository>) -> Self {
+        InstanceStore {
+            clock,
+            repo,
+            instances: RwLock::new(BTreeMap::new()),
+            listeners: RwLock::new(Vec::new()),
+            ids: IdGen::new(),
+        }
+    }
+
+    /// The schema repository this store instantiates from.
+    pub fn repository(&self) -> &Arc<SchemaRepository> {
+        &self.repo
+    }
+
+    /// The clock this store stamps events with.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Registers a listener for all subsequent activity state changes.
+    pub fn subscribe(&self, l: StateChangeListener) {
+        self.listeners.write().push(l);
+    }
+
+    fn emit(&self, ev: ActivityStateChange) {
+        let listeners = self.listeners.read();
+        for l in listeners.iter() {
+            l(&ev);
+        }
+    }
+
+    /// Creates a top-level process instance of `schema`. The instance starts
+    /// in its state schema's initial state.
+    pub fn create_top_level(&self, schema: ProcessSchemaId) -> CoreResult<ProcessInstanceId> {
+        self.create(schema, None)
+    }
+
+    /// Creates a subactivity instance filling variable `var` of parent
+    /// process instance `parent`.
+    pub fn create_subactivity(
+        &self,
+        parent: ProcessInstanceId,
+        var: ActivityVarId,
+    ) -> CoreResult<ActivityInstanceId> {
+        let (parent_schema, child_schema) = {
+            let g = self.instances.read();
+            let p = g
+                .get(&parent)
+                .ok_or(CoreError::UnknownActivityInstance(parent))?;
+            let av = p.schema.activity_var_by_id(var)?;
+            (p.schema.id(), av.schema)
+        };
+        let id = self.create_inner(child_schema, Some((var, parent_schema, parent)))?;
+        self.instances
+            .write()
+            .get_mut(&parent)
+            .expect("parent checked above")
+            .children
+            .push(id);
+        Ok(id)
+    }
+
+    fn create(
+        &self,
+        schema: ActivitySchemaId,
+        slot: Option<(ActivityVarId, ProcessSchemaId, ProcessInstanceId)>,
+    ) -> CoreResult<ActivityInstanceId> {
+        self.create_inner(schema, slot)
+    }
+
+    fn create_inner(
+        &self,
+        schema_id: ActivitySchemaId,
+        slot: Option<(ActivityVarId, ProcessSchemaId, ProcessInstanceId)>,
+    ) -> CoreResult<ActivityInstanceId> {
+        let schema = self.repo.activity_schema(schema_id)?;
+        let id: ActivityInstanceId = self.ids.next();
+        let st = InstanceState {
+            id,
+            state: schema.state_schema().initial(),
+            schema,
+            var: slot.map(|(v, _, _)| v),
+            parent: slot.map(|(_, ps, pi)| (ps, pi)),
+            performer: None,
+            created: self.clock.now(),
+            closed_at: None,
+            children: Vec::new(),
+            contexts: Vec::new(),
+        };
+        self.instances.write().insert(id, st);
+        Ok(id)
+    }
+
+    /// Applies the state transition `-> to_state` on the instance, attributed
+    /// to `user`. `to_state` may name a leaf or a refined superstate (which
+    /// resolves to its entry leaf). Validates the transition against the
+    /// instance's activity state schema and emits the activity state change
+    /// event.
+    pub fn transition(
+        &self,
+        id: ActivityInstanceId,
+        to_state: &str,
+        user: Option<UserId>,
+    ) -> CoreResult<ActivityStateChange> {
+        let ev = {
+            let mut g = self.instances.write();
+            let inst = g.get_mut(&id).ok_or(CoreError::UnknownActivityInstance(id))?;
+            let ss = inst.schema.state_schema();
+            // Resolve through refined superstates: requesting `Running` on a
+            // schema where Running has substates lands on the entry leaf.
+            let to = ss.resolve_leaf(to_state)?;
+            let from = inst.state;
+            ss.transition(from, to)?;
+            inst.state = to;
+            if ss.is_final(to) {
+                inst.closed_at = Some(self.clock.now());
+            }
+            ActivityStateChange {
+                time: self.clock.now(),
+                activity_instance_id: id,
+                parent_process_schema_id: inst.parent.map(|(ps, _)| ps),
+                parent_process_instance_id: inst.parent.map(|(_, pi)| pi),
+                user,
+                activity_var_id: inst.var,
+                activity_process_schema_id: inst
+                    .schema
+                    .is_process()
+                    .then(|| inst.schema.id()),
+                old_state: ss.state_name(from).to_owned(),
+                new_state: ss.state_name(to).to_owned(),
+            }
+        };
+        self.emit(ev.clone());
+        Ok(ev)
+    }
+
+    /// Current state (leaf name) of the instance.
+    pub fn state_of(&self, id: ActivityInstanceId) -> CoreResult<String> {
+        let g = self.instances.read();
+        let inst = g.get(&id).ok_or(CoreError::UnknownActivityInstance(id))?;
+        Ok(inst
+            .schema
+            .state_schema()
+            .state_name(inst.state)
+            .to_owned())
+    }
+
+    /// True if the instance's current leaf is `ancestor` or within it (e.g.
+    /// "is it Closed?" while the leaf is `Completed`).
+    pub fn is_within(&self, id: ActivityInstanceId, ancestor: &str) -> CoreResult<bool> {
+        let g = self.instances.read();
+        let inst = g.get(&id).ok_or(CoreError::UnknownActivityInstance(id))?;
+        inst.schema
+            .state_schema()
+            .is_within_named(inst.state, ancestor)
+    }
+
+    /// True once the instance is in a final state.
+    pub fn is_closed(&self, id: ActivityInstanceId) -> CoreResult<bool> {
+        self.is_within(id, generic::CLOSED).or_else(|_| {
+            // Application state schemas may rename Closed; fall back to "leaf
+            // is final".
+            let g = self.instances.read();
+            let inst = g.get(&id).ok_or(CoreError::UnknownActivityInstance(id))?;
+            Ok(inst.schema.state_schema().is_final(inst.state))
+        })
+    }
+
+    /// Assigns the performing participant.
+    pub fn set_performer(&self, id: ActivityInstanceId, user: UserId) -> CoreResult<()> {
+        let mut g = self.instances.write();
+        let inst = g.get_mut(&id).ok_or(CoreError::UnknownActivityInstance(id))?;
+        inst.performer = Some(user);
+        Ok(())
+    }
+
+    /// Attaches a context to the instance (resource scoping).
+    pub fn attach_context(&self, id: ActivityInstanceId, ctx: ContextId) -> CoreResult<()> {
+        let mut g = self.instances.write();
+        let inst = g.get_mut(&id).ok_or(CoreError::UnknownActivityInstance(id))?;
+        inst.contexts.push(ctx);
+        Ok(())
+    }
+
+    /// The schema of the instance.
+    pub fn schema_of(&self, id: ActivityInstanceId) -> CoreResult<Arc<ActivitySchema>> {
+        let g = self.instances.read();
+        g.get(&id)
+            .map(|i| i.schema.clone())
+            .ok_or(CoreError::UnknownActivityInstance(id))
+    }
+
+    /// Child instance filling variable `var` of process instance `id` that
+    /// was created most recently, if any.
+    pub fn child_for_var(
+        &self,
+        id: ProcessInstanceId,
+        var: ActivityVarId,
+    ) -> CoreResult<Option<ActivityInstanceId>> {
+        let g = self.instances.read();
+        let inst = g.get(&id).ok_or(CoreError::UnknownActivityInstance(id))?;
+        Ok(inst
+            .children
+            .iter()
+            .rev()
+            .find(|c| g.get(c).is_some_and(|ci| ci.var == Some(var)))
+            .copied())
+    }
+
+    /// A full snapshot of the instance.
+    pub fn snapshot(&self, id: ActivityInstanceId) -> CoreResult<InstanceSnapshot> {
+        let g = self.instances.read();
+        let inst = g.get(&id).ok_or(CoreError::UnknownActivityInstance(id))?;
+        Ok(InstanceSnapshot {
+            id: inst.id,
+            schema_id: inst.schema.id(),
+            schema_name: inst.schema.name().to_owned(),
+            kind: inst.schema.kind(),
+            var: inst.var,
+            parent: inst.parent,
+            state: inst
+                .schema
+                .state_schema()
+                .state_name(inst.state)
+                .to_owned(),
+            performer: inst.performer,
+            created: inst.created,
+            closed_at: inst.closed_at,
+            children: inst.children.clone(),
+            contexts: inst.contexts.clone(),
+        })
+    }
+
+    /// Ids of every instance, in creation order.
+    pub fn all_instances(&self) -> Vec<ActivityInstanceId> {
+        self.instances.read().keys().copied().collect()
+    }
+
+    /// Total number of instances ever created.
+    pub fn instance_count(&self) -> usize {
+        self.instances.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use crate::schema::ActivitySchemaBuilder;
+    use crate::state_schema::{generic::*, ActivityStateSchema};
+    use crate::time::{Duration, SimClock};
+    use parking_lot::Mutex;
+
+    fn setup() -> (Arc<SchemaRepository>, InstanceStore, SimClock) {
+        let clock = SimClock::new();
+        let repo = Arc::new(SchemaRepository::new());
+        let store = InstanceStore::new(Arc::new(clock.clone()), repo.clone());
+        (repo, store, clock)
+    }
+
+    fn register_basic(repo: &SchemaRepository, name: &str) -> ActivitySchemaId {
+        let ss = repo.register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+        let id = repo.fresh_activity_schema_id();
+        let s = ActivitySchemaBuilder::basic(id, name, ss).build().unwrap();
+        repo.register_activity_schema(s);
+        id
+    }
+
+    fn register_process(repo: &SchemaRepository, name: &str, subs: &[ActivitySchemaId]) -> ActivitySchemaId {
+        let ss = repo.register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+        let id = repo.fresh_activity_schema_id();
+        let mut b = ActivitySchemaBuilder::process(id, name, ss);
+        for (i, s) in subs.iter().enumerate() {
+            b.activity_var(&format!("step{i}"), *s, false).unwrap();
+        }
+        repo.register_activity_schema(b.build().unwrap());
+        id
+    }
+
+    #[test]
+    fn lifecycle_emits_events_with_paper_parameters() {
+        let (repo, store, clock) = setup();
+        let basic = register_basic(&repo, "LabTest");
+        let proc = register_process(&repo, "TaskForce", &[basic]);
+
+        let seen: Arc<Mutex<Vec<ActivityStateChange>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        store.subscribe(Arc::new(move |ev| sink.lock().push(ev.clone())));
+
+        let pi = store.create_top_level(proc).unwrap();
+        let var = repo.activity_schema(proc).unwrap().activity_vars()[0].id;
+        let ai = store.create_subactivity(pi, var).unwrap();
+
+        clock.advance(Duration::from_mins(1));
+        let user = UserId(42);
+        store.transition(pi, READY, None).unwrap();
+        store.transition(ai, READY, None).unwrap();
+        store.transition(ai, RUNNING, Some(user)).unwrap();
+
+        let evs = seen.lock();
+        assert_eq!(evs.len(), 3);
+        // Top-level process event: no parent, has activityProcessSchemaId.
+        assert_eq!(evs[0].parent_process_schema_id, None);
+        assert_eq!(evs[0].activity_var_id, None);
+        assert_eq!(evs[0].activity_process_schema_id, Some(proc));
+        // Subactivity event: parent set, var set, not a process itself.
+        assert_eq!(evs[1].parent_process_schema_id, Some(proc));
+        assert_eq!(evs[1].parent_process_instance_id, Some(pi));
+        assert_eq!(evs[1].activity_var_id, Some(var));
+        assert_eq!(evs[1].activity_process_schema_id, None);
+        // User attribution and states.
+        assert_eq!(evs[2].user, Some(user));
+        assert_eq!(evs[2].old_state, READY);
+        assert_eq!(evs[2].new_state, RUNNING);
+        assert_eq!(evs[2].time, Timestamp::from_millis(60_000));
+    }
+
+    #[test]
+    fn illegal_transitions_rejected_and_state_unchanged() {
+        let (repo, store, _) = setup();
+        let basic = register_basic(&repo, "A");
+        let proc = register_process(&repo, "P", &[basic]);
+        let pi = store.create_top_level(proc).unwrap();
+        assert_eq!(store.state_of(pi).unwrap(), UNINITIALIZED);
+        assert!(store.transition(pi, RUNNING, None).is_err());
+        assert_eq!(store.state_of(pi).unwrap(), UNINITIALIZED);
+        // Non-leaf target.
+        assert!(store.transition(pi, CLOSED, None).is_err());
+    }
+
+    #[test]
+    fn closed_detection_through_superstate() {
+        let (repo, store, clock) = setup();
+        let basic = register_basic(&repo, "A");
+        let proc = register_process(&repo, "P", &[basic]);
+        let pi = store.create_top_level(proc).unwrap();
+        store.transition(pi, READY, None).unwrap();
+        store.transition(pi, RUNNING, None).unwrap();
+        clock.advance(Duration::from_mins(30));
+        store.transition(pi, COMPLETED, None).unwrap();
+        assert!(store.is_within(pi, CLOSED).unwrap());
+        assert!(store.is_closed(pi).unwrap());
+        let snap = store.snapshot(pi).unwrap();
+        assert_eq!(snap.closed_at, Some(Timestamp::from_millis(30 * 60_000)));
+        assert_eq!(snap.state, COMPLETED);
+    }
+
+    #[test]
+    fn child_for_var_returns_latest() {
+        let (repo, store, _) = setup();
+        let basic = register_basic(&repo, "A");
+        let proc = register_process(&repo, "P", &[basic]);
+        let pi = store.create_top_level(proc).unwrap();
+        let var = repo.activity_schema(proc).unwrap().activity_vars()[0].id;
+        assert_eq!(store.child_for_var(pi, var).unwrap(), None);
+        let c1 = store.create_subactivity(pi, var).unwrap();
+        assert_eq!(store.child_for_var(pi, var).unwrap(), Some(c1));
+        let c2 = store.create_subactivity(pi, var).unwrap();
+        assert_eq!(store.child_for_var(pi, var).unwrap(), Some(c2));
+        assert_eq!(store.snapshot(pi).unwrap().children, vec![c1, c2]);
+    }
+
+    #[test]
+    fn subactivity_of_unknown_var_rejected() {
+        let (repo, store, _) = setup();
+        let basic = register_basic(&repo, "A");
+        let proc = register_process(&repo, "P", &[basic]);
+        let pi = store.create_top_level(proc).unwrap();
+        assert!(store.create_subactivity(pi, ActivityVarId(12345)).is_err());
+    }
+
+    #[test]
+    fn performer_and_context_attachment() {
+        let (repo, store, _) = setup();
+        let basic = register_basic(&repo, "A");
+        let proc = register_process(&repo, "P", &[basic]);
+        let pi = store.create_top_level(proc).unwrap();
+        store.set_performer(pi, UserId(9)).unwrap();
+        store.attach_context(pi, ContextId(3)).unwrap();
+        let s = store.snapshot(pi).unwrap();
+        assert_eq!(s.performer, Some(UserId(9)));
+        assert_eq!(s.contexts, vec![ContextId(3)]);
+    }
+
+    #[test]
+    fn unknown_instance_errors() {
+        let (_, store, _) = setup();
+        let bogus = ActivityInstanceId(404);
+        assert!(store.state_of(bogus).is_err());
+        assert!(store.transition(bogus, READY, None).is_err());
+        assert!(store.snapshot(bogus).is_err());
+    }
+
+    use crate::repository::SchemaRepository;
+}

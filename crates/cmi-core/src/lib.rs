@@ -1,0 +1,63 @@
+//! # cmi-core — the CORE of the Collaboration Management Model
+//!
+//! This crate implements the CORE model of CMI (Baker, Georgakopoulos,
+//! Schuster, Cassandra, Cichocki — CoopIS'99 / ICDE 2000): the common basis
+//! that the Coordination Model (`cmi-coord`) and the Awareness Model
+//! (`cmi-awareness`) extend.
+//!
+//! The CORE provides:
+//!
+//! * **Activity state schemas** ([`state_schema`]) — a forest of states whose
+//!   leaves carry the transition diagram, including the generic WfMC-style
+//!   schema of Fig. 4 and application-specific substate refinement.
+//! * **Activity schemas** ([`schema`]) — basic and process activities with
+//!   typed resource variables, activity variables and the fixed set of
+//!   dependency types (Fig. 3).
+//! * **Resources** ([`resource`], [`participant`], [`context`]) — the four
+//!   resource kinds: data, helper, participant and context. Context resources
+//!   are scoped collections of named fields, and **scoped roles** — the
+//!   cornerstone of awareness provisioning — live inside them.
+//! * **Instances** ([`instance`]) — schema instantiation and validated state
+//!   transitions, each producing an activity state change event with the
+//!   exact parameter set of §5.1.1.
+//! * **Meta-model introspection** ([`meta`]) — the CMM structure of Figs. 2–3
+//!   as data.
+//!
+//! Primitive events (activity state changes, context field changes) are
+//! published synchronously to subscribed listeners; `cmi-events` adapts them
+//! into the composite-event substrate.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod context;
+pub mod error;
+pub mod ids;
+pub mod instance;
+pub mod meta;
+pub mod participant;
+pub mod repository;
+pub mod resource;
+pub mod roles;
+pub mod schema;
+pub mod state_schema;
+pub mod time;
+pub mod value;
+
+pub use context::{ContextFieldChange, ContextManager};
+pub use error::{CoreError, CoreResult};
+pub use ids::{
+    ActivityInstanceId, ActivitySchemaId, ActivityVarId, AwarenessSchemaId, ContextId, IdGen,
+    ProcessInstanceId, ProcessSchemaId, ResourceSchemaId, RoleId, SpecId, StateSchemaId, UserId,
+};
+pub use instance::{ActivityStateChange, InstanceSnapshot, InstanceStore};
+pub use participant::{Directory, OrgRole, Participant, ParticipantKind};
+pub use repository::SchemaRepository;
+pub use resource::{HelperResource, ResourceKind, ResourceSchema, ResourceUsage};
+pub use roles::{plays_role, resolve_role, RoleRef, RoleSpec};
+pub use schema::{
+    ActivityKind, ActivitySchema, ActivitySchemaBuilder, ActivityVar, Dependency, ResourceVar,
+};
+pub use state_schema::{ActivityStateSchema, ActivityStateSchemaBuilder, StateRef};
+pub use time::{Clock, Duration, SimClock, Timestamp};
+pub use value::{TotalF64, Value, ValueType};

@@ -1,0 +1,212 @@
+//! CMM meta-model introspection (Figs. 2 and 3).
+//!
+//! CMM is a process *meta model*: a CORE plus specialized extensions (the
+//! Coordination, Awareness and Service models, and application-specific
+//! models atop them). It provides meta types for activity states and
+//! activities, a resource meta type for user-defined resource types, and a
+//! **fixed** set of dependency types — the "reasonable compromise between
+//! flexibility, expressiveness and complexity" of §3.
+//!
+//! This module encodes that structure as data so experiments (and users) can
+//! introspect it; `exp_fig2_cmm` and `exp_fig3_metamodel` print it.
+
+use std::fmt;
+
+/// The sub-models composing CMM (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubModel {
+    /// The common basis of all extensions.
+    Core,
+    /// Coordination Model: participant coordination, automated enactment.
+    Coordination,
+    /// Awareness Model: customized process and situation awareness.
+    Awareness,
+    /// Service Model: reusable activities, service quality and agreements.
+    Service,
+    /// Application-specific extensions atop CM, SM and AM.
+    ApplicationSpecific,
+}
+
+/// Description of one sub-model: what it extends and the primitives it
+/// contributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubModelInfo {
+    /// Which sub-model.
+    pub model: SubModel,
+    /// Display name.
+    pub name: &'static str,
+    /// The sub-models it directly builds on.
+    pub extends: &'static [SubModel],
+    /// The modeling primitives it contributes.
+    pub primitives: &'static [&'static str],
+    /// Which crate in this repository implements it.
+    pub implemented_by: &'static str,
+}
+
+/// The CMM structure of Fig. 2, with each sub-model's primitives and the
+/// implementing crate.
+pub fn cmm_submodels() -> Vec<SubModelInfo> {
+    vec![
+        SubModelInfo {
+            model: SubModel::Core,
+            name: "CORE",
+            extends: &[],
+            primitives: &[
+                "activity state schema (forest + leaf transitions)",
+                "basic activity schema",
+                "process activity schema",
+                "data resource",
+                "helper resource",
+                "participant resource (organizational role)",
+                "participant resource (scoped role)",
+                "context resource",
+                "dependency types (fixed set)",
+            ],
+            implemented_by: "cmi-core",
+        },
+        SubModelInfo {
+            model: SubModel::Coordination,
+            name: "Coordination Model (CM)",
+            extends: &[SubModel::Core],
+            primitives: &[
+                "operations causing state transitions (start/complete/suspend/resume/terminate)",
+                "dependency evaluation and routing",
+                "subprocess invocation",
+                "worklist",
+            ],
+            implemented_by: "cmi-coord",
+        },
+        SubModelInfo {
+            model: SubModel::Awareness,
+            name: "Awareness Model (AM)",
+            extends: &[SubModel::Core],
+            primitives: &[
+                "awareness schema (AD, R, RA)",
+                "awareness description (composite event specification DAG)",
+                "awareness delivery role (global or scoped)",
+                "awareness role assignment function",
+                "canonical event type C_P",
+                "event operators (filter, and, seq, or, count, compare, translate, output)",
+            ],
+            implemented_by: "cmi-awareness (over cmi-events)",
+        },
+        SubModelInfo {
+            model: SubModel::Service,
+            name: "Service Model (SM)",
+            extends: &[SubModel::Core],
+            primitives: &[
+                "reusable process activities",
+                "service quality",
+                "service agreements",
+            ],
+            implemented_by: "cmi-service (registry, QoS, agreements, violation awareness)",
+        },
+        SubModelInfo {
+            model: SubModel::ApplicationSpecific,
+            name: "Application-specific extension",
+            extends: &[SubModel::Coordination, SubModel::Awareness, SubModel::Service],
+            primitives: &[
+                "application-specific activity state substates",
+                "application-specific event producers and operators",
+            ],
+            implemented_by: "cmi-workloads (crisis management scenarios)",
+        },
+    ]
+}
+
+/// The CMM meta types and type sets of Fig. 3, with their extensibility
+/// class: `Meta` types can be instantiated into application-specific schemas;
+/// `Fixed` sets cannot be extended (the COTS-WfMS-style compromise).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetaTypeInfo {
+    /// Name as in Fig. 3.
+    pub name: &'static str,
+    /// `true` if applications may define new types from it.
+    pub extensible: bool,
+    /// What schemas are created from it.
+    pub instantiates: &'static str,
+}
+
+/// The meta-type table of Fig. 3.
+pub fn cmm_meta_types() -> Vec<MetaTypeInfo> {
+    vec![
+        MetaTypeInfo {
+            name: "activity state meta type",
+            extensible: true,
+            instantiates: "activity state schemas (application-specific substates allowed)",
+        },
+        MetaTypeInfo {
+            name: "basic activity meta type",
+            extensible: true,
+            instantiates: "basic activity schemas",
+        },
+        MetaTypeInfo {
+            name: "process activity meta type",
+            extensible: true,
+            instantiates: "process activity schemas",
+        },
+        MetaTypeInfo {
+            name: "resource meta type",
+            extensible: true,
+            instantiates: "user-defined resource schemas (data, helper, participant, context)",
+        },
+        MetaTypeInfo {
+            name: "dependency type",
+            extensible: false,
+            instantiates: "dependency variables (sequence, and-join, or-join, guard, deadline)",
+        },
+    ]
+}
+
+impl fmt::Display for SubModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SubModel::Core => "CORE",
+            SubModel::Coordination => "CM",
+            SubModel::Awareness => "AM",
+            SubModel::Service => "SM",
+            SubModel::ApplicationSpecific => "APP",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmm_has_core_plus_four_extensions() {
+        let subs = cmm_submodels();
+        assert_eq!(subs.len(), 5);
+        assert_eq!(subs[0].model, SubModel::Core);
+        assert!(subs[0].extends.is_empty());
+        // Every non-core sub-model transitively extends CORE.
+        for s in &subs[1..] {
+            assert!(!s.extends.is_empty());
+        }
+        // The application-specific layer sits atop CM, SM and AM (Fig. 2).
+        let app = subs.last().unwrap();
+        assert!(app.extends.contains(&SubModel::Coordination));
+        assert!(app.extends.contains(&SubModel::Awareness));
+        assert!(app.extends.contains(&SubModel::Service));
+    }
+
+    #[test]
+    fn only_dependency_types_are_fixed() {
+        let metas = cmm_meta_types();
+        let fixed: Vec<&str> = metas
+            .iter()
+            .filter(|m| !m.extensible)
+            .map(|m| m.name)
+            .collect();
+        assert_eq!(fixed, vec!["dependency type"]);
+        assert_eq!(metas.len(), 5);
+    }
+
+    #[test]
+    fn submodel_display_abbreviations() {
+        assert_eq!(SubModel::Awareness.to_string(), "AM");
+        assert_eq!(SubModel::Core.to_string(), "CORE");
+    }
+}

@@ -1,0 +1,329 @@
+//! Participant resources and the organizational role directory (§4).
+//!
+//! Participant resources are either humans or programs: "actors in the real
+//! world that take responsibility to start and perform activities". Both may
+//! play one or multiple roles. *Basic* participant resources are
+//! **organizational roles** — global roles kept in this directory. *Advanced*
+//! participant resources are **scoped roles**, which live inside context
+//! resources (see [`crate::context`]).
+//!
+//! The directory also tracks the per-user attributes the paper's awareness
+//! role assignment functions consult (§5.3): whether the user is currently
+//! signed on, and a load figure.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use parking_lot::RwLock;
+
+use crate::error::{CoreError, CoreResult};
+use crate::ids::{IdGen, RoleId, UserId};
+
+/// Whether a participant is a human or an automated program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParticipantKind {
+    /// A human user.
+    Human,
+    /// An automated program acting as a participant.
+    Program,
+}
+
+/// A registered participant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Participant {
+    /// The participant's id.
+    pub id: UserId,
+    /// Display name.
+    pub name: String,
+    /// Human or program.
+    pub kind: ParticipantKind,
+    /// True while the participant has a client session (used by the
+    /// `SignedOn` awareness role assignment).
+    pub signed_on: bool,
+    /// Number of outstanding work/awareness items (used by the
+    /// `LoadBalanced` awareness role assignment).
+    pub load: u32,
+}
+
+/// An organizational (global) role.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrgRole {
+    /// The role's id.
+    pub id: RoleId,
+    /// Role name, unique within the directory (e.g. `epidemiologist`).
+    pub name: String,
+}
+
+#[derive(Debug, Default)]
+struct DirectoryInner {
+    users: BTreeMap<UserId, Participant>,
+    roles: BTreeMap<RoleId, OrgRole>,
+    role_by_name: BTreeMap<String, RoleId>,
+    members: BTreeMap<RoleId, BTreeSet<UserId>>,
+}
+
+/// The organization directory: participants, organizational roles, and role
+/// membership. Thread-safe; resolution order is deterministic (sorted by id).
+#[derive(Debug, Default)]
+pub struct Directory {
+    inner: RwLock<DirectoryInner>,
+    ids: IdGen,
+}
+
+impl Directory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Directory {
+            inner: RwLock::new(DirectoryInner::default()),
+            ids: IdGen::new(),
+        }
+    }
+
+    /// Registers a participant and returns their id.
+    pub fn add_participant(&self, name: &str, kind: ParticipantKind) -> UserId {
+        let id: UserId = self.ids.next();
+        self.inner.write().users.insert(
+            id,
+            Participant {
+                id,
+                name: name.to_owned(),
+                kind,
+                signed_on: false,
+                load: 0,
+            },
+        );
+        id
+    }
+
+    /// Shorthand for registering a human participant.
+    pub fn add_user(&self, name: &str) -> UserId {
+        self.add_participant(name, ParticipantKind::Human)
+    }
+
+    /// Creates an organizational role. Fails on duplicate names.
+    pub fn add_role(&self, name: &str) -> CoreResult<RoleId> {
+        let mut inner = self.inner.write();
+        if inner.role_by_name.contains_key(name) {
+            return Err(CoreError::DuplicateName(name.to_owned()));
+        }
+        let id: RoleId = self.ids.next();
+        inner.roles.insert(
+            id,
+            OrgRole {
+                id,
+                name: name.to_owned(),
+            },
+        );
+        inner.role_by_name.insert(name.to_owned(), id);
+        inner.members.insert(id, BTreeSet::new());
+        Ok(id)
+    }
+
+    /// Looks an organizational role up by name.
+    pub fn role_by_name(&self, name: &str) -> Option<RoleId> {
+        self.inner.read().role_by_name.get(name).copied()
+    }
+
+    /// The role's name.
+    pub fn role_name(&self, role: RoleId) -> CoreResult<String> {
+        self.inner
+            .read()
+            .roles
+            .get(&role)
+            .map(|r| r.name.clone())
+            .ok_or(CoreError::UnknownRole(role))
+    }
+
+    /// Adds `user` to `role`.
+    pub fn assign(&self, user: UserId, role: RoleId) -> CoreResult<()> {
+        let mut inner = self.inner.write();
+        if !inner.users.contains_key(&user) {
+            return Err(CoreError::UnknownUser(user));
+        }
+        inner
+            .members
+            .get_mut(&role)
+            .ok_or(CoreError::UnknownRole(role))?
+            .insert(user);
+        Ok(())
+    }
+
+    /// Removes `user` from `role` (no-op if not a member).
+    pub fn unassign(&self, user: UserId, role: RoleId) -> CoreResult<()> {
+        let mut inner = self.inner.write();
+        inner
+            .members
+            .get_mut(&role)
+            .ok_or(CoreError::UnknownRole(role))?
+            .remove(&user);
+        Ok(())
+    }
+
+    /// Resolves an organizational role to its current members, in id order.
+    pub fn resolve(&self, role: RoleId) -> CoreResult<Vec<UserId>> {
+        self.inner
+            .read()
+            .members
+            .get(&role)
+            .map(|s| s.iter().copied().collect())
+            .ok_or(CoreError::UnknownRole(role))
+    }
+
+    /// True if `user` currently plays `role`.
+    pub fn plays(&self, user: UserId, role: RoleId) -> bool {
+        self.inner
+            .read()
+            .members
+            .get(&role)
+            .is_some_and(|s| s.contains(&user))
+    }
+
+    /// A snapshot of the participant record.
+    pub fn participant(&self, user: UserId) -> CoreResult<Participant> {
+        self.inner
+            .read()
+            .users
+            .get(&user)
+            .cloned()
+            .ok_or(CoreError::UnknownUser(user))
+    }
+
+    /// Marks the participant signed on / off.
+    pub fn set_signed_on(&self, user: UserId, on: bool) -> CoreResult<()> {
+        let mut inner = self.inner.write();
+        let u = inner
+            .users
+            .get_mut(&user)
+            .ok_or(CoreError::UnknownUser(user))?;
+        u.signed_on = on;
+        Ok(())
+    }
+
+    /// Sets the participant's load figure.
+    pub fn set_load(&self, user: UserId, load: u32) -> CoreResult<()> {
+        let mut inner = self.inner.write();
+        let u = inner
+            .users
+            .get_mut(&user)
+            .ok_or(CoreError::UnknownUser(user))?;
+        u.load = load;
+        Ok(())
+    }
+
+    /// Adds `delta` (possibly negative) to the participant's load,
+    /// saturating at zero.
+    pub fn adjust_load(&self, user: UserId, delta: i32) -> CoreResult<u32> {
+        let mut inner = self.inner.write();
+        let u = inner
+            .users
+            .get_mut(&user)
+            .ok_or(CoreError::UnknownUser(user))?;
+        u.load = u.load.saturating_add_signed(delta);
+        Ok(u.load)
+    }
+
+    /// Number of registered participants.
+    pub fn participant_count(&self) -> usize {
+        self.inner.read().users.len()
+    }
+
+    /// Number of organizational roles.
+    pub fn role_count(&self) -> usize {
+        self.inner.read().roles.len()
+    }
+
+    /// All participant ids, in id order.
+    pub fn participants(&self) -> Vec<UserId> {
+        self.inner.read().users.keys().copied().collect()
+    }
+
+    /// All organizational roles, in id order.
+    pub fn roles(&self) -> Vec<OrgRole> {
+        self.inner.read().roles.values().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_resolve_roundtrip() {
+        let d = Directory::new();
+        let alice = d.add_user("alice");
+        let bob = d.add_user("bob");
+        let epi = d.add_role("epidemiologist").unwrap();
+        d.assign(alice, epi).unwrap();
+        d.assign(bob, epi).unwrap();
+        assert_eq!(d.resolve(epi).unwrap(), vec![alice, bob]);
+        assert!(d.plays(alice, epi));
+        d.unassign(alice, epi).unwrap();
+        assert_eq!(d.resolve(epi).unwrap(), vec![bob]);
+        assert!(!d.plays(alice, epi));
+    }
+
+    #[test]
+    fn users_may_play_multiple_roles() {
+        let d = Directory::new();
+        let u = d.add_user("carol");
+        let r1 = d.add_role("doctor").unwrap();
+        let r2 = d.add_role("task-force-eligible").unwrap();
+        d.assign(u, r1).unwrap();
+        d.assign(u, r2).unwrap();
+        assert!(d.plays(u, r1) && d.plays(u, r2));
+    }
+
+    #[test]
+    fn duplicate_role_name_rejected() {
+        let d = Directory::new();
+        d.add_role("leader").unwrap();
+        assert!(matches!(
+            d.add_role("leader"),
+            Err(CoreError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_entities_error() {
+        let d = Directory::new();
+        assert!(matches!(
+            d.resolve(RoleId(99)),
+            Err(CoreError::UnknownRole(_))
+        ));
+        assert!(matches!(
+            d.assign(UserId(99), RoleId(1)),
+            Err(CoreError::UnknownUser(_))
+        ));
+        assert!(matches!(
+            d.participant(UserId(1)),
+            Err(CoreError::UnknownUser(_))
+        ));
+    }
+
+    #[test]
+    fn sign_on_and_load_tracking() {
+        let d = Directory::new();
+        let u = d.add_user("dave");
+        assert!(!d.participant(u).unwrap().signed_on);
+        d.set_signed_on(u, true).unwrap();
+        assert!(d.participant(u).unwrap().signed_on);
+        d.set_load(u, 5).unwrap();
+        assert_eq!(d.adjust_load(u, -2).unwrap(), 3);
+        assert_eq!(d.adjust_load(u, -10).unwrap(), 0, "load saturates at 0");
+    }
+
+    #[test]
+    fn programs_are_participants_too() {
+        let d = Directory::new();
+        let bot = d.add_participant("lab-robot", ParticipantKind::Program);
+        assert_eq!(d.participant(bot).unwrap().kind, ParticipantKind::Program);
+    }
+
+    #[test]
+    fn role_lookup_by_name() {
+        let d = Directory::new();
+        let r = d.add_role("media-liaison").unwrap();
+        assert_eq!(d.role_by_name("media-liaison"), Some(r));
+        assert_eq!(d.role_by_name("nope"), None);
+        assert_eq!(d.role_name(r).unwrap(), "media-liaison");
+    }
+}

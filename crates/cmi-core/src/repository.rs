@@ -1,0 +1,169 @@
+//! The schema repository: registered state schemas, activity schemas and
+//! resource schemas, keyed by id. One repository backs one CMI server.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{CoreError, CoreResult};
+use crate::ids::{ActivitySchemaId, IdGen, ResourceSchemaId, StateSchemaId};
+use crate::resource::ResourceSchema;
+use crate::schema::ActivitySchema;
+use crate::state_schema::ActivityStateSchema;
+
+/// Registry of every schema known to a CMI server. Thread-safe; schemas are
+/// immutable once registered (`Arc`-shared).
+#[derive(Default)]
+pub struct SchemaRepository {
+    state_schemas: RwLock<BTreeMap<StateSchemaId, Arc<ActivityStateSchema>>>,
+    activity_schemas: RwLock<BTreeMap<ActivitySchemaId, Arc<ActivitySchema>>>,
+    resource_schemas: RwLock<BTreeMap<ResourceSchemaId, Arc<ResourceSchema>>>,
+    ids: IdGen,
+}
+
+impl fmt::Debug for SchemaRepository {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchemaRepository")
+            .field("state_schemas", &self.state_schemas.read().len())
+            .field("activity_schemas", &self.activity_schemas.read().len())
+            .field("resource_schemas", &self.resource_schemas.read().len())
+            .finish()
+    }
+}
+
+impl SchemaRepository {
+    /// An empty repository.
+    pub fn new() -> Self {
+        SchemaRepository::default()
+    }
+
+    /// Allocates a fresh state schema id.
+    pub fn fresh_state_schema_id(&self) -> StateSchemaId {
+        self.ids.next()
+    }
+    /// Allocates a fresh activity schema id.
+    pub fn fresh_activity_schema_id(&self) -> ActivitySchemaId {
+        self.ids.next()
+    }
+    /// Allocates a fresh resource schema id.
+    pub fn fresh_resource_schema_id(&self) -> ResourceSchemaId {
+        self.ids.next()
+    }
+
+    /// Registers a state schema, returning the shared handle.
+    pub fn register_state_schema(
+        &self,
+        s: Arc<ActivityStateSchema>,
+    ) -> Arc<ActivityStateSchema> {
+        self.state_schemas.write().insert(s.id(), s.clone());
+        s
+    }
+
+    /// Registers an activity schema, returning the shared handle.
+    pub fn register_activity_schema(&self, s: Arc<ActivitySchema>) -> Arc<ActivitySchema> {
+        self.activity_schemas.write().insert(s.id(), s.clone());
+        s
+    }
+
+    /// Registers a resource schema, returning the shared handle.
+    pub fn register_resource_schema(&self, s: ResourceSchema) -> Arc<ResourceSchema> {
+        let s = Arc::new(s);
+        self.resource_schemas.write().insert(s.id, s.clone());
+        s
+    }
+
+    /// Fetches a state schema by id.
+    pub fn state_schema(&self, id: StateSchemaId) -> CoreResult<Arc<ActivityStateSchema>> {
+        self.state_schemas
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| CoreError::InvalidSchema(format!("unknown state schema {id}")))
+    }
+
+    /// Fetches an activity schema by id.
+    pub fn activity_schema(&self, id: ActivitySchemaId) -> CoreResult<Arc<ActivitySchema>> {
+        self.activity_schemas
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(CoreError::UnknownActivitySchema(id))
+    }
+
+    /// Fetches an activity schema by name (most recently registered wins).
+    pub fn activity_schema_by_name(&self, name: &str) -> Option<Arc<ActivitySchema>> {
+        self.activity_schemas
+            .read()
+            .values()
+            .rev()
+            .find(|s| s.name() == name)
+            .cloned()
+    }
+
+    /// Fetches a resource schema by id.
+    pub fn resource_schema(&self, id: ResourceSchemaId) -> CoreResult<Arc<ResourceSchema>> {
+        self.resource_schemas
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| CoreError::InvalidSchema(format!("unknown resource schema {id}")))
+    }
+
+    /// All registered activity schemas, in id order.
+    pub fn activity_schemas(&self) -> Vec<Arc<ActivitySchema>> {
+        self.activity_schemas.read().values().cloned().collect()
+    }
+
+    /// Count of registered activity schemas.
+    pub fn activity_schema_count(&self) -> usize {
+        self.activity_schemas.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::ResourceSchema;
+    use crate::schema::ActivitySchemaBuilder;
+    use crate::value::ValueType;
+
+    #[test]
+    fn register_and_fetch_all_schema_kinds() {
+        let repo = SchemaRepository::new();
+        let ss = repo.register_state_schema(ActivityStateSchema::generic(
+            repo.fresh_state_schema_id(),
+        ));
+        assert_eq!(repo.state_schema(ss.id()).unwrap().id(), ss.id());
+
+        let aid = repo.fresh_activity_schema_id();
+        let a = ActivitySchemaBuilder::basic(aid, "A", ss).build().unwrap();
+        repo.register_activity_schema(a);
+        assert_eq!(repo.activity_schema(aid).unwrap().name(), "A");
+        assert!(repo.activity_schema_by_name("A").is_some());
+        assert!(repo.activity_schema_by_name("Z").is_none());
+
+        let rid = repo.fresh_resource_schema_id();
+        repo.register_resource_schema(ResourceSchema::data(rid, "D", ValueType::Int));
+        assert_eq!(repo.resource_schema(rid).unwrap().name, "D");
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let repo = SchemaRepository::new();
+        assert!(repo.state_schema(StateSchemaId(1)).is_err());
+        assert!(repo.activity_schema(ActivitySchemaId(1)).is_err());
+        assert!(repo.resource_schema(ResourceSchemaId(1)).is_err());
+    }
+
+    #[test]
+    fn fresh_ids_never_collide() {
+        let repo = SchemaRepository::new();
+        let a = repo.fresh_activity_schema_id();
+        let b = repo.fresh_activity_schema_id();
+        let c = repo.fresh_state_schema_id();
+        assert_ne!(a.raw(), b.raw());
+        assert_ne!(b.raw(), c.raw());
+    }
+}

@@ -1,0 +1,229 @@
+//! Resource meta types and resource schemas (§3–4, Fig. 3).
+//!
+//! CORE distinguishes four basic kinds of resources usable during an activity
+//! execution: **data**, **helper**, **participant** and **context**. CMM
+//! provides a resource *meta type* so applications can define their own
+//! resource types (schemas); this module implements that level: a
+//! [`ResourceSchema`] is an application-specific resource type instantiated
+//! during execution.
+//!
+//! Data resources carry typed [`Value`]s (workflow-internal / workflow-
+//! relevant data). Helper resources are auxiliary programs (e.g. the text
+//! editor needed for a writing activity; NetMeeting in the CMI prototype) —
+//! modeled as invocable program descriptors. Participant resources are
+//! covered by [`crate::participant`] and [`crate::context`] (scoped roles);
+//! context resources by [`crate::context`].
+
+use std::fmt;
+
+use crate::ids::ResourceSchemaId;
+use crate::value::{Value, ValueType};
+
+/// The four resource kinds of the CORE (§4) — the fixed points of the
+/// resource meta type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// Workflow-internal / workflow-relevant data.
+    Data,
+    /// Auxiliary programs invoked to implement basic activities.
+    Helper,
+    /// Humans or programs that perform activities (organizational or scoped
+    /// roles).
+    Participant,
+    /// Named collections of resources carrying a scope.
+    Context,
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ResourceKind::Data => "data",
+            ResourceKind::Helper => "helper",
+            ResourceKind::Participant => "participant",
+            ResourceKind::Context => "context",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How a resource variable is used by an activity schema (Fig. 3: basic
+/// activities have input/output and helper variables; process activities have
+/// input/output, role and local-data variables; contexts flow through both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceUsage {
+    /// Consumed by the activity.
+    Input,
+    /// Produced by the activity.
+    Output,
+    /// Auxiliary program needed by a basic activity.
+    Helper,
+    /// A participant role slot (organizational or scoped).
+    Role,
+    /// Process-local data.
+    LocalData,
+    /// A context resource passed into or created by the activity.
+    Context,
+}
+
+impl fmt::Display for ResourceUsage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ResourceUsage::Input => "input",
+            ResourceUsage::Output => "output",
+            ResourceUsage::Helper => "helper",
+            ResourceUsage::Role => "role",
+            ResourceUsage::LocalData => "local",
+            ResourceUsage::Context => "context",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An application-specific resource type, instantiated from the CMM resource
+/// meta type during process specification (Fig. 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceSchema {
+    /// The schema's id.
+    pub id: ResourceSchemaId,
+    /// Type name (e.g. `LabReport`).
+    pub name: String,
+    /// Which of the four resource kinds this type refines.
+    pub kind: ResourceKind,
+    /// For data resources: the value type instances must carry.
+    pub value_type: Option<ValueType>,
+}
+
+impl ResourceSchema {
+    /// A data resource type carrying values of `vt`.
+    pub fn data(id: ResourceSchemaId, name: &str, vt: ValueType) -> Self {
+        ResourceSchema {
+            id,
+            name: name.to_owned(),
+            kind: ResourceKind::Data,
+            value_type: Some(vt),
+        }
+    }
+
+    /// A helper resource type (auxiliary program).
+    pub fn helper(id: ResourceSchemaId, name: &str) -> Self {
+        ResourceSchema {
+            id,
+            name: name.to_owned(),
+            kind: ResourceKind::Helper,
+            value_type: None,
+        }
+    }
+
+    /// A participant resource type.
+    pub fn participant(id: ResourceSchemaId, name: &str) -> Self {
+        ResourceSchema {
+            id,
+            name: name.to_owned(),
+            kind: ResourceKind::Participant,
+            value_type: None,
+        }
+    }
+
+    /// A context resource type.
+    pub fn context(id: ResourceSchemaId, name: &str) -> Self {
+        ResourceSchema {
+            id,
+            name: name.to_owned(),
+            kind: ResourceKind::Context,
+            value_type: None,
+        }
+    }
+
+    /// Checks whether `v` conforms to this (data) resource type.
+    pub fn accepts(&self, v: &Value) -> bool {
+        match (self.kind, self.value_type) {
+            (ResourceKind::Data, Some(vt)) => v.value_type() == vt || v.is_null(),
+            _ => false,
+        }
+    }
+}
+
+/// A helper resource instance: an invocable auxiliary program (the CMI
+/// prototype wired NetMeeting and editors in this slot). Invocations are
+/// counted so experiments can report helper usage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelperResource {
+    /// Descriptor name (e.g. `text-editor`).
+    pub name: String,
+    /// The command line / program identity it stands for.
+    pub program: String,
+    /// How many times it has been invoked.
+    pub invocations: u64,
+}
+
+impl HelperResource {
+    /// A new helper descriptor.
+    pub fn new(name: &str, program: &str) -> Self {
+        HelperResource {
+            name: name.to_owned(),
+            program: program.to_owned(),
+            invocations: 0,
+        }
+    }
+
+    /// Records an invocation (the simulation of launching the program) and
+    /// returns the invocation ordinal.
+    pub fn invoke(&mut self) -> u64 {
+        self.invocations += 1;
+        self.invocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_schema_type_checks_values() {
+        let s = ResourceSchema::data(ResourceSchemaId(1), "LabReport", ValueType::Str);
+        assert!(s.accepts(&Value::from("positive")));
+        assert!(s.accepts(&Value::Null), "null is allowed for unset data");
+        assert!(!s.accepts(&Value::Int(1)));
+    }
+
+    #[test]
+    fn non_data_schemas_accept_nothing() {
+        let s = ResourceSchema::helper(ResourceSchemaId(2), "editor");
+        assert!(!s.accepts(&Value::from("x")));
+        assert_eq!(s.kind, ResourceKind::Helper);
+        assert_eq!(s.value_type, None);
+    }
+
+    #[test]
+    fn all_four_kinds_constructible() {
+        let kinds = [
+            ResourceSchema::data(ResourceSchemaId(1), "d", ValueType::Int).kind,
+            ResourceSchema::helper(ResourceSchemaId(2), "h").kind,
+            ResourceSchema::participant(ResourceSchemaId(3), "p").kind,
+            ResourceSchema::context(ResourceSchemaId(4), "c").kind,
+        ];
+        assert_eq!(
+            kinds,
+            [
+                ResourceKind::Data,
+                ResourceKind::Helper,
+                ResourceKind::Participant,
+                ResourceKind::Context
+            ]
+        );
+    }
+
+    #[test]
+    fn helper_invocation_counting() {
+        let mut h = HelperResource::new("editor", "/usr/bin/vi");
+        assert_eq!(h.invoke(), 1);
+        assert_eq!(h.invoke(), 2);
+        assert_eq!(h.invocations, 2);
+    }
+
+    #[test]
+    fn display_of_kind_and_usage() {
+        assert_eq!(ResourceKind::Context.to_string(), "context");
+        assert_eq!(ResourceUsage::LocalData.to_string(), "local");
+    }
+}

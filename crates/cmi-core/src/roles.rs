@@ -1,0 +1,195 @@
+//! Unified role references and detection-time resolution (§4, §5.2).
+//!
+//! An awareness delivery role "may be either a global (organizational) role
+//! or a scoped (dynamic) role". [`RoleRef`] is that sum type, and
+//! [`resolve_role`] performs the resolution **at composite event detection
+//! time** against the current directory and context state — never earlier —
+//! so membership changes between specification and detection are honored.
+
+use std::fmt;
+
+use crate::context::ContextManager;
+use crate::error::CoreResult;
+use crate::ids::{ContextId, RoleId, UserId};
+use crate::participant::Directory;
+
+/// A reference to a role a participant may play.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RoleRef {
+    /// A global organizational role (e.g. `epidemiologist`).
+    Org(RoleId),
+    /// A scoped role addressed by its enclosing live context and its name
+    /// (e.g. `InfoRequestContext.Requestor`).
+    Scoped {
+        /// The enclosing context.
+        context: ContextId,
+        /// The role's name within that context.
+        name: String,
+    },
+}
+
+impl RoleRef {
+    /// Convenience constructor for scoped role references.
+    pub fn scoped(context: ContextId, name: &str) -> RoleRef {
+        RoleRef::Scoped {
+            context,
+            name: name.to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for RoleRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoleRef::Org(r) => write!(f, "org:{r}"),
+            RoleRef::Scoped { context, name } => write!(f, "{context}.{name}"),
+        }
+    }
+}
+
+/// A *design-time* role expression inside a schema, naming roles before any
+/// instance (and hence any concrete context) exists. The runtime binds it to
+/// a [`RoleRef`] against a concrete process instance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RoleSpec {
+    /// An organizational role, by name.
+    Org(String),
+    /// A scoped role: the name of a context visible to the process, plus the
+    /// role name inside it.
+    Scoped {
+        /// Schema-level context name (e.g. `TaskForceContext`).
+        context_name: String,
+        /// Role name inside the context (e.g. `Leader`).
+        role: String,
+    },
+}
+
+impl RoleSpec {
+    /// Shorthand for an organizational role spec.
+    pub fn org(name: &str) -> RoleSpec {
+        RoleSpec::Org(name.to_owned())
+    }
+
+    /// Shorthand for a scoped role spec.
+    pub fn scoped(context_name: &str, role: &str) -> RoleSpec {
+        RoleSpec::Scoped {
+            context_name: context_name.to_owned(),
+            role: role.to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for RoleSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoleSpec::Org(n) => write!(f, "{n}"),
+            RoleSpec::Scoped { context_name, role } => write!(f, "{context_name}.{role}"),
+        }
+    }
+}
+
+/// Resolves a role reference to its current members. Organizational roles
+/// resolve against the directory; scoped roles against their (live) context.
+pub fn resolve_role(
+    role: &RoleRef,
+    directory: &Directory,
+    contexts: &ContextManager,
+) -> CoreResult<Vec<UserId>> {
+    match role {
+        RoleRef::Org(r) => directory.resolve(*r),
+        RoleRef::Scoped { context, name } => contexts.resolve_role(*context, name),
+    }
+}
+
+/// True if `user` currently plays `role`.
+pub fn plays_role(
+    role: &RoleRef,
+    user: UserId,
+    directory: &Directory,
+    contexts: &ContextManager,
+) -> bool {
+    resolve_role(role, directory, contexts)
+        .map(|m| m.contains(&user))
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::CoreError;
+    use crate::time::SimClock;
+    use std::sync::Arc;
+
+    fn setup() -> (Directory, ContextManager) {
+        (
+            Directory::new(),
+            ContextManager::new(Arc::new(SimClock::new())),
+        )
+    }
+
+    #[test]
+    fn org_and_scoped_roles_resolve_uniformly() {
+        let (dir, ctxs) = setup();
+        let u1 = dir.add_user("alice");
+        let u2 = dir.add_user("bob");
+        let epi = dir.add_role("epidemiologist").unwrap();
+        dir.assign(u1, epi).unwrap();
+        dir.assign(u2, epi).unwrap();
+
+        let ctx = ctxs.create("TaskForceContext", None);
+        ctxs.create_role(ctx, "Leader", &[u1]).unwrap();
+
+        assert_eq!(
+            resolve_role(&RoleRef::Org(epi), &dir, &ctxs).unwrap(),
+            vec![u1, u2]
+        );
+        assert_eq!(
+            resolve_role(&RoleRef::scoped(ctx, "Leader"), &dir, &ctxs).unwrap(),
+            vec![u1]
+        );
+        assert!(plays_role(&RoleRef::scoped(ctx, "Leader"), u1, &dir, &ctxs));
+        assert!(!plays_role(&RoleRef::scoped(ctx, "Leader"), u2, &dir, &ctxs));
+    }
+
+    #[test]
+    fn resolution_reflects_changes_at_call_time() {
+        // "R_P ... is resolved at composite event detection time" (§5).
+        let (dir, ctxs) = setup();
+        let u1 = dir.add_user("alice");
+        let u2 = dir.add_user("bob");
+        let ctx = ctxs.create("C", None);
+        ctxs.create_role(ctx, "R", &[u1]).unwrap();
+        let role = RoleRef::scoped(ctx, "R");
+
+        assert_eq!(resolve_role(&role, &dir, &ctxs).unwrap(), vec![u1]);
+        ctxs.add_role_member(ctx, "R", u2).unwrap();
+        ctxs.remove_role_member(ctx, "R", u1).unwrap();
+        assert_eq!(resolve_role(&role, &dir, &ctxs).unwrap(), vec![u2]);
+    }
+
+    #[test]
+    fn scoped_resolution_fails_after_scope_end() {
+        let (dir, ctxs) = setup();
+        let u = dir.add_user("alice");
+        let ctx = ctxs.create("C", None);
+        ctxs.create_role(ctx, "R", &[u]).unwrap();
+        ctxs.destroy(ctx).unwrap();
+        assert!(matches!(
+            resolve_role(&RoleRef::scoped(ctx, "R"), &dir, &ctxs),
+            Err(CoreError::ScopeEnded(_))
+        ));
+    }
+
+    #[test]
+    fn display_forms() {
+        let r = RoleRef::Org(RoleId(3));
+        assert_eq!(r.to_string(), "org:r3");
+        let s = RoleRef::scoped(ContextId(2), "Leader");
+        assert_eq!(s.to_string(), "cx2.Leader");
+        assert_eq!(RoleSpec::org("doc").to_string(), "doc");
+        assert_eq!(
+            RoleSpec::scoped("TaskForceContext", "Leader").to_string(),
+            "TaskForceContext.Leader"
+        );
+    }
+}

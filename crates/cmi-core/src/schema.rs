@@ -1,0 +1,604 @@
+//! Activity schemas: basic and process activities (§3, Fig. 3).
+//!
+//! A *process activity schema* consists of an activity state variable,
+//! activity variables (the subactivities), resource variables, and dependency
+//! variables defining the coordination rules. A *basic activity schema* is
+//! restricted to a state variable and resource variables. All parts are
+//! typed. CMM prescribes a **fixed set of dependency types** (like COTS
+//! WfMSs) while providing meta types for activities and activity states.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{CoreError, CoreResult};
+use crate::ids::{ActivitySchemaId, ActivityVarId, ResourceSchemaId};
+use crate::resource::ResourceUsage;
+use crate::roles::RoleSpec;
+use crate::state_schema::ActivityStateSchema;
+use crate::value::Value;
+
+/// Whether an activity schema is a basic activity or a (sub)process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActivityKind {
+    /// A leaf unit of work performed by a participant or program.
+    Basic,
+    /// A process: contains activity variables and dependencies.
+    Process,
+}
+
+/// A typed resource variable slot in an activity schema (Fig. 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceVar {
+    /// Variable name (unique within the schema).
+    pub name: String,
+    /// The resource type of the slot.
+    pub schema: ResourceSchemaId,
+    /// How the slot is used.
+    pub usage: ResourceUsage,
+}
+
+/// An activity variable: the slot a subactivity occupies within a process
+/// schema. Optional variables (Fig. 1's dashed activities — lab tests, local
+/// expertise) need not be instantiated for the process to complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActivityVar {
+    /// The variable's id (unique across the repository).
+    pub id: ActivityVarId,
+    /// Variable name (unique within the process schema).
+    pub name: String,
+    /// The activity schema instances of this variable run.
+    pub schema: ActivitySchemaId,
+    /// If true, the process may complete without this variable ever running,
+    /// and the variable is started on demand rather than by dependency flow.
+    pub optional: bool,
+}
+
+/// The fixed dependency types of CMM. Dependencies coordinate the
+/// subactivities of one process schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Dependency {
+    /// `to` becomes `Ready` when `from` completes.
+    Sequence {
+        /// Predecessor variable.
+        from: ActivityVarId,
+        /// Successor variable.
+        to: ActivityVarId,
+    },
+    /// `target` becomes `Ready` when *all* sources have completed.
+    AndJoin {
+        /// Predecessor variables.
+        sources: Vec<ActivityVarId>,
+        /// Successor variable.
+        target: ActivityVarId,
+    },
+    /// `target` becomes `Ready` when *any* source completes (fires once).
+    OrJoin {
+        /// Predecessor variables.
+        sources: Vec<ActivityVarId>,
+        /// Successor variable.
+        target: ActivityVarId,
+    },
+    /// `target` may only become `Ready` while the named field of the named
+    /// context equals `expect` (evaluated when its flow dependencies fire).
+    Guard {
+        /// Guarded variable.
+        target: ActivityVarId,
+        /// Schema-level context name to consult.
+        context_name: String,
+        /// Field within the context.
+        field: String,
+        /// Required field value.
+        expect: Value,
+    },
+    /// `target` is terminated if it is still open when the (time-valued)
+    /// field of the named context passes.
+    Deadline {
+        /// Deadline-bound variable.
+        target: ActivityVarId,
+        /// Schema-level context name holding the deadline.
+        context_name: String,
+        /// Time-valued field within the context.
+        field: String,
+    },
+}
+
+impl Dependency {
+    /// The variable this dependency enables/affects.
+    pub fn target(&self) -> ActivityVarId {
+        match self {
+            Dependency::Sequence { to, .. } => *to,
+            Dependency::AndJoin { target, .. }
+            | Dependency::OrJoin { target, .. }
+            | Dependency::Guard { target, .. }
+            | Dependency::Deadline { target, .. } => *target,
+        }
+    }
+
+    /// The variables that must complete before the target is enabled
+    /// (empty for guards and deadlines, which are not flow edges).
+    pub fn sources(&self) -> &[ActivityVarId] {
+        match self {
+            Dependency::Sequence { from, .. } => std::slice::from_ref(from),
+            Dependency::AndJoin { sources, .. } | Dependency::OrJoin { sources, .. } => sources,
+            Dependency::Guard { .. } | Dependency::Deadline { .. } => &[],
+        }
+    }
+
+    /// Short name of the dependency type, for display.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Dependency::Sequence { .. } => "sequence",
+            Dependency::AndJoin { .. } => "and-join",
+            Dependency::OrJoin { .. } => "or-join",
+            Dependency::Guard { .. } => "guard",
+            Dependency::Deadline { .. } => "deadline",
+        }
+    }
+}
+
+/// A validated activity schema (basic or process).
+#[derive(Debug, Clone)]
+pub struct ActivitySchema {
+    id: ActivitySchemaId,
+    name: String,
+    kind: ActivityKind,
+    state_schema: Arc<ActivityStateSchema>,
+    resource_vars: Vec<ResourceVar>,
+    activity_vars: Vec<ActivityVar>,
+    dependencies: Vec<Dependency>,
+    performer: Option<RoleSpec>,
+    by_var_name: BTreeMap<String, ActivityVarId>,
+}
+
+impl ActivitySchema {
+    /// The schema id.
+    pub fn id(&self) -> ActivitySchemaId {
+        self.id
+    }
+    /// The schema name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+    /// Basic or process.
+    pub fn kind(&self) -> ActivityKind {
+        self.kind
+    }
+    /// True for process schemas.
+    pub fn is_process(&self) -> bool {
+        self.kind == ActivityKind::Process
+    }
+    /// The activity state schema typing this schema's state variable.
+    pub fn state_schema(&self) -> &Arc<ActivityStateSchema> {
+        &self.state_schema
+    }
+    /// The declared resource variables.
+    pub fn resource_vars(&self) -> &[ResourceVar] {
+        &self.resource_vars
+    }
+    /// The declared activity variables (empty for basic activities).
+    pub fn activity_vars(&self) -> &[ActivityVar] {
+        &self.activity_vars
+    }
+    /// The declared dependencies (empty for basic activities).
+    pub fn dependencies(&self) -> &[Dependency] {
+        &self.dependencies
+    }
+    /// The role that performs a basic activity, if declared.
+    pub fn performer(&self) -> Option<&RoleSpec> {
+        self.performer.as_ref()
+    }
+
+    /// Looks up an activity variable by name.
+    pub fn activity_var(&self, name: &str) -> CoreResult<&ActivityVar> {
+        let id = self
+            .by_var_name
+            .get(name)
+            .ok_or_else(|| CoreError::InvalidSchema(format!("no activity variable `{name}`")))?;
+        self.activity_var_by_id(*id)
+    }
+
+    /// Looks up an activity variable by id.
+    pub fn activity_var_by_id(&self, id: ActivityVarId) -> CoreResult<&ActivityVar> {
+        self.activity_vars
+            .iter()
+            .find(|v| v.id == id)
+            .ok_or(CoreError::UnknownActivityVar(id))
+    }
+
+    /// Required (non-optional) variables with no inbound flow dependency:
+    /// these become `Ready` as soon as the process starts.
+    pub fn initial_vars(&self) -> Vec<ActivityVarId> {
+        let targeted: BTreeSet<ActivityVarId> = self
+            .dependencies
+            .iter()
+            .filter(|d| !d.sources().is_empty())
+            .map(|d| d.target())
+            .collect();
+        self.activity_vars
+            .iter()
+            .filter(|v| !v.optional && !targeted.contains(&v.id))
+            .map(|v| v.id)
+            .collect()
+    }
+}
+
+impl fmt::Display for ActivitySchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            ActivityKind::Basic => "basic activity",
+            ActivityKind::Process => "process activity",
+        };
+        writeln!(f, "{kind} schema `{}` ({})", self.name, self.id)?;
+        writeln!(f, "  state variable : {}", self.state_schema.name())?;
+        for rv in &self.resource_vars {
+            writeln!(f, "  resource var   : {} ({}, {})", rv.name, rv.schema, rv.usage)?;
+        }
+        if let Some(p) = &self.performer {
+            writeln!(f, "  performer      : {p}")?;
+        }
+        for av in &self.activity_vars {
+            writeln!(
+                f,
+                "  activity var   : {} -> {}{}",
+                av.name,
+                av.schema,
+                if av.optional { " (optional)" } else { "" }
+            )?;
+        }
+        for d in &self.dependencies {
+            let srcs: Vec<String> = d.sources().iter().map(|s| self.var_name(*s)).collect();
+            writeln!(
+                f,
+                "  dependency     : {} [{}] -> {}",
+                d.type_name(),
+                srcs.join(", "),
+                self.var_name(d.target())
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl ActivitySchema {
+    fn var_name(&self, id: ActivityVarId) -> String {
+        self.activity_vars
+            .iter()
+            .find(|v| v.id == id)
+            .map(|v| v.name.clone())
+            .unwrap_or_else(|| id.to_string())
+    }
+}
+
+/// Builder for [`ActivitySchema`]. Structural rules are enforced by
+/// [`ActivitySchemaBuilder::build`]:
+///
+/// * basic activities declare no activity variables or dependencies;
+/// * variable names are unique;
+/// * dependencies reference declared variables;
+/// * the flow-dependency graph is acyclic.
+#[derive(Debug)]
+pub struct ActivitySchemaBuilder {
+    id: ActivitySchemaId,
+    name: String,
+    kind: ActivityKind,
+    state_schema: Arc<ActivityStateSchema>,
+    resource_vars: Vec<ResourceVar>,
+    activity_vars: Vec<ActivityVar>,
+    dependencies: Vec<Dependency>,
+    performer: Option<RoleSpec>,
+    by_var_name: BTreeMap<String, ActivityVarId>,
+    next_var: u64,
+}
+
+impl ActivitySchemaBuilder {
+    /// Starts a basic activity schema.
+    pub fn basic(
+        id: ActivitySchemaId,
+        name: &str,
+        state_schema: Arc<ActivityStateSchema>,
+    ) -> Self {
+        Self::new(id, name, ActivityKind::Basic, state_schema)
+    }
+
+    /// Starts a process activity schema.
+    pub fn process(
+        id: ActivitySchemaId,
+        name: &str,
+        state_schema: Arc<ActivityStateSchema>,
+    ) -> Self {
+        Self::new(id, name, ActivityKind::Process, state_schema)
+    }
+
+    fn new(
+        id: ActivitySchemaId,
+        name: &str,
+        kind: ActivityKind,
+        state_schema: Arc<ActivityStateSchema>,
+    ) -> Self {
+        ActivitySchemaBuilder {
+            id,
+            name: name.to_owned(),
+            kind,
+            state_schema,
+            resource_vars: Vec::new(),
+            activity_vars: Vec::new(),
+            dependencies: Vec::new(),
+            performer: None,
+            by_var_name: BTreeMap::new(),
+            next_var: (id.raw() << 20) + 1,
+        }
+    }
+
+    /// Declares a resource variable.
+    pub fn resource_var(
+        mut self,
+        name: &str,
+        schema: ResourceSchemaId,
+        usage: ResourceUsage,
+    ) -> Self {
+        self.resource_vars.push(ResourceVar {
+            name: name.to_owned(),
+            schema,
+            usage,
+        });
+        self
+    }
+
+    /// Sets the performing role of a basic activity.
+    pub fn performed_by(mut self, role: RoleSpec) -> Self {
+        self.performer = Some(role);
+        self
+    }
+
+    /// Declares an activity variable; returns its id for use in dependencies.
+    pub fn activity_var(
+        &mut self,
+        name: &str,
+        schema: ActivitySchemaId,
+        optional: bool,
+    ) -> CoreResult<ActivityVarId> {
+        if self.by_var_name.contains_key(name) {
+            return Err(CoreError::DuplicateName(name.to_owned()));
+        }
+        let id = ActivityVarId(self.next_var);
+        self.next_var += 1;
+        self.activity_vars.push(ActivityVar {
+            id,
+            name: name.to_owned(),
+            schema,
+            optional,
+        });
+        self.by_var_name.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Adds a dependency.
+    pub fn dependency(&mut self, d: Dependency) -> &mut Self {
+        self.dependencies.push(d);
+        self
+    }
+
+    /// Shorthand: sequence dependency.
+    pub fn sequence(&mut self, from: ActivityVarId, to: ActivityVarId) -> &mut Self {
+        self.dependency(Dependency::Sequence { from, to })
+    }
+
+    /// Validates and freezes the schema.
+    pub fn build(self) -> CoreResult<Arc<ActivitySchema>> {
+        if self.kind == ActivityKind::Basic
+            && (!self.activity_vars.is_empty() || !self.dependencies.is_empty())
+        {
+            return Err(CoreError::InvalidSchema(
+                "basic activity schemas cannot declare activity variables or dependencies".into(),
+            ));
+        }
+        let declared: BTreeSet<ActivityVarId> = self.activity_vars.iter().map(|v| v.id).collect();
+        for d in &self.dependencies {
+            for v in d.sources().iter().chain(std::iter::once(&d.target())) {
+                if !declared.contains(v) {
+                    return Err(CoreError::UnknownActivityVar(*v));
+                }
+            }
+            if d.sources().contains(&d.target()) {
+                return Err(CoreError::InvalidSchema(format!(
+                    "{} dependency targets one of its own sources",
+                    d.type_name()
+                )));
+            }
+        }
+        // Cycle check over flow edges (source -> target).
+        let mut edges: BTreeMap<ActivityVarId, Vec<ActivityVarId>> = BTreeMap::new();
+        for d in &self.dependencies {
+            for s in d.sources() {
+                edges.entry(*s).or_default().push(d.target());
+            }
+        }
+        let mut indeg: BTreeMap<ActivityVarId, usize> =
+            declared.iter().map(|&v| (v, 0)).collect();
+        for ts in edges.values() {
+            for t in ts {
+                *indeg.get_mut(t).unwrap() += 1;
+            }
+        }
+        let mut queue: Vec<ActivityVarId> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&v, _)| v)
+            .collect();
+        let mut seen = 0usize;
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            if let Some(ts) = edges.get(&v) {
+                for t in ts {
+                    let e = indeg.get_mut(t).unwrap();
+                    *e -= 1;
+                    if *e == 0 {
+                        queue.push(*t);
+                    }
+                }
+            }
+        }
+        if seen != declared.len() {
+            return Err(CoreError::InvalidSchema(
+                "dependency graph contains a cycle".into(),
+            ));
+        }
+
+        Ok(Arc::new(ActivitySchema {
+            id: self.id,
+            name: self.name,
+            kind: self.kind,
+            state_schema: self.state_schema,
+            resource_vars: self.resource_vars,
+            activity_vars: self.activity_vars,
+            dependencies: self.dependencies,
+            performer: self.performer,
+            by_var_name: self.by_var_name,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::StateSchemaId;
+    use crate::value::ValueType;
+
+    fn states() -> Arc<ActivityStateSchema> {
+        ActivityStateSchema::generic(StateSchemaId(1))
+    }
+
+    #[test]
+    fn basic_schema_builds_with_resources_and_performer() {
+        let s = ActivitySchemaBuilder::basic(ActivitySchemaId(1), "LabTest", states())
+            .resource_var("sample", ResourceSchemaId(1), ResourceUsage::Input)
+            .resource_var("report", ResourceSchemaId(2), ResourceUsage::Output)
+            .resource_var("editor", ResourceSchemaId(3), ResourceUsage::Helper)
+            .performed_by(RoleSpec::org("lab-technician"))
+            .build()
+            .unwrap();
+        assert_eq!(s.kind(), ActivityKind::Basic);
+        assert_eq!(s.resource_vars().len(), 3);
+        assert_eq!(s.performer().unwrap().to_string(), "lab-technician");
+        assert!(s.initial_vars().is_empty());
+    }
+
+    #[test]
+    fn basic_schema_rejects_activity_vars() {
+        let mut b = ActivitySchemaBuilder::basic(ActivitySchemaId(1), "X", states());
+        b.activity_var("sub", ActivitySchemaId(2), false).unwrap();
+        assert!(matches!(b.build(), Err(CoreError::InvalidSchema(_))));
+    }
+
+    #[test]
+    fn process_schema_flow_and_initial_vars() {
+        let mut b = ActivitySchemaBuilder::process(ActivitySchemaId(10), "InfoGathering", states());
+        let interview = b.activity_var("interview", ActivitySchemaId(1), false).unwrap();
+        let lab = b.activity_var("lab_test", ActivitySchemaId(2), true).unwrap();
+        let report = b.activity_var("report", ActivitySchemaId(3), false).unwrap();
+        b.sequence(interview, report);
+        let s = b.build().unwrap();
+        assert!(s.is_process());
+        // interview has no inbound edge and is required -> initial.
+        // lab_test is optional -> not initial. report is targeted -> not initial.
+        assert_eq!(s.initial_vars(), vec![interview]);
+        assert_eq!(s.activity_var("lab_test").unwrap().id, lab);
+        assert!(s.activity_var("nope").is_err());
+    }
+
+    #[test]
+    fn dependencies_must_reference_declared_vars() {
+        let mut b = ActivitySchemaBuilder::process(ActivitySchemaId(11), "P", states());
+        let a = b.activity_var("a", ActivitySchemaId(1), false).unwrap();
+        b.sequence(a, ActivityVarId(999_999));
+        assert!(matches!(
+            b.build(),
+            Err(CoreError::UnknownActivityVar(_))
+        ));
+    }
+
+    #[test]
+    fn cyclic_flow_rejected() {
+        let mut b = ActivitySchemaBuilder::process(ActivitySchemaId(12), "P", states());
+        let a = b.activity_var("a", ActivitySchemaId(1), false).unwrap();
+        let c = b.activity_var("c", ActivitySchemaId(1), false).unwrap();
+        b.sequence(a, c);
+        b.sequence(c, a);
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn self_dependency_rejected() {
+        let mut b = ActivitySchemaBuilder::process(ActivitySchemaId(13), "P", states());
+        let a = b.activity_var("a", ActivitySchemaId(1), false).unwrap();
+        b.dependency(Dependency::AndJoin {
+            sources: vec![a],
+            target: a,
+        });
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn joins_guards_and_deadlines_build() {
+        let mut b = ActivitySchemaBuilder::process(ActivitySchemaId(14), "P", states());
+        let a = b.activity_var("a", ActivitySchemaId(1), false).unwrap();
+        let c = b.activity_var("c", ActivitySchemaId(1), false).unwrap();
+        let d = b.activity_var("d", ActivitySchemaId(1), false).unwrap();
+        let e = b.activity_var("e", ActivitySchemaId(1), false).unwrap();
+        b.dependency(Dependency::AndJoin {
+            sources: vec![a, c],
+            target: d,
+        });
+        b.dependency(Dependency::OrJoin {
+            sources: vec![a, c],
+            target: e,
+        });
+        b.dependency(Dependency::Guard {
+            target: e,
+            context_name: "Ctx".into(),
+            field: "go".into(),
+            expect: Value::Bool(true),
+        });
+        b.dependency(Dependency::Deadline {
+            target: d,
+            context_name: "Ctx".into(),
+            field: "deadline".into(),
+        });
+        let s = b.build().unwrap();
+        assert_eq!(s.dependencies().len(), 4);
+        assert_eq!(s.dependencies()[3].type_name(), "deadline");
+        // a and c are sources only -> initial.
+        assert_eq!(s.initial_vars(), vec![a, c]);
+    }
+
+    #[test]
+    fn duplicate_var_name_rejected() {
+        let mut b = ActivitySchemaBuilder::process(ActivitySchemaId(15), "P", states());
+        b.activity_var("a", ActivitySchemaId(1), false).unwrap();
+        assert!(matches!(
+            b.activity_var("a", ActivitySchemaId(2), false),
+            Err(CoreError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn display_renders_schema_structure() {
+        let mut b = ActivitySchemaBuilder::process(ActivitySchemaId(16), "TaskForce", states());
+        let a = b.activity_var("assess", ActivitySchemaId(1), false).unwrap();
+        let r = b.activity_var("report", ActivitySchemaId(2), false).unwrap();
+        b.sequence(a, r);
+        let s = b.build().unwrap();
+        let out = s.to_string();
+        assert!(out.contains("process activity schema `TaskForce`"));
+        assert!(out.contains("sequence [assess] -> report"));
+    }
+
+    #[test]
+    fn resource_schema_value_typing_helper() {
+        // Sanity: ResourceSchema interplay used by schemas.
+        let rs = crate::resource::ResourceSchema::data(ResourceSchemaId(5), "count", ValueType::Int);
+        assert!(rs.accepts(&Value::Int(3)));
+    }
+}

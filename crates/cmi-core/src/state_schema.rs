@@ -1,0 +1,702 @@
+//! Activity state schemas (§4, Fig. 4).
+//!
+//! Each activity schema carries an *activity state schema* that enumerates the
+//! possible activity states and the legal state transitions. CORE restricts
+//! application-specific states to **substates of already-defined states**,
+//! yielding a *forest* of states whose roots are the basic states, and
+//! requires that **state transitions only connect leaves** of the forest.
+//!
+//! A transition from one activity state to another constitutes a *primitive
+//! activity event* — the raw material of awareness provisioning.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{CoreError, CoreResult};
+use crate::ids::StateSchemaId;
+
+/// Index of a state within its schema's state table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateRef(u32);
+
+impl StateRef {
+    /// Raw table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single state in the forest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateDef {
+    name: String,
+    parent: Option<StateRef>,
+}
+
+impl StateDef {
+    /// The state's name (unique within its schema).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+    /// The parent state, or `None` for a basic (root) state.
+    pub fn parent(&self) -> Option<StateRef> {
+        self.parent
+    }
+}
+
+/// Names of the generic activity states (Fig. 4), consistent with the WfMC
+/// proposed standard the paper cites.
+pub mod generic {
+    /// Instance created but not yet eligible to run.
+    pub const UNINITIALIZED: &str = "Uninitialized";
+    /// Eligible to run (all inbound dependencies satisfied).
+    pub const READY: &str = "Ready";
+    /// Currently executing.
+    pub const RUNNING: &str = "Running";
+    /// Execution paused; may resume.
+    pub const SUSPENDED: &str = "Suspended";
+    /// Non-leaf superstate of the two final states.
+    pub const CLOSED: &str = "Closed";
+    /// Finished successfully (substate of `Closed`).
+    pub const COMPLETED: &str = "Completed";
+    /// Aborted (substate of `Closed`).
+    pub const TERMINATED: &str = "Terminated";
+}
+
+/// A validated activity state schema: a forest of states plus a transition
+/// relation over its leaves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActivityStateSchema {
+    id: StateSchemaId,
+    name: String,
+    states: Vec<StateDef>,
+    by_name: BTreeMap<String, StateRef>,
+    children: Vec<Vec<StateRef>>,
+    transitions: BTreeSet<(StateRef, StateRef)>,
+    initial: StateRef,
+    /// Designated entry leaf per refined superstate (recorded by `refine`).
+    entries: BTreeMap<StateRef, StateRef>,
+}
+
+impl ActivityStateSchema {
+    /// The schema's identifier.
+    pub fn id(&self) -> StateSchemaId {
+        self.id
+    }
+
+    /// The schema's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The generic activity state schema of Fig. 4: `Uninitialized`, `Ready`,
+    /// `Running`, `Suspended` and the `Closed` superstate containing
+    /// `Completed` and `Terminated`.
+    pub fn generic(id: StateSchemaId) -> Arc<ActivityStateSchema> {
+        use generic::*;
+        let mut b = ActivityStateSchemaBuilder::new(id, "generic");
+        b.add_root(UNINITIALIZED).unwrap();
+        b.add_root(READY).unwrap();
+        b.add_root(RUNNING).unwrap();
+        b.add_root(SUSPENDED).unwrap();
+        b.add_root(CLOSED).unwrap();
+        b.add_substate(CLOSED, COMPLETED).unwrap();
+        b.add_substate(CLOSED, TERMINATED).unwrap();
+        for (from, to) in [
+            (UNINITIALIZED, READY),
+            (READY, RUNNING),
+            (RUNNING, SUSPENDED),
+            (SUSPENDED, RUNNING),
+            (RUNNING, COMPLETED),
+            (RUNNING, TERMINATED),
+            (READY, TERMINATED),
+            (SUSPENDED, TERMINATED),
+        ] {
+            b.add_transition(from, to).unwrap();
+        }
+        b.set_initial(UNINITIALIZED).unwrap();
+        Arc::new(b.build().expect("generic schema is statically valid"))
+    }
+
+    /// Looks up a state by name.
+    pub fn state(&self, name: &str) -> CoreResult<StateRef> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| CoreError::UnknownState(name.to_owned()))
+    }
+
+    /// Looks up a state by name, requiring it to be a leaf (i.e. an actual
+    /// runtime state, not a superstate).
+    pub fn leaf(&self, name: &str) -> CoreResult<StateRef> {
+        let s = self.state(name)?;
+        if self.is_leaf(s) {
+            Ok(s)
+        } else {
+            Err(CoreError::NonLeafState(name.to_owned()))
+        }
+    }
+
+    /// Resolves a state name to the concrete runtime leaf: a leaf resolves
+    /// to itself; a refined superstate resolves (recursively) to its
+    /// designated entry leaf. This is how engines written against the
+    /// generic names (`Running`, …) keep working after an application-
+    /// specific refinement (§4): requesting `Running` on a schema where
+    /// `Running ⊃ {Gathering, Analyzing}` lands on the entry substate.
+    pub fn resolve_leaf(&self, name: &str) -> CoreResult<StateRef> {
+        let mut s = self.state(name)?;
+        let mut hops = 0;
+        while !self.is_leaf(s) {
+            match self.entries.get(&s) {
+                Some(e) => s = *e,
+                None => return Err(CoreError::NonLeafState(name.to_owned())),
+            }
+            hops += 1;
+            if hops > self.states.len() {
+                return Err(CoreError::NonLeafState(name.to_owned()));
+            }
+        }
+        Ok(s)
+    }
+
+    /// The designated entry leaf of a refined superstate, if recorded.
+    pub fn entry_of(&self, s: StateRef) -> Option<StateRef> {
+        self.entries.get(&s).copied()
+    }
+
+    /// The state's name.
+    pub fn state_name(&self, s: StateRef) -> &str {
+        &self.states[s.index()].name
+    }
+
+    /// The initial (leaf) state new instances start in.
+    pub fn initial(&self) -> StateRef {
+        self.initial
+    }
+
+    /// True if `s` has no substates.
+    pub fn is_leaf(&self, s: StateRef) -> bool {
+        self.children[s.index()].is_empty()
+    }
+
+    /// True if `s` is `ancestor` or a (transitive) substate of it. This is how
+    /// clients ask "is the activity Closed?" when the current leaf is
+    /// `Completed` or `Terminated`.
+    pub fn is_within(&self, s: StateRef, ancestor: StateRef) -> bool {
+        let mut cur = Some(s);
+        while let Some(c) = cur {
+            if c == ancestor {
+                return true;
+            }
+            cur = self.states[c.index()].parent;
+        }
+        false
+    }
+
+    /// Name-based variant of [`Self::is_within`].
+    pub fn is_within_named(&self, s: StateRef, ancestor: &str) -> CoreResult<bool> {
+        Ok(self.is_within(s, self.state(ancestor)?))
+    }
+
+    /// True if the transition `from -> to` is declared.
+    pub fn can_transition(&self, from: StateRef, to: StateRef) -> bool {
+        self.transitions.contains(&(from, to))
+    }
+
+    /// Validates the transition `from -> to`, returning `to` on success.
+    pub fn transition(&self, from: StateRef, to: StateRef) -> CoreResult<StateRef> {
+        if self.can_transition(from, to) {
+            Ok(to)
+        } else {
+            Err(CoreError::IllegalTransition {
+                from: self.state_name(from).to_owned(),
+                to: self.state_name(to).to_owned(),
+            })
+        }
+    }
+
+    /// A leaf is *final* when it has no outgoing transitions; an activity in a
+    /// final state can never change state again.
+    pub fn is_final(&self, s: StateRef) -> bool {
+        self.is_leaf(s) && !self.transitions.iter().any(|&(f, _)| f == s)
+    }
+
+    /// All states, in declaration order.
+    pub fn states(&self) -> impl Iterator<Item = (StateRef, &StateDef)> {
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (StateRef(i as u32), d))
+    }
+
+    /// All leaves, in declaration order.
+    pub fn leaves(&self) -> impl Iterator<Item = StateRef> + '_ {
+        self.states()
+            .map(|(s, _)| s)
+            .filter(move |s| self.is_leaf(*s))
+    }
+
+    /// All declared transitions.
+    pub fn transitions(&self) -> impl Iterator<Item = (StateRef, StateRef)> + '_ {
+        self.transitions.iter().copied()
+    }
+
+    /// Direct substates of `s`.
+    pub fn substates(&self, s: StateRef) -> &[StateRef] {
+        &self.children[s.index()]
+    }
+
+    /// Number of states (leaves and superstates).
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if the schema has no states (never true for built schemas).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Starts a builder seeded with this schema's states and transitions, for
+    /// defining application-specific substate refinements (§4).
+    pub fn extend(&self, id: StateSchemaId, name: &str) -> ActivityStateSchemaBuilder {
+        ActivityStateSchemaBuilder {
+            id,
+            name: name.to_owned(),
+            states: self.states.clone(),
+            by_name: self.by_name.clone(),
+            transitions: self.transitions.clone(),
+            initial: Some(self.state_name(self.initial).to_owned()),
+            entries: self.entries.clone(),
+        }
+    }
+}
+
+impl fmt::Display for ActivityStateSchema {
+    /// Renders the forest and the transition diagram, reproducing the content
+    /// of Fig. 4 textually.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "state schema `{}` ({})", self.name, self.id)?;
+        for (s, d) in self.states() {
+            if d.parent.is_none() {
+                self.fmt_subtree(f, s, 1)?;
+            }
+        }
+        writeln!(f, "  transitions:")?;
+        for (from, to) in self.transitions() {
+            writeln!(f, "    {} -> {}", self.state_name(from), self.state_name(to))?;
+        }
+        write!(f, "  initial: {}", self.state_name(self.initial))
+    }
+}
+
+impl ActivityStateSchema {
+    fn fmt_subtree(&self, f: &mut fmt::Formatter<'_>, s: StateRef, depth: usize) -> fmt::Result {
+        let pad = "  ".repeat(depth);
+        let marker = if s == self.initial {
+            " (initial)"
+        } else if self.is_final(s) {
+            " (final)"
+        } else {
+            ""
+        };
+        writeln!(f, "{pad}{}{marker}", self.state_name(s))?;
+        for &c in self.substates(s) {
+            self.fmt_subtree(f, c, depth + 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ActivityStateSchema`]; all structural rules are enforced at
+/// `add_*` time or by [`ActivityStateSchemaBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct ActivityStateSchemaBuilder {
+    id: StateSchemaId,
+    name: String,
+    states: Vec<StateDef>,
+    by_name: BTreeMap<String, StateRef>,
+    transitions: BTreeSet<(StateRef, StateRef)>,
+    initial: Option<String>,
+    entries: BTreeMap<StateRef, StateRef>,
+}
+
+impl ActivityStateSchemaBuilder {
+    /// An empty builder.
+    pub fn new(id: StateSchemaId, name: &str) -> Self {
+        ActivityStateSchemaBuilder {
+            id,
+            name: name.to_owned(),
+            states: Vec::new(),
+            by_name: BTreeMap::new(),
+            transitions: BTreeSet::new(),
+            initial: None,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    fn add_state(&mut self, name: &str, parent: Option<StateRef>) -> CoreResult<StateRef> {
+        if self.by_name.contains_key(name) {
+            return Err(CoreError::DuplicateName(name.to_owned()));
+        }
+        let r = StateRef(self.states.len() as u32);
+        self.states.push(StateDef {
+            name: name.to_owned(),
+            parent,
+        });
+        self.by_name.insert(name.to_owned(), r);
+        Ok(r)
+    }
+
+    /// Adds a basic (root) state.
+    pub fn add_root(&mut self, name: &str) -> CoreResult<StateRef> {
+        self.add_state(name, None)
+    }
+
+    /// Adds an application-specific substate under `parent`. If `parent` was a
+    /// leaf with declared transitions, those transitions must be re-targeted
+    /// before `build` (or use [`Self::refine`], which does it automatically).
+    pub fn add_substate(&mut self, parent: &str, name: &str) -> CoreResult<StateRef> {
+        let p = self.lookup(parent)?;
+        self.add_state(name, Some(p))
+    }
+
+    /// Declares a transition between two (eventual) leaves.
+    pub fn add_transition(&mut self, from: &str, to: &str) -> CoreResult<()> {
+        let f = self.lookup(from)?;
+        let t = self.lookup(to)?;
+        self.transitions.insert((f, t));
+        Ok(())
+    }
+
+    /// Removes a transition if present.
+    pub fn remove_transition(&mut self, from: &str, to: &str) -> CoreResult<()> {
+        let f = self.lookup(from)?;
+        let t = self.lookup(to)?;
+        self.transitions.remove(&(f, t));
+        Ok(())
+    }
+
+    /// Sets the initial state (must be a leaf at build time).
+    pub fn set_initial(&mut self, name: &str) -> CoreResult<()> {
+        self.lookup(name)?;
+        self.initial = Some(name.to_owned());
+        Ok(())
+    }
+
+    /// Refines leaf state `state` into the given substates (statechart-style):
+    ///
+    /// * each `substates[i]` becomes a child of `state`;
+    /// * every transition `X -> state` is redirected to `X -> entry`;
+    /// * every transition `state -> Y` is replaced by `s -> Y` for *each* new
+    ///   substate `s` (any substate may exit the superstate the way the
+    ///   superstate could);
+    /// * if `state` was the initial state, `entry` becomes initial.
+    ///
+    /// Inner transitions among the substates are added separately with
+    /// [`Self::add_transition`]. `entry` must be one of `substates`.
+    pub fn refine(&mut self, state: &str, substates: &[&str], entry: &str) -> CoreResult<()> {
+        if !substates.contains(&entry) {
+            return Err(CoreError::InvalidSchema(format!(
+                "refine entry `{entry}` must be one of the new substates"
+            )));
+        }
+        let parent = self.lookup(state)?;
+        let mut subs = Vec::with_capacity(substates.len());
+        for s in substates {
+            subs.push(self.add_substate(state, s)?);
+        }
+        let entry_ref = self.lookup(entry)?;
+        let old: Vec<(StateRef, StateRef)> = self.transitions.iter().copied().collect();
+        for (f, t) in old {
+            if t == parent {
+                self.transitions.remove(&(f, t));
+                self.transitions.insert((f, entry_ref));
+            }
+            if f == parent {
+                self.transitions.remove(&(f, t));
+                for &s in &subs {
+                    self.transitions.insert((s, t));
+                }
+            }
+        }
+        if self.initial.as_deref() == Some(state) {
+            self.initial = Some(entry.to_owned());
+        }
+        self.entries.insert(parent, entry_ref);
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> CoreResult<StateRef> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| CoreError::UnknownState(name.to_owned()))
+    }
+
+    /// Validates and freezes the schema. Rules enforced (per §4):
+    ///
+    /// 1. at least one state, and an initial state is set;
+    /// 2. the initial state is a leaf;
+    /// 3. every transition connects two leaves;
+    /// 4. every leaf is reachable from the initial leaf (no dead states);
+    /// 5. the parent relation is a forest (guaranteed by construction: a
+    ///    parent always pre-exists its children, so no cycles are possible).
+    pub fn build(self) -> CoreResult<ActivityStateSchema> {
+        if self.states.is_empty() {
+            return Err(CoreError::InvalidSchema("no states declared".into()));
+        }
+        let initial_name = self
+            .initial
+            .ok_or_else(|| CoreError::InvalidSchema("no initial state set".into()))?;
+        let initial = self.by_name[&initial_name];
+
+        let mut children: Vec<Vec<StateRef>> = vec![Vec::new(); self.states.len()];
+        for (i, d) in self.states.iter().enumerate() {
+            if let Some(p) = d.parent {
+                children[p.index()].push(StateRef(i as u32));
+            }
+        }
+        let is_leaf = |s: StateRef| children[s.index()].is_empty();
+
+        if !is_leaf(initial) {
+            return Err(CoreError::InvalidSchema(format!(
+                "initial state `{initial_name}` is not a leaf"
+            )));
+        }
+        for &(f, t) in &self.transitions {
+            if !is_leaf(f) {
+                return Err(CoreError::InvalidSchema(format!(
+                    "transition source `{}` is not a leaf",
+                    self.states[f.index()].name
+                )));
+            }
+            if !is_leaf(t) {
+                return Err(CoreError::InvalidSchema(format!(
+                    "transition target `{}` is not a leaf",
+                    self.states[t.index()].name
+                )));
+            }
+        }
+
+        // Reachability of every leaf from the initial leaf.
+        let mut reached = vec![false; self.states.len()];
+        let mut stack = vec![initial];
+        reached[initial.index()] = true;
+        while let Some(s) = stack.pop() {
+            for &(f, t) in &self.transitions {
+                if f == s && !reached[t.index()] {
+                    reached[t.index()] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        for (i, d) in self.states.iter().enumerate() {
+            if children[i].is_empty() && !reached[i] {
+                return Err(CoreError::InvalidSchema(format!(
+                    "leaf state `{}` is unreachable from the initial state",
+                    d.name
+                )));
+            }
+        }
+
+        Ok(ActivityStateSchema {
+            id: self.id,
+            name: self.name,
+            states: self.states,
+            by_name: self.by_name,
+            children,
+            transitions: self.transitions,
+            initial,
+            entries: self.entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generic::*;
+    use super::*;
+
+    fn gen() -> Arc<ActivityStateSchema> {
+        ActivityStateSchema::generic(StateSchemaId(1))
+    }
+
+    #[test]
+    fn generic_schema_matches_figure_4() {
+        let s = gen();
+        assert_eq!(s.len(), 7);
+        // Closed is a non-leaf superstate of Completed and Terminated.
+        let closed = s.state(CLOSED).unwrap();
+        assert!(!s.is_leaf(closed));
+        let completed = s.leaf(COMPLETED).unwrap();
+        let terminated = s.leaf(TERMINATED).unwrap();
+        assert!(s.is_within(completed, closed));
+        assert!(s.is_within(terminated, closed));
+        assert!(s.is_within_named(completed, CLOSED).unwrap());
+        // Both final states really are final.
+        assert!(s.is_final(completed));
+        assert!(s.is_final(terminated));
+        // Initial is Uninitialized.
+        assert_eq!(s.state_name(s.initial()), UNINITIALIZED);
+    }
+
+    #[test]
+    fn generic_transition_relation() {
+        let s = gen();
+        let get = |n: &str| s.leaf(n).unwrap();
+        assert!(s.can_transition(get(UNINITIALIZED), get(READY)));
+        assert!(s.can_transition(get(READY), get(RUNNING)));
+        assert!(s.can_transition(get(RUNNING), get(SUSPENDED)));
+        assert!(s.can_transition(get(SUSPENDED), get(RUNNING)));
+        assert!(s.can_transition(get(RUNNING), get(COMPLETED)));
+        assert!(s.can_transition(get(SUSPENDED), get(TERMINATED)));
+        // Forbidden examples.
+        assert!(!s.can_transition(get(UNINITIALIZED), get(RUNNING)));
+        assert!(!s.can_transition(get(COMPLETED), get(READY)));
+        let err = s.transition(get(COMPLETED), get(READY)).unwrap_err();
+        assert!(matches!(err, CoreError::IllegalTransition { .. }));
+    }
+
+    #[test]
+    fn transitions_to_non_leaf_are_rejected_at_lookup() {
+        let s = gen();
+        assert!(matches!(s.leaf(CLOSED), Err(CoreError::NonLeafState(_))));
+    }
+
+    #[test]
+    fn builder_rejects_transition_touching_superstate() {
+        let mut b = ActivityStateSchemaBuilder::new(StateSchemaId(2), "bad");
+        b.add_root("A").unwrap();
+        b.add_root("B").unwrap();
+        b.add_substate("B", "B1").unwrap();
+        b.add_transition("A", "B").unwrap(); // B is now a superstate
+        b.set_initial("A").unwrap();
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, CoreError::InvalidSchema(_)));
+    }
+
+    #[test]
+    fn builder_rejects_unreachable_leaf() {
+        let mut b = ActivityStateSchemaBuilder::new(StateSchemaId(3), "dead");
+        b.add_root("A").unwrap();
+        b.add_root("B").unwrap();
+        b.set_initial("A").unwrap();
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("unreachable"));
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_names_and_missing_initial() {
+        let mut b = ActivityStateSchemaBuilder::new(StateSchemaId(4), "dup");
+        b.add_root("A").unwrap();
+        assert!(matches!(b.add_root("A"), Err(CoreError::DuplicateName(_))));
+        let b2 = {
+            let mut b = ActivityStateSchemaBuilder::new(StateSchemaId(5), "noinit");
+            b.add_root("A").unwrap();
+            b
+        };
+        assert!(b2.build().is_err());
+    }
+
+    #[test]
+    fn refine_redirects_transitions_statechart_style() {
+        // Application-specific extension from §4: precise modeling by
+        // splitting Running into Gathering and Analyzing.
+        let s = gen();
+        let mut b = s.extend(StateSchemaId(9), "epidemic-activity");
+        b.refine(RUNNING, &["Gathering", "Analyzing"], "Gathering")
+            .unwrap();
+        b.add_transition("Gathering", "Analyzing").unwrap();
+        let e = b.build().unwrap();
+
+        let ready = e.leaf(READY).unwrap();
+        let gathering = e.leaf("Gathering").unwrap();
+        let analyzing = e.leaf("Analyzing").unwrap();
+        let completed = e.leaf(COMPLETED).unwrap();
+        let running = e.state(RUNNING).unwrap();
+
+        // Running is no longer a leaf; entry lands on Gathering.
+        assert!(!e.is_leaf(running));
+        assert!(e.can_transition(ready, gathering));
+        assert!(!e.can_transition(ready, analyzing));
+        // Both substates may exit as Running could.
+        assert!(e.can_transition(gathering, completed));
+        assert!(e.can_transition(analyzing, completed));
+        // Substate containment works through the new level.
+        assert!(e.is_within(gathering, running));
+        // The original generic schema is untouched.
+        assert!(s.is_leaf(s.state(RUNNING).unwrap()));
+    }
+
+    #[test]
+    fn refine_moves_initial_when_refining_initial_state() {
+        let mut b = ActivityStateSchemaBuilder::new(StateSchemaId(11), "init-refine");
+        b.add_root("S").unwrap();
+        b.add_root("T").unwrap();
+        b.add_transition("S", "T").unwrap();
+        b.set_initial("S").unwrap();
+        b.refine("S", &["S1", "S2"], "S1").unwrap();
+        b.add_transition("S1", "S2").unwrap();
+        let e = b.build().unwrap();
+        assert_eq!(e.state_name(e.initial()), "S1");
+        // S -> T became S1 -> T and S2 -> T.
+        let t = e.leaf("T").unwrap();
+        assert!(e.can_transition(e.leaf("S1").unwrap(), t));
+        assert!(e.can_transition(e.leaf("S2").unwrap(), t));
+    }
+
+    #[test]
+    fn refine_requires_entry_among_substates() {
+        let s = gen();
+        let mut b = s.extend(StateSchemaId(12), "bad-entry");
+        let err = b.refine(RUNNING, &["X"], "Y").unwrap_err();
+        assert!(matches!(err, CoreError::InvalidSchema(_)));
+    }
+
+    #[test]
+    fn resolve_leaf_follows_refinement_entries() {
+        let s = gen();
+        // Leaves resolve to themselves; unrefined superstates have no entry.
+        assert_eq!(s.resolve_leaf(READY).unwrap(), s.leaf(READY).unwrap());
+        assert!(matches!(s.resolve_leaf(CLOSED), Err(CoreError::NonLeafState(_))));
+        assert!(s.entry_of(s.state(CLOSED).unwrap()).is_none());
+
+        // After refinement, the superstate name resolves to its entry leaf —
+        // including through nested refinements.
+        let mut b = s.extend(StateSchemaId(30), "nested");
+        b.refine(RUNNING, &["Gathering", "Analyzing"], "Gathering").unwrap();
+        b.add_transition("Gathering", "Analyzing").unwrap();
+        b.refine("Gathering", &["Setup", "Sampling"], "Setup").unwrap();
+        b.add_transition("Setup", "Sampling").unwrap();
+        let e = b.build().unwrap();
+        assert_eq!(e.state_name(e.resolve_leaf(RUNNING).unwrap()), "Setup");
+        assert_eq!(e.state_name(e.resolve_leaf("Gathering").unwrap()), "Setup");
+        assert_eq!(e.state_name(e.resolve_leaf("Sampling").unwrap()), "Sampling");
+        assert_eq!(
+            e.entry_of(e.state(RUNNING).unwrap()),
+            Some(e.state("Gathering").unwrap())
+        );
+    }
+
+    #[test]
+    fn display_renders_forest_and_transitions() {
+        let s = gen();
+        let out = s.to_string();
+        assert!(out.contains("Closed"));
+        assert!(out.contains("  transitions:"));
+        assert!(out.contains("Uninitialized (initial)"));
+        assert!(out.contains("Completed (final)"));
+        assert!(out.contains("Running -> Suspended"));
+    }
+
+    #[test]
+    fn leaves_iterator_skips_superstates() {
+        let s = gen();
+        let leaves: Vec<&str> = s.leaves().map(|l| s.state_name(l)).collect();
+        assert_eq!(
+            leaves,
+            vec![UNINITIALIZED, READY, RUNNING, SUSPENDED, COMPLETED, TERMINATED]
+        );
+    }
+}

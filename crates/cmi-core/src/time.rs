@@ -1,0 +1,220 @@
+//! Simulated time.
+//!
+//! The paper's deployment ran open-ended processes "anywhere from 15 minutes
+//! to several weeks" (§7). To reproduce such workloads in milliseconds of
+//! wall-clock time, every engine in this repository reads time from a
+//! [`Clock`], and experiments use a [`SimClock`] advanced explicitly by the
+//! workload driver. Timestamps are logical milliseconds since the scenario
+//! epoch.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// A point on the scenario timeline, in milliseconds since the epoch.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The scenario epoch (t = 0).
+    pub const EPOCH: Timestamp = Timestamp(0);
+
+    /// Builds a timestamp from raw milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Timestamp(ms)
+    }
+
+    /// Milliseconds since the epoch.
+    pub const fn millis(self) -> u64 {
+        self.0
+    }
+
+    /// This timestamp advanced by `d`.
+    pub fn plus(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+
+    /// The duration from `earlier` to `self`; zero if `earlier` is later.
+    pub fn since(self, earlier: Timestamp) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render as d:hh:mm:ss.mmm for readability in experiment output.
+        let ms = self.0 % 1000;
+        let total_s = self.0 / 1000;
+        let s = total_s % 60;
+        let m = (total_s / 60) % 60;
+        let h = (total_s / 3600) % 24;
+        let d = total_s / 86_400;
+        write!(f, "{d}d{h:02}:{m:02}:{s:02}.{ms:03}")
+    }
+}
+
+/// A span of scenario time in milliseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// From raw milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms)
+    }
+    /// From seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1000)
+    }
+    /// From minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        Duration(m * 60_000)
+    }
+    /// From hours.
+    pub const fn from_hours(h: u64) -> Self {
+        Duration(h * 3_600_000)
+    }
+    /// From days.
+    pub const fn from_days(d: u64) -> Self {
+        Duration(d * 86_400_000)
+    }
+
+    /// Raw milliseconds.
+    pub const fn millis(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::ops::Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 86_400_000 && self.0.is_multiple_of(86_400_000) {
+            write!(f, "{}d", self.0 / 86_400_000)
+        } else if self.0 >= 3_600_000 && self.0.is_multiple_of(3_600_000) {
+            write!(f, "{}h", self.0 / 3_600_000)
+        } else if self.0 >= 60_000 && self.0.is_multiple_of(60_000) {
+            write!(f, "{}m", self.0 / 60_000)
+        } else if self.0 >= 1000 && self.0.is_multiple_of(1000) {
+            write!(f, "{}s", self.0 / 1000)
+        } else {
+            write!(f, "{}ms", self.0)
+        }
+    }
+}
+
+/// A source of scenario time. Engines never call the OS clock; they read one
+/// of these, which keeps every experiment deterministic and lets weeks-long
+/// processes run instantly.
+pub trait Clock: Send + Sync {
+    /// The current scenario time.
+    fn now(&self) -> Timestamp;
+}
+
+/// A manually-advanced simulated clock, shareable across engines and threads.
+///
+/// Time only moves forward: [`SimClock::advance`] and [`SimClock::set`] are
+/// monotonic (setting an earlier time is a no-op), so event timestamps are
+/// non-decreasing in every trace.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now_ms: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// A clock at the epoch.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// A clock starting at `t`.
+    pub fn starting_at(t: Timestamp) -> Self {
+        let c = SimClock::new();
+        c.set(t);
+        c
+    }
+
+    /// Advances the clock by `d` and returns the new time.
+    pub fn advance(&self, d: Duration) -> Timestamp {
+        let new = self.now_ms.fetch_add(d.millis(), Ordering::SeqCst) + d.millis();
+        Timestamp::from_millis(new)
+    }
+
+    /// Moves the clock to `t` if `t` is in the future; otherwise leaves it
+    /// unchanged (monotonicity).
+    pub fn set(&self, t: Timestamp) {
+        self.now_ms.fetch_max(t.millis(), Ordering::SeqCst);
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> Timestamp {
+        Timestamp::from_millis(self.now_ms.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamps_order_and_diff() {
+        let a = Timestamp::from_millis(100);
+        let b = a.plus(Duration::from_secs(2));
+        assert!(b > a);
+        assert_eq!(b.since(a), Duration::from_millis(2000));
+        assert_eq!(a.since(b), Duration::ZERO);
+    }
+
+    #[test]
+    fn sim_clock_advances_monotonically() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), Timestamp::EPOCH);
+        c.advance(Duration::from_mins(15));
+        assert_eq!(c.now(), Timestamp::from_millis(15 * 60_000));
+        // Setting the past is ignored.
+        c.set(Timestamp::from_millis(3));
+        assert_eq!(c.now(), Timestamp::from_millis(15 * 60_000));
+        c.set(Timestamp::from_millis(10_000_000));
+        assert_eq!(c.now(), Timestamp::from_millis(10_000_000));
+    }
+
+    #[test]
+    fn clones_share_the_same_timeline() {
+        let c = SimClock::new();
+        let c2 = c.clone();
+        c.advance(Duration::from_secs(1));
+        assert_eq!(c2.now(), Timestamp::from_millis(1000));
+    }
+
+    #[test]
+    fn duration_constructors_and_display() {
+        assert_eq!(Duration::from_days(2).millis(), 172_800_000);
+        assert_eq!(Duration::from_days(2).to_string(), "2d");
+        assert_eq!(Duration::from_hours(3).to_string(), "3h");
+        assert_eq!(Duration::from_mins(15).to_string(), "15m");
+        assert_eq!(Duration::from_millis(1500).to_string(), "1500ms");
+    }
+
+    #[test]
+    fn timestamp_display_format() {
+        let t = Timestamp::from_millis(
+            Duration::from_days(1).millis() + Duration::from_hours(2).millis() + 61_500,
+        );
+        assert_eq!(t.to_string(), "1d02:01:01.500");
+    }
+}

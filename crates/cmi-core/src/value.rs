@@ -1,0 +1,297 @@
+//! Self-describing values used for data resources, context fields and event
+//! parameters.
+//!
+//! The paper requires events to be *self-contained*: "an event's parameters
+//! completely describe the event" (§5). Parameters are name–value pairs, so we
+//! need a small dynamic value type. [`Value`] is that type; it is ordered and
+//! hashable so values can key maps and participate in deterministic output.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::UserId;
+use crate::time::Timestamp;
+
+/// A dynamically-typed value.
+///
+/// Floats are stored via a total-order wrapper so `Value` can be `Eq`/`Ord`
+/// (NaNs compare greater than all other floats, equal to themselves).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent / null value (e.g. an optional event parameter that is unset).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer — the type of the canonical `intInfo` parameter.
+    Int(i64),
+    /// 64-bit float with total ordering.
+    Float(TotalF64),
+    /// UTF-8 string.
+    Str(String),
+    /// An opaque entity id (activity instance, context, …) as a raw `u64`.
+    Id(u64),
+    /// A participant id.
+    User(UserId),
+    /// A point on the (simulated) timeline — the type of deadline fields.
+    Time(Timestamp),
+    /// An ordered list of values (e.g. a scoped role's member list).
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// The [`ValueType`] tag of this value. `Null` has its own type.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Null => ValueType::Null,
+            Value::Bool(_) => ValueType::Bool,
+            Value::Int(_) => ValueType::Int,
+            Value::Float(_) => ValueType::Float,
+            Value::Str(_) => ValueType::Str,
+            Value::Id(_) => ValueType::Id,
+            Value::User(_) => ValueType::User,
+            Value::Time(_) => ValueType::Time,
+            Value::List(_) => ValueType::List,
+        }
+    }
+
+    /// Returns the integer payload if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the timestamp payload if this is a `Time`.
+    pub fn as_time(&self) -> Option<Timestamp> {
+        match self {
+            Value::Time(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Returns the user payload if this is a `User`.
+    pub fn as_user(&self) -> Option<UserId> {
+        match self {
+            Value::User(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A *comparison key*: maps `Int`, `Float` and `Time` onto a common `i64`
+    /// axis so the paper's comparison operators (`Compare1`, `Compare2`,
+    /// §5.1.3) can relate deadline timestamps and counters uniformly.
+    /// Returns `None` for non-numeric values.
+    pub fn comparison_key(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) => Some(f.0 as i64),
+            Value::Time(t) => Some(t.millis() as i64),
+            Value::Bool(b) => Some(i64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// True if the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{}", x.0),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Id(i) => write!(f, "#{i}"),
+            Value::User(u) => write!(f, "{u}"),
+            Value::Time(t) => write!(f, "{t}"),
+            Value::List(vs) => {
+                write!(f, "[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(TotalF64(v))
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<Timestamp> for Value {
+    fn from(v: Timestamp) -> Self {
+        Value::Time(v)
+    }
+}
+impl From<UserId> for Value {
+    fn from(v: UserId) -> Self {
+        Value::User(v)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::List(v)
+    }
+}
+
+/// Type tags for [`Value`], used to type data-resource schemas and context
+/// field declarations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ValueType {
+    /// The null type.
+    Null,
+    /// Booleans.
+    Bool,
+    /// Integers.
+    Int,
+    /// Floats.
+    Float,
+    /// Strings.
+    Str,
+    /// Opaque ids.
+    Id,
+    /// Participant ids.
+    User,
+    /// Timestamps.
+    Time,
+    /// Lists.
+    List,
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueType::Null => "null",
+            ValueType::Bool => "bool",
+            ValueType::Int => "int",
+            ValueType::Float => "float",
+            ValueType::Str => "str",
+            ValueType::Id => "id",
+            ValueType::User => "user",
+            ValueType::Time => "time",
+            ValueType::List => "list",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An `f64` with a total order (NaN sorts above everything and equals itself),
+/// making [`Value`] usable as a map key and in deterministic sorts.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TotalF64(pub f64);
+
+impl PartialEq for TotalF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for TotalF64 {}
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+impl std::hash::Hash for TotalF64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_type_tags_match_variants() {
+        assert_eq!(Value::Int(1).value_type(), ValueType::Int);
+        assert_eq!(Value::from("x").value_type(), ValueType::Str);
+        assert_eq!(Value::Null.value_type(), ValueType::Null);
+        assert_eq!(
+            Value::List(vec![Value::Bool(true)]).value_type(),
+            ValueType::List
+        );
+    }
+
+    #[test]
+    fn comparison_key_unifies_numeric_axes() {
+        assert_eq!(Value::Int(5).comparison_key(), Some(5));
+        assert_eq!(Value::Time(Timestamp::from_millis(9)).comparison_key(), Some(9));
+        assert_eq!(Value::from(2.9).comparison_key(), Some(2));
+        assert_eq!(Value::from("no").comparison_key(), None);
+    }
+
+    #[test]
+    fn total_f64_handles_nan() {
+        let nan = TotalF64(f64::NAN);
+        assert_eq!(nan, nan);
+        assert!(TotalF64(1.0) < nan);
+        assert!(TotalF64(f64::NEG_INFINITY) < TotalF64(0.0));
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let v = Value::List(vec![Value::Int(1), Value::from("a"), Value::Null]);
+        assert_eq!(v.to_string(), "[1, \"a\", null]");
+    }
+
+    #[test]
+    fn accessors_return_none_on_mismatch() {
+        assert_eq!(Value::Int(1).as_str(), None);
+        assert_eq!(Value::from("s").as_int(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+    }
+}

@@ -1,0 +1,266 @@
+//! Self-contained events and the canonical event type `C_P` (§5, §5.1.2).
+//!
+//! In AM, an event carries a set of name–value pairs called *event
+//! parameters* that give detail about what occurred. Events are assumed to be
+//! **self-contained**: the parameters completely describe the event
+//! (including type, time and source) — unlike active databases where events
+//! may not be. Composite events summarize the parameters of their constituent
+//! events.
+//!
+//! Nearly all AM operators take inputs and produce outputs of a **canonical
+//! event type** `C_P` associated with a process schema `P`. It carries the
+//! event time, the process schema and instance ids, and several generic
+//! parameters (e.g. `intInfo`) whose meaning depends on the producing
+//! operator.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cmi_core::ids::{ProcessInstanceId, ProcessSchemaId};
+use cmi_core::time::Timestamp;
+use cmi_core::value::Value;
+
+/// Well-known event parameter names. Producers and operators agree on these
+/// so any operator can be wired to any conforming stream.
+pub mod params {
+    /// `activityInstanceId` — activity instance changing state.
+    pub const ACTIVITY_INSTANCE_ID: &str = "activityInstanceId";
+    /// `parentProcessSchemaId` of the activity's parent process.
+    pub const PARENT_PROCESS_SCHEMA_ID: &str = "parentProcessSchemaId";
+    /// `parentProcessInstanceId` of the activity's parent process.
+    pub const PARENT_PROCESS_INSTANCE_ID: &str = "parentProcessInstanceId";
+    /// `user` responsible for a state change.
+    pub const USER: &str = "user";
+    /// `activityVariableId` of the activity changing state.
+    pub const ACTIVITY_VAR_ID: &str = "activityVariableId";
+    /// `activityProcessSchemaId`, set when the activity is itself a process.
+    pub const ACTIVITY_PROCESS_SCHEMA_ID: &str = "activityProcessSchemaId";
+    /// `oldState` of an activity state change.
+    pub const OLD_STATE: &str = "oldState";
+    /// `newState` of an activity state change.
+    pub const NEW_STATE: &str = "newState";
+    /// `contextId` of a context field change.
+    pub const CONTEXT_ID: &str = "contextId";
+    /// `contextName` of a context field change.
+    pub const CONTEXT_NAME: &str = "contextName";
+    /// The set of `(processSchemaId, processInstanceId)` tuples a context is
+    /// associated with, encoded as a list of two-element lists.
+    pub const PROCESSES: &str = "processes";
+    /// `fieldName` being modified.
+    pub const FIELD_NAME: &str = "fieldName";
+    /// `oldFieldValue`.
+    pub const OLD_VALUE: &str = "oldFieldValue";
+    /// `newFieldValue`.
+    pub const NEW_VALUE: &str = "newFieldValue";
+    /// Canonical: `processSchemaId` the event is relative to.
+    pub const PROCESS_SCHEMA_ID: &str = "processSchemaId";
+    /// Canonical: `processInstanceId` the event is relative to.
+    pub const PROCESS_INSTANCE_ID: &str = "processInstanceId";
+    /// Canonical generic integer parameter.
+    pub const INT_INFO: &str = "intInfo";
+    /// Canonical generic string parameter.
+    pub const STR_INFO: &str = "strInfo";
+    /// Canonical generic value parameter (carries full field values).
+    pub const VALUE_INFO: &str = "valueInfo";
+    /// The producer that originated the event (source name).
+    pub const SOURCE: &str = "source";
+}
+
+/// The type of an event stream. Operators declare typed signatures over
+/// these; spec validation checks slot conformance (§5.1).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventType {
+    /// `T_activity` — activity state change events from `E_activity`.
+    Activity,
+    /// `T_context` — context field change events from `E_context`.
+    Context,
+    /// `C_P` — the canonical event type relative to process schema `P`.
+    Canonical(ProcessSchemaId),
+    /// An application-specific external event source, by name (§5.1.1: e.g.
+    /// a news service).
+    External(String),
+}
+
+impl fmt::Display for EventType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventType::Activity => write!(f, "T_activity"),
+            EventType::Context => write!(f, "T_context"),
+            EventType::Canonical(p) => write!(f, "C_{p}"),
+            EventType::External(n) => write!(f, "T_ext({n})"),
+        }
+    }
+}
+
+/// A self-contained event: a type, a time, and name–value parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// The event's type (also recoverable from context; kept explicit so
+    /// events are self-contained).
+    pub etype: EventType,
+    /// When the event occurred.
+    pub time: Timestamp,
+    /// The name–value parameters describing the event.
+    pub params: BTreeMap<String, Value>,
+}
+
+impl Event {
+    /// A new event with no parameters.
+    pub fn new(etype: EventType, time: Timestamp) -> Self {
+        Event {
+            etype,
+            time,
+            params: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style parameter insertion.
+    pub fn with(mut self, name: &str, v: impl Into<Value>) -> Self {
+        self.params.insert(name.to_owned(), v.into());
+        self
+    }
+
+    /// Sets a parameter.
+    pub fn set(&mut self, name: &str, v: impl Into<Value>) {
+        self.params.insert(name.to_owned(), v.into());
+    }
+
+    /// Reads a parameter.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.params.get(name)
+    }
+
+    /// Reads an integer parameter.
+    pub fn get_int(&self, name: &str) -> Option<i64> {
+        self.get(name).and_then(Value::as_int)
+    }
+
+    /// Reads a string parameter.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.get(name).and_then(Value::as_str)
+    }
+
+    /// Reads an id-valued parameter as a raw `u64`.
+    pub fn get_id(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(Value::Id(i)) => Some(*i),
+            Some(Value::Int(i)) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The canonical `processInstanceId` parameter, if present — the key AM
+    /// operators partition their per-instance state by (§5.1.2).
+    pub fn process_instance(&self) -> Option<ProcessInstanceId> {
+        self.get_id(params::PROCESS_INSTANCE_ID)
+            .map(ProcessInstanceId::from)
+    }
+
+    /// The canonical `processSchemaId` parameter, if present.
+    pub fn process_schema(&self) -> Option<ProcessSchemaId> {
+        self.get_id(params::PROCESS_SCHEMA_ID)
+            .map(ProcessSchemaId::from)
+    }
+
+    /// The canonical generic integer parameter `intInfo`, if present.
+    pub fn int_info(&self) -> Option<i64> {
+        // intInfo may carry any value with a numeric axis (deadline
+        // timestamps, counters); expose the comparison key.
+        self.get(params::INT_INFO).and_then(Value::comparison_key)
+    }
+
+    /// Creates a canonical event for process schema `p` and instance `i`.
+    pub fn canonical(p: ProcessSchemaId, i: ProcessInstanceId, time: Timestamp) -> Event {
+        Event::new(EventType::Canonical(p), time)
+            .with(params::PROCESS_SCHEMA_ID, Value::Id(p.raw()))
+            .with(params::PROCESS_INSTANCE_ID, Value::Id(i.raw()))
+    }
+
+    /// Copies every parameter **except time-independent identity** from
+    /// `src`, per the `copy` semantics of the And/Seq operators ("the input
+    /// event whose parameters (except time) will be copied to the output").
+    pub fn copy_params_from(&mut self, src: &Event) {
+        for (k, v) in &src.params {
+            self.params.insert(k.clone(), v.clone());
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{} {{", self.etype, self.time)?;
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}: {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_core::ids::{ProcessInstanceId, ProcessSchemaId};
+
+    #[test]
+    fn canonical_event_has_schema_and_instance() {
+        let e = Event::canonical(
+            ProcessSchemaId(3),
+            ProcessInstanceId(77),
+            Timestamp::from_millis(5),
+        );
+        assert_eq!(e.etype, EventType::Canonical(ProcessSchemaId(3)));
+        assert_eq!(e.process_schema(), Some(ProcessSchemaId(3)));
+        assert_eq!(e.process_instance(), Some(ProcessInstanceId(77)));
+    }
+
+    #[test]
+    fn params_roundtrip_through_accessors() {
+        let e = Event::new(EventType::Activity, Timestamp::EPOCH)
+            .with(params::NEW_STATE, "Running")
+            .with(params::INT_INFO, 9i64);
+        assert_eq!(e.get_str(params::NEW_STATE), Some("Running"));
+        assert_eq!(e.int_info(), Some(9));
+        assert_eq!(e.get_int("missing"), None);
+    }
+
+    #[test]
+    fn int_info_accepts_time_values() {
+        let e = Event::new(EventType::Activity, Timestamp::EPOCH)
+            .with(params::INT_INFO, Timestamp::from_millis(1234));
+        assert_eq!(e.int_info(), Some(1234));
+    }
+
+    #[test]
+    fn copy_params_overwrites_existing() {
+        let src = Event::new(EventType::Activity, Timestamp::from_millis(9))
+            .with("a", 1i64)
+            .with("b", 2i64);
+        let mut dst = Event::new(EventType::Activity, Timestamp::from_millis(10)).with("a", 0i64);
+        dst.copy_params_from(&src);
+        assert_eq!(dst.get_int("a"), Some(1));
+        assert_eq!(dst.get_int("b"), Some(2));
+        assert_eq!(dst.time, Timestamp::from_millis(10), "time is not copied");
+    }
+
+    #[test]
+    fn event_type_display() {
+        assert_eq!(EventType::Activity.to_string(), "T_activity");
+        assert_eq!(
+            EventType::Canonical(ProcessSchemaId(4)).to_string(),
+            "C_as4"
+        );
+        assert_eq!(
+            EventType::External("news".into()).to_string(),
+            "T_ext(news)"
+        );
+    }
+
+    #[test]
+    fn display_lists_params() {
+        let e = Event::new(EventType::Context, Timestamp::EPOCH).with("x", 1i64);
+        assert!(e.to_string().contains("x: 1"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # cmi-events — composite event detection for CMI (the CEDMOS substrate)
+//!
+//! CMI's awareness engine uses a specialized version of CEDMOS, MCC's
+//! Complex Event Detection and Monitoring System (paper §6.1, its reference \[3\]).
+//! This crate is that substrate, built to the specification in §5.1 of the
+//! paper, including the CMI process-oriented specializations of §5.1.2:
+//!
+//! * **Self-contained events** with name–value parameters and the canonical
+//!   event type `C_P` ([`event`]).
+//! * **Primitive producers**: activity state change events, context field
+//!   change events, and open application-specific external sources
+//!   ([`producers`]).
+//! * **Parameterized operators** with per-process-instance replication
+//!   ([`operator`], [`operators`]): activity/context/external filters,
+//!   `And`, `Seq`, `Or`, `Count`, `Compare1`, `Compare2`, the process
+//!   invocation operator `Translate`, and the implementation's `Output`
+//!   operator.
+//! * **Composite event specifications** — validated rooted DAGs ([`spec`]).
+//! * **The detection engine** — a multiply-rooted merged DAG with structural
+//!   sharing and partitioned operator state ([`engine`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod event;
+pub mod operator;
+pub mod operators;
+pub mod producers;
+pub mod spec;
+
+pub use engine::{Detection, Engine, EngineStats, EngineTopology};
+pub use event::{params, Event, EventType};
+pub use operator::{Arity, CmpOp, EventOperator, OpState, PartitionMode};
+pub use operators::{
+    ActivityFilter, AndOp, Compare1Op, Compare2Op, ContextFilter, CountOp, ExternalFilter, OrOp,
+    OutputOp, SeqOp, TranslateOp, DESCRIPTION_PARAM,
+};
+pub use producers::{activity_event, context_event, decode_processes, external_event, Producer};
+pub use spec::{CompositeEventSpec, NodeId, SpecBuilder, SpecError, SpecNode};

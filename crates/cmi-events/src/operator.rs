@@ -1,0 +1,214 @@
+//! The parameterized event operator framework (§5.1.2).
+//!
+//! An *event operator* is a self-contained, reusable algorithm for
+//! recognizing instances of a pattern of constituent events and calculating
+//! the parameters of the resulting composite events. AM operators share three
+//! properties:
+//!
+//! 1. **Canonical event type** — nearly all operators consume and produce
+//!    events of `C_P` for the process schema `P` they are associated with.
+//! 2. **Process instance replication** — each operator replicates its
+//!    algorithm per process instance so events are never mixed across
+//!    instances. The engine implements this by partitioning operator state on
+//!    the canonical `processInstanceId` parameter; the operator itself only
+//!    sees its partition (see [`PartitionMode`]).
+//! 3. **Operator parameterization** — operators are families
+//!    `Eop[p1..pm](T1..Tn) -> T_Eop`; the design-time parameters customize
+//!    the recognition algorithm. In Rust the parameters are the fields of the
+//!    operator struct.
+
+use std::any::Any;
+use std::fmt;
+
+use crate::event::{Event, EventType};
+
+/// How the engine partitions an operator's state (property 2 above).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionMode {
+    /// The operator keeps no state at all (filters, disjunction).
+    Stateless,
+    /// One state partition per canonical `processInstanceId` — the default
+    /// for pattern operators (And, Seq, Count, Compare2).
+    ByInstance,
+    /// A single shared partition — used by the process invocation operator,
+    /// which must correlate *across* instances.
+    Global,
+}
+
+/// Opaque per-partition operator state. Each operator downcasts to its own
+/// concrete state type.
+pub type OpState = Box<dyn Any + Send>;
+
+/// Min/max slot count an operator accepts. `max = None` means unbounded
+/// (And/Seq/Or accept any `n >= 2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arity {
+    /// Minimum number of input slots.
+    pub min: usize,
+    /// Maximum number of input slots, if bounded.
+    pub max: Option<usize>,
+}
+
+impl Arity {
+    /// Exactly `n` slots.
+    pub const fn exactly(n: usize) -> Arity {
+        Arity {
+            min: n,
+            max: Some(n),
+        }
+    }
+    /// At least `n` slots.
+    pub const fn at_least(n: usize) -> Arity {
+        Arity { min: n, max: None }
+    }
+    /// True if `n` slots is acceptable.
+    pub fn accepts(&self, n: usize) -> bool {
+        n >= self.min && self.max.is_none_or(|m| n <= m)
+    }
+}
+
+impl fmt::Display for Arity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.max {
+            Some(m) if m == self.min => write!(f, "{}", self.min),
+            Some(m) => write!(f, "{}..{}", self.min, m),
+            None => write!(f, "{}+", self.min),
+        }
+    }
+}
+
+/// A parameterized event operator instance (one node of an awareness
+/// description DAG). Implementations are the operator *families* of §5.1.3
+/// with their parameters bound.
+pub trait EventOperator: Send + Sync {
+    /// Display name including bound parameters, e.g. `Compare2[as3, <=]`.
+    fn op_name(&self) -> String;
+
+    /// Structural identity: two operator instances with equal fingerprints
+    /// and equal inputs are interchangeable, enabling shared sub-DAGs in
+    /// multiply-rooted awareness specifications (§6.2).
+    fn fingerprint(&self) -> String {
+        self.op_name()
+    }
+
+    /// Accepted input slot count.
+    fn arity(&self) -> Arity;
+
+    /// The event type required on `slot` (given the node's actual slot count
+    /// `n`); spec validation enforces conformance.
+    fn input_type(&self, slot: usize, n: usize) -> EventType;
+
+    /// The event type produced.
+    fn output_type(&self) -> EventType;
+
+    /// How the engine partitions this operator's state.
+    fn partition(&self) -> PartitionMode {
+        PartitionMode::ByInstance
+    }
+
+    /// Fresh state for one partition.
+    fn new_state(&self) -> OpState {
+        Box::new(())
+    }
+
+    /// Consumes one input event arriving on `slot`, possibly appending output
+    /// events. `state` is the partition's state (per process instance for
+    /// [`PartitionMode::ByInstance`]). An operator is a computational
+    /// pipeline: it may produce any number of outputs per input.
+    fn apply(&self, slot: usize, event: &Event, state: &mut OpState, out: &mut Vec<Event>);
+}
+
+/// Comparison predicates for the comparison operators (§5.1.3). `boolFunc1`
+/// is a [`CmpOp`] against a design-time constant; `boolFunc2` relates the two
+/// inputs' latest `intInfo` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// Evaluates `a ? b`.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+
+    /// Parses the textual form used by the awareness DSL.
+    pub fn parse(s: &str) -> Option<CmpOp> {
+        Some(match s {
+            "<" => CmpOp::Lt,
+            "<=" => CmpOp::Le,
+            ">" => CmpOp::Gt,
+            ">=" => CmpOp::Ge,
+            "==" | "=" => CmpOp::Eq,
+            "!=" => CmpOp::Ne,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_accepts_ranges() {
+        assert!(Arity::exactly(2).accepts(2));
+        assert!(!Arity::exactly(2).accepts(3));
+        assert!(Arity::at_least(2).accepts(17));
+        assert!(!Arity::at_least(2).accepts(1));
+        assert_eq!(Arity::exactly(1).to_string(), "1");
+        assert_eq!(Arity::at_least(2).to_string(), "2+");
+    }
+
+    #[test]
+    fn cmp_op_semantics() {
+        assert!(CmpOp::Lt.eval(1, 2));
+        assert!(CmpOp::Le.eval(2, 2));
+        assert!(CmpOp::Gt.eval(3, 2));
+        assert!(CmpOp::Ge.eval(2, 2));
+        assert!(CmpOp::Eq.eval(2, 2));
+        assert!(CmpOp::Ne.eval(1, 2));
+        assert!(!CmpOp::Lt.eval(2, 2));
+    }
+
+    #[test]
+    fn cmp_op_parse_roundtrip() {
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+            assert_eq!(CmpOp::parse(&op.to_string()), Some(op));
+        }
+        assert_eq!(CmpOp::parse("="), Some(CmpOp::Eq));
+        assert_eq!(CmpOp::parse("<>"), None);
+    }
+}

@@ -1,0 +1,216 @@
+//! Comparison event operators (§5.1.3).
+//!
+//! * `Compare1[P, boolFunc1](C_P) -> C_P` passes an input through when its
+//!   `intInfo` parameter satisfies the boolean function (here: a comparison
+//!   against a design-time constant); otherwise the input is ignored.
+//! * `Compare2[P, boolFunc2](C_P, C_P) -> C_P` keeps the **latest** `intInfo`
+//!   per input position (per process instance) and, once both positions have
+//!   occurred, emits a composite whenever the latest pair satisfies
+//!   `boolFunc2`. The output's parameters are copied from the latest input,
+//!   irrespective of its position.
+//!
+//! `Compare2` is the operator at the heart of the paper's §5.4 example:
+//! `Compare2[InfoRequest, <=](op1, op2)` detects a task force deadline moved
+//! to or before the information request deadline.
+
+use cmi_core::ids::ProcessSchemaId;
+
+use crate::event::{Event, EventType};
+use crate::operator::{Arity, CmpOp, EventOperator, OpState, PartitionMode};
+
+/// The single-input comparison operator `Compare1[P, op constant]`.
+#[derive(Debug, Clone)]
+pub struct Compare1Op {
+    /// `P` — the associated process schema.
+    pub process: ProcessSchemaId,
+    /// The comparison applied to `intInfo`.
+    pub op: CmpOp,
+    /// The design-time constant compared against.
+    pub constant: i64,
+}
+
+impl Compare1Op {
+    /// `intInfo <op> constant`.
+    pub fn new(process: ProcessSchemaId, op: CmpOp, constant: i64) -> Self {
+        Compare1Op {
+            process,
+            op,
+            constant,
+        }
+    }
+}
+
+impl EventOperator for Compare1Op {
+    fn op_name(&self) -> String {
+        format!("Compare1[{}, {} {}]", self.process, self.op, self.constant)
+    }
+
+    fn arity(&self) -> Arity {
+        Arity::exactly(1)
+    }
+
+    fn input_type(&self, _slot: usize, _n: usize) -> EventType {
+        EventType::Canonical(self.process)
+    }
+
+    fn output_type(&self) -> EventType {
+        EventType::Canonical(self.process)
+    }
+
+    fn partition(&self) -> PartitionMode {
+        PartitionMode::Stateless
+    }
+
+    fn apply(&self, _slot: usize, event: &Event, _state: &mut OpState, out: &mut Vec<Event>) {
+        if let Some(v) = event.int_info() {
+            if self.op.eval(v, self.constant) {
+                out.push(event.clone());
+            }
+        }
+    }
+}
+
+/// Per-partition state of `Compare2`: the latest `intInfo` per position.
+#[derive(Debug, Default)]
+struct Compare2State {
+    latest: [Option<i64>; 2],
+}
+
+/// The double-input comparison operator `Compare2[P, op]`.
+#[derive(Debug, Clone)]
+pub struct Compare2Op {
+    /// `P` — the associated process schema.
+    pub process: ProcessSchemaId,
+    /// The comparison applied to the latest pair of `intInfo` values:
+    /// `latest(slot 1) <op> latest(slot 2)`.
+    pub op: CmpOp,
+}
+
+impl Compare2Op {
+    /// `latest(input 1) <op> latest(input 2)`.
+    pub fn new(process: ProcessSchemaId, op: CmpOp) -> Self {
+        Compare2Op { process, op }
+    }
+}
+
+impl EventOperator for Compare2Op {
+    fn op_name(&self) -> String {
+        format!("Compare2[{}, {}]", self.process, self.op)
+    }
+
+    fn arity(&self) -> Arity {
+        Arity::exactly(2)
+    }
+
+    fn input_type(&self, _slot: usize, _n: usize) -> EventType {
+        EventType::Canonical(self.process)
+    }
+
+    fn output_type(&self) -> EventType {
+        EventType::Canonical(self.process)
+    }
+
+    fn new_state(&self) -> OpState {
+        Box::new(Compare2State::default())
+    }
+
+    fn apply(&self, slot: usize, event: &Event, state: &mut OpState, out: &mut Vec<Event>) {
+        let st = state.downcast_mut::<Compare2State>().expect("Compare2 state");
+        let Some(v) = event.int_info() else {
+            return; // inputs without a numeric axis are ignored
+        };
+        st.latest[slot] = Some(v);
+        if let (Some(a), Some(b)) = (st.latest[0], st.latest[1]) {
+            if self.op.eval(a, b) {
+                // Parameters are copied from the latest input, irrespective
+                // of position — i.e. the event that just arrived.
+                out.push(event.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::params;
+    use cmi_core::ids::ProcessInstanceId;
+    use cmi_core::time::Timestamp;
+
+    const P: ProcessSchemaId = ProcessSchemaId(1);
+
+    fn ev(v: i64, tag: i64) -> Event {
+        Event::canonical(P, ProcessInstanceId(1), Timestamp::EPOCH)
+            .with(params::INT_INFO, v)
+            .with("tag", tag)
+    }
+
+    #[test]
+    fn compare1_passes_only_satisfying_events() {
+        let op = Compare1Op::new(P, CmpOp::Ge, 3);
+        let mut st = op.new_state();
+        let mut out = Vec::new();
+        for v in [1, 3, 5, 2] {
+            op.apply(0, &ev(v, v), &mut st, &mut out);
+        }
+        let passed: Vec<i64> = out.iter().map(|e| e.int_info().unwrap()).collect();
+        assert_eq!(passed, vec![3, 5]);
+    }
+
+    #[test]
+    fn compare1_ignores_events_without_int_info() {
+        let op = Compare1Op::new(P, CmpOp::Ge, 0);
+        let mut st = op.new_state();
+        let mut out = Vec::new();
+        let e = Event::canonical(P, ProcessInstanceId(1), Timestamp::EPOCH);
+        op.apply(0, &e, &mut st, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn compare2_waits_for_both_positions() {
+        let op = Compare2Op::new(P, CmpOp::Le);
+        let mut st = op.new_state();
+        let mut out = Vec::new();
+        op.apply(0, &ev(5, 1), &mut st, &mut out);
+        assert!(out.is_empty(), "only one position seen");
+        op.apply(1, &ev(9, 2), &mut st, &mut out);
+        assert_eq!(out.len(), 1, "5 <= 9 fires");
+        assert_eq!(out[0].get_int("tag"), Some(2), "copied from latest input");
+    }
+
+    #[test]
+    fn compare2_uses_latest_values() {
+        // The §5.4 deadline scenario: op1 = task force deadline changes,
+        // op2 = info request deadline changes. Fire when tf <= req.
+        let op = Compare2Op::new(P, CmpOp::Le);
+        let mut st = op.new_state();
+        let mut out = Vec::new();
+        // Task force deadline far out (100), request deadline 50: no fire.
+        op.apply(0, &ev(100, 1), &mut st, &mut out);
+        op.apply(1, &ev(50, 2), &mut st, &mut out);
+        assert!(out.is_empty(), "100 <= 50 is false");
+        // Leader moves the task force deadline to 40 — violation detected.
+        op.apply(0, &ev(40, 3), &mut st, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get_int("tag"), Some(3));
+    }
+
+    #[test]
+    fn compare2_fires_on_every_satisfying_update() {
+        let op = Compare2Op::new(P, CmpOp::Lt);
+        let mut st = op.new_state();
+        let mut out = Vec::new();
+        op.apply(0, &ev(1, 1), &mut st, &mut out);
+        op.apply(1, &ev(5, 2), &mut st, &mut out); // 1 < 5 fires
+        op.apply(1, &ev(6, 3), &mut st, &mut out); // 1 < 6 fires again
+        op.apply(1, &ev(0, 4), &mut st, &mut out); // 1 < 0 no
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn op_names_render_predicates() {
+        assert_eq!(Compare1Op::new(P, CmpOp::Gt, 7).op_name(), "Compare1[as1, > 7]");
+        assert_eq!(Compare2Op::new(P, CmpOp::Le).op_name(), "Compare2[as1, <=]");
+    }
+}

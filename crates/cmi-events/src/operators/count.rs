@@ -1,0 +1,105 @@
+//! The count event operator (§5.1.3).
+//!
+//! `Count[P](C_P) -> C_P` maintains a count of input events seen — **per
+//! process instance** — and emits an event for every input with the running
+//! count as the `intInfo` parameter. Most useful combined with the comparison
+//! operators (e.g. "notify when three lab tests have completed").
+
+use cmi_core::ids::ProcessSchemaId;
+
+use crate::event::{params, Event, EventType};
+use crate::operator::{Arity, EventOperator, OpState};
+
+/// The `Count[P]` operator.
+#[derive(Debug, Clone)]
+pub struct CountOp {
+    /// `P` — the associated process schema.
+    pub process: ProcessSchemaId,
+}
+
+impl CountOp {
+    /// A counter for process schema `p`.
+    pub fn new(process: ProcessSchemaId) -> Self {
+        CountOp { process }
+    }
+}
+
+impl EventOperator for CountOp {
+    fn op_name(&self) -> String {
+        format!("Count[{}]", self.process)
+    }
+
+    fn arity(&self) -> Arity {
+        Arity::exactly(1)
+    }
+
+    fn input_type(&self, _slot: usize, _n: usize) -> EventType {
+        EventType::Canonical(self.process)
+    }
+
+    fn output_type(&self) -> EventType {
+        EventType::Canonical(self.process)
+    }
+
+    fn new_state(&self) -> OpState {
+        Box::new(0i64)
+    }
+
+    fn apply(&self, _slot: usize, event: &Event, state: &mut OpState, out: &mut Vec<Event>) {
+        let count = state.downcast_mut::<i64>().expect("Count state");
+        *count += 1;
+        let mut e = event.clone();
+        e.set(params::INT_INFO, *count);
+        out.push(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_core::ids::ProcessInstanceId;
+    use cmi_core::time::Timestamp;
+
+    #[test]
+    fn count_emits_running_total() {
+        let op = CountOp::new(ProcessSchemaId(1));
+        let mut st = op.new_state();
+        let mut out = Vec::new();
+        let e = Event::canonical(
+            ProcessSchemaId(1),
+            ProcessInstanceId(5),
+            Timestamp::EPOCH,
+        );
+        for _ in 0..3 {
+            op.apply(0, &e, &mut st, &mut out);
+        }
+        let counts: Vec<i64> = out.iter().map(|e| e.int_info().unwrap()).collect();
+        assert_eq!(counts, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn count_overwrites_incoming_int_info() {
+        let op = CountOp::new(ProcessSchemaId(1));
+        let mut st = op.new_state();
+        let mut out = Vec::new();
+        let e = Event::canonical(ProcessSchemaId(1), ProcessInstanceId(5), Timestamp::EPOCH)
+            .with(params::INT_INFO, 999i64);
+        op.apply(0, &e, &mut st, &mut out);
+        assert_eq!(out[0].int_info(), Some(1));
+    }
+
+    #[test]
+    fn separate_states_count_independently() {
+        // The engine gives each process instance its own state; simulate two.
+        let op = CountOp::new(ProcessSchemaId(1));
+        let mut st_a = op.new_state();
+        let mut st_b = op.new_state();
+        let mut out = Vec::new();
+        let e = Event::canonical(ProcessSchemaId(1), ProcessInstanceId(1), Timestamp::EPOCH);
+        op.apply(0, &e, &mut st_a, &mut out);
+        op.apply(0, &e, &mut st_a, &mut out);
+        op.apply(0, &e, &mut st_b, &mut out);
+        let counts: Vec<i64> = out.iter().map(|e| e.int_info().unwrap()).collect();
+        assert_eq!(counts, vec![1, 2, 1]);
+    }
+}

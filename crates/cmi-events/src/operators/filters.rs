@@ -1,0 +1,537 @@
+//! Filtering event operators (§5.1.3).
+//!
+//! A filter takes a primitive event producer as input and outputs the subset
+//! of events selected by its parameters, *translated to the canonical type*
+//! `C_P`. Filtering operators have a one-to-one correspondence with the
+//! available primitive event types: AM provides the activity filter and the
+//! context filter, and allows additional filters for external sources (e.g. a
+//! sentinel filter for health-crisis events).
+
+use std::collections::BTreeSet;
+
+use cmi_core::ids::{ActivityVarId, ProcessSchemaId};
+use cmi_core::value::Value;
+
+use crate::event::{params, Event, EventType};
+use crate::operator::{Arity, EventOperator, OpState, PartitionMode};
+use crate::producers::decode_processes;
+
+/// `Filter_activity[P, Av, States_old, States_new](T_activity) -> C_P`
+///
+/// Emits a canonical event when the activity bound to activity variable `Av`
+/// of process schema `P` transitions from one of `States_old` to one of
+/// `States_new` (`None` state sets are wildcards). With `var = None` the
+/// filter matches state changes of instances of `P` *itself* (top-level or as
+/// a subprocess), which is how specs observe a whole process's lifecycle.
+#[derive(Debug, Clone)]
+pub struct ActivityFilter {
+    /// `P` — the associated process schema.
+    pub process: ProcessSchemaId,
+    /// `Av` — the observed activity variable, or `None` for `P` itself.
+    pub var: Option<ActivityVarId>,
+    /// `States_old` — accepted source states (`None` = any).
+    pub old_states: Option<BTreeSet<String>>,
+    /// `States_new` — accepted target states (`None` = any).
+    pub new_states: Option<BTreeSet<String>>,
+}
+
+impl ActivityFilter {
+    /// Filter on any transition of `var` within process `p`.
+    pub fn any_transition(p: ProcessSchemaId, var: ActivityVarId) -> Self {
+        ActivityFilter {
+            process: p,
+            var: Some(var),
+            old_states: None,
+            new_states: None,
+        }
+    }
+
+    /// Filter on `var` within `p` entering one of `new_states`.
+    pub fn entering(p: ProcessSchemaId, var: ActivityVarId, new_states: &[&str]) -> Self {
+        ActivityFilter {
+            process: p,
+            var: Some(var),
+            old_states: None,
+            new_states: Some(new_states.iter().map(|s| (*s).to_owned()).collect()),
+        }
+    }
+
+    /// Filter on instances of `p` itself entering one of `new_states`.
+    pub fn process_entering(p: ProcessSchemaId, new_states: &[&str]) -> Self {
+        ActivityFilter {
+            process: p,
+            var: None,
+            old_states: None,
+            new_states: Some(new_states.iter().map(|s| (*s).to_owned()).collect()),
+        }
+    }
+
+    fn states_match(set: &Option<BTreeSet<String>>, s: Option<&str>) -> bool {
+        match (set, s) {
+            (None, _) => true,
+            (Some(set), Some(s)) => set.contains(s),
+            (Some(_), None) => false,
+        }
+    }
+}
+
+impl EventOperator for ActivityFilter {
+    fn op_name(&self) -> String {
+        let var = self
+            .var
+            .map_or_else(|| "self".to_owned(), |v| v.to_string());
+        let fmt_states = |s: &Option<BTreeSet<String>>| {
+            s.as_ref().map_or_else(
+                || "*".to_owned(),
+                |set| set.iter().cloned().collect::<Vec<_>>().join("|"),
+            )
+        };
+        format!(
+            "Filter_activity[{}, {}, {{{}}}, {{{}}}]",
+            self.process,
+            var,
+            fmt_states(&self.old_states),
+            fmt_states(&self.new_states)
+        )
+    }
+
+    fn arity(&self) -> Arity {
+        Arity::exactly(1)
+    }
+
+    fn input_type(&self, _slot: usize, _n: usize) -> EventType {
+        EventType::Activity
+    }
+
+    fn output_type(&self) -> EventType {
+        EventType::Canonical(self.process)
+    }
+
+    fn partition(&self) -> PartitionMode {
+        PartitionMode::Stateless
+    }
+
+    fn apply(&self, _slot: usize, event: &Event, _state: &mut OpState, out: &mut Vec<Event>) {
+        // Which process instance is the event relative to?
+        let instance = match self.var {
+            Some(v) => {
+                // Activity occurs in P (parentProcessSchemaId) via var Av.
+                if event.get_id(params::PARENT_PROCESS_SCHEMA_ID) != Some(self.process.raw())
+                    || event.get_id(params::ACTIVITY_VAR_ID) != Some(v.raw())
+                {
+                    return;
+                }
+                match event.get_id(params::PARENT_PROCESS_INSTANCE_ID) {
+                    Some(i) => i,
+                    None => return,
+                }
+            }
+            None => {
+                // The activity is an instance of P itself.
+                if event.get_id(params::ACTIVITY_PROCESS_SCHEMA_ID) != Some(self.process.raw()) {
+                    return;
+                }
+                match event.get_id(params::ACTIVITY_INSTANCE_ID) {
+                    Some(i) => i,
+                    None => return,
+                }
+            }
+        };
+        if !Self::states_match(&self.old_states, event.get_str(params::OLD_STATE))
+            || !Self::states_match(&self.new_states, event.get_str(params::NEW_STATE))
+        {
+            return;
+        }
+        let mut c = Event::canonical(self.process, instance.into(), event.time);
+        for key in [
+            params::ACTIVITY_INSTANCE_ID,
+            params::ACTIVITY_VAR_ID,
+            params::USER,
+            params::OLD_STATE,
+            params::NEW_STATE,
+        ] {
+            if let Some(v) = event.get(key) {
+                c.set(key, v.clone());
+            }
+        }
+        if let Some(new_state) = event.get_str(params::NEW_STATE) {
+            c.set(params::STR_INFO, new_state);
+        }
+        out.push(c);
+    }
+}
+
+/// `Filter_context[P, Cname, Fname](T_context) -> C_P`
+///
+/// Emits a canonical event when the field `Fname` of a context named `Cname`
+/// associated with process schema `P` changes. One output event is produced
+/// per associated instance of `P` (a context may be attached to several
+/// process instances). When the new field value has a numeric axis it is
+/// copied to the `intInfo` output parameter, per the paper.
+#[derive(Debug, Clone)]
+pub struct ContextFilter {
+    /// `P` — the associated process schema.
+    pub process: ProcessSchemaId,
+    /// `Cname` — the context name to match.
+    pub context_name: String,
+    /// `Fname` — the field name to match.
+    pub field_name: String,
+}
+
+impl ContextFilter {
+    /// A new context filter.
+    pub fn new(p: ProcessSchemaId, context_name: &str, field_name: &str) -> Self {
+        ContextFilter {
+            process: p,
+            context_name: context_name.to_owned(),
+            field_name: field_name.to_owned(),
+        }
+    }
+}
+
+impl EventOperator for ContextFilter {
+    fn op_name(&self) -> String {
+        format!(
+            "Filter_context[{}, {}, {}]",
+            self.process, self.context_name, self.field_name
+        )
+    }
+
+    fn arity(&self) -> Arity {
+        Arity::exactly(1)
+    }
+
+    fn input_type(&self, _slot: usize, _n: usize) -> EventType {
+        EventType::Context
+    }
+
+    fn output_type(&self) -> EventType {
+        EventType::Canonical(self.process)
+    }
+
+    fn partition(&self) -> PartitionMode {
+        PartitionMode::Stateless
+    }
+
+    fn apply(&self, _slot: usize, event: &Event, _state: &mut OpState, out: &mut Vec<Event>) {
+        if event.get_str(params::CONTEXT_NAME) != Some(self.context_name.as_str())
+            || event.get_str(params::FIELD_NAME) != Some(self.field_name.as_str())
+        {
+            return;
+        }
+        for (ps, pi) in decode_processes(event) {
+            if ps != self.process.raw() {
+                continue;
+            }
+            let mut c = Event::canonical(self.process, pi.into(), event.time);
+            for key in [
+                params::CONTEXT_ID,
+                params::CONTEXT_NAME,
+                params::FIELD_NAME,
+                params::OLD_VALUE,
+                params::NEW_VALUE,
+            ] {
+                if let Some(v) = event.get(key) {
+                    c.set(key, v.clone());
+                }
+            }
+            if let Some(new) = event.get(params::NEW_VALUE) {
+                c.set(params::VALUE_INFO, new.clone());
+                if let Some(k) = new.comparison_key() {
+                    c.set(params::INT_INFO, k);
+                }
+                if let Value::Str(s) = new {
+                    c.set(params::STR_INFO, s.as_str());
+                }
+            }
+            out.push(c);
+        }
+    }
+}
+
+/// An application-specific filter attaching an external event source to a
+/// process schema (§5.1.1's news-service example): matches events from
+/// `source` whose `match_field` equals the expected value, and relates them
+/// back to a process instance through the `instance_param` parameter (e.g. a
+/// query id that an application activity registered).
+#[derive(Debug, Clone)]
+pub struct ExternalFilter {
+    /// `P` — the associated process schema.
+    pub process: ProcessSchemaId,
+    /// The external source name.
+    pub source: String,
+    /// Optional `(param, value)` match condition.
+    pub match_field: Option<(String, Value)>,
+    /// Parameter carrying the raw process instance id to relate the event to;
+    /// if absent, events are related to the schema globally (instance 0).
+    pub instance_param: Option<String>,
+    /// Parameter whose value is copied to `intInfo`, if present.
+    pub int_info_from: Option<String>,
+}
+
+impl ExternalFilter {
+    /// A filter passing every event of `source`, related via `instance_param`.
+    pub fn new(p: ProcessSchemaId, source: &str, instance_param: Option<&str>) -> Self {
+        ExternalFilter {
+            process: p,
+            source: source.to_owned(),
+            match_field: None,
+            instance_param: instance_param.map(str::to_owned),
+            int_info_from: None,
+        }
+    }
+
+    /// Adds a `param == value` match condition.
+    pub fn matching(mut self, param: &str, value: Value) -> Self {
+        self.match_field = Some((param.to_owned(), value));
+        self
+    }
+
+    /// Copies the named parameter into `intInfo` on output.
+    pub fn int_info_from(mut self, param: &str) -> Self {
+        self.int_info_from = Some(param.to_owned());
+        self
+    }
+}
+
+impl EventOperator for ExternalFilter {
+    fn op_name(&self) -> String {
+        format!("Filter_ext[{}, {}]", self.process, self.source)
+    }
+
+    fn fingerprint(&self) -> String {
+        format!(
+            "Filter_ext[{},{},{:?},{:?},{:?}]",
+            self.process, self.source, self.match_field, self.instance_param, self.int_info_from
+        )
+    }
+
+    fn arity(&self) -> Arity {
+        Arity::exactly(1)
+    }
+
+    fn input_type(&self, _slot: usize, _n: usize) -> EventType {
+        EventType::External(self.source.clone())
+    }
+
+    fn output_type(&self) -> EventType {
+        EventType::Canonical(self.process)
+    }
+
+    fn partition(&self) -> PartitionMode {
+        PartitionMode::Stateless
+    }
+
+    fn apply(&self, _slot: usize, event: &Event, _state: &mut OpState, out: &mut Vec<Event>) {
+        if let Some((p, v)) = &self.match_field {
+            if event.get(p) != Some(v) {
+                return;
+            }
+        }
+        let instance = self
+            .instance_param
+            .as_deref()
+            .and_then(|p| event.get_id(p))
+            .unwrap_or(0);
+        let mut c = Event::canonical(self.process, instance.into(), event.time);
+        c.copy_params_from(event);
+        // Restore canonical identity after the wholesale copy.
+        c.set(params::PROCESS_SCHEMA_ID, Value::Id(self.process.raw()));
+        c.set(params::PROCESS_INSTANCE_ID, Value::Id(instance));
+        if let Some(src) = &self.int_info_from {
+            if let Some(k) = event.get(src).and_then(Value::comparison_key) {
+                c.set(params::INT_INFO, k);
+            }
+        }
+        out.push(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::producers::{activity_event, context_event, external_event};
+    use cmi_core::context::ContextFieldChange;
+    use cmi_core::ids::{ActivityInstanceId, ContextId, ProcessInstanceId, UserId};
+    use cmi_core::instance::ActivityStateChange;
+    use cmi_core::time::Timestamp;
+
+    fn apply(op: &dyn EventOperator, ev: &Event) -> Vec<Event> {
+        let mut st = op.new_state();
+        let mut out = Vec::new();
+        op.apply(0, ev, &mut st, &mut out);
+        out
+    }
+
+    fn change(
+        p: u64,
+        pi: u64,
+        var: u64,
+        old: &str,
+        new: &str,
+    ) -> ActivityStateChange {
+        ActivityStateChange {
+            time: Timestamp::from_millis(7),
+            activity_instance_id: ActivityInstanceId(100),
+            parent_process_schema_id: Some(ProcessSchemaId(p)),
+            parent_process_instance_id: Some(ProcessInstanceId(pi)),
+            user: Some(UserId(1)),
+            activity_var_id: Some(cmi_core::ids::ActivityVarId(var)),
+            activity_process_schema_id: None,
+            old_state: old.into(),
+            new_state: new.into(),
+        }
+    }
+
+    #[test]
+    fn activity_filter_matches_process_var_and_states() {
+        let f = ActivityFilter::entering(ProcessSchemaId(1), cmi_core::ids::ActivityVarId(5), &["Completed"]);
+        // Match.
+        let ev = activity_event(&change(1, 10, 5, "Running", "Completed"));
+        let out = apply(&f, &ev);
+        assert_eq!(out.len(), 1);
+        let c = &out[0];
+        assert_eq!(c.etype, EventType::Canonical(ProcessSchemaId(1)));
+        assert_eq!(c.process_instance(), Some(ProcessInstanceId(10)));
+        assert_eq!(c.get_str(params::STR_INFO), Some("Completed"));
+        assert_eq!(c.get_str(params::NEW_STATE), Some("Completed"));
+        // Wrong process.
+        assert!(apply(&f, &activity_event(&change(2, 10, 5, "Running", "Completed"))).is_empty());
+        // Wrong var.
+        assert!(apply(&f, &activity_event(&change(1, 10, 6, "Running", "Completed"))).is_empty());
+        // Wrong new state.
+        assert!(apply(&f, &activity_event(&change(1, 10, 5, "Running", "Terminated"))).is_empty());
+    }
+
+    #[test]
+    fn activity_filter_old_state_constraint() {
+        let f = ActivityFilter {
+            process: ProcessSchemaId(1),
+            var: Some(cmi_core::ids::ActivityVarId(5)),
+            old_states: Some(["Suspended".to_owned()].into()),
+            new_states: None,
+        };
+        assert!(apply(&f, &activity_event(&change(1, 10, 5, "Suspended", "Running"))).len() == 1);
+        assert!(apply(&f, &activity_event(&change(1, 10, 5, "Ready", "Running"))).is_empty());
+    }
+
+    #[test]
+    fn activity_filter_on_process_itself() {
+        let f = ActivityFilter::process_entering(ProcessSchemaId(9), &["Running"]);
+        let c = ActivityStateChange {
+            time: Timestamp::EPOCH,
+            activity_instance_id: ActivityInstanceId(55),
+            parent_process_schema_id: None,
+            parent_process_instance_id: None,
+            user: None,
+            activity_var_id: None,
+            activity_process_schema_id: Some(ProcessSchemaId(9)),
+            old_state: "Ready".into(),
+            new_state: "Running".into(),
+        };
+        let out = apply(&f, &activity_event(&c));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].process_instance(), Some(ProcessInstanceId(55)));
+    }
+
+    fn ctx_change(name: &str, field: &str, procs: Vec<(u64, u64)>, new: Value) -> Event {
+        context_event(&ContextFieldChange {
+            time: Timestamp::from_millis(3),
+            context_id: ContextId(8),
+            context_name: name.into(),
+            processes: procs
+                .into_iter()
+                .map(|(a, b)| (ProcessSchemaId(a), ProcessInstanceId(b)))
+                .collect(),
+            field_name: field.into(),
+            old_value: None,
+            new_value: new,
+        })
+    }
+
+    #[test]
+    fn context_filter_matches_and_sets_int_info() {
+        let f = ContextFilter::new(ProcessSchemaId(2), "TaskForceContext", "TaskForceDeadline");
+        let ev = ctx_change(
+            "TaskForceContext",
+            "TaskForceDeadline",
+            vec![(2, 20)],
+            Value::Time(Timestamp::from_millis(5000)),
+        );
+        let out = apply(&f, &ev);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].int_info(), Some(5000));
+        assert_eq!(out[0].process_instance(), Some(ProcessInstanceId(20)));
+        // Name mismatch.
+        assert!(apply(&f, &ctx_change("Other", "TaskForceDeadline", vec![(2, 20)], Value::Int(1))).is_empty());
+        // Field mismatch.
+        assert!(apply(&f, &ctx_change("TaskForceContext", "Other", vec![(2, 20)], Value::Int(1))).is_empty());
+        // Process schema mismatch.
+        assert!(apply(&f, &ctx_change("TaskForceContext", "TaskForceDeadline", vec![(3, 20)], Value::Int(1))).is_empty());
+    }
+
+    #[test]
+    fn context_filter_fans_out_per_attached_instance() {
+        let f = ContextFilter::new(ProcessSchemaId(2), "C", "f");
+        let ev = ctx_change("C", "f", vec![(2, 20), (2, 21), (3, 99)], Value::Int(4));
+        let out = apply(&f, &ev);
+        assert_eq!(out.len(), 2);
+        let instances: Vec<u64> = out
+            .iter()
+            .map(|e| e.process_instance().unwrap().raw())
+            .collect();
+        assert_eq!(instances, vec![20, 21]);
+    }
+
+    #[test]
+    fn context_filter_string_value_goes_to_str_info() {
+        let f = ContextFilter::new(ProcessSchemaId(2), "C", "status");
+        let ev = ctx_change("C", "status", vec![(2, 20)], Value::from("positive"));
+        let out = apply(&f, &ev);
+        assert_eq!(out[0].get_str(params::STR_INFO), Some("positive"));
+        assert_eq!(out[0].int_info(), None);
+    }
+
+    #[test]
+    fn external_filter_matches_and_relates_instance() {
+        let f = ExternalFilter::new(ProcessSchemaId(4), "news-service", Some("queryId"))
+            .matching("topic", Value::from("epidemic"))
+            .int_info_from("articleCount");
+        let ev = external_event(
+            "news-service",
+            Timestamp::EPOCH,
+            vec![
+                ("topic".to_owned(), Value::from("epidemic")),
+                ("queryId".to_owned(), Value::Id(66)),
+                ("articleCount".to_owned(), Value::Int(12)),
+            ],
+        );
+        let out = apply(&f, &ev);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].process_instance(), Some(ProcessInstanceId(66)));
+        assert_eq!(out[0].int_info(), Some(12));
+        // Non-matching topic is dropped.
+        let ev2 = external_event(
+            "news-service",
+            Timestamp::EPOCH,
+            vec![("topic".to_owned(), Value::from("sports"))],
+        );
+        assert!(apply(&f, &ev2).is_empty());
+    }
+
+    #[test]
+    fn external_filter_without_instance_param_is_global() {
+        let f = ExternalFilter::new(ProcessSchemaId(4), "sentinel", None);
+        let ev = external_event("sentinel", Timestamp::EPOCH, vec![]);
+        let out = apply(&f, &ev);
+        assert_eq!(out[0].process_instance(), Some(ProcessInstanceId(0)));
+    }
+
+    #[test]
+    fn op_names_show_parameters() {
+        let f = ActivityFilter::entering(ProcessSchemaId(1), cmi_core::ids::ActivityVarId(5), &["Completed"]);
+        assert!(f.op_name().contains("Filter_activity[as1, av5"));
+        let c = ContextFilter::new(ProcessSchemaId(2), "C", "f");
+        assert_eq!(c.op_name(), "Filter_context[as2, C, f]");
+    }
+}

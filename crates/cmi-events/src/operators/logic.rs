@@ -1,0 +1,339 @@
+//! Generic event operators: conjunction, sequence, disjunction (§5.1.3).
+//!
+//! * `And[P, copy](C_P, …, C_P) -> C_P` fires when an event has been seen on
+//!   **all** input slots, with no order constraint.
+//! * `Seq[P, copy](C_P, …, C_P) -> C_P` fires when events have been seen on
+//!   all slots **in slot order** (an event only registers on slot *i* once
+//!   slots `0..i` are filled).
+//! * `Or[P](C_P, …, C_P) -> C_P` echoes every input.
+//!
+//! `copy` (1-based, per the paper) selects the input event whose parameters —
+//! except time — are copied to the output composite event. The output's time
+//! is the completing event's time. On firing, And/Seq consume their
+//! constituents (state resets), so each composite uses fresh events. State is
+//! per process instance (the engine partitions it).
+
+use cmi_core::ids::ProcessSchemaId;
+
+use crate::event::{Event, EventType};
+use crate::operator::{Arity, EventOperator, OpState, PartitionMode};
+
+/// Per-partition state for And/Seq: the pending event per slot.
+#[derive(Debug, Default)]
+struct SlotState {
+    pending: Vec<Option<Event>>,
+}
+
+impl SlotState {
+    fn ensure(&mut self, n: usize) {
+        if self.pending.len() < n {
+            self.pending.resize(n, None);
+        }
+    }
+}
+
+/// The conjunction operator `And[P, copy]`.
+#[derive(Debug, Clone)]
+pub struct AndOp {
+    /// `P` — the associated process schema.
+    pub process: ProcessSchemaId,
+    /// Declared slot count (`n >= 2`).
+    pub inputs: usize,
+    /// 1-based index of the input whose parameters are copied to the output.
+    pub copy: usize,
+}
+
+impl AndOp {
+    /// A conjunction over `inputs` slots copying from slot `copy` (1-based).
+    pub fn new(process: ProcessSchemaId, inputs: usize, copy: usize) -> Self {
+        assert!(inputs >= 2, "And requires at least two inputs");
+        assert!(copy >= 1 && copy <= inputs, "copy must be in 1..=n");
+        AndOp {
+            process,
+            inputs,
+            copy,
+        }
+    }
+}
+
+fn fire(
+    process: ProcessSchemaId,
+    pending: &mut [Option<Event>],
+    copy: usize,
+    completing_time: cmi_core::time::Timestamp,
+    out: &mut Vec<Event>,
+) {
+    let src = pending[copy - 1].as_ref().expect("copy slot filled");
+    let mut e = Event::new(EventType::Canonical(process), completing_time);
+    e.copy_params_from(src);
+    out.push(e);
+    for p in pending.iter_mut() {
+        *p = None;
+    }
+}
+
+impl EventOperator for AndOp {
+    fn op_name(&self) -> String {
+        format!("And[{}, copy={}]/{}", self.process, self.copy, self.inputs)
+    }
+
+    fn arity(&self) -> Arity {
+        Arity::exactly(self.inputs)
+    }
+
+    fn input_type(&self, _slot: usize, _n: usize) -> EventType {
+        EventType::Canonical(self.process)
+    }
+
+    fn output_type(&self) -> EventType {
+        EventType::Canonical(self.process)
+    }
+
+    fn new_state(&self) -> OpState {
+        Box::new(SlotState::default())
+    }
+
+    fn apply(&self, slot: usize, event: &Event, state: &mut OpState, out: &mut Vec<Event>) {
+        let st = state.downcast_mut::<SlotState>().expect("And state");
+        st.ensure(self.inputs);
+        // Latest event per slot wins while waiting.
+        st.pending[slot] = Some(event.clone());
+        if st.pending.iter().all(Option::is_some) {
+            fire(self.process, &mut st.pending, self.copy, event.time, out);
+        }
+    }
+}
+
+/// The sequence operator `Seq[P, copy]`.
+#[derive(Debug, Clone)]
+pub struct SeqOp {
+    /// `P` — the associated process schema.
+    pub process: ProcessSchemaId,
+    /// Declared slot count (`n >= 2`).
+    pub inputs: usize,
+    /// 1-based index of the input whose parameters are copied to the output.
+    pub copy: usize,
+}
+
+impl SeqOp {
+    /// A sequence over `inputs` slots copying from slot `copy` (1-based).
+    pub fn new(process: ProcessSchemaId, inputs: usize, copy: usize) -> Self {
+        assert!(inputs >= 2, "Seq requires at least two inputs");
+        assert!(copy >= 1 && copy <= inputs, "copy must be in 1..=n");
+        SeqOp {
+            process,
+            inputs,
+            copy,
+        }
+    }
+}
+
+impl EventOperator for SeqOp {
+    fn op_name(&self) -> String {
+        format!("Seq[{}, copy={}]/{}", self.process, self.copy, self.inputs)
+    }
+
+    fn arity(&self) -> Arity {
+        Arity::exactly(self.inputs)
+    }
+
+    fn input_type(&self, _slot: usize, _n: usize) -> EventType {
+        EventType::Canonical(self.process)
+    }
+
+    fn output_type(&self) -> EventType {
+        EventType::Canonical(self.process)
+    }
+
+    fn new_state(&self) -> OpState {
+        Box::new(SlotState::default())
+    }
+
+    fn apply(&self, slot: usize, event: &Event, state: &mut OpState, out: &mut Vec<Event>) {
+        let st = state.downcast_mut::<SlotState>().expect("Seq state");
+        st.ensure(self.inputs);
+        // An event registers on slot i only if every earlier slot is filled.
+        let ready = st.pending[..slot].iter().all(Option::is_some);
+        if !ready {
+            return;
+        }
+        st.pending[slot] = Some(event.clone());
+        if st.pending.iter().all(Option::is_some) {
+            fire(self.process, &mut st.pending, self.copy, event.time, out);
+        }
+    }
+}
+
+/// The disjunction operator `Or[P]`: merely echoes every input it receives.
+#[derive(Debug, Clone)]
+pub struct OrOp {
+    /// `P` — the associated process schema.
+    pub process: ProcessSchemaId,
+    /// Declared slot count (`n >= 2`).
+    pub inputs: usize,
+}
+
+impl OrOp {
+    /// A disjunction over `inputs` slots.
+    pub fn new(process: ProcessSchemaId, inputs: usize) -> Self {
+        assert!(inputs >= 2, "Or requires at least two inputs");
+        OrOp { process, inputs }
+    }
+}
+
+impl EventOperator for OrOp {
+    fn op_name(&self) -> String {
+        format!("Or[{}]/{}", self.process, self.inputs)
+    }
+
+    fn arity(&self) -> Arity {
+        Arity::exactly(self.inputs)
+    }
+
+    fn input_type(&self, _slot: usize, _n: usize) -> EventType {
+        EventType::Canonical(self.process)
+    }
+
+    fn output_type(&self) -> EventType {
+        EventType::Canonical(self.process)
+    }
+
+    fn partition(&self) -> PartitionMode {
+        PartitionMode::Stateless
+    }
+
+    fn apply(&self, _slot: usize, event: &Event, _state: &mut OpState, out: &mut Vec<Event>) {
+        out.push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::params;
+    use cmi_core::ids::ProcessInstanceId;
+    use cmi_core::time::Timestamp;
+
+    const P: ProcessSchemaId = ProcessSchemaId(1);
+    const I: ProcessInstanceId = ProcessInstanceId(10);
+
+    fn ev(t: u64, tag: i64) -> Event {
+        Event::canonical(P, I, Timestamp::from_millis(t)).with("tag", tag)
+    }
+
+    fn run(op: &dyn EventOperator, inputs: &[(usize, Event)]) -> Vec<Event> {
+        let mut st = op.new_state();
+        let mut out = Vec::new();
+        for (slot, e) in inputs {
+            op.apply(*slot, e, &mut st, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn and_fires_regardless_of_order_and_resets() {
+        let op = AndOp::new(P, 2, 1);
+        let out = run(
+            &op,
+            &[
+                (1, ev(5, 200)), // slot 2 first
+                (0, ev(7, 100)), // slot 1 completes
+                (0, ev(9, 101)), // new round, slot 1 only
+            ],
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get_int("tag"), Some(100), "copy=1 takes slot 1 params");
+        assert_eq!(out[0].time, Timestamp::from_millis(7), "completing event's time");
+    }
+
+    #[test]
+    fn and_fires_repeatedly_after_reset() {
+        let op = AndOp::new(P, 2, 2);
+        let out = run(
+            &op,
+            &[
+                (0, ev(1, 1)),
+                (1, ev(2, 2)),
+                (0, ev(3, 3)),
+                (1, ev(4, 4)),
+            ],
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].get_int("tag"), Some(2));
+        assert_eq!(out[1].get_int("tag"), Some(4));
+    }
+
+    #[test]
+    fn and_latest_event_per_slot_wins() {
+        let op = AndOp::new(P, 2, 1);
+        let out = run(&op, &[(0, ev(1, 1)), (0, ev(2, 99)), (1, ev(3, 2))]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get_int("tag"), Some(99));
+    }
+
+    #[test]
+    fn and_three_inputs() {
+        let op = AndOp::new(P, 3, 3);
+        let out = run(&op, &[(2, ev(1, 30)), (0, ev(2, 10)), (1, ev(3, 20))]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get_int("tag"), Some(30));
+    }
+
+    #[test]
+    fn seq_requires_slot_order() {
+        let op = SeqOp::new(P, 2, 2);
+        // Out of order: slot 2 before slot 1 is ignored.
+        let out = run(&op, &[(1, ev(1, 2)), (0, ev(2, 1))]);
+        assert!(out.is_empty());
+        // In order fires.
+        let out = run(&op, &[(0, ev(1, 1)), (1, ev(2, 2))]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get_int("tag"), Some(2));
+    }
+
+    #[test]
+    fn seq_three_inputs_strict_order() {
+        let op = SeqOp::new(P, 3, 1);
+        let out = run(
+            &op,
+            &[
+                (0, ev(1, 1)),
+                (2, ev(2, 3)), // ignored, slot 1 not yet filled
+                (1, ev(3, 2)),
+                (2, ev(4, 3)),
+            ],
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get_int("tag"), Some(1));
+        assert_eq!(out[0].time, Timestamp::from_millis(4));
+    }
+
+    #[test]
+    fn or_echoes_everything() {
+        let op = OrOp::new(P, 2);
+        let out = run(&op, &[(0, ev(1, 1)), (1, ev(2, 2)), (0, ev(3, 3))]);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[2].get_int("tag"), Some(3));
+    }
+
+    #[test]
+    fn outputs_preserve_canonical_identity() {
+        let op = AndOp::new(P, 2, 1);
+        let out = run(&op, &[(0, ev(1, 1)), (1, ev(2, 2))]);
+        assert_eq!(out[0].get_id(params::PROCESS_SCHEMA_ID), Some(P.raw()));
+        assert_eq!(out[0].get_id(params::PROCESS_INSTANCE_ID), Some(I.raw()));
+        assert_eq!(out[0].etype, EventType::Canonical(P));
+    }
+
+    #[test]
+    #[should_panic(expected = "copy must be in 1..=n")]
+    fn and_rejects_bad_copy() {
+        AndOp::new(P, 2, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two inputs")]
+    fn seq_rejects_single_input() {
+        SeqOp::new(P, 1, 1);
+    }
+}

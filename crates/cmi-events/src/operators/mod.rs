@@ -1,0 +1,17 @@
+//! The AM event operator taxonomy (§5.1.3): filtering, generic, count,
+//! comparison and process invocation operators, plus the implementation's
+//! output operator (§6.2).
+
+pub mod compare;
+pub mod count;
+pub mod filters;
+pub mod logic;
+pub mod output;
+pub mod translate;
+
+pub use compare::{Compare1Op, Compare2Op};
+pub use count::CountOp;
+pub use filters::{ActivityFilter, ContextFilter, ExternalFilter};
+pub use logic::{AndOp, OrOp, SeqOp};
+pub use output::{OutputOp, DESCRIPTION_PARAM};
+pub use translate::TranslateOp;

@@ -1,0 +1,99 @@
+//! The output event operator (§6.2).
+//!
+//! The root of every awareness schema in the CMI implementation is a special
+//! *output* operator that adds delivery instructions to its input event. It
+//! is "an artifact of the implementation that simplifies the awareness
+//! specification user interface": in this crate it is an identity
+//! pass-through that stamps the event with the awareness schema's description
+//! so downstream components (the delivery agent in `cmi-awareness`) can
+//! resolve the awareness delivery role and role assignment associated with
+//! the spec root.
+
+use cmi_core::ids::ProcessSchemaId;
+
+use crate::event::{Event, EventType};
+use crate::operator::{Arity, EventOperator, OpState, PartitionMode};
+
+/// Well-known parameter carrying the human-readable event description the
+/// output operator stamps onto detected events.
+pub const DESCRIPTION_PARAM: &str = "awarenessDescription";
+
+/// The output operator: identity plus delivery annotation.
+#[derive(Debug, Clone)]
+pub struct OutputOp {
+    /// `P` — the associated process schema.
+    pub process: ProcessSchemaId,
+    /// A user-friendly description of the detected event, shown to
+    /// participants by the awareness information viewer.
+    pub description: String,
+}
+
+impl OutputOp {
+    /// An output node for process schema `p` with the given description.
+    pub fn new(process: ProcessSchemaId, description: &str) -> Self {
+        OutputOp {
+            process,
+            description: description.to_owned(),
+        }
+    }
+}
+
+impl EventOperator for OutputOp {
+    fn op_name(&self) -> String {
+        format!("Output[{}]", self.process)
+    }
+
+    fn fingerprint(&self) -> String {
+        // Output nodes are never shared between awareness schemas: each
+        // schema has its own delivery instructions.
+        format!("Output[{}, {:?}]", self.process, self.description)
+    }
+
+    fn arity(&self) -> Arity {
+        Arity::exactly(1)
+    }
+
+    fn input_type(&self, _slot: usize, _n: usize) -> EventType {
+        EventType::Canonical(self.process)
+    }
+
+    fn output_type(&self) -> EventType {
+        EventType::Canonical(self.process)
+    }
+
+    fn partition(&self) -> PartitionMode {
+        PartitionMode::Stateless
+    }
+
+    fn apply(&self, _slot: usize, event: &Event, _state: &mut OpState, out: &mut Vec<Event>) {
+        let mut e = event.clone();
+        e.set(DESCRIPTION_PARAM, self.description.as_str());
+        out.push(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_core::ids::ProcessInstanceId;
+    use cmi_core::time::Timestamp;
+
+    #[test]
+    fn output_stamps_description() {
+        let op = OutputOp::new(ProcessSchemaId(1), "deadline violation");
+        let mut st = op.new_state();
+        let mut out = Vec::new();
+        let e = Event::canonical(ProcessSchemaId(1), ProcessInstanceId(2), Timestamp::EPOCH);
+        op.apply(0, &e, &mut st, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get_str(DESCRIPTION_PARAM), Some("deadline violation"));
+    }
+
+    #[test]
+    fn distinct_descriptions_have_distinct_fingerprints() {
+        let a = OutputOp::new(ProcessSchemaId(1), "x");
+        let b = OutputOp::new(ProcessSchemaId(1), "y");
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.op_name(), b.op_name());
+    }
+}

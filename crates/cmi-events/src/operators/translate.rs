@@ -1,0 +1,209 @@
+//! The process invocation event operator (§5.1.3).
+//!
+//! `Translate[P_invoking, P_invoked, Av](T_activity, C_P_invoked) ->
+//! C_P_invoking` is the only operator that translates events associated with
+//! one process schema into events associated with another. The translation is
+//! meaningful only when one process instance invokes the other as a
+//! subprocess: the activity-event input teaches the operator *which* invoked
+//! instances belong to *which* invoking instances (via activity variable
+//! `Av`), and canonical events of the invoked process are then re-addressed
+//! to the invoking instance. Events of invoked instances not created through
+//! `Av` are ignored.
+//!
+//! To combine events from two process instances not directly related through
+//! a subactivity invocation, the processing must occur in a common ancestor,
+//! with one `Translate` per invocation step — exactly as the paper notes.
+
+use std::collections::BTreeMap;
+
+use cmi_core::ids::{ActivityVarId, ProcessSchemaId};
+
+use crate::event::{params, Event, EventType};
+use crate::operator::{Arity, EventOperator, OpState, PartitionMode};
+
+/// Global state: invoked instance id → invoking instance id.
+type InvocationMap = BTreeMap<u64, u64>;
+
+/// The `Translate[P_invoking, P_invoked, Av]` operator.
+#[derive(Debug, Clone)]
+pub struct TranslateOp {
+    /// The invoking (parent) process schema.
+    pub invoking: ProcessSchemaId,
+    /// The invoked (child) process schema.
+    pub invoked: ProcessSchemaId,
+    /// The activity variable in the invoking schema through which the
+    /// subprocess is invoked.
+    pub var: ActivityVarId,
+}
+
+impl TranslateOp {
+    /// A translation from `invoked` events into `invoking` events through
+    /// activity variable `var`.
+    pub fn new(invoking: ProcessSchemaId, invoked: ProcessSchemaId, var: ActivityVarId) -> Self {
+        TranslateOp {
+            invoking,
+            invoked,
+            var,
+        }
+    }
+}
+
+impl EventOperator for TranslateOp {
+    fn op_name(&self) -> String {
+        format!(
+            "Translate[{}, {}, {}]",
+            self.invoking, self.invoked, self.var
+        )
+    }
+
+    fn arity(&self) -> Arity {
+        Arity::exactly(2)
+    }
+
+    fn input_type(&self, slot: usize, _n: usize) -> EventType {
+        if slot == 0 {
+            EventType::Activity
+        } else {
+            EventType::Canonical(self.invoked)
+        }
+    }
+
+    fn output_type(&self) -> EventType {
+        EventType::Canonical(self.invoking)
+    }
+
+    /// Correlates across instances, so its state is engine-global.
+    fn partition(&self) -> PartitionMode {
+        PartitionMode::Global
+    }
+
+    fn new_state(&self) -> OpState {
+        Box::new(InvocationMap::new())
+    }
+
+    fn apply(&self, slot: usize, event: &Event, state: &mut OpState, out: &mut Vec<Event>) {
+        let map = state.downcast_mut::<InvocationMap>().expect("Translate state");
+        match slot {
+            0 => {
+                // Learn invocations: a state change of an activity that (a)
+                // sits in the invoking schema, (b) fills variable Av, and (c)
+                // is itself an instance of the invoked process schema. The
+                // subactivity's instance id *is* the invoked process
+                // instance id.
+                if event.get_id(params::PARENT_PROCESS_SCHEMA_ID) != Some(self.invoking.raw())
+                    || event.get_id(params::ACTIVITY_VAR_ID) != Some(self.var.raw())
+                    || event.get_id(params::ACTIVITY_PROCESS_SCHEMA_ID)
+                        != Some(self.invoked.raw())
+                {
+                    return;
+                }
+                let (Some(child), Some(parent)) = (
+                    event.get_id(params::ACTIVITY_INSTANCE_ID),
+                    event.get_id(params::PARENT_PROCESS_INSTANCE_ID),
+                ) else {
+                    return;
+                };
+                map.insert(child, parent);
+            }
+            _ => {
+                // Translate canonical events of known invoked instances.
+                let Some(child) = event.get_id(params::PROCESS_INSTANCE_ID) else {
+                    return;
+                };
+                let Some(&parent) = map.get(&child) else {
+                    return; // not invoked through Av — ignore
+                };
+                let mut e = event.clone();
+                e.etype = EventType::Canonical(self.invoking);
+                e.set(params::PROCESS_SCHEMA_ID, cmi_core::value::Value::Id(self.invoking.raw()));
+                e.set(params::PROCESS_INSTANCE_ID, cmi_core::value::Value::Id(parent));
+                out.push(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::producers::activity_event;
+    use cmi_core::ids::{ActivityInstanceId, ProcessInstanceId};
+    use cmi_core::instance::ActivityStateChange;
+    use cmi_core::time::Timestamp;
+
+    const PARENT: ProcessSchemaId = ProcessSchemaId(1);
+    const CHILD: ProcessSchemaId = ProcessSchemaId(2);
+    const AV: ActivityVarId = ActivityVarId(7);
+
+    fn invocation_event(child_instance: u64, parent_instance: u64, var: u64) -> Event {
+        activity_event(&ActivityStateChange {
+            time: Timestamp::EPOCH,
+            activity_instance_id: ActivityInstanceId(child_instance),
+            parent_process_schema_id: Some(PARENT),
+            parent_process_instance_id: Some(ProcessInstanceId(parent_instance)),
+            user: None,
+            activity_var_id: Some(ActivityVarId(var)),
+            activity_process_schema_id: Some(CHILD),
+            old_state: "Uninitialized".into(),
+            new_state: "Ready".into(),
+        })
+    }
+
+    fn child_canonical(instance: u64, tag: i64) -> Event {
+        Event::canonical(CHILD, ProcessInstanceId(instance), Timestamp::from_millis(5))
+            .with("tag", tag)
+    }
+
+    #[test]
+    fn translates_events_of_invoked_instances() {
+        let op = TranslateOp::new(PARENT, CHILD, AV);
+        let mut st = op.new_state();
+        let mut out = Vec::new();
+        op.apply(0, &invocation_event(100, 10, AV.raw()), &mut st, &mut out);
+        assert!(out.is_empty(), "learning an invocation emits nothing");
+        op.apply(1, &child_canonical(100, 42), &mut st, &mut out);
+        assert_eq!(out.len(), 1);
+        let e = &out[0];
+        assert_eq!(e.etype, EventType::Canonical(PARENT));
+        assert_eq!(e.process_schema(), Some(PARENT));
+        assert_eq!(e.process_instance(), Some(ProcessInstanceId(10)));
+        assert_eq!(e.get_int("tag"), Some(42), "payload preserved");
+    }
+
+    #[test]
+    fn ignores_instances_not_invoked_through_av() {
+        let op = TranslateOp::new(PARENT, CHILD, AV);
+        let mut st = op.new_state();
+        let mut out = Vec::new();
+        // Invocation through a different variable is not learned.
+        op.apply(0, &invocation_event(100, 10, 999), &mut st, &mut out);
+        op.apply(1, &child_canonical(100, 1), &mut st, &mut out);
+        assert!(out.is_empty());
+        // Unknown instance entirely.
+        op.apply(1, &child_canonical(200, 2), &mut st, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multiple_invocations_route_to_their_parents() {
+        let op = TranslateOp::new(PARENT, CHILD, AV);
+        let mut st = op.new_state();
+        let mut out = Vec::new();
+        op.apply(0, &invocation_event(100, 10, AV.raw()), &mut st, &mut out);
+        op.apply(0, &invocation_event(101, 11, AV.raw()), &mut st, &mut out);
+        op.apply(1, &child_canonical(101, 1), &mut st, &mut out);
+        op.apply(1, &child_canonical(100, 2), &mut st, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].process_instance(), Some(ProcessInstanceId(11)));
+        assert_eq!(out[1].process_instance(), Some(ProcessInstanceId(10)));
+    }
+
+    #[test]
+    fn signature_slots_are_typed_differently() {
+        let op = TranslateOp::new(PARENT, CHILD, AV);
+        assert_eq!(op.input_type(0, 2), EventType::Activity);
+        assert_eq!(op.input_type(1, 2), EventType::Canonical(CHILD));
+        assert_eq!(op.output_type(), EventType::Canonical(PARENT));
+        assert_eq!(op.partition(), PartitionMode::Global);
+    }
+}

@@ -1,0 +1,251 @@
+//! Primitive event producers (§5.1.1).
+//!
+//! CMI currently implements two producers: **activity state change events**
+//! (`E_activity`, gathered at the Coordination Engine) and **context field
+//! change events** (`E_context`, gathered from the CORE Engine). AM is open:
+//! application-specific **external** producers (e.g. a news service) can be
+//! added, identified by a source name.
+//!
+//! This module converts the structured records emitted by `cmi-core` into
+//! self-contained [`Event`]s with exactly the parameter lists of §5.1.1.
+
+use cmi_core::context::ContextFieldChange;
+use cmi_core::instance::ActivityStateChange;
+use cmi_core::time::Timestamp;
+use cmi_core::value::Value;
+
+use crate::event::{params, Event, EventType};
+
+/// Identity of a primitive event producer; the leaves of awareness
+/// description DAGs reference one of these.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Producer {
+    /// `E_activity` — the single source of activity state change events.
+    Activity,
+    /// `E_context` — the single source of context field change events.
+    Context,
+    /// An application-specific external source, by name.
+    External(String),
+}
+
+impl Producer {
+    /// The event type the producer emits.
+    pub fn event_type(&self) -> EventType {
+        match self {
+            Producer::Activity => EventType::Activity,
+            Producer::Context => EventType::Context,
+            Producer::External(n) => EventType::External(n.clone()),
+        }
+    }
+
+    /// Display name used in rendered specification DAGs (diamonds in Fig. 6).
+    pub fn display_name(&self) -> String {
+        match self {
+            Producer::Activity => "Activity Event".to_owned(),
+            Producer::Context => "Context Event".to_owned(),
+            Producer::External(n) => format!("External Event ({n})"),
+        }
+    }
+}
+
+impl std::fmt::Display for Producer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Producer::Activity => write!(f, "E_activity"),
+            Producer::Context => write!(f, "E_context"),
+            Producer::External(n) => write!(f, "E_ext({n})"),
+        }
+    }
+}
+
+/// Converts an activity state change into its `T_activity` event (§5.1.1).
+pub fn activity_event(c: &ActivityStateChange) -> Event {
+    let mut e = Event::new(EventType::Activity, c.time)
+        .with(
+            params::ACTIVITY_INSTANCE_ID,
+            Value::Id(c.activity_instance_id.raw()),
+        )
+        .with(params::OLD_STATE, c.old_state.as_str())
+        .with(params::NEW_STATE, c.new_state.as_str());
+    if let Some(ps) = c.parent_process_schema_id {
+        e.set(params::PARENT_PROCESS_SCHEMA_ID, Value::Id(ps.raw()));
+    }
+    if let Some(pi) = c.parent_process_instance_id {
+        e.set(params::PARENT_PROCESS_INSTANCE_ID, Value::Id(pi.raw()));
+    }
+    if let Some(u) = c.user {
+        e.set(params::USER, Value::User(u));
+    }
+    if let Some(v) = c.activity_var_id {
+        e.set(params::ACTIVITY_VAR_ID, Value::Id(v.raw()));
+    }
+    if let Some(aps) = c.activity_process_schema_id {
+        e.set(params::ACTIVITY_PROCESS_SCHEMA_ID, Value::Id(aps.raw()));
+    }
+    e
+}
+
+/// Converts a context field change into its `T_context` event (§5.1.1). The
+/// process association set is encoded as a list of `[schemaId, instanceId]`
+/// pairs in the `processes` parameter.
+pub fn context_event(c: &ContextFieldChange) -> Event {
+    let processes = Value::List(
+        c.processes
+            .iter()
+            .map(|(ps, pi)| Value::List(vec![Value::Id(ps.raw()), Value::Id(pi.raw())]))
+            .collect(),
+    );
+    let mut e = Event::new(EventType::Context, c.time)
+        .with(params::CONTEXT_ID, Value::Id(c.context_id.raw()))
+        .with(params::CONTEXT_NAME, c.context_name.as_str())
+        .with(params::PROCESSES, processes)
+        .with(params::FIELD_NAME, c.field_name.as_str())
+        .with(params::NEW_VALUE, c.new_value.clone());
+    if let Some(old) = &c.old_value {
+        e.set(params::OLD_VALUE, old.clone());
+    }
+    e
+}
+
+/// Builds an application-specific external event from `source` with the
+/// given parameters.
+pub fn external_event(
+    source: &str,
+    time: Timestamp,
+    fields: impl IntoIterator<Item = (String, Value)>,
+) -> Event {
+    let mut e = Event::new(EventType::External(source.to_owned()), time)
+        .with(params::SOURCE, source);
+    for (k, v) in fields {
+        e.params.insert(k, v);
+    }
+    e
+}
+
+/// Decodes the `processes` parameter of a `T_context` event back into
+/// `(schema, instance)` raw-id pairs.
+pub fn decode_processes(e: &Event) -> Vec<(u64, u64)> {
+    let Some(Value::List(items)) = e.get(params::PROCESSES) else {
+        return Vec::new();
+    };
+    items
+        .iter()
+        .filter_map(|it| match it {
+            Value::List(pair) => match (pair.first(), pair.get(1)) {
+                (Some(Value::Id(a)), Some(Value::Id(b))) => Some((*a, *b)),
+                _ => None,
+            },
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_core::ids::{
+        ActivityInstanceId, ActivityVarId, ContextId, ProcessInstanceId, ProcessSchemaId, UserId,
+    };
+
+    fn sample_activity_change() -> ActivityStateChange {
+        ActivityStateChange {
+            time: Timestamp::from_millis(1000),
+            activity_instance_id: ActivityInstanceId(5),
+            parent_process_schema_id: Some(ProcessSchemaId(2)),
+            parent_process_instance_id: Some(ProcessInstanceId(7)),
+            user: Some(UserId(3)),
+            activity_var_id: Some(ActivityVarId(11)),
+            activity_process_schema_id: None,
+            old_state: "Ready".into(),
+            new_state: "Running".into(),
+        }
+    }
+
+    #[test]
+    fn activity_event_carries_all_paper_parameters() {
+        let e = activity_event(&sample_activity_change());
+        assert_eq!(e.etype, EventType::Activity);
+        assert_eq!(e.time, Timestamp::from_millis(1000));
+        assert_eq!(e.get_id(params::ACTIVITY_INSTANCE_ID), Some(5));
+        assert_eq!(e.get_id(params::PARENT_PROCESS_SCHEMA_ID), Some(2));
+        assert_eq!(e.get_id(params::PARENT_PROCESS_INSTANCE_ID), Some(7));
+        assert_eq!(e.get(params::USER), Some(&Value::User(UserId(3))));
+        assert_eq!(e.get_id(params::ACTIVITY_VAR_ID), Some(11));
+        assert_eq!(e.get_str(params::OLD_STATE), Some("Ready"));
+        assert_eq!(e.get_str(params::NEW_STATE), Some("Running"));
+        assert!(e.get(params::ACTIVITY_PROCESS_SCHEMA_ID).is_none());
+    }
+
+    #[test]
+    fn top_level_process_event_sets_process_schema_param() {
+        let mut c = sample_activity_change();
+        c.parent_process_schema_id = None;
+        c.parent_process_instance_id = None;
+        c.activity_var_id = None;
+        c.activity_process_schema_id = Some(ProcessSchemaId(9));
+        let e = activity_event(&c);
+        assert_eq!(e.get_id(params::ACTIVITY_PROCESS_SCHEMA_ID), Some(9));
+        assert!(e.get(params::PARENT_PROCESS_SCHEMA_ID).is_none());
+    }
+
+    #[test]
+    fn context_event_encodes_process_tuples() {
+        let c = ContextFieldChange {
+            time: Timestamp::from_millis(9),
+            context_id: ContextId(4),
+            context_name: "TaskForceContext".into(),
+            processes: vec![
+                (ProcessSchemaId(1), ProcessInstanceId(10)),
+                (ProcessSchemaId(2), ProcessInstanceId(20)),
+            ],
+            field_name: "TaskForceDeadline".into(),
+            old_value: Some(Value::Int(1)),
+            new_value: Value::Int(2),
+        };
+        let e = context_event(&c);
+        assert_eq!(e.get_str(params::CONTEXT_NAME), Some("TaskForceContext"));
+        assert_eq!(e.get_str(params::FIELD_NAME), Some("TaskForceDeadline"));
+        assert_eq!(e.get(params::OLD_VALUE), Some(&Value::Int(1)));
+        assert_eq!(e.get(params::NEW_VALUE), Some(&Value::Int(2)));
+        assert_eq!(decode_processes(&e), vec![(1, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn context_event_without_old_value() {
+        let c = ContextFieldChange {
+            time: Timestamp::EPOCH,
+            context_id: ContextId(1),
+            context_name: "C".into(),
+            processes: vec![],
+            field_name: "f".into(),
+            old_value: None,
+            new_value: Value::Bool(true),
+        };
+        let e = context_event(&c);
+        assert!(e.get(params::OLD_VALUE).is_none());
+        assert_eq!(decode_processes(&e), vec![]);
+    }
+
+    #[test]
+    fn external_event_has_source_and_fields() {
+        let e = external_event(
+            "news-service",
+            Timestamp::from_millis(3),
+            vec![("queryId".to_owned(), Value::Id(42))],
+        );
+        assert_eq!(e.etype, EventType::External("news-service".into()));
+        assert_eq!(e.get_str(params::SOURCE), Some("news-service"));
+        assert_eq!(e.get_id("queryId"), Some(42));
+    }
+
+    #[test]
+    fn producer_types_and_names() {
+        assert_eq!(Producer::Activity.event_type(), EventType::Activity);
+        assert_eq!(
+            Producer::External("news".into()).event_type(),
+            EventType::External("news".into())
+        );
+        assert_eq!(Producer::Context.display_name(), "Context Event");
+        assert_eq!(Producer::Activity.to_string(), "E_activity");
+    }
+}

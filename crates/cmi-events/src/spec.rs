@@ -1,0 +1,439 @@
+//! Composite event specifications (§5.1).
+//!
+//! A *composite event specification* is a rooted, directed acyclic graph
+//! whose leaves are primitive event producers, whose non-leaves are event
+//! operator instances, and whose edges are typed event streams connecting
+//! producers to the consuming slots of operator instances. Events output from
+//! the root are *detected* by the specification.
+//!
+//! The builder validates each connection as it is made: slot cardinality must
+//! be within the operator's arity and the producing node's output type must
+//! conform to the consuming slot's input type. Acyclicity holds by
+//! construction (a node may only consume previously created nodes).
+
+use std::fmt;
+use std::sync::Arc;
+
+use cmi_core::ids::SpecId;
+
+use crate::event::EventType;
+use crate::operator::EventOperator;
+use crate::producers::Producer;
+
+/// Index of a node within one specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One node of a specification DAG.
+#[derive(Clone)]
+pub enum SpecNode {
+    /// A leaf: a primitive event producer.
+    Producer(Producer),
+    /// An interior node: an operator instance with its ordered input slots.
+    Operator {
+        /// The operator instance.
+        op: Arc<dyn EventOperator>,
+        /// The producing node feeding each slot, in slot order.
+        inputs: Vec<NodeId>,
+    },
+}
+
+impl SpecNode {
+    /// The event type this node outputs.
+    pub fn output_type(&self) -> EventType {
+        match self {
+            SpecNode::Producer(p) => p.event_type(),
+            SpecNode::Operator { op, .. } => op.output_type(),
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            SpecNode::Producer(p) => p.display_name(),
+            SpecNode::Operator { op, .. } => op.op_name(),
+        }
+    }
+
+    /// Structural fingerprint (for shared-node merging).
+    pub fn fingerprint(&self) -> String {
+        match self {
+            SpecNode::Producer(p) => format!("producer:{p}"),
+            SpecNode::Operator { op, .. } => format!("op:{}", op.fingerprint()),
+        }
+    }
+}
+
+impl fmt::Debug for SpecNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecNode::Producer(p) => write!(f, "Producer({p})"),
+            SpecNode::Operator { op, inputs } => {
+                write!(f, "Operator({}, inputs={inputs:?})", op.op_name())
+            }
+        }
+    }
+}
+
+/// Errors raised while constructing a specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// Referenced a node id not present in the builder.
+    UnknownNode(NodeId),
+    /// The number of inputs is outside the operator's arity.
+    BadArity {
+        /// The operator's name.
+        op: String,
+        /// Inputs supplied.
+        got: usize,
+        /// Accepted arity, rendered.
+        accepts: String,
+    },
+    /// The event type feeding a slot does not conform to the slot's type.
+    TypeMismatch {
+        /// The operator's name.
+        op: String,
+        /// Slot index (0-based).
+        slot: usize,
+        /// Required type.
+        expected: String,
+        /// Supplied type.
+        got: String,
+    },
+    /// The designated root is a producer; a specification's root must be an
+    /// operator instance.
+    RootIsProducer,
+    /// A node is unreachable from the root (dangling work).
+    UnreachableNode(NodeId),
+    /// The builder contains no nodes.
+    Empty,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            SpecError::BadArity { op, got, accepts } => {
+                write!(f, "operator {op} accepts {accepts} inputs, got {got}")
+            }
+            SpecError::TypeMismatch {
+                op,
+                slot,
+                expected,
+                got,
+            } => write!(
+                f,
+                "operator {op} slot {slot} requires {expected}, got {got}"
+            ),
+            SpecError::RootIsProducer => write!(f, "specification root must be an operator"),
+            SpecError::UnreachableNode(n) => {
+                write!(f, "node {n:?} is unreachable from the root")
+            }
+            SpecError::Empty => write!(f, "specification has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A validated composite event specification.
+#[derive(Debug, Clone)]
+pub struct CompositeEventSpec {
+    id: SpecId,
+    name: String,
+    nodes: Vec<SpecNode>,
+    root: NodeId,
+}
+
+impl CompositeEventSpec {
+    /// The specification's id.
+    pub fn id(&self) -> SpecId {
+        self.id
+    }
+    /// The specification's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+    /// All nodes, in creation (hence topological) order.
+    pub fn nodes(&self) -> &[SpecNode] {
+        &self.nodes
+    }
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+    /// The event type detected by the specification.
+    pub fn detected_type(&self) -> EventType {
+        self.nodes[self.root.index()].output_type()
+    }
+    /// Number of operator nodes (excludes producer leaves).
+    pub fn operator_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, SpecNode::Operator { .. }))
+            .count()
+    }
+}
+
+/// Builder for [`CompositeEventSpec`].
+#[derive(Default)]
+pub struct SpecBuilder {
+    nodes: Vec<SpecNode>,
+}
+
+impl SpecBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        SpecBuilder::default()
+    }
+
+    /// Adds (or reuses) a producer leaf. The same producer is a single leaf
+    /// no matter how many operators consume it — the specification window
+    /// "always contains distinct representations for each of the primitive
+    /// event sources" (§6.2).
+    pub fn producer(&mut self, p: Producer) -> NodeId {
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let SpecNode::Producer(existing) = n {
+                if *existing == p {
+                    return NodeId(i as u32);
+                }
+            }
+        }
+        self.nodes.push(SpecNode::Producer(p));
+        NodeId((self.nodes.len() - 1) as u32)
+    }
+
+    /// Adds an operator node consuming the given inputs (slot order).
+    /// Validates arity and slot types immediately.
+    pub fn operator(
+        &mut self,
+        op: Arc<dyn EventOperator>,
+        inputs: &[NodeId],
+    ) -> Result<NodeId, SpecError> {
+        if !op.arity().accepts(inputs.len()) {
+            return Err(SpecError::BadArity {
+                op: op.op_name(),
+                got: inputs.len(),
+                accepts: op.arity().to_string(),
+            });
+        }
+        for (slot, input) in inputs.iter().enumerate() {
+            let node = self
+                .nodes
+                .get(input.index())
+                .ok_or(SpecError::UnknownNode(*input))?;
+            let expected = op.input_type(slot, inputs.len());
+            let got = node.output_type();
+            if expected != got {
+                return Err(SpecError::TypeMismatch {
+                    op: op.op_name(),
+                    slot,
+                    expected: expected.to_string(),
+                    got: got.to_string(),
+                });
+            }
+        }
+        self.nodes.push(SpecNode::Operator {
+            op,
+            inputs: inputs.to_vec(),
+        });
+        Ok(NodeId((self.nodes.len() - 1) as u32))
+    }
+
+    /// Freezes the specification with `root` as its root. Every node must be
+    /// reachable from the root and the root must be an operator.
+    pub fn build(
+        self,
+        id: SpecId,
+        name: &str,
+        root: NodeId,
+    ) -> Result<CompositeEventSpec, SpecError> {
+        if self.nodes.is_empty() {
+            return Err(SpecError::Empty);
+        }
+        let root_node = self
+            .nodes
+            .get(root.index())
+            .ok_or(SpecError::UnknownNode(root))?;
+        if matches!(root_node, SpecNode::Producer(_)) {
+            return Err(SpecError::RootIsProducer);
+        }
+        // Reachability from the root (downward through inputs).
+        let mut reached = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        reached[root.index()] = true;
+        while let Some(n) = stack.pop() {
+            if let SpecNode::Operator { inputs, .. } = &self.nodes[n.index()] {
+                for i in inputs {
+                    if !reached[i.index()] {
+                        reached[i.index()] = true;
+                        stack.push(*i);
+                    }
+                }
+            }
+        }
+        if let Some(i) = reached.iter().position(|r| !r) {
+            return Err(SpecError::UnreachableNode(NodeId(i as u32)));
+        }
+        Ok(CompositeEventSpec {
+            id,
+            name: name.to_owned(),
+            nodes: self.nodes,
+            root,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::{AndOp, Compare2Op, ContextFilter, OutputOp};
+    use crate::operator::CmpOp;
+    use cmi_core::ids::ProcessSchemaId;
+
+    const P: ProcessSchemaId = ProcessSchemaId(1);
+
+    #[test]
+    fn build_the_section_5_4_awareness_description() {
+        // AD_InfoRequest = Compare2[InfoRequest, <=](op1, op2) with
+        // op1/op2 context filters over E_context.
+        let mut b = SpecBuilder::new();
+        let ctx = b.producer(Producer::Context);
+        let op1 = b
+            .operator(
+                Arc::new(ContextFilter::new(P, "TaskForceContext", "TaskForceDeadline")),
+                &[ctx],
+            )
+            .unwrap();
+        let op2 = b
+            .operator(
+                Arc::new(ContextFilter::new(P, "InfoRequestContext", "RequestDeadline")),
+                &[ctx],
+            )
+            .unwrap();
+        let cmp = b
+            .operator(Arc::new(Compare2Op::new(P, CmpOp::Le)), &[op1, op2])
+            .unwrap();
+        let out = b
+            .operator(Arc::new(OutputOp::new(P, "deadline violation")), &[cmp])
+            .unwrap();
+        let spec = b.build(SpecId(1), "AS_InfoRequest", out).unwrap();
+        assert_eq!(spec.operator_count(), 4);
+        assert_eq!(spec.nodes().len(), 5, "one shared producer leaf");
+        assert_eq!(spec.detected_type(), EventType::Canonical(P));
+    }
+
+    #[test]
+    fn producer_leaves_are_shared() {
+        let mut b = SpecBuilder::new();
+        let a = b.producer(Producer::Context);
+        let c = b.producer(Producer::Context);
+        assert_eq!(a, c);
+        let d = b.producer(Producer::Activity);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn arity_violation_is_rejected() {
+        let mut b = SpecBuilder::new();
+        let ctx = b.producer(Producer::Context);
+        let f = b
+            .operator(Arc::new(ContextFilter::new(P, "C", "f")), &[ctx])
+            .unwrap();
+        let err = b
+            .operator(Arc::new(AndOp::new(P, 2, 1)), &[f])
+            .unwrap_err();
+        assert!(matches!(err, SpecError::BadArity { .. }));
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let mut b = SpecBuilder::new();
+        let ctx = b.producer(Producer::Context);
+        // And consumes canonical events, not raw context events.
+        let err = b
+            .operator(Arc::new(AndOp::new(P, 2, 1)), &[ctx, ctx])
+            .unwrap_err();
+        match err {
+            SpecError::TypeMismatch { slot, expected, got, .. } => {
+                assert_eq!(slot, 0);
+                assert_eq!(expected, "C_as1");
+                assert_eq!(got, "T_context");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_schema_canonical_types_do_not_mix() {
+        let mut b = SpecBuilder::new();
+        let ctx = b.producer(Producer::Context);
+        let f1 = b
+            .operator(Arc::new(ContextFilter::new(ProcessSchemaId(1), "C", "f")), &[ctx])
+            .unwrap();
+        let f2 = b
+            .operator(Arc::new(ContextFilter::new(ProcessSchemaId(2), "C", "f")), &[ctx])
+            .unwrap();
+        // And over schema 1 cannot consume schema 2's canonical stream.
+        let err = b
+            .operator(
+                Arc::new(AndOp::new(ProcessSchemaId(1), 2, 1)),
+                &[f1, f2],
+            )
+            .unwrap_err();
+        assert!(matches!(err, SpecError::TypeMismatch { slot: 1, .. }));
+    }
+
+    #[test]
+    fn root_must_be_operator_and_cover_all_nodes() {
+        let mut b = SpecBuilder::new();
+        let ctx = b.producer(Producer::Context);
+        assert!(matches!(
+            b.build(SpecId(1), "bad", ctx),
+            Err(SpecError::RootIsProducer)
+        ));
+
+        let mut b = SpecBuilder::new();
+        let ctx = b.producer(Producer::Context);
+        let f1 = b
+            .operator(Arc::new(ContextFilter::new(P, "C", "f")), &[ctx])
+            .unwrap();
+        let _dangling = b
+            .operator(Arc::new(ContextFilter::new(P, "C", "g")), &[ctx])
+            .unwrap();
+        let err = b.build(SpecId(1), "bad", f1).unwrap_err();
+        assert!(matches!(err, SpecError::UnreachableNode(_)));
+    }
+
+    #[test]
+    fn empty_and_unknown_node_errors() {
+        let b = SpecBuilder::new();
+        assert!(matches!(
+            b.build(SpecId(1), "e", NodeId(0)),
+            Err(SpecError::Empty)
+        ));
+        let mut b = SpecBuilder::new();
+        let _ = b.producer(Producer::Context);
+        let err = b
+            .operator(Arc::new(ContextFilter::new(P, "C", "f")), &[NodeId(99)])
+            .unwrap_err();
+        assert!(matches!(err, SpecError::UnknownNode(_)));
+    }
+
+    #[test]
+    fn spec_error_display() {
+        let e = SpecError::BadArity {
+            op: "And".into(),
+            got: 1,
+            accepts: "2".into(),
+        };
+        assert_eq!(e.to_string(), "operator And accepts 2 inputs, got 1");
+    }
+}

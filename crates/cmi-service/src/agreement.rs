@@ -1,0 +1,303 @@
+//! Service agreements and their monitoring.
+//!
+//! When a process invokes a service, consumer and provider enter a *service
+//! agreement*: the provider will complete the invocation within an agreed
+//! duration. The agreement store tracks open agreements against the scenario
+//! clock; violations are detected either on completion (late finish) or
+//! while still open (deadline passed), and are published as
+//! application-specific external events so awareness specifications can
+//! route them (§5.1.1's openness to event sources "from automated systems
+//! not directly modeled in the business process").
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use cmi_core::error::{CoreError, CoreResult};
+use cmi_core::ids::{ActivityInstanceId, IdGen, ProcessInstanceId, UserId};
+use cmi_core::time::{Clock, Duration, Timestamp};
+use cmi_core::value::Value;
+
+use crate::registry::ProviderId;
+
+/// Identifies an agreement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AgreementId(pub u64);
+
+impl fmt::Display for AgreementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "agr{}", self.0)
+    }
+}
+
+/// Lifecycle of an agreement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgreementStatus {
+    /// The invocation is running and within its agreed window.
+    Open,
+    /// Completed within the agreed duration.
+    Fulfilled,
+    /// Completed, but after the agreed deadline.
+    ViolatedLate,
+    /// Deadline passed while still open.
+    ViolatedOverdue,
+}
+
+/// One service agreement.
+#[derive(Debug, Clone)]
+pub struct Agreement {
+    /// The agreement's id.
+    pub id: AgreementId,
+    /// The service name.
+    pub service: String,
+    /// The selected provider.
+    pub provider: ProviderId,
+    /// The consuming process instance.
+    pub consumer: ProcessInstanceId,
+    /// The activity instance performing the invocation.
+    pub invocation: ActivityInstanceId,
+    /// The user who requested the service.
+    pub requested_by: Option<UserId>,
+    /// When the agreement was made.
+    pub agreed_at: Timestamp,
+    /// Completion due by this time.
+    pub due_by: Timestamp,
+    /// Current status.
+    pub status: AgreementStatus,
+}
+
+impl Agreement {
+    /// True once the agreement is in a violated state.
+    pub fn is_violated(&self) -> bool {
+        matches!(
+            self.status,
+            AgreementStatus::ViolatedLate | AgreementStatus::ViolatedOverdue
+        )
+    }
+}
+
+/// The external event source name under which agreement violations are
+/// published to the awareness engine.
+pub const VIOLATION_SOURCE: &str = "service-agreements";
+
+/// A violation notice, as external-event fields.
+pub fn violation_event_fields(a: &Agreement) -> Vec<(String, Value)> {
+    vec![
+        ("agreementId".to_owned(), Value::Id(a.id.0)),
+        ("service".to_owned(), Value::from(a.service.as_str())),
+        ("providerId".to_owned(), Value::Id(a.provider.0)),
+        ("consumerInstance".to_owned(), Value::Id(a.consumer.raw())),
+        ("dueBy".to_owned(), Value::Time(a.due_by)),
+        (
+            "kind".to_owned(),
+            Value::from(match a.status {
+                AgreementStatus::ViolatedLate => "late",
+                AgreementStatus::ViolatedOverdue => "overdue",
+                _ => "none",
+            }),
+        ),
+    ]
+}
+
+/// The agreement store.
+pub struct AgreementStore {
+    clock: Arc<dyn Clock>,
+    agreements: RwLock<BTreeMap<AgreementId, Agreement>>,
+    ids: IdGen,
+}
+
+impl fmt::Debug for AgreementStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AgreementStore")
+            .field("agreements", &self.agreements.read().len())
+            .finish()
+    }
+}
+
+impl AgreementStore {
+    /// A store reading deadlines against `clock`.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        AgreementStore {
+            clock,
+            agreements: RwLock::new(BTreeMap::new()),
+            ids: IdGen::new(),
+        }
+    }
+
+    /// Opens an agreement for an invocation that must finish within
+    /// `max_duration`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn open(
+        &self,
+        service: &str,
+        provider: ProviderId,
+        consumer: ProcessInstanceId,
+        invocation: ActivityInstanceId,
+        requested_by: Option<UserId>,
+        max_duration: Duration,
+    ) -> Agreement {
+        let id = AgreementId(self.ids.next_raw());
+        let now = self.clock.now();
+        let a = Agreement {
+            id,
+            service: service.to_owned(),
+            provider,
+            consumer,
+            invocation,
+            requested_by,
+            agreed_at: now,
+            due_by: now.plus(max_duration),
+            status: AgreementStatus::Open,
+        };
+        self.agreements.write().insert(id, a.clone());
+        a
+    }
+
+    /// Marks the invocation complete; the agreement becomes `Fulfilled` or
+    /// `ViolatedLate` depending on the clock. Returns the final agreement.
+    pub fn complete(&self, id: AgreementId) -> CoreResult<Agreement> {
+        let mut g = self.agreements.write();
+        let a = g
+            .get_mut(&id)
+            .ok_or_else(|| CoreError::InvalidSchema(format!("unknown agreement {id}")))?;
+        if a.status == AgreementStatus::Open {
+            a.status = if self.clock.now() <= a.due_by {
+                AgreementStatus::Fulfilled
+            } else {
+                AgreementStatus::ViolatedLate
+            };
+        }
+        Ok(a.clone())
+    }
+
+    /// Sweeps open agreements whose deadline has passed, marking them
+    /// `ViolatedOverdue`. Returns the newly violated agreements (call after
+    /// advancing the clock, like deadline enforcement).
+    pub fn sweep_overdue(&self) -> Vec<Agreement> {
+        let now = self.clock.now();
+        let mut out = Vec::new();
+        let mut g = self.agreements.write();
+        for a in g.values_mut() {
+            if a.status == AgreementStatus::Open && now > a.due_by {
+                a.status = AgreementStatus::ViolatedOverdue;
+                out.push(a.clone());
+            }
+        }
+        out
+    }
+
+    /// A snapshot of the agreement.
+    pub fn get(&self, id: AgreementId) -> CoreResult<Agreement> {
+        self.agreements
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| CoreError::InvalidSchema(format!("unknown agreement {id}")))
+    }
+
+    /// The agreement covering an invocation instance, if any.
+    pub fn for_invocation(&self, invocation: ActivityInstanceId) -> Option<Agreement> {
+        self.agreements
+            .read()
+            .values()
+            .find(|a| a.invocation == invocation)
+            .cloned()
+    }
+
+    /// Counts by status: (open, fulfilled, violated).
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let g = self.agreements.read();
+        let open = g.values().filter(|a| a.status == AgreementStatus::Open).count();
+        let fulfilled = g
+            .values()
+            .filter(|a| a.status == AgreementStatus::Fulfilled)
+            .count();
+        let violated = g.values().filter(|a| a.is_violated()).count();
+        (open, fulfilled, violated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_core::time::SimClock;
+
+    fn store() -> (AgreementStore, SimClock) {
+        let clock = SimClock::new();
+        (AgreementStore::new(Arc::new(clock.clone())), clock)
+    }
+
+    fn open(s: &AgreementStore, mins: u64) -> Agreement {
+        s.open(
+            "lab-analysis",
+            ProviderId(1),
+            ProcessInstanceId(1),
+            ActivityInstanceId(10),
+            Some(UserId(5)),
+            Duration::from_mins(mins),
+        )
+    }
+
+    #[test]
+    fn fulfilled_within_window() {
+        let (s, clock) = store();
+        let a = open(&s, 60);
+        clock.advance(Duration::from_mins(30));
+        let done = s.complete(a.id).unwrap();
+        assert_eq!(done.status, AgreementStatus::Fulfilled);
+        assert!(!done.is_violated());
+        assert_eq!(s.counts(), (0, 1, 0));
+    }
+
+    #[test]
+    fn late_completion_is_a_violation() {
+        let (s, clock) = store();
+        let a = open(&s, 60);
+        clock.advance(Duration::from_mins(90));
+        let done = s.complete(a.id).unwrap();
+        assert_eq!(done.status, AgreementStatus::ViolatedLate);
+        assert_eq!(s.counts(), (0, 0, 1));
+    }
+
+    #[test]
+    fn overdue_sweep_marks_open_agreements() {
+        let (s, clock) = store();
+        let a = open(&s, 60);
+        assert!(s.sweep_overdue().is_empty(), "within window");
+        clock.advance(Duration::from_mins(61));
+        let v = s.sweep_overdue();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].id, a.id);
+        assert_eq!(v[0].status, AgreementStatus::ViolatedOverdue);
+        // Sweeping again reports nothing new; completing afterwards keeps
+        // the violated status.
+        assert!(s.sweep_overdue().is_empty());
+        let done = s.complete(a.id).unwrap();
+        assert_eq!(done.status, AgreementStatus::ViolatedOverdue);
+    }
+
+    #[test]
+    fn lookup_by_invocation_and_counts() {
+        let (s, _) = store();
+        let a = open(&s, 10);
+        assert_eq!(s.for_invocation(ActivityInstanceId(10)).unwrap().id, a.id);
+        assert!(s.for_invocation(ActivityInstanceId(99)).is_none());
+        assert_eq!(s.counts(), (1, 0, 0));
+        assert!(s.get(AgreementId(999)).is_err());
+    }
+
+    #[test]
+    fn violation_event_fields_are_complete() {
+        let (s, clock) = store();
+        let a = open(&s, 1);
+        clock.advance(Duration::from_mins(2));
+        let v = &s.sweep_overdue()[0];
+        let fields = violation_event_fields(v);
+        let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone());
+        assert_eq!(get("agreementId"), Some(Value::Id(a.id.0)));
+        assert_eq!(get("kind"), Some(Value::from("overdue")));
+        assert_eq!(get("service"), Some(Value::from("lab-analysis")));
+    }
+}

@@ -1,0 +1,399 @@
+//! The Service Engine (Fig. 5's third engine): service invocation through
+//! the coordination engine, agreement tracking, and violation awareness.
+//!
+//! A consuming process declares an optional activity variable whose schema
+//! is the service interface. [`ServiceEngine::invoke`] selects a provider by
+//! policy, starts the invocation with the provider's performer, and opens an
+//! agreement. Completion (or the overdue sweep) settles the agreement,
+//! updates the provider's observed quality, and publishes violations as
+//! external events on the [`VIOLATION_SOURCE`] stream — so awareness
+//! specifications can notify, e.g., the requestor that their service is
+//! late, with the same machinery as any other awareness.
+
+use std::fmt;
+use std::sync::Arc;
+
+use cmi_awareness::engine::AwarenessEngine;
+use cmi_core::error::CoreError;
+use cmi_core::ids::{ActivityInstanceId, ProcessInstanceId, UserId};
+use cmi_core::time::Clock;
+use cmi_coord::engine::EnactmentEngine;
+use cmi_events::producers::external_event;
+
+use crate::agreement::{violation_event_fields, Agreement, AgreementStore, VIOLATION_SOURCE};
+use crate::registry::{SelectionPolicy, ServiceRegistry};
+
+/// The service engine.
+pub struct ServiceEngine {
+    registry: Arc<ServiceRegistry>,
+    agreements: Arc<AgreementStore>,
+    coordination: Arc<EnactmentEngine>,
+    awareness: Option<Arc<AwarenessEngine>>,
+    clock: Arc<dyn Clock>,
+}
+
+impl fmt::Debug for ServiceEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceEngine")
+            .field("providers", &self.registry.provider_count())
+            .field("agreements", &self.agreements.counts())
+            .finish()
+    }
+}
+
+impl ServiceEngine {
+    /// A service engine over the coordination engine; pass the awareness
+    /// engine to publish agreement violations as external events.
+    pub fn new(
+        coordination: Arc<EnactmentEngine>,
+        awareness: Option<Arc<AwarenessEngine>>,
+    ) -> Self {
+        let clock = coordination.clock().clone();
+        ServiceEngine {
+            registry: Arc::new(ServiceRegistry::new()),
+            agreements: Arc::new(AgreementStore::new(clock.clone())),
+            coordination,
+            awareness,
+            clock,
+        }
+    }
+
+    /// The service registry (publish providers here).
+    pub fn registry(&self) -> &Arc<ServiceRegistry> {
+        &self.registry
+    }
+
+    /// The agreement store.
+    pub fn agreements(&self) -> &Arc<AgreementStore> {
+        &self.agreements
+    }
+
+    /// Invokes service `service` through the optional activity variable
+    /// `var_name` of `consumer`: selects a provider per `policy`, starts the
+    /// invocation with the provider's performer, and opens an agreement
+    /// bounded by the provider's expected duration times the given slack
+    /// factor (e.g. `2.0` allows twice the expected time).
+    pub fn invoke(
+        &self,
+        consumer: ProcessInstanceId,
+        var_name: &str,
+        service: &str,
+        policy: SelectionPolicy,
+        requested_by: Option<UserId>,
+        slack: f64,
+    ) -> CoordOrCoreResult<Agreement> {
+        let provider = self.registry.select(service, policy).ok_or_else(|| {
+            ServiceError::Core(CoreError::InvalidSchema(format!(
+                "no providers for service `{service}`"
+            )))
+        })?;
+        // The variable's schema must be the service interface.
+        let consumer_schema = self
+            .coordination
+            .store()
+            .schema_of(consumer)
+            .map_err(ServiceError::Core)?;
+        let var = consumer_schema
+            .activity_var(var_name)
+            .map_err(ServiceError::Core)?;
+        if var.schema != provider.schema {
+            return Err(ServiceError::Core(CoreError::InvalidSchema(format!(
+                "variable `{var_name}` has schema {}, provider implements {}",
+                var.schema, provider.schema
+            ))));
+        }
+        let invocation = self
+            .coordination
+            .start_optional(consumer, var_name, requested_by)
+            .map_err(ServiceError::Coord)?;
+        self.coordination
+            .start_activity(invocation, Some(provider.performer))
+            .map_err(ServiceError::Coord)?;
+        self.registry
+            .record_start(provider.id)
+            .map_err(ServiceError::Core)?;
+        let max = cmi_core::time::Duration::from_millis(
+            (provider.qos.expected_duration.millis() as f64 * slack.max(1.0)) as u64,
+        );
+        Ok(self.agreements.open(
+            service,
+            provider.id,
+            consumer,
+            invocation,
+            requested_by,
+            max,
+        ))
+    }
+
+    /// Completes an invocation: finishes the activity, settles the
+    /// agreement, updates the provider's record, and publishes a violation
+    /// event if the completion was late. Returns the settled agreement.
+    pub fn complete(&self, invocation: ActivityInstanceId) -> CoordOrCoreResult<Agreement> {
+        let agreement = self
+            .agreements
+            .for_invocation(invocation)
+            .ok_or_else(|| {
+                ServiceError::Core(CoreError::InvalidSchema(format!(
+                    "no agreement covers invocation {invocation}"
+                )))
+            })?;
+        let performer = self
+            .registry
+            .provider(agreement.provider)
+            .map_err(ServiceError::Core)?
+            .performer;
+        self.coordination
+            .complete_activity(invocation, Some(performer))
+            .map_err(ServiceError::Coord)?;
+        let settled = self
+            .agreements
+            .complete(agreement.id)
+            .map_err(ServiceError::Core)?;
+        self.registry
+            .record_end(settled.provider, settled.is_violated())
+            .map_err(ServiceError::Core)?;
+        if settled.is_violated() {
+            self.publish_violation(&settled);
+        }
+        Ok(settled)
+    }
+
+    /// Sweeps overdue agreements (call after advancing the clock): each newly
+    /// overdue agreement is charged to its provider and published to
+    /// awareness. The invocations themselves stay open — whether to terminate
+    /// them is a coordination decision (deadline dependencies handle that).
+    pub fn sweep_overdue(&self) -> Vec<Agreement> {
+        let violated = self.agreements.sweep_overdue();
+        for a in &violated {
+            let _ = self.registry.record_end(a.provider, true);
+            self.publish_violation(a);
+        }
+        violated
+    }
+
+    fn publish_violation(&self, a: &Agreement) {
+        if let Some(awareness) = &self.awareness {
+            let ev = external_event(
+                VIOLATION_SOURCE,
+                self.clock.now(),
+                violation_event_fields(a),
+            );
+            awareness.ingest(&ev);
+        }
+    }
+}
+
+/// Errors from service operations: either coordination or core failures.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Underlying coordination error.
+    Coord(cmi_coord::error::CoordError),
+    /// Underlying core error.
+    Core(CoreError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Coord(e) => write!(f, "{e}"),
+            ServiceError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Result alias for service operations.
+pub type CoordOrCoreResult<T> = Result<T, ServiceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agreement::AgreementStatus;
+    use crate::registry::QualityOfService;
+    use cmi_awareness::builder::AwarenessSchemaBuilder;
+    use cmi_awareness::system::CmiServer;
+    use cmi_core::ids::ActivitySchemaId;
+    use cmi_core::roles::RoleSpec;
+    use cmi_core::schema::ActivitySchemaBuilder;
+    use cmi_core::state_schema::ActivityStateSchema;
+    use cmi_core::time::Duration;
+    use cmi_events::operators::ExternalFilter;
+
+    struct Fixture {
+        server: CmiServer,
+        services: ServiceEngine,
+        consumer_schema: ActivitySchemaId,
+    }
+
+    fn fixture() -> Fixture {
+        let server = CmiServer::new();
+        let repo = server.repository();
+        let ss = repo
+            .register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+        let iface = repo.fresh_activity_schema_id();
+        repo.register_activity_schema(
+            ActivitySchemaBuilder::basic(iface, "LabAnalysis", ss.clone())
+                .build()
+                .unwrap(),
+        );
+        let pid = repo.fresh_activity_schema_id();
+        let mut pb = ActivitySchemaBuilder::process(pid, "Mission", ss);
+        pb.activity_var("analysis", iface, true).unwrap();
+        repo.register_activity_schema(pb.build().unwrap());
+
+        let services = ServiceEngine::new(
+            server.coordination().clone(),
+            Some(server.awareness().clone()),
+        );
+        let fast = server.directory().add_participant("fast-lab-bot", cmi_core::participant::ParticipantKind::Program);
+        let slow = server.directory().add_participant("slow-lab-bot", cmi_core::participant::ParticipantKind::Program);
+        services.registry().publish(
+            "lab-analysis",
+            "fast-lab",
+            iface,
+            fast,
+            QualityOfService::new(Duration::from_mins(30), 0.9, 50),
+        );
+        services.registry().publish(
+            "lab-analysis",
+            "slow-lab",
+            iface,
+            slow,
+            QualityOfService::new(Duration::from_hours(4), 0.99, 10),
+        );
+        Fixture {
+            server,
+            services,
+            consumer_schema: pid,
+        }
+    }
+
+    #[test]
+    fn invoke_selects_starts_and_fulfills() {
+        let f = fixture();
+        let pi = f
+            .server
+            .coordination()
+            .start_process(f.consumer_schema, None)
+            .unwrap();
+        let agreement = f
+            .services
+            .invoke(pi, "analysis", "lab-analysis", SelectionPolicy::Fastest, None, 2.0)
+            .unwrap();
+        // The invocation runs under the fast provider's performer.
+        let snap = f.server.store().snapshot(agreement.invocation).unwrap();
+        assert_eq!(snap.state, "Running");
+        // Complete within the window.
+        f.server.clock().advance(Duration::from_mins(45)); // < 60 = 30 * 2.0
+        let settled = f.services.complete(agreement.invocation).unwrap();
+        assert_eq!(settled.status, AgreementStatus::Fulfilled);
+        let prov = f.services.registry().provider(settled.provider).unwrap();
+        assert_eq!(prov.completed, 1);
+        assert_eq!(prov.violations, 0);
+        assert_eq!(prov.load, 0);
+    }
+
+    #[test]
+    fn late_completion_publishes_violation_awareness() {
+        let f = fixture();
+        // Awareness: violations of lab-analysis reach the duty officers.
+        let duty = f.server.directory().add_user("duty-officer");
+        let officers = f.server.directory().add_role("duty-officers").unwrap();
+        f.server.directory().assign(duty, officers).unwrap();
+        let mut b = AwarenessSchemaBuilder::new(
+            f.server.fresh_awareness_id(),
+            "sla-violations",
+            f.consumer_schema,
+        );
+        let filt = b
+            .external_filter(
+                ExternalFilter::new(f.consumer_schema, VIOLATION_SOURCE, Some("consumerInstance"))
+                    .matching("service", cmi_core::value::Value::from("lab-analysis")),
+            )
+            .unwrap();
+        f.server.register_awareness(
+            b.deliver_to(filt, RoleSpec::org("duty-officers"))
+                .describe("a lab-analysis agreement was violated")
+                .build()
+                .unwrap(),
+        );
+
+        let pi = f
+            .server
+            .coordination()
+            .start_process(f.consumer_schema, None)
+            .unwrap();
+        let agreement = f
+            .services
+            .invoke(pi, "analysis", "lab-analysis", SelectionPolicy::Fastest, None, 1.0)
+            .unwrap();
+        f.server.clock().advance(Duration::from_hours(2)); // way past 30m
+        let settled = f.services.complete(agreement.invocation).unwrap();
+        assert_eq!(settled.status, AgreementStatus::ViolatedLate);
+        assert_eq!(f.server.awareness().queue().pending_for(duty), 1);
+        let n = &f.server.awareness().queue().fetch(duty, 1)[0];
+        assert!(n.description.contains("lab-analysis"));
+        assert_eq!(n.process_instance, pi);
+    }
+
+    #[test]
+    fn overdue_sweep_charges_provider_and_notifies() {
+        let f = fixture();
+        let pi = f
+            .server
+            .coordination()
+            .start_process(f.consumer_schema, None)
+            .unwrap();
+        let agreement = f
+            .services
+            .invoke(pi, "analysis", "lab-analysis", SelectionPolicy::Fastest, None, 1.0)
+            .unwrap();
+        f.server.clock().advance(Duration::from_hours(1));
+        let violated = f.services.sweep_overdue();
+        assert_eq!(violated.len(), 1);
+        assert_eq!(violated[0].id, agreement.id);
+        let prov = f.services.registry().provider(agreement.provider).unwrap();
+        assert_eq!(prov.violations, 1);
+        // Reliability-based selection now avoids the violator.
+        let pick = f
+            .services
+            .registry()
+            .select("lab-analysis", SelectionPolicy::MostReliable)
+            .unwrap();
+        assert_eq!(pick.name, "slow-lab");
+    }
+
+    #[test]
+    fn invoke_rejects_interface_mismatch_and_missing_service() {
+        let f = fixture();
+        let repo = f.server.repository();
+        let ss = repo
+            .register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+        let other = repo.fresh_activity_schema_id();
+        repo.register_activity_schema(
+            ActivitySchemaBuilder::basic(other, "Other", ss).build().unwrap(),
+        );
+        let bot = f.server.directory().add_user("bot");
+        f.services.registry().publish(
+            "mismatched",
+            "x",
+            other,
+            bot,
+            QualityOfService::new(Duration::from_mins(1), 1.0, 1),
+        );
+        let pi = f
+            .server
+            .coordination()
+            .start_process(f.consumer_schema, None)
+            .unwrap();
+        assert!(f
+            .services
+            .invoke(pi, "analysis", "mismatched", SelectionPolicy::Fastest, None, 1.0)
+            .is_err());
+        assert!(f
+            .services
+            .invoke(pi, "analysis", "no-such-service", SelectionPolicy::Fastest, None, 1.0)
+            .is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! # cmi-service — the CMI Service Model (SM)
+//!
+//! The Service Model "supports reusable process activities and related
+//! resources, service quality, and service agreements, as needed to support
+//! collaboration processes in virtual enterprises" (§3). The paper defers
+//! SM's details to its companion reports; this crate implements the
+//! described capability set:
+//!
+//! * [`registry`] — reusable activity schemas published as *services* by
+//!   *providers* with quality-of-service declarations, and selection
+//!   policies over them (most reliable, least loaded, fastest, cheapest).
+//! * [`agreement`] — service agreements with deadlines, settlement
+//!   (fulfilled / late / overdue) and violation records.
+//! * [`engine`] — the Service Engine of Fig. 5: invocation through the
+//!   coordination engine, provider bookkeeping, and violation publication as
+//!   external awareness events (closing the loop with the Awareness Model).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod agreement;
+pub mod engine;
+pub mod registry;
+
+pub use agreement::{Agreement, AgreementId, AgreementStatus, AgreementStore, VIOLATION_SOURCE};
+pub use engine::{ServiceEngine, ServiceError};
+pub use registry::{Provider, ProviderId, QualityOfService, SelectionPolicy, ServiceRegistry};

@@ -1,0 +1,317 @@
+//! The service registry: reusable process activities published as services
+//! with quality declarations (§3: the Service Model "supports reusable
+//! process activities and related resources, service quality, and service
+//! agreements, as needed to support collaboration processes in virtual
+//! enterprises").
+//!
+//! A *service* is an activity schema published under a service name — the
+//! interface a consuming process declares in its activity variables. One or
+//! more *providers* offer the service, each with its own declared quality of
+//! service and a live load figure. Consumers pick a provider through a
+//! [`SelectionPolicy`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use parking_lot::RwLock;
+
+use cmi_core::error::{CoreError, CoreResult};
+use cmi_core::ids::{ActivitySchemaId, IdGen, UserId};
+use cmi_core::time::Duration;
+
+/// Identifies a registered provider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProviderId(pub u64);
+
+impl fmt::Display for ProviderId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prov{}", self.0)
+    }
+}
+
+/// Declared quality of service of one provider.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityOfService {
+    /// Expected time to complete one invocation.
+    pub expected_duration: Duration,
+    /// Declared completion reliability in `[0, 1]` (1 = never fails).
+    pub reliability: f64,
+    /// Cost per invocation, in arbitrary units.
+    pub cost: u64,
+}
+
+impl QualityOfService {
+    /// A QoS declaration.
+    pub fn new(expected_duration: Duration, reliability: f64, cost: u64) -> Self {
+        QualityOfService {
+            expected_duration,
+            reliability: reliability.clamp(0.0, 1.0),
+            cost,
+        }
+    }
+}
+
+/// One provider of a service.
+#[derive(Debug, Clone)]
+pub struct Provider {
+    /// The provider's id.
+    pub id: ProviderId,
+    /// Display name (e.g. `acme-labs`).
+    pub name: String,
+    /// The service name it provides.
+    pub service: String,
+    /// The activity schema implementing the service interface.
+    pub schema: ActivitySchemaId,
+    /// The participant (human or program) that performs invocations.
+    pub performer: UserId,
+    /// Declared quality.
+    pub qos: QualityOfService,
+    /// Open invocations right now.
+    pub load: u32,
+    /// Completed invocations.
+    pub completed: u64,
+    /// Invocations that violated their agreement.
+    pub violations: u64,
+}
+
+impl Provider {
+    /// Observed reliability: completed-within-agreement over completed, or
+    /// the declared reliability before any history exists.
+    pub fn observed_reliability(&self) -> f64 {
+        if self.completed == 0 {
+            self.qos.reliability
+        } else {
+            1.0 - self.violations as f64 / self.completed as f64
+        }
+    }
+}
+
+/// How a consumer picks among providers of a service (§3's service
+/// selection; details in the companion papers the text cites).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionPolicy {
+    /// Highest observed reliability (ties: lower expected duration).
+    MostReliable,
+    /// Lowest current load (ties: provider id).
+    LeastLoaded,
+    /// Lowest expected duration.
+    Fastest,
+    /// Lowest cost.
+    Cheapest,
+}
+
+/// The registry of services and providers.
+#[derive(Default)]
+pub struct ServiceRegistry {
+    providers: RwLock<BTreeMap<ProviderId, Provider>>,
+    ids: IdGen,
+}
+
+impl fmt::Debug for ServiceRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceRegistry")
+            .field("providers", &self.providers.read().len())
+            .finish()
+    }
+}
+
+impl ServiceRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ServiceRegistry::default()
+    }
+
+    /// Publishes a provider of `service`.
+    pub fn publish(
+        &self,
+        service: &str,
+        name: &str,
+        schema: ActivitySchemaId,
+        performer: UserId,
+        qos: QualityOfService,
+    ) -> ProviderId {
+        let id = ProviderId(self.ids.next_raw());
+        self.providers.write().insert(
+            id,
+            Provider {
+                id,
+                name: name.to_owned(),
+                service: service.to_owned(),
+                schema,
+                performer,
+                qos,
+                load: 0,
+                completed: 0,
+                violations: 0,
+            },
+        );
+        id
+    }
+
+    /// All providers of `service`, in id order.
+    pub fn providers_of(&self, service: &str) -> Vec<Provider> {
+        self.providers
+            .read()
+            .values()
+            .filter(|p| p.service == service)
+            .cloned()
+            .collect()
+    }
+
+    /// A provider snapshot.
+    pub fn provider(&self, id: ProviderId) -> CoreResult<Provider> {
+        self.providers
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| CoreError::InvalidSchema(format!("unknown provider {id}")))
+    }
+
+    /// Selects a provider of `service` per `policy`. `None` when the service
+    /// has no providers.
+    pub fn select(&self, service: &str, policy: SelectionPolicy) -> Option<Provider> {
+        let mut candidates = self.providers_of(service);
+        if candidates.is_empty() {
+            return None;
+        }
+        candidates.sort_by(|a, b| match policy {
+            SelectionPolicy::MostReliable => b
+                .observed_reliability()
+                .total_cmp(&a.observed_reliability())
+                .then(a.qos.expected_duration.cmp(&b.qos.expected_duration))
+                .then(a.id.cmp(&b.id)),
+            SelectionPolicy::LeastLoaded => a.load.cmp(&b.load).then(a.id.cmp(&b.id)),
+            SelectionPolicy::Fastest => a
+                .qos
+                .expected_duration
+                .cmp(&b.qos.expected_duration)
+                .then(a.id.cmp(&b.id)),
+            SelectionPolicy::Cheapest => a.qos.cost.cmp(&b.qos.cost).then(a.id.cmp(&b.id)),
+        });
+        candidates.into_iter().next()
+    }
+
+    /// Records an invocation start.
+    pub fn record_start(&self, id: ProviderId) -> CoreResult<()> {
+        self.with_provider(id, |p| p.load += 1)
+    }
+
+    /// Records an invocation end; `violated` marks an agreement violation.
+    pub fn record_end(&self, id: ProviderId, violated: bool) -> CoreResult<()> {
+        self.with_provider(id, |p| {
+            p.load = p.load.saturating_sub(1);
+            p.completed += 1;
+            if violated {
+                p.violations += 1;
+            }
+        })
+    }
+
+    fn with_provider(&self, id: ProviderId, f: impl FnOnce(&mut Provider)) -> CoreResult<()> {
+        let mut g = self.providers.write();
+        let p = g
+            .get_mut(&id)
+            .ok_or_else(|| CoreError::InvalidSchema(format!("unknown provider {id}")))?;
+        f(p);
+        Ok(())
+    }
+
+    /// Number of registered providers.
+    pub fn provider_count(&self) -> usize {
+        self.providers.read().len()
+    }
+
+    /// Distinct service names currently offered.
+    pub fn services(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .providers
+            .read()
+            .values()
+            .map(|p| p.service.clone())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qos(mins: u64, rel: f64, cost: u64) -> QualityOfService {
+        QualityOfService::new(Duration::from_mins(mins), rel, cost)
+    }
+
+    fn registry() -> (ServiceRegistry, ProviderId, ProviderId, ProviderId) {
+        let r = ServiceRegistry::new();
+        let a = r.publish("lab-analysis", "fast-lab", ActivitySchemaId(1), UserId(1), qos(30, 0.9, 50));
+        let b = r.publish("lab-analysis", "cheap-lab", ActivitySchemaId(1), UserId(2), qos(120, 0.95, 10));
+        let c = r.publish("lab-analysis", "gold-lab", ActivitySchemaId(1), UserId(3), qos(60, 0.99, 100));
+        (r, a, b, c)
+    }
+
+    #[test]
+    fn selection_policies_pick_distinct_winners() {
+        let (r, a, b, c) = registry();
+        assert_eq!(r.select("lab-analysis", SelectionPolicy::Fastest).unwrap().id, a);
+        assert_eq!(r.select("lab-analysis", SelectionPolicy::Cheapest).unwrap().id, b);
+        assert_eq!(r.select("lab-analysis", SelectionPolicy::MostReliable).unwrap().id, c);
+        assert!(r.select("nope", SelectionPolicy::Fastest).is_none());
+    }
+
+    #[test]
+    fn least_loaded_follows_live_load() {
+        let (r, a, b, _) = registry();
+        assert_eq!(r.select("lab-analysis", SelectionPolicy::LeastLoaded).unwrap().id, a);
+        r.record_start(a).unwrap();
+        assert_eq!(r.select("lab-analysis", SelectionPolicy::LeastLoaded).unwrap().id, b);
+        r.record_end(a, false).unwrap();
+        assert_eq!(r.select("lab-analysis", SelectionPolicy::LeastLoaded).unwrap().id, a);
+    }
+
+    #[test]
+    fn observed_reliability_overrides_declared() {
+        let (r, a, _, c) = registry();
+        // gold-lab starts most reliable (0.99 declared)...
+        assert_eq!(r.select("lab-analysis", SelectionPolicy::MostReliable).unwrap().id, c);
+        // ...but after violating half its invocations, fast-lab (clean
+        // record beats declared 0.9? fast-lab has no history -> 0.9) wins
+        // over gold-lab's observed 0.5.
+        r.record_start(c).unwrap();
+        r.record_end(c, true).unwrap();
+        r.record_start(c).unwrap();
+        r.record_end(c, false).unwrap();
+        assert!(r.provider(c).unwrap().observed_reliability() < 0.6);
+        assert_eq!(
+            r.select("lab-analysis", SelectionPolicy::MostReliable).unwrap().id,
+            // cheap-lab declared 0.95, no history -> highest now.
+            r.providers_of("lab-analysis")[1].id
+        );
+        let _ = a;
+    }
+
+    #[test]
+    fn qos_reliability_is_clamped() {
+        let q = QualityOfService::new(Duration::from_mins(1), 7.0, 1);
+        assert_eq!(q.reliability, 1.0);
+        let q = QualityOfService::new(Duration::from_mins(1), -1.0, 1);
+        assert_eq!(q.reliability, 0.0);
+    }
+
+    #[test]
+    fn services_enumeration_and_counts() {
+        let (r, ..) = registry();
+        r.publish("translation", "acme", ActivitySchemaId(2), UserId(9), qos(5, 1.0, 1));
+        assert_eq!(r.provider_count(), 4);
+        assert_eq!(r.services(), vec!["lab-analysis".to_owned(), "translation".to_owned()]);
+    }
+
+    #[test]
+    fn unknown_provider_errors() {
+        let r = ServiceRegistry::new();
+        assert!(r.provider(ProviderId(9)).is_err());
+        assert!(r.record_start(ProviderId(9)).is_err());
+        assert!(r.record_end(ProviderId(9), false).is_err());
+    }
+}

@@ -1,0 +1,288 @@
+//! The §7 demonstration-scale workload.
+//!
+//! The paper's only quantitative statements describe the DARPA-funded
+//! intelligence-gathering demonstration: *nine* collaboration processes with
+//! *more than fifty* CMM activities, whose translation into the commercial
+//! WfMS produced *a few hundred* WfMS activities, *eight* awareness
+//! specifications, *thirty* basic activity scripts, and open-ended processes
+//! lasting *15 minutes to several weeks*. This module regenerates a workload
+//! with exactly that shape and runs it end-to-end through the real engines,
+//! so experiment TAB7 reports measured counts next to the paper's.
+
+use cmi_awareness::system::CmiServer;
+use cmi_core::ids::ActivitySchemaId;
+use cmi_core::resource::ResourceUsage;
+use cmi_core::roles::RoleSpec;
+use cmi_core::schema::ActivitySchemaBuilder;
+use cmi_core::state_schema::{generic, ActivityStateSchema};
+use cmi_core::time::{Clock, Duration};
+use cmi_coord::lowering::{lower_per_use, LoweringReport};
+use cmi_coord::scripts::{ActivityScript, MemberSource, ScriptAction, ScriptValue};
+
+/// Measured counts from the regenerated demonstration.
+#[derive(Debug, Clone)]
+pub struct DemoReport {
+    /// Top-level collaboration processes specified.
+    pub processes: usize,
+    /// CMM activities across all process specifications (activity variables
+    /// plus the process activities themselves).
+    pub cmm_activities: usize,
+    /// WfMS activities after the CMM→WfMS translation.
+    pub wfms_activities: usize,
+    /// Awareness specifications.
+    pub awareness_specs: usize,
+    /// Basic activity scripts.
+    pub scripts: usize,
+    /// Shortest completed process instance duration.
+    pub shortest: Duration,
+    /// Longest completed process instance duration.
+    pub longest: Duration,
+    /// Awareness notifications delivered while running one instance of every
+    /// process.
+    pub notifications: u64,
+    /// The full lowering report backing `wfms_activities`.
+    pub lowering: LoweringReport,
+}
+
+/// Builds the nine-process demonstration workload on `server` and runs one
+/// instance of every process to completion.
+pub fn run_darpa_demo() -> (CmiServer, DemoReport) {
+    let server = CmiServer::new();
+    let repo = server.repository();
+    let dir = server.directory();
+    let clock = server.clock().clone();
+
+    // Participants: a small intelligence cell.
+    let lead = dir.add_user("cell-lead");
+    let analysts = dir.add_role("analyst").unwrap();
+    let watch = dir.add_role("watch-officer").unwrap();
+    for i in 0..6 {
+        let u = dir.add_user(&format!("analyst{i}"));
+        dir.assign(u, analysts).unwrap();
+        if i < 2 {
+            dir.assign(u, watch).unwrap();
+        }
+    }
+
+    let ss = repo.register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+
+    // Reusable basic activity schemas — the Service Model's "reusable
+    // process activities" are modeled as schemas shared across processes.
+    let basic_names = [
+        "CollectReports",
+        "Corroborate",
+        "Interview",
+        "QueryArchives",
+        "DraftSummary",
+        "ReviewSummary",
+        "BriefLeadership",
+        "MonitorFeeds",
+    ];
+    let basics: Vec<ActivitySchemaId> = basic_names
+        .iter()
+        .map(|n| {
+            let id = repo.fresh_activity_schema_id();
+            repo.register_activity_schema(
+                ActivitySchemaBuilder::basic(id, n, ss.clone())
+                    .performed_by(RoleSpec::org("analyst"))
+                    .resource_var("inputs", repo.fresh_resource_schema_id(), ResourceUsage::Input)
+                    .resource_var("product", repo.fresh_resource_schema_id(), ResourceUsage::Output)
+                    .build()
+                    .unwrap(),
+            );
+            id
+        })
+        .collect();
+
+    // Nine collaboration processes, 6 activity variables each (sequences
+    // with a couple of optional steps) = 54 CMM activity variables, plus the
+    // nine process activities themselves: comfortably "more than fifty CMM
+    // activities".
+    let mut processes = Vec::new();
+    for p in 0..9 {
+        let pid = repo.fresh_activity_schema_id();
+        let mut b =
+            ActivitySchemaBuilder::process(pid, &format!("CollabProcess{p}"), ss.clone());
+        let mut prev = None;
+        for step in 0..6 {
+            let optional = step >= 4; // two on-demand steps per process
+            let schema = basics[(p + step) % basics.len()];
+            let var = b
+                .activity_var(&format!("step{step}"), schema, optional)
+                .unwrap();
+            if let Some(prev) = prev {
+                if !optional {
+                    b.sequence(prev, var);
+                }
+            }
+            if !optional {
+                prev = Some(var);
+            }
+        }
+        repo.register_activity_schema(b.build().unwrap());
+        processes.push(pid);
+    }
+
+    // Thirty basic activity scripts: for every process an init-context, a
+    // deadline stamp and a close script (27), plus three watch-roster role
+    // scripts on the first three processes.
+    for (i, &pid) in processes.iter().enumerate() {
+        server.coordination().register_script(
+            pid,
+            generic::RUNNING,
+            ActivityScript::new(
+                &format!("p{i}-init"),
+                vec![ScriptAction::CreateContext {
+                    name: "MissionContext".into(),
+                }],
+            ),
+        );
+        server.coordination().register_script(
+            pid,
+            generic::RUNNING,
+            ActivityScript::new(
+                &format!("p{i}-deadline"),
+                vec![ScriptAction::SetField {
+                    context: "MissionContext".into(),
+                    field: "Deadline".into(),
+                    value: ScriptValue::NowPlus(Duration::from_days(7)),
+                }],
+            ),
+        );
+        server.coordination().register_script(
+            pid,
+            generic::COMPLETED,
+            ActivityScript::new(
+                &format!("p{i}-close"),
+                vec![ScriptAction::DestroyContext {
+                    name: "MissionContext".into(),
+                }],
+            ),
+        );
+    }
+    for (i, &pid) in processes.iter().take(3).enumerate() {
+        server.coordination().register_script(
+            pid,
+            generic::RUNNING,
+            ActivityScript::new(
+                &format!("p{i}-roster"),
+                vec![ScriptAction::CreateRole {
+                    context: "MissionContext".into(),
+                    role: "WatchRoster".into(),
+                    members: MemberSource::OrgRole("watch-officer".into()),
+                }],
+            ),
+        );
+    }
+
+    // Eight awareness specifications (one per process for the first eight),
+    // exercising a spread of operators.
+    for (i, _) in processes.iter().take(8).enumerate() {
+        let src = match i % 4 {
+            0 => format!(
+                r#"awareness "p{i}-closed" on CollabProcess{i} {{
+                     done = process_filter(Completed|Terminated)
+                     deliver done to org(watch-officer)
+                   }}"#
+            ),
+            1 => format!(
+                r#"awareness "p{i}-progress" on CollabProcess{i} {{
+                     c = compare1(>=, 3, count(activity_filter(step1, Completed)))
+                     deliver c to org(watch-officer)
+                   }}"#
+            ),
+            2 => format!(
+                r#"awareness "p{i}-deadline" on CollabProcess{i} {{
+                     d = context_filter(MissionContext, Deadline)
+                     deliver d to org(analyst) assign first(2)
+                   }}"#
+            ),
+            _ => format!(
+                r#"awareness "p{i}-chain" on CollabProcess{i} {{
+                     s = seq(2, activity_filter(step0, Completed), activity_filter(step1, Completed))
+                     deliver s to org(watch-officer) assign signed-on
+                   }}"#
+            ),
+        };
+        server
+            .load_awareness_source(&src)
+            .unwrap_or_else(|e| panic!("spec {i} parses: {e}"));
+    }
+
+    // ---- run one instance of every process --------------------------------
+    // Target durations are log-spaced from 15 minutes to three weeks (§7:
+    // "anywhere from 15 minutes to several weeks").
+    let mut durations = Vec::new();
+    for (i, &pid) in processes.iter().enumerate() {
+        let t0 = clock.now();
+        let pi = server.coordination().start_process(pid, Some(lead)).unwrap();
+        let schema = repo.activity_schema(pid).unwrap();
+        // Work through the required sequence.
+        let total = Duration::from_mins(15).millis() as f64;
+        let max = Duration::from_days(21).millis() as f64;
+        let target = total * (max / total).powf(i as f64 / 8.0);
+        let step_gap = Duration::from_millis((target / 4.0) as u64);
+        for step in 0..4 {
+            let var = schema.activity_var(&format!("step{step}")).unwrap().id;
+            let inst = server.store().child_for_var(pi, var).unwrap().unwrap();
+            server.coordination().start_activity(inst, Some(lead)).unwrap();
+            clock.advance(step_gap);
+            server.coordination().complete_activity(inst, Some(lead)).unwrap();
+        }
+        assert!(server.store().is_closed(pi).unwrap());
+        durations.push(clock.now().since(t0));
+    }
+
+    // ---- counts ------------------------------------------------------------
+    let cmm_activities: usize = processes
+        .iter()
+        .map(|&p| repo.activity_schema(p).unwrap().activity_vars().len() + 1)
+        .sum();
+    let lowering = lower_per_use(repo, &processes, |s| {
+        // Approximate per-schema script hook count from the registry: the
+        // engine tracks totals; distribute by schema via the known layout.
+        let idx = processes.iter().position(|&p| p == s);
+        match idx {
+            Some(i) if i < 3 => 4,
+            Some(_) => 3,
+            None => 0,
+        }
+    })
+    .unwrap();
+
+    let report = DemoReport {
+        processes: processes.len(),
+        cmm_activities,
+        wfms_activities: lowering.wfms_step_count(),
+        awareness_specs: server.awareness().schema_count(),
+        scripts: server.coordination().script_count(),
+        shortest: *durations.iter().min().unwrap(),
+        longest: *durations.iter().max().unwrap(),
+        notifications: server.awareness().stats().notifications,
+        lowering,
+    };
+    (server, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_scale_matches_section_7() {
+        let (_server, r) = run_darpa_demo();
+        assert_eq!(r.processes, 9, "nine collaboration processes");
+        assert!(r.cmm_activities > 50, "more than fifty CMM activities: {}", r.cmm_activities);
+        assert!(
+            (100..=999).contains(&r.wfms_activities),
+            "a few hundred WfMS activities: {}",
+            r.wfms_activities
+        );
+        assert_eq!(r.awareness_specs, 8, "eight awareness specifications");
+        assert_eq!(r.scripts, 30, "thirty basic activity scripts");
+        assert!(r.shortest.millis() <= Duration::from_mins(20).millis());
+        assert!(r.longest.millis() >= Duration::from_days(14).millis());
+        assert!(r.notifications > 0);
+        assert!(r.lowering.expansion_factor() > 2.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! The head-to-head harness: runs one live workload through CMI's Awareness
+//! Model and every baseline mechanism simultaneously.
+//!
+//! The harness subscribes to the server's primitive event streams. For each
+//! primitive event it (1) records the event in the trace, (2) lets every
+//! baseline mechanism react, and (3) feeds the event to a dedicated
+//! [`AwarenessEngine`] *synchronously* — so AM's detection-time role
+//! resolution sees exactly the directory/context state that existed when the
+//! event occurred, which is the property the scoped-role experiments measure.
+//! AM notifications returned by the synchronous ingest are attributed to the
+//! triggering primitive event, giving AM deliveries the same information-item
+//! identity the baselines and the ground truth use.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use cmi_awareness::engine::AwarenessEngine;
+use cmi_awareness::queue::DeliveryQueue;
+use cmi_awareness::system::CmiServer;
+use cmi_baselines::mechanism::{info_id, AwarenessMechanism, Delivery, TraceEvent};
+use cmi_baselines::metrics::{evaluate, GroundTruth, MechanismReport};
+use cmi_events::producers;
+
+/// Name under which CMI's AM appears in reports.
+pub const AM_NAME: &str = "cmi-am";
+
+struct Slot {
+    mechanism: Box<dyn AwarenessMechanism>,
+    deliveries: Vec<Delivery>,
+}
+
+/// The installed harness. Keep it alive while the workload runs; then call
+/// [`Harness::reports`].
+pub struct Harness {
+    am: Arc<AwarenessEngine>,
+    slots: Arc<Mutex<Vec<Slot>>>,
+    am_deliveries: Arc<Mutex<Vec<Delivery>>>,
+    trace: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl Harness {
+    /// Installs the harness on `server` with the given baseline mechanisms.
+    /// The AM under test is a fresh engine sharing the server's directory and
+    /// context stores (so role resolution is live); register awareness
+    /// schemas on [`Harness::am`].
+    pub fn install(server: &CmiServer, mechanisms: Vec<Box<dyn AwarenessMechanism>>) -> Harness {
+        let am = Arc::new(AwarenessEngine::new(
+            server.directory().clone(),
+            server.contexts().clone(),
+            Arc::new(DeliveryQueue::in_memory()),
+        ));
+        let slots = Arc::new(Mutex::new(
+            mechanisms
+                .into_iter()
+                .map(|mechanism| Slot {
+                    mechanism,
+                    deliveries: Vec::new(),
+                })
+                .collect::<Vec<_>>(),
+        ));
+        let am_deliveries = Arc::new(Mutex::new(Vec::new()));
+        let trace = Arc::new(Mutex::new(Vec::new()));
+
+        {
+            let (am, slots, am_del, trace) = (
+                am.clone(),
+                slots.clone(),
+                am_deliveries.clone(),
+                trace.clone(),
+            );
+            server.store().subscribe(Arc::new(move |change| {
+                let info = info_id::activity(change);
+                trace.lock().push(TraceEvent::Activity(change.clone()));
+                {
+                    let mut slots = slots.lock();
+                    for slot in slots.iter_mut() {
+                        let out = slot.mechanism.on_activity(change);
+                        slot.deliveries.extend(out);
+                    }
+                }
+                let notifications = am.ingest(&producers::activity_event(change));
+                let mut am_del = am_del.lock();
+                for n in notifications {
+                    am_del.push(Delivery {
+                        user: n.user,
+                        info: info.clone(),
+                        time: n.time,
+                    });
+                }
+            }));
+        }
+        {
+            let (am, slots, am_del, trace) = (
+                am.clone(),
+                slots.clone(),
+                am_deliveries.clone(),
+                trace.clone(),
+            );
+            server.contexts().subscribe(Arc::new(move |change| {
+                let info = info_id::context(change);
+                trace.lock().push(TraceEvent::Context(change.clone()));
+                {
+                    let mut slots = slots.lock();
+                    for slot in slots.iter_mut() {
+                        let out = slot.mechanism.on_context(change);
+                        slot.deliveries.extend(out);
+                    }
+                }
+                let notifications = am.ingest(&producers::context_event(change));
+                let mut am_del = am_del.lock();
+                for n in notifications {
+                    am_del.push(Delivery {
+                        user: n.user,
+                        info: info.clone(),
+                        time: n.time,
+                    });
+                }
+            }));
+        }
+
+        Harness {
+            am,
+            slots,
+            am_deliveries,
+            trace,
+        }
+    }
+
+    /// The AM engine under test; register awareness schemas here.
+    pub fn am(&self) -> &Arc<AwarenessEngine> {
+        &self.am
+    }
+
+    /// Scores every mechanism (AM first) against the ground truth.
+    pub fn reports(&self, truth: &GroundTruth, participants: usize) -> Vec<MechanismReport> {
+        let mut out = Vec::new();
+        out.push(evaluate(
+            AM_NAME,
+            &self.am_deliveries.lock(),
+            truth,
+            participants,
+        ));
+        for slot in self.slots.lock().iter() {
+            out.push(evaluate(
+                slot.mechanism.name(),
+                &slot.deliveries,
+                truth,
+                participants,
+            ));
+        }
+        out
+    }
+
+    /// Raw deliveries per mechanism name (AM included), for metrics beyond
+    /// precision/recall.
+    pub fn deliveries(&self) -> Vec<(String, Vec<Delivery>)> {
+        let mut out = vec![(AM_NAME.to_owned(), self.am_deliveries.lock().clone())];
+        for slot in self.slots.lock().iter() {
+            out.push((slot.mechanism.name().to_owned(), slot.deliveries.clone()));
+        }
+        out
+    }
+
+    /// The recorded primitive event trace.
+    pub fn trace(&self) -> Vec<TraceEvent> {
+        self.trace.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_awareness::builder::AwarenessSchemaBuilder;
+    use cmi_baselines::simple::MonitorAll;
+    use cmi_core::roles::RoleSpec;
+    use cmi_core::schema::ActivitySchemaBuilder;
+    use cmi_core::state_schema::ActivityStateSchema;
+    use cmi_core::value::Value;
+
+    #[test]
+    fn harness_attributes_am_notifications_to_primitive_events() {
+        let server = CmiServer::new();
+        let repo = server.repository();
+        let u = server.directory().add_user("watcher");
+        let r = server.directory().add_role("watchers").unwrap();
+        server.directory().assign(u, r).unwrap();
+        let manager = server.directory().add_user("manager");
+
+        let ss = repo
+            .register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+        let pid = repo.fresh_activity_schema_id();
+        repo.register_activity_schema(
+            ActivitySchemaBuilder::process(pid, "P", ss).build().unwrap(),
+        );
+
+        let harness = Harness::install(
+            &server,
+            vec![Box::new(MonitorAll::new(vec![manager]))],
+        );
+        let mut b = AwarenessSchemaBuilder::new(server.fresh_awareness_id(), "AS", pid);
+        let f = b.context_filter("C", "x").unwrap();
+        harness
+            .am()
+            .register(b.deliver_to(f, RoleSpec::org("watchers")).build().unwrap());
+
+        let pi = server.coordination().start_process(pid, None).unwrap();
+        let ctx = server.contexts().create("C", Some((pid, pi)));
+        server.contexts().set_field(ctx, "x", Value::Int(1)).unwrap();
+
+        // Trace: 2 activity events (process Ready, Running) + 1 context event.
+        let trace = harness.trace();
+        assert_eq!(trace.len(), 3);
+
+        let mut truth = GroundTruth::new();
+        truth.mark(u, &trace[2].info_id());
+        let reports = harness.reports(&truth, 2);
+        let am = &reports[0];
+        assert_eq!(am.name, AM_NAME);
+        assert_eq!(am.delivered, 1);
+        assert_eq!(am.delivered_relevant, 1);
+        assert_eq!(am.precision(), 1.0);
+        assert_eq!(am.recall(), 1.0);
+
+        let mon = &reports[1];
+        assert_eq!(mon.name, "monitor-all");
+        assert_eq!(mon.delivered, 3, "manager saw every event");
+        assert_eq!(mon.delivered_relevant, 0, "none relevant to the manager");
+        assert!(mon.precision() < am.precision());
+    }
+}

@@ -1,0 +1,394 @@
+//! The epidemic crisis information-gathering scenario of Fig. 1 and §2.
+//!
+//! "The process starts when the health agency becomes aware of the outbreak
+//! through normal reporting channels" and runs task forces on patient
+//! interviews, hospital relations, vector of transmission and the media,
+//! plus optional lab tests and local-expertise consultations. "Suppose that
+//! if any of these tests is positive, the other tests are not necessary.
+//! Providing awareness in this case may involve notifying both the test
+//! requestor and those conducting the alternative tests when a positive
+//! result is found" — this scenario wires exactly that awareness schema and
+//! shows the other tests being cancelled early, reproducing the timeline
+//! shape of Fig. 1.
+
+use cmi_awareness::builder::AwarenessSchemaBuilder;
+use cmi_awareness::system::CmiServer;
+use cmi_core::ids::{ActivityInstanceId, ProcessInstanceId, UserId};
+use cmi_core::roles::RoleSpec;
+use cmi_core::schema::ActivitySchemaBuilder;
+use cmi_core::state_schema::{generic, ActivityStateSchema};
+use cmi_core::time::{Clock, Duration, Timestamp};
+use cmi_core::value::Value;
+use cmi_coord::scripts::{ActivityScript, MemberSource, ScriptAction};
+use cmi_events::operator::CmpOp;
+
+/// One row of the reproduced Fig. 1 timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineRow {
+    /// Activity name.
+    pub name: String,
+    /// The instance.
+    pub instance: ActivityInstanceId,
+    /// When it was created.
+    pub start: Timestamp,
+    /// When it closed, if it did.
+    pub end: Option<Timestamp>,
+    /// Final state.
+    pub state: String,
+    /// Whether the activity variable was optional (dashed in Fig. 1).
+    pub optional: bool,
+}
+
+/// The scenario's outputs.
+#[derive(Debug)]
+pub struct EpidemicRun {
+    /// The timeline rows, in start order.
+    pub timeline: Vec<TimelineRow>,
+    /// The information-gathering process instance.
+    pub process: ProcessInstanceId,
+    /// Notifications delivered to the lab watchers on the positive result.
+    pub positive_result_notifications: usize,
+    /// Total scenario duration.
+    pub duration: Duration,
+}
+
+/// Builds and runs the Fig. 1 scenario on a fresh server, returning the
+/// timeline.
+pub fn run_epidemic() -> (CmiServer, EpidemicRun) {
+    let server = CmiServer::new();
+    let repo = server.repository();
+    let dir = server.directory();
+    let clock = server.clock().clone();
+
+    // Participants.
+    let leader = dir.add_user("health-crisis-leader");
+    let epi = dir.add_role("epidemiologist").unwrap();
+    let members: Vec<UserId> = (0..6)
+        .map(|i| {
+            let u = dir.add_user(&format!("epidemiologist{i}"));
+            dir.assign(u, epi).unwrap();
+            u
+        })
+        .collect();
+
+    // Schemas. Task-force work: investigate -> report.
+    let ss = repo.register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+    let investigate = repo.fresh_activity_schema_id();
+    repo.register_activity_schema(
+        ActivitySchemaBuilder::basic(investigate, "Investigate", ss.clone())
+            .build()
+            .unwrap(),
+    );
+    let report = repo.fresh_activity_schema_id();
+    repo.register_activity_schema(
+        ActivitySchemaBuilder::basic(report, "Report", ss.clone())
+            .build()
+            .unwrap(),
+    );
+    let task_force = repo.fresh_activity_schema_id();
+    let mut tf = ActivitySchemaBuilder::process(task_force, "TaskForceWork", ss.clone());
+    let v_inv = tf.activity_var("investigate", investigate, false).unwrap();
+    let v_rep = tf.activity_var("report", report, false).unwrap();
+    tf.sequence(v_inv, v_rep);
+    repo.register_activity_schema(tf.build().unwrap());
+
+    let lab_test = repo.fresh_activity_schema_id();
+    repo.register_activity_schema(
+        ActivitySchemaBuilder::basic(lab_test, "LabTest", ss.clone())
+            .build()
+            .unwrap(),
+    );
+    let expertise = repo.fresh_activity_schema_id();
+    repo.register_activity_schema(
+        ActivitySchemaBuilder::basic(expertise, "LocalExpertise", ss.clone())
+            .build()
+            .unwrap(),
+    );
+
+    let gathering = repo.fresh_activity_schema_id();
+    let mut g = ActivitySchemaBuilder::process(gathering, "InformationGathering", ss);
+    g.activity_var("patient_interviews", task_force, false).unwrap();
+    g.activity_var("hospital_relations", task_force, false).unwrap();
+    g.activity_var("vector_of_transmission", task_force, false).unwrap();
+    g.activity_var("media", task_force, true).unwrap();
+    g.activity_var("lab_test", lab_test, true).unwrap();
+    g.activity_var("local_expertise", expertise, true).unwrap();
+    repo.register_activity_schema(g.build().unwrap());
+
+    // Scripts: the gathering process carries a CrisisContext with the lab
+    // watchers scoped role.
+    server.coordination().register_script(
+        gathering,
+        generic::RUNNING,
+        ActivityScript::new(
+            "crisis-init",
+            vec![
+                ScriptAction::CreateContext {
+                    name: "CrisisContext".into(),
+                },
+                ScriptAction::CreateRole {
+                    context: "CrisisContext".into(),
+                    role: "LabWatchers".into(),
+                    members: MemberSource::Users(vec![]),
+                },
+            ],
+        ),
+    );
+
+    // Awareness: a positive lab result reaches the lab watchers.
+    let mut b = AwarenessSchemaBuilder::new(server.fresh_awareness_id(), "positive-lab", gathering);
+    let f = b.context_filter("CrisisContext", "LabResult").unwrap();
+    let pos = b.compare1(CmpOp::Eq, 1, f).unwrap();
+    server.register_awareness(
+        b.deliver_to(pos, RoleSpec::scoped("CrisisContext", "LabWatchers"))
+            .describe("positive lab result — alternative tests unnecessary")
+            .build()
+            .unwrap(),
+    );
+
+    // ---- enactment -------------------------------------------------------
+    let t0 = clock.now();
+    let coord = server.coordination();
+    let store = server.store();
+    let pi = coord.start_process(gathering, Some(leader)).unwrap();
+    let ctx = server.contexts().find("CrisisContext", pi).unwrap();
+
+    let child = |name: &str| {
+        let var = repo
+            .activity_schema(gathering)
+            .unwrap()
+            .activity_var(name)
+            .unwrap()
+            .id;
+        store.child_for_var(pi, var).unwrap().unwrap()
+    };
+
+    // The three required task forces start as the process starts; their
+    // leaders begin investigating at staggered times (Fig. 1's offsets).
+    let interviews = child("patient_interviews");
+    let hospitals = child("hospital_relations");
+    let vector = child("vector_of_transmission");
+    let start_tf = |tfi: ActivityInstanceId, who: UserId| {
+        let inv = store
+            .child_for_var(
+                tfi,
+                repo.activity_schema(task_force)
+                    .unwrap()
+                    .activity_var("investigate")
+                    .unwrap()
+                    .id,
+            )
+            .unwrap()
+            .unwrap();
+        coord.start_activity(inv, Some(who)).unwrap();
+        inv
+    };
+    let inv1 = start_tf(interviews, members[0]);
+    clock.advance(Duration::from_hours(6));
+    let inv2 = start_tf(hospitals, members[1]);
+    clock.advance(Duration::from_hours(6));
+    let inv3 = start_tf(vector, members[2]);
+
+    // The media task force is opened later, on demand.
+    clock.advance(Duration::from_days(1));
+    let media = coord.start_optional(pi, "media", Some(leader)).unwrap();
+    let inv4 = start_tf(media, members[3]);
+
+    // Three lab tests are requested; watchers are the requestor and the
+    // members running the alternatives.
+    clock.advance(Duration::from_hours(4));
+    for &w in &[members[0], members[4], members[5]] {
+        server
+            .contexts()
+            .add_role_member(ctx, "LabWatchers", w)
+            .unwrap();
+    }
+    let lab1 = coord.start_optional(pi, "lab_test", Some(members[4])).unwrap();
+    coord.start_activity(lab1, Some(members[4])).unwrap();
+    clock.advance(Duration::from_hours(3));
+    let lab2 = coord.start_optional(pi, "lab_test", Some(members[5])).unwrap();
+    coord.start_activity(lab2, Some(members[5])).unwrap();
+    clock.advance(Duration::from_hours(3));
+    let lab3 = coord.start_optional(pi, "lab_test", Some(members[4])).unwrap();
+    coord.start_activity(lab3, Some(members[4])).unwrap();
+
+    // Local expertise consulted twice, at different times (Fig. 1).
+    clock.advance(Duration::from_hours(5));
+    let exp1 = coord
+        .start_optional(pi, "local_expertise", Some(members[2]))
+        .unwrap();
+    coord.start_activity(exp1, Some(members[2])).unwrap();
+
+    // The first lab test comes back positive: awareness fires, and the other
+    // tests are terminated as unnecessary.
+    clock.advance(Duration::from_hours(8));
+    server
+        .contexts()
+        .set_field(ctx, "LabResult", Value::Int(1))
+        .unwrap();
+    let positive_result_notifications = server.awareness().queue().pending_total();
+    coord.complete_activity(lab1, Some(members[4])).unwrap();
+    coord.terminate_activity(lab2, Some(leader)).unwrap();
+    coord.terminate_activity(lab3, Some(leader)).unwrap();
+
+    // Second expertise consult after the positive result.
+    clock.advance(Duration::from_hours(6));
+    let exp2 = coord
+        .start_optional(pi, "local_expertise", Some(members[3]))
+        .unwrap();
+    coord.start_activity(exp2, Some(members[3])).unwrap();
+    clock.advance(Duration::from_hours(12));
+    coord.complete_activity(exp1, Some(members[2])).unwrap();
+    coord.complete_activity(exp2, Some(members[3])).unwrap();
+
+    // Task forces wind down: investigations complete, reports are written.
+    let finish_tf = |tfi: ActivityInstanceId, inv: ActivityInstanceId, who: UserId, hours: u64| {
+        clock.advance(Duration::from_hours(hours));
+        coord.complete_activity(inv, Some(who)).unwrap();
+        let rep = store
+            .child_for_var(
+                tfi,
+                repo.activity_schema(task_force)
+                    .unwrap()
+                    .activity_var("report")
+                    .unwrap()
+                    .id,
+            )
+            .unwrap()
+            .unwrap();
+        coord.start_activity(rep, Some(who)).unwrap();
+        clock.advance(Duration::from_hours(2));
+        coord.complete_activity(rep, Some(who)).unwrap();
+    };
+    finish_tf(interviews, inv1, members[0], 10);
+    finish_tf(hospitals, inv2, members[1], 4);
+    finish_tf(media, inv4, members[3], 3);
+    finish_tf(vector, inv3, members[2], 8);
+
+    assert!(store.is_closed(pi).expect("gathering process closes"));
+    let duration = clock.now().since(t0);
+
+    // ---- timeline --------------------------------------------------------
+    let mut timeline = Vec::new();
+    collect_timeline(&server, pi, &mut timeline);
+    timeline.sort_by_key(|r| (r.start, r.instance));
+
+    (
+        server,
+        EpidemicRun {
+            timeline,
+            process: pi,
+            positive_result_notifications,
+            duration,
+        },
+    )
+}
+
+fn collect_timeline(server: &CmiServer, root: ActivityInstanceId, out: &mut Vec<TimelineRow>) {
+    let snap = server.store().snapshot(root).unwrap();
+    let optional = snap
+        .parent
+        .and_then(|(ps, _)| server.repository().activity_schema(ps).ok())
+        .and_then(|s| snap.var.and_then(|v| s.activity_var_by_id(v).ok().cloned()))
+        .map(|v| v.optional)
+        .unwrap_or(false);
+    out.push(TimelineRow {
+        name: snap.schema_name.clone(),
+        instance: snap.id,
+        start: snap.created,
+        end: snap.closed_at,
+        state: snap.state.clone(),
+        optional,
+    });
+    for c in snap.children {
+        collect_timeline(server, c, out);
+    }
+}
+
+/// Renders the timeline as an ASCII Gantt chart (the Fig. 1 reproduction).
+pub fn render_timeline(rows: &[TimelineRow], width: usize) -> String {
+    let t0 = rows.iter().map(|r| r.start.millis()).min().unwrap_or(0);
+    let t1 = rows
+        .iter()
+        .map(|r| r.end.map_or(r.start.millis(), Timestamp::millis))
+        .max()
+        .unwrap_or(1)
+        .max(t0 + 1);
+    let scale = |t: u64| ((t - t0) as f64 / (t1 - t0) as f64 * (width - 1) as f64) as usize;
+    let name_w = rows.iter().map(|r| r.name.len()).max().unwrap_or(8) + 2;
+    let mut out = String::new();
+    for r in rows {
+        let a = scale(r.start.millis());
+        let b = scale(r.end.map_or(t1, Timestamp::millis)).max(a + 1);
+        let mut bar = vec![' '; width];
+        let fill = if r.optional { '-' } else { '=' };
+        for c in bar.iter_mut().take(b).skip(a) {
+            *c = fill;
+        }
+        let marker = match r.state.as_str() {
+            "Completed" => '|',
+            "Terminated" => 'x',
+            _ => '>',
+        };
+        if b < width {
+            bar[b] = marker;
+        } else {
+            bar[width - 1] = marker;
+        }
+        let bar: String = bar.into_iter().collect();
+        out.push_str(&format!(
+            "{:<name_w$}{bar}  ({}{})\n",
+            r.name,
+            r.state,
+            if r.optional { ", optional" } else { "" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epidemic_reproduces_figure_1_shape() {
+        let (_server, run) = run_epidemic();
+        // The process + 4 task forces (each with 2 children) + 3 labs +
+        // 2 expertise consults = 1 + 4*3 + 3 + 2 = 18 rows.
+        assert_eq!(run.timeline.len(), 18);
+        // Required task forces all completed; two lab tests were cancelled
+        // after the positive result.
+        let labs: Vec<&TimelineRow> = run
+            .timeline
+            .iter()
+            .filter(|r| r.name == "LabTest")
+            .collect();
+        assert_eq!(labs.len(), 3);
+        assert_eq!(
+            labs.iter().filter(|r| r.state == "Terminated").count(),
+            2,
+            "alternative tests are unnecessary after a positive"
+        );
+        assert_eq!(labs.iter().filter(|r| r.state == "Completed").count(), 1);
+        // Lab tests and expertise are the optional (dashed) activities.
+        assert!(labs.iter().all(|r| r.optional));
+        // The positive result notified the three watchers.
+        assert_eq!(run.positive_result_notifications, 3);
+        // The scenario spans multiple days, like Fig. 1's horizontal axis.
+        assert!(run.duration.millis() > Duration::from_days(2).millis());
+        // Everything closed.
+        assert!(run.timeline.iter().all(|r| r.end.is_some()));
+    }
+
+    #[test]
+    fn timeline_renders_with_optional_dashes() {
+        let (_server, run) = run_epidemic();
+        let chart = render_timeline(&run.timeline, 72);
+        assert!(chart.contains("InformationGathering"));
+        assert!(chart.contains("LabTest"));
+        assert!(chart.contains('-'), "optional activities render dashed");
+        assert!(chart.contains('='), "required activities render solid");
+        assert!(chart.contains('x'), "terminated activities are marked");
+        assert_eq!(chart.lines().count(), 18);
+    }
+}

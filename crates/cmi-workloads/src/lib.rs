@@ -1,0 +1,35 @@
+//! # cmi-workloads — scenario and synthetic workload generators
+//!
+//! Reproduces the paper's workloads on the real CMI engines:
+//!
+//! * [`epidemic`] — the crisis information-gathering process of Fig. 1.
+//! * [`taskforce`] — the §5.4 task-force / information-request deadline
+//!   scenario.
+//! * [`darpa`] — the §7 demonstration-scale workload (nine collaboration
+//!   processes, >50 CMM activities, eight awareness specifications, thirty
+//!   basic activity scripts, processes lasting 15 minutes to weeks).
+//! * [`synthetic`] — seeded crisis workloads with ground-truth relevance for
+//!   the information-overload and scoped-role experiments.
+//! * [`telecom`] — the service-provisioning domain (§2), tying the Service
+//!   Model's agreements into awareness.
+//! * [`driver`] — the harness running CMI's AM and the baselines
+//!   side-by-side on one live workload.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod command_control;
+pub mod darpa;
+pub mod driver;
+pub mod epidemic;
+pub mod synthetic;
+pub mod taskforce;
+pub mod telecom;
+
+pub use command_control::{run_command_control, C2Report};
+pub use darpa::{run_darpa_demo, DemoReport};
+pub use driver::{Harness, AM_NAME};
+pub use epidemic::{render_timeline, run_epidemic, EpidemicRun, TimelineRow};
+pub use synthetic::{run_crisis_workload, SyntheticOutcome, SyntheticParams};
+pub use taskforce::{install as install_taskforce, run_deadline_scenario, TaskForceSchemas};
+pub use telecom::{run_telecom, TelecomParams, TelecomReport};

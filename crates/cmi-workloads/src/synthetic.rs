@@ -1,0 +1,682 @@
+//! Seeded synthetic crisis workloads with ground-truth relevance.
+//!
+//! Generates the §2 crisis-response pattern at a configurable scale: task
+//! forces with dynamically assigned members, optional lab tests, information
+//! requests with deadlines, deadline moves by the leader, and membership
+//! churn. While driving the real enactment/context engines it records which
+//! information items each participant *needed*, per the paper's own
+//! awareness requirements:
+//!
+//! * **R1** — a positive lab result must reach the lab watchers (the test
+//!   requestor and those conducting alternative tests);
+//! * **R2** — a task force deadline moved to or before an open information
+//!   request's deadline must reach that request's requestor (§5.4);
+//! * **R3** — the task force leader must know when three or more lab tests
+//!   have completed, and when the force closes.
+//!
+//! The same requirements are expressed as four CMI awareness schemas; the
+//! baselines get the best static configuration each of them can express.
+//! Relevance never includes a participant's *own* actions (no one needs a
+//! notification about what they just did themselves).
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cmi_awareness::builder::AwarenessSchemaBuilder;
+use cmi_awareness::system::CmiServer;
+use cmi_baselines::mechanism::{info_id, AwarenessMechanism, Delivery};
+use cmi_baselines::metrics::{GroundTruth, MechanismReport};
+use cmi_baselines::pubsub::{ElvinPubSub, Predicate, Subscription};
+use cmi_baselines::simple::{MailNotify, MailRule, MonitorAll, WorklistOnly};
+use cmi_core::ids::{ProcessInstanceId, UserId};
+use cmi_core::roles::RoleSpec;
+use cmi_core::schema::ActivitySchemaBuilder;
+use cmi_core::state_schema::{generic, ActivityStateSchema};
+use cmi_core::time::{Clock, Duration, Timestamp};
+use cmi_core::value::Value;
+use cmi_coord::scripts::{ActivityScript, MemberSource, ScriptAction, ScriptValue};
+use cmi_events::operator::CmpOp;
+
+use crate::driver::Harness;
+
+/// Workload shape parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticParams {
+    /// RNG seed (same seed → identical workload and scores).
+    pub seed: u64,
+    /// Number of task forces.
+    pub task_forces: usize,
+    /// Members per task force (besides the leader).
+    pub members_per_force: usize,
+    /// Lab tests run per force.
+    pub lab_tests_per_force: usize,
+    /// Information requests made per force.
+    pub info_requests_per_force: usize,
+    /// Probability a lab test is positive.
+    pub positive_rate: f64,
+    /// Number of leader deadline moves per force.
+    pub deadline_moves_per_force: usize,
+    /// Probability (per lab test step) that one member leaves the force and
+    /// another joins — the churn the scoped-role experiment sweeps.
+    pub churn_rate: f64,
+}
+
+impl Default for SyntheticParams {
+    fn default() -> Self {
+        SyntheticParams {
+            seed: 42,
+            task_forces: 4,
+            members_per_force: 4,
+            lab_tests_per_force: 4,
+            info_requests_per_force: 2,
+            positive_rate: 0.4,
+            deadline_moves_per_force: 2,
+            churn_rate: 0.0,
+        }
+    }
+}
+
+/// Per-force membership interval bookkeeping for the misdelivery metric.
+#[derive(Debug, Clone, Default)]
+pub struct Membership {
+    /// user → (join time, leave time if they left).
+    intervals: BTreeMap<UserId, (Timestamp, Option<Timestamp>)>,
+}
+
+impl Membership {
+    fn join(&mut self, u: UserId, t: Timestamp) {
+        self.intervals.entry(u).or_insert((t, None));
+    }
+    fn leave(&mut self, u: UserId, t: Timestamp) {
+        if let Some(e) = self.intervals.get_mut(&u) {
+            e.1 = Some(t);
+        }
+    }
+    /// Had `u` left the force strictly before `t`?
+    pub fn left_before(&self, u: UserId, t: Timestamp) -> bool {
+        matches!(self.intervals.get(&u), Some((_, Some(leave))) if *leave < t)
+    }
+    /// Was `u` ever a member?
+    pub fn ever_member(&self, u: UserId) -> bool {
+        self.intervals.contains_key(&u)
+    }
+}
+
+/// Everything the run produced, ready for scoring.
+pub struct SyntheticOutcome {
+    /// The per-mechanism relevance reports (AM first).
+    pub reports: Vec<MechanismReport>,
+    /// Raw deliveries per mechanism, for custom metrics.
+    pub deliveries: Vec<(String, Vec<Delivery>)>,
+    /// Ground truth used for scoring.
+    pub truth: GroundTruth,
+    /// All participants (leaders + member pool).
+    pub participants: Vec<UserId>,
+    /// Primitive events generated.
+    pub trace_len: usize,
+    /// info item → force index, for force-scoped metrics.
+    pub item_force: BTreeMap<String, usize>,
+    /// Per-force membership history.
+    pub membership: Vec<Membership>,
+}
+
+impl SyntheticOutcome {
+    /// *Irrelevant* deliveries made to participants who had already left the
+    /// item's force — the misdelivery count of the scoped-role experiment.
+    /// (A delivery to an ex-member can still be correct: a requestor who left
+    /// the force keeps owning their open information request, and the ground
+    /// truth marks it; such deliveries are not misdeliveries.) CMI's AM
+    /// resolves scoped roles at detection time, so its count is zero;
+    /// statically configured mechanisms keep notifying ex-members.
+    pub fn ex_member_deliveries(&self) -> Vec<(String, usize)> {
+        self.deliveries
+            .iter()
+            .map(|(name, deliveries)| {
+                let n = deliveries
+                    .iter()
+                    .filter(|d| {
+                        !self.truth.is_relevant(d.user, &d.info)
+                            && self.item_force.get(&d.info).is_some_and(|&force| {
+                                self.membership[force].left_before(d.user, d.time)
+                            })
+                    })
+                    .count();
+                (name.clone(), n)
+            })
+            .collect()
+    }
+}
+
+/// Runs the synthetic crisis workload and scores AM against the baselines.
+pub fn run_crisis_workload(params: SyntheticParams) -> SyntheticOutcome {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let server = CmiServer::new();
+    let repo = server.repository();
+    let dir = server.directory();
+    let clock = server.clock().clone();
+
+    // ---- participants --------------------------------------------------
+    let leader_role = dir.add_role("health-crisis-leader").unwrap();
+    let epi_role = dir.add_role("epidemiologist").unwrap();
+    let mut leaders = Vec::new();
+    let mut pool = Vec::new();
+    for i in 0..params.task_forces {
+        let l = dir.add_user(&format!("leader{i}"));
+        dir.assign(l, leader_role).unwrap();
+        leaders.push(l);
+    }
+    // A pool with one spare member per force for churn replacements.
+    let pool_size = params.task_forces * (params.members_per_force + 1);
+    for i in 0..pool_size {
+        let m = dir.add_user(&format!("member{i}"));
+        dir.assign(m, epi_role).unwrap();
+        pool.push(m);
+    }
+    let participants: Vec<UserId> = leaders.iter().chain(pool.iter()).copied().collect();
+    // Lab tests are performed by an automated program participant; results
+    // matter to the human watchers, never to the robot itself.
+    let robot = dir.add_participant("lab-robot", cmi_core::participant::ParticipantKind::Program);
+
+    // ---- schemas ---------------------------------------------------------
+    let ss = repo.register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+    let assess = repo.fresh_activity_schema_id();
+    repo.register_activity_schema(
+        ActivitySchemaBuilder::basic(assess, "Assess", ss.clone())
+            .performed_by(RoleSpec::scoped("TaskForceContext", "Members"))
+            .build()
+            .unwrap(),
+    );
+    let lab = repo.fresh_activity_schema_id();
+    repo.register_activity_schema(
+        ActivitySchemaBuilder::basic(lab, "LabTest", ss.clone())
+            .build()
+            .unwrap(),
+    );
+    let gather = repo.fresh_activity_schema_id();
+    repo.register_activity_schema(
+        ActivitySchemaBuilder::basic(gather, "Gather", ss.clone())
+            .build()
+            .unwrap(),
+    );
+    let info_req = repo.fresh_activity_schema_id();
+    let mut ib = ActivitySchemaBuilder::process(info_req, "InfoRequest", ss.clone());
+    ib.activity_var("gather", gather, false).unwrap();
+    repo.register_activity_schema(ib.build().unwrap());
+    let force = repo.fresh_activity_schema_id();
+    let mut fb = ActivitySchemaBuilder::process(force, "CrisisTaskForce", ss);
+    let v_assess = fb.activity_var("assess", assess, false).unwrap();
+    let v_lab = fb.activity_var("lab", lab, true).unwrap();
+    let _ = (v_assess, v_lab);
+    fb.activity_var("request", info_req, true).unwrap();
+    repo.register_activity_schema(fb.build().unwrap());
+
+    // ---- scripts ---------------------------------------------------------
+    server.coordination().register_script(
+        force,
+        generic::RUNNING,
+        ActivityScript::new(
+            "tf-init",
+            vec![
+                ScriptAction::CreateContext {
+                    name: "TaskForceContext".into(),
+                },
+                ScriptAction::CreateRole {
+                    context: "TaskForceContext".into(),
+                    role: "Leader".into(),
+                    members: MemberSource::TriggeringUser,
+                },
+                ScriptAction::CreateRole {
+                    context: "TaskForceContext".into(),
+                    role: "Members".into(),
+                    members: MemberSource::Users(vec![]),
+                },
+                ScriptAction::CreateRole {
+                    context: "TaskForceContext".into(),
+                    role: "LabWatchers".into(),
+                    members: MemberSource::Users(vec![]),
+                },
+            ],
+        ),
+    );
+    server.coordination().register_script(
+        force,
+        generic::COMPLETED,
+        ActivityScript::new(
+            "tf-close",
+            vec![ScriptAction::DestroyContext {
+                name: "TaskForceContext".into(),
+            }],
+        ),
+    );
+    server.coordination().register_script(
+        info_req,
+        generic::RUNNING,
+        ActivityScript::new(
+            "ir-init",
+            vec![
+                ScriptAction::CreateContext {
+                    name: "InfoRequestContext".into(),
+                },
+                ScriptAction::CreateRole {
+                    context: "InfoRequestContext".into(),
+                    role: "Requestor".into(),
+                    members: MemberSource::TriggeringUser,
+                },
+                ScriptAction::SetField {
+                    context: "InfoRequestContext".into(),
+                    field: "RequestDeadline".into(),
+                    value: ScriptValue::NowPlus(Duration::from_days(3)),
+                },
+            ],
+        ),
+    );
+
+    server.coordination().register_script(
+        info_req,
+        generic::COMPLETED,
+        ActivityScript::new(
+            "ir-close",
+            vec![ScriptAction::DestroyContext {
+                name: "InfoRequestContext".into(),
+            }],
+        ),
+    );
+
+    // ---- baselines (best static configuration each can express) ----------
+    let mut pubsub = ElvinPubSub::new();
+    for &m in &pool {
+        // Members want positive lab results; they cannot scope to their own
+        // force (content-based filtering has no process context).
+        pubsub.subscribe(Subscription {
+            user: m,
+            predicates: vec![
+                Predicate::Eq("field".into(), Value::from("LabResult")),
+                Predicate::Eq("value".into(), Value::Int(1)),
+            ],
+        });
+        // Requestors want deadline moves; again: every force's moves match.
+        pubsub.subscribe(Subscription {
+            user: m,
+            predicates: vec![Predicate::Eq("field".into(), Value::from("TaskForceDeadline"))],
+        });
+    }
+    for &l in &leaders {
+        pubsub.subscribe(Subscription {
+            user: l,
+            predicates: vec![
+                Predicate::Eq("kind".into(), Value::from("activity")),
+                Predicate::Eq("newState".into(), Value::from("Completed")),
+            ],
+        });
+    }
+    let mechanisms: Vec<Box<dyn AwarenessMechanism>> = vec![
+        Box::new(MonitorAll::new(leaders.clone())),
+        Box::new(WorklistOnly),
+        Box::new(pubsub),
+        Box::new(MailNotify::new(vec![MailRule {
+            state: generic::COMPLETED.into(),
+            recipients: leaders.clone(),
+        }])),
+    ];
+    let harness = Harness::install(&server, mechanisms);
+
+    // ---- CMI awareness schemas (the four requirements) --------------------
+    {
+        // R1: positive lab result → LabWatchers.
+        let mut b = AwarenessSchemaBuilder::new(server.fresh_awareness_id(), "positive-lab", force);
+        let f = b.context_filter("TaskForceContext", "LabResult").unwrap();
+        let pos = b.compare1(CmpOp::Eq, 1, f).unwrap();
+        harness.am().register(
+            b.deliver_to(pos, RoleSpec::scoped("TaskForceContext", "LabWatchers"))
+                .describe("positive lab result")
+                .build()
+                .unwrap(),
+        );
+        // R3a: three or more lab tests completed → Leader.
+        let lab_var = repo
+            .activity_schema(force)
+            .unwrap()
+            .activity_var("lab")
+            .unwrap()
+            .id;
+        let mut b = AwarenessSchemaBuilder::new(server.fresh_awareness_id(), "three-labs", force);
+        let f = b.activity_filter(lab_var, &[generic::COMPLETED]).unwrap();
+        let c = b.count(f).unwrap();
+        let gate = b.compare1(CmpOp::Ge, 3, c).unwrap();
+        harness.am().register(
+            b.deliver_to(gate, RoleSpec::scoped("TaskForceContext", "Leader"))
+                .describe("three or more lab tests completed")
+                .build()
+                .unwrap(),
+        );
+        // R3b: force closed → Leader.
+        let mut b = AwarenessSchemaBuilder::new(server.fresh_awareness_id(), "force-closed", force);
+        let f = b
+            .process_filter(&[generic::COMPLETED, generic::TERMINATED])
+            .unwrap();
+        harness.am().register(
+            b.deliver_to(f, RoleSpec::scoped("TaskForceContext", "Leader"))
+                .describe("task force closed")
+                .build()
+                .unwrap(),
+        );
+        // R2: §5.4 deadline violation → Requestor.
+        let mut b =
+            AwarenessSchemaBuilder::new(server.fresh_awareness_id(), "deadline-violation", info_req);
+        let op1 = b
+            .context_filter("TaskForceContext", "TaskForceDeadline")
+            .unwrap();
+        let op2 = b
+            .context_filter("InfoRequestContext", "RequestDeadline")
+            .unwrap();
+        let cmp = b.compare2(CmpOp::Le, op1, op2).unwrap();
+        harness.am().register(
+            b.deliver_to(cmp, RoleSpec::scoped("InfoRequestContext", "Requestor"))
+                .describe("task force deadline moved before request deadline")
+                .build()
+                .unwrap(),
+        );
+    }
+
+    // ---- drive the scenario ----------------------------------------------
+    let mut truth = GroundTruth::new();
+    let mut item_force: BTreeMap<String, usize> = BTreeMap::new();
+    let mut membership: Vec<Membership> = vec![Membership::default(); params.task_forces];
+    // Capture context-change events as they happen so ground-truth items use
+    // the exact info ids. We look at the trace after each step instead of a
+    // second listener to keep this single-threaded and simple.
+    let coord = server.coordination();
+    let contexts = server.contexts();
+
+    for f_idx in 0..params.task_forces {
+        let leader = leaders[f_idx];
+        let members: Vec<UserId> = pool
+            [f_idx * (params.members_per_force + 1)..f_idx * (params.members_per_force + 1) + params.members_per_force]
+            .to_vec();
+        let spare = pool[f_idx * (params.members_per_force + 1) + params.members_per_force];
+
+        clock.advance(Duration::from_mins(rng.gen_range(10..60)));
+        let pi = coord.start_process(force, Some(leader)).unwrap();
+        let tf_ctx = contexts.find("TaskForceContext", pi).unwrap();
+        let mut current_members: Vec<UserId> = members.clone();
+        for &m in &current_members {
+            contexts.add_role_member(tf_ctx, "Members", m).unwrap();
+            membership[f_idx].join(m, clock.now());
+        }
+        // Initial force deadline, 5–9 days out.
+        let mut tf_deadline = clock.now().plus(Duration::from_days(rng.gen_range(5..9)));
+        contexts
+            .set_field(tf_ctx, "TaskForceDeadline", Value::Time(tf_deadline))
+            .unwrap();
+
+        // Information requests.
+        struct OpenRequest {
+            instance: ProcessInstanceId,
+            requestor: UserId,
+            deadline: Timestamp,
+        }
+        let mut requests: Vec<OpenRequest> = Vec::new();
+        for _ in 0..params.info_requests_per_force {
+            clock.advance(Duration::from_mins(rng.gen_range(5..45)));
+            let requestor = current_members[rng.gen_range(0..current_members.len())];
+            let req = coord.start_optional(pi, "request", Some(requestor)).unwrap();
+            contexts.attach(tf_ctx, (info_req, req)).unwrap();
+            // Re-stamp so the request's deadline comparison has a baseline.
+            contexts
+                .set_field(tf_ctx, "TaskForceDeadline", Value::Time(tf_deadline))
+                .unwrap();
+            let rd = clock.now().plus(Duration::from_days(rng.gen_range(1..4)));
+            contexts
+                .set_field(
+                    contexts.find("InfoRequestContext", req).unwrap(),
+                    "RequestDeadline",
+                    Value::Time(rd),
+                )
+                .unwrap();
+            requests.push(OpenRequest {
+                instance: req,
+                requestor,
+                deadline: rd,
+            });
+        }
+
+        // Lab tests with possible churn between them.
+        let mut labs_completed = 0usize;
+        for _ in 0..params.lab_tests_per_force {
+            clock.advance(Duration::from_hours(rng.gen_range(1..12)));
+            if rng.gen_bool(params.churn_rate) && current_members.len() > 1 {
+                // One member leaves, the spare joins (if not already in).
+                let idx = rng.gen_range(0..current_members.len());
+                let leaving = current_members.remove(idx);
+                contexts.remove_role_member(tf_ctx, "Members", leaving).unwrap();
+                membership[f_idx].leave(leaving, clock.now());
+                if !current_members.contains(&spare) {
+                    contexts.add_role_member(tf_ctx, "Members", spare).unwrap();
+                    membership[f_idx].join(spare, clock.now());
+                    current_members.push(spare);
+                }
+            }
+            // The requestor and an alternate tester watch the result; the
+            // test itself is carried out by the lab robot.
+            let requestor = current_members[rng.gen_range(0..current_members.len())];
+            let alternate = current_members[rng.gen_range(0..current_members.len())];
+            for u in contexts.resolve_role(tf_ctx, "LabWatchers").unwrap() {
+                contexts.remove_role_member(tf_ctx, "LabWatchers", u).unwrap();
+            }
+            contexts
+                .add_role_member(tf_ctx, "LabWatchers", requestor)
+                .unwrap();
+            if alternate != requestor {
+                contexts
+                    .add_role_member(tf_ctx, "LabWatchers", alternate)
+                    .unwrap();
+            }
+            let watchers = contexts.resolve_role(tf_ctx, "LabWatchers").unwrap();
+
+            let li = coord.start_optional(pi, "lab", Some(robot)).unwrap();
+            coord.start_activity(li, Some(robot)).unwrap();
+            clock.advance(Duration::from_hours(rng.gen_range(1..6)));
+            let positive = rng.gen_bool(params.positive_rate);
+            // Record the result first (context event), then complete.
+            let result_time = clock.now();
+            contexts
+                .set_field(tf_ctx, "LabResult", Value::Int(i64::from(positive)))
+                .unwrap();
+            if positive {
+                // R1: the result context event is relevant to the watchers.
+                let info = last_context_info(&harness, result_time);
+                for &w in &watchers {
+                    truth.mark(w, &info);
+                }
+                item_force.insert(info, f_idx);
+            }
+            coord.complete_activity(li, Some(robot)).unwrap();
+            labs_completed += 1;
+            if labs_completed >= 3 {
+                // R3a: the completion activity event is relevant to the
+                // leader from the third completion onward.
+                let info = last_activity_info(&harness);
+                truth.mark(leader, &info);
+                item_force.insert(info, f_idx);
+            }
+        }
+
+        // Leader deadline moves.
+        for _ in 0..params.deadline_moves_per_force {
+            clock.advance(Duration::from_hours(rng.gen_range(2..24)));
+            // Move earlier: somewhere between now and the old deadline.
+            let room = tf_deadline.since(clock.now()).millis();
+            let new = clock
+                .now()
+                .plus(Duration::from_millis(rng.gen_range(0..(room / 2).max(1))));
+            tf_deadline = new;
+            let move_time = clock.now();
+            contexts
+                .set_field(tf_ctx, "TaskForceDeadline", Value::Time(new))
+                .unwrap();
+            let info = last_context_info(&harness, move_time);
+            // R2: relevant to requestors of open requests whose deadline is
+            // now at or after the force deadline.
+            for r in &requests {
+                let open = !server.store().is_closed(r.instance).unwrap();
+                if open && new <= r.deadline {
+                    truth.mark(r.requestor, &info);
+                }
+            }
+            item_force.insert(info, f_idx);
+        }
+
+        // Close out: finish requests, the assessment, and the force.
+        for r in &requests {
+            let g = server
+                .store()
+                .child_for_var(
+                    r.instance,
+                    repo.activity_schema(info_req)
+                        .unwrap()
+                        .activity_var("gather")
+                        .unwrap()
+                        .id,
+                )
+                .unwrap()
+                .unwrap();
+            coord.start_activity(g, Some(r.requestor)).unwrap();
+            clock.advance(Duration::from_hours(1));
+            coord.complete_activity(g, Some(r.requestor)).unwrap();
+        }
+        let ai = server
+            .store()
+            .child_for_var(pi, repo.activity_schema(force).unwrap().activity_var("assess").unwrap().id)
+            .unwrap()
+            .unwrap();
+        let assessor = current_members[0];
+        coord.start_activity(ai, Some(assessor)).unwrap();
+        clock.advance(Duration::from_hours(2));
+        coord.complete_activity(ai, Some(assessor)).unwrap();
+        // R3b: the force's Completed event is relevant to the leader.
+        assert!(server.store().is_closed(pi).unwrap(), "force auto-completes");
+        let info = force_completed_info(&harness, pi);
+        truth.mark(leader, &info);
+        item_force.insert(info, f_idx);
+    }
+
+    let reports = harness.reports(&truth, participants.len());
+    let deliveries = harness.deliveries();
+    let trace_len = harness.trace().len();
+    SyntheticOutcome {
+        reports,
+        deliveries,
+        truth,
+        participants,
+        trace_len,
+        item_force,
+        membership,
+    }
+}
+
+/// Info id of the most recent context event in the trace (must match `time`).
+fn last_context_info(harness: &Harness, time: Timestamp) -> String {
+    let trace = harness.trace();
+    for ev in trace.iter().rev() {
+        if let cmi_baselines::mechanism::TraceEvent::Context(c) = ev {
+            assert_eq!(c.time, time, "generator and trace out of sync");
+            return info_id::context(c);
+        }
+    }
+    unreachable!("no context event recorded")
+}
+
+/// Info id of the most recent activity event.
+fn last_activity_info(harness: &Harness) -> String {
+    let trace = harness.trace();
+    for ev in trace.iter().rev() {
+        if let cmi_baselines::mechanism::TraceEvent::Activity(a) = ev {
+            return info_id::activity(a);
+        }
+    }
+    unreachable!("no activity event recorded")
+}
+
+/// Info id of the force process instance's Completed transition.
+fn force_completed_info(harness: &Harness, pi: ProcessInstanceId) -> String {
+    let trace = harness.trace();
+    for ev in trace.iter().rev() {
+        if let cmi_baselines::mechanism::TraceEvent::Activity(a) = ev {
+            if a.activity_instance_id == pi && a.new_state == generic::COMPLETED {
+                return info_id::activity(a);
+            }
+        }
+    }
+    unreachable!("force completion not recorded")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let a = run_crisis_workload(SyntheticParams::default());
+        let b = run_crisis_workload(SyntheticParams::default());
+        assert_eq!(a.trace_len, b.trace_len);
+        assert_eq!(a.reports, b.reports);
+        let c = run_crisis_workload(SyntheticParams {
+            seed: 7,
+            ..SyntheticParams::default()
+        });
+        assert!(
+            a.trace_len != c.trace_len || a.reports != c.reports,
+            "different seeds should produce different workloads"
+        );
+    }
+
+    #[test]
+    fn am_dominates_baselines_on_f1() {
+        let out = run_crisis_workload(SyntheticParams::default());
+        let am = &out.reports[0];
+        assert_eq!(am.name, "cmi-am");
+        assert!(am.recall() >= 0.99, "AM recall {} should be ~1", am.recall());
+        assert!(am.precision() >= 0.99, "AM precision {}", am.precision());
+        for r in &out.reports[1..] {
+            assert!(
+                am.f1() >= r.f1(),
+                "AM F1 {} must dominate {} F1 {}",
+                am.f1(),
+                r.name,
+                r.f1()
+            );
+        }
+        // Monitor-all floods: far more events per participant than AM.
+        let monitor = out.reports.iter().find(|r| r.name == "monitor-all").unwrap();
+        assert!(monitor.events_per_participant() > 5.0 * am.events_per_participant());
+    }
+
+    #[test]
+    fn churn_causes_ex_member_deliveries_for_static_mechanisms_only() {
+        let out = run_crisis_workload(SyntheticParams {
+            churn_rate: 0.8,
+            lab_tests_per_force: 6,
+            task_forces: 3,
+            ..SyntheticParams::default()
+        });
+        let mis = out.ex_member_deliveries();
+        let am = mis.iter().find(|(n, _)| n == "cmi-am").unwrap();
+        assert_eq!(am.1, 0, "AM never delivers to ex-members");
+        let pubsub = mis.iter().find(|(n, _)| n == "elvin-pubsub").unwrap();
+        assert!(
+            pubsub.1 > 0,
+            "static subscriptions must leak to ex-members under churn"
+        );
+    }
+
+    #[test]
+    fn ground_truth_is_nonempty_and_am_finds_it() {
+        let out = run_crisis_workload(SyntheticParams::default());
+        assert!(out.truth.relevant_pairs() > 10);
+        assert!(out.trace_len > 100);
+        let am = &out.reports[0];
+        assert!(am.delivered > 0);
+    }
+}

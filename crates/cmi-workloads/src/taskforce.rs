@@ -1,0 +1,275 @@
+//! The §5.4 task-force / information-request scenario, reusable.
+//!
+//! A health crisis leader creates a task force with a deadline; a task force
+//! member issues an information request with its own (earlier) deadline; the
+//! leader later moves the task force deadline to or before the request
+//! deadline; the `AS_InfoRequest` awareness schema detects the violation and
+//! notifies exactly the requestor through the scoped `Requestor` role.
+
+use cmi_awareness::queue::Notification;
+use cmi_awareness::system::CmiServer;
+use cmi_core::ids::{ActivitySchemaId, ProcessInstanceId, UserId};
+use cmi_core::schema::ActivitySchemaBuilder;
+use cmi_core::state_schema::{generic, ActivityStateSchema};
+use cmi_core::time::{Clock, Duration};
+use cmi_core::value::Value;
+use cmi_coord::scripts::{ActivityScript, MemberSource, ScriptAction, ScriptValue};
+
+/// The §5.4 awareness specification, in the awareness DSL.
+pub const AS_INFO_REQUEST_DSL: &str = r#"
+awareness "AS_InfoRequest" on "InfoRequest" {
+    op1  = context_filter(TaskForceContext, TaskForceDeadline)
+    op2  = context_filter(InfoRequestContext, RequestDeadline)
+    viol = compare2(<=, op1, op2)
+    deliver viol to scoped(InfoRequestContext, Requestor) assign identity
+    describe "task force deadline moved to or before the information request deadline"
+    priority high
+}
+"#;
+
+/// The registered schema ids of the scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskForceSchemas {
+    /// The task force process.
+    pub task_force: ActivitySchemaId,
+    /// The information request subprocess.
+    pub info_request: ActivitySchemaId,
+    /// The basic gathering activity inside the request.
+    pub gather: ActivitySchemaId,
+}
+
+/// Registers the §5.4 schemas, scripts and the awareness specification on
+/// `server`.
+pub fn install(server: &CmiServer) -> TaskForceSchemas {
+    let repo = server.repository();
+    let ss = repo.register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+    let gather = repo.fresh_activity_schema_id();
+    repo.register_activity_schema(
+        ActivitySchemaBuilder::basic(gather, "Gather", ss.clone())
+            .build()
+            .unwrap(),
+    );
+    let info_request = repo.fresh_activity_schema_id();
+    let mut ib = ActivitySchemaBuilder::process(info_request, "InfoRequest", ss.clone());
+    ib.activity_var("gather", gather, false).unwrap();
+    repo.register_activity_schema(ib.build().unwrap());
+    let task_force = repo.fresh_activity_schema_id();
+    let mut tb = ActivitySchemaBuilder::process(task_force, "TaskForce", ss);
+    tb.activity_var("request", info_request, true).unwrap();
+    repo.register_activity_schema(tb.build().unwrap());
+
+    server.coordination().register_script(
+        task_force,
+        generic::RUNNING,
+        ActivityScript::new(
+            "tf-init",
+            vec![
+                ScriptAction::CreateContext {
+                    name: "TaskForceContext".into(),
+                },
+                ScriptAction::CreateRole {
+                    context: "TaskForceContext".into(),
+                    role: "Leader".into(),
+                    members: MemberSource::TriggeringUser,
+                },
+                ScriptAction::CreateRole {
+                    context: "TaskForceContext".into(),
+                    role: "TaskForceMembers".into(),
+                    members: MemberSource::OrgRole("epidemiologist".into()),
+                },
+            ],
+        ),
+    );
+    server.coordination().register_script(
+        info_request,
+        generic::RUNNING,
+        ActivityScript::new(
+            "ir-init",
+            vec![
+                ScriptAction::CreateContext {
+                    name: "InfoRequestContext".into(),
+                },
+                ScriptAction::CreateRole {
+                    context: "InfoRequestContext".into(),
+                    role: "Requestor".into(),
+                    members: MemberSource::TriggeringUser,
+                },
+                ScriptAction::SetField {
+                    context: "InfoRequestContext".into(),
+                    field: "RequestDeadline".into(),
+                    value: ScriptValue::NowPlus(Duration::from_days(3)),
+                },
+            ],
+        ),
+    );
+    // "The Requestor role disappears upon completion of the information
+    // request process" (§5.4).
+    server.coordination().register_script(
+        info_request,
+        generic::COMPLETED,
+        ActivityScript::new(
+            "ir-close",
+            vec![ScriptAction::DestroyContext {
+                name: "InfoRequestContext".into(),
+            }],
+        ),
+    );
+
+    server
+        .load_awareness_source(AS_INFO_REQUEST_DSL)
+        .expect("AS_InfoRequest parses");
+
+    TaskForceSchemas {
+        task_force,
+        info_request,
+        gather,
+    }
+}
+
+/// What the scenario run produced.
+#[derive(Debug)]
+pub struct DeadlineScenarioOutcome {
+    /// The task force process instance.
+    pub task_force: ProcessInstanceId,
+    /// The information request instance.
+    pub request: ProcessInstanceId,
+    /// The requesting member.
+    pub requestor: UserId,
+    /// The leader.
+    pub leader: UserId,
+    /// Notifications the requestor received (should be the single violation).
+    pub requestor_notifications: Vec<Notification>,
+    /// Notifications anyone else received (should be empty).
+    pub other_notifications: usize,
+}
+
+/// Runs the §5.4 scenario end-to-end on a freshly installed server.
+pub fn run_deadline_scenario(server: &CmiServer, schemas: &TaskForceSchemas) -> DeadlineScenarioOutcome {
+    let dir = server.directory();
+    let clock = server.clock();
+    let leader = dir.add_user("health-crisis-leader");
+    let requestor = dir.add_user("requesting-epidemiologist");
+    let bystander = dir.add_user("other-epidemiologist");
+    let epi = dir
+        .role_by_name("epidemiologist")
+        .unwrap_or_else(|| dir.add_role("epidemiologist").unwrap());
+    dir.assign(requestor, epi).unwrap();
+    dir.assign(bystander, epi).unwrap();
+
+    // Leader starts the task force; context gets a 5-day deadline.
+    let tf = server
+        .coordination()
+        .start_process(schemas.task_force, Some(leader))
+        .unwrap();
+    let tf_ctx = server.contexts().find("TaskForceContext", tf).unwrap();
+    let deadline = clock.now().plus(Duration::from_days(5));
+    server
+        .contexts()
+        .set_field(tf_ctx, "TaskForceDeadline", Value::Time(deadline))
+        .unwrap();
+
+    // A member issues an information request (deadline: 3 days, via script);
+    // the task force context is passed to the subprocess.
+    clock.advance(Duration::from_hours(4));
+    let request = server
+        .coordination()
+        .start_optional(tf, "request", Some(requestor))
+        .unwrap();
+    server
+        .contexts()
+        .attach(tf_ctx, (schemas.info_request, request))
+        .unwrap();
+    server
+        .contexts()
+        .set_field(tf_ctx, "TaskForceDeadline", Value::Time(deadline))
+        .unwrap();
+
+    // The external situation changes: the leader moves the deadline to 2
+    // days — before the request's 3-day deadline.
+    clock.advance(Duration::from_hours(6));
+    server
+        .contexts()
+        .set_field(
+            tf_ctx,
+            "TaskForceDeadline",
+            Value::Time(clock.now().plus(Duration::from_days(2))),
+        )
+        .unwrap();
+
+    let queue = server.awareness().queue();
+    let requestor_notifications = queue.fetch(requestor, 100);
+    let other_notifications =
+        queue.pending_for(leader) + queue.pending_for(bystander);
+    DeadlineScenarioOutcome {
+        task_force: tf,
+        request,
+        requestor,
+        leader,
+        requestor_notifications,
+        other_notifications,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_notifies_exactly_the_requestor() {
+        let server = CmiServer::new();
+        let schemas = install(&server);
+        let out = run_deadline_scenario(&server, &schemas);
+        assert_eq!(out.requestor_notifications.len(), 1);
+        assert!(out.requestor_notifications[0]
+            .description
+            .contains("deadline"));
+        assert_eq!(
+            out.requestor_notifications[0].priority,
+            cmi_awareness::queue::Priority::High,
+            "deadline violations are high priority"
+        );
+        assert_eq!(out.other_notifications, 0);
+        assert_eq!(out.requestor_notifications[0].process_instance, out.request);
+    }
+
+    #[test]
+    fn requestor_role_gone_after_request_completes() {
+        let server = CmiServer::new();
+        let schemas = install(&server);
+        let out = run_deadline_scenario(&server, &schemas);
+        // Finish the request; its context scope ends.
+        let g = server
+            .store()
+            .child_for_var(
+                out.request,
+                server
+                    .repository()
+                    .activity_schema(schemas.info_request)
+                    .unwrap()
+                    .activity_var("gather")
+                    .unwrap()
+                    .id,
+            )
+            .unwrap()
+            .unwrap();
+        server.coordination().start_activity(g, Some(out.requestor)).unwrap();
+        server.coordination().complete_activity(g, Some(out.requestor)).unwrap();
+        assert!(server.store().is_closed(out.request).unwrap());
+        // A further deadline move is detected but cannot be delivered: the
+        // Requestor scoped role disappeared with the request's scope.
+        let before = server.awareness().stats();
+        let tf_ctx = server.contexts().find("TaskForceContext", out.task_force).unwrap();
+        server
+            .contexts()
+            .set_field(
+                tf_ctx,
+                "TaskForceDeadline",
+                Value::Time(server.clock().now()),
+            )
+            .unwrap();
+        let after = server.awareness().stats();
+        assert!(after.detections > before.detections);
+        assert_eq!(after.notifications, before.notifications);
+        assert!(after.unresolved_roles > before.unresolved_roles);
+    }
+}

@@ -1,0 +1,265 @@
+//! Telecommunications service provisioning — the paper's second named
+//! application domain (§2: "Similar awareness requirements also exist in
+//! command and control, and telecommunications service provisioning
+//! applications").
+//!
+//! Each customer order runs a provisioning process: order intake → credit
+//! check → line installation (outsourced to a field-service provider through
+//! the Service Model) → activation. Awareness:
+//!
+//! * the scoped `OrderOwner` role is notified when their order activates;
+//! * provisioning managers are notified of every SLA violation by a field
+//!   contractor (via the service engine's external violation events).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cmi_awareness::builder::AwarenessSchemaBuilder;
+use cmi_awareness::system::CmiServer;
+use cmi_core::ids::UserId;
+use cmi_core::roles::RoleSpec;
+use cmi_core::schema::ActivitySchemaBuilder;
+use cmi_core::state_schema::{generic, ActivityStateSchema};
+use cmi_core::time::Duration;
+use cmi_coord::scripts::{ActivityScript, MemberSource, ScriptAction};
+use cmi_events::operators::ExternalFilter;
+use cmi_service::{QualityOfService, SelectionPolicy, ServiceEngine, VIOLATION_SOURCE};
+
+/// Workload knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TelecomParams {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of customer orders to provision.
+    pub orders: usize,
+    /// Probability an installation overruns its SLA window.
+    pub overrun_rate: f64,
+}
+
+impl Default for TelecomParams {
+    fn default() -> Self {
+        TelecomParams {
+            seed: 7,
+            orders: 12,
+            overrun_rate: 0.25,
+        }
+    }
+}
+
+/// What the run produced.
+#[derive(Debug)]
+pub struct TelecomReport {
+    /// Orders provisioned to completion.
+    pub completed_orders: usize,
+    /// Agreements fulfilled within their SLA.
+    pub fulfilled: usize,
+    /// SLA violations.
+    pub violated: usize,
+    /// Notifications delivered to order owners (one per activated order).
+    pub owner_notifications: usize,
+    /// Notifications delivered to provisioning managers (one per violation).
+    pub manager_notifications: usize,
+}
+
+/// Builds and runs the provisioning workload on a fresh server.
+pub fn run_telecom(params: TelecomParams) -> (CmiServer, TelecomReport) {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let server = CmiServer::new();
+    let repo = server.repository();
+    let dir = server.directory();
+
+    // Participants.
+    let manager = dir.add_user("provisioning-manager");
+    let managers = dir.add_role("provisioning-managers").unwrap();
+    dir.assign(manager, managers).unwrap();
+    let clerk = dir.add_user("order-clerk");
+    let contractor_a = dir.add_participant("fieldserv-a", cmi_core::participant::ParticipantKind::Program);
+    let contractor_b = dir.add_participant("fieldserv-b", cmi_core::participant::ParticipantKind::Program);
+    let customers: Vec<UserId> = (0..params.orders)
+        .map(|i| dir.add_user(&format!("customer{i}")))
+        .collect();
+
+    // Schemas.
+    let ss = repo.register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+    let mk_basic = |name: &str| {
+        let id = repo.fresh_activity_schema_id();
+        repo.register_activity_schema(
+            ActivitySchemaBuilder::basic(id, name, ss.clone()).build().unwrap(),
+        );
+        id
+    };
+    let intake = mk_basic("OrderIntake");
+    let credit = mk_basic("CreditCheck");
+    let install = mk_basic("LineInstallation"); // the service interface
+    let activate = mk_basic("Activation");
+    let provisioning = repo.fresh_activity_schema_id();
+    let mut pb = ActivitySchemaBuilder::process(provisioning, "Provisioning", ss);
+    let v_intake = pb.activity_var("intake", intake, false).unwrap();
+    let v_credit = pb.activity_var("credit", credit, false).unwrap();
+    pb.activity_var("install", install, true).unwrap(); // service invocation
+    let v_activate = pb.activity_var("activate", activate, true).unwrap();
+    pb.sequence(v_intake, v_credit);
+    let _ = v_activate;
+    repo.register_activity_schema(pb.build().unwrap());
+
+    // Per-order context with the OrderOwner scoped role.
+    server.coordination().register_script(
+        provisioning,
+        generic::RUNNING,
+        ActivityScript::new(
+            "order-init",
+            vec![
+                ScriptAction::CreateContext {
+                    name: "OrderContext".into(),
+                },
+                ScriptAction::CreateRole {
+                    context: "OrderContext".into(),
+                    role: "OrderOwner".into(),
+                    members: MemberSource::TriggeringUser,
+                },
+            ],
+        ),
+    );
+
+    // Awareness 1: order activated → its owner.
+    server
+        .load_awareness_source(
+            r#"
+            awareness "order-activated" on Provisioning {
+                done = activity_filter(activate, Completed)
+                deliver done to scoped(OrderContext, OrderOwner)
+                describe "your line has been activated"
+            }
+            "#,
+        )
+        .unwrap();
+    // Awareness 2: SLA violations → managers.
+    let mut b = AwarenessSchemaBuilder::new(server.fresh_awareness_id(), "sla", provisioning);
+    let filt = b
+        .external_filter(ExternalFilter::new(
+            provisioning,
+            VIOLATION_SOURCE,
+            Some("consumerInstance"),
+        ))
+        .unwrap();
+    server.register_awareness(
+        b.deliver_to(filt, RoleSpec::org("provisioning-managers"))
+            .describe("a field-service SLA was violated")
+            .build()
+            .unwrap(),
+    );
+
+    // Service providers.
+    let services = ServiceEngine::new(
+        server.coordination().clone(),
+        Some(server.awareness().clone()),
+    );
+    services.registry().publish(
+        "line-installation",
+        "fieldserv-a",
+        install,
+        contractor_a,
+        QualityOfService::new(Duration::from_hours(8), 0.9, 120),
+    );
+    services.registry().publish(
+        "line-installation",
+        "fieldserv-b",
+        install,
+        contractor_b,
+        QualityOfService::new(Duration::from_hours(12), 0.95, 80),
+    );
+
+    // Provision every order.
+    let mut completed_orders = 0;
+    for &customer in &customers {
+        let pi = server
+            .coordination()
+            .start_process(provisioning, Some(customer))
+            .unwrap();
+        // Intake and credit check by the clerk.
+        for var in ["intake", "credit"] {
+            let schema = repo.activity_schema(provisioning).unwrap();
+            let v = schema.activity_var(var).unwrap().id;
+            let inst = server.store().child_for_var(pi, v).unwrap().unwrap();
+            server.coordination().start_activity(inst, Some(clerk)).unwrap();
+            server.clock().advance(Duration::from_mins(rng.gen_range(10..40)));
+            server.coordination().complete_activity(inst, Some(clerk)).unwrap();
+        }
+        // Outsourced installation, least-loaded contractor, 1.5x slack.
+        let agreement = services
+            .invoke(pi, "install", "line-installation", SelectionPolicy::LeastLoaded, Some(clerk), 1.5)
+            .unwrap();
+        let window = agreement.due_by.since(agreement.agreed_at);
+        let work = if rng.gen_bool(params.overrun_rate) {
+            Duration::from_millis(window.millis() * 2)
+        } else {
+            Duration::from_millis(window.millis() / 2)
+        };
+        server.clock().advance(work);
+        services.complete(agreement.invocation).unwrap();
+        // Activation closes the order.
+        let inst = server.coordination().start_optional(pi, "activate", Some(clerk)).unwrap();
+        server.coordination().start_activity(inst, Some(clerk)).unwrap();
+        server.clock().advance(Duration::from_mins(5));
+        server.coordination().complete_activity(inst, Some(clerk)).unwrap();
+        if server.store().is_closed(pi).unwrap() {
+            completed_orders += 1;
+        }
+    }
+
+    let (open, fulfilled, violated) = services.agreements().counts();
+    assert_eq!(open, 0);
+    let owner_notifications = customers
+        .iter()
+        .map(|&c| server.awareness().queue().pending_for(c))
+        .sum();
+    let manager_notifications = server.awareness().queue().pending_for(manager);
+    (
+        server,
+        TelecomReport {
+            completed_orders,
+            fulfilled,
+            violated,
+            owner_notifications,
+            manager_notifications,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provisioning_workload_ties_sm_and_am_together() {
+        let (_server, r) = run_telecom(TelecomParams::default());
+        assert_eq!(r.completed_orders, 12, "every order provisions to completion");
+        assert_eq!(r.fulfilled + r.violated, 12, "every agreement settles");
+        assert!(r.violated > 0, "some overruns at 25% rate");
+        assert!(r.fulfilled > 0);
+        // Exactly one activation notice per order owner; exactly one manager
+        // notice per violation.
+        assert_eq!(r.owner_notifications, 12);
+        assert_eq!(r.manager_notifications, r.violated);
+    }
+
+    #[test]
+    fn zero_overrun_means_no_manager_notifications() {
+        let (_server, r) = run_telecom(TelecomParams {
+            overrun_rate: 0.0,
+            orders: 5,
+            ..TelecomParams::default()
+        });
+        assert_eq!(r.violated, 0);
+        assert_eq!(r.manager_notifications, 0);
+        assert_eq!(r.owner_notifications, 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (_, a) = run_telecom(TelecomParams::default());
+        let (_, b) = run_telecom(TelecomParams::default());
+        assert_eq!(a.violated, b.violated);
+        assert_eq!(a.owner_notifications, b.owner_notifications);
+    }
+}

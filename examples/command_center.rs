@@ -1,0 +1,47 @@
+//! Command and control (§2's third domain): field sightings stream in as
+//! external events; composite awareness correlates them with analyst
+//! assessments and routes alerts by organizational and scoped roles. The
+//! watch commander reads the queue in priority order and as a digest.
+//!
+//! Run with: `cargo run --example command_center`
+
+use cmi::prelude::*;
+use cmi::workloads::command_control::run_command_control;
+
+fn main() {
+    let (server, report) = run_command_control();
+
+    println!(
+        "injected {} sightings across two operations\n",
+        report.sightings
+    );
+    println!(
+        "corroborated-contact alerts to the watch commander: {}",
+        report.contact_alerts
+    );
+    println!(
+        "sighting-volume summaries to duty officers:        {}\n",
+        report.volume_summaries
+    );
+
+    // The commander's viewer: digest first, then prioritized consumption.
+    let commander = server
+        .directory()
+        .role_by_name("watch-commanders")
+        .and_then(|r| server.directory().resolve(r).ok())
+        .and_then(|m| m.first().copied())
+        .expect("commander exists");
+    let viewer = server.viewer(commander).unwrap();
+    println!("commander's digest:");
+    for d in viewer.digest() {
+        println!(
+            "  [{}] {} ×{} — {} (instance {})",
+            d.max_priority, d.schema_name, d.count, d.description, d.process_instance
+        );
+    }
+    println!("\ncommander reads (priority order):");
+    for n in viewer.take_prioritized(10) {
+        println!("  {}", AwarenessViewer::render(&n));
+    }
+    println!("\n{}", server.architecture_diagram());
+}

@@ -1,0 +1,83 @@
+//! Quickstart: define a process, write an awareness specification, enact the
+//! process, and watch the notification arrive.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cmi::prelude::*;
+
+fn main() {
+    // 1. Boot a CMI server (CORE + coordination + awareness engines, wired).
+    let server = CmiServer::new();
+    let repo = server.repository();
+
+    // 2. Designers register schemas: a basic activity and a process using it.
+    let states = repo.register_state_schema(ActivityStateSchema::generic(
+        repo.fresh_state_schema_id(),
+    ));
+    let write_report = repo.fresh_activity_schema_id();
+    repo.register_activity_schema(
+        ActivitySchemaBuilder::basic(write_report, "WriteReport", states.clone())
+            .performed_by(RoleSpec::org("analyst"))
+            .build()
+            .unwrap(),
+    );
+    let review = repo.fresh_activity_schema_id();
+    repo.register_activity_schema(
+        ActivitySchemaBuilder::basic(review, "ReviewReport", states.clone())
+            .performed_by(RoleSpec::org("watch-officer"))
+            .build()
+            .unwrap(),
+    );
+    let mission = repo.fresh_activity_schema_id();
+    let mut pb = ActivitySchemaBuilder::process(mission, "Mission", states);
+    let v_write = pb.activity_var("write", write_report, false).unwrap();
+    let v_review = pb.activity_var("review", review, false).unwrap();
+    pb.sequence(v_write, v_review);
+    repo.register_activity_schema(pb.build().unwrap());
+
+    // 3. Participants and organizational roles.
+    let dir = server.directory();
+    let alice = dir.add_user("alice");
+    let omar = dir.add_user("omar");
+    let analyst = dir.add_role("analyst").unwrap();
+    let watch = dir.add_role("watch-officer").unwrap();
+    dir.assign(alice, analyst).unwrap();
+    dir.assign(omar, watch).unwrap();
+
+    // 4. An awareness specification, in the textual specification language.
+    server
+        .load_awareness_source(
+            r#"
+            awareness "mission-closed" on Mission {
+                done = process_filter(Completed|Terminated)
+                deliver done to org(watch-officer)
+                describe "a mission has closed"
+            }
+            "#,
+        )
+        .unwrap();
+
+    // 5. Enact the process through the worklist, as participants would.
+    let pi = server.coordination().start_process(mission, None).unwrap();
+    println!("started Mission instance {pi}");
+    let wl = server.worklist();
+    for user in [alice, omar] {
+        for item in wl.for_user(user).unwrap() {
+            println!("  {user} claims `{}` ({})", item.activity, item.instance);
+            wl.claim(user, item.instance).unwrap();
+            server.clock().advance(Duration::from_mins(30));
+            server
+                .coordination()
+                .complete_activity(item.instance, Some(user))
+                .unwrap();
+        }
+    }
+    assert!(server.store().is_closed(pi).unwrap());
+    println!("mission {pi} completed after {}", server.clock().now());
+
+    // 6. The watch officer's awareness viewer shows the notification.
+    let viewer = server.viewer(omar).unwrap();
+    for n in viewer.take(10) {
+        println!("omar's viewer: {}", AwarenessViewer::render(&n));
+    }
+}

@@ -1,0 +1,122 @@
+//! Virtual-enterprise services — the Service Model in action (§3's SM).
+//!
+//! A crisis mission outsources lab analysis to external providers. The
+//! service engine selects providers by policy, tracks agreements, learns
+//! observed reliability, and publishes agreement violations as awareness
+//! events so the duty officers hear about late labs immediately.
+//!
+//! Run with: `cargo run --example virtual_enterprise`
+
+use cmi::prelude::*;
+use cmi::service::{QualityOfService, SelectionPolicy, ServiceEngine, VIOLATION_SOURCE};
+
+fn main() {
+    let server = CmiServer::new();
+    let repo = server.repository();
+
+    // The service interface and the consuming process.
+    let ss = repo.register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+    let iface = repo.fresh_activity_schema_id();
+    repo.register_activity_schema(
+        ActivitySchemaBuilder::basic(iface, "LabAnalysis", ss.clone())
+            .build()
+            .unwrap(),
+    );
+    let mission = repo.fresh_activity_schema_id();
+    let mut pb = ActivitySchemaBuilder::process(mission, "Mission", ss);
+    pb.activity_var("analysis", iface, true).unwrap();
+    repo.register_activity_schema(pb.build().unwrap());
+
+    // Providers in the virtual enterprise.
+    let services = ServiceEngine::new(
+        server.coordination().clone(),
+        Some(server.awareness().clone()),
+    );
+    let fast = server
+        .directory()
+        .add_participant("fast-lab", ParticipantKind::Program);
+    let cheap = server
+        .directory()
+        .add_participant("cheap-lab", ParticipantKind::Program);
+    services.registry().publish(
+        "lab-analysis",
+        "fast-lab",
+        iface,
+        fast,
+        QualityOfService::new(Duration::from_mins(30), 0.9, 50),
+    );
+    services.registry().publish(
+        "lab-analysis",
+        "cheap-lab",
+        iface,
+        cheap,
+        QualityOfService::new(Duration::from_hours(4), 0.97, 10),
+    );
+
+    // Awareness: SLA violations reach the duty officers.
+    let duty = server.directory().add_user("duty-officer");
+    let officers = server.directory().add_role("duty-officers").unwrap();
+    server.directory().assign(duty, officers).unwrap();
+    let mut b = AwarenessSchemaBuilder::new(server.fresh_awareness_id(), "sla-violations", mission);
+    let filt = b
+        .external_filter(
+            cmi::events::operators::ExternalFilter::new(
+                mission,
+                VIOLATION_SOURCE,
+                Some("consumerInstance"),
+            )
+            .matching("service", Value::from("lab-analysis")),
+        )
+        .unwrap();
+    server.register_awareness(
+        b.deliver_to(filt, RoleSpec::org("duty-officers"))
+            .describe("a lab-analysis service agreement was violated")
+            .build()
+            .unwrap(),
+    );
+
+    // Three missions, three invocations: the first completes on time, the
+    // second is late, the third then avoids the unreliable provider.
+    for round in 0..3 {
+        let pi = server.coordination().start_process(mission, None).unwrap();
+        let policy = if round < 2 {
+            SelectionPolicy::Fastest
+        } else {
+            SelectionPolicy::MostReliable
+        };
+        let agreement = services
+            .invoke(pi, "analysis", "lab-analysis", policy, None, 2.0)
+            .unwrap();
+        let provider = services.registry().provider(agreement.provider).unwrap();
+        println!(
+            "mission {pi}: invoked `{}` ({}), due by {}",
+            provider.name, agreement.service, agreement.due_by
+        );
+        // Round 1 runs late.
+        let work = if round == 1 {
+            Duration::from_hours(3)
+        } else {
+            Duration::from_mins(20)
+        };
+        server.clock().advance(work);
+        let settled = services.complete(agreement.invocation).unwrap();
+        println!("  settled: {:?}", settled.status);
+    }
+
+    let (open, fulfilled, violated) = services.agreements().counts();
+    println!("\nagreements: {open} open, {fulfilled} fulfilled, {violated} violated");
+    for p in services.registry().providers_of("lab-analysis") {
+        println!(
+            "provider `{}`: {} completed, {} violations, observed reliability {:.2}",
+            p.name,
+            p.completed,
+            p.violations,
+            p.observed_reliability()
+        );
+    }
+    let viewer = server.viewer(duty).unwrap();
+    println!();
+    for n in viewer.take(10) {
+        println!("duty officer: {}", AwarenessViewer::render(&n));
+    }
+}

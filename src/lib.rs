@@ -1,0 +1,112 @@
+//! # CMI — The Collaboration Management Infrastructure
+//!
+//! A Rust reproduction of the CMI system (Baker, Georgakopoulos, Schuster,
+//! Cassandra, Cichocki — MCC; CoopIS'99 / ICDE 2000): collaboration process
+//! management with **customized process and situation awareness**.
+//!
+//! CMI couples a workflow-style process model (the Collaboration Management
+//! Model, CMM) with a composite-event awareness engine. Its distinguishing
+//! ideas:
+//!
+//! * **Scoped roles** — roles created dynamically inside *context resources*,
+//!   visible only within the context's scope and alive only as long as it is
+//!   (e.g. `task force leader`, `requestor`).
+//! * **Awareness schemas** `AS_P = (AD_P, R_P, RA_P)` — a composite-event
+//!   specification (what happened), an awareness delivery role (who should
+//!   hear about it; possibly scoped), and a role assignment (which subset
+//!   actually receives it). Roles are resolved **at detection time**.
+//! * **Process-aware event operators** — filters, `And`/`Seq`/`Or`, `Count`,
+//!   `Compare1`/`Compare2` and the process-invocation `Translate`, all
+//!   replicated per process instance so events never mix across instances.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cmi::prelude::*;
+//!
+//! // Boot a server; register a one-step process schema.
+//! let server = CmiServer::new();
+//! let repo = server.repository();
+//! let states = repo.register_state_schema(ActivityStateSchema::generic(
+//!     repo.fresh_state_schema_id(),
+//! ));
+//! let step = repo.fresh_activity_schema_id();
+//! repo.register_activity_schema(
+//!     ActivitySchemaBuilder::basic(step, "WriteReport", states.clone())
+//!         .build()
+//!         .unwrap(),
+//! );
+//! let pid = repo.fresh_activity_schema_id();
+//! let mut pb = ActivitySchemaBuilder::process(pid, "Mission", states);
+//! pb.activity_var("report", step, false).unwrap();
+//! repo.register_activity_schema(pb.build().unwrap());
+//!
+//! // An awareness schema, written in the specification language: tell the
+//! // watch officers when a mission closes.
+//! let officer = server.directory().add_user("officer");
+//! let watch = server.directory().add_role("watch-officer").unwrap();
+//! server.directory().assign(officer, watch).unwrap();
+//! server
+//!     .load_awareness_source(
+//!         r#"awareness "mission-closed" on Mission {
+//!                done = process_filter(Completed|Terminated)
+//!                deliver done to org(watch-officer)
+//!            }"#,
+//!     )
+//!     .unwrap();
+//!
+//! // Enact the process; the notification arrives as it completes.
+//! let pi = server.coordination().start_process(pid, None).unwrap();
+//! let work = server.worklist().all_open().unwrap();
+//! server.coordination().start_activity(work[0].instance, Some(officer)).unwrap();
+//! server.coordination().complete_activity(work[0].instance, Some(officer)).unwrap();
+//! assert!(server.store().is_closed(pi).unwrap());
+//! assert_eq!(server.awareness().queue().pending_for(officer), 1);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`core`] (`cmi-core`) | CMM CORE: state schemas, activity schemas, resources, contexts, scoped roles |
+//! | [`events`] (`cmi-events`) | CEDMOS-style composite event detection |
+//! | [`coord`] (`cmi-coord`) | enactment engine, worklist, scripts, WfMS lowering |
+//! | [`awareness`] (`cmi-awareness`) | awareness schemas, DSL, delivery, persistent queues, `CmiServer` |
+//! | [`baselines`] (`cmi-baselines`) | related-work comparators + relevance metrics |
+//! | [`service`] (`cmi-service`) | Service Model: providers, QoS, agreements, violation awareness |
+//! | [`workloads`] (`cmi-workloads`) | paper scenarios and synthetic workloads |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use cmi_awareness as awareness;
+pub use cmi_baselines as baselines;
+pub use cmi_coord as coord;
+pub use cmi_core as core;
+pub use cmi_events as events;
+pub use cmi_service as service;
+pub use cmi_workloads as workloads;
+
+/// The commonly needed types in one import.
+pub mod prelude {
+    pub use cmi_awareness::assignment::RoleAssignment;
+    pub use cmi_awareness::builder::AwarenessSchemaBuilder;
+    pub use cmi_awareness::queue::{DeliveryQueue, Notification, Priority};
+    pub use cmi_awareness::render::render_schema;
+    pub use cmi_awareness::system::CmiServer;
+    pub use cmi_awareness::viewer::{AwarenessViewer, DigestEntry};
+    pub use cmi_core::context::ContextManager;
+    pub use cmi_core::ids::*;
+    pub use cmi_core::participant::{Directory, ParticipantKind};
+    pub use cmi_core::roles::{RoleRef, RoleSpec};
+    pub use cmi_core::schema::{ActivityKind, ActivitySchemaBuilder, Dependency};
+    pub use cmi_core::state_schema::{generic, ActivityStateSchema, ActivityStateSchemaBuilder};
+    pub use cmi_core::time::{Clock, Duration, SimClock, Timestamp};
+    pub use cmi_core::value::{Value, ValueType};
+    pub use cmi_coord::engine::{EnactmentEngine, EngineConfig};
+    pub use cmi_coord::scripts::{ActivityScript, MemberSource, ScriptAction, ScriptValue};
+    pub use cmi_coord::worklist::Worklist;
+    pub use cmi_coord::monitor::{ProcessMonitor, ProcessStats};
+    pub use cmi_events::operator::CmpOp;
+    pub use cmi_service::{QualityOfService, SelectionPolicy, ServiceEngine};
+}

@@ -1,0 +1,192 @@
+//! Failure-injection tests: ended scopes, unresolved delivery roles, torn
+//! WALs, illegal operations mid-flight, and deadline enforcement corner
+//! cases.
+
+use std::io::Write as _;
+
+use cmi::prelude::*;
+use cmi::workloads::taskforce;
+
+/// Destroying the enclosing context between detection setup and the next
+/// detection makes delivery fail *safely*: the event is detected, counted as
+/// unresolved, and nobody receives stale information.
+#[test]
+fn scope_ended_means_detected_but_undelivered() {
+    let server = CmiServer::new();
+    let schemas = taskforce::install(&server);
+    let out = taskforce::run_deadline_scenario(&server, &schemas);
+    let stats_before = server.awareness().stats();
+
+    // Kill the request's context scope directly (simulating an abnormal
+    // teardown rather than normal completion).
+    let ctx = server
+        .contexts()
+        .find("InfoRequestContext", out.request)
+        .unwrap();
+    server.contexts().destroy(ctx).unwrap();
+
+    // Another deadline move is detected but delivered to no one.
+    let tf_ctx = server
+        .contexts()
+        .find("TaskForceContext", out.task_force)
+        .unwrap();
+    server
+        .contexts()
+        .set_field(tf_ctx, "TaskForceDeadline", Value::Time(server.clock().now()))
+        .unwrap();
+    let stats_after = server.awareness().stats();
+    assert!(stats_after.detections > stats_before.detections);
+    assert_eq!(stats_after.notifications, stats_before.notifications);
+    assert!(stats_after.unresolved_roles > stats_before.unresolved_roles);
+}
+
+/// A WAL with a torn trailing record and interleaved garbage lines recovers
+/// every intact record and nothing else.
+#[test]
+fn wal_recovery_survives_garbage_and_torn_tail() {
+    let dir = std::env::temp_dir().join(format!("cmi-fi-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("torn.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    let user;
+    {
+        let server = CmiServer::with_durable_queue(&path).unwrap();
+        let schemas = taskforce::install(&server);
+        let out = taskforce::run_deadline_scenario(&server, &schemas);
+        user = out.requestor;
+        assert_eq!(server.awareness().queue().pending_for(user), 1);
+    }
+    // Corrupt the log: garbage line + torn half-record.
+    {
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        writeln!(f, "this is not json").unwrap();
+        write!(f, "{{\"kind\":\"event\",\"seq\":999,\"user\":").unwrap();
+    }
+    {
+        let q = cmi::awareness::queue::DeliveryQueue::open(&path).unwrap();
+        assert_eq!(q.pending_for(user), 1, "intact record recovered");
+        assert!(q.fetch(user, 10)[0].description.contains("deadline"));
+        // The queue keeps working after recovery from a corrupt tail.
+        q.ack(user, q.fetch(user, 1)[0].seq).unwrap();
+        assert_eq!(q.pending_for(user), 0);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Illegal enactment operations never corrupt state: after each rejected
+/// call the process continues normally.
+#[test]
+fn rejected_operations_leave_state_intact() {
+    let server = CmiServer::new();
+    let repo = server.repository();
+    let ss = repo.register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+    let a = repo.fresh_activity_schema_id();
+    repo.register_activity_schema(ActivitySchemaBuilder::basic(a, "A", ss.clone()).build().unwrap());
+    let pid = repo.fresh_activity_schema_id();
+    let mut pb = ActivitySchemaBuilder::process(pid, "P", ss);
+    let va = pb.activity_var("a", a, false).unwrap();
+    repo.register_activity_schema(pb.build().unwrap());
+
+    let pi = server.coordination().start_process(pid, None).unwrap();
+    let ia = server.store().child_for_var(pi, va).unwrap().unwrap();
+
+    // A barrage of illegal operations...
+    assert!(server.coordination().complete_activity(ia, None).is_err());
+    assert!(server.coordination().suspend_activity(ia, None).is_err());
+    assert!(server.coordination().resume_activity(ia, None).is_err());
+    assert!(server.coordination().start_optional(pi, "a", None).is_err());
+    assert!(server
+        .coordination()
+        .start_activity(ActivityInstanceId(99_999), None)
+        .is_err());
+    // ...and the normal path still works.
+    assert_eq!(server.store().state_of(ia).unwrap(), generic::READY);
+    server.coordination().start_activity(ia, None).unwrap();
+    server.coordination().complete_activity(ia, None).unwrap();
+    assert!(server.store().is_closed(pi).unwrap());
+}
+
+/// A deadline stored with a non-time value is ignored rather than tripping
+/// the enforcement pass.
+#[test]
+fn malformed_deadline_field_is_ignored() {
+    let server = CmiServer::new();
+    let repo = server.repository();
+    let ss = repo.register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+    let a = repo.fresh_activity_schema_id();
+    repo.register_activity_schema(ActivitySchemaBuilder::basic(a, "A", ss.clone()).build().unwrap());
+    let pid = repo.fresh_activity_schema_id();
+    let mut pb = ActivitySchemaBuilder::process(pid, "P", ss);
+    let va = pb.activity_var("a", a, false).unwrap();
+    pb.dependency(Dependency::Deadline {
+        target: va,
+        context_name: "Ctx".into(),
+        field: "deadline".into(),
+    });
+    repo.register_activity_schema(pb.build().unwrap());
+
+    let pi = server.coordination().start_process(pid, None).unwrap();
+    let ctx = server.contexts().create("Ctx", Some((pid, pi)));
+    server
+        .contexts()
+        .set_field(ctx, "deadline", Value::from("tomorrow-ish"))
+        .unwrap();
+    server.clock().advance(Duration::from_days(30));
+    assert!(server.coordination().enforce_deadlines().unwrap().is_empty());
+    let ia = server.store().child_for_var(pi, va).unwrap().unwrap();
+    assert_eq!(server.store().state_of(ia).unwrap(), generic::READY);
+}
+
+/// DSL errors are reported with line numbers and never partially register
+/// schemas.
+#[test]
+fn dsl_failures_register_nothing() {
+    let server = CmiServer::new();
+    taskforce::install(&server);
+    let before = server.awareness().schema_count();
+    let err = server
+        .load_awareness_source(
+            r#"
+            awareness "ok-so-far" on InfoRequest {
+                a = context_filter(C, f)
+                b = bogus(a)
+                deliver b to org(r)
+            }
+            "#,
+        )
+        .unwrap_err();
+    assert_eq!(err.line, 4);
+    assert_eq!(server.awareness().schema_count(), before);
+}
+
+/// Claiming a work item after the scoped performer role's scope ended is
+/// rejected cleanly.
+#[test]
+fn claim_after_scope_end_is_not_authorized() {
+    let server = CmiServer::new();
+    let repo = server.repository();
+    let user = server.directory().add_user("u");
+    let ss = repo.register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+    let a = repo.fresh_activity_schema_id();
+    repo.register_activity_schema(
+        ActivitySchemaBuilder::basic(a, "A", ss.clone())
+            .performed_by(RoleSpec::scoped("Ctx", "R"))
+            .build()
+            .unwrap(),
+    );
+    let pid = repo.fresh_activity_schema_id();
+    let mut pb = ActivitySchemaBuilder::process(pid, "P", ss);
+    pb.activity_var("a", a, false).unwrap();
+    repo.register_activity_schema(pb.build().unwrap());
+
+    let pi = server.coordination().start_process(pid, None).unwrap();
+    let ctx = server.contexts().create("Ctx", Some((pid, pi)));
+    server.contexts().create_role(ctx, "R", &[user]).unwrap();
+    let wl = server.worklist();
+    let items = wl.for_user(user).unwrap();
+    assert_eq!(items.len(), 1);
+    server.contexts().destroy(ctx).unwrap();
+    assert!(wl.for_user(user).unwrap().is_empty());
+    assert!(wl.claim(user, items[0].instance).is_err());
+}

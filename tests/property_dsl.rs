@@ -1,0 +1,192 @@
+//! Property tests on the awareness specification language: randomly
+//! generated specification ASTs are rendered to source, parsed back, and
+//! checked structurally — parser and builder must agree on every generated
+//! program.
+
+use proptest::prelude::*;
+
+use cmi::awareness::assignment::RoleAssignment;
+use cmi::awareness::dsl;
+use cmi::core::repository::SchemaRepository;
+use cmi::core::roles::RoleSpec;
+use cmi::core::schema::ActivitySchemaBuilder;
+use cmi::core::state_schema::ActivityStateSchema;
+use cmi::events::operator::CmpOp;
+
+/// A miniature AST of the expression language.
+#[derive(Debug, Clone)]
+enum Ast {
+    CtxFilter(u8, u8),
+    ActFilter(bool), // state set: Completed | Completed|Terminated
+    Count(Box<Ast>),
+    Compare1(u8, i64, Box<Ast>),
+    Compare2(u8, Box<Ast>, Box<Ast>),
+    And(usize, Vec<Ast>),
+    Seq(usize, Vec<Ast>),
+    Or(Vec<Ast>),
+}
+
+impl Ast {
+    /// Number of operator nodes this AST builds (producers excluded).
+    fn operator_count(&self) -> usize {
+        match self {
+            Ast::CtxFilter(..) | Ast::ActFilter(_) => 1,
+            Ast::Count(x) => 1 + x.operator_count(),
+            Ast::Compare1(_, _, x) => 1 + x.operator_count(),
+            Ast::Compare2(_, a, b) => 1 + a.operator_count() + b.operator_count(),
+            Ast::And(_, xs) | Ast::Seq(_, xs) | Ast::Or(xs) => {
+                1 + xs.iter().map(Ast::operator_count).sum::<usize>()
+            }
+        }
+    }
+
+    fn cmp(i: u8) -> CmpOp {
+        [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne][i as usize % 6]
+    }
+
+    /// Renders to DSL source.
+    fn render(&self) -> String {
+        match self {
+            Ast::CtxFilter(c, f) => format!("context_filter(Ctx{c}, field{f})"),
+            Ast::ActFilter(both) => {
+                if *both {
+                    "activity_filter(step, Completed|Terminated)".to_owned()
+                } else {
+                    "activity_filter(step, Completed)".to_owned()
+                }
+            }
+            Ast::Count(x) => format!("count({})", x.render()),
+            Ast::Compare1(op, c, x) => {
+                format!("compare1({}, {}, {})", Self::cmp(*op), c, x.render())
+            }
+            Ast::Compare2(op, a, b) => {
+                format!("compare2({}, {}, {})", Self::cmp(*op), a.render(), b.render())
+            }
+            Ast::And(copy, xs) => format!(
+                "and({}, {})",
+                (copy % xs.len()) + 1,
+                xs.iter().map(Ast::render).collect::<Vec<_>>().join(", ")
+            ),
+            Ast::Seq(copy, xs) => format!(
+                "seq({}, {})",
+                (copy % xs.len()) + 1,
+                xs.iter().map(Ast::render).collect::<Vec<_>>().join(", ")
+            ),
+            Ast::Or(xs) => format!(
+                "or({})",
+                xs.iter().map(Ast::render).collect::<Vec<_>>().join(", ")
+            ),
+        }
+    }
+}
+
+fn ast() -> impl Strategy<Value = Ast> {
+    let leaf = prop_oneof![
+        (0u8..4, 0u8..4).prop_map(|(c, f)| Ast::CtxFilter(c, f)),
+        any::<bool>().prop_map(Ast::ActFilter),
+    ];
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|x| Ast::Count(Box::new(x))),
+            (0u8..6, -20i64..20, inner.clone())
+                .prop_map(|(op, c, x)| Ast::Compare1(op, c, Box::new(x))),
+            (0u8..6, inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Ast::Compare2(op, Box::new(a), Box::new(b))),
+            (any::<usize>(), proptest::collection::vec(inner.clone(), 2..4))
+                .prop_map(|(c, xs)| Ast::And(c, xs)),
+            (any::<usize>(), proptest::collection::vec(inner.clone(), 2..4))
+                .prop_map(|(c, xs)| Ast::Seq(c, xs)),
+            proptest::collection::vec(inner, 2..4).prop_map(Ast::Or),
+        ]
+    })
+}
+
+fn repo_with_process() -> SchemaRepository {
+    let repo = SchemaRepository::new();
+    let ss = repo.register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+    let basic = repo.fresh_activity_schema_id();
+    repo.register_activity_schema(
+        ActivitySchemaBuilder::basic(basic, "Step", ss.clone())
+            .build()
+            .unwrap(),
+    );
+    let pid = repo.fresh_activity_schema_id();
+    let mut pb = ActivitySchemaBuilder::process(pid, "Proc", ss);
+    pb.activity_var("step", basic, false).unwrap();
+    repo.register_activity_schema(pb.build().unwrap());
+    repo
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    /// Every generated program parses, and the resulting schema has exactly
+    /// the expected operator structure and delivery metadata.
+    #[test]
+    fn generated_programs_parse_with_expected_shape(
+        tree in ast(),
+        scoped in any::<bool>(),
+        assignment in 0u8..4,
+    ) {
+        let repo = repo_with_process();
+        let role = if scoped {
+            "scoped(Ctx0, Watcher)"
+        } else {
+            "org(watchers)"
+        };
+        let assign = ["identity", "signed-on", "least-loaded(2)", "first(1)"][assignment as usize % 4];
+        let src = format!(
+            "awareness \"gen\" on Proc {{\n  root = {}\n  deliver root to {} assign {}\n  describe \"generated\"\n}}\n",
+            tree.render(),
+            role,
+            assign,
+        );
+        let mut next = 1;
+        let schemas = dsl::parse(&src, &repo, &mut next).unwrap_or_else(|e| {
+            panic!("failed to parse generated program: {e}\n{src}")
+        });
+        prop_assert_eq!(schemas.len(), 1);
+        let s = &schemas[0];
+        // Operator count = AST operators + the output operator.
+        prop_assert_eq!(s.operator_count(), tree.operator_count() + 1);
+        // Delivery metadata round-trips.
+        if scoped {
+            prop_assert_eq!(&s.delivery_role, &RoleSpec::scoped("Ctx0", "Watcher"));
+        } else {
+            prop_assert_eq!(&s.delivery_role, &RoleSpec::org("watchers"));
+        }
+        let expect_assign = [
+            RoleAssignment::Identity,
+            RoleAssignment::SignedOn,
+            RoleAssignment::LeastLoaded { n: 2 },
+            RoleAssignment::FirstN { n: 1 },
+        ][assignment as usize % 4].clone();
+        prop_assert_eq!(&s.assignment, &expect_assign);
+        prop_assert_eq!(&s.event_description, "generated");
+        // The schema renders without panicking and mentions the role.
+        let rendered = cmi::awareness::render::render_schema(s);
+        prop_assert!(rendered.contains("deliver to"));
+    }
+
+    /// Parsing is deterministic: the same source yields structurally equal
+    /// descriptions (same operator labels in the same order).
+    #[test]
+    fn parsing_is_deterministic(tree in ast()) {
+        let repo = repo_with_process();
+        let src = format!(
+            "awareness \"gen\" on Proc {{\n  root = {}\n  deliver root to org(w)\n}}\n",
+            tree.render(),
+        );
+        let mut n1 = 1;
+        let mut n2 = 1;
+        let a = &dsl::parse(&src, &repo, &mut n1).unwrap()[0];
+        let b = &dsl::parse(&src, &repo, &mut n2).unwrap()[0];
+        let labels = |s: &cmi::awareness::schema::AwarenessSchema| {
+            s.description
+                .nodes()
+                .iter()
+                .map(|n| n.label())
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(labels(a), labels(b));
+    }
+}

@@ -1,0 +1,210 @@
+//! Property tests on the AM event operator semantics (§5.1.3), checked
+//! against small reference models.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use cmi::core::ids::{ProcessInstanceId, ProcessSchemaId};
+use cmi::core::time::Timestamp;
+use cmi::events::event::{params, Event};
+use cmi::events::operator::{CmpOp, EventOperator};
+use cmi::events::operators::{AndOp, Compare2Op, CountOp, OrOp, SeqOp};
+
+const P: ProcessSchemaId = ProcessSchemaId(1);
+
+fn ev(i: usize, v: i64) -> Event {
+    Event::canonical(P, ProcessInstanceId(1), Timestamp::from_millis(i as u64))
+        .with(params::INT_INFO, v)
+        .with("ordinal", i as i64)
+}
+
+/// Input stream: (slot, intInfo) pairs.
+fn stream(max_slot: usize) -> impl Strategy<Value = Vec<(usize, i64)>> {
+    proptest::collection::vec((0..max_slot, -50i64..50), 0..120)
+}
+
+fn run(op: &dyn EventOperator, inputs: &[(usize, i64)]) -> Vec<Event> {
+    let mut st = op.new_state();
+    let mut out = Vec::new();
+    for (i, (slot, v)) in inputs.iter().enumerate() {
+        op.apply(*slot, &ev(i, *v), &mut st, &mut out);
+    }
+    out
+}
+
+proptest! {
+    /// And fires exactly when the last unfilled slot gets an event, then
+    /// resets — reference-model check.
+    #[test]
+    fn and_matches_reference(inputs in stream(3)) {
+        let op = AndOp::new(P, 3, 1);
+        let got = run(&op, &inputs);
+        // Reference: track pending slots, count fires and the copied slot-1
+        // ordinal.
+        let mut pending: [Option<i64>; 3] = [None; 3];
+        let mut fires = Vec::new();
+        for (i, (slot, _)) in inputs.iter().enumerate() {
+            pending[*slot] = Some(i as i64);
+            if pending.iter().all(Option::is_some) {
+                fires.push(pending[0].unwrap());
+                pending = [None; 3];
+            }
+        }
+        prop_assert_eq!(got.len(), fires.len());
+        for (g, expect_ordinal) in got.iter().zip(fires) {
+            prop_assert_eq!(g.get_int("ordinal"), Some(expect_ordinal));
+        }
+    }
+
+    /// Seq fires at most as often as And on the same stream (order is a
+    /// strictly stronger requirement).
+    #[test]
+    fn seq_is_a_refinement_of_and(inputs in stream(3)) {
+        let and_fires = run(&AndOp::new(P, 3, 1), &inputs).len();
+        let seq_fires = run(&SeqOp::new(P, 3, 1), &inputs).len();
+        prop_assert!(seq_fires <= and_fires);
+    }
+
+    /// Seq against its own reference model: an event registers on slot i
+    /// only when slots 0..i are filled; firing resets.
+    #[test]
+    fn seq_matches_reference(inputs in stream(2)) {
+        let got = run(&SeqOp::new(P, 2, 2), &inputs).len();
+        let mut filled = [false, false];
+        let mut fires = 0usize;
+        for (slot, _) in &inputs {
+            match slot {
+                0 => filled[0] = true,
+                _ if filled[0] => {
+                    fires += 1;
+                    filled = [false, false];
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(got, fires);
+    }
+
+    /// Or echoes every input exactly once, preserving payloads and order.
+    #[test]
+    fn or_is_the_identity_on_streams(inputs in stream(4)) {
+        let op = OrOp::new(P, 4);
+        let got = run(&op, &inputs);
+        prop_assert_eq!(got.len(), inputs.len());
+        for (i, g) in got.iter().enumerate() {
+            prop_assert_eq!(g.get_int("ordinal"), Some(i as i64));
+        }
+    }
+
+    /// Count emits 1..=n as intInfo, one output per input.
+    #[test]
+    fn count_is_sequential(inputs in stream(1)) {
+        let got = run(&CountOp::new(P), &inputs);
+        prop_assert_eq!(got.len(), inputs.len());
+        for (i, g) in got.iter().enumerate() {
+            prop_assert_eq!(g.int_info(), Some(i as i64 + 1));
+        }
+    }
+
+    /// Compare2 fires exactly when both latest values exist and satisfy the
+    /// predicate, with parameters copied from the newest event.
+    #[test]
+    fn compare2_matches_reference(inputs in stream(2), op_idx in 0usize..6) {
+        let cmp = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne][op_idx];
+        let got = run(&Compare2Op::new(P, cmp), &inputs);
+        let mut latest: [Option<i64>; 2] = [None; 2];
+        let mut expected = Vec::new();
+        for (i, (slot, v)) in inputs.iter().enumerate() {
+            latest[*slot] = Some(*v);
+            if let (Some(a), Some(b)) = (latest[0], latest[1]) {
+                if cmp.eval(a, b) {
+                    expected.push(i as i64);
+                }
+            }
+        }
+        prop_assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(expected) {
+            prop_assert_eq!(g.get_int("ordinal"), Some(e));
+        }
+    }
+
+    /// Per-instance replication at the engine level: interleaving streams of
+    /// two instances detects exactly what each instance's isolated stream
+    /// would.
+    #[test]
+    fn engine_isolates_instances(
+        a in stream(2),
+        b in stream(2),
+        interleave in proptest::collection::vec(any::<bool>(), 0..240),
+    ) {
+        use cmi::core::ids::SpecId;
+        use cmi::events::engine::Engine;
+        use cmi::events::operators::{ContextFilter, OutputOp};
+        use cmi::events::producers::{context_event, Producer};
+        use cmi::events::spec::SpecBuilder;
+        use cmi::core::context::ContextFieldChange;
+        use cmi::core::value::Value;
+
+        fn cev(instance: u64, slot: usize, v: i64, t: usize) -> Event {
+            context_event(&ContextFieldChange {
+                time: Timestamp::from_millis(t as u64),
+                context_id: cmi::core::ids::ContextId(instance),
+                context_name: "C".into(),
+                processes: vec![(P, ProcessInstanceId(instance))],
+                field_name: if slot == 0 { "a".into() } else { "b".into() },
+                old_value: None,
+                new_value: Value::Int(v),
+            })
+        }
+        fn mk_engine() -> Engine {
+            let mut sb = SpecBuilder::new();
+            let ctx = sb.producer(Producer::Context);
+            let f1 = sb.operator(Arc::new(ContextFilter::new(P, "C", "a")), &[ctx]).unwrap();
+            let f2 = sb.operator(Arc::new(ContextFilter::new(P, "C", "b")), &[ctx]).unwrap();
+            let cmp = sb.operator(Arc::new(Compare2Op::new(P, CmpOp::Le)), &[f1, f2]).unwrap();
+            let out = sb.operator(Arc::new(OutputOp::new(P, "t")), &[cmp]).unwrap();
+            let spec = sb.build(SpecId(1), "t", out).unwrap();
+            let mut e = Engine::new();
+            e.add_spec(&spec);
+            e
+        }
+
+        // Isolated runs.
+        let iso = |events: &[(usize, i64)], inst: u64| -> usize {
+            let e = mk_engine();
+            let mut n = 0;
+            for (i, (slot, v)) in events.iter().enumerate() {
+                n += e.ingest(&cev(inst, *slot, *v, i)).len();
+            }
+            n
+        };
+        let iso_a = iso(&a, 1);
+        let iso_b = iso(&b, 2);
+
+        // Interleaved run.
+        let engine = mk_engine();
+        let (mut ia, mut ib, mut t, mut total) = (0usize, 0usize, 0usize, 0usize);
+        for &pick_a in &interleave {
+            if pick_a && ia < a.len() {
+                let (slot, v) = a[ia];
+                total += engine.ingest(&cev(1, slot, v, t)).len();
+                ia += 1;
+            } else if ib < b.len() {
+                let (slot, v) = b[ib];
+                total += engine.ingest(&cev(2, slot, v, t)).len();
+                ib += 1;
+            }
+            t += 1;
+        }
+        for &(slot, v) in &a[ia..] {
+            total += engine.ingest(&cev(1, slot, v, t)).len();
+            t += 1;
+        }
+        for &(slot, v) in &b[ib..] {
+            total += engine.ingest(&cev(2, slot, v, t)).len();
+            t += 1;
+        }
+        prop_assert_eq!(total, iso_a + iso_b, "instances must not interfere");
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests on activity state schemas (§4's structural rules).
+
+use proptest::prelude::*;
+
+use cmi::prelude::*;
+
+/// A recipe for a random-but-valid schema: a forest of up to three levels
+/// plus random transitions between leaves.
+#[derive(Debug, Clone)]
+struct SchemaRecipe {
+    /// parent index (into previously created states) per extra state; None =
+    /// root.
+    parents: Vec<Option<usize>>,
+    /// transition endpoints as indices into the leaf set (mod leaf count).
+    transitions: Vec<(usize, usize)>,
+}
+
+fn recipe() -> impl Strategy<Value = SchemaRecipe> {
+    (
+        proptest::collection::vec(proptest::option::of(0usize..8), 1..8),
+        proptest::collection::vec((0usize..16, 0usize..16), 0..24),
+    )
+        .prop_map(|(parents, transitions)| SchemaRecipe {
+            parents,
+            transitions,
+        })
+}
+
+/// Builds the schema from a recipe; returns None when the recipe is
+/// structurally rejected (which is itself asserted to be for a good reason).
+fn build(recipe: &SchemaRecipe) -> Option<ActivityStateSchema> {
+    let mut b = ActivityStateSchemaBuilder::new(StateSchemaId(1), "prop");
+    let mut names: Vec<String> = Vec::new();
+    for (i, parent) in recipe.parents.iter().enumerate() {
+        let name = format!("S{i}");
+        match parent {
+            Some(p) if *p < names.len() => {
+                b.add_substate(&names[*p], &name).ok()?;
+            }
+            _ => {
+                b.add_root(&name).ok()?;
+            }
+        }
+        names.push(name);
+    }
+    // Compute leaves = states that never appear as parents.
+    let parent_set: std::collections::BTreeSet<usize> = recipe
+        .parents
+        .iter()
+        .flatten()
+        .copied()
+        .filter(|p| *p < recipe.parents.len())
+        .collect();
+    let leaves: Vec<&String> = names
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !parent_set.contains(i))
+        .map(|(_, n)| n)
+        .collect();
+    if leaves.is_empty() {
+        return None;
+    }
+    // Initial = first leaf; chain transitions so everything is reachable,
+    // then add the random extras.
+    b.set_initial(leaves[0]).ok()?;
+    for w in leaves.windows(2) {
+        b.add_transition(w[0], w[1]).ok()?;
+    }
+    for (f, t) in &recipe.transitions {
+        let from = leaves[f % leaves.len()];
+        let to = leaves[t % leaves.len()];
+        b.add_transition(from, to).ok()?;
+    }
+    b.build().ok()
+}
+
+proptest! {
+    /// Every schema the builder accepts satisfies the §4 invariants.
+    #[test]
+    fn accepted_schemas_satisfy_invariants(r in recipe()) {
+        if let Some(s) = build(&r) {
+            // 1. Transitions only connect leaves.
+            for (f, t) in s.transitions() {
+                prop_assert!(s.is_leaf(f), "transition from non-leaf");
+                prop_assert!(s.is_leaf(t), "transition to non-leaf");
+            }
+            // 2. The initial state is a leaf.
+            prop_assert!(s.is_leaf(s.initial()));
+            // 3. Every leaf is reachable from the initial leaf.
+            let mut reached = std::collections::BTreeSet::new();
+            let mut stack = vec![s.initial()];
+            reached.insert(s.initial());
+            while let Some(x) = stack.pop() {
+                for (f, t) in s.transitions() {
+                    if f == x && reached.insert(t) {
+                        stack.push(t);
+                    }
+                }
+            }
+            for leaf in s.leaves() {
+                prop_assert!(reached.contains(&leaf), "unreachable leaf accepted");
+            }
+            // 4. is_within is reflexive and follows parent links upward.
+            for (state, def) in s.states() {
+                prop_assert!(s.is_within(state, state));
+                if let Some(p) = def.parent() {
+                    prop_assert!(s.is_within(state, p));
+                    prop_assert!(!s.is_within(p, state) || p == state);
+                }
+            }
+            // 5. Final states admit no exits.
+            for leaf in s.leaves() {
+                if s.is_final(leaf) {
+                    prop_assert!(!s.transitions().any(|(f, _)| f == leaf));
+                }
+            }
+        }
+    }
+
+    /// `transition` agrees with `can_transition` on every leaf pair.
+    #[test]
+    fn transition_matches_relation(r in recipe()) {
+        if let Some(s) = build(&r) {
+            let leaves: Vec<_> = s.leaves().collect();
+            for &f in &leaves {
+                for &t in &leaves {
+                    let ok = s.transition(f, t).is_ok();
+                    prop_assert_eq!(ok, s.can_transition(f, t));
+                }
+            }
+        }
+    }
+
+    /// Refining a leaf of the *generic* schema preserves all invariants and
+    /// keeps refined-away transitions leaf-only.
+    #[test]
+    fn refinement_preserves_invariants(n_subs in 1usize..5, entry in 0usize..5) {
+        let base = ActivityStateSchema::generic(StateSchemaId(1));
+        let subs: Vec<String> = (0..n_subs).map(|i| format!("Sub{i}")).collect();
+        let sub_refs: Vec<&str> = subs.iter().map(String::as_str).collect();
+        let entry_name = &subs[entry % n_subs];
+        let mut b = base.extend(StateSchemaId(2), "refined");
+        b.refine(generic::RUNNING, &sub_refs, entry_name).unwrap();
+        // Inner transitions make every substate reachable from the entry —
+        // the designer's obligation after a refinement.
+        for sub in &subs {
+            if sub != entry_name {
+                b.add_transition(entry_name, sub).unwrap();
+            }
+        }
+        let s = b.build().unwrap();
+        // Running is now a superstate; its substates carry the transitions.
+        let running = s.state(generic::RUNNING).unwrap();
+        prop_assert!(!s.is_leaf(running));
+        for (f, t) in s.transitions() {
+            prop_assert!(s.is_leaf(f) && s.is_leaf(t));
+        }
+        // Entering from Ready lands on the entry substate.
+        let ready = s.leaf(generic::READY).unwrap();
+        let entry_leaf = s.leaf(entry_name).unwrap();
+        prop_assert!(s.can_transition(ready, entry_leaf));
+        // All substates can exit to Completed, as Running could.
+        let completed = s.leaf(generic::COMPLETED).unwrap();
+        for name in &subs {
+            let leaf = s.leaf(name).unwrap();
+            prop_assert!(s.can_transition(leaf, completed));
+            prop_assert!(s.is_within(leaf, running));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! End-to-end tests of application-specific activity states (§4): a refined
+//! state schema (`Running ⊃ {Gathering, Analyzing}`) is *enacted* through
+//! the standard coordination operations, and awareness specifications filter
+//! on the application-specific substates.
+
+use cmi::prelude::*;
+
+/// A lab-test activity whose Running state is refined, inside a one-step
+/// process.
+fn build(server: &CmiServer) -> (ActivitySchemaId, ActivityVarId) {
+    let repo = server.repository();
+    let base = ActivityStateSchema::generic(repo.fresh_state_schema_id());
+    let mut b = base.extend(repo.fresh_state_schema_id(), "lab-test-states");
+    b.refine(generic::RUNNING, &["Gathering", "Analyzing"], "Gathering")
+        .unwrap();
+    b.add_transition("Gathering", "Analyzing").unwrap();
+    let refined = repo.register_state_schema(std::sync::Arc::new(b.build().unwrap()));
+
+    let lab = repo.fresh_activity_schema_id();
+    repo.register_activity_schema(
+        ActivitySchemaBuilder::basic(lab, "LabTest", refined)
+            .build()
+            .unwrap(),
+    );
+    let generic_states =
+        repo.register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+    let pid = repo.fresh_activity_schema_id();
+    let mut pb = ActivitySchemaBuilder::process(pid, "LabMission", generic_states);
+    let var = pb.activity_var("lab", lab, false).unwrap();
+    repo.register_activity_schema(pb.build().unwrap());
+    (pid, var)
+}
+
+#[test]
+fn refined_schema_enacts_through_standard_operations() {
+    let server = CmiServer::new();
+    let (pid, var) = build(&server);
+    let pi = server.coordination().start_process(pid, None).unwrap();
+    let lab = server.store().child_for_var(pi, var).unwrap().unwrap();
+
+    // The worklist offers the Ready lab test; claiming it lands on the
+    // *entry substate* of the refined Running.
+    let u = server.directory().add_user("tech");
+    let items = server.worklist().for_user(u).unwrap();
+    assert_eq!(items.len(), 1);
+    server.worklist().claim(u, lab).unwrap();
+    assert_eq!(server.store().state_of(lab).unwrap(), "Gathering");
+    assert!(server.store().is_within(lab, generic::RUNNING).unwrap());
+
+    // Application-specific progress, then standard operations keep working
+    // from within the refinement.
+    server.coordination().advance_state(lab, "Analyzing", Some(u)).unwrap();
+    assert_eq!(server.store().state_of(lab).unwrap(), "Analyzing");
+    server.coordination().suspend_activity(lab, Some(u)).unwrap();
+    assert_eq!(server.store().state_of(lab).unwrap(), generic::SUSPENDED);
+    server.coordination().resume_activity(lab, Some(u)).unwrap();
+    // Resuming re-enters Running through its entry leaf.
+    assert_eq!(server.store().state_of(lab).unwrap(), "Gathering");
+    server.coordination().advance_state(lab, "Analyzing", Some(u)).unwrap();
+    server.coordination().complete_activity(lab, Some(u)).unwrap();
+    // The parent auto-completes: routing recognizes Completed through the
+    // refined schema too.
+    assert_eq!(server.store().state_of(pi).unwrap(), generic::COMPLETED);
+}
+
+#[test]
+fn awareness_filters_on_application_specific_substates() {
+    let server = CmiServer::new();
+    let (pid, var) = build(&server);
+    let analyst = server.directory().add_user("analyst");
+    let analysts = server.directory().add_role("analysts").unwrap();
+    server.directory().assign(analyst, analysts).unwrap();
+
+    // Notify analysts when a lab test starts Analyzing — an application-
+    // specific state invisible to the generic schema.
+    server
+        .load_awareness_source(
+            r#"
+            awareness "analysis-started" on LabMission {
+                go = activity_filter(lab, Analyzing)
+                deliver go to org(analysts)
+                describe "a lab test entered analysis"
+            }
+            "#,
+        )
+        .unwrap();
+
+    let pi = server.coordination().start_process(pid, None).unwrap();
+    let lab = server.store().child_for_var(pi, var).unwrap().unwrap();
+    server.coordination().start_activity(lab, None).unwrap();
+    assert_eq!(server.awareness().queue().pending_for(analyst), 0);
+    server.coordination().advance_state(lab, "Analyzing", None).unwrap();
+    assert_eq!(server.awareness().queue().pending_for(analyst), 1);
+    let n = &server.awareness().queue().fetch(analyst, 1)[0];
+    assert_eq!(n.str_info.as_deref(), Some("Analyzing"));
+}
+
+#[test]
+fn illegal_substate_moves_are_rejected() {
+    let server = CmiServer::new();
+    let (pid, var) = build(&server);
+    let pi = server.coordination().start_process(pid, None).unwrap();
+    let lab = server.store().child_for_var(pi, var).unwrap().unwrap();
+    // Cannot jump into Analyzing from Ready (entry is Gathering).
+    assert!(server.coordination().advance_state(lab, "Analyzing", None).is_err());
+    server.coordination().start_activity(lab, None).unwrap();
+    // Cannot move back from Analyzing to Gathering (no such transition).
+    server.coordination().advance_state(lab, "Analyzing", None).unwrap();
+    assert!(server.coordination().advance_state(lab, "Gathering", None).is_err());
+    // `Closed` has no entry leaf: requesting it by name fails cleanly.
+    assert!(server.coordination().advance_state(lab, generic::CLOSED, None).is_err());
+    assert_eq!(server.store().state_of(lab).unwrap(), "Analyzing");
+}

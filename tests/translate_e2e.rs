@@ -1,0 +1,147 @@
+//! End-to-end tests of the process invocation operator (`Translate`,
+//! §5.1.3) through the full server: events inside invoked subprocesses are
+//! re-addressed to the invoking process and delivered via roles visible
+//! there.
+
+use cmi::prelude::*;
+
+/// Builds: TaskForce process with an optional `request` variable invoking
+/// the InfoRequest subprocess (one `gather` step). The awareness schema —
+/// written in the DSL — watches, *from the task force's perspective*, for
+/// its information requests completing:
+/// `translate(request, process_filter(Completed))` delivered to the scoped
+/// `Leader` role of the task force context.
+fn build(server: &CmiServer) -> (ActivitySchemaId, ActivitySchemaId) {
+    let repo = server.repository();
+    let ss = repo.register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+    let gather = repo.fresh_activity_schema_id();
+    repo.register_activity_schema(
+        ActivitySchemaBuilder::basic(gather, "Gather", ss.clone())
+            .build()
+            .unwrap(),
+    );
+    let info_req = repo.fresh_activity_schema_id();
+    let mut ib = ActivitySchemaBuilder::process(info_req, "InfoRequest", ss.clone());
+    ib.activity_var("gather", gather, false).unwrap();
+    repo.register_activity_schema(ib.build().unwrap());
+    let force = repo.fresh_activity_schema_id();
+    let mut fb = ActivitySchemaBuilder::process(force, "TaskForce", ss);
+    fb.activity_var("request", info_req, true).unwrap();
+    repo.register_activity_schema(fb.build().unwrap());
+
+    server.coordination().register_script(
+        force,
+        generic::RUNNING,
+        ActivityScript::new(
+            "tf-init",
+            vec![
+                ScriptAction::CreateContext {
+                    name: "TaskForceContext".into(),
+                },
+                ScriptAction::CreateRole {
+                    context: "TaskForceContext".into(),
+                    role: "Leader".into(),
+                    members: MemberSource::TriggeringUser,
+                },
+            ],
+        ),
+    );
+
+    server
+        .load_awareness_source(
+            r#"
+            awareness "request-finished" on TaskForce {
+                done = translate(request, process_filter(Completed|Terminated))
+                deliver done to scoped(TaskForceContext, Leader)
+                describe "an information request of this task force finished"
+            }
+            "#,
+        )
+        .unwrap();
+    (force, info_req)
+}
+
+#[test]
+fn subprocess_completion_is_translated_to_the_invoking_force() {
+    let server = CmiServer::new();
+    let (force, info_req) = build(&server);
+    let leader = server.directory().add_user("leader");
+    let member = server.directory().add_user("member");
+
+    let tf = server
+        .coordination()
+        .start_process(force, Some(leader))
+        .unwrap();
+    let req = server
+        .coordination()
+        .start_optional(tf, "request", Some(member))
+        .unwrap();
+
+    // Finish the request's gather step; the request completes.
+    let gather_var = server
+        .repository()
+        .activity_schema(info_req)
+        .unwrap()
+        .activity_var("gather")
+        .unwrap()
+        .id;
+    let g = server.store().child_for_var(req, gather_var).unwrap().unwrap();
+    server.coordination().start_activity(g, Some(member)).unwrap();
+    server.coordination().complete_activity(g, Some(member)).unwrap();
+    assert!(server.store().is_closed(req).unwrap());
+
+    // The leader — resolved through the *task force's* scoped role — is
+    // notified; the event is addressed to the task force instance, not the
+    // request instance (the translation).
+    let q = server.awareness().queue();
+    assert_eq!(q.pending_for(leader), 1);
+    let n = &q.fetch(leader, 1)[0];
+    assert_eq!(n.process_instance, tf);
+    assert_eq!(n.process_schema, force);
+    assert!(n.description.contains("information request"));
+    assert_eq!(q.pending_for(member), 0);
+}
+
+#[test]
+fn two_forces_translate_independently() {
+    let server = CmiServer::new();
+    let (force, info_req) = build(&server);
+    let leader_a = server.directory().add_user("leader-a");
+    let leader_b = server.directory().add_user("leader-b");
+
+    let tf_a = server.coordination().start_process(force, Some(leader_a)).unwrap();
+    let tf_b = server.coordination().start_process(force, Some(leader_b)).unwrap();
+    let req_a = server.coordination().start_optional(tf_a, "request", None).unwrap();
+    let req_b = server.coordination().start_optional(tf_b, "request", None).unwrap();
+
+    let gather_var = server
+        .repository()
+        .activity_schema(info_req)
+        .unwrap()
+        .activity_var("gather")
+        .unwrap()
+        .id;
+    // Complete only force B's request.
+    let g = server.store().child_for_var(req_b, gather_var).unwrap().unwrap();
+    server.coordination().start_activity(g, None).unwrap();
+    server.coordination().complete_activity(g, None).unwrap();
+
+    let q = server.awareness().queue();
+    assert_eq!(q.pending_for(leader_b), 1, "B's leader notified");
+    assert_eq!(q.pending_for(leader_a), 0, "A's leader not notified");
+    assert_eq!(q.fetch(leader_b, 1)[0].process_instance, tf_b);
+    let _ = req_a;
+}
+
+#[test]
+fn terminated_requests_are_translated_too() {
+    let server = CmiServer::new();
+    let (force, _info_req) = build(&server);
+    let leader = server.directory().add_user("leader");
+    let tf = server.coordination().start_process(force, Some(leader)).unwrap();
+    let req = server.coordination().start_optional(tf, "request", None).unwrap();
+    server.coordination().terminate_activity(req, Some(leader)).unwrap();
+    let q = server.awareness().queue();
+    assert_eq!(q.pending_for(leader), 1);
+    assert!(q.fetch(leader, 1)[0].str_info.as_deref() == Some(generic::TERMINATED));
+}
