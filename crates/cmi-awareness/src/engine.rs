@@ -9,18 +9,19 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 
 use cmi_core::context::ContextManager;
 use cmi_core::ids::{AwarenessSchemaId, ProcessInstanceId, UserId};
 use cmi_core::instance::InstanceStore;
 use cmi_core::participant::Directory;
 use cmi_core::roles::RoleSpec;
-use cmi_events::engine::Engine;
 use cmi_events::event::{params, Event};
 use cmi_events::producers;
+use cmi_events::sharded::ShardedEngine;
 
 use crate::queue::{DeliveryQueue, Notification};
 use crate::schema::AwarenessSchema;
@@ -37,41 +38,81 @@ pub struct DeliveryStats {
     pub unresolved_roles: u64,
 }
 
+/// Lock-free [`DeliveryStats`] accumulator: the delivery fan-out runs
+/// concurrently on every detector shard, so the counters must not
+/// serialize it the way the old global `Mutex<DeliveryStats>` did.
+#[derive(Debug, Default)]
+struct AtomicDeliveryStats {
+    detections: AtomicU64,
+    notifications: AtomicU64,
+    unresolved_roles: AtomicU64,
+}
+
+impl AtomicDeliveryStats {
+    fn snapshot(&self) -> DeliveryStats {
+        DeliveryStats {
+            detections: self.detections.load(Ordering::Relaxed),
+            notifications: self.notifications.load(Ordering::Relaxed),
+            unresolved_roles: self.unresolved_roles.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// The awareness engine.
 pub struct AwarenessEngine {
-    detector: RwLock<Engine>,
+    detector: RwLock<ShardedEngine>,
     schemas: RwLock<BTreeMap<AwarenessSchemaId, AwarenessSchema>>,
     queue: Arc<DeliveryQueue>,
     directory: Arc<Directory>,
     contexts: Arc<ContextManager>,
-    stats: Mutex<DeliveryStats>,
+    stats: AtomicDeliveryStats,
 }
 
 impl fmt::Debug for AwarenessEngine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("AwarenessEngine")
             .field("schemas", &self.schemas.read().len())
-            .field("stats", &*self.stats.lock())
+            .field("shards", &self.detector.read().shard_count())
+            .field("stats", &self.stats.snapshot())
             .finish()
     }
 }
 
 impl AwarenessEngine {
     /// An engine delivering through `queue`, resolving roles against
-    /// `directory` and `contexts`.
+    /// `directory` and `contexts`. The detector is unsharded (one replica);
+    /// use [`AwarenessEngine::with_shards`] to scale the ingest hot path.
     pub fn new(
         directory: Arc<Directory>,
         contexts: Arc<ContextManager>,
         queue: Arc<DeliveryQueue>,
     ) -> Self {
+        Self::with_shards(directory, contexts, queue, 1)
+    }
+
+    /// An engine whose detector is sharded over `shards` replicas keyed by
+    /// process instance (see [`cmi_events::sharded`]). One shard is exactly
+    /// the unsharded engine; more shards let concurrent producers ingest in
+    /// parallel with identical detection results.
+    pub fn with_shards(
+        directory: Arc<Directory>,
+        contexts: Arc<ContextManager>,
+        queue: Arc<DeliveryQueue>,
+        shards: usize,
+    ) -> Self {
         AwarenessEngine {
-            detector: RwLock::new(Engine::new()),
+            detector: RwLock::new(ShardedEngine::new(shards)),
             schemas: RwLock::new(BTreeMap::new()),
             queue,
             directory,
             contexts,
-            stats: Mutex::new(DeliveryStats::default()),
+            stats: AtomicDeliveryStats::default(),
         }
+    }
+
+    /// Number of detector replicas.
+    pub fn shard_count(&self) -> usize {
+        self.detector.read().shard_count()
     }
 
     /// Registers an awareness schema: compiles its description into the
@@ -93,7 +134,7 @@ impl AwarenessEngine {
 
     /// Delivery counters.
     pub fn stats(&self) -> DeliveryStats {
-        *self.stats.lock()
+        self.stats.snapshot()
     }
 
     /// Detector topology (node/sharing counts), for experiments.
@@ -103,22 +144,49 @@ impl AwarenessEngine {
 
     /// Renders the merged detector DAG (Fig. 6 content, engine-wide).
     pub fn describe_detector(&self) -> String {
-        self.detector.read().describe()
+        self.detector.read().shard(0).describe()
     }
 
     /// Pushes one primitive event through detection and delivery. Returns
     /// the notifications that were enqueued (one per recipient per
-    /// detection).
+    /// detection). Thread-safe: concurrent calls for events of different
+    /// process instances proceed on different detector shards, and the
+    /// delivery fan-out below uses only lock-free counters and the
+    /// queue's own synchronization.
     pub fn ingest(&self, event: &Event) -> Vec<Notification> {
         let detections = self.detector.read().ingest(event);
+        self.deliver(detections)
+    }
+
+    /// Pushes a batch of primitive events through detection and delivery in
+    /// order, concatenating the enqueued notifications. Within one call the
+    /// events are sequential (preserving per-instance order); parallelism
+    /// comes from concurrent callers whose batches hit different shards.
+    pub fn ingest_batch(&self, events: &[Event]) -> Vec<Notification> {
+        let mut delivered = Vec::new();
+        for e in events {
+            delivered.extend(self.ingest(e));
+        }
+        delivered
+    }
+
+    /// Drops detector state for a closed process instance — routed to the
+    /// owning shard only. Returns the number of state partitions dropped.
+    pub fn evict_instance(&self, instance: ProcessInstanceId) -> usize {
+        self.detector.read().evict_instance(instance.raw())
+    }
+
+    /// The delivery agent: resolves each detection's delivery role and role
+    /// assignment at detection time and enqueues one notification per
+    /// recipient.
+    fn deliver(&self, detections: Vec<cmi_events::engine::Detection>) -> Vec<Notification> {
         let mut delivered = Vec::new();
         if detections.is_empty() {
             return delivered;
         }
         let schemas = self.schemas.read();
-        let mut stats = self.stats.lock();
         for d in detections {
-            stats.detections += 1;
+            self.stats.detections.fetch_add(1, Ordering::Relaxed);
             let Some(schema) = schemas.get(&AwarenessSchemaId(d.spec.raw())) else {
                 continue;
             };
@@ -128,14 +196,14 @@ impl AwarenessEngine {
                 .unwrap_or(ProcessInstanceId(0));
             let Some(candidates) = self.resolve_delivery_role(&schema.delivery_role, instance)
             else {
-                stats.unresolved_roles += 1;
+                self.stats.unresolved_roles.fetch_add(1, Ordering::Relaxed);
                 continue;
             };
             let recipients = schema.assignment.apply(&candidates, &self.directory);
             for user in recipients {
                 let n = self.make_notification(schema, user, &d.event, instance);
                 if self.queue.enqueue(n.clone()).is_ok() {
-                    stats.notifications += 1;
+                    self.stats.notifications.fetch_add(1, Ordering::Relaxed);
                     let _ = self.directory.adjust_load(user, 1);
                     delivered.push(n);
                 }

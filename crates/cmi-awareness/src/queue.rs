@@ -16,16 +16,13 @@ use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 
 use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
 
 use cmi_core::ids::{AwarenessSchemaId, ProcessInstanceId, ProcessSchemaId, UserId};
 use cmi_core::time::Timestamp;
 
 /// Notification priority (§6.5 lists priority as under consideration; this
 /// implementation provides three levels). Order: `Low < Normal < High`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Priority {
     /// Background information.
     Low,
@@ -47,7 +44,7 @@ impl std::fmt::Display for Priority {
 }
 
 /// One awareness notification queued for one participant.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Notification {
     /// Global sequence number (assigned by the queue; total order).
     pub seq: u64,
@@ -70,12 +67,11 @@ pub struct Notification {
     /// The canonical `strInfo`, if set.
     pub str_info: Option<String>,
     /// Delivery priority (absent in older WALs → `Normal`).
-    #[serde(default)]
     pub priority: Priority,
 }
 
-#[derive(Debug, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+/// A WAL line, tagged by its `"kind"` field: `event`, `ack` or `ack_one`.
+#[derive(Debug)]
 enum WalRecord {
     Event(Notification),
     Ack {
@@ -86,6 +82,319 @@ enum WalRecord {
     /// A single notification acknowledged out of order (priority
     /// consumption).
     AckOne { user: UserId, seq: u64 },
+}
+
+impl WalRecord {
+    /// Serializes the record as one JSON object (no trailing newline).
+    fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        match self {
+            WalRecord::Event(n) => {
+                s.push_str("{\"kind\":\"event\"");
+                s.push_str(&format!(",\"seq\":{}", n.seq));
+                s.push_str(&format!(",\"user\":{}", n.user.raw()));
+                s.push_str(&format!(",\"time\":{}", n.time.millis()));
+                s.push_str(&format!(",\"schema\":{}", n.schema.raw()));
+                s.push_str(",\"schema_name\":");
+                json::write_str(&n.schema_name, &mut s);
+                s.push_str(",\"description\":");
+                json::write_str(&n.description, &mut s);
+                s.push_str(&format!(",\"process_schema\":{}", n.process_schema.raw()));
+                s.push_str(&format!(
+                    ",\"process_instance\":{}",
+                    n.process_instance.raw()
+                ));
+                match n.int_info {
+                    Some(i) => s.push_str(&format!(",\"int_info\":{i}")),
+                    None => s.push_str(",\"int_info\":null"),
+                }
+                s.push_str(",\"str_info\":");
+                match &n.str_info {
+                    Some(v) => json::write_str(v, &mut s),
+                    None => s.push_str("null"),
+                }
+                s.push_str(&format!(",\"priority\":\"{}\"", n.priority));
+                s.push('}');
+            }
+            WalRecord::Ack { user, up_to } => {
+                s.push_str(&format!(
+                    "{{\"kind\":\"ack\",\"user\":{},\"up_to\":{up_to}}}",
+                    user.raw()
+                ));
+            }
+            WalRecord::AckOne { user, seq } => {
+                s.push_str(&format!(
+                    "{{\"kind\":\"ack_one\",\"user\":{},\"seq\":{seq}}}",
+                    user.raw()
+                ));
+            }
+        }
+        s
+    }
+
+    /// Parses one WAL line. Returns `None` for torn, corrupt or unknown
+    /// records (recovery drops them).
+    fn from_json(line: &str) -> Option<WalRecord> {
+        let obj = json::parse_object(line)?;
+        match obj.get("kind")?.as_str()? {
+            "event" => Some(WalRecord::Event(Notification {
+                seq: obj.get("seq")?.as_u64()?,
+                user: UserId(obj.get("user")?.as_u64()?),
+                time: Timestamp::from_millis(obj.get("time")?.as_u64()?),
+                schema: AwarenessSchemaId(obj.get("schema")?.as_u64()?),
+                schema_name: obj.get("schema_name")?.as_str()?.to_owned(),
+                description: obj.get("description")?.as_str()?.to_owned(),
+                process_schema: ProcessSchemaId(obj.get("process_schema")?.as_u64()?),
+                process_instance: ProcessInstanceId(obj.get("process_instance")?.as_u64()?),
+                int_info: match obj.get("int_info") {
+                    None | Some(json::Value::Null) => None,
+                    Some(v) => Some(v.as_i64()?),
+                },
+                str_info: match obj.get("str_info") {
+                    None | Some(json::Value::Null) => None,
+                    Some(v) => Some(v.as_str()?.to_owned()),
+                },
+                // Absent in older WALs → `Normal` (the default).
+                priority: match obj.get("priority") {
+                    None => Priority::default(),
+                    Some(v) => match v.as_str()? {
+                        "low" => Priority::Low,
+                        "normal" => Priority::Normal,
+                        "high" => Priority::High,
+                        _ => return None,
+                    },
+                },
+            })),
+            "ack" => Some(WalRecord::Ack {
+                user: UserId(obj.get("user")?.as_u64()?),
+                up_to: obj.get("up_to")?.as_u64()?,
+            }),
+            "ack_one" => Some(WalRecord::AckOne {
+                user: UserId(obj.get("user")?.as_u64()?),
+                seq: obj.get("seq")?.as_u64()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Minimal JSON reader/writer for the WAL's flat records. The build
+/// environment has no crates registry, so rather than pulling in a JSON
+/// dependency the queue serializes its three record shapes by hand. The
+/// parser accepts any flat JSON object with string / integer / null values
+/// and rejects (returns `None` for) everything else — which is exactly the
+/// robustness recovery needs: a torn or corrupt line parses to `None` and
+/// is dropped.
+mod json {
+    use std::collections::BTreeMap;
+
+    /// A parsed field value.
+    #[derive(Debug, PartialEq)]
+    pub enum Value {
+        Null,
+        Str(String),
+        Int(i64),
+    }
+
+    impl Value {
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::Int(i) => Some(*i),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Int(i) if *i >= 0 => Some(*i as u64),
+                _ => None,
+            }
+        }
+    }
+
+    /// Writes `s` as a JSON string literal (with escaping) onto `out`.
+    pub fn write_str(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Parses a flat JSON object (string / integer / null values only).
+    /// Returns `None` on any syntax error or unsupported construct.
+    pub fn parse_object(input: &str) -> Option<BTreeMap<String, Value>> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let obj = p.object()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return None; // trailing garbage
+        }
+        Some(obj)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn bump(&mut self) -> Option<u8> {
+            let b = self.peek()?;
+            self.pos += 1;
+            Some(b)
+        }
+
+        fn expect(&mut self, b: u8) -> Option<()> {
+            (self.bump()? == b).then_some(())
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn object(&mut self) -> Option<BTreeMap<String, Value>> {
+            self.expect(b'{')?;
+            let mut map = BTreeMap::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Some(map);
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                map.insert(key, value);
+                self.skip_ws();
+                match self.bump()? {
+                    b',' => continue,
+                    b'}' => return Some(map),
+                    _ => return None,
+                }
+            }
+        }
+
+        fn value(&mut self) -> Option<Value> {
+            match self.peek()? {
+                b'"' => Some(Value::Str(self.string()?)),
+                b'n' => {
+                    self.literal(b"null")?;
+                    Some(Value::Null)
+                }
+                b'-' | b'0'..=b'9' => self.number(),
+                _ => None,
+            }
+        }
+
+        fn literal(&mut self, lit: &[u8]) -> Option<()> {
+            for &b in lit {
+                self.expect(b)?;
+            }
+            Some(())
+        }
+
+        fn number(&mut self) -> Option<Value> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            let digits_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == digits_start {
+                return None;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()?
+                .parse()
+                .ok()
+                .map(Value::Int)
+        }
+
+        fn string(&mut self) -> Option<String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.bump()? {
+                    b'"' => return Some(out),
+                    b'\\' => match self.bump()? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return None;
+                            }
+                            let hex =
+                                std::str::from_utf8(&self.bytes[self.pos..self.pos + 4]).ok()?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(hex, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    },
+                    b => {
+                        // Re-decode multi-byte UTF-8 sequences from the raw
+                        // bytes (strings arrive as valid UTF-8 already).
+                        if b < 0x80 {
+                            out.push(b as char);
+                        } else {
+                            let len = match b {
+                                0xC0..=0xDF => 2,
+                                0xE0..=0xEF => 3,
+                                0xF0..=0xF7 => 4,
+                                _ => return None,
+                            };
+                            let start = self.pos - 1;
+                            if start + len > self.bytes.len() {
+                                return None;
+                            }
+                            let s = std::str::from_utf8(&self.bytes[start..start + len]).ok()?;
+                            out.push_str(s);
+                            self.pos = start + len;
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -148,7 +457,7 @@ impl DeliveryQueue {
                 let Ok(line) = std::str::from_utf8(&buf) else {
                     continue;
                 };
-                let Ok(rec) = serde_json::from_str::<WalRecord>(line) else {
+                let Some(rec) = WalRecord::from_json(line.trim_end()) else {
                     continue;
                 };
                 match rec {
@@ -293,8 +602,7 @@ impl DeliveryQueue {
             let mut f = File::create(&tmp)?;
             for q in state.pending.values() {
                 for n in q {
-                    let mut line =
-                        serde_json::to_string(&WalRecord::Event(n.clone())).expect("serialize");
+                    let mut line = WalRecord::Event(n.clone()).to_json();
                     line.push('\n');
                     f.write_all(line.as_bytes())?;
                     written += 1;
@@ -319,7 +627,7 @@ impl DeliveryQueue {
     fn append(&self, rec: &WalRecord) -> std::io::Result<()> {
         let mut wal = self.wal.lock();
         if let Some(f) = wal.as_mut() {
-            let mut line = serde_json::to_string(rec).expect("WAL records serialize");
+            let mut line = rec.to_json();
             line.push('\n');
             f.write_all(line.as_bytes())?;
             f.flush()?;

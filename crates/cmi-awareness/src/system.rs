@@ -42,17 +42,29 @@ pub struct CmiServer {
 }
 
 impl CmiServer {
-    /// Boots a server with an in-memory delivery queue.
+    /// Boots a server with an in-memory delivery queue and an unsharded
+    /// awareness detector.
     pub fn new() -> Self {
-        Self::with_queue(Arc::new(DeliveryQueue::in_memory()))
+        Self::with_queue_and_shards(Arc::new(DeliveryQueue::in_memory()), 1)
+    }
+
+    /// Boots a server whose awareness detector is sharded over `shards`
+    /// replicas keyed by process instance (see [`cmi_events::sharded`]):
+    /// concurrent event producers ingest in parallel with detection results
+    /// identical to the unsharded server.
+    pub fn with_shards(shards: usize) -> Self {
+        Self::with_queue_and_shards(Arc::new(DeliveryQueue::in_memory()), shards)
     }
 
     /// Boots a server whose delivery queue is durable at `path`.
     pub fn with_durable_queue(path: &Path) -> std::io::Result<Self> {
-        Ok(Self::with_queue(Arc::new(DeliveryQueue::open(path)?)))
+        Ok(Self::with_queue_and_shards(
+            Arc::new(DeliveryQueue::open(path)?),
+            1,
+        ))
     }
 
-    fn with_queue(queue: Arc<DeliveryQueue>) -> Self {
+    fn with_queue_and_shards(queue: Arc<DeliveryQueue>, shards: usize) -> Self {
         let clock = SimClock::new();
         let clock_arc: Arc<dyn cmi_core::time::Clock> = Arc::new(clock.clone());
         let repository = Arc::new(SchemaRepository::new());
@@ -66,10 +78,11 @@ impl CmiServer {
             clock_arc,
             EngineConfig::default(),
         ));
-        let awareness = Arc::new(AwarenessEngine::new(
+        let awareness = Arc::new(AwarenessEngine::with_shards(
             directory.clone(),
             contexts.clone(),
             queue,
+            shards,
         ));
         attach_event_sources(&awareness, &store, &contexts);
         // Dependency status changes (§5's third awareness event class) are

@@ -3,7 +3,9 @@
 
 use std::sync::Arc;
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{
+    black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput,
+};
 
 use cmi_awareness::assignment::RoleAssignment;
 use cmi_awareness::builder::AwarenessSchemaBuilder;
@@ -155,5 +157,75 @@ fn end_to_end_delivery(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, queue_ops, end_to_end_delivery);
+/// Sharded arm: the full detection → role resolution → enqueue pipeline
+/// under 4 concurrent producers, swept over the awareness detector's shard
+/// count. With one shard every producer serializes on the detector lock;
+/// the sweep shows delivery throughput recovering as shards are added.
+fn sharded_delivery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delivery/shards");
+    const N: usize = 8_000;
+    const THREADS: usize = 4;
+    g.throughput(Throughput::Elements(N as u64));
+    for shards in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &n| {
+            let clock = SimClock::new();
+            let dir = Arc::new(Directory::new());
+            let contexts = Arc::new(ContextManager::new(Arc::new(clock)));
+            let u = dir.add_user("watcher");
+            let watchers = dir.add_role("watchers").unwrap();
+            dir.assign(u, watchers).unwrap();
+            let engine = AwarenessEngine::with_shards(
+                dir,
+                contexts,
+                Arc::new(DeliveryQueue::in_memory()),
+                n,
+            );
+            let mut bld = AwarenessSchemaBuilder::new(AwarenessSchemaId(1), "AS", P);
+            let f = bld.context_filter("C", "x").unwrap();
+            engine.register(
+                bld.deliver_to(f, RoleSpec::org("watchers"))
+                    .build()
+                    .unwrap(),
+            );
+            // Disjoint instance sets per producer thread.
+            let chunks: Vec<Vec<_>> = (0..THREADS)
+                .map(|t| {
+                    (0..N / THREADS)
+                        .map(|i| {
+                            context_event(&ContextFieldChange {
+                                time: Timestamp::from_millis(i as u64),
+                                context_id: cmi_core::ids::ContextId(t as u64),
+                                context_name: "C".into(),
+                                processes: vec![(
+                                    P,
+                                    ProcessInstanceId((t * 64 + i % 64) as u64 + 1),
+                                )],
+                                field_name: "x".into(),
+                                old_value: None,
+                                new_value: Value::Int(i as i64),
+                            })
+                        })
+                        .collect()
+                })
+                .collect();
+            let engine = &engine;
+            b.iter(|| {
+                let delivered = std::sync::atomic::AtomicUsize::new(0);
+                std::thread::scope(|s| {
+                    for chunk in &chunks {
+                        let delivered = &delivered;
+                        s.spawn(move || {
+                            let d = engine.ingest_batch(black_box(chunk)).len();
+                            delivered.fetch_add(d, std::sync::atomic::Ordering::Relaxed);
+                        });
+                    }
+                });
+                delivered.load(std::sync::atomic::Ordering::Relaxed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, queue_ops, end_to_end_delivery, sharded_delivery);
 criterion_main!(benches);

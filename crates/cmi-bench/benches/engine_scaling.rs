@@ -1,5 +1,6 @@
 //! EXP-SCALE (bench form) — detection throughput vs. concurrent process
-//! instances and vs. number of hosted awareness schemas.
+//! instances, vs. number of hosted awareness schemas, and vs. detector
+//! shard count under concurrent producers (the sharded hot path).
 
 use std::sync::Arc;
 
@@ -14,6 +15,7 @@ use cmi_events::event::Event;
 use cmi_events::operator::CmpOp;
 use cmi_events::operators::{Compare2Op, ContextFilter, OutputOp};
 use cmi_events::producers::{context_event, Producer};
+use cmi_events::sharded::ShardedEngine;
 use cmi_events::spec::{CompositeEventSpec, SpecBuilder};
 
 const P: ProcessSchemaId = ProcessSchemaId(1);
@@ -112,5 +114,47 @@ fn schema_sweep(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, instance_sweep, schema_sweep);
+/// Sharded arm: 4 producer threads with disjoint instance sets feed one
+/// `ShardedEngine` concurrently; the sweep shows ingest throughput scaling
+/// with the shard count (1 shard = the old single-lock hot path).
+fn shard_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/shards");
+    const N: usize = 20_000;
+    const THREADS: usize = 4;
+    g.throughput(Throughput::Elements(N as u64));
+    let chunks: Vec<Vec<Event>> = (0..THREADS)
+        .map(|t| {
+            (0..N / THREADS)
+                .map(|i| {
+                    let inst = (t * 64 + i % 64) as u64 + 1;
+                    let field = if (i / 64) % 2 == 0 { "a" } else { "b" };
+                    ev(inst, field, (i % 100) as i64, i as u64)
+                })
+                .collect()
+        })
+        .collect();
+    for shards in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &n| {
+            b.iter(|| {
+                let mut engine = ShardedEngine::new(n);
+                engine.add_spec(&spec(1, "a", "b"));
+                let engine = &engine;
+                let detections = std::sync::atomic::AtomicUsize::new(0);
+                std::thread::scope(|s| {
+                    for chunk in &chunks {
+                        let detections = &detections;
+                        s.spawn(move || {
+                            let d = engine.ingest_batch(black_box(chunk)).len();
+                            detections.fetch_add(d, std::sync::atomic::Ordering::Relaxed);
+                        });
+                    }
+                });
+                detections.load(std::sync::atomic::Ordering::Relaxed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, instance_sweep, schema_sweep, shard_sweep);
 criterion_main!(benches);

@@ -9,8 +9,6 @@
 use std::cmp::Ordering;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::UserId;
 use crate::time::Timestamp;
 
@@ -18,7 +16,7 @@ use crate::time::Timestamp;
 ///
 /// Floats are stored via a total-order wrapper so `Value` can be `Eq`/`Ord`
 /// (NaNs compare greater than all other floats, equal to themselves).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     /// Absent / null value (e.g. an optional event parameter that is unset).
     Null,
@@ -184,7 +182,7 @@ impl From<Vec<Value>> for Value {
 
 /// Type tags for [`Value`], used to type data-resource schemas and context
 /// field declarations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ValueType {
     /// The null type.
     Null,
@@ -225,7 +223,7 @@ impl fmt::Display for ValueType {
 
 /// An `f64` with a total order (NaN sorts above everything and equals itself),
 /// making [`Value`] usable as a map key and in deterministic sorts.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TotalF64(pub f64);
 
 impl PartialEq for TotalF64 {

@@ -191,6 +191,28 @@ impl Engine {
     /// detection (root emission) it causes, in deterministic propagation
     /// order.
     pub fn ingest(&self, event: &Event) -> Vec<Detection> {
+        self.ingest_impl(event, None)
+    }
+
+    /// Like [`Engine::ingest`], but drops every operator emission whose
+    /// canonical process instance (raw id, or `None` when absent) fails
+    /// `keep` — before it propagates, is counted, or is reported. The
+    /// sharded engine uses this to process a primitive event touching
+    /// several shards on each of them while letting each shard keep only
+    /// the emissions for instances it owns.
+    pub fn ingest_filtered(
+        &self,
+        event: &Event,
+        keep: &dyn Fn(Option<u64>) -> bool,
+    ) -> Vec<Detection> {
+        self.ingest_impl(event, Some(keep))
+    }
+
+    fn ingest_impl(
+        &self,
+        event: &Event,
+        keep: Option<&dyn Fn(Option<u64>) -> bool>,
+    ) -> Vec<Detection> {
         let mut detections = Vec::new();
         let leaf = match self.leaf_for(&event.etype) {
             Some(l) => l,
@@ -238,8 +260,13 @@ impl Engine {
                     op.apply(slot, &ev, st, &mut out_buf);
                 }
             }
-            stats.events_emitted += out_buf.len() as u64;
             for produced in out_buf.drain(..) {
+                if let Some(keep) = keep {
+                    if !keep(produced.process_instance().map(|i| i.raw())) {
+                        continue;
+                    }
+                }
+                stats.events_emitted += 1;
                 for &spec in &node.root_of {
                     stats.detections += 1;
                     detections.push(Detection {

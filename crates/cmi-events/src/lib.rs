@@ -18,6 +18,29 @@
 //! * **Composite event specifications** — validated rooted DAGs ([`spec`]).
 //! * **The detection engine** — a multiply-rooted merged DAG with structural
 //!   sharing and partitioned operator state ([`engine`]).
+//! * **Sharded detection** — N engine replicas partitioned by process
+//!   instance ([`sharded`]).
+//!
+//! ## Sharding model
+//!
+//! Because operator state is replicated per process instance (§5.1.2,
+//! "events are not mixed across process instances"), the detection hot path
+//! partitions cleanly by instance: [`sharded::ShardedEngine`] hosts the
+//! same merged DAG on `N` replicas and routes each event to
+//! `hash(processInstanceId) % N`. Primitive events do not carry the
+//! canonical instance parameter, so the filters publish
+//! [`operator::RoutingHint`]s describing how they derive it; the sharded
+//! engine applies the hints to find every instance an event may touch. A
+//! multi-instance event (a context change attached to several process
+//! instances) runs on each owning shard with emissions filtered to that
+//! shard's instances, so each emission still happens exactly once.
+//! Instance-less events are **routed to one shard, never broadcast** — in
+//! the unsharded engine they share a single sentinel state partition, and
+//! broadcasting would multiply detections by `N`. Specs containing a
+//! `Global`-partition operator (`Translate`) degrade routing to a single
+//! shard, preserving correctness at the cost of parallelism.
+//! `tests/sharded_differential.rs` in the workspace root proves the
+//! equivalence against the unsharded engine event-for-event.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -27,9 +50,11 @@ pub mod event;
 pub mod operator;
 pub mod operators;
 pub mod producers;
+pub mod sharded;
 pub mod spec;
 
 pub use engine::{Detection, Engine, EngineStats, EngineTopology};
+pub use sharded::ShardedEngine;
 pub use event::{params, Event, EventType};
 pub use operator::{Arity, CmpOp, EventOperator, OpState, PartitionMode};
 pub use operators::{

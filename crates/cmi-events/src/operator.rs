@@ -39,6 +39,27 @@ pub enum PartitionMode {
 /// concrete state type.
 pub type OpState = Box<dyn Any + Send>;
 
+/// How an operator relates the *primitive* events it consumes to process
+/// instances — published by the filter operators so the sharded engine
+/// ([`crate::sharded`]) can route a primitive event to the shard(s) owning
+/// every instance the event may touch, without evaluating the filters.
+///
+/// Hints are conservative: a hint may name instances the filter would end
+/// up rejecting (the event is then routed to a shard where nothing
+/// matches), but must never miss an instance the filter could emit for.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RoutingHint {
+    /// The filter reads the raw instance id from this id-valued parameter
+    /// (activity filters, external filters with an instance parameter).
+    InstanceFromParam(String),
+    /// The filter derives one instance per pair in the `processes` list
+    /// parameter (context filters).
+    InstancesFromProcesses,
+    /// The filter relates matching events to this fixed raw instance id
+    /// (external filters without an instance parameter).
+    FixedInstance(u64),
+}
+
 /// Min/max slot count an operator accepts. `max = None` means unbounded
 /// (And/Seq/Or accept any `n >= 2`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +137,13 @@ pub trait EventOperator: Send + Sync {
     /// [`PartitionMode::ByInstance`]). An operator is a computational
     /// pipeline: it may produce any number of outputs per input.
     fn apply(&self, slot: usize, event: &Event, state: &mut OpState, out: &mut Vec<Event>);
+
+    /// How this operator maps primitive input events to process instances,
+    /// for shard routing. Only operators that consume primitive producer
+    /// events (the filters) publish hints; the default is none.
+    fn routing_hints(&self) -> Vec<RoutingHint> {
+        Vec::new()
+    }
 }
 
 /// Comparison predicates for the comparison operators (§5.1.3). `boolFunc1`

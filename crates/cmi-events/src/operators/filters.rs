@@ -13,7 +13,7 @@ use cmi_core::ids::{ActivityVarId, ProcessSchemaId};
 use cmi_core::value::Value;
 
 use crate::event::{params, Event, EventType};
-use crate::operator::{Arity, EventOperator, OpState, PartitionMode};
+use crate::operator::{Arity, EventOperator, OpState, PartitionMode, RoutingHint};
 use crate::producers::decode_processes;
 
 /// `Filter_activity[P, Av, States_old, States_new](T_activity) -> C_P`
@@ -159,6 +159,14 @@ impl EventOperator for ActivityFilter {
         }
         out.push(c);
     }
+
+    fn routing_hints(&self) -> Vec<RoutingHint> {
+        let param = match self.var {
+            Some(_) => params::PARENT_PROCESS_INSTANCE_ID,
+            None => params::ACTIVITY_INSTANCE_ID,
+        };
+        vec![RoutingHint::InstanceFromParam(param.to_owned())]
+    }
 }
 
 /// `Filter_context[P, Cname, Fname](T_context) -> C_P`
@@ -246,6 +254,10 @@ impl EventOperator for ContextFilter {
             }
             out.push(c);
         }
+    }
+
+    fn routing_hints(&self) -> Vec<RoutingHint> {
+        vec![RoutingHint::InstancesFromProcesses]
     }
 }
 
@@ -344,6 +356,19 @@ impl EventOperator for ExternalFilter {
             }
         }
         out.push(c);
+    }
+
+    fn routing_hints(&self) -> Vec<RoutingHint> {
+        // `apply` falls back to instance 0 when the parameter is absent, so
+        // the fixed hint rides along even when a parameter is configured
+        // (hints are conservative supersets).
+        match &self.instance_param {
+            Some(p) => vec![
+                RoutingHint::InstanceFromParam(p.clone()),
+                RoutingHint::FixedInstance(0),
+            ],
+            None => vec![RoutingHint::FixedInstance(0)],
+        }
     }
 }
 

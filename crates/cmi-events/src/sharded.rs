@@ -1,0 +1,465 @@
+//! Sharded detection: N detector replicas partitioned by process instance.
+//!
+//! Per-instance operator state replication (§5.1.2) means events of
+//! different process instances never meet inside a `ByInstance` operator:
+//! each instance owns a private state partition. That independence makes the
+//! hot path shardable — a [`ShardedEngine`] owns `N` complete [`Engine`]
+//! replicas of the merged DAG and routes every event to the replica that
+//! owns its process instance (`hash(processInstanceId) % N`). Ingest calls
+//! hitting different shards proceed under different locks, so concurrent
+//! producers scale with the shard count while each instance still sees its
+//! events in order.
+//!
+//! ## Routing rules (and why they preserve equivalence)
+//!
+//! Primitive events do not carry the canonical `processInstanceId`; the
+//! stateless filter frontier derives it (from `parentProcessInstanceId`,
+//! from the `processes` list of a context event, or from a configured
+//! external parameter). Each filter publishes that derivation as
+//! [`RoutingHint`]s, and the sharded engine applies the hints to compute
+//! the — conservative — set of instances an event may touch:
+//!
+//! * **Single-owner events** (the common case: the derived instances all
+//!   hash to one shard) go to `hash(instance) % N`. All events of an
+//!   instance land on the same replica, so its state partitions evolve
+//!   exactly as in the unsharded engine.
+//! * **Multi-owner events** (e.g. a context attached to several process
+//!   instances) are processed on *each* owning shard through
+//!   [`Engine::ingest_filtered`], which drops emissions for instances the
+//!   shard does not own. Every frontier emission therefore happens exactly
+//!   once globally, on the owner of its instance.
+//! * **Instance-less events are *not* broadcast.** An event deriving no
+//!   instance at all routes to shard 0 only; broadcasting it would
+//!   re-run its stateless matching once per shard and multiply any
+//!   emissions by `N`.
+//! * **Global-partition operators** (only `Translate`) mix events across
+//!   instances by design, so their state cannot be split. If any hosted
+//!   spec contains one, the engine degenerates to routing *everything* to
+//!   shard 0 — still correct, just unsharded, and visible in
+//!   [`ShardedEngine::is_degenerate`].
+
+use std::collections::BTreeSet;
+
+use crate::engine::{Detection, Engine, EngineStats, EngineTopology};
+use crate::event::{Event, EventType};
+use crate::operator::{PartitionMode, RoutingHint};
+use crate::producers::decode_processes;
+use crate::spec::{CompositeEventSpec, SpecNode};
+
+/// Mixes a raw instance id before taking it modulo the shard count, so
+/// sequential ids (the common case: ids come from a monotonic generator)
+/// spread evenly and small shard counts do not alias arithmetic patterns.
+#[inline]
+fn mix(raw: u64) -> u64 {
+    let mut z = raw.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `N` detector replicas sharded by process instance. See the module docs
+/// for the routing rules.
+pub struct ShardedEngine {
+    shards: Vec<Engine>,
+    /// Instance-derivation rules collected from hosted filters, keyed by
+    /// the primitive event type they apply to.
+    hints: Vec<(EventType, RoutingHint)>,
+    /// Set when a hosted spec contains a `Global`-partition operator, which
+    /// forces all-to-shard-0 routing.
+    has_global: bool,
+}
+
+impl std::fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("shards", &self.shards.len())
+            .field("degenerate", &self.has_global)
+            .finish()
+    }
+}
+
+impl ShardedEngine {
+    /// A sharded engine with `shards` replicas (clamped to at least 1),
+    /// each with structural sharing enabled. One shard behaves exactly like
+    /// a plain [`Engine`].
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1);
+        ShardedEngine {
+            shards: (0..n).map(|_| Engine::new()).collect(),
+            hints: Vec::new(),
+            has_global: false,
+        }
+    }
+
+    /// Number of replicas.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to one replica (delivery fan-out, tests, experiments).
+    pub fn shard(&self, idx: usize) -> &Engine {
+        &self.shards[idx]
+    }
+
+    /// True when a `Global`-partition operator forced all-to-shard-0
+    /// routing (sharding is disabled but detection stays correct).
+    pub fn is_degenerate(&self) -> bool {
+        self.has_global
+    }
+
+    /// Merges a specification into every replica (each shard hosts the full
+    /// merged DAG; only the *state* is partitioned across shards). Returns
+    /// the spec root's engine node index, identical on all replicas.
+    pub fn add_spec(&mut self, spec: &CompositeEventSpec) -> usize {
+        for node in spec.nodes() {
+            let SpecNode::Operator { op, inputs } = node else {
+                continue;
+            };
+            if op.partition() == PartitionMode::Global {
+                self.has_global = true;
+            }
+            for hint in op.routing_hints() {
+                let etype = op.input_type(0, inputs.len());
+                if !self.hints.iter().any(|(t, h)| *t == etype && *h == hint) {
+                    self.hints.push((etype, hint));
+                }
+            }
+        }
+        let mut root = 0;
+        for shard in &mut self.shards {
+            root = shard.add_spec(spec);
+        }
+        root
+    }
+
+    /// The shard owning a raw process instance id.
+    #[inline]
+    pub fn shard_of_raw(&self, raw_instance: u64) -> usize {
+        if self.has_global || self.shards.len() == 1 {
+            return 0;
+        }
+        (mix(raw_instance) % self.shards.len() as u64) as usize
+    }
+
+    /// The conservative set of raw process instance ids `event` may touch,
+    /// per the hosted filters' routing hints.
+    fn instances_for(&self, event: &Event) -> BTreeSet<u64> {
+        let mut set = BTreeSet::new();
+        if let Some(i) = event.process_instance() {
+            set.insert(i.raw());
+        }
+        for (etype, hint) in &self.hints {
+            if *etype != event.etype {
+                continue;
+            }
+            match hint {
+                RoutingHint::InstanceFromParam(p) => {
+                    if let Some(i) = event.get_id(p) {
+                        set.insert(i);
+                    }
+                }
+                RoutingHint::InstancesFromProcesses => {
+                    for (_, pi) in decode_processes(event) {
+                        set.insert(pi);
+                    }
+                }
+                RoutingHint::FixedInstance(i) => {
+                    set.insert(*i);
+                }
+            }
+        }
+        set
+    }
+
+    /// The shards an event routes to, ascending and deduplicated. Most
+    /// events have exactly one target; a multi-instance event (a context
+    /// attached to process instances owned by different shards) has
+    /// several.
+    pub fn shards_for(&self, event: &Event) -> Vec<usize> {
+        if self.has_global || self.shards.len() == 1 {
+            return vec![0];
+        }
+        let owners: BTreeSet<usize> = self
+            .instances_for(event)
+            .into_iter()
+            .map(|raw| self.shard_of_raw(raw))
+            .collect();
+        if owners.is_empty() {
+            vec![0]
+        } else {
+            owners.into_iter().collect()
+        }
+    }
+
+    /// Pushes one event through its owning replica(s). Thread-safe; calls
+    /// for different shards proceed concurrently. A multi-owner event is
+    /// processed on each owning shard with emissions filtered to the
+    /// instances that shard owns, so each emission happens exactly once
+    /// globally (see the module docs).
+    pub fn ingest(&self, event: &Event) -> Vec<Detection> {
+        let targets = self.shards_for(event);
+        if targets.len() == 1 {
+            return self.shards[targets[0]].ingest(event);
+        }
+        let primary = targets[0];
+        let mut out = Vec::new();
+        for &t in &targets {
+            let keep = |inst: Option<u64>| match inst {
+                Some(raw) => self.shard_of_raw(raw) == t,
+                // Instance-less emissions cannot arise from the canonical
+                // frontier, but if one does it belongs to one shard only.
+                None => t == primary,
+            };
+            out.extend(self.shards[t].ingest_filtered(event, &keep));
+        }
+        out
+    }
+
+    /// Pushes a batch through the engine in order, concatenating
+    /// detections. Within one call events are processed sequentially so the
+    /// detection sequence is identical to the unsharded engine's;
+    /// parallelism comes from concurrent callers whose batches hit
+    /// different shards.
+    pub fn ingest_batch(&self, events: &[Event]) -> Vec<Detection> {
+        let mut out = Vec::new();
+        for e in events {
+            out.extend(self.ingest(e));
+        }
+        out
+    }
+
+    /// Aggregated activity counters across replicas.
+    pub fn stats(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for s in &self.shards {
+            let s = s.stats();
+            total.events_ingested += s.events_ingested;
+            total.operator_invocations += s.operator_invocations;
+            total.events_emitted += s.events_emitted;
+            total.detections += s.detections;
+        }
+        total
+    }
+
+    /// Per-replica activity counters (load-balance diagnostics).
+    pub fn per_shard_stats(&self) -> Vec<EngineStats> {
+        self.shards.iter().map(Engine::stats).collect()
+    }
+
+    /// Topology of the hosted DAG. Structure (nodes, producers, operators,
+    /// sharing, specs) is per-replica — every replica hosts the same DAG —
+    /// while `state_partitions` sums the live partitions of all replicas.
+    pub fn topology(&self) -> EngineTopology {
+        let mut t = self.shards[0].topology();
+        t.state_partitions = self
+            .shards
+            .iter()
+            .map(|s| s.topology().state_partitions)
+            .sum();
+        t
+    }
+
+    /// Drops the per-instance operator state for a closed process instance.
+    /// Only the owning shard is touched; the other replicas never held
+    /// state for this instance.
+    pub fn evict_instance(&self, raw_instance: u64) -> usize {
+        self.shards[self.shard_of_raw(raw_instance)].evict_instance(raw_instance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::CmpOp;
+    use crate::operators::{
+        Compare2Op, ContextFilter, CountOp, ExternalFilter, OutputOp, TranslateOp,
+    };
+    use crate::producers::{context_event, Producer};
+    use crate::spec::SpecBuilder;
+    use cmi_core::context::ContextFieldChange;
+    use cmi_core::ids::{ActivityVarId, ContextId, ProcessInstanceId, ProcessSchemaId, SpecId};
+    use cmi_core::time::Timestamp;
+    use cmi_core::value::Value;
+    use std::sync::Arc;
+
+    const P: ProcessSchemaId = ProcessSchemaId(1);
+
+    fn deadline_spec(id: u64) -> CompositeEventSpec {
+        let mut b = SpecBuilder::new();
+        let ctx = b.producer(Producer::Context);
+        let op1 = b
+            .operator(
+                Arc::new(ContextFilter::new(P, "TaskForceContext", "TaskForceDeadline")),
+                &[ctx],
+            )
+            .unwrap();
+        let op2 = b
+            .operator(
+                Arc::new(ContextFilter::new(P, "InfoRequestContext", "RequestDeadline")),
+                &[ctx],
+            )
+            .unwrap();
+        let cmp = b
+            .operator(Arc::new(Compare2Op::new(P, CmpOp::Le)), &[op1, op2])
+            .unwrap();
+        let out = b
+            .operator(Arc::new(OutputOp::new(P, "deadline violation")), &[cmp])
+            .unwrap();
+        b.build(SpecId(id), "AS_InfoRequest", out).unwrap()
+    }
+
+    fn ctx_event(name: &str, field: &str, instance: u64, deadline_ms: u64) -> Event {
+        context_event(&ContextFieldChange {
+            time: Timestamp::from_millis(1),
+            context_id: ContextId(1),
+            context_name: name.into(),
+            processes: vec![(P, ProcessInstanceId(instance))],
+            field_name: field.into(),
+            old_value: None,
+            new_value: Value::Time(Timestamp::from_millis(deadline_ms)),
+        })
+    }
+
+    #[test]
+    fn detects_across_shards_like_unsharded() {
+        let mut sharded = ShardedEngine::new(4);
+        sharded.add_spec(&deadline_spec(1));
+        let mut plain = Engine::new();
+        plain.add_spec(&deadline_spec(1));
+
+        for instance in 1..=20u64 {
+            for e in [
+                ctx_event("TaskForceContext", "TaskForceDeadline", instance, 40),
+                ctx_event("InfoRequestContext", "RequestDeadline", instance, 50),
+            ] {
+                let a = sharded.ingest(&e);
+                let b = plain.ingest(&e);
+                assert_eq!(a.len(), b.len());
+            }
+        }
+        assert_eq!(sharded.stats().detections, plain.stats().detections);
+        assert_eq!(
+            sharded.topology().state_partitions,
+            plain.topology().state_partitions
+        );
+    }
+
+    #[test]
+    fn instances_spread_over_shards() {
+        let mut e = ShardedEngine::new(4);
+        e.add_spec(&deadline_spec(1));
+        for i in 0..64u64 {
+            e.ingest(&ctx_event("TaskForceContext", "TaskForceDeadline", i, 10));
+        }
+        let per_shard = e.per_shard_stats();
+        let active = per_shard.iter().filter(|s| s.events_ingested > 0).count();
+        assert_eq!(active, 4, "64 instances must touch all 4 shards");
+    }
+
+    #[test]
+    fn instance_less_events_route_to_one_shard_once() {
+        let mut b = SpecBuilder::new();
+        let ext = b.producer(Producer::External("tick".into()));
+        let f = b
+            .operator(Arc::new(ExternalFilter::new(P, "tick", None)), &[ext])
+            .unwrap();
+        let c = b.operator(Arc::new(CountOp::new(P)), &[f]).unwrap();
+        let out = b.operator(Arc::new(OutputOp::new(P, "n")), &[c]).unwrap();
+        let spec = b.build(SpecId(9), "ticks", out).unwrap();
+
+        let mut sharded = ShardedEngine::new(8);
+        sharded.add_spec(&spec);
+        let mut plain = Engine::new();
+        plain.add_spec(&spec);
+
+        let tick =
+            crate::producers::external_event("tick", Timestamp::from_millis(1), Vec::new());
+        let mut sharded_total = 0;
+        let mut plain_total = 0;
+        for _ in 0..5 {
+            sharded_total += sharded.ingest(&tick).len();
+            plain_total += plain.ingest(&tick).len();
+        }
+        assert_eq!(sharded_total, plain_total, "no broadcast duplication");
+        // The filter pins instance-less ticks to instance 0, so exactly one
+        // Count partition exists, on the shard owning raw instance 0.
+        assert_eq!(sharded.topology().state_partitions, 1);
+        let owner = sharded.shard_of_raw(0);
+        assert_eq!(sharded.shard(owner).topology().state_partitions, 1);
+        for (i, s) in sharded.per_shard_stats().iter().enumerate() {
+            assert_eq!(s.events_ingested, if i == owner { 5 } else { 0 });
+        }
+    }
+
+    #[test]
+    fn global_operator_degenerates_to_single_shard() {
+        let mut b = SpecBuilder::new();
+        let act = b.producer(Producer::Activity);
+        let ctx = b.producer(Producer::Context);
+        let f = b
+            .operator(
+                Arc::new(ContextFilter::new(ProcessSchemaId(2), "C", "f")),
+                &[ctx],
+            )
+            .unwrap();
+        let t = b
+            .operator(
+                Arc::new(TranslateOp::new(P, ProcessSchemaId(2), ActivityVarId(1))),
+                &[act, f],
+            )
+            .unwrap();
+        let spec = b.build(SpecId(5), "translate", t).unwrap();
+
+        let mut e = ShardedEngine::new(4);
+        e.add_spec(&spec);
+        assert!(e.is_degenerate());
+        for i in 0..32u64 {
+            e.ingest(&ctx_event("C", "f", i, 1));
+        }
+        let per_shard = e.per_shard_stats();
+        assert_eq!(per_shard[0].events_ingested, 32);
+        assert!(per_shard[1..].iter().all(|s| s.events_ingested == 0));
+    }
+
+    #[test]
+    fn evict_touches_only_owning_shard() {
+        let mut e = ShardedEngine::new(4);
+        e.add_spec(&deadline_spec(1));
+        for i in 0..16u64 {
+            e.ingest(&ctx_event("TaskForceContext", "TaskForceDeadline", i, 10));
+        }
+        let before = e.topology().state_partitions;
+        assert_eq!(before, 16);
+        assert_eq!(e.evict_instance(3), 1);
+        assert_eq!(e.topology().state_partitions, 15);
+        // Evicting again is a no-op.
+        assert_eq!(e.evict_instance(3), 0);
+    }
+
+    #[test]
+    fn batch_matches_event_at_a_time() {
+        let mut a = ShardedEngine::new(4);
+        a.add_spec(&deadline_spec(1));
+        let mut b_engine = ShardedEngine::new(4);
+        b_engine.add_spec(&deadline_spec(1));
+
+        let events: Vec<Event> = (1..=10u64)
+            .flat_map(|i| {
+                [
+                    ctx_event("TaskForceContext", "TaskForceDeadline", i, 40),
+                    ctx_event("InfoRequestContext", "RequestDeadline", i, 50),
+                ]
+            })
+            .collect();
+        let batched = a.ingest_batch(&events);
+        let mut one_by_one = Vec::new();
+        for e in &events {
+            one_by_one.extend(b_engine.ingest(e));
+        }
+        assert_eq!(batched.len(), one_by_one.len());
+        for (x, y) in batched.iter().zip(&one_by_one) {
+            assert_eq!(x.spec, y.spec);
+            assert_eq!(x.event.process_instance(), y.event.process_instance());
+        }
+    }
+}

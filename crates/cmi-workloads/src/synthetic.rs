@@ -116,6 +116,9 @@ pub struct SyntheticOutcome {
     pub participants: Vec<UserId>,
     /// Primitive events generated.
     pub trace_len: usize,
+    /// The full primitive event trace, replayable through a detection
+    /// engine (the sharded-equivalence differential tests do exactly that).
+    pub trace: Vec<cmi_baselines::mechanism::TraceEvent>,
     /// info item → force index, for force-scoped metrics.
     pub item_force: BTreeMap<String, usize>,
     /// Per-force membership history.
@@ -564,13 +567,14 @@ pub fn run_crisis_workload(params: SyntheticParams) -> SyntheticOutcome {
 
     let reports = harness.reports(&truth, participants.len());
     let deliveries = harness.deliveries();
-    let trace_len = harness.trace().len();
+    let trace = harness.trace();
     SyntheticOutcome {
         reports,
         deliveries,
         truth,
         participants,
-        trace_len,
+        trace_len: trace.len(),
+        trace,
         item_force,
         membership,
     }

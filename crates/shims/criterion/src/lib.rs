@@ -1,0 +1,277 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no crates registry, so this workspace vendors
+//! the slice of the criterion API its benches use: `Criterion`,
+//! `benchmark_group` / `bench_function` / `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately lightweight: each benchmark is warmed up
+//! briefly, then timed in batches for a bounded wall-clock budget, and the
+//! mean ns/iter (plus derived elements/sec when a throughput is set) is
+//! printed. When the `CRITERION_JSON_OUT` environment variable names a
+//! file, one JSON object per benchmark is appended to it so scripts can
+//! collect machine-readable results.
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration throughput annotation.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for single-function sweeps).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> BenchmarkId {
+        BenchmarkId { id }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Bencher {
+        Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            budget,
+        }
+    }
+
+    /// Runs `f` repeatedly within the time budget, recording total elapsed
+    /// time and iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: a few untimed iterations.
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let mut batch = 1u64;
+        while self.elapsed < self.budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.elapsed += start.elapsed();
+            self.iters_done += batch;
+            // Grow batches so per-batch timing overhead amortises away,
+            // but keep each batch under ~a quarter of the budget.
+            let per_iter = self.elapsed.as_nanos().max(1) / self.iters_done.max(1) as u128;
+            let target = (self.budget.as_nanos() / 4 / per_iter.max(1)) as u64;
+            batch = batch.saturating_mul(2).min(target.max(1));
+        }
+    }
+}
+
+fn json_out(record: &str) {
+    if let Ok(path) = std::env::var("CRITERION_JSON_OUT") {
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(f, "{record}");
+        }
+    }
+}
+
+fn run_one(full_id: &str, throughput: Option<Throughput>, budget: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher::new(budget);
+    f(&mut b);
+    let iters = b.iters_done.max(1);
+    let ns_per_iter = b.elapsed.as_nanos() as f64 / iters as f64;
+    let mut line = format!("bench {full_id:<50} {ns_per_iter:>14.1} ns/iter ({iters} iters)");
+    let mut rate_json = String::new();
+    if let Some(t) = throughput {
+        let (n, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let per_sec = n as f64 * 1e9 / ns_per_iter;
+        let _ = write!(line, "  {per_sec:>14.0} {unit}/s");
+        let _ = write!(rate_json, ",\"throughput\":{{\"per_iter\":{n},\"unit\":\"{unit}\",\"per_sec\":{per_sec:.0}}}");
+    }
+    println!("{line}");
+    json_out(&format!(
+        "{{\"id\":\"{full_id}\",\"ns_per_iter\":{ns_per_iter:.1},\"iters\":{iters}{rate_json}}}"
+    ));
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let ms = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API parity; this shim's effort knob is its wall-clock
+    /// budget, not a sample count.
+    pub fn sample_size(self, _n: usize) -> Criterion {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            budget: self.budget,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        run_one(id, None, self.budget, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    budget: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used to derive rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.throughput, self.budget, f);
+        self
+    }
+
+    /// Runs a parameterised benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.throughput, self.budget, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Criterion {
+        Criterion {
+            budget: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = tiny();
+        let mut hit = false;
+        c.bench_function("t", |b| {
+            b.iter(|| 1 + 1);
+            hit = true;
+        });
+        assert!(hit);
+    }
+
+    #[test]
+    fn group_bench_with_input_passes_input() {
+        let mut c = tiny();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::from_parameter(4), &vec![1, 2, 3, 4], |b, v| {
+            b.iter(|| v.iter().sum::<i32>())
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,40 @@
+//! Option strategies: `of(inner)`.
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Strategy generating `Option<T>` with `Some` roughly 3/4 of the time.
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// A strategy producing `None` or `Some` of a value from `inner`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let s = of(0u8..8);
+        let mut rng = TestRng::for_case("o", 0);
+        let draws: Vec<Option<u8>> = (0..64).map(|_| s.generate(&mut rng)).collect();
+        assert!(draws.iter().any(Option::is_none));
+        assert!(draws.iter().any(Option::is_some));
+        assert!(draws.iter().flatten().all(|&x| x < 8));
+    }
+}

@@ -1,0 +1,22 @@
+//! Runner configuration for `proptest!` blocks.
+
+/// Controls how many cases each property runs. Only the `cases` knob is
+/// honoured; upstream's other fields are not part of this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}

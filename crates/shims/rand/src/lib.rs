@@ -1,0 +1,155 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The workloads only need a deterministic, seedable generator with
+//! `gen_range` / `gen_bool`, so this shim ships a xoshiro256++ PRNG seeded
+//! through splitmix64 (the reference seeding procedure) behind the familiar
+//! `Rng` / `SeedableRng` trait names. Streams are stable across runs and
+//! platforms for a given seed, which is what the seeded experiments rely on.
+
+use std::ops::Range;
+
+/// Types that can be constructed from a simple integer seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a `u64` seed (splitmix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface: uniform ranges and Bernoulli draws.
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (half-open, `start..end`).
+    fn gen_range<T: UniformSample>(&mut self, range: Range<T>) -> T {
+        T::sample(self.next_u64(), range)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 high bits → uniform f64 in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+/// Integer types uniformly sampleable from 64 random bits.
+pub trait UniformSample: Copy {
+    /// Maps raw bits into `range`. `range` must be non-empty.
+    fn sample(bits: u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample(bits: u64, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + (bits % span) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample(bits: u64, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = range.end.wrapping_sub(range.start) as u64;
+                range.start.wrapping_add((bits % span) as $t)
+            }
+        }
+    )*};
+}
+impl_uniform_signed!(i8, i16, i32, i64, isize);
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    /// Alias kept for API parity with `rand::rngs::SmallRng`.
+    pub type SmallRng = StdRng;
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(10u64..60);
+            assert!((10..60).contains(&v));
+            let s = r.gen_range(-50i64..50);
+            assert!((-50..50).contains(&s));
+            let u = r.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(1);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((3_500..6_500).contains(&hits), "p=0.5 wildly off: {hits}");
+    }
+}

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use cmi::awareness::agents::AgentPipeline;
 use cmi::awareness::builder::AwarenessSchemaBuilder;
 use cmi::awareness::engine::AwarenessEngine;
-use cmi::awareness::queue::DeliveryQueue;
+use cmi::awareness::queue::{DeliveryQueue, Notification, Priority};
 use cmi::core::context::{ContextFieldChange, ContextManager};
 use cmi::core::ids::{AwarenessSchemaId, ContextId, ProcessInstanceId, ProcessSchemaId};
 use cmi::core::participant::Directory;
@@ -90,6 +90,135 @@ fn parallel_direct_ingest_loses_nothing() {
             .max();
         assert_eq!(max, Some(EVENTS_PER_THREAD as i64));
     }
+}
+
+/// Builds a uniquely tagged notification for the queue stress tests.
+fn tagged_notification(user: cmi::core::ids::UserId, tag: i64) -> Notification {
+    Notification {
+        seq: 0,
+        user,
+        time: Timestamp::from_millis(tag as u64),
+        schema: AwarenessSchemaId(1),
+        schema_name: "AS".into(),
+        description: "stress".into(),
+        process_schema: P,
+        process_instance: ProcessInstanceId(1),
+        int_info: Some(tag),
+        str_info: None,
+        priority: Priority::Normal,
+    }
+}
+
+/// DeliveryQueue regression: concurrent `enqueue`/`fetch`/`ack_exact`/
+/// `compact` never drops an un-acked notification and never re-delivers an
+/// acked one. A durable queue is used so `compact` actually rewrites the
+/// WAL under concurrent appends.
+#[test]
+fn queue_concurrent_enqueue_fetch_ack_compact() {
+    const PRODUCERS: usize = 4;
+    const PER_PRODUCER: i64 = 250;
+    let dir = std::env::temp_dir().join(format!(
+        "cmi-queue-stress-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("queue.wal");
+    let queue = Arc::new(DeliveryQueue::open(&path).unwrap());
+    let user = cmi::core::ids::UserId(1);
+
+    let done = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let consumed = std::thread::scope(|s| {
+        for p in 0..PRODUCERS {
+            let queue = queue.clone();
+            let done = done.clone();
+            s.spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    let tag = p as i64 * PER_PRODUCER + i;
+                    queue.enqueue(tagged_notification(user, tag)).unwrap();
+                }
+                done.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            });
+        }
+        // Compactor: rewrites the WAL while producers append and the
+        // consumer acknowledges.
+        {
+            let queue = queue.clone();
+            let done = done.clone();
+            s.spawn(move || {
+                while done.load(std::sync::atomic::Ordering::SeqCst) <= PRODUCERS {
+                    queue.compact().unwrap();
+                    std::thread::yield_now();
+                    if done.load(std::sync::atomic::Ordering::SeqCst) > PRODUCERS {
+                        break;
+                    }
+                }
+            });
+        }
+        // Single consumer: fetch a batch, ack it exactly, and verify no
+        // acked notification is ever delivered again.
+        let consumer = {
+            let queue = queue.clone();
+            let done = done.clone();
+            s.spawn(move || {
+                let mut seen = std::collections::BTreeSet::new();
+                let mut consumed = Vec::new();
+                loop {
+                    let batch = queue.fetch(user, 32);
+                    if batch.is_empty() {
+                        if done.load(std::sync::atomic::Ordering::SeqCst) >= PRODUCERS {
+                            break;
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    let seqs: Vec<u64> = batch.iter().map(|n| n.seq).collect();
+                    for n in &batch {
+                        assert!(
+                            seen.insert(n.seq),
+                            "acked notification re-delivered: seq {}",
+                            n.seq
+                        );
+                        consumed.push(n.int_info.unwrap());
+                    }
+                    queue.ack_exact(user, &seqs).unwrap();
+                }
+                // Mark consumption finished so the compactor stops.
+                done.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                consumed
+            })
+        };
+        consumer.join().unwrap()
+    });
+
+    // Nothing dropped: consumed tags + still-pending tags cover every
+    // enqueued notification exactly once.
+    let total = PRODUCERS as i64 * PER_PRODUCER;
+    let mut tags: Vec<i64> = consumed;
+    tags.extend(
+        queue
+            .fetch(user, usize::MAX)
+            .iter()
+            .map(|n| n.int_info.unwrap()),
+    );
+    tags.sort_unstable();
+    assert_eq!(tags, (0..total).collect::<Vec<_>>(), "lost or duplicated");
+
+    // Durability: reopening from the (possibly compacted) WAL reproduces
+    // exactly the un-acked remainder.
+    let pending_now: Vec<i64> = queue
+        .fetch(user, usize::MAX)
+        .iter()
+        .map(|n| n.int_info.unwrap())
+        .collect();
+    drop(queue);
+    let reopened = DeliveryQueue::open(&path).unwrap();
+    let pending_reopened: Vec<i64> = reopened
+        .fetch(user, usize::MAX)
+        .iter()
+        .map(|n| n.int_info.unwrap())
+        .collect();
+    assert_eq!(pending_now, pending_reopened);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

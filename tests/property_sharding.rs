@@ -1,0 +1,231 @@
+//! Shard-count invariance property: any generated primitive event stream
+//! produces the same detections through `ShardedEngine` with 1, 2, 4, or 7
+//! shards as through the plain unsharded `Engine`, and the per-instance
+//! detection order is preserved exactly.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use cmi::core::context::ContextFieldChange;
+use cmi::core::ids::{ContextId, ProcessInstanceId, ProcessSchemaId, SpecId};
+use cmi::core::time::Timestamp;
+use cmi::core::value::Value;
+use cmi::events::engine::{Detection, Engine};
+use cmi::events::operator::CmpOp;
+use cmi::events::operators::{
+    Compare1Op, ContextFilter, CountOp, ExternalFilter, OutputOp,
+};
+use cmi::events::producers::{context_event, external_event, Producer};
+use cmi::events::sharded::ShardedEngine;
+use cmi::events::spec::{CompositeEventSpec, SpecBuilder};
+use cmi::events::event::Event;
+
+const P: ProcessSchemaId = ProcessSchemaId(1);
+const SHARD_COUNTS: &[usize] = &[1, 2, 4, 7];
+
+/// One generated primitive event.
+#[derive(Debug, Clone)]
+enum Step {
+    /// A context field change attached to 1–3 process instances.
+    Ctx {
+        field: bool, // false = "x", true = "y"
+        instances: Vec<u64>,
+        value: i64,
+    },
+    /// An instance-less external event.
+    Tick { value: i64 },
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (
+            any::<bool>(),
+            proptest::collection::vec(0u64..24, 1..4),
+            -40i64..40,
+        )
+            .prop_map(|(field, instances, value)| Step::Ctx {
+                field,
+                instances,
+                value,
+            }),
+        1 => (-40i64..40).prop_map(|value| Step::Tick { value }),
+    ]
+}
+
+fn to_event(s: &Step, i: usize) -> Event {
+    let t = Timestamp::from_millis(i as u64);
+    match s {
+        Step::Ctx {
+            field,
+            instances,
+            value,
+        } => context_event(&ContextFieldChange {
+            time: t,
+            context_id: ContextId(1),
+            context_name: "C".into(),
+            processes: instances
+                .iter()
+                .map(|&r| (P, ProcessInstanceId(r)))
+                .collect(),
+            field_name: if *field { "y" } else { "x" }.into(),
+            old_value: None,
+            new_value: Value::Int(*value),
+        }),
+        Step::Tick { value } => external_event(
+            "tick",
+            t,
+            vec![("v".to_owned(), Value::Int(*value))],
+        ),
+    }
+}
+
+/// Three specs sharing the context producer: a per-instance count over
+/// `C.x`, a threshold compare over `C.y`, and an instance-less tick count.
+fn specs() -> Vec<CompositeEventSpec> {
+    let mut b = SpecBuilder::new();
+    let ctx = b.producer(Producer::Context);
+    let fx = b
+        .operator(Arc::new(ContextFilter::new(P, "C", "x")), &[ctx])
+        .unwrap();
+    let cnt = b.operator(Arc::new(CountOp::new(P)), &[fx]).unwrap();
+    let out = b
+        .operator(Arc::new(OutputOp::new(P, "x count")), &[cnt])
+        .unwrap();
+    let s1 = b.build(SpecId(1), "count-x", out).unwrap();
+
+    let mut b = SpecBuilder::new();
+    let ctx = b.producer(Producer::Context);
+    let fy = b
+        .operator(Arc::new(ContextFilter::new(P, "C", "y")), &[ctx])
+        .unwrap();
+    let gate = b
+        .operator(Arc::new(Compare1Op::new(P, CmpOp::Ge, 10)), &[fy])
+        .unwrap();
+    let out = b
+        .operator(Arc::new(OutputOp::new(P, "y >= 10")), &[gate])
+        .unwrap();
+    let s2 = b.build(SpecId(2), "gate-y", out).unwrap();
+
+    let mut b = SpecBuilder::new();
+    let ext = b.producer(Producer::External("tick".into()));
+    let f = b
+        .operator(Arc::new(ExternalFilter::new(P, "tick", None)), &[ext])
+        .unwrap();
+    let cnt = b.operator(Arc::new(CountOp::new(P)), &[f]).unwrap();
+    let out = b
+        .operator(Arc::new(OutputOp::new(P, "ticks")), &[cnt])
+        .unwrap();
+    let s3 = b.build(SpecId(3), "count-ticks", out).unwrap();
+    vec![s1, s2, s3]
+}
+
+/// Detection identity: (spec, instance, time, intInfo).
+fn det_key(d: &Detection) -> (u64, Option<u64>, u64, Option<i64>) {
+    (
+        d.spec.raw(),
+        d.event.process_instance().map(|i| i.raw()),
+        d.event.time.millis(),
+        d.event.int_info(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Shard-count invariance: detections are the same multiset for every
+    /// shard count, per-instance order is identical, and the unsharded
+    /// engine agrees.
+    #[test]
+    fn sharded_detections_equal_unsharded(steps in proptest::collection::vec(step(), 1..80)) {
+        let events: Vec<Event> =
+            steps.iter().enumerate().map(|(i, s)| to_event(s, i)).collect();
+
+        let mut plain = Engine::new();
+        for s in specs() {
+            plain.add_spec(&s);
+        }
+        let mut baseline = Vec::new();
+        for e in &events {
+            baseline.extend(plain.ingest(e));
+        }
+        let mut baseline_sorted: Vec<_> = baseline.iter().map(det_key).collect();
+        baseline_sorted.sort();
+
+        for &n in SHARD_COUNTS {
+            let mut sharded = ShardedEngine::new(n);
+            for s in specs() {
+                sharded.add_spec(&s);
+            }
+            let got = sharded.ingest_batch(&events);
+
+            // Same multiset of detections.
+            let mut got_sorted: Vec<_> = got.iter().map(det_key).collect();
+            got_sorted.sort();
+            prop_assert_eq!(&got_sorted, &baseline_sorted, "multiset differs at {} shards", n);
+
+            // Same per-instance detection sequence.
+            let per_instance = |ds: &[Detection]| {
+                let mut m: std::collections::BTreeMap<Option<u64>, Vec<_>> =
+                    std::collections::BTreeMap::new();
+                for d in ds {
+                    m.entry(d.event.process_instance().map(|i| i.raw()))
+                        .or_default()
+                        .push(det_key(d));
+                }
+                m
+            };
+            prop_assert_eq!(
+                per_instance(&baseline),
+                per_instance(&got),
+                "per-instance order differs at {} shards",
+                n
+            );
+
+            // Aggregate counters agree with the unsharded engine.
+            prop_assert_eq!(sharded.stats().detections, plain.stats().detections);
+            prop_assert_eq!(
+                sharded.topology().state_partitions,
+                plain.topology().state_partitions,
+                "partition totals differ at {} shards",
+                n
+            );
+        }
+    }
+
+    /// Eviction invariance: evicting an instance from the sharded engine
+    /// drops exactly the partitions the unsharded engine drops, and the
+    /// remaining stream still detects identically.
+    #[test]
+    fn eviction_preserves_equivalence(
+        steps in proptest::collection::vec(step(), 1..60),
+        evict in 0u64..24,
+    ) {
+        let events: Vec<Event> =
+            steps.iter().enumerate().map(|(i, s)| to_event(s, i)).collect();
+        let (head, tail) = events.split_at(events.len() / 2);
+
+        let mut plain = Engine::new();
+        let mut sharded = ShardedEngine::new(4);
+        for s in specs() {
+            plain.add_spec(&s);
+            sharded.add_spec(&s);
+        }
+        for e in head {
+            plain.ingest(e);
+        }
+        sharded.ingest_batch(head);
+        prop_assert_eq!(plain.evict_instance(evict), sharded.evict_instance(evict));
+
+        let mut base = Vec::new();
+        for e in tail {
+            base.extend(plain.ingest(e));
+        }
+        let got = sharded.ingest_batch(tail);
+        let mut base_keys: Vec<_> = base.iter().map(det_key).collect();
+        let mut got_keys: Vec<_> = got.iter().map(det_key).collect();
+        base_keys.sort();
+        got_keys.sort();
+        prop_assert_eq!(base_keys, got_keys);
+    }
+}

@@ -1,0 +1,538 @@
+//! Differential oracle for the sharded awareness hot path.
+//!
+//! The sharded detector ([`cmi::events::sharded::ShardedEngine`]) must be
+//! observationally equivalent to the unsharded engine: identical event
+//! streams must yield identical detection multisets and identical per-user
+//! notification content, with per-process-instance notification order
+//! preserved exactly (cross-instance interleaving may differ when one
+//! primitive event touches several instances owned by different shards, so
+//! ordering is compared per instance — the only order the paper's
+//! per-instance replication model defines).
+//!
+//! Three workloads are replayed through a 1-shard and an N-shard
+//! [`AwarenessEngine`]:
+//!
+//! 1. the synthetic crisis workload of `cmi-workloads` (activity + context
+//!    events, membership churn),
+//! 2. the §5.4 task force deadline scenario of `cmi-workloads`,
+//! 3. a hand-built stream stressing the routing edge cases (multi-instance
+//!    context events, instance-less external events).
+//!
+//! A final stress test drives `ingest_batch` from 8 producer threads and
+//! asserts no detection is lost or duplicated.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use cmi::awareness::builder::AwarenessSchemaBuilder;
+use cmi::awareness::engine::AwarenessEngine;
+use cmi::awareness::queue::{DeliveryQueue, Notification};
+use cmi::awareness::schema::AwarenessSchema;
+use cmi::awareness::system::CmiServer;
+use cmi::baselines::mechanism::TraceEvent;
+use cmi::core::context::{ContextFieldChange, ContextManager};
+use cmi::core::ids::{AwarenessSchemaId, ContextId, ProcessInstanceId, ProcessSchemaId, UserId};
+use cmi::core::participant::Directory;
+use cmi::core::roles::RoleSpec;
+use cmi::core::time::{SimClock, Timestamp};
+use cmi::core::value::Value;
+use cmi::events::event::Event;
+use cmi::events::operators::ExternalFilter;
+use cmi::events::producers::{activity_event, context_event, external_event};
+use cmi::workloads::synthetic::{run_crisis_workload, SyntheticParams};
+use cmi::workloads::taskforce;
+use cmi::workloads::Harness;
+
+/// Converts a recorded primitive-event trace into replayable engine events.
+fn trace_to_events(trace: &[TraceEvent]) -> Vec<Event> {
+    trace
+        .iter()
+        .map(|t| match t {
+            TraceEvent::Activity(a) => activity_event(a),
+            TraceEvent::Context(c) => context_event(c),
+        })
+        .collect()
+}
+
+/// Notification identity independent of queue sequence numbers.
+type NoteKey = (
+    u64,            // user
+    u64,            // time (ms)
+    u64,            // awareness schema
+    String,         // description
+    u64,            // process schema
+    u64,            // process instance
+    Option<i64>,    // intInfo
+    Option<String>, // strInfo
+);
+
+fn key(n: &Notification) -> NoteKey {
+    (
+        n.user.raw(),
+        n.time.millis(),
+        n.schema.raw(),
+        n.description.clone(),
+        n.process_schema.raw(),
+        n.process_instance.raw(),
+        n.int_info,
+        n.str_info.clone(),
+    )
+}
+
+/// Asserts the two notification streams are equivalent: same per-user
+/// multiset, and the same exact sequence per (user, process instance).
+fn assert_equivalent(label: &str, base: &[Notification], sharded: &[Notification]) {
+    assert_eq!(
+        base.len(),
+        sharded.len(),
+        "{label}: notification counts differ"
+    );
+    let mut base_multiset: Vec<NoteKey> = base.iter().map(key).collect();
+    let mut sharded_multiset: Vec<NoteKey> = sharded.iter().map(key).collect();
+    base_multiset.sort();
+    sharded_multiset.sort();
+    assert_eq!(base_multiset, sharded_multiset, "{label}: multisets differ");
+
+    let by_user_instance = |ns: &[Notification]| {
+        let mut m: BTreeMap<(u64, u64), Vec<NoteKey>> = BTreeMap::new();
+        for n in ns {
+            m.entry((n.user.raw(), n.process_instance.raw()))
+                .or_default()
+                .push(key(n));
+        }
+        m
+    };
+    assert_eq!(
+        by_user_instance(base),
+        by_user_instance(sharded),
+        "{label}: per-(user, instance) notification order differs"
+    );
+}
+
+/// Replays `events` through engines with each shard count, registering the
+/// schemas produced by `make_schemas` on every engine, and asserts the
+/// N-shard runs are equivalent to the 1-shard run.
+fn differential(
+    label: &str,
+    directory: &Arc<Directory>,
+    contexts: &Arc<ContextManager>,
+    make_schemas: &dyn Fn() -> Vec<AwarenessSchema>,
+    events: &[Event],
+    shard_counts: &[usize],
+) {
+    let run = |shards: usize| {
+        let engine = AwarenessEngine::with_shards(
+            directory.clone(),
+            contexts.clone(),
+            Arc::new(DeliveryQueue::in_memory()),
+            shards,
+        );
+        for s in make_schemas() {
+            engine.register(s);
+        }
+        let notifications = engine.ingest_batch(events);
+        (notifications, engine.stats())
+    };
+    let (base_notes, base_stats) = run(1);
+    assert!(
+        base_stats.detections > 0,
+        "{label}: workload produced no detections — the oracle proves nothing"
+    );
+    for &n in shard_counts {
+        let (notes, stats) = run(n);
+        assert_eq!(
+            base_stats.detections, stats.detections,
+            "{label}: detection counts differ at {n} shards"
+        );
+        assert_eq!(
+            base_stats.notifications, stats.notifications,
+            "{label}: notification counters differ at {n} shards"
+        );
+        assert_equivalent(&format!("{label} @ {n} shards"), &base_notes, &notes);
+    }
+}
+
+/// Registers watchers in the directory and builds one awareness schema per
+/// distinct observable in the trace: a `Count` over every (process schema,
+/// context name, field) triple, and a process state filter per process
+/// schema. Static org-role delivery keeps role resolution identical across
+/// replays.
+fn schemas_for_trace(
+    trace: &[TraceEvent],
+    directory: &Arc<Directory>,
+) -> impl Fn() -> Vec<AwarenessSchema> {
+    let watchers = directory
+        .role_by_name("diff-watchers")
+        .unwrap_or_else(|| directory.add_role("diff-watchers").unwrap());
+    for name in ["diff-w1", "diff-w2"] {
+        let u = directory.add_user(name);
+        directory.assign(u, watchers).unwrap();
+    }
+
+    let mut ctx_triples: Vec<(ProcessSchemaId, String, String)> = Vec::new();
+    let mut proc_states: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    for t in trace {
+        match t {
+            TraceEvent::Context(c) => {
+                for &(ps, _) in &c.processes {
+                    let triple = (ps, c.context_name.clone(), c.field_name.clone());
+                    if !ctx_triples.contains(&triple) {
+                        ctx_triples.push(triple);
+                    }
+                }
+            }
+            TraceEvent::Activity(a) => {
+                if let Some(ps) = a.activity_process_schema_id {
+                    let states = proc_states.entry(ps.raw()).or_default();
+                    if !states.contains(&a.new_state) {
+                        states.push(a.new_state.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    move || {
+        let mut schemas = Vec::new();
+        let mut next = 1u64;
+        for (ps, ctx, field) in &ctx_triples {
+            let mut b = AwarenessSchemaBuilder::new(
+                AwarenessSchemaId(next),
+                &format!("watch-{ctx}-{field}"),
+                *ps,
+            );
+            let f = b.context_filter(ctx, field).unwrap();
+            let c = b.count(f).unwrap();
+            schemas.push(
+                b.deliver_to(c, RoleSpec::org("diff-watchers"))
+                    .describe(&format!("{ctx}.{field} changed"))
+                    .build()
+                    .unwrap(),
+            );
+            next += 1;
+        }
+        for (ps, states) in &proc_states {
+            let mut b = AwarenessSchemaBuilder::new(
+                AwarenessSchemaId(next),
+                &format!("watch-proc-{ps}"),
+                ProcessSchemaId(*ps),
+            );
+            let state_refs: Vec<&str> = states.iter().map(String::as_str).collect();
+            let f = b.process_filter(&state_refs).unwrap();
+            schemas.push(
+                b.deliver_to(f, RoleSpec::org("diff-watchers"))
+                    .describe("process state changed")
+                    .build()
+                    .unwrap(),
+            );
+            next += 1;
+        }
+        schemas
+    }
+}
+
+const SHARD_COUNTS: &[usize] = &[2, 3, 4, 8];
+
+#[test]
+fn synthetic_crisis_workload_is_shard_invariant() {
+    let out = run_crisis_workload(SyntheticParams {
+        churn_rate: 0.3,
+        ..SyntheticParams::default()
+    });
+    assert!(out.trace.len() > 100, "trace too small to be interesting");
+    let events = trace_to_events(&out.trace);
+    // Fresh directory/contexts: org-role delivery only needs the directory,
+    // and an empty context store resolves identically for every replay.
+    let directory = Arc::new(Directory::new());
+    let contexts = Arc::new(ContextManager::new(Arc::new(SimClock::new())));
+    let make = schemas_for_trace(&out.trace, &directory);
+    differential(
+        "synthetic-crisis",
+        &directory,
+        &contexts,
+        &make,
+        &events,
+        SHARD_COUNTS,
+    );
+}
+
+#[test]
+fn taskforce_deadline_scenario_is_shard_invariant() {
+    let server = CmiServer::new();
+    // Record the primitive-event stream of the live §5.4 scenario.
+    let harness = Harness::install(&server, Vec::new());
+    let schemas = taskforce::install(&server);
+    let out = taskforce::run_deadline_scenario(&server, &schemas);
+    assert_eq!(out.requestor_notifications.len(), 1);
+    let trace = harness.trace();
+    assert!(trace.len() > 10);
+    let events = trace_to_events(&trace);
+    let directory = Arc::new(Directory::new());
+    let contexts = Arc::new(ContextManager::new(Arc::new(SimClock::new())));
+    let make = schemas_for_trace(&trace, &directory);
+    differential(
+        "taskforce-deadline",
+        &directory,
+        &contexts,
+        &make,
+        &events,
+        SHARD_COUNTS,
+    );
+}
+
+/// Hand-built stream: multi-instance context events whose instances hash to
+/// different shards, plus instance-less external events — the two routing
+/// edge cases (multi-owner filtered ingest, no-broadcast rule).
+#[test]
+fn edge_case_stream_is_shard_invariant() {
+    const P: ProcessSchemaId = ProcessSchemaId(1);
+    let directory = Arc::new(Directory::new());
+    let contexts = Arc::new(ContextManager::new(Arc::new(SimClock::new())));
+    let watchers = directory.add_role("diff-watchers").unwrap();
+    let u = directory.add_user("w");
+    directory.assign(u, watchers).unwrap();
+
+    let make = || {
+        let mut b = AwarenessSchemaBuilder::new(AwarenessSchemaId(1), "shared-ctx", P);
+        let f = b.context_filter("Shared", "x").unwrap();
+        let c = b.count(f).unwrap();
+        let s1 = b
+            .deliver_to(c, RoleSpec::org("diff-watchers"))
+            .describe("shared context changed")
+            .build()
+            .unwrap();
+        let mut b = AwarenessSchemaBuilder::new(AwarenessSchemaId(2), "ticks", P);
+        let f = b
+            .external_filter(ExternalFilter::new(P, "tick", None))
+            .unwrap();
+        let c = b.count(f).unwrap();
+        let s2 = b
+            .deliver_to(c, RoleSpec::org("diff-watchers"))
+            .describe("tick counted")
+            .build()
+            .unwrap();
+        vec![s1, s2]
+    };
+
+    let mut events = Vec::new();
+    for i in 0..200u64 {
+        // A context attached to three instances at once — with enough
+        // instances some pair is guaranteed to live on different shards.
+        let instances = [i % 11, (i % 7) + 11, (i % 5) + 18];
+        events.push(context_event(&ContextFieldChange {
+            time: Timestamp::from_millis(i),
+            context_id: ContextId(1),
+            context_name: "Shared".into(),
+            processes: instances
+                .iter()
+                .map(|&r| (P, ProcessInstanceId(r)))
+                .collect(),
+            field_name: "x".into(),
+            old_value: None,
+            new_value: Value::Int(i as i64),
+        }));
+        if i % 3 == 0 {
+            events.push(external_event(
+                "tick",
+                Timestamp::from_millis(i),
+                Vec::new(),
+            ));
+        }
+    }
+
+    differential(
+        "edge-cases",
+        &directory,
+        &contexts,
+        &make,
+        &events,
+        SHARD_COUNTS,
+    );
+}
+
+/// 8 producer threads, disjoint process instances, concurrent
+/// `ingest_batch` calls on one 4-shard engine: every event must produce
+/// exactly one detection and one notification (none lost, none duplicated).
+#[test]
+fn concurrent_ingest_batch_loses_and_duplicates_nothing() {
+    const P: ProcessSchemaId = ProcessSchemaId(1);
+    const THREADS: usize = 8;
+    const EVENTS_PER_THREAD: usize = 400;
+    const BATCH: usize = 25;
+
+    let directory = Arc::new(Directory::new());
+    let contexts = Arc::new(ContextManager::new(Arc::new(SimClock::new())));
+    let engine = Arc::new(AwarenessEngine::with_shards(
+        directory.clone(),
+        contexts,
+        Arc::new(DeliveryQueue::in_memory()),
+        4,
+    ));
+    let u = directory.add_user("watcher");
+    let r = directory.add_role("watchers").unwrap();
+    directory.assign(u, r).unwrap();
+    let mut b = AwarenessSchemaBuilder::new(AwarenessSchemaId(1), "AS", P);
+    let f = b.context_filter("C", "x").unwrap();
+    let c = b.count(f).unwrap();
+    engine.register(
+        b.deliver_to(c, RoleSpec::org("watchers"))
+            .describe("counted")
+            .build()
+            .unwrap(),
+    );
+
+    let ev = |thread: usize, i: usize| {
+        context_event(&ContextFieldChange {
+            time: Timestamp::from_millis((thread * EVENTS_PER_THREAD + i) as u64),
+            context_id: ContextId(thread as u64),
+            context_name: "C".into(),
+            processes: vec![(P, ProcessInstanceId(thread as u64 + 1))],
+            field_name: "x".into(),
+            old_value: None,
+            new_value: Value::Int(i as i64),
+        })
+    };
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let engine = engine.clone();
+            s.spawn(move || {
+                let events: Vec<Event> = (0..EVENTS_PER_THREAD).map(|i| ev(t, i)).collect();
+                for chunk in events.chunks(BATCH) {
+                    engine.ingest_batch(chunk);
+                }
+            });
+        }
+    });
+
+    let total = (THREADS * EVENTS_PER_THREAD) as u64;
+    let stats = engine.stats();
+    assert_eq!(stats.detections, total, "lost or duplicated detections");
+    assert_eq!(stats.notifications, total);
+    assert_eq!(engine.queue().pending_for(u), total as usize);
+    // Each instance's Count reached exactly EVENTS_PER_THREAD: per-partition
+    // state saw every event exactly once, in order.
+    let all = engine.queue().fetch(u, usize::MAX);
+    for t in 0..THREADS {
+        let counts: Vec<i64> = all
+            .iter()
+            .filter(|n| n.process_instance == ProcessInstanceId(t as u64 + 1))
+            .filter_map(|n| n.int_info)
+            .collect();
+        assert_eq!(counts.len(), EVENTS_PER_THREAD);
+        assert_eq!(*counts.iter().max().unwrap(), EVENTS_PER_THREAD as i64);
+    }
+}
+
+/// After `evict_instance` the owning shard's partitions for that instance
+/// are gone and subsequent events see fresh operator state (the satellite
+/// eviction regression, awareness-level).
+#[test]
+fn eviction_drops_partitions_and_resets_state() {
+    const P: ProcessSchemaId = ProcessSchemaId(1);
+    let directory = Arc::new(Directory::new());
+    let contexts = Arc::new(ContextManager::new(Arc::new(SimClock::new())));
+    let engine = AwarenessEngine::with_shards(
+        directory.clone(),
+        contexts,
+        Arc::new(DeliveryQueue::in_memory()),
+        4,
+    );
+    let u = directory.add_user("watcher");
+    let r = directory.add_role("watchers").unwrap();
+    directory.assign(u, r).unwrap();
+    let mut b = AwarenessSchemaBuilder::new(AwarenessSchemaId(1), "AS", P);
+    let f = b.context_filter("C", "x").unwrap();
+    let c = b.count(f).unwrap();
+    engine.register(
+        b.deliver_to(c, RoleSpec::org("watchers"))
+            .describe("counted")
+            .build()
+            .unwrap(),
+    );
+
+    let ev = |instance: u64, i: u64| {
+        context_event(&ContextFieldChange {
+            time: Timestamp::from_millis(i),
+            context_id: ContextId(1),
+            context_name: "C".into(),
+            processes: vec![(P, ProcessInstanceId(instance))],
+            field_name: "x".into(),
+            old_value: None,
+            new_value: Value::Int(i as i64),
+        })
+    };
+
+    for i in 0..3 {
+        engine.ingest(&ev(7, i));
+        engine.ingest(&ev(8, i));
+    }
+    let partitions_before = engine.topology().state_partitions;
+    assert_eq!(partitions_before, 2, "one Count partition per instance");
+
+    // Evict instance 7: its partition is gone, instance 8's is untouched.
+    assert_eq!(engine.evict_instance(ProcessInstanceId(7)), 1);
+    assert_eq!(engine.topology().state_partitions, 1);
+    assert_eq!(engine.evict_instance(ProcessInstanceId(7)), 0, "idempotent");
+
+    // Fresh state: the count restarts at 1 for instance 7, while instance 8
+    // continues from 4.
+    let notes = engine.ingest(&ev(7, 100));
+    assert_eq!(notes.len(), 1);
+    assert_eq!(notes[0].int_info, Some(1), "operator state was reset");
+    let notes = engine.ingest(&ev(8, 100));
+    assert_eq!(notes[0].int_info, Some(4), "other instances unaffected");
+}
+
+/// Recipient identity check: a user's notifications are identical across
+/// shard counts even when several schemas fire on one event.
+#[test]
+fn multi_schema_fanout_is_shard_invariant() {
+    const P: ProcessSchemaId = ProcessSchemaId(1);
+    let directory = Arc::new(Directory::new());
+    let contexts = Arc::new(ContextManager::new(Arc::new(SimClock::new())));
+    let watchers = directory.add_role("diff-watchers").unwrap();
+    for name in ["a", "b", "c"] {
+        let u: UserId = directory.add_user(name);
+        directory.assign(u, watchers).unwrap();
+    }
+
+    let make = || {
+        let mut out = Vec::new();
+        for (id, field) in [(1u64, "x"), (2, "x"), (3, "y")] {
+            let mut b =
+                AwarenessSchemaBuilder::new(AwarenessSchemaId(id), &format!("AS{id}"), P);
+            let f = b.context_filter("C", field).unwrap();
+            let c = b.count(f).unwrap();
+            out.push(
+                b.deliver_to(c, RoleSpec::org("diff-watchers"))
+                    .describe(&format!("schema {id}"))
+                    .build()
+                    .unwrap(),
+            );
+        }
+        out
+    };
+
+    let mut events = Vec::new();
+    for i in 0..120u64 {
+        events.push(context_event(&ContextFieldChange {
+            time: Timestamp::from_millis(i),
+            context_id: ContextId(1),
+            context_name: "C".into(),
+            processes: vec![(P, ProcessInstanceId(i % 13))],
+            field_name: if i % 2 == 0 { "x" } else { "y" }.into(),
+            old_value: None,
+            new_value: Value::Int(i as i64),
+        }));
+    }
+
+    differential(
+        "multi-schema",
+        &directory,
+        &contexts,
+        &make,
+        &events,
+        SHARD_COUNTS,
+    );
+}
