@@ -176,6 +176,11 @@ impl CmiServer {
         Worklist::new(self.coordination.clone())
     }
 
+    /// A process-monitor client.
+    pub fn monitor(&self) -> cmi_coord::monitor::ProcessMonitor {
+        cmi_coord::monitor::ProcessMonitor::new(self.store.clone(), self.contexts.clone())
+    }
+
     /// An awareness viewer client for `user` (signs them on).
     pub fn viewer(&self, user: cmi_core::ids::UserId) -> cmi_core::error::CoreResult<AwarenessViewer> {
         AwarenessViewer::sign_on(

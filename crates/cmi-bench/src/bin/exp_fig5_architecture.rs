@@ -2,22 +2,28 @@
 //!
 //! Boots a full CMI server, runs the §5.4 scenario through the asynchronous
 //! agent pipeline (event source agents → detector agent → delivery agent),
-//! and prints the live component diagram with per-component statistics.
+//! serves the engine stack over the cmi-net transport with a live remote
+//! awareness viewer on the far side, and prints the component diagram with
+//! per-component statistics — including the real listener/session wiring at
+//! the client/server boundary Fig. 5 draws.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use cmi_awareness::agents::AgentPipeline;
 use cmi_awareness::engine::AwarenessEngine;
 use cmi_awareness::queue::DeliveryQueue;
 use cmi_awareness::system::CmiServer;
 use cmi_bench::banner;
+use cmi_net::client::{ClientConfig, Connection};
+use cmi_net::server::{NetConfig, NetServer};
 use cmi_workloads::taskforce;
 
 fn main() {
     println!("{}", banner("FIG5: CMI system run-time architecture"));
 
     // Synchronous server for the scenario itself…
-    let server = CmiServer::new();
+    let server = Arc::new(CmiServer::new());
     let schemas = taskforce::install(&server);
 
     // …plus an asynchronous detector agent fed by channel-based event source
@@ -40,10 +46,27 @@ fn main() {
     let pipeline = AgentPipeline::spawn(async_engine.clone());
     pipeline.attach_sources(server.store(), server.contexts());
 
+    // The engine stack goes behind the wire: a session server on the
+    // deterministic loopback transport, exactly the Fig. 5 split.
+    let (net, connector) = NetServer::serve_loopback(server.clone(), NetConfig::default());
+
     let out = taskforce::run_deadline_scenario(&server, &schemas);
+
+    // A remote participant signs on as the requestor and receives the
+    // deadline violation over the wire.
+    let conn = Connection::connect_loopback(
+        connector,
+        "requesting-epidemiologist",
+        ClientConfig::default(),
+    )
+    .unwrap();
+    let viewer = conn.viewer();
+    viewer.subscribe().unwrap();
+    let remote = viewer.recv(Duration::from_secs(10));
+
     let processed = pipeline.shutdown();
 
-    println!("{}", server.architecture_diagram());
+    println!("{}", net.architecture_diagram());
     println!(
         "asynchronous agent pipeline: detector agent processed {processed} primitive \
          events off the event-source channel;"
@@ -54,4 +77,14 @@ fn main() {
         async_engine.queue().pending_for(out.requestor),
         out.requestor_notifications.len()
     );
+    match remote {
+        Some(n) => println!(
+            "remote viewer (cmi-net): received and acknowledged the same violation \
+             over the wire — \"{}\" (priority {:?}).",
+            n.description, n.priority
+        ),
+        None => println!("remote viewer (cmi-net): no notification arrived (unexpected)."),
+    }
+    conn.close();
+    net.shutdown();
 }

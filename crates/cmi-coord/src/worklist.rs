@@ -111,6 +111,23 @@ impl Worklist {
         self.engine.start_activity(instance, Some(user))
     }
 
+    /// Completes a previously claimed (`Running`) work item as `user`.
+    /// Rejects completion by anyone but the recorded performer — remote
+    /// worklist clients complete items over the wire, so the authorization
+    /// check must live server-side, not in the client UI.
+    pub fn complete(&self, user: UserId, instance: ActivityInstanceId) -> CoordResult<()> {
+        let snap = self.engine.store().snapshot(instance)?;
+        if let Some(performer) = snap.performer {
+            if performer != user {
+                return Err(CoordError::NotAuthorized {
+                    instance,
+                    role: format!("performer {performer}"),
+                });
+            }
+        }
+        self.engine.complete_activity(instance, Some(user))
+    }
+
     fn user_plays(
         &self,
         user: UserId,

@@ -123,6 +123,17 @@ impl Directory {
         self.inner.read().role_by_name.get(name).copied()
     }
 
+    /// Looks a participant up by display name (first match in id order).
+    /// Network sign-on resolves the wire-carried user name through this.
+    pub fn user_by_name(&self, name: &str) -> Option<UserId> {
+        self.inner
+            .read()
+            .users
+            .values()
+            .find(|p| p.name == name)
+            .map(|p| p.id)
+    }
+
     /// The role's name.
     pub fn role_name(&self, role: RoleId) -> CoreResult<String> {
         self.inner

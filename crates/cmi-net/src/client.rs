@@ -1,0 +1,775 @@
+//! Typed participant clients: the client half of the Fig. 5 split.
+//!
+//! A [`Connection`] owns one wire session plus a reader thread that routes
+//! responses, buffers pushed notifications, answers heartbeats and —
+//! crucially — reconnects on its own when the link drops. Resume semantics
+//! give the §5.4 end-to-end guarantee:
+//!
+//! * **no loss** — the server never removes a notification from the
+//!   persistent queue until acknowledged, so after a reconnect everything
+//!   undelivered (or delivered-but-unacked) is pushed again;
+//! * **no duplicates** — the client deduplicates pushes by sequence number,
+//!   so an application [`ViewerClient::recv`] loop sees each notification
+//!   exactly once even across a mid-delivery crash;
+//! * **no duplicate acks** — acknowledgements that could not be confirmed
+//!   before a disconnect are flushed once during the reconnect handshake,
+//!   and the server's `ack_exact` makes replays no-ops.
+//!
+//! The typed facades [`WorklistClient`], [`MonitorClient`] and
+//! [`ViewerClient`] mirror the in-process APIs (`Worklist`,
+//! `ProcessMonitor`, `AwarenessViewer`) method for method.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use cmi_awareness::queue::Notification;
+use cmi_awareness::viewer::DigestEntry;
+use cmi_coord::monitor::ProcessStats;
+use cmi_coord::worklist::WorkItem;
+use cmi_core::ids::{ActivityInstanceId, ProcessInstanceId, UserId};
+use cmi_core::value::Value;
+
+use crate::codec::{encode_frame, Frame, FrameKind, FrameReader};
+use crate::transport::NetStream;
+use crate::wire::{decode_push, Request, Response};
+
+/// Tuning knobs for a [`Connection`].
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// How long a request waits for its response before giving up.
+    pub response_timeout: Duration,
+    /// Idle interval after which the client pings (must be well under the
+    /// server's idle timeout).
+    pub heartbeat: Duration,
+    /// Reconnect attempts per outage before the connection is declared dead.
+    pub reconnect_attempts: u32,
+    /// Pause between reconnect attempts.
+    pub reconnect_backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            response_timeout: Duration::from_secs(2),
+            heartbeat: Duration::from_millis(500),
+            reconnect_attempts: 40,
+            reconnect_backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+/// How a connection dials (or re-dials) its server.
+pub type DialFn = dyn Fn() -> io::Result<Box<dyn NetStream>> + Send + Sync;
+
+#[derive(Default)]
+struct Link {
+    /// The write half while the link is up.
+    writer: Option<Box<dyn NetStream>>,
+    /// Set when reconnection attempts are exhausted.
+    failed: bool,
+}
+
+struct ClientInner {
+    dial: Box<DialFn>,
+    cfg: ClientConfig,
+    user_name: String,
+    user_id: AtomicU64,
+    stop: AtomicBool,
+    subscribed: AtomicBool,
+    reconnects: AtomicU64,
+    link: Mutex<Link>,
+    link_cv: Condvar,
+    /// One-slot response mailbox (requests are serialized by `call_lock`).
+    resp: Mutex<Option<Response>>,
+    resp_cv: Condvar,
+    call_lock: Mutex<()>,
+    /// Pushed notifications awaiting `recv`, already deduplicated.
+    pushes: Mutex<VecDeque<Notification>>,
+    push_cv: Condvar,
+    /// Every push sequence number ever observed (dedup across reconnects).
+    seen: Mutex<BTreeSet<u64>>,
+    /// Acks that failed to reach the server; flushed on reconnect.
+    pending_acks: Mutex<BTreeSet<u64>>,
+}
+
+impl ClientInner {
+    fn link_down(&self) {
+        let mut link = self.link.lock();
+        if let Some(w) = link.writer.take() {
+            w.shutdown_stream();
+        }
+        self.link_cv.notify_all();
+        // Wake any caller parked on the response mailbox so it can observe
+        // the outage instead of sleeping out its full timeout.
+        self.resp_cv.notify_all();
+    }
+
+    fn handle_push(&self, payload: &[u8]) {
+        let Ok(n) = decode_push(payload) else {
+            return;
+        };
+        let mut seen = self.seen.lock();
+        if !seen.insert(n.seq) {
+            // A re-push after reconnect: the application already has (or
+            // will get) the first copy; the ack either is pending flush or
+            // will be sent when the app consumes that copy.
+            return;
+        }
+        drop(seen);
+        self.pushes.lock().push_back(n);
+        self.push_cv.notify_all();
+    }
+}
+
+/// Inline request/response over a stream the reader thread currently owns
+/// (used only during the connect handshake, before the link is published).
+fn handshake_call(
+    stream: &mut Box<dyn NetStream>,
+    frames: &mut FrameReader,
+    inner: &ClientInner,
+    req: &Request,
+    deadline: Instant,
+) -> io::Result<Response> {
+    stream.write_all(&encode_frame(FrameKind::Request, &req.encode()))?;
+    stream.flush()?;
+    loop {
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(io::ErrorKind::TimedOut, "handshake timeout"));
+        }
+        match frames.poll(&mut **stream)? {
+            Some(Frame {
+                kind: FrameKind::Response,
+                payload,
+            }) => return Ok(Response::decode(&payload)?),
+            Some(Frame {
+                kind: FrameKind::Push,
+                payload,
+            }) => inner.handle_push(&payload),
+            Some(_) => {} // Pong / Goodbye races are harmless here
+            None => {}
+        }
+    }
+}
+
+/// Dials, signs on, restores subscription state and flushes pending acks.
+/// Returns the connected stream and its (possibly part-filled) frame reader.
+fn establish(inner: &ClientInner) -> io::Result<(Box<dyn NetStream>, FrameReader)> {
+    let mut stream = (inner.dial)()?;
+    stream.set_stream_read_timeout(Some(Duration::from_millis(20)))?;
+    let mut frames = FrameReader::new();
+    let deadline = Instant::now() + inner.cfg.response_timeout;
+    let resume = inner.reconnects.load(Ordering::Relaxed) > 0;
+    let hello = Request::Hello {
+        user: inner.user_name.clone(),
+        resume,
+    };
+    match handshake_call(&mut stream, &mut frames, inner, &hello, deadline)? {
+        Response::HelloOk { user } => inner.user_id.store(user, Ordering::Relaxed),
+        Response::Err { message } => {
+            return Err(io::Error::new(io::ErrorKind::PermissionDenied, message))
+        }
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected hello response {other:?}"),
+            ))
+        }
+    }
+    if inner.subscribed.load(Ordering::Relaxed) {
+        handshake_call(&mut stream, &mut frames, inner, &Request::Subscribe, deadline)?;
+    }
+    let pending: Vec<u64> = inner.pending_acks.lock().iter().copied().collect();
+    if !pending.is_empty() {
+        let req = Request::AckNotifs {
+            seqs: pending.clone(),
+        };
+        if let Response::Count(_) = handshake_call(&mut stream, &mut frames, inner, &req, deadline)?
+        {
+            let mut p = inner.pending_acks.lock();
+            for s in &pending {
+                p.remove(s);
+            }
+        }
+    }
+    Ok((stream, frames))
+}
+
+fn reader_main(inner: Arc<ClientInner>) {
+    'outer: while !inner.stop.load(Ordering::SeqCst) {
+        // Connect (or reconnect) with bounded attempts and backoff.
+        let mut attempt: u32 = 0;
+        let (stream, mut frames) = loop {
+            if inner.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match establish(&inner) {
+                Ok(pair) => break pair,
+                Err(_) => {
+                    attempt += 1;
+                    if attempt > inner.cfg.reconnect_attempts {
+                        let mut link = inner.link.lock();
+                        link.failed = true;
+                        inner.link_cv.notify_all();
+                        inner.resp_cv.notify_all();
+                        return;
+                    }
+                    std::thread::sleep(inner.cfg.reconnect_backoff);
+                }
+            }
+        };
+        let Ok(writer) = stream.try_clone_stream() else {
+            inner.reconnects.fetch_add(1, Ordering::Relaxed);
+            continue 'outer;
+        };
+        {
+            let mut link = inner.link.lock();
+            link.writer = Some(writer);
+            link.failed = false;
+            inner.link_cv.notify_all();
+        }
+        let mut reader = stream;
+        let mut last_send = Instant::now();
+        loop {
+            if inner.stop.load(Ordering::SeqCst) {
+                let mut link = inner.link.lock();
+                if let Some(w) = link.writer.as_mut() {
+                    let _ = w.write_all(&encode_frame(FrameKind::Goodbye, &[]));
+                    let _ = w.flush();
+                }
+                if let Some(w) = link.writer.take() {
+                    w.shutdown_stream();
+                }
+                reader.shutdown_stream();
+                return;
+            }
+            match frames.poll(&mut *reader) {
+                Ok(Some(frame)) => match frame.kind {
+                    FrameKind::Response => {
+                        *inner.resp.lock() = Some(match Response::decode(&frame.payload) {
+                            Ok(r) => r,
+                            Err(e) => Response::Err {
+                                message: e.to_string(),
+                            },
+                        });
+                        inner.resp_cv.notify_all();
+                    }
+                    FrameKind::Push => inner.handle_push(&frame.payload),
+                    FrameKind::Pong => {}
+                    FrameKind::Goodbye => {
+                        // Orderly server close (drain or idle timeout):
+                        // treat like an outage and try to get back on.
+                        inner.link_down();
+                        inner.reconnects.fetch_add(1, Ordering::Relaxed);
+                        continue 'outer;
+                    }
+                    FrameKind::Request | FrameKind::Ping => {} // server never sends these
+                },
+                Ok(None) => {
+                    // Idle tick: heartbeat if we have been quiet too long.
+                    if last_send.elapsed() >= inner.cfg.heartbeat {
+                        let mut link = inner.link.lock();
+                        let ok = match link.writer.as_mut() {
+                            Some(w) => {
+                                w.write_all(&encode_frame(FrameKind::Ping, &[])).is_ok()
+                                    && w.flush().is_ok()
+                            }
+                            None => false,
+                        };
+                        drop(link);
+                        if !ok {
+                            inner.link_down();
+                            inner.reconnects.fetch_add(1, Ordering::Relaxed);
+                            continue 'outer;
+                        }
+                        last_send = Instant::now();
+                    }
+                }
+                Err(_) => {
+                    inner.link_down();
+                    inner.reconnects.fetch_add(1, Ordering::Relaxed);
+                    continue 'outer;
+                }
+            }
+        }
+    }
+}
+
+/// One participant connection to a [`NetServer`](crate::server::NetServer).
+pub struct Connection {
+    inner: Arc<ClientInner>,
+    reader: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Connection {
+    /// Connects using an arbitrary dial function (loopback or custom
+    /// transports) and signs on `user`. Blocks until the first session is
+    /// established or the attempt budget is exhausted.
+    pub fn connect(
+        dial: Box<DialFn>,
+        user: &str,
+        cfg: ClientConfig,
+    ) -> io::Result<Connection> {
+        let inner = Arc::new(ClientInner {
+            dial,
+            cfg,
+            user_name: user.to_owned(),
+            user_id: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            subscribed: AtomicBool::new(false),
+            reconnects: AtomicU64::new(0),
+            link: Mutex::new(Link::default()),
+            link_cv: Condvar::new(),
+            resp: Mutex::new(None),
+            resp_cv: Condvar::new(),
+            call_lock: Mutex::new(()),
+            pushes: Mutex::new(VecDeque::new()),
+            push_cv: Condvar::new(),
+            seen: Mutex::new(BTreeSet::new()),
+            pending_acks: Mutex::new(BTreeSet::new()),
+        });
+        let thread_inner = inner.clone();
+        let reader = std::thread::Builder::new()
+            .name("cmi-net-client".into())
+            .spawn(move || reader_main(thread_inner))
+            .expect("spawn client reader thread");
+        let conn = Connection {
+            inner,
+            reader: Some(reader),
+        };
+        conn.wait_connected()?;
+        Ok(conn)
+    }
+
+    /// Connects over TCP and signs on `user`.
+    pub fn connect_tcp(
+        addr: std::net::SocketAddr,
+        user: &str,
+        cfg: ClientConfig,
+    ) -> io::Result<Connection> {
+        let dial = move || -> io::Result<Box<dyn NetStream>> {
+            let stream = std::net::TcpStream::connect(addr)?;
+            let _ = stream.set_nodelay(true);
+            Ok(Box::new(stream))
+        };
+        Connection::connect(Box::new(dial), user, cfg)
+    }
+
+    /// Connects over an in-memory loopback transport and signs on `user`.
+    pub fn connect_loopback(
+        connector: crate::transport::LoopbackConnector,
+        user: &str,
+        cfg: ClientConfig,
+    ) -> io::Result<Connection> {
+        Connection::connect(Box::new(move || connector.dial()), user, cfg)
+    }
+
+    fn wait_connected(&self) -> io::Result<()> {
+        let cfg = &self.inner.cfg;
+        let deadline = Instant::now()
+            + cfg.response_timeout
+            + (cfg.reconnect_backoff + cfg.response_timeout) * (cfg.reconnect_attempts + 1);
+        let mut link = self.inner.link.lock();
+        loop {
+            if link.writer.is_some() {
+                return Ok(());
+            }
+            if link.failed {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    "connection failed (reconnect attempts exhausted)",
+                ));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(io::Error::new(io::ErrorKind::TimedOut, "connect timeout"));
+            }
+            self.inner.link_cv.wait_for(&mut link, deadline - now);
+        }
+    }
+
+    /// The participant id the server resolved at sign-on.
+    pub fn user_id(&self) -> UserId {
+        UserId(self.inner.user_id.load(Ordering::Relaxed))
+    }
+
+    /// How many times the connection has transparently reconnected.
+    pub fn reconnects(&self) -> u64 {
+        self.inner.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Severs the current link without stopping the connection: the reader
+    /// thread notices and reconnects. Exists so tests (and demos) can force
+    /// the mid-scenario disconnect path deterministically.
+    pub fn kill_link(&self) {
+        self.inner.link_down();
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn call(&self, req: &Request) -> io::Result<Response> {
+        let _serialized = self.inner.call_lock.lock();
+        // Wait for a live link (the reader thread may be mid-reconnect).
+        self.wait_connected()?;
+        *self.inner.resp.lock() = None;
+        {
+            let mut link = self.inner.link.lock();
+            let Some(w) = link.writer.as_mut() else {
+                return Err(io::Error::new(io::ErrorKind::NotConnected, "link down"));
+            };
+            w.write_all(&encode_frame(FrameKind::Request, &req.encode()))?;
+            w.flush()?;
+        }
+        let deadline = Instant::now() + self.inner.cfg.response_timeout;
+        let mut slot = self.inner.resp.lock();
+        loop {
+            if let Some(resp) = slot.take() {
+                return Ok(resp);
+            }
+            // The request was written: if the link died before the response
+            // arrived we cannot know whether it was applied, so surface the
+            // outage instead of retrying a possibly non-idempotent request.
+            if self.inner.link.lock().writer.is_none() {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "link lost while awaiting response",
+                ));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(io::Error::new(io::ErrorKind::TimedOut, "response timeout"));
+            }
+            self.inner.resp_cv.wait_for(&mut slot, deadline - now);
+        }
+    }
+
+    fn expect_ok(&self, req: &Request) -> io::Result<()> {
+        match self.call(req)? {
+            Response::Ok => Ok(()),
+            Response::Err { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// The worklist facade over this connection.
+    pub fn worklist(&self) -> WorklistClient<'_> {
+        WorklistClient { conn: self }
+    }
+
+    /// The process-monitor facade over this connection.
+    pub fn monitor(&self) -> MonitorClient<'_> {
+        MonitorClient { conn: self }
+    }
+
+    /// The awareness-viewer facade over this connection.
+    pub fn viewer(&self) -> ViewerClient<'_> {
+        ViewerClient { conn: self }
+    }
+
+    /// Injects an external event (`CmiServer::external_event`); returns the
+    /// number of notifications it produced.
+    pub fn external_event(&self, source: &str, fields: Vec<(String, Value)>) -> io::Result<u64> {
+        match self.call(&Request::ExternalEvent {
+            source: source.to_owned(),
+            fields,
+        })? {
+            Response::Count(n) => Ok(n),
+            Response::Err { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Signs off and closes the connection, joining the reader thread.
+    pub fn close(mut self) {
+        let _ = self.call(&Request::SignOff);
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        // Unblock a reader parked in a read: shut the stream down.
+        self.inner.link_down();
+        self.inner.push_cv.notify_all();
+        if let Some(t) = self.reader.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn unexpected(resp: Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected response {resp:?}"),
+    )
+}
+
+/// Remote counterpart of [`cmi_coord::worklist::Worklist`].
+pub struct WorklistClient<'a> {
+    conn: &'a Connection,
+}
+
+impl WorklistClient<'_> {
+    /// Work items claimable by the signed-on user (`Worklist::for_user`).
+    pub fn for_user(&self) -> io::Result<Vec<WorkItem>> {
+        match self.conn.call(&Request::WorklistForUser)? {
+            Response::WorkItems(items) => Ok(items),
+            Response::Err { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Every open work item (`Worklist::all_open`).
+    pub fn all_open(&self) -> io::Result<Vec<WorkItem>> {
+        match self.conn.call(&Request::WorklistAllOpen)? {
+            Response::WorkItems(items) => Ok(items),
+            Response::Err { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Claims a ready activity instance (`Worklist::claim`).
+    pub fn claim(&self, instance: ActivityInstanceId) -> io::Result<()> {
+        self.conn.expect_ok(&Request::Claim {
+            instance: instance.raw(),
+        })
+    }
+
+    /// Completes a running activity instance (`Worklist::complete`).
+    pub fn complete(&self, instance: ActivityInstanceId) -> io::Result<()> {
+        self.conn.expect_ok(&Request::Complete {
+            instance: instance.raw(),
+        })
+    }
+}
+
+/// Remote counterpart of [`cmi_coord::monitor::ProcessMonitor`].
+pub struct MonitorClient<'a> {
+    conn: &'a Connection,
+}
+
+impl MonitorClient<'_> {
+    /// Aggregate instance-state statistics (`ProcessMonitor::stats`).
+    pub fn stats(&self, root: ProcessInstanceId) -> io::Result<ProcessStats> {
+        match self.conn.call(&Request::MonitorStats { root: root.raw() })? {
+            Response::Stats(s) => Ok(s),
+            Response::Err { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Rendered instance tree (`ProcessMonitor::render`).
+    pub fn render(&self, root: ProcessInstanceId) -> io::Result<String> {
+        match self.conn.call(&Request::MonitorRender { root: root.raw() })? {
+            Response::Text(t) => Ok(t),
+            Response::Err { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+/// Remote counterpart of [`cmi_awareness::viewer::AwarenessViewer`].
+pub struct ViewerClient<'a> {
+    conn: &'a Connection,
+}
+
+impl ViewerClient<'_> {
+    fn notifications(&self, req: &Request) -> io::Result<Vec<Notification>> {
+        match self.conn.call(req)? {
+            Response::Notifications(ns) => Ok(ns),
+            Response::Err { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Reads up to `max` notifications without consuming
+    /// (`AwarenessViewer::peek`).
+    pub fn peek(&self, max: usize) -> io::Result<Vec<Notification>> {
+        self.notifications(&Request::Peek { max: max as u64 })
+    }
+
+    /// Consumes up to `max` notifications oldest-first
+    /// (`AwarenessViewer::take`).
+    pub fn take(&self, max: usize) -> io::Result<Vec<Notification>> {
+        self.notifications(&Request::Take { max: max as u64 })
+    }
+
+    /// Consumes up to `max` notifications highest-priority-first
+    /// (`AwarenessViewer::take_prioritized`).
+    pub fn take_prioritized(&self, max: usize) -> io::Result<Vec<Notification>> {
+        self.notifications(&Request::TakePrioritized { max: max as u64 })
+    }
+
+    /// Per-(schema, instance) digest (`AwarenessViewer::digest`).
+    pub fn digest(&self) -> io::Result<Vec<DigestEntry>> {
+        match self.conn.call(&Request::Digest)? {
+            Response::DigestEntries(gs) => Ok(gs),
+            Response::Err { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Number of unread notifications (`AwarenessViewer::unread`).
+    pub fn unread(&self) -> io::Result<u64> {
+        match self.conn.call(&Request::Unread)? {
+            Response::Count(n) => Ok(n),
+            Response::Err { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Switches the session to push mode: the server streams this user's
+    /// notifications; consume them with [`ViewerClient::recv`]. Survives
+    /// reconnects (the subscription is restored during the handshake).
+    pub fn subscribe(&self) -> io::Result<()> {
+        self.conn.expect_ok(&Request::Subscribe)?;
+        self.conn.inner.subscribed.store(true, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Waits up to `timeout` for the next pushed notification, acknowledging
+    /// it to the server. Exactly-once to the caller: duplicates from
+    /// reconnect re-pushes never surface, and acks that cannot be confirmed
+    /// are flushed during the next reconnect handshake.
+    pub fn recv(&self, timeout: Duration) -> Option<Notification> {
+        let inner = &self.conn.inner;
+        let deadline = Instant::now() + timeout;
+        let n = {
+            let mut pushes = inner.pushes.lock();
+            loop {
+                if let Some(n) = pushes.pop_front() {
+                    break n;
+                }
+                if inner.stop.load(Ordering::SeqCst) {
+                    return None;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return None;
+                }
+                inner.push_cv.wait_for(&mut pushes, deadline - now);
+            }
+        };
+        let ack = Request::AckNotifs { seqs: vec![n.seq] };
+        match self.conn.call(&ack) {
+            Ok(Response::Count(_)) => {}
+            _ => {
+                // Could not confirm the ack (link down or mid-reconnect):
+                // park it; `establish` flushes it on the next session.
+                inner.pending_acks.lock().insert(n.seq);
+            }
+        }
+        Some(n)
+    }
+
+    /// Drains every already-buffered pushed notification without waiting.
+    pub fn drain(&self) -> Vec<Notification> {
+        let mut out = Vec::new();
+        while let Some(n) = self.recv(Duration::from_millis(0)) {
+            out.push(n);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{NetConfig, NetServer};
+    use cmi_awareness::builder::AwarenessSchemaBuilder;
+    use cmi_awareness::system::CmiServer;
+    use cmi_core::ids::ProcessSchemaId;
+    use cmi_core::roles::RoleSpec;
+    use cmi_events::operators::ExternalFilter;
+
+    /// A system where every `ping` external event notifies role `watchers`
+    /// (member: alice).
+    fn system_with_identity_schema() -> Arc<CmiServer> {
+        let cmi = Arc::new(CmiServer::new());
+        let alice = cmi.directory().add_user("alice");
+        let watchers = cmi.directory().add_role("watchers").unwrap();
+        cmi.directory().assign(alice, watchers).unwrap();
+        let mut b =
+            AwarenessSchemaBuilder::new(cmi.fresh_awareness_id(), "AS_Ping", ProcessSchemaId(0));
+        let f = b
+            .external_filter(ExternalFilter::new(ProcessSchemaId(0), "ping", None))
+            .unwrap();
+        cmi.register_awareness(
+            b.deliver_to(f, RoleSpec::org("watchers"))
+                .describe("ping observed")
+                .build()
+                .unwrap(),
+        );
+        cmi
+    }
+
+    #[test]
+    fn connect_call_roundtrip_over_loopback() {
+        let cmi = system_with_identity_schema();
+        let (server, connector) = NetServer::serve_loopback(cmi.clone(), NetConfig::default());
+        let conn =
+            Connection::connect_loopback(connector, "alice", ClientConfig::default()).unwrap();
+        assert_eq!(
+            conn.user_id(),
+            cmi.directory().user_by_name("alice").unwrap()
+        );
+        assert_eq!(conn.viewer().unread().unwrap(), 0);
+        conn.close();
+        server.shutdown();
+    }
+
+    #[test]
+    fn push_subscribe_receives_external_event() {
+        let cmi = system_with_identity_schema();
+        let (server, connector) = NetServer::serve_loopback(cmi, NetConfig::default());
+        let conn =
+            Connection::connect_loopback(connector, "alice", ClientConfig::default()).unwrap();
+        let viewer = conn.viewer();
+        viewer.subscribe().unwrap();
+        let delivered = conn
+            .external_event("ping", vec![("user".into(), Value::User(conn.user_id()))])
+            .unwrap();
+        assert!(delivered >= 1);
+        let n = viewer.recv(Duration::from_secs(5)).expect("pushed");
+        assert_eq!(n.schema_name, "AS_Ping");
+        // Acked: the queue should drain to zero.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while viewer.unread().unwrap() != 0 {
+            assert!(Instant::now() < deadline);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        conn.close();
+        server.shutdown();
+    }
+
+    #[test]
+    fn reconnects_transparently_after_kill_link() {
+        let cmi = system_with_identity_schema();
+        let (server, connector) = NetServer::serve_loopback(cmi, NetConfig::default());
+        let conn =
+            Connection::connect_loopback(connector, "alice", ClientConfig::default()).unwrap();
+        let viewer = conn.viewer();
+        viewer.subscribe().unwrap();
+        conn.kill_link();
+        // The next calls ride the reconnected session.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match viewer.unread() {
+                Ok(0) => break,
+                _ if Instant::now() >= deadline => panic!("no reconnect"),
+                _ => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+        assert!(conn.reconnects() >= 1);
+        conn.close();
+        server.shutdown();
+    }
+}

@@ -1,0 +1,328 @@
+//! The framing layer: versioned, length-prefixed, checksummed binary frames.
+//!
+//! This extends the hand-rolled WAL-codec approach of
+//! [`cmi_awareness::queue`] to the wire: no external serialization crates,
+//! every byte accounted for. A frame is
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic  b"CM"
+//! 2       1     protocol version (currently 1)
+//! 3       1     frame kind
+//! 4       4     payload length, little-endian (<= MAX_FRAME_LEN)
+//! 8       4     CRC-32 (IEEE) of the payload, little-endian
+//! 12      len   payload
+//! ```
+//!
+//! The reader is incremental: [`FrameReader::poll`] accumulates bytes across
+//! read timeouts, so a frame torn across packets (or a poll tick) is
+//! reassembled, while a frame torn by a *disconnect* surfaces as
+//! [`std::io::ErrorKind::UnexpectedEof`]. Oversized declarations and checksum
+//! mismatches are rejected before any payload decoding happens.
+
+use std::io::{self, Read};
+
+/// The two magic bytes opening every frame.
+pub const MAGIC: [u8; 2] = *b"CM";
+/// Protocol version carried in every frame header.
+pub const VERSION: u8 = 1;
+/// Header size in bytes.
+pub const HEADER_LEN: usize = 12;
+/// Upper bound on payload size; larger declarations are a protocol error.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A client request expecting exactly one `Response`.
+    Request,
+    /// The server's answer to a `Request`.
+    Response,
+    /// A server-initiated notification push (subscription mode).
+    Push,
+    /// Client liveness probe.
+    Ping,
+    /// Server answer to a `Ping`.
+    Pong,
+    /// Orderly close from either side (graceful drain / idle timeout).
+    Goodbye,
+}
+
+impl FrameKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            FrameKind::Request => 0,
+            FrameKind::Response => 1,
+            FrameKind::Push => 2,
+            FrameKind::Ping => 3,
+            FrameKind::Pong => 4,
+            FrameKind::Goodbye => 5,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<FrameKind> {
+        Some(match b {
+            0 => FrameKind::Request,
+            1 => FrameKind::Response,
+            2 => FrameKind::Push,
+            3 => FrameKind::Ping,
+            4 => FrameKind::Pong,
+            5 => FrameKind::Goodbye,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame kind from the header.
+    pub kind: FrameKind,
+    /// The verified payload.
+    pub payload: Vec<u8>,
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Table-free bitwise variant —
+/// frames are small and this keeps the codec dependency-free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Encodes a complete frame (header + payload) ready for a single write.
+pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() as u32 <= MAX_FRAME_LEN);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(kind.to_byte());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn protocol_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Incremental frame reassembly over a (possibly timeout-polled) reader.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Parsed header fields once `buf` holds `HEADER_LEN` bytes.
+    header: Option<(FrameKind, u32, u32)>,
+}
+
+impl FrameReader {
+    /// A reader with no partial frame buffered.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// True if a frame is partially buffered (useful to distinguish an idle
+    /// disconnect from a mid-frame one).
+    pub fn mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Reads from `r` until a full frame is assembled, the read would block
+    /// (`Ok(None)`, partial state retained), or the peer disconnects /
+    /// violates the protocol (`Err`). EOF mid-frame is `UnexpectedEof`; EOF
+    /// between frames is `ConnectionAborted` (an orderly close).
+    pub fn poll(&mut self, r: &mut dyn Read) -> io::Result<Option<Frame>> {
+        loop {
+            if self.header.is_none() && self.buf.len() >= HEADER_LEN {
+                if self.buf[0..2] != MAGIC {
+                    return Err(protocol_err("bad frame magic"));
+                }
+                if self.buf[2] != VERSION {
+                    return Err(protocol_err(format!(
+                        "unsupported protocol version {}",
+                        self.buf[2]
+                    )));
+                }
+                let kind = FrameKind::from_byte(self.buf[3])
+                    .ok_or_else(|| protocol_err(format!("unknown frame kind {}", self.buf[3])))?;
+                let len = u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]);
+                if len > MAX_FRAME_LEN {
+                    return Err(protocol_err(format!(
+                        "oversized frame: {len} > {MAX_FRAME_LEN}"
+                    )));
+                }
+                let crc = u32::from_le_bytes([self.buf[8], self.buf[9], self.buf[10], self.buf[11]]);
+                self.header = Some((kind, len, crc));
+            }
+            if let Some((kind, len, crc)) = self.header {
+                let total = HEADER_LEN + len as usize;
+                if self.buf.len() >= total {
+                    let payload = self.buf[HEADER_LEN..total].to_vec();
+                    if crc32(&payload) != crc {
+                        return Err(protocol_err("frame checksum mismatch"));
+                    }
+                    self.buf.drain(..total);
+                    self.header = None;
+                    return Ok(Some(Frame { kind, payload }));
+                }
+            }
+            let want = match self.header {
+                Some((_, len, _)) => HEADER_LEN + len as usize - self.buf.len(),
+                None => HEADER_LEN - self.buf.len(),
+            };
+            let mut chunk = [0u8; 4096];
+            match r.read(&mut chunk[..want.min(4096)]) {
+                Ok(0) => {
+                    return Err(if self.mid_frame() {
+                        io::Error::new(io::ErrorKind::UnexpectedEof, "disconnect mid-frame")
+                    } else {
+                        io::Error::new(io::ErrorKind::ConnectionAborted, "peer closed")
+                    });
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reader that hands out its script in fixed-size slices, interleaving
+    /// `WouldBlock` between them — a deterministic stand-in for a socket
+    /// under a read timeout.
+    struct Chunked {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+        block_next: bool,
+    }
+
+    impl Read for Chunked {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.block_next {
+                self.block_next = false;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "tick"));
+            }
+            self.block_next = true;
+            let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+            if n == 0 {
+                return Ok(0);
+            }
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let bytes = encode_frame(FrameKind::Request, b"hello");
+        let mut r = io::Cursor::new(bytes);
+        let mut fr = FrameReader::new();
+        let f = fr.poll(&mut r).unwrap().unwrap();
+        assert_eq!(f.kind, FrameKind::Request);
+        assert_eq!(f.payload, b"hello");
+    }
+
+    #[test]
+    fn reassembles_across_timeouts_byte_by_byte() {
+        let mut data = encode_frame(FrameKind::Push, b"abc");
+        data.extend(encode_frame(FrameKind::Ping, b""));
+        let mut r = Chunked {
+            data,
+            pos: 0,
+            chunk: 1,
+            block_next: false,
+        };
+        let mut fr = FrameReader::new();
+        let mut frames = Vec::new();
+        for _ in 0..200 {
+            if let Some(f) = fr.poll(&mut r).unwrap() {
+                frames.push(f);
+            }
+            if frames.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].payload, b"abc");
+        assert_eq!(frames[1].kind, FrameKind::Ping);
+    }
+
+    #[test]
+    fn corrupted_payload_is_a_checksum_error() {
+        let mut bytes = encode_frame(FrameKind::Response, b"payload");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        let mut fr = FrameReader::new();
+        let err = fr.poll(&mut io::Cursor::new(bytes)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn oversized_declaration_rejected_before_reading_payload() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(0);
+        bytes.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let mut fr = FrameReader::new();
+        let err = fr.poll(&mut io::Cursor::new(bytes)).unwrap_err();
+        assert!(err.to_string().contains("oversized"));
+    }
+
+    #[test]
+    fn bad_magic_and_bad_version_rejected() {
+        let mut bytes = encode_frame(FrameKind::Request, b"x");
+        bytes[0] = b'X';
+        let err = FrameReader::new()
+            .poll(&mut io::Cursor::new(bytes))
+            .unwrap_err();
+        assert!(err.to_string().contains("magic"));
+
+        let mut bytes = encode_frame(FrameKind::Request, b"x");
+        bytes[2] = 99;
+        let err = FrameReader::new()
+            .poll(&mut io::Cursor::new(bytes))
+            .unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn eof_mid_frame_vs_between_frames() {
+        let bytes = encode_frame(FrameKind::Request, b"torn");
+        let mut fr = FrameReader::new();
+        let err = fr
+            .poll(&mut io::Cursor::new(&bytes[..HEADER_LEN + 2]))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        let mut fr = FrameReader::new();
+        let err = fr.poll(&mut io::Cursor::new(Vec::new())).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionAborted);
+    }
+}

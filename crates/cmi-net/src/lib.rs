@@ -1,0 +1,38 @@
+//! cmi-net — the wire-protocol client/server subsystem realizing the Fig. 5
+//! client/server split.
+//!
+//! The paper draws the CMI enactment system as a server process (CORE +
+//! coordination + awareness engines) with participant tools — worklist,
+//! process monitor, awareness viewer — attached as *clients*. Everything in
+//! this repository up to now ran those clients in-process; this crate puts a
+//! wire between them:
+//!
+//! * [`codec`] — versioned, length-prefixed, CRC-checksummed binary frames
+//!   (the WAL-codec philosophy extended to the wire; no serialization
+//!   dependencies),
+//! * [`wire`] — the typed request/response/push messages,
+//! * [`transport`] — the [`transport::NetStream`] / [`transport::Listener`]
+//!   abstraction with a real TCP realization and a deterministic in-memory
+//!   loopback for tests,
+//! * [`server`] — a multi-threaded session server fronting
+//!   [`cmi_awareness::system::CmiServer`]: sign-on drives
+//!   `Directory::set_signed_on`, notifications are pushed under a bounded
+//!   per-session window (slow consumers degrade to the persistent queue),
+//!   idle sessions are reaped, shutdown drains gracefully,
+//! * [`client`] — typed clients ([`client::WorklistClient`],
+//!   [`client::MonitorClient`], [`client::ViewerClient`]) mirroring the
+//!   in-process APIs, with heartbeats and transparent reconnect-with-resume
+//!   (no lost and no duplicated notifications across a mid-delivery crash).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod codec;
+pub mod wire;
+pub mod transport;
+pub mod server;
+pub mod client;
+
+pub use client::{ClientConfig, Connection, MonitorClient, ViewerClient, WorklistClient};
+pub use server::{NetConfig, NetServer, NetStats};
+pub use transport::{LoopbackConnector, TcpAcceptor};

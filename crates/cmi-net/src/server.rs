@@ -1,0 +1,779 @@
+//! The CMI network server: the server half of the Fig. 5 client/server
+//! split.
+//!
+//! A [`NetServer`] fronts a [`CmiServer`] behind any [`Listener`]: an accept
+//! thread hands each connection to its own session thread, which multiplexes
+//! request handling, notification push, heartbeat bookkeeping and idle
+//! timeout over a single timeout-polled read loop (one thread per session,
+//! no shared writer locks).
+//!
+//! Robustness properties, by construction:
+//!
+//! * **Sign-on is observable** — `Hello` / `SignOff` / disconnect drive
+//!   [`Directory::set_signed_on`] through a per-user reference count, so the
+//!   `SignedOn` role-assignment function (§5.3) sees exactly the users with
+//!   at least one live session.
+//! * **No notification is lost to a slow or dead consumer** — pushes are
+//!   *copies* of queue entries; a notification leaves the persistent queue
+//!   only when the client acknowledges it. The per-session push window
+//!   bounds in-flight data, and anything beyond it simply stays parked in
+//!   the queue.
+//! * **No duplicate acknowledgement** — a session acks only sequence numbers
+//!   it currently has in flight, so replayed or raced `AckNotifs` requests
+//!   cannot double-ack (and cannot double-decrement the user's load figure).
+//! * **Graceful drain** — shutdown stops the acceptor, lets every session
+//!   flush its pending writes, sends `Goodbye`, signs users off and joins
+//!   all threads.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use cmi_awareness::system::CmiServer;
+use cmi_awareness::viewer::AwarenessViewer;
+use cmi_core::ids::UserId;
+use cmi_coord::monitor::ProcessMonitor;
+use cmi_coord::worklist::Worklist;
+
+use crate::codec::{encode_frame, Frame, FrameKind, FrameReader};
+use crate::transport::{
+    loopback, Listener, LoopbackConnector, NetStream, TcpAcceptor,
+};
+use crate::wire::{encode_push, Request, Response};
+
+/// Tuning knobs for a [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// How often a session checks for push work / shutdown between reads.
+    pub tick: Duration,
+    /// A session with no inbound frame for this long is closed (the client
+    /// heartbeat must be comfortably shorter).
+    pub idle_timeout: Duration,
+    /// Maximum unacknowledged pushed notifications per session; beyond this
+    /// the consumer is considered slow and further notifications stay parked
+    /// in the persistent queue.
+    pub push_window: usize,
+    /// Hard cap on concurrent sessions; connections beyond it are refused.
+    pub max_sessions: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            tick: Duration::from_millis(10),
+            idle_timeout: Duration::from_secs(5),
+            push_window: 32,
+            max_sessions: 1024,
+        }
+    }
+}
+
+/// Monotonic counters describing server activity.
+#[derive(Debug, Default)]
+struct StatCounters {
+    sessions_opened: AtomicU64,
+    sessions_closed: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    requests: AtomicU64,
+    pushes: AtomicU64,
+    acked: AtomicU64,
+    protocol_errors: AtomicU64,
+    idle_timeouts: AtomicU64,
+    slow_consumer_parks: AtomicU64,
+    refused_sessions: AtomicU64,
+}
+
+/// A snapshot of [`NetServer`] statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Sessions accepted over the server's lifetime.
+    pub sessions_opened: u64,
+    /// Sessions that have ended.
+    pub sessions_closed: u64,
+    /// Frames received (any kind).
+    pub frames_in: u64,
+    /// Frames sent (any kind).
+    pub frames_out: u64,
+    /// Requests dispatched.
+    pub requests: u64,
+    /// Notifications pushed to subscribed sessions.
+    pub pushes: u64,
+    /// Notifications acknowledged by clients.
+    pub acked: u64,
+    /// Frames rejected by the codec (bad magic/version/checksum/oversize)
+    /// or undecodable payloads.
+    pub protocol_errors: u64,
+    /// Sessions closed for exceeding the idle timeout.
+    pub idle_timeouts: u64,
+    /// Times a session's push window was full while notifications remained
+    /// parked in the persistent queue (slow-consumer degradation).
+    pub slow_consumer_parks: u64,
+    /// Connections refused because `max_sessions` was reached.
+    pub refused_sessions: u64,
+}
+
+struct Inner {
+    cmi: Arc<CmiServer>,
+    cfg: NetConfig,
+    stop: AtomicBool,
+    stats: StatCounters,
+    /// Sessions signed on per user; `set_signed_on` toggles on 0↔1 edges.
+    signons: Mutex<BTreeMap<UserId, usize>>,
+    live_sessions: AtomicU64,
+    session_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    transport_label: String,
+}
+
+impl Inner {
+    fn sign_on(&self, user: UserId) {
+        let mut map = self.signons.lock();
+        let count = map.entry(user).or_insert(0);
+        *count += 1;
+        if *count == 1 {
+            let _ = self.cmi.directory().set_signed_on(user, true);
+        }
+    }
+
+    fn sign_off(&self, user: UserId) {
+        let mut map = self.signons.lock();
+        if let Some(count) = map.get_mut(&user) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                map.remove(&user);
+                let _ = self.cmi.directory().set_signed_on(user, false);
+            }
+        }
+    }
+}
+
+/// The network front of a [`CmiServer`].
+pub struct NetServer {
+    inner: Arc<Inner>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Serves `cmi` behind an arbitrary listener.
+    pub fn serve(cmi: Arc<CmiServer>, listener: Box<dyn Listener>, cfg: NetConfig) -> NetServer {
+        let inner = Arc::new(Inner {
+            cmi,
+            cfg,
+            stop: AtomicBool::new(false),
+            stats: StatCounters::default(),
+            signons: Mutex::new(BTreeMap::new()),
+            live_sessions: AtomicU64::new(0),
+            session_threads: Mutex::new(Vec::new()),
+            transport_label: listener.label(),
+        });
+        let accept_inner = inner.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("cmi-net-accept".into())
+            .spawn(move || accept_loop(accept_inner, listener))
+            .expect("spawn accept thread");
+        NetServer {
+            inner,
+            accept_thread: Some(accept_thread),
+        }
+    }
+
+    /// Binds a TCP listener (use port 0 for an ephemeral port) and serves on
+    /// it. Returns the server and the bound address.
+    pub fn bind_tcp(
+        cmi: Arc<CmiServer>,
+        addr: &str,
+        cfg: NetConfig,
+    ) -> io::Result<(NetServer, std::net::SocketAddr)> {
+        let acceptor = TcpAcceptor::bind(addr)?;
+        let bound = acceptor.local_addr();
+        Ok((NetServer::serve(cmi, Box::new(acceptor), cfg), bound))
+    }
+
+    /// Serves over the deterministic in-memory loopback transport. The
+    /// returned connector dials new connections to this server.
+    pub fn serve_loopback(cmi: Arc<CmiServer>, cfg: NetConfig) -> (NetServer, LoopbackConnector) {
+        let (listener, connector) = loopback();
+        (NetServer::serve(cmi, Box::new(listener), cfg), connector)
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> NetStats {
+        let s = &self.inner.stats;
+        NetStats {
+            sessions_opened: s.sessions_opened.load(Ordering::Relaxed),
+            sessions_closed: s.sessions_closed.load(Ordering::Relaxed),
+            frames_in: s.frames_in.load(Ordering::Relaxed),
+            frames_out: s.frames_out.load(Ordering::Relaxed),
+            requests: s.requests.load(Ordering::Relaxed),
+            pushes: s.pushes.load(Ordering::Relaxed),
+            acked: s.acked.load(Ordering::Relaxed),
+            protocol_errors: s.protocol_errors.load(Ordering::Relaxed),
+            idle_timeouts: s.idle_timeouts.load(Ordering::Relaxed),
+            slow_consumer_parks: s.slow_consumer_parks.load(Ordering::Relaxed),
+            refused_sessions: s.refused_sessions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of currently live sessions.
+    pub fn session_count(&self) -> usize {
+        self.inner.live_sessions.load(Ordering::Relaxed) as usize
+    }
+
+    /// Users with at least one signed-on session through this server.
+    pub fn signed_on_users(&self) -> Vec<UserId> {
+        self.inner.signons.lock().keys().copied().collect()
+    }
+
+    /// The Fig. 5 component diagram of the fronted [`CmiServer`] extended
+    /// with the live transport wiring (listener, sessions, push stats).
+    pub fn architecture_diagram(&self) -> String {
+        let base = self.inner.cmi.architecture_diagram();
+        let stats = self.stats();
+        let net = format!(
+            "Transport (cmi-net)\n\
+             ├─ listener           : {} (wire protocol v{}, {}-byte frame header)\n\
+             ├─ sessions           : {} live / {} opened ({} signed-on users)\n\
+             ├─ delivery push      : {} pushed, {} acked, {} parked on slow consumers\n\
+             └─ robustness         : {} protocol errors rejected, {} idle timeouts\n",
+            self.inner.transport_label,
+            crate::codec::VERSION,
+            crate::codec::HEADER_LEN,
+            self.session_count(),
+            stats.sessions_opened,
+            self.inner.signons.lock().len(),
+            stats.pushes,
+            stats.acked,
+            stats.slow_consumer_parks,
+            stats.protocol_errors,
+            stats.idle_timeouts,
+        );
+        // Splice the transport block between the engine stack and the
+        // clients, where Fig. 5 draws the client/server boundary.
+        match base.find("Clients\n") {
+            Some(idx) => format!("{}{}{}", &base[..idx], net, &base[idx..]),
+            None => format!("{base}{net}"),
+        }
+    }
+
+    /// Stops accepting, drains and closes every session (each sends
+    /// `Goodbye` after flushing), signs users off, and joins all threads.
+    pub fn shutdown(mut self) -> NetStats {
+        self.stop_and_join();
+        self.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let threads: Vec<_> = self.inner.session_threads.lock().drain(..).collect();
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(inner: Arc<Inner>, listener: Box<dyn Listener>) {
+    let tick = inner.cfg.tick.max(Duration::from_millis(1));
+    while !inner.stop.load(Ordering::SeqCst) {
+        match listener.poll_accept(tick) {
+            Ok(Some(stream)) => {
+                if inner.live_sessions.load(Ordering::Relaxed) as usize
+                    >= inner.cfg.max_sessions
+                {
+                    inner
+                        .stats
+                        .refused_sessions
+                        .fetch_add(1, Ordering::Relaxed);
+                    stream.shutdown_stream();
+                    continue;
+                }
+                inner.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                inner.live_sessions.fetch_add(1, Ordering::Relaxed);
+                let session_inner = inner.clone();
+                let handle = std::thread::Builder::new()
+                    .name("cmi-net-session".into())
+                    .spawn(move || {
+                        Session::new(session_inner.clone()).run(stream);
+                        session_inner.live_sessions.fetch_sub(1, Ordering::Relaxed);
+                        session_inner
+                            .stats
+                            .sessions_closed
+                            .fetch_add(1, Ordering::Relaxed);
+                    })
+                    .expect("spawn session thread");
+                inner.session_threads.lock().push(handle);
+            }
+            Ok(None) => {}
+            Err(_) => break, // listener closed
+        }
+    }
+    listener.close();
+}
+
+/// Why a session's read loop ended.
+enum Exit {
+    PeerClosed,
+    Protocol,
+    IdleTimeout,
+    Drain,
+}
+
+struct Session {
+    inner: Arc<Inner>,
+    /// Set by a successful `Hello`.
+    user: Option<UserId>,
+    viewer: Option<AwarenessViewer>,
+    subscribed: bool,
+    /// Pushed-but-unacknowledged sequence numbers (the bounded send buffer).
+    in_flight: BTreeSet<u64>,
+}
+
+impl Session {
+    fn new(inner: Arc<Inner>) -> Session {
+        Session {
+            inner,
+            user: None,
+            viewer: None,
+            subscribed: false,
+            in_flight: BTreeSet::new(),
+        }
+    }
+
+    fn run(mut self, stream: Box<dyn NetStream>) {
+        let exit = self.serve(stream);
+        if let Some(user) = self.user.take() {
+            self.inner.sign_off(user);
+        }
+        match exit {
+            Exit::IdleTimeout => {
+                self.inner.stats.idle_timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+            Exit::Protocol => {
+                self.inner
+                    .stats
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Exit::PeerClosed | Exit::Drain => {}
+        }
+    }
+
+    fn serve(&mut self, stream: Box<dyn NetStream>) -> Exit {
+        let Ok(mut writer) = stream.try_clone_stream() else {
+            return Exit::PeerClosed;
+        };
+        let mut reader: Box<dyn NetStream> = stream;
+        if reader
+            .set_stream_read_timeout(Some(self.inner.cfg.tick))
+            .is_err()
+        {
+            return Exit::PeerClosed;
+        }
+        let mut frames = FrameReader::new();
+        let mut last_activity = Instant::now();
+        loop {
+            if self.inner.stop.load(Ordering::SeqCst) {
+                // Graceful drain: pending pushes were written eagerly, so a
+                // Goodbye is all that remains.
+                let _ = self.send(&mut writer, FrameKind::Goodbye, &[]);
+                reader.shutdown_stream();
+                return Exit::Drain;
+            }
+            match frames.poll(&mut *reader) {
+                Ok(Some(frame)) => {
+                    self.inner.stats.frames_in.fetch_add(1, Ordering::Relaxed);
+                    last_activity = Instant::now();
+                    match self.handle_frame(frame, &mut writer) {
+                        Ok(true) => {}
+                        Ok(false) => return Exit::PeerClosed, // client Goodbye
+                        Err(exit) => return exit,
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    return if e.kind() == io::ErrorKind::InvalidData {
+                        Exit::Protocol
+                    } else {
+                        Exit::PeerClosed
+                    };
+                }
+            }
+            if self.push_pending(&mut writer).is_err() {
+                return Exit::PeerClosed;
+            }
+            if last_activity.elapsed() > self.inner.cfg.idle_timeout {
+                let _ = self.send(&mut writer, FrameKind::Goodbye, &[]);
+                reader.shutdown_stream();
+                return Exit::IdleTimeout;
+            }
+        }
+    }
+
+    fn send(
+        &self,
+        writer: &mut Box<dyn NetStream>,
+        kind: FrameKind,
+        payload: &[u8],
+    ) -> io::Result<()> {
+        writer.write_all(&encode_frame(kind, payload))?;
+        writer.flush()?;
+        self.inner.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Pushes queued notifications up to the window. Notifications stay in
+    /// the persistent queue until acknowledged, so nothing here can lose
+    /// data: a full window or a dead socket just leaves them parked.
+    fn push_pending(&mut self, writer: &mut Box<dyn NetStream>) -> io::Result<()> {
+        if !self.subscribed {
+            return Ok(());
+        }
+        let Some(user) = self.user else {
+            return Ok(());
+        };
+        let window = self.inner.cfg.push_window;
+        if self.in_flight.len() >= window {
+            return Ok(());
+        }
+        let queue = self.inner.cmi.awareness().queue();
+        // Everything pending for the user, oldest first; the in-flight set
+        // filters what this session already sent and awaits acks for.
+        let pending = queue.fetch(user, window + self.in_flight.len());
+        let mut parked = false;
+        for n in pending {
+            if self.in_flight.contains(&n.seq) {
+                continue;
+            }
+            if self.in_flight.len() >= window {
+                parked = true;
+                break;
+            }
+            self.send(writer, FrameKind::Push, &encode_push(&n))?;
+            self.in_flight.insert(n.seq);
+            self.inner.stats.pushes.fetch_add(1, Ordering::Relaxed);
+        }
+        if parked {
+            self.inner
+                .stats
+                .slow_consumer_parks
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Returns `Ok(false)` on client `Goodbye`, `Err` on fatal conditions.
+    fn handle_frame(
+        &mut self,
+        frame: Frame,
+        writer: &mut Box<dyn NetStream>,
+    ) -> Result<bool, Exit> {
+        match frame.kind {
+            FrameKind::Ping => {
+                self.send(writer, FrameKind::Pong, &[])
+                    .map_err(|_| Exit::PeerClosed)?;
+                Ok(true)
+            }
+            FrameKind::Goodbye => Ok(false),
+            FrameKind::Request => {
+                self.inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+                let response = match Request::decode(&frame.payload) {
+                    Ok(req) => self.dispatch(req),
+                    Err(e) => {
+                        self.inner
+                            .stats
+                            .protocol_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        Response::Err {
+                            message: e.to_string(),
+                        }
+                    }
+                };
+                self.send(writer, FrameKind::Response, &response.encode())
+                    .map_err(|_| Exit::PeerClosed)?;
+                Ok(true)
+            }
+            // Clients never send Response/Push/Pong; treat as protocol abuse.
+            FrameKind::Response | FrameKind::Push | FrameKind::Pong => Err(Exit::Protocol),
+        }
+    }
+
+    fn dispatch(&mut self, req: Request) -> Response {
+        let cmi = &self.inner.cmi;
+        let fail = |message: String| Response::Err { message };
+        match req {
+            Request::Hello { user, resume: _ } => {
+                let Some(id) = cmi.directory().user_by_name(&user) else {
+                    return fail(format!("unknown participant {user:?}"));
+                };
+                if let Some(prev) = self.user.take() {
+                    self.inner.sign_off(prev);
+                }
+                self.inner.sign_on(id);
+                match AwarenessViewer::sign_on(
+                    cmi.awareness().queue().clone(),
+                    cmi.directory().clone(),
+                    id,
+                ) {
+                    Ok(viewer) => {
+                        self.user = Some(id);
+                        self.viewer = Some(viewer);
+                        Response::HelloOk { user: id.raw() }
+                    }
+                    Err(e) => {
+                        self.inner.sign_off(id);
+                        fail(e.to_string())
+                    }
+                }
+            }
+            Request::SignOff => {
+                if let Some(user) = self.user.take() {
+                    self.inner.sign_off(user);
+                }
+                self.viewer = None;
+                self.subscribed = false;
+                self.in_flight.clear();
+                Response::Ok
+            }
+            Request::WorklistForUser => match self.user {
+                Some(user) => match Worklist::new(cmi.coordination().clone()).for_user(user) {
+                    Ok(items) => Response::WorkItems(items),
+                    Err(e) => fail(e.to_string()),
+                },
+                None => fail("not signed on".into()),
+            },
+            Request::WorklistAllOpen => {
+                match Worklist::new(cmi.coordination().clone()).all_open() {
+                    Ok(items) => Response::WorkItems(items),
+                    Err(e) => fail(e.to_string()),
+                }
+            }
+            Request::Claim { instance } => match self.user {
+                Some(user) => match Worklist::new(cmi.coordination().clone())
+                    .claim(user, cmi_core::ids::ActivityInstanceId(instance))
+                {
+                    Ok(()) => Response::Ok,
+                    Err(e) => fail(e.to_string()),
+                },
+                None => fail("not signed on".into()),
+            },
+            Request::Complete { instance } => match self.user {
+                Some(user) => match Worklist::new(cmi.coordination().clone())
+                    .complete(user, cmi_core::ids::ActivityInstanceId(instance))
+                {
+                    Ok(()) => Response::Ok,
+                    Err(e) => fail(e.to_string()),
+                },
+                None => fail("not signed on".into()),
+            },
+            Request::Peek { max } => match &self.viewer {
+                Some(v) => Response::Notifications(v.peek(max as usize)),
+                None => fail("not signed on".into()),
+            },
+            Request::Take { max } => match &self.viewer {
+                Some(v) => Response::Notifications(v.take(max as usize)),
+                None => fail("not signed on".into()),
+            },
+            Request::TakePrioritized { max } => match &self.viewer {
+                Some(v) => Response::Notifications(v.take_prioritized(max as usize)),
+                None => fail("not signed on".into()),
+            },
+            Request::Digest => match &self.viewer {
+                Some(v) => Response::DigestEntries(v.digest()),
+                None => fail("not signed on".into()),
+            },
+            Request::Unread => match &self.viewer {
+                Some(v) => Response::Count(v.unread() as u64),
+                None => fail("not signed on".into()),
+            },
+            Request::ExternalEvent { source, fields } => {
+                Response::Count(cmi.external_event(&source, fields) as u64)
+            }
+            Request::Subscribe => match self.user {
+                Some(_) => {
+                    self.subscribed = true;
+                    Response::Ok
+                }
+                None => fail("not signed on".into()),
+            },
+            Request::AckNotifs { seqs } => {
+                let Some(user) = self.user else {
+                    return fail("not signed on".into());
+                };
+                // Free the push window for anything this session had in
+                // flight; acknowledgement itself goes through `ack_exact`,
+                // which only removes seqs actually pending — so a replayed
+                // ack (reconnect race) is a no-op and the load figure is
+                // decremented exactly once per notification. Acks for seqs
+                // this session never pushed are also honored: a reconnecting
+                // client flushes acks for deliveries made over its previous
+                // session.
+                for s in &seqs {
+                    self.in_flight.remove(s);
+                }
+                match cmi.awareness().queue().ack_exact(user, &seqs) {
+                    Ok(n) => {
+                        let _ = cmi.directory().adjust_load(user, -(n as i32));
+                        self.inner.stats.acked.fetch_add(n as u64, Ordering::Relaxed);
+                        Response::Count(n as u64)
+                    }
+                    Err(e) => fail(e.to_string()),
+                }
+            }
+            Request::MonitorStats { root } => {
+                let monitor = ProcessMonitor::new(cmi.store().clone(), cmi.contexts().clone());
+                match monitor.stats(cmi_core::ids::ProcessInstanceId(root)) {
+                    Ok(stats) => Response::Stats(stats),
+                    Err(e) => fail(e.to_string()),
+                }
+            }
+            Request::MonitorRender { root } => {
+                let monitor = ProcessMonitor::new(cmi.store().clone(), cmi.contexts().clone());
+                match monitor.render(cmi_core::ids::ProcessInstanceId(root)) {
+                    Ok(text) => Response::Text(text),
+                    Err(e) => fail(e.to_string()),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::FrameReader;
+
+    fn raw_call(
+        stream: &mut Box<dyn NetStream>,
+        frames: &mut FrameReader,
+        req: &Request,
+    ) -> Response {
+        stream
+            .write_all(&encode_frame(FrameKind::Request, &req.encode()))
+            .unwrap();
+        loop {
+            if let Some(f) = frames.poll(&mut **stream).unwrap() {
+                if f.kind == FrameKind::Response {
+                    return Response::decode(&f.payload).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hello_signs_on_and_disconnect_signs_off() {
+        let cmi = Arc::new(CmiServer::new());
+        let alice = cmi.directory().add_user("alice");
+        let (server, connector) = NetServer::serve_loopback(cmi.clone(), NetConfig::default());
+
+        let mut stream = connector.dial().unwrap();
+        let mut frames = FrameReader::new();
+        let resp = raw_call(
+            &mut stream,
+            &mut frames,
+            &Request::Hello {
+                user: "alice".into(),
+                resume: false,
+            },
+        );
+        assert_eq!(resp, Response::HelloOk { user: alice.raw() });
+        assert!(cmi.directory().participant(alice).unwrap().signed_on);
+        assert_eq!(server.signed_on_users(), vec![alice]);
+
+        stream.shutdown_stream();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while cmi.directory().participant(alice).unwrap().signed_on {
+            assert!(Instant::now() < deadline, "sign-off after disconnect");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_user_hello_fails() {
+        let cmi = Arc::new(CmiServer::new());
+        let (server, connector) = NetServer::serve_loopback(cmi, NetConfig::default());
+        let mut stream = connector.dial().unwrap();
+        let mut frames = FrameReader::new();
+        let resp = raw_call(
+            &mut stream,
+            &mut frames,
+            &Request::Hello {
+                user: "nobody".into(),
+                resume: false,
+            },
+        );
+        assert!(matches!(resp, Response::Err { .. }));
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_session_is_timed_out() {
+        let cmi = Arc::new(CmiServer::new());
+        let cfg = NetConfig {
+            idle_timeout: Duration::from_millis(50),
+            ..NetConfig::default()
+        };
+        let (server, connector) = NetServer::serve_loopback(cmi, cfg);
+        let mut stream = connector.dial().unwrap();
+        // Say nothing; the server should Goodbye and close.
+        stream
+            .set_stream_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let mut frames = FrameReader::new();
+        let goodbye = loop {
+            match frames.poll(&mut *stream) {
+                Ok(Some(f)) => break Some(f.kind),
+                Ok(None) => continue,
+                Err(_) => break None,
+            }
+        };
+        assert_eq!(goodbye, Some(FrameKind::Goodbye));
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while server.stats().idle_timeouts == 0 {
+            assert!(Instant::now() < deadline);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_sessions_gracefully() {
+        let cmi = Arc::new(CmiServer::new());
+        cmi.directory().add_user("alice");
+        let (server, connector) = NetServer::serve_loopback(cmi, NetConfig::default());
+        let mut stream = connector.dial().unwrap();
+        let mut frames = FrameReader::new();
+        raw_call(
+            &mut stream,
+            &mut frames,
+            &Request::Hello {
+                user: "alice".into(),
+                resume: false,
+            },
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.sessions_opened, 1);
+        assert_eq!(stats.sessions_closed, 1);
+        // The client's last frame is a Goodbye.
+        stream
+            .set_stream_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        let mut last = None;
+        while let Ok(Some(f)) = frames.poll(&mut *stream) {
+            last = Some(f.kind);
+        }
+        assert_eq!(last, Some(FrameKind::Goodbye));
+    }
+}

@@ -1,0 +1,402 @@
+//! Transports: the stream/listener abstraction, its TCP realization, and a
+//! deterministic in-memory loopback.
+//!
+//! Every protocol path (framing, sessions, heartbeats, reconnect) is written
+//! against [`NetStream`] / [`Listener`], so the whole subsystem is testable
+//! without real sockets: the loopback transport is a pair of byte pipes with
+//! condvar wakeups that honors read timeouts and half-close exactly the way
+//! a TCP stream does, but with no ports, no ephemeral-address races and no
+//! packet non-determinism.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// A bidirectional, cloneable byte stream with read timeouts.
+///
+/// `try_clone_stream` exists so one clone can sit in a blocking read while
+/// another writes: sessions use exactly two handles (reader + writer).
+pub trait NetStream: Read + Write + Send {
+    /// An independently usable handle to the same stream.
+    fn try_clone_stream(&self) -> io::Result<Box<dyn NetStream>>;
+    /// Bounds how long a `read` may block (`None` = forever).
+    fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+    /// Closes both directions; concurrent and future reads/writes fail.
+    fn shutdown_stream(&self);
+    /// A human-readable peer label for diagnostics.
+    fn peer_label(&self) -> String;
+}
+
+impl NetStream for TcpStream {
+    fn try_clone_stream(&self) -> io::Result<Box<dyn NetStream>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+
+    fn shutdown_stream(&self) {
+        let _ = self.shutdown(std::net::Shutdown::Both);
+    }
+
+    fn peer_label(&self) -> String {
+        self.peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "tcp(?)".to_owned())
+    }
+}
+
+/// Accepts inbound connections for a server.
+pub trait Listener: Send {
+    /// Waits up to `timeout` for one connection. `Ok(None)` on timeout.
+    fn poll_accept(&self, timeout: Duration) -> io::Result<Option<Box<dyn NetStream>>>;
+    /// Stops accepting; subsequent dials fail.
+    fn close(&self);
+    /// A label for diagnostics ("127.0.0.1:4000", "loopback").
+    fn label(&self) -> String;
+}
+
+/// TCP listener adapter (non-blocking accept under a poll loop, so server
+/// shutdown never hangs in `accept`).
+pub struct TcpAcceptor {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl TcpAcceptor {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<TcpAcceptor> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(TcpAcceptor { listener, addr })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Listener for TcpAcceptor {
+    fn poll_accept(&self, timeout: Duration) -> io::Result<Option<Box<dyn NetStream>>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    let _ = stream.set_nodelay(true);
+                    return Ok(Some(Box::new(stream)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Ok(None);
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn close(&self) {
+        // Dropping the std listener closes the socket; nothing to do early —
+        // the accept loop exits via the server's stop flag.
+    }
+
+    fn label(&self) -> String {
+        self.addr.to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Loopback transport
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct PipeBuf {
+    data: VecDeque<u8>,
+    closed: bool,
+}
+
+type Shared = Arc<(Mutex<PipeBuf>, Condvar)>;
+
+/// One end of an in-memory duplex byte pipe.
+pub struct PipeStream {
+    rx: Shared,
+    tx: Shared,
+    read_timeout: Arc<Mutex<Option<Duration>>>,
+    label: String,
+}
+
+/// A connected pair of pipe ends (`a` writes what `b` reads and vice versa).
+pub fn pipe_pair(label: &str) -> (PipeStream, PipeStream) {
+    let ab: Shared = Arc::new((Mutex::new(PipeBuf::default()), Condvar::new()));
+    let ba: Shared = Arc::new((Mutex::new(PipeBuf::default()), Condvar::new()));
+    (
+        PipeStream {
+            rx: ba.clone(),
+            tx: ab.clone(),
+            read_timeout: Arc::new(Mutex::new(None)),
+            label: format!("{label}:a"),
+        },
+        PipeStream {
+            rx: ab,
+            tx: ba,
+            read_timeout: Arc::new(Mutex::new(None)),
+            label: format!("{label}:b"),
+        },
+    )
+}
+
+impl Read for PipeStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let timeout = *self.read_timeout.lock();
+        let (lock, cv) = &*self.rx;
+        let mut state = lock.lock();
+        let deadline = timeout.map(|t| Instant::now() + t);
+        while state.data.is_empty() {
+            if state.closed {
+                return Ok(0);
+            }
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(io::Error::new(io::ErrorKind::TimedOut, "read timeout"));
+                    }
+                    cv.wait_for(&mut state, d - now);
+                }
+                None => cv.wait(&mut state),
+            }
+        }
+        let n = buf.len().min(state.data.len());
+        for b in buf.iter_mut().take(n) {
+            *b = state.data.pop_front().unwrap();
+        }
+        Ok(n)
+    }
+}
+
+impl Write for PipeStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let (lock, cv) = &*self.tx;
+        let mut state = lock.lock();
+        if state.closed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"));
+        }
+        state.data.extend(buf.iter().copied());
+        cv.notify_all();
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl NetStream for PipeStream {
+    fn try_clone_stream(&self) -> io::Result<Box<dyn NetStream>> {
+        Ok(Box::new(PipeStream {
+            rx: self.rx.clone(),
+            tx: self.tx.clone(),
+            read_timeout: self.read_timeout.clone(),
+            label: self.label.clone(),
+        }))
+    }
+
+    fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        *self.read_timeout.lock() = timeout;
+        Ok(())
+    }
+
+    fn shutdown_stream(&self) {
+        for shared in [&self.rx, &self.tx] {
+            let (lock, cv) = &**shared;
+            lock.lock().closed = true;
+            cv.notify_all();
+        }
+    }
+
+    fn peer_label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+struct HubState {
+    pending: VecDeque<PipeStream>,
+    closed: bool,
+    dialed: u64,
+}
+
+/// The shared state behind a loopback listener/connector pair.
+pub struct LoopbackHub {
+    state: Mutex<HubState>,
+    cv: Condvar,
+}
+
+/// Creates a connected loopback listener + connector.
+pub fn loopback() -> (LoopbackListener, LoopbackConnector) {
+    let hub = Arc::new(LoopbackHub {
+        state: Mutex::new(HubState {
+            pending: VecDeque::new(),
+            closed: false,
+            dialed: 0,
+        }),
+        cv: Condvar::new(),
+    });
+    (
+        LoopbackListener { hub: hub.clone() },
+        LoopbackConnector { hub },
+    )
+}
+
+/// The server side of the loopback transport.
+pub struct LoopbackListener {
+    hub: Arc<LoopbackHub>,
+}
+
+impl Listener for LoopbackListener {
+    fn poll_accept(&self, timeout: Duration) -> io::Result<Option<Box<dyn NetStream>>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.hub.state.lock();
+        loop {
+            if let Some(stream) = state.pending.pop_front() {
+                return Ok(Some(Box::new(stream)));
+            }
+            if state.closed {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionAborted,
+                    "loopback closed",
+                ));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            self.hub.cv.wait_for(&mut state, deadline - now);
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.hub.state.lock();
+        state.closed = true;
+        // Refuse queued-but-unaccepted dials.
+        for s in state.pending.drain(..) {
+            s.shutdown_stream();
+        }
+        self.hub.cv.notify_all();
+    }
+
+    fn label(&self) -> String {
+        "loopback".to_owned()
+    }
+}
+
+/// The client side of the loopback transport. Cloneable; each `dial` yields
+/// a fresh connection.
+#[derive(Clone)]
+pub struct LoopbackConnector {
+    hub: Arc<LoopbackHub>,
+}
+
+impl LoopbackConnector {
+    /// Dials the listener, producing the client end of a fresh pipe.
+    pub fn dial(&self) -> io::Result<Box<dyn NetStream>> {
+        let mut state = self.hub.state.lock();
+        if state.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "loopback server is down",
+            ));
+        }
+        state.dialed += 1;
+        let n = state.dialed;
+        let (client, server) = pipe_pair(&format!("loopback-{n}"));
+        state.pending.push_back(server);
+        self.hub.cv.notify_all();
+        Ok(Box::new(client))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_carries_bytes_and_honors_timeout() {
+        let (mut a, mut b) = pipe_pair("t");
+        a.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+
+        b.set_stream_read_timeout(Some(Duration::from_millis(10)))
+            .unwrap();
+        let err = b.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn pipe_shutdown_unblocks_reader_and_fails_writer() {
+        let (mut a, b) = pipe_pair("t");
+        let handle = std::thread::spawn(move || {
+            let mut b = b;
+            let mut buf = [0u8; 1];
+            b.read(&mut buf)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        a.shutdown_stream();
+        assert_eq!(handle.join().unwrap().unwrap(), 0, "EOF after shutdown");
+        assert!(a.write_all(b"x").is_err());
+    }
+
+    #[test]
+    fn loopback_dial_accept_roundtrip() {
+        let (listener, connector) = loopback();
+        let mut client = connector.dial().unwrap();
+        let mut server = listener
+            .poll_accept(Duration::from_millis(100))
+            .unwrap()
+            .unwrap();
+        client.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        server.write_all(b"pong").unwrap();
+        client.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+    }
+
+    #[test]
+    fn closed_loopback_refuses_dials() {
+        let (listener, connector) = loopback();
+        listener.close();
+        assert!(connector.dial().is_err());
+    }
+
+    #[test]
+    fn tcp_acceptor_accepts_real_sockets() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut server = acceptor
+            .poll_accept(Duration::from_secs(2))
+            .unwrap()
+            .unwrap();
+        client.write_all(b"abc").unwrap();
+        let mut buf = [0u8; 3];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"abc");
+        assert!(acceptor
+            .poll_accept(Duration::from_millis(20))
+            .unwrap()
+            .is_none());
+    }
+}

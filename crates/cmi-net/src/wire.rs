@@ -1,0 +1,749 @@
+//! Typed messages over the framed codec: requests, responses, pushes.
+//!
+//! Encoding is a hand-rolled tag-prefixed binary format (little-endian
+//! integers, length-prefixed UTF-8 strings), mirroring the WAL-codec
+//! philosophy of [`cmi_awareness::queue`]: three dozen lines of encoder /
+//! decoder instead of a serialization dependency, with every unknown tag or
+//! truncated buffer surfacing as a decode error rather than UB. Payloads are
+//! only decoded *after* the frame checksum verified.
+
+use std::io;
+
+use cmi_awareness::queue::{Notification, Priority};
+use cmi_awareness::viewer::DigestEntry;
+use cmi_coord::monitor::ProcessStats;
+use cmi_coord::worklist::WorkItem;
+use cmi_core::ids::{
+    ActivityInstanceId, AwarenessSchemaId, ProcessInstanceId, ProcessSchemaId, UserId,
+};
+use cmi_core::time::Timestamp;
+use cmi_core::value::Value;
+
+/// A decode failure (truncated buffer, unknown tag, malformed string).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for io::Error {
+    fn from(e: WireError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+type WireResult<T> = Result<T, WireError>;
+
+fn err<T>(msg: &str) -> WireResult<T> {
+    Err(WireError(msg.to_owned()))
+}
+
+/// Byte-buffer encoder.
+#[derive(Debug, Default)]
+pub struct Enc {
+    /// The bytes written so far.
+    pub buf: Vec<u8>,
+}
+
+impl Enc {
+    /// A fresh encoder.
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn opt_i64(&mut self, v: Option<i64>) {
+        match v {
+            Some(i) => {
+                self.u8(1);
+                self.i64(i);
+            }
+            None => self.u8(0),
+        }
+    }
+    fn opt_str(&mut self, v: Option<&str>) {
+        match v {
+            Some(s) => {
+                self.u8(1);
+                self.str(s);
+            }
+            None => self.u8(0),
+        }
+    }
+}
+
+/// Byte-buffer decoder.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Decodes from `b`.
+    pub fn new(b: &'a [u8]) -> Dec<'a> {
+        Dec { b, pos: 0 }
+    }
+
+    /// Remaining undecoded bytes.
+    pub fn remaining(&self) -> usize {
+        self.b.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        if self.remaining() < n {
+            return err("truncated payload");
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> WireResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn bool(&mut self) -> WireResult<bool> {
+        Ok(self.u8()? != 0)
+    }
+    fn u32(&mut self) -> WireResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> WireResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> WireResult<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self) -> WireResult<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).or_else(|_| err("invalid UTF-8 string"))
+    }
+    fn opt_i64(&mut self) -> WireResult<Option<i64>> {
+        Ok(if self.u8()? != 0 {
+            Some(self.i64()?)
+        } else {
+            None
+        })
+    }
+    fn opt_str(&mut self) -> WireResult<Option<String>> {
+        Ok(if self.u8()? != 0 {
+            Some(self.str()?)
+        } else {
+            None
+        })
+    }
+}
+
+fn priority_to_byte(p: Priority) -> u8 {
+    match p {
+        Priority::Low => 0,
+        Priority::Normal => 1,
+        Priority::High => 2,
+    }
+}
+
+fn priority_from_byte(b: u8) -> WireResult<Priority> {
+    Ok(match b {
+        0 => Priority::Low,
+        1 => Priority::Normal,
+        2 => Priority::High,
+        _ => return err("unknown priority"),
+    })
+}
+
+/// The subset of [`Value`] that travels as an external-event field.
+fn encode_value(e: &mut Enc, v: &Value) -> WireResult<()> {
+    match v {
+        Value::Null => e.u8(0),
+        Value::Bool(b) => {
+            e.u8(1);
+            e.bool(*b);
+        }
+        Value::Int(i) => {
+            e.u8(2);
+            e.i64(*i);
+        }
+        Value::Str(s) => {
+            e.u8(3);
+            e.str(s);
+        }
+        Value::Id(i) => {
+            e.u8(4);
+            e.u64(*i);
+        }
+        Value::User(u) => {
+            e.u8(5);
+            e.u64(u.raw());
+        }
+        Value::Time(t) => {
+            e.u8(6);
+            e.u64(t.millis());
+        }
+        Value::Float(_) | Value::List(_) => {
+            return err("float/list values are not supported on the wire");
+        }
+    }
+    Ok(())
+}
+
+fn decode_value(d: &mut Dec<'_>) -> WireResult<Value> {
+    Ok(match d.u8()? {
+        0 => Value::Null,
+        1 => Value::Bool(d.bool()?),
+        2 => Value::Int(d.i64()?),
+        3 => Value::Str(d.str()?),
+        4 => Value::Id(d.u64()?),
+        5 => Value::User(UserId(d.u64()?)),
+        6 => Value::Time(Timestamp::from_millis(d.u64()?)),
+        _ => return err("unknown value tag"),
+    })
+}
+
+fn encode_notification(e: &mut Enc, n: &Notification) {
+    e.u64(n.seq);
+    e.u64(n.user.raw());
+    e.u64(n.time.millis());
+    e.u64(n.schema.raw());
+    e.str(&n.schema_name);
+    e.str(&n.description);
+    e.u64(n.process_schema.raw());
+    e.u64(n.process_instance.raw());
+    e.opt_i64(n.int_info);
+    e.opt_str(n.str_info.as_deref());
+    e.u8(priority_to_byte(n.priority));
+}
+
+fn decode_notification(d: &mut Dec<'_>) -> WireResult<Notification> {
+    Ok(Notification {
+        seq: d.u64()?,
+        user: UserId(d.u64()?),
+        time: Timestamp::from_millis(d.u64()?),
+        schema: AwarenessSchemaId(d.u64()?),
+        schema_name: d.str()?,
+        description: d.str()?,
+        process_schema: ProcessSchemaId(d.u64()?),
+        process_instance: ProcessInstanceId(d.u64()?),
+        int_info: d.opt_i64()?,
+        str_info: d.opt_str()?,
+        priority: priority_from_byte(d.u8()?)?,
+    })
+}
+
+fn encode_work_item(e: &mut Enc, w: &WorkItem) {
+    e.u64(w.instance.raw());
+    e.str(&w.activity);
+    e.str(&w.role);
+}
+
+fn decode_work_item(d: &mut Dec<'_>) -> WireResult<WorkItem> {
+    Ok(WorkItem {
+        instance: ActivityInstanceId(d.u64()?),
+        activity: d.str()?,
+        role: d.str()?,
+    })
+}
+
+fn encode_digest_entry(e: &mut Enc, g: &DigestEntry) {
+    e.str(&g.schema_name);
+    e.str(&g.description);
+    e.u64(g.process_instance.raw());
+    e.u64(g.count as u64);
+    e.u64(g.latest.millis());
+    e.u8(priority_to_byte(g.max_priority));
+}
+
+fn decode_digest_entry(d: &mut Dec<'_>) -> WireResult<DigestEntry> {
+    Ok(DigestEntry {
+        schema_name: d.str()?,
+        description: d.str()?,
+        process_instance: ProcessInstanceId(d.u64()?),
+        count: d.u64()? as usize,
+        latest: Timestamp::from_millis(d.u64()?),
+        max_priority: priority_from_byte(d.u8()?)?,
+    })
+}
+
+/// A client request. One request frame yields exactly one response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Opens (or resumes) a participant session: signs the named user on.
+    Hello {
+        /// Directory name of the participant.
+        user: String,
+        /// True when this is an automatic reconnect rather than a fresh
+        /// sign-on (used for logging/stats; semantics are identical).
+        resume: bool,
+    },
+    /// Signs the session's user off without closing the connection.
+    SignOff,
+    /// `Worklist::for_user` for the session's user.
+    WorklistForUser,
+    /// `Worklist::all_open` (the supervisor view).
+    WorklistAllOpen,
+    /// `Worklist::claim` as the session's user.
+    Claim {
+        /// The `Ready` activity instance to claim.
+        instance: u64,
+    },
+    /// `Worklist::complete` as the session's user.
+    Complete {
+        /// The `Running` activity instance to complete.
+        instance: u64,
+    },
+    /// `AwarenessViewer::peek`.
+    Peek {
+        /// Maximum notifications to return.
+        max: u64,
+    },
+    /// `AwarenessViewer::take` (acknowledges server-side).
+    Take {
+        /// Maximum notifications to consume.
+        max: u64,
+    },
+    /// `AwarenessViewer::take_prioritized`.
+    TakePrioritized {
+        /// Maximum notifications to consume.
+        max: u64,
+    },
+    /// `AwarenessViewer::digest`.
+    Digest,
+    /// `AwarenessViewer::unread`.
+    Unread,
+    /// `CmiServer::external_event`.
+    ExternalEvent {
+        /// The external source name.
+        source: String,
+        /// Event fields.
+        fields: Vec<(String, Value)>,
+    },
+    /// Enables server push of this user's notifications over this session.
+    Subscribe,
+    /// Acknowledges pushed notifications by sequence number.
+    AckNotifs {
+        /// The sequence numbers being acknowledged.
+        seqs: Vec<u64>,
+    },
+    /// `ProcessMonitor::stats` over the instance tree at `root`.
+    MonitorStats {
+        /// The root process instance.
+        root: u64,
+    },
+    /// `ProcessMonitor::render` over the instance tree at `root`.
+    MonitorRender {
+        /// The root process instance.
+        root: u64,
+    },
+}
+
+impl Request {
+    /// Serializes the request payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            Request::Hello { user, resume } => {
+                e.u8(0);
+                e.str(user);
+                e.bool(*resume);
+            }
+            Request::SignOff => e.u8(1),
+            Request::WorklistForUser => e.u8(2),
+            Request::WorklistAllOpen => e.u8(3),
+            Request::Claim { instance } => {
+                e.u8(4);
+                e.u64(*instance);
+            }
+            Request::Complete { instance } => {
+                e.u8(5);
+                e.u64(*instance);
+            }
+            Request::Peek { max } => {
+                e.u8(6);
+                e.u64(*max);
+            }
+            Request::Take { max } => {
+                e.u8(7);
+                e.u64(*max);
+            }
+            Request::TakePrioritized { max } => {
+                e.u8(8);
+                e.u64(*max);
+            }
+            Request::Digest => e.u8(9),
+            Request::Unread => e.u8(10),
+            Request::ExternalEvent { source, fields } => {
+                e.u8(11);
+                e.str(source);
+                e.u32(fields.len() as u32);
+                for (k, v) in fields {
+                    e.str(k);
+                    encode_value(&mut e, v).expect("wire-encodable value");
+                }
+            }
+            Request::Subscribe => e.u8(12),
+            Request::AckNotifs { seqs } => {
+                e.u8(13);
+                e.u32(seqs.len() as u32);
+                for s in seqs {
+                    e.u64(*s);
+                }
+            }
+            Request::MonitorStats { root } => {
+                e.u8(14);
+                e.u64(*root);
+            }
+            Request::MonitorRender { root } => {
+                e.u8(15);
+                e.u64(*root);
+            }
+        }
+        e.buf
+    }
+
+    /// Deserializes a request payload.
+    pub fn decode(b: &[u8]) -> WireResult<Request> {
+        let mut d = Dec::new(b);
+        let req = match d.u8()? {
+            0 => Request::Hello {
+                user: d.str()?,
+                resume: d.bool()?,
+            },
+            1 => Request::SignOff,
+            2 => Request::WorklistForUser,
+            3 => Request::WorklistAllOpen,
+            4 => Request::Claim { instance: d.u64()? },
+            5 => Request::Complete { instance: d.u64()? },
+            6 => Request::Peek { max: d.u64()? },
+            7 => Request::Take { max: d.u64()? },
+            8 => Request::TakePrioritized { max: d.u64()? },
+            9 => Request::Digest,
+            10 => Request::Unread,
+            11 => {
+                let source = d.str()?;
+                let n = d.u32()?;
+                let mut fields = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let k = d.str()?;
+                    let v = decode_value(&mut d)?;
+                    fields.push((k, v));
+                }
+                Request::ExternalEvent { source, fields }
+            }
+            12 => Request::Subscribe,
+            13 => {
+                let n = d.u32()?;
+                let mut seqs = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    seqs.push(d.u64()?);
+                }
+                Request::AckNotifs { seqs }
+            }
+            14 => Request::MonitorStats { root: d.u64()? },
+            15 => Request::MonitorRender { root: d.u64()? },
+            t => return err(&format!("unknown request tag {t}")),
+        };
+        if d.remaining() != 0 {
+            return err("trailing bytes after request");
+        }
+        Ok(req)
+    }
+}
+
+/// The server's answer to a [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Success with no payload.
+    Ok,
+    /// The operation failed server-side; the message is the rendered error.
+    Err {
+        /// Rendered error message.
+        message: String,
+    },
+    /// Successful `Hello`.
+    HelloOk {
+        /// The resolved participant id.
+        user: u64,
+    },
+    /// Worklist query result.
+    WorkItems(Vec<WorkItem>),
+    /// Viewer peek/take result.
+    Notifications(Vec<Notification>),
+    /// Viewer digest result.
+    DigestEntries(Vec<DigestEntry>),
+    /// A scalar count (unread, deliveries, acknowledged).
+    Count(u64),
+    /// Monitor statistics.
+    Stats(ProcessStats),
+    /// Rendered text (monitor tree).
+    Text(String),
+}
+
+impl Response {
+    /// Serializes the response payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            Response::Ok => e.u8(0),
+            Response::Err { message } => {
+                e.u8(1);
+                e.str(message);
+            }
+            Response::HelloOk { user } => {
+                e.u8(2);
+                e.u64(*user);
+            }
+            Response::WorkItems(items) => {
+                e.u8(3);
+                e.u32(items.len() as u32);
+                for w in items {
+                    encode_work_item(&mut e, w);
+                }
+            }
+            Response::Notifications(ns) => {
+                e.u8(4);
+                e.u32(ns.len() as u32);
+                for n in ns {
+                    encode_notification(&mut e, n);
+                }
+            }
+            Response::DigestEntries(gs) => {
+                e.u8(5);
+                e.u32(gs.len() as u32);
+                for g in gs {
+                    encode_digest_entry(&mut e, g);
+                }
+            }
+            Response::Count(c) => {
+                e.u8(6);
+                e.u64(*c);
+            }
+            Response::Stats(s) => {
+                e.u8(7);
+                for v in [
+                    s.total,
+                    s.open,
+                    s.ready,
+                    s.running,
+                    s.suspended,
+                    s.completed,
+                    s.terminated,
+                ] {
+                    e.u64(v as u64);
+                }
+            }
+            Response::Text(t) => {
+                e.u8(8);
+                e.str(t);
+            }
+        }
+        e.buf
+    }
+
+    /// Deserializes a response payload.
+    pub fn decode(b: &[u8]) -> WireResult<Response> {
+        let mut d = Dec::new(b);
+        let resp = match d.u8()? {
+            0 => Response::Ok,
+            1 => Response::Err { message: d.str()? },
+            2 => Response::HelloOk { user: d.u64()? },
+            3 => {
+                let n = d.u32()?;
+                let mut items = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    items.push(decode_work_item(&mut d)?);
+                }
+                Response::WorkItems(items)
+            }
+            4 => {
+                let n = d.u32()?;
+                let mut ns = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    ns.push(decode_notification(&mut d)?);
+                }
+                Response::Notifications(ns)
+            }
+            5 => {
+                let n = d.u32()?;
+                let mut gs = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    gs.push(decode_digest_entry(&mut d)?);
+                }
+                Response::DigestEntries(gs)
+            }
+            6 => Response::Count(d.u64()?),
+            7 => Response::Stats(ProcessStats {
+                total: d.u64()? as usize,
+                open: d.u64()? as usize,
+                ready: d.u64()? as usize,
+                running: d.u64()? as usize,
+                suspended: d.u64()? as usize,
+                completed: d.u64()? as usize,
+                terminated: d.u64()? as usize,
+            }),
+            8 => Response::Text(d.str()?),
+            t => return err(&format!("unknown response tag {t}")),
+        };
+        if d.remaining() != 0 {
+            return err("trailing bytes after response");
+        }
+        Ok(resp)
+    }
+}
+
+/// Encodes a pushed notification (the payload of a `Push` frame).
+pub fn encode_push(n: &Notification) -> Vec<u8> {
+    let mut e = Enc::new();
+    encode_notification(&mut e, n);
+    e.buf
+}
+
+/// Decodes a pushed notification.
+pub fn decode_push(b: &[u8]) -> WireResult<Notification> {
+    let mut d = Dec::new(b);
+    let n = decode_notification(&mut d)?;
+    if d.remaining() != 0 {
+        return err("trailing bytes after push");
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_notification() -> Notification {
+        Notification {
+            seq: 42,
+            user: UserId(7),
+            time: Timestamp::from_millis(1500),
+            schema: AwarenessSchemaId(3),
+            schema_name: "AS_InfoRequest".into(),
+            description: "deadline moved — naïve ≤ test".into(),
+            process_schema: ProcessSchemaId(9),
+            process_instance: ProcessInstanceId(11),
+            int_info: Some(-5),
+            str_info: None,
+            priority: Priority::High,
+        }
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        let reqs = vec![
+            Request::Hello {
+                user: "alice".into(),
+                resume: true,
+            },
+            Request::SignOff,
+            Request::WorklistForUser,
+            Request::WorklistAllOpen,
+            Request::Claim { instance: 5 },
+            Request::Complete { instance: 6 },
+            Request::Peek { max: 10 },
+            Request::Take { max: u64::MAX },
+            Request::TakePrioritized { max: 3 },
+            Request::Digest,
+            Request::Unread,
+            Request::ExternalEvent {
+                source: "news-service".into(),
+                fields: vec![
+                    ("queryId".into(), Value::Id(3)),
+                    ("score".into(), Value::Int(-9)),
+                    ("label".into(), Value::Str("übergröße".into())),
+                    ("who".into(), Value::User(UserId(4))),
+                    ("when".into(), Value::Time(Timestamp::from_millis(77))),
+                    ("flag".into(), Value::Bool(true)),
+                    ("nothing".into(), Value::Null),
+                ],
+            },
+            Request::Subscribe,
+            Request::AckNotifs { seqs: vec![1, 2, 9] },
+            Request::MonitorStats { root: 1 },
+            Request::MonitorRender { root: 2 },
+        ];
+        for r in reqs {
+            let bytes = r.encode();
+            assert_eq!(Request::decode(&bytes).unwrap(), r, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let resps = vec![
+            Response::Ok,
+            Response::Err {
+                message: "not authorized".into(),
+            },
+            Response::HelloOk { user: 12 },
+            Response::WorkItems(vec![WorkItem {
+                instance: ActivityInstanceId(4),
+                activity: "Gather".into(),
+                role: "scoped(Ctx, R)".into(),
+            }]),
+            Response::Notifications(vec![sample_notification()]),
+            Response::DigestEntries(vec![DigestEntry {
+                schema_name: "AS".into(),
+                description: "d".into(),
+                process_instance: ProcessInstanceId(2),
+                count: 3,
+                latest: Timestamp::from_millis(5),
+                max_priority: Priority::Normal,
+            }]),
+            Response::Count(99),
+            Response::Stats(ProcessStats {
+                total: 7,
+                open: 3,
+                ready: 1,
+                running: 1,
+                suspended: 1,
+                completed: 3,
+                terminated: 1,
+            }),
+            Response::Text("tree".into()),
+        ];
+        for r in resps {
+            let bytes = r.encode();
+            assert_eq!(Response::decode(&bytes).unwrap(), r, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn push_roundtrips() {
+        let n = sample_notification();
+        assert_eq!(decode_push(&encode_push(&n)).unwrap(), n);
+    }
+
+    #[test]
+    fn truncation_and_unknown_tags_error() {
+        let bytes = Request::Take { max: 5 }.encode();
+        assert!(Request::decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(Request::decode(&[200]).is_err());
+        assert!(Response::decode(&[200]).is_err());
+        // Trailing garbage is rejected too.
+        let mut bytes = Request::Digest.encode();
+        bytes.push(0);
+        assert!(Request::decode(&bytes).is_err());
+    }
+}

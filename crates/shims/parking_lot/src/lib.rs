@@ -49,6 +49,89 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// Result of a timed wait on a [`Condvar`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True if the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable (facade over [`sync::Condvar`] taking guards by
+/// `&mut`, like parking_lot's).
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Blocks until notified, releasing the guard's mutex while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.with_taken_guard(guard, |g| {
+            self.0.wait(g).unwrap_or_else(|e| e.into_inner())
+        });
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        self.with_taken_guard(guard, |g| {
+            let (g, r) = self
+                .0
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            timed_out = r.timed_out();
+            g
+        });
+        WaitTimeoutResult(timed_out)
+    }
+
+    /// Bridges std's by-value guard API to parking_lot's by-`&mut` one: the
+    /// guard is moved out, passed through `f`, and moved back in. `f` is the
+    /// std wait call, which only unwinds on mutex misuse (waiting with
+    /// guards of two different mutexes) — aborting then is acceptable, and
+    /// required for soundness of the move-out.
+    fn with_taken_guard<'a, T>(
+        &self,
+        guard: &mut MutexGuard<'a, T>,
+        f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
+    ) {
+        struct AbortOnDrop;
+        impl Drop for AbortOnDrop {
+            fn drop(&mut self) {
+                std::process::abort();
+            }
+        }
+        unsafe {
+            let taken = std::ptr::read(guard);
+            let bomb = AbortOnDrop;
+            let back = f(taken);
+            std::mem::forget(bomb);
+            std::ptr::write(guard, back);
+        }
+    }
+}
+
 /// A reader-writer lock (non-poisoning facade over [`sync::RwLock`]).
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
@@ -104,6 +187,35 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn condvar_wait_for_and_notify() {
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            *lock.lock() = true;
+            cv.notify_all();
+        });
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock();
+        while !*ready {
+            cv.wait_for(&mut ready, Duration::from_millis(50));
+        }
+        assert!(*ready);
+        drop(ready);
+        t.join().unwrap();
+
+        // A pure timeout reports timed_out and still holds the lock.
+        let mut g = lock.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(10));
+        assert!(r.timed_out());
+        *g = false;
+        assert!(!*g);
     }
 
     #[test]

@@ -74,6 +74,7 @@
 //! | [`awareness`] (`cmi-awareness`) | awareness schemas, DSL, delivery, persistent queues, `CmiServer` |
 //! | [`baselines`] (`cmi-baselines`) | related-work comparators + relevance metrics |
 //! | [`service`] (`cmi-service`) | Service Model: providers, QoS, agreements, violation awareness |
+//! | [`net`] (`cmi-net`) | Fig. 5 client/server split: wire protocol, TCP/loopback transports, session server, typed remote clients |
 //! | [`workloads`] (`cmi-workloads`) | paper scenarios and synthetic workloads |
 
 #![warn(missing_docs)]
@@ -84,6 +85,7 @@ pub use cmi_baselines as baselines;
 pub use cmi_coord as coord;
 pub use cmi_core as core;
 pub use cmi_events as events;
+pub use cmi_net as net;
 pub use cmi_service as service;
 pub use cmi_workloads as workloads;
 
@@ -108,5 +110,9 @@ pub mod prelude {
     pub use cmi_coord::worklist::Worklist;
     pub use cmi_coord::monitor::{ProcessMonitor, ProcessStats};
     pub use cmi_events::operator::CmpOp;
+    pub use cmi_net::client::{
+        ClientConfig, Connection, MonitorClient, ViewerClient, WorklistClient,
+    };
+    pub use cmi_net::server::{NetConfig, NetServer, NetStats};
     pub use cmi_service::{QualityOfService, SelectionPolicy, ServiceEngine};
 }
