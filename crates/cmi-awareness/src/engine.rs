@@ -9,7 +9,6 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -22,6 +21,7 @@ use cmi_core::roles::RoleSpec;
 use cmi_events::event::{params, Event};
 use cmi_events::producers;
 use cmi_events::sharded::ShardedEngine;
+use cmi_obs::{Counter, ObsRegistry};
 
 use crate::queue::{DeliveryQueue, Notification};
 use crate::schema::AwarenessSchema;
@@ -38,22 +38,32 @@ pub struct DeliveryStats {
     pub unresolved_roles: u64,
 }
 
-/// Lock-free [`DeliveryStats`] accumulator: the delivery fan-out runs
-/// concurrently on every detector shard, so the counters must not
-/// serialize it the way the old global `Mutex<DeliveryStats>` did.
-#[derive(Debug, Default)]
-struct AtomicDeliveryStats {
-    detections: AtomicU64,
-    notifications: AtomicU64,
-    unresolved_roles: AtomicU64,
+/// Metric series names the delivery agent publishes; [`DeliveryStats`] is a
+/// view over these registry counters, so the same numbers show up in the
+/// Prometheus exposition and the wire telemetry.
+mod series {
+    pub const DETECTIONS: &str = "cmi_delivery_detections";
+    pub const NOTIFICATIONS: &str = "cmi_delivery_notifications";
+    pub const UNRESOLVED_ROLES: &str = "cmi_delivery_unresolved_roles";
 }
 
-impl AtomicDeliveryStats {
-    fn snapshot(&self) -> DeliveryStats {
-        DeliveryStats {
-            detections: self.detections.load(Ordering::Relaxed),
-            notifications: self.notifications.load(Ordering::Relaxed),
-            unresolved_roles: self.unresolved_roles.load(Ordering::Relaxed),
+/// The delivery agent's registry counter handles. The fan-out runs
+/// concurrently on every detector shard, so recording stays a lock-free
+/// relaxed add; reading goes through the registry snapshot (one coherent
+/// pass instead of loading each atomic separately).
+#[derive(Debug)]
+struct DeliveryCounters {
+    detections: Counter,
+    notifications: Counter,
+    unresolved_roles: Counter,
+}
+
+impl DeliveryCounters {
+    fn new(obs: &ObsRegistry) -> Self {
+        DeliveryCounters {
+            detections: obs.counter(series::DETECTIONS),
+            notifications: obs.counter(series::NOTIFICATIONS),
+            unresolved_roles: obs.counter(series::UNRESOLVED_ROLES),
         }
     }
 }
@@ -65,7 +75,8 @@ pub struct AwarenessEngine {
     queue: Arc<DeliveryQueue>,
     directory: Arc<Directory>,
     contexts: Arc<ContextManager>,
-    stats: AtomicDeliveryStats,
+    obs: Arc<ObsRegistry>,
+    counters: DeliveryCounters,
 }
 
 impl fmt::Debug for AwarenessEngine {
@@ -73,7 +84,7 @@ impl fmt::Debug for AwarenessEngine {
         f.debug_struct("AwarenessEngine")
             .field("schemas", &self.schemas.read().len())
             .field("shards", &self.detector.read().shard_count())
-            .field("stats", &self.stats.snapshot())
+            .field("stats", &self.stats())
             .finish()
     }
 }
@@ -100,14 +111,46 @@ impl AwarenessEngine {
         queue: Arc<DeliveryQueue>,
         shards: usize,
     ) -> Self {
+        Self::with_obs(
+            directory,
+            contexts,
+            queue,
+            shards,
+            Arc::new(ObsRegistry::new()),
+        )
+    }
+
+    /// Like [`AwarenessEngine::with_shards`], publishing into a caller-
+    /// provided observability registry instead of a private one: the
+    /// detector shards count ingests and operator firings into it, each
+    /// detection records its causal trace (bound to the notification
+    /// sequence numbers it produces), and the delivery queue publishes its
+    /// depth. Pass [`ObsRegistry::noop`] to switch telemetry off wholesale.
+    pub fn with_obs(
+        directory: Arc<Directory>,
+        contexts: Arc<ContextManager>,
+        queue: Arc<DeliveryQueue>,
+        shards: usize,
+        obs: Arc<ObsRegistry>,
+    ) -> Self {
+        let mut detector = ShardedEngine::new(shards);
+        detector.set_obs(Arc::clone(&obs));
+        queue.attach_obs(&obs);
+        let counters = DeliveryCounters::new(&obs);
         AwarenessEngine {
-            detector: RwLock::new(ShardedEngine::new(shards)),
+            detector: RwLock::new(detector),
             schemas: RwLock::new(BTreeMap::new()),
             queue,
             directory,
             contexts,
-            stats: AtomicDeliveryStats::default(),
+            obs,
+            counters,
         }
+    }
+
+    /// The observability registry this engine publishes into.
+    pub fn obs(&self) -> &Arc<ObsRegistry> {
+        &self.obs
     }
 
     /// Number of detector replicas.
@@ -132,9 +175,16 @@ impl AwarenessEngine {
         &self.queue
     }
 
-    /// Delivery counters.
+    /// Delivery counters — a view over the observability registry, read in
+    /// one coherent snapshot pass. All zeros when the engine was given a
+    /// no-op registry.
     pub fn stats(&self) -> DeliveryStats {
-        self.stats.snapshot()
+        let snap = self.obs.snapshot();
+        DeliveryStats {
+            detections: snap.counter(series::DETECTIONS).unwrap_or(0),
+            notifications: snap.counter(series::NOTIFICATIONS).unwrap_or(0),
+            unresolved_roles: snap.counter(series::UNRESOLVED_ROLES).unwrap_or(0),
+        }
     }
 
     /// Detector topology (node/sharing counts), for experiments.
@@ -186,7 +236,7 @@ impl AwarenessEngine {
         }
         let schemas = self.schemas.read();
         for d in detections {
-            self.stats.detections.fetch_add(1, Ordering::Relaxed);
+            self.counters.detections.inc();
             let Some(schema) = schemas.get(&AwarenessSchemaId(d.spec.raw())) else {
                 continue;
             };
@@ -196,14 +246,24 @@ impl AwarenessEngine {
                 .unwrap_or(ProcessInstanceId(0));
             let Some(candidates) = self.resolve_delivery_role(&schema.delivery_role, instance)
             else {
-                self.stats.unresolved_roles.fetch_add(1, Ordering::Relaxed);
+                self.counters.unresolved_roles.inc();
                 continue;
             };
             let recipients = schema.assignment.apply(&candidates, &self.directory);
             for user in recipients {
-                let n = self.make_notification(schema, user, &d.event, instance);
-                if self.queue.enqueue(n.clone()).is_ok() {
-                    self.stats.notifications.fetch_add(1, Ordering::Relaxed);
+                let mut n = self.make_notification(schema, user, &d.event, instance);
+                if let Ok(seq) = self.queue.enqueue(n.clone()) {
+                    n.seq = seq;
+                    self.counters.notifications.inc();
+                    // Link the queued notification back to the detection's
+                    // causal trace: retrieval by seq is what the wire
+                    // telemetry exposes, and the "queue" stage stamps how
+                    // long detection → enqueue took.
+                    if let Some(tid) = d.trace {
+                        let tracer = self.obs.tracer();
+                        tracer.bind_seq(seq, tid);
+                        tracer.stage(tid, "queue");
+                    }
                     let _ = self.directory.adjust_load(user, 1);
                     delivered.push(n);
                 }

@@ -19,6 +19,7 @@ use parking_lot::Mutex;
 
 use cmi_core::ids::{AwarenessSchemaId, ProcessInstanceId, ProcessSchemaId, UserId};
 use cmi_core::time::Timestamp;
+use cmi_obs::{Counter, Gauge, ObsRegistry};
 
 /// Notification priority (§6.5 lists priority as under consideration; this
 /// implementation provides three levels). Order: `Low < Normal < High`.
@@ -405,12 +406,21 @@ struct QueueState {
     acked_exact: BTreeMap<UserId, std::collections::BTreeSet<u64>>,
 }
 
+/// The queue's registry handles (see [`DeliveryQueue::attach_obs`]).
+#[derive(Debug)]
+struct QueueObs {
+    enqueued: Counter,
+    acked: Counter,
+    pending: Gauge,
+}
+
 /// The delivery queue. With a path it is durable (WAL + recovery); without,
 /// it is an in-memory queue with identical semantics.
 pub struct DeliveryQueue {
     state: Mutex<QueueState>,
     wal: Mutex<Option<File>>,
     path: Option<PathBuf>,
+    obs: Mutex<Option<QueueObs>>,
 }
 
 impl std::fmt::Debug for DeliveryQueue {
@@ -432,7 +442,22 @@ impl DeliveryQueue {
             }),
             wal: Mutex::new(None),
             path: None,
+            obs: Mutex::new(None),
         }
+    }
+
+    /// Attaches an observability registry: enqueues and acks are counted
+    /// (`cmi_queue_enqueued` / `cmi_queue_acked`) and the live depth is
+    /// published as the `cmi_queue_pending` gauge, seeded with whatever is
+    /// already pending (e.g. after WAL recovery).
+    pub fn attach_obs(&self, obs: &ObsRegistry) {
+        let q = QueueObs {
+            enqueued: obs.counter("cmi_queue_enqueued"),
+            acked: obs.counter("cmi_queue_acked"),
+            pending: obs.gauge("cmi_queue_pending"),
+        };
+        q.pending.set(self.pending_total() as i64);
+        *self.obs.lock() = Some(q);
     }
 
     /// Opens (or creates) a durable queue at `path`, replaying any existing
@@ -490,6 +515,7 @@ impl DeliveryQueue {
             state: Mutex::new(state),
             wal: Mutex::new(Some(file)),
             path: Some(path.to_owned()),
+            obs: Mutex::new(None),
         })
     }
 
@@ -503,6 +529,10 @@ impl DeliveryQueue {
         self.append(&WalRecord::Event(n.clone()))?;
         let seq = n.seq;
         state.pending.entry(n.user).or_default().push_back(n);
+        if let Some(o) = self.obs.lock().as_ref() {
+            o.enqueued.inc();
+            o.pending.add(1);
+        }
         Ok(seq)
     }
 
@@ -527,7 +557,12 @@ impl DeliveryQueue {
         let q = state.pending.entry(user).or_default();
         let before = q.len();
         q.retain(|n| n.seq > up_to);
-        Ok(before - q.len())
+        let removed = before - q.len();
+        if let Some(o) = self.obs.lock().as_ref() {
+            o.acked.add(removed as u64);
+            o.pending.add(-(removed as i64));
+        }
+        Ok(removed)
     }
 
     /// Acknowledges exactly the given sequence numbers for `user` (used by
@@ -543,7 +578,12 @@ impl DeliveryQueue {
         let q = state.pending.entry(user).or_default();
         let before = q.len();
         q.retain(|n| !set.contains(&n.seq));
-        Ok(before - q.len())
+        let removed = before - q.len();
+        if let Some(o) = self.obs.lock().as_ref() {
+            o.acked.add(removed as u64);
+            o.pending.add(-(removed as i64));
+        }
+        Ok(removed)
     }
 
     /// Returns (without removing) up to `max` pending notifications for the

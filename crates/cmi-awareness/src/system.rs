@@ -19,6 +19,7 @@ use cmi_core::value::Value;
 use cmi_coord::engine::{EnactmentEngine, EngineConfig};
 use cmi_coord::worklist::Worklist;
 use cmi_events::producers::external_event;
+use cmi_obs::ObsRegistry;
 
 use crate::dsl;
 use crate::engine::{attach_event_sources, AwarenessEngine};
@@ -65,6 +66,7 @@ impl CmiServer {
     }
 
     fn with_queue_and_shards(queue: Arc<DeliveryQueue>, shards: usize) -> Self {
+        let obs = Arc::new(ObsRegistry::new());
         let clock = SimClock::new();
         let clock_arc: Arc<dyn cmi_core::time::Clock> = Arc::new(clock.clone());
         let repository = Arc::new(SchemaRepository::new());
@@ -78,11 +80,12 @@ impl CmiServer {
             clock_arc,
             EngineConfig::default(),
         ));
-        let awareness = Arc::new(AwarenessEngine::with_shards(
+        let awareness = Arc::new(AwarenessEngine::with_obs(
             directory.clone(),
             contexts.clone(),
             queue,
             shards,
+            obs,
         ));
         attach_event_sources(&awareness, &store, &contexts);
         // Dependency status changes (§5's third awareness event class) are
@@ -169,6 +172,12 @@ impl CmiServer {
     /// The awareness engine.
     pub fn awareness(&self) -> &Arc<AwarenessEngine> {
         &self.awareness
+    }
+    /// The server-wide observability registry every subsystem publishes
+    /// into: metrics (ingest, operator firings, delivery, queue depth),
+    /// causal detection traces, and the flight recorder.
+    pub fn obs(&self) -> &Arc<ObsRegistry> {
+        self.awareness.obs()
     }
 
     /// A worklist client.

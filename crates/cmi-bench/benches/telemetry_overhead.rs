@@ -1,0 +1,199 @@
+//! EXP-OBS (bench form) — the cost of observability on the detection hot
+//! path.
+//!
+//! One workload (20 k context events over 64 process instances through a
+//! 4-shard `ShardedEngine`), four instrumentation arms:
+//!
+//! * `bare`      — no `ObsRegistry` attached at all (the pre-PR hot path),
+//! * `noop`      — `ObsRegistry::noop()` attached: every handle present but
+//!   disabled (one branch per call site),
+//! * `metrics`   — `ObsRegistry::metrics_only()`: counters, sharded
+//!   counters and the ingest latency histogram recording,
+//! * `tracing`   — `ObsRegistry::new()`: metrics *plus* per-detection
+//!   causal traces (primitive event rendering, per-node step capture).
+//!
+//! The acceptance budget is `metrics` ≤ 1.05 × `noop` (see BENCH_OBS.json);
+//! `tracing` is expected to cost more and is reported for scale.
+//!
+//! A second group measures the registry primitives in isolation.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use cmi_core::context::ContextFieldChange;
+use cmi_core::ids::{ContextId, ProcessInstanceId, ProcessSchemaId, SpecId};
+use cmi_core::time::Timestamp;
+use cmi_core::value::Value;
+use cmi_events::event::Event;
+use cmi_events::operator::CmpOp;
+use cmi_events::operators::{Compare2Op, ContextFilter, OutputOp};
+use cmi_events::producers::{context_event, Producer};
+use cmi_events::sharded::ShardedEngine;
+use cmi_events::spec::{CompositeEventSpec, SpecBuilder};
+use cmi_obs::metrics::LATENCY_BUCKETS_NS;
+use cmi_obs::ObsRegistry;
+
+const P: ProcessSchemaId = ProcessSchemaId(1);
+const N: usize = 20_000;
+const INSTANCES: usize = 64;
+const SHARDS: usize = 4;
+
+fn spec(id: u64) -> CompositeEventSpec {
+    let mut b = SpecBuilder::new();
+    let ctx = b.producer(Producer::Context);
+    let op1 = b
+        .operator(Arc::new(ContextFilter::new(P, "C", "a")), &[ctx])
+        .unwrap();
+    let op2 = b
+        .operator(Arc::new(ContextFilter::new(P, "C", "b")), &[ctx])
+        .unwrap();
+    let cmp = b
+        .operator(Arc::new(Compare2Op::new(P, CmpOp::Le)), &[op1, op2])
+        .unwrap();
+    let out = b
+        .operator(Arc::new(OutputOp::new(P, "bench")), &[cmp])
+        .unwrap();
+    b.build(SpecId(id), "bench", out).unwrap()
+}
+
+fn events() -> Vec<Event> {
+    (0..N)
+        .map(|i| {
+            let inst = (i % INSTANCES) as u64 + 1;
+            let field = if (i / INSTANCES).is_multiple_of(2) { "a" } else { "b" };
+            context_event(&ContextFieldChange {
+                time: Timestamp::from_millis(i as u64),
+                context_id: ContextId(inst),
+                context_name: "C".into(),
+                processes: vec![(P, ProcessInstanceId(inst))],
+                field_name: field.into(),
+                old_value: None,
+                new_value: Value::Int((i % 100) as i64),
+            })
+        })
+        .collect()
+}
+
+fn ingest_arms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry/ingest");
+    g.throughput(Throughput::Elements(N as u64));
+    let evs = events();
+    type MakeObs = fn() -> ObsRegistry;
+    let arms: [(&str, Option<MakeObs>); 4] = [
+        ("bare", None),
+        ("noop", Some(ObsRegistry::noop)),
+        ("metrics", Some(ObsRegistry::metrics_only)),
+        ("tracing", Some(ObsRegistry::new)),
+    ];
+    for (name, make_obs) in arms {
+        // Engine setup (spec merge, metric registration) happens once, off
+        // the clock: each iteration measures the steady-state ingest path
+        // only, which is what the overhead budget is about.
+        let mut engine = ShardedEngine::new(SHARDS);
+        engine.add_spec(&spec(1));
+        if let Some(make) = make_obs {
+            engine.set_obs(Arc::new(make()));
+        }
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut d = 0usize;
+                for e in &evs {
+                    d += engine.ingest(black_box(e)).len();
+                }
+                d
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The acceptance measurement: `noop` and `metrics` ingest interleaved
+/// batch-by-batch inside one time window, so machine drift (the dominant
+/// error when the arms run sequentially) cancels out of the ratio. Reports
+/// the paired per-arm cost and the relative overhead.
+fn paired_overhead(_c: &mut Criterion) {
+    const ROUNDS: usize = 24;
+    let evs = events();
+    let mut noop_engine = ShardedEngine::new(SHARDS);
+    noop_engine.add_spec(&spec(1));
+    noop_engine.set_obs(Arc::new(ObsRegistry::noop()));
+    let mut metrics_engine = ShardedEngine::new(SHARDS);
+    metrics_engine.add_spec(&spec(1));
+    metrics_engine.set_obs(Arc::new(ObsRegistry::metrics_only()));
+
+    let run = |engine: &ShardedEngine| {
+        let start = std::time::Instant::now();
+        let mut d = 0usize;
+        for e in &evs {
+            d += engine.ingest(black_box(e)).len();
+        }
+        black_box(d);
+        start.elapsed().as_nanos() as u64
+    };
+    // Warm-up both arms.
+    run(&noop_engine);
+    run(&metrics_engine);
+    let (mut noop_ns, mut metrics_ns) = (0u64, 0u64);
+    for _ in 0..ROUNDS {
+        noop_ns += run(&noop_engine);
+        metrics_ns += run(&metrics_engine);
+    }
+    let noop_per = noop_ns as f64 / ROUNDS as f64;
+    let metrics_per = metrics_ns as f64 / ROUNDS as f64;
+    let overhead_pct = (metrics_per / noop_per - 1.0) * 100.0;
+    println!(
+        "bench telemetry/paired/noop    {noop_per:>14.1} ns/iter ({ROUNDS} iters, interleaved)"
+    );
+    println!(
+        "bench telemetry/paired/metrics {metrics_per:>14.1} ns/iter ({ROUNDS} iters, interleaved)"
+    );
+    println!("bench telemetry/paired/overhead        {overhead_pct:>+6.2} % (budget < 5 %)");
+    if let Ok(path) = std::env::var("CRITERION_JSON_OUT") {
+        use std::io::Write as _;
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(
+                f,
+                "{{\"id\":\"telemetry/paired/noop\",\"ns_per_iter\":{noop_per:.1},\"iters\":{ROUNDS}}}"
+            );
+            let _ = writeln!(
+                f,
+                "{{\"id\":\"telemetry/paired/metrics\",\"ns_per_iter\":{metrics_per:.1},\"iters\":{ROUNDS}}}"
+            );
+            let _ = writeln!(
+                f,
+                "{{\"id\":\"telemetry/paired/overhead_pct\",\"ns_per_iter\":{overhead_pct:.2},\"iters\":{ROUNDS}}}"
+            );
+        }
+    }
+}
+
+fn primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry/primitives");
+    let obs = ObsRegistry::new();
+    let counter = obs.counter("bench_counter");
+    let sharded = obs.sharded_counter("bench_sharded", SHARDS);
+    let hist = obs.histogram("bench_hist", LATENCY_BUCKETS_NS);
+    let noop = ObsRegistry::noop();
+    let noop_counter = noop.counter("bench_counter");
+    g.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    g.bench_function("counter_inc_noop", |b| b.iter(|| noop_counter.inc()));
+    g.bench_function("sharded_add", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            sharded.add(black_box(i % SHARDS), 1);
+            i += 1;
+        })
+    });
+    g.bench_function("histogram_observe", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            hist.observe(black_box(v));
+            v = (v + 7919) % 2_000_000;
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, ingest_arms, paired_overhead, primitives);
+criterion_main!(benches);

@@ -77,13 +77,41 @@ fn main() {
         async_engine.queue().pending_for(out.requestor),
         out.requestor_notifications.len()
     );
-    match remote {
+    match &remote {
         Some(n) => println!(
             "remote viewer (cmi-net): received and acknowledged the same violation \
              over the wire — \"{}\" (priority {:?}).",
             n.description, n.priority
         ),
         None => println!("remote viewer (cmi-net): no notification arrived (unexpected)."),
+    }
+
+    // Live telemetry, fetched over the same wire: the stack-wide metric
+    // series and — for the notification just consumed — the causal
+    // detection trace with per-stage latencies.
+    if let Ok(t) = conn.telemetry(remote.as_ref().map(|n| n.seq), true) {
+        println!("\ntelemetry (over the wire):");
+        for line in t
+            .exposition
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .take(14)
+        {
+            println!("  {line}");
+        }
+        if let Some(trace) = &t.trace {
+            println!("detection lineage for the delivered violation:");
+            for line in trace.lines() {
+                println!("  {line}");
+            }
+        }
+        if let Some(flight) = &t.flight {
+            let n = flight.lines().count();
+            println!("flight recorder: {n} record(s); last events:");
+            for line in flight.lines().rev().take(4).collect::<Vec<_>>().iter().rev() {
+                println!("  {line}");
+            }
+        }
     }
     conn.close();
     net.shutdown();

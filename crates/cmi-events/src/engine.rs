@@ -16,10 +16,12 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use cmi_core::ids::SpecId;
+use cmi_obs::{Counter, DetectionTracer, ObsRegistry, TraceStep};
 
 use crate::event::{Event, EventType};
 use crate::operator::{EventOperator, OpState, PartitionMode};
@@ -33,6 +35,9 @@ pub struct Detection {
     pub spec: SpecId,
     /// The detected composite event.
     pub event: Event,
+    /// The causal trace id recorded for this detection, when the engine has
+    /// an enabled [`DetectionTracer`] attached (see [`Engine::set_obs`]).
+    pub trace: Option<u64>,
 }
 
 /// Counters describing engine activity, for experiments and benches.
@@ -80,6 +85,21 @@ enum NodeKind {
     Operator(Arc<dyn EventOperator>),
 }
 
+/// The engine's observability attachment: the shared tracer plus one
+/// pre-resolved `operator_invocations{operator_kind=…}` counter per node
+/// (indexed like `nodes`; `None` for producer leaves).
+struct EngineObs {
+    registry: Arc<ObsRegistry>,
+    tracer: Arc<DetectionTracer>,
+    op_counters: Vec<Option<Counter>>,
+}
+
+/// `Compare2[as1, <=]` → `Compare2`: the operator kind used as a metric
+/// label, stripped of bound parameters to keep the cardinality small.
+fn op_kind(name: &str) -> &str {
+    name.split('[').next().unwrap_or(name).trim()
+}
+
 /// The detector engine. `add_spec` merges specifications (with structural
 /// sharing unless disabled); `ingest` is thread-safe and synchronous.
 pub struct Engine {
@@ -92,6 +112,7 @@ pub struct Engine {
     sharing: bool,
     state: Mutex<HashMap<(usize, u64), OpState>>,
     stats: Mutex<EngineStats>,
+    obs: Option<EngineObs>,
 }
 
 impl fmt::Debug for Engine {
@@ -122,6 +143,35 @@ impl Engine {
             sharing: true,
             state: Mutex::new(HashMap::new()),
             stats: Mutex::new(EngineStats::default()),
+            obs: None,
+        }
+    }
+
+    /// Attaches an observability registry: operator applications are counted
+    /// per `operator_kind`, and (when the registry's tracer is enabled) each
+    /// detection records its causal lineage — primitive event, operator
+    /// firings with enqueue→fire latencies, and the ingest→detection
+    /// latency — retrievable through the registry's [`DetectionTracer`].
+    pub fn set_obs(&mut self, obs: Arc<ObsRegistry>) {
+        let op_counters = self
+            .nodes
+            .iter()
+            .map(|n| Self::node_counter(&obs, n))
+            .collect();
+        self.obs = Some(EngineObs {
+            tracer: Arc::clone(obs.tracer()),
+            op_counters,
+            registry: obs,
+        });
+    }
+
+    fn node_counter(obs: &ObsRegistry, node: &EngineNode) -> Option<Counter> {
+        match &node.kind {
+            NodeKind::Producer(_) => None,
+            NodeKind::Operator(op) => Some(obs.counter_with(
+                "cmi_engine_operator_invocations",
+                &[("operator_kind", op_kind(&op.op_name()))],
+            )),
         }
     }
 
@@ -174,6 +224,12 @@ impl Engine {
         }
         let root = mapping[spec.root().index()];
         self.nodes[root].root_of.push(spec.id());
+        if let Some(o) = &mut self.obs {
+            for node in &self.nodes[o.op_counters.len()..] {
+                let c = Self::node_counter(&o.registry, node);
+                o.op_counters.push(c);
+            }
+        }
         root
     }
 
@@ -221,22 +277,39 @@ impl Engine {
                 return detections;
             }
         };
+        // Tracing captures timestamps and renders events, so everything it
+        // needs is gated on an *enabled* tracer: with obs detached (or a
+        // no-op registry) the hot path pays one branch per use.
+        let tracer = self
+            .obs
+            .as_ref()
+            .map(|o| &o.tracer)
+            .filter(|t| t.is_enabled());
+        let ingest_start = tracer.map(|_| Instant::now());
+        let primitive = tracer.map(|_| event.to_string());
+        let mut steps: Vec<TraceStep> = Vec::new();
         let mut state = self.state.lock();
         let mut stats = self.stats.lock();
         stats.events_ingested += 1;
 
-        // (target node, slot, event) work queue; leaves forward unchanged.
-        let mut queue: VecDeque<(usize, usize, Event)> = VecDeque::new();
+        // (target node, slot, event, enqueue time) work queue; leaves
+        // forward unchanged.
+        let mut queue: VecDeque<(usize, usize, Event, Option<Instant>)> = VecDeque::new();
         for &(consumer, slot) in &self.nodes[leaf].consumers {
-            queue.push_back((consumer, slot, event.clone()));
+            queue.push_back((consumer, slot, event.clone(), ingest_start));
         }
         let mut out_buf: Vec<Event> = Vec::new();
-        while let Some((node_idx, slot, ev)) = queue.pop_front() {
+        while let Some((node_idx, slot, ev, enqueued)) = queue.pop_front() {
             let node = &self.nodes[node_idx];
             let NodeKind::Operator(op) = &node.kind else {
                 continue;
             };
             stats.operator_invocations += 1;
+            if let Some(o) = &self.obs {
+                if let Some(Some(c)) = o.op_counters.get(node_idx) {
+                    c.inc();
+                }
+            }
             out_buf.clear();
             match op.partition() {
                 PartitionMode::Stateless => {
@@ -260,6 +333,18 @@ impl Engine {
                     op.apply(slot, &ev, st, &mut out_buf);
                 }
             }
+            let fired = tracer.map(|_| {
+                steps.push(TraceStep {
+                    node: node_idx,
+                    op: op_kind(&op.op_name()).to_owned(),
+                    input: ev.to_string(),
+                    enqueue_to_fire_ns: enqueued
+                        .map(|e| e.elapsed().as_nanos() as u64)
+                        .unwrap_or(0),
+                    emitted: !out_buf.is_empty(),
+                });
+                Instant::now()
+            });
             for produced in out_buf.drain(..) {
                 if let Some(keep) = keep {
                     if !keep(produced.process_instance().map(|i| i.raw())) {
@@ -269,13 +354,25 @@ impl Engine {
                 stats.events_emitted += 1;
                 for &spec in &node.root_of {
                     stats.detections += 1;
+                    let trace = tracer.and_then(|t| {
+                        t.record_detection(
+                            spec.raw(),
+                            produced.process_instance().map(|i| i.raw()),
+                            primitive.as_deref().unwrap_or(""),
+                            steps.clone(),
+                            ingest_start
+                                .map(|s| s.elapsed().as_nanos() as u64)
+                                .unwrap_or(0),
+                        )
+                    });
                     detections.push(Detection {
                         spec,
                         event: produced.clone(),
+                        trace,
                     });
                 }
                 for &(consumer, cslot) in &node.consumers {
-                    queue.push_back((consumer, cslot, produced.clone()));
+                    queue.push_back((consumer, cslot, produced.clone(), fired));
                 }
             }
         }
@@ -346,6 +443,9 @@ impl Engine {
     /// Drops all per-instance operator state for the given raw process
     /// instance id — housekeeping once a process instance is closed.
     pub fn evict_instance(&self, raw_instance: u64) -> usize {
+        if let Some(o) = &self.obs {
+            o.tracer.evict_instance(raw_instance);
+        }
         let mut state = self.state.lock();
         let before = state.len();
         state.retain(|(_, key), _| *key != raw_instance);
@@ -514,6 +614,60 @@ mod tests {
         assert!(out.contains("Context Event"));
         assert!(out.contains("Compare2[as1, <=]"));
         assert!(out.contains("(root of sp1)"));
+    }
+
+    #[test]
+    fn tracing_records_operator_lineage_for_detections() {
+        let mut engine = Engine::new();
+        engine.add_spec(&deadline_spec(1));
+        let obs = Arc::new(cmi_obs::ObsRegistry::new());
+        engine.set_obs(Arc::clone(&obs));
+
+        engine.ingest(&ctx_event("TaskForceContext", "TaskForceDeadline", 9, 40));
+        let d = engine.ingest(&ctx_event("InfoRequestContext", "RequestDeadline", 9, 50));
+        assert_eq!(d.len(), 1);
+        let trace_id = d[0].trace.expect("detection carries a trace id");
+        let tr = obs.tracer().get(trace_id).unwrap();
+        assert_eq!(tr.spec, 1);
+        assert_eq!(tr.instance, Some(9));
+        assert!(tr.primitive.contains("T_context"));
+        // The second ingest walks both filters (one absorbs, one emits),
+        // then Compare2 and Output fire through to the root.
+        let kinds: Vec<&str> = tr.steps.iter().map(|s| s.op.as_str()).collect();
+        assert!(kinds.contains(&"Compare2"), "kinds: {kinds:?}");
+        assert!(kinds.contains(&"Output"), "kinds: {kinds:?}");
+        assert!(tr.steps.iter().any(|s| !s.emitted), "one filter absorbed");
+        // Per-operator_kind counters were published under sanitized labels.
+        let snap = obs.snapshot();
+        assert!(
+            snap.counter("cmi_engine_operator_invocations{operator_kind=\"Compare2\"}")
+                .unwrap_or(0)
+                >= 1
+        );
+    }
+
+    #[test]
+    fn noop_obs_yields_untraced_detections() {
+        let mut engine = Engine::new();
+        engine.add_spec(&deadline_spec(1));
+        engine.set_obs(Arc::new(cmi_obs::ObsRegistry::noop()));
+        engine.ingest(&ctx_event("TaskForceContext", "TaskForceDeadline", 9, 40));
+        let d = engine.ingest(&ctx_event("InfoRequestContext", "RequestDeadline", 9, 50));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].trace.is_none());
+    }
+
+    #[test]
+    fn evict_instance_drops_traces_with_state() {
+        let mut engine = Engine::new();
+        engine.add_spec(&deadline_spec(1));
+        let obs = Arc::new(cmi_obs::ObsRegistry::new());
+        engine.set_obs(Arc::clone(&obs));
+        engine.ingest(&ctx_event("TaskForceContext", "TaskForceDeadline", 9, 40));
+        let d = engine.ingest(&ctx_event("InfoRequestContext", "RequestDeadline", 9, 50));
+        let trace_id = d[0].trace.unwrap();
+        engine.evict_instance(9);
+        assert!(obs.tracer().get(trace_id).is_none());
     }
 
     #[test]

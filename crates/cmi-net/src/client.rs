@@ -63,6 +63,31 @@ impl Default for ClientConfig {
     }
 }
 
+/// Client-side robustness counters (see [`Connection::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Transparent reconnects performed by the reader thread.
+    pub reconnects: u64,
+    /// Idempotent requests re-sent after a link outage raced the response.
+    pub request_retries: u64,
+    /// Re-pushed notifications dropped by sequence-number dedup (the
+    /// at-least-once push stream collapsing to exactly-once).
+    pub push_dropped_duplicates: u64,
+    /// Acknowledgements awaiting flush on the next reconnect handshake.
+    pub pending_acks: u64,
+}
+
+/// Server telemetry fetched over the wire ([`Connection::telemetry`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerTelemetry {
+    /// Prometheus-style metrics exposition.
+    pub exposition: String,
+    /// Rendered detection trace for the requested sequence number.
+    pub trace: Option<String>,
+    /// Rendered flight-recorder dump.
+    pub flight: Option<String>,
+}
+
 /// How a connection dials (or re-dials) its server.
 pub type DialFn = dyn Fn() -> io::Result<Box<dyn NetStream>> + Send + Sync;
 
@@ -82,6 +107,10 @@ struct ClientInner {
     stop: AtomicBool,
     subscribed: AtomicBool,
     reconnects: AtomicU64,
+    /// Idempotent requests re-sent after a link outage raced the response.
+    request_retries: AtomicU64,
+    /// Re-pushed notifications dropped by sequence-number dedup.
+    push_dropped_duplicates: AtomicU64,
     link: Mutex<Link>,
     link_cv: Condvar,
     /// One-slot response mailbox (requests are serialized by `call_lock`).
@@ -117,7 +146,10 @@ impl ClientInner {
         if !seen.insert(n.seq) {
             // A re-push after reconnect: the application already has (or
             // will get) the first copy; the ack either is pending flush or
-            // will be sent when the app consumes that copy.
+            // will be sent when the app consumes that copy. Previously this
+            // branch was invisible; it is now counted so reconnect races
+            // show up in `ClientStats` instead of vanishing.
+            self.push_dropped_duplicates.fetch_add(1, Ordering::Relaxed);
             return;
         }
         drop(seen);
@@ -322,6 +354,8 @@ impl Connection {
             stop: AtomicBool::new(false),
             subscribed: AtomicBool::new(false),
             reconnects: AtomicU64::new(0),
+            request_retries: AtomicU64::new(0),
+            push_dropped_duplicates: AtomicU64::new(0),
             link: Mutex::new(Link::default()),
             link_cv: Condvar::new(),
             resp: Mutex::new(None),
@@ -402,6 +436,47 @@ impl Connection {
         self.inner.reconnects.load(Ordering::Relaxed)
     }
 
+    /// Client-side robustness statistics. Reconnect races used to be
+    /// invisible (a silently retried read, a silently dropped duplicate
+    /// push); they are counted here instead.
+    pub fn stats(&self) -> ClientStats {
+        ClientStats {
+            reconnects: self.inner.reconnects.load(Ordering::Relaxed),
+            request_retries: self.inner.request_retries.load(Ordering::Relaxed),
+            push_dropped_duplicates: self
+                .inner
+                .push_dropped_duplicates
+                .load(Ordering::Relaxed),
+            pending_acks: self.inner.pending_acks.lock().len() as u64,
+        }
+    }
+
+    /// Fetches server telemetry: the Prometheus exposition, optionally the
+    /// detection trace behind the pushed notification with queue sequence
+    /// `trace_seq`, optionally the flight-recorder dump.
+    pub fn telemetry(
+        &self,
+        trace_seq: Option<u64>,
+        include_flight: bool,
+    ) -> io::Result<ServerTelemetry> {
+        match self.call_retry(&Request::Telemetry {
+            trace_seq,
+            include_flight,
+        })? {
+            Response::Telemetry {
+                exposition,
+                trace,
+                flight,
+            } => Ok(ServerTelemetry {
+                exposition,
+                trace,
+                flight,
+            }),
+            Response::Err { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Severs the current link without stopping the connection: the reader
     /// thread notices and reconnects. Exists so tests (and demos) can force
     /// the mid-scenario disconnect path deterministically.
@@ -443,6 +518,40 @@ impl Connection {
                 return Err(io::Error::new(io::ErrorKind::TimedOut, "response timeout"));
             }
             self.inner.resp_cv.wait_for(&mut slot, deadline - now);
+        }
+    }
+
+    /// [`Connection::call`] with bounded retries for **idempotent**
+    /// requests (reads and replay-safe acks).
+    ///
+    /// `call` deliberately refuses to retry after a link outage because it
+    /// cannot know whether a non-idempotent request was applied. Reads have
+    /// no such hazard, yet they used to surface the same `BrokenPipe` —
+    /// callers like `MonitorClient::stats` failed spuriously during a
+    /// reconnect race and the retry the application then performed was
+    /// invisible. This wrapper owns that retry and counts it
+    /// (`ClientStats::request_retries`).
+    fn call_retry(&self, req: &Request) -> io::Result<Response> {
+        let mut last;
+        let mut attempt = 0;
+        loop {
+            match self.call(req) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    let transient = matches!(
+                        e.kind(),
+                        io::ErrorKind::BrokenPipe | io::ErrorKind::NotConnected
+                    );
+                    last = e;
+                    if !transient || attempt >= 2 {
+                        return Err(last);
+                    }
+                    attempt += 1;
+                    self.inner.request_retries.fetch_add(1, Ordering::Relaxed);
+                    // `call` itself blocks until the link is back (or the
+                    // reconnect budget is exhausted), so no sleep here.
+                }
+            }
         }
     }
 
@@ -520,7 +629,7 @@ pub struct WorklistClient<'a> {
 impl WorklistClient<'_> {
     /// Work items claimable by the signed-on user (`Worklist::for_user`).
     pub fn for_user(&self) -> io::Result<Vec<WorkItem>> {
-        match self.conn.call(&Request::WorklistForUser)? {
+        match self.conn.call_retry(&Request::WorklistForUser)? {
             Response::WorkItems(items) => Ok(items),
             Response::Err { message } => Err(io::Error::other(message)),
             other => Err(unexpected(other)),
@@ -529,7 +638,7 @@ impl WorklistClient<'_> {
 
     /// Every open work item (`Worklist::all_open`).
     pub fn all_open(&self) -> io::Result<Vec<WorkItem>> {
-        match self.conn.call(&Request::WorklistAllOpen)? {
+        match self.conn.call_retry(&Request::WorklistAllOpen)? {
             Response::WorkItems(items) => Ok(items),
             Response::Err { message } => Err(io::Error::other(message)),
             other => Err(unexpected(other)),
@@ -558,8 +667,12 @@ pub struct MonitorClient<'a> {
 
 impl MonitorClient<'_> {
     /// Aggregate instance-state statistics (`ProcessMonitor::stats`).
+    /// Idempotent: transparently retried across reconnect races.
     pub fn stats(&self, root: ProcessInstanceId) -> io::Result<ProcessStats> {
-        match self.conn.call(&Request::MonitorStats { root: root.raw() })? {
+        match self
+            .conn
+            .call_retry(&Request::MonitorStats { root: root.raw() })?
+        {
             Response::Stats(s) => Ok(s),
             Response::Err { message } => Err(io::Error::other(message)),
             other => Err(unexpected(other)),
@@ -567,8 +680,12 @@ impl MonitorClient<'_> {
     }
 
     /// Rendered instance tree (`ProcessMonitor::render`).
+    /// Idempotent: transparently retried across reconnect races.
     pub fn render(&self, root: ProcessInstanceId) -> io::Result<String> {
-        match self.conn.call(&Request::MonitorRender { root: root.raw() })? {
+        match self
+            .conn
+            .call_retry(&Request::MonitorRender { root: root.raw() })?
+        {
             Response::Text(t) => Ok(t),
             Response::Err { message } => Err(io::Error::other(message)),
             other => Err(unexpected(other)),
@@ -592,8 +709,13 @@ impl ViewerClient<'_> {
 
     /// Reads up to `max` notifications without consuming
     /// (`AwarenessViewer::peek`).
+    /// Idempotent: transparently retried across reconnect races.
     pub fn peek(&self, max: usize) -> io::Result<Vec<Notification>> {
-        self.notifications(&Request::Peek { max: max as u64 })
+        match self.conn.call_retry(&Request::Peek { max: max as u64 })? {
+            Response::Notifications(ns) => Ok(ns),
+            Response::Err { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(other)),
+        }
     }
 
     /// Consumes up to `max` notifications oldest-first
@@ -609,8 +731,9 @@ impl ViewerClient<'_> {
     }
 
     /// Per-(schema, instance) digest (`AwarenessViewer::digest`).
+    /// Idempotent: transparently retried across reconnect races.
     pub fn digest(&self) -> io::Result<Vec<DigestEntry>> {
-        match self.conn.call(&Request::Digest)? {
+        match self.conn.call_retry(&Request::Digest)? {
             Response::DigestEntries(gs) => Ok(gs),
             Response::Err { message } => Err(io::Error::other(message)),
             other => Err(unexpected(other)),
@@ -618,8 +741,9 @@ impl ViewerClient<'_> {
     }
 
     /// Number of unread notifications (`AwarenessViewer::unread`).
+    /// Idempotent: transparently retried across reconnect races.
     pub fn unread(&self) -> io::Result<u64> {
-        match self.conn.call(&Request::Unread)? {
+        match self.conn.call_retry(&Request::Unread)? {
             Response::Count(n) => Ok(n),
             Response::Err { message } => Err(io::Error::other(message)),
             other => Err(unexpected(other)),

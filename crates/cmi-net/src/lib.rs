@@ -33,6 +33,9 @@ pub mod transport;
 pub mod server;
 pub mod client;
 
-pub use client::{ClientConfig, Connection, MonitorClient, ViewerClient, WorklistClient};
+pub use client::{
+    ClientConfig, ClientStats, Connection, MonitorClient, ServerTelemetry, ViewerClient,
+    WorklistClient,
+};
 pub use server::{NetConfig, NetServer, NetStats};
 pub use transport::{LoopbackConnector, TcpAcceptor};

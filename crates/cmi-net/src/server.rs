@@ -38,6 +38,7 @@ use cmi_awareness::viewer::AwarenessViewer;
 use cmi_core::ids::UserId;
 use cmi_coord::monitor::ProcessMonitor;
 use cmi_coord::worklist::Worklist;
+use cmi_obs::{Counter, FlightKind, ObsRegistry};
 
 use crate::codec::{encode_frame, Frame, FrameKind, FrameReader};
 use crate::transport::{
@@ -72,20 +73,55 @@ impl Default for NetConfig {
     }
 }
 
-/// Monotonic counters describing server activity.
-#[derive(Debug, Default)]
+/// The server's metric series names; [`NetStats`] is a view over these
+/// registry counters, so the numbers in the Prometheus exposition, the
+/// wire telemetry, and `NetServer::stats()` are one set of cells.
+mod series {
+    pub const SESSIONS_OPENED: &str = "cmi_net_sessions_opened";
+    pub const SESSIONS_CLOSED: &str = "cmi_net_sessions_closed";
+    pub const FRAMES_IN: &str = "cmi_net_frames_in";
+    pub const FRAMES_OUT: &str = "cmi_net_frames_out";
+    pub const REQUESTS: &str = "cmi_net_requests";
+    pub const PUSHES: &str = "cmi_net_pushes";
+    pub const ACKED: &str = "cmi_net_acked";
+    pub const PROTOCOL_ERRORS: &str = "cmi_net_protocol_errors";
+    pub const IDLE_TIMEOUTS: &str = "cmi_net_idle_timeouts";
+    pub const SLOW_CONSUMER_PARKS: &str = "cmi_net_slow_consumer_parks";
+    pub const REFUSED_SESSIONS: &str = "cmi_net_refused_sessions";
+}
+
+/// Registry counter handles for server activity (see [`series`]).
+#[derive(Debug)]
 struct StatCounters {
-    sessions_opened: AtomicU64,
-    sessions_closed: AtomicU64,
-    frames_in: AtomicU64,
-    frames_out: AtomicU64,
-    requests: AtomicU64,
-    pushes: AtomicU64,
-    acked: AtomicU64,
-    protocol_errors: AtomicU64,
-    idle_timeouts: AtomicU64,
-    slow_consumer_parks: AtomicU64,
-    refused_sessions: AtomicU64,
+    sessions_opened: Counter,
+    sessions_closed: Counter,
+    frames_in: Counter,
+    frames_out: Counter,
+    requests: Counter,
+    pushes: Counter,
+    acked: Counter,
+    protocol_errors: Counter,
+    idle_timeouts: Counter,
+    slow_consumer_parks: Counter,
+    refused_sessions: Counter,
+}
+
+impl StatCounters {
+    fn new(obs: &ObsRegistry) -> StatCounters {
+        StatCounters {
+            sessions_opened: obs.counter(series::SESSIONS_OPENED),
+            sessions_closed: obs.counter(series::SESSIONS_CLOSED),
+            frames_in: obs.counter(series::FRAMES_IN),
+            frames_out: obs.counter(series::FRAMES_OUT),
+            requests: obs.counter(series::REQUESTS),
+            pushes: obs.counter(series::PUSHES),
+            acked: obs.counter(series::ACKED),
+            protocol_errors: obs.counter(series::PROTOCOL_ERRORS),
+            idle_timeouts: obs.counter(series::IDLE_TIMEOUTS),
+            slow_consumer_parks: obs.counter(series::SLOW_CONSUMER_PARKS),
+            refused_sessions: obs.counter(series::REFUSED_SESSIONS),
+        }
+    }
 }
 
 /// A snapshot of [`NetServer`] statistics.
@@ -120,6 +156,9 @@ pub struct NetStats {
 struct Inner {
     cmi: Arc<CmiServer>,
     cfg: NetConfig,
+    /// The `CmiServer`'s registry; all net counters live here so one
+    /// snapshot covers engine, delivery, queue and transport.
+    obs: Arc<ObsRegistry>,
     stop: AtomicBool,
     stats: StatCounters,
     /// Sessions signed on per user; `set_signed_on` toggles on 0↔1 edges.
@@ -160,11 +199,14 @@ pub struct NetServer {
 impl NetServer {
     /// Serves `cmi` behind an arbitrary listener.
     pub fn serve(cmi: Arc<CmiServer>, listener: Box<dyn Listener>, cfg: NetConfig) -> NetServer {
+        let obs = Arc::clone(cmi.obs());
+        let stats = StatCounters::new(&obs);
         let inner = Arc::new(Inner {
             cmi,
             cfg,
+            obs,
             stop: AtomicBool::new(false),
-            stats: StatCounters::default(),
+            stats,
             signons: Mutex::new(BTreeMap::new()),
             live_sessions: AtomicU64::new(0),
             session_threads: Mutex::new(Vec::new()),
@@ -200,22 +242,30 @@ impl NetServer {
         (NetServer::serve(cmi, Box::new(listener), cfg), connector)
     }
 
-    /// Current statistics snapshot.
+    /// Current statistics snapshot — a view over the shared
+    /// [`ObsRegistry`], read through one registry snapshot so the fields
+    /// are mutually consistent (no torn reads across counters).
     pub fn stats(&self) -> NetStats {
-        let s = &self.inner.stats;
+        let snap = self.inner.obs.snapshot();
+        let c = |name: &str| snap.counter(name).unwrap_or(0);
         NetStats {
-            sessions_opened: s.sessions_opened.load(Ordering::Relaxed),
-            sessions_closed: s.sessions_closed.load(Ordering::Relaxed),
-            frames_in: s.frames_in.load(Ordering::Relaxed),
-            frames_out: s.frames_out.load(Ordering::Relaxed),
-            requests: s.requests.load(Ordering::Relaxed),
-            pushes: s.pushes.load(Ordering::Relaxed),
-            acked: s.acked.load(Ordering::Relaxed),
-            protocol_errors: s.protocol_errors.load(Ordering::Relaxed),
-            idle_timeouts: s.idle_timeouts.load(Ordering::Relaxed),
-            slow_consumer_parks: s.slow_consumer_parks.load(Ordering::Relaxed),
-            refused_sessions: s.refused_sessions.load(Ordering::Relaxed),
+            sessions_opened: c(series::SESSIONS_OPENED),
+            sessions_closed: c(series::SESSIONS_CLOSED),
+            frames_in: c(series::FRAMES_IN),
+            frames_out: c(series::FRAMES_OUT),
+            requests: c(series::REQUESTS),
+            pushes: c(series::PUSHES),
+            acked: c(series::ACKED),
+            protocol_errors: c(series::PROTOCOL_ERRORS),
+            idle_timeouts: c(series::IDLE_TIMEOUTS),
+            slow_consumer_parks: c(series::SLOW_CONSUMER_PARKS),
+            refused_sessions: c(series::REFUSED_SESSIONS),
         }
+    }
+
+    /// The observability registry shared with the fronted [`CmiServer`].
+    pub fn obs(&self) -> &Arc<ObsRegistry> {
+        &self.inner.obs
     }
 
     /// Number of currently live sessions.
@@ -292,14 +342,19 @@ fn accept_loop(inner: Arc<Inner>, listener: Box<dyn Listener>) {
                 if inner.live_sessions.load(Ordering::Relaxed) as usize
                     >= inner.cfg.max_sessions
                 {
-                    inner
-                        .stats
-                        .refused_sessions
-                        .fetch_add(1, Ordering::Relaxed);
+                    inner.stats.refused_sessions.inc();
+                    inner.obs.flight().record(
+                        FlightKind::SessionClose,
+                        "refused: max_sessions reached",
+                    );
                     stream.shutdown_stream();
                     continue;
                 }
-                inner.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                inner.stats.sessions_opened.inc();
+                inner.obs.flight().record(
+                    FlightKind::SessionOpen,
+                    format!("accepted over {}", inner.transport_label),
+                );
                 inner.live_sessions.fetch_add(1, Ordering::Relaxed);
                 let session_inner = inner.clone();
                 let handle = std::thread::Builder::new()
@@ -307,10 +362,7 @@ fn accept_loop(inner: Arc<Inner>, listener: Box<dyn Listener>) {
                     .spawn(move || {
                         Session::new(session_inner.clone()).run(stream);
                         session_inner.live_sessions.fetch_sub(1, Ordering::Relaxed);
-                        session_inner
-                            .stats
-                            .sessions_closed
-                            .fetch_add(1, Ordering::Relaxed);
+                        session_inner.stats.sessions_closed.inc();
                     })
                     .expect("spawn session thread");
                 inner.session_threads.lock().push(handle);
@@ -338,6 +390,9 @@ struct Session {
     subscribed: bool,
     /// Pushed-but-unacknowledged sequence numbers (the bounded send buffer).
     in_flight: BTreeSet<u64>,
+    /// Whether the last push pass left notifications parked (the flight
+    /// recorder logs only the park/unpark *transitions*, not every tick).
+    parked: bool,
 }
 
 impl Session {
@@ -348,6 +403,7 @@ impl Session {
             viewer: None,
             subscribed: false,
             in_flight: BTreeSet::new(),
+            parked: false,
         }
     }
 
@@ -356,18 +412,26 @@ impl Session {
         if let Some(user) = self.user.take() {
             self.inner.sign_off(user);
         }
-        match exit {
+        let reason = match exit {
             Exit::IdleTimeout => {
-                self.inner.stats.idle_timeouts.fetch_add(1, Ordering::Relaxed);
+                self.inner.stats.idle_timeouts.inc();
+                "idle timeout"
             }
             Exit::Protocol => {
+                self.inner.stats.protocol_errors.inc();
                 self.inner
-                    .stats
-                    .protocol_errors
-                    .fetch_add(1, Ordering::Relaxed);
+                    .obs
+                    .flight()
+                    .record(FlightKind::ProtocolError, "session aborted: bad frame");
+                "protocol error"
             }
-            Exit::PeerClosed | Exit::Drain => {}
-        }
+            Exit::PeerClosed => "peer closed",
+            Exit::Drain => "server drain",
+        };
+        self.inner
+            .obs
+            .flight()
+            .record(FlightKind::SessionClose, reason);
     }
 
     fn serve(&mut self, stream: Box<dyn NetStream>) -> Exit {
@@ -393,7 +457,7 @@ impl Session {
             }
             match frames.poll(&mut *reader) {
                 Ok(Some(frame)) => {
-                    self.inner.stats.frames_in.fetch_add(1, Ordering::Relaxed);
+                    self.inner.stats.frames_in.inc();
                     last_activity = Instant::now();
                     match self.handle_frame(frame, &mut writer) {
                         Ok(true) => {}
@@ -429,7 +493,7 @@ impl Session {
     ) -> io::Result<()> {
         writer.write_all(&encode_frame(kind, payload))?;
         writer.flush()?;
-        self.inner.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.frames_out.inc();
         Ok(())
     }
 
@@ -462,13 +526,26 @@ impl Session {
             }
             self.send(writer, FrameKind::Push, &encode_push(&n))?;
             self.in_flight.insert(n.seq);
-            self.inner.stats.pushes.fetch_add(1, Ordering::Relaxed);
+            self.inner.stats.pushes.inc();
+            // Extend the notification's detection trace (if any) with the
+            // moment it crossed the wire.
+            self.inner.obs.tracer().stage_for_seq(n.seq, "push");
         }
         if parked {
+            self.inner.stats.slow_consumer_parks.inc();
+            if !self.parked {
+                self.parked = true;
+                self.inner.obs.flight().record(
+                    FlightKind::QueuePark,
+                    format!("push window full ({} in flight)", self.in_flight.len()),
+                );
+            }
+        } else if self.parked {
+            self.parked = false;
             self.inner
-                .stats
-                .slow_consumer_parks
-                .fetch_add(1, Ordering::Relaxed);
+                .obs
+                .flight()
+                .record(FlightKind::QueueUnpark, "push window drained");
         }
         Ok(())
     }
@@ -487,14 +564,15 @@ impl Session {
             }
             FrameKind::Goodbye => Ok(false),
             FrameKind::Request => {
-                self.inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+                self.inner.stats.requests.inc();
                 let response = match Request::decode(&frame.payload) {
                     Ok(req) => self.dispatch(req),
                     Err(e) => {
-                        self.inner
-                            .stats
-                            .protocol_errors
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.inner.stats.protocol_errors.inc();
+                        self.inner.obs.flight().record(
+                            FlightKind::ProtocolError,
+                            format!("undecodable request: {e}"),
+                        );
                         Response::Err {
                             message: e.to_string(),
                         }
@@ -625,7 +703,13 @@ impl Session {
                 match cmi.awareness().queue().ack_exact(user, &seqs) {
                     Ok(n) => {
                         let _ = cmi.directory().adjust_load(user, -(n as i32));
-                        self.inner.stats.acked.fetch_add(n as u64, Ordering::Relaxed);
+                        self.inner.stats.acked.add(n as u64);
+                        let tracer = self.inner.obs.tracer();
+                        for s in &seqs {
+                            // No-op for seqs without a bound trace (replays,
+                            // evicted traces, untraced detections).
+                            tracer.stage_for_seq(*s, "ack");
+                        }
                         Response::Count(n as u64)
                     }
                     Err(e) => fail(e.to_string()),
@@ -643,6 +727,19 @@ impl Session {
                 match monitor.render(cmi_core::ids::ProcessInstanceId(root)) {
                     Ok(text) => Response::Text(text),
                     Err(e) => fail(e.to_string()),
+                }
+            }
+            Request::Telemetry {
+                trace_seq,
+                include_flight,
+            } => {
+                let obs = &self.inner.obs;
+                Response::Telemetry {
+                    exposition: obs.render_prometheus(),
+                    trace: trace_seq
+                        .and_then(|seq| obs.tracer().trace_for_seq(seq))
+                        .map(|t| t.render()),
+                    flight: include_flight.then(|| obs.flight().render()),
                 }
             }
         }

@@ -84,6 +84,15 @@ impl Enc {
             None => self.u8(0),
         }
     }
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(i) => {
+                self.u8(1);
+                self.u64(i);
+            }
+            None => self.u8(0),
+        }
+    }
     fn opt_str(&mut self, v: Option<&str>) {
         match v {
             Some(s) => {
@@ -144,6 +153,13 @@ impl<'a> Dec<'a> {
     fn opt_i64(&mut self) -> WireResult<Option<i64>> {
         Ok(if self.u8()? != 0 {
             Some(self.i64()?)
+        } else {
+            None
+        })
+    }
+    fn opt_u64(&mut self) -> WireResult<Option<u64>> {
+        Ok(if self.u8()? != 0 {
+            Some(self.u64()?)
         } else {
             None
         })
@@ -356,6 +372,17 @@ pub enum Request {
         /// The root process instance.
         root: u64,
     },
+    /// Server telemetry: the Prometheus exposition, optionally the
+    /// detection trace behind a pushed notification, optionally the
+    /// flight-recorder dump.
+    Telemetry {
+        /// Queue sequence number of a pushed notification whose causal
+        /// detection trace should be returned (primitive event → operator
+        /// chain → detection → queue → push lineage).
+        trace_seq: Option<u64>,
+        /// Whether to include the flight-recorder dump.
+        include_flight: bool,
+    },
 }
 
 impl Request {
@@ -418,6 +445,14 @@ impl Request {
                 e.u8(15);
                 e.u64(*root);
             }
+            Request::Telemetry {
+                trace_seq,
+                include_flight,
+            } => {
+                e.u8(16);
+                e.opt_u64(*trace_seq);
+                e.bool(*include_flight);
+            }
         }
         e.buf
     }
@@ -462,6 +497,10 @@ impl Request {
             }
             14 => Request::MonitorStats { root: d.u64()? },
             15 => Request::MonitorRender { root: d.u64()? },
+            16 => Request::Telemetry {
+                trace_seq: d.opt_u64()?,
+                include_flight: d.bool()?,
+            },
             t => return err(&format!("unknown request tag {t}")),
         };
         if d.remaining() != 0 {
@@ -498,6 +537,16 @@ pub enum Response {
     Stats(ProcessStats),
     /// Rendered text (monitor tree).
     Text(String),
+    /// Server telemetry (`Request::Telemetry`).
+    Telemetry {
+        /// The Prometheus-style metrics exposition.
+        exposition: String,
+        /// Rendered detection trace for the requested sequence number, if
+        /// one was requested and is still retained.
+        trace: Option<String>,
+        /// Rendered flight-recorder dump, if requested.
+        flight: Option<String>,
+    },
 }
 
 impl Response {
@@ -557,6 +606,16 @@ impl Response {
                 e.u8(8);
                 e.str(t);
             }
+            Response::Telemetry {
+                exposition,
+                trace,
+                flight,
+            } => {
+                e.u8(9);
+                e.str(exposition);
+                e.opt_str(trace.as_deref());
+                e.opt_str(flight.as_deref());
+            }
         }
         e.buf
     }
@@ -603,6 +662,11 @@ impl Response {
                 terminated: d.u64()? as usize,
             }),
             8 => Response::Text(d.str()?),
+            9 => Response::Telemetry {
+                exposition: d.str()?,
+                trace: d.opt_str()?,
+                flight: d.opt_str()?,
+            },
             t => return err(&format!("unknown response tag {t}")),
         };
         if d.remaining() != 0 {
@@ -682,6 +746,14 @@ mod tests {
             Request::AckNotifs { seqs: vec![1, 2, 9] },
             Request::MonitorStats { root: 1 },
             Request::MonitorRender { root: 2 },
+            Request::Telemetry {
+                trace_seq: Some(42),
+                include_flight: true,
+            },
+            Request::Telemetry {
+                trace_seq: None,
+                include_flight: false,
+            },
         ];
         for r in reqs {
             let bytes = r.encode();
@@ -722,6 +794,11 @@ mod tests {
                 terminated: 1,
             }),
             Response::Text("tree".into()),
+            Response::Telemetry {
+                exposition: "# TYPE cmi_net_pushes counter\ncmi_net_pushes 3\n".into(),
+                trace: Some("trace #1 spec=2".into()),
+                flight: None,
+            },
         ];
         for r in resps {
             let bytes = r.encode();

@@ -1,0 +1,184 @@
+//! # cmi-obs — the observability substrate for the CMI stack
+//!
+//! The awareness engine is a pipeline of parameterized event operators over
+//! a rooted DAG whose state replicates per process instance — exactly the
+//! kind of system where "why did this composite event (not) fire, and where
+//! did the latency go" is unanswerable without built-in telemetry. This
+//! crate is the uniform substrate every layer publishes into:
+//!
+//! * [`metrics`] — a lock-free registry of counters, gauges and fixed-bucket
+//!   latency histograms under hierarchical names with label support
+//!   (`shard`, `session`, `operator_kind`), cheap per-shard sharded counters
+//!   that aggregate on snapshot, a Prometheus-style text exposition writer,
+//!   and a stable [`metrics::MetricsSnapshot`] for tests.
+//! * [`trace`] — causal detection tracing: per composite awareness event,
+//!   the chain of primitive events and operator firings that produced it
+//!   (operator node ids, per-node enqueue→fire latency) plus downstream
+//!   per-stage latencies (queue, push, ack), stored in a bounded
+//!   per-instance ring.
+//! * [`flight`] — a process-wide flight recorder: a fixed-size
+//!   lock-protected ring of structured records (session open/close, shard
+//!   ingest, queue park/unpark, reconnects, protocol errors) dumpable on
+//!   demand for post-mortems.
+//!
+//! One [`ObsRegistry`] bundles the three and is handed down from the server
+//! assembly to every subsystem. [`ObsRegistry::noop`] yields a registry
+//! whose handles record nothing — the baseline the `telemetry_overhead`
+//! bench compares the instrumented hot path against.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod flight;
+pub mod metrics;
+pub mod trace;
+
+use std::sync::Arc;
+
+pub use flight::{FlightKind, FlightRecord, FlightRecorder};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, ShardedCounter,
+};
+pub use trace::{DetectionTrace, DetectionTracer, TraceStep};
+
+/// The shared observability hub: one metrics registry, one detection
+/// tracer, one flight recorder. Construct once at the server assembly and
+/// hand `Arc<ObsRegistry>` down to every subsystem.
+#[derive(Debug)]
+pub struct ObsRegistry {
+    metrics: MetricsRegistry,
+    tracer: Arc<DetectionTracer>,
+    flight: Arc<FlightRecorder>,
+}
+
+/// Default per-instance capacity of the detection trace ring.
+pub const DEFAULT_TRACE_RING: usize = 16;
+/// Default capacity of the flight recorder ring.
+pub const DEFAULT_FLIGHT_RING: usize = 1024;
+
+impl ObsRegistry {
+    /// An enabled registry with default ring capacities.
+    pub fn new() -> Self {
+        ObsRegistry {
+            metrics: MetricsRegistry::new(),
+            tracer: Arc::new(DetectionTracer::new(DEFAULT_TRACE_RING)),
+            flight: Arc::new(FlightRecorder::new(DEFAULT_FLIGHT_RING)),
+        }
+    }
+
+    /// A registry with metrics enabled but detection tracing and the flight
+    /// recorder off: the cheapest *recording* configuration (one relaxed
+    /// atomic per counter hit, no per-event allocation or clock reads beyond
+    /// histogram timers). This is the arm the `telemetry_overhead` bench
+    /// holds to the <5 % ingest budget.
+    pub fn metrics_only() -> Self {
+        ObsRegistry {
+            metrics: MetricsRegistry::new(),
+            tracer: Arc::new(DetectionTracer::disabled()),
+            flight: Arc::new(FlightRecorder::disabled()),
+        }
+    }
+
+    /// A registry whose handles record nothing: counters stay 0, histograms
+    /// never observe, traces and flight records are dropped at the call
+    /// site. The baseline for overhead benchmarks, and a way to switch
+    /// telemetry off wholesale without touching call sites.
+    pub fn noop() -> Self {
+        ObsRegistry {
+            metrics: MetricsRegistry::disabled(),
+            tracer: Arc::new(DetectionTracer::disabled()),
+            flight: Arc::new(FlightRecorder::disabled()),
+        }
+    }
+
+    /// True when this registry records (i.e. was built with
+    /// [`ObsRegistry::new`]).
+    pub fn is_enabled(&self) -> bool {
+        self.metrics.is_enabled()
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The causal detection tracer.
+    pub fn tracer(&self) -> &Arc<DetectionTracer> {
+        &self.tracer
+    }
+
+    /// The process-wide flight recorder.
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.flight
+    }
+
+    /// Shorthand for [`MetricsRegistry::counter`].
+    pub fn counter(&self, name: &str) -> Counter {
+        self.metrics.counter(name)
+    }
+
+    /// Shorthand for [`MetricsRegistry::counter_with`].
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.metrics.counter_with(name, labels)
+    }
+
+    /// Shorthand for [`MetricsRegistry::gauge`].
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.metrics.gauge(name)
+    }
+
+    /// Shorthand for [`MetricsRegistry::histogram`].
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        self.metrics.histogram(name, bounds)
+    }
+
+    /// Shorthand for [`MetricsRegistry::sharded_counter`].
+    pub fn sharded_counter(&self, name: &str, shards: usize) -> ShardedCounter {
+        self.metrics.sharded_counter(name, shards)
+    }
+
+    /// Shorthand for [`MetricsRegistry::snapshot`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Shorthand for [`MetricsRegistry::render_prometheus`].
+    pub fn render_prometheus(&self) -> String {
+        self.metrics.render_prometheus()
+    }
+}
+
+impl Default for ObsRegistry {
+    fn default() -> Self {
+        ObsRegistry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_bundles_all_three_layers() {
+        let obs = ObsRegistry::new();
+        assert!(obs.is_enabled());
+        obs.counter("x").inc();
+        obs.flight().record(FlightKind::SessionOpen, "s1");
+        let t = obs.tracer().record_detection(1, Some(2), "p", Vec::new(), 10);
+        assert!(t.is_some());
+        assert_eq!(obs.snapshot().counter("x"), Some(1));
+        assert_eq!(obs.flight().len(), 1);
+    }
+
+    #[test]
+    fn noop_registry_records_nothing() {
+        let obs = ObsRegistry::noop();
+        assert!(!obs.is_enabled());
+        obs.counter("x").inc();
+        obs.flight().record(FlightKind::SessionOpen, "s1");
+        let t = obs.tracer().record_detection(1, Some(2), "p", Vec::new(), 10);
+        assert!(t.is_none());
+        assert_eq!(obs.snapshot().counter("x"), None);
+        assert_eq!(obs.flight().len(), 0);
+    }
+}

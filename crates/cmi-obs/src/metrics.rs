@@ -1,0 +1,713 @@
+//! The lock-free metrics registry.
+//!
+//! Registration (cold path) takes a mutex; recording (hot path) is a single
+//! relaxed atomic operation on a handle the caller keeps. Metrics live under
+//! hierarchical dot/underscore names with optional labels; a handle obtained
+//! twice for the same `(name, labels)` key is the same underlying cell, so
+//! independent subsystems can publish into one series.
+//!
+//! Snapshotting goes through the registry ([`MetricsRegistry::snapshot`]),
+//! which reads every cell while holding the registration lock — one
+//! coherent pass instead of the torn-read pattern of loading a dozen
+//! `Relaxed` atomics one by one from a live struct.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// A `(name, labels)` registration key. Labels are kept sorted so the same
+/// set in any order maps to the same series.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_owned(),
+            labels,
+        }
+    }
+
+    /// `name` or `name{k="v",k2="v2"}`.
+    fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let mut s = format!("{}{{", self.name);
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{k}=\"{v}\"");
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// A monotonic counter. Cloning shares the cell.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+    enabled: bool,
+}
+
+impl Counter {
+    fn noop() -> Counter {
+        Counter {
+            cell: Arc::new(AtomicU64::new(0)),
+            enabled: false,
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge. Cloning shares the cell.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+    enabled: bool,
+}
+
+impl Gauge {
+    fn noop() -> Gauge {
+        Gauge {
+            cell: Arc::new(AtomicI64::new(0)),
+            enabled: false,
+        }
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if self.enabled {
+            self.cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if self.enabled {
+            self.cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Pads a counter stripe to its own cache line so concurrent shards do not
+/// false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedU64(AtomicU64);
+
+/// A counter striped per shard: each shard adds to its own cache line with
+/// no contention; totals are aggregated at snapshot time. The snapshot
+/// publishes both the per-shard series (`name{shard="i"}`) and the sum
+/// (`name`).
+#[derive(Debug, Clone)]
+pub struct ShardedCounter {
+    stripes: Arc<Vec<PaddedU64>>,
+    enabled: bool,
+}
+
+impl ShardedCounter {
+    fn new(shards: usize, enabled: bool) -> ShardedCounter {
+        ShardedCounter {
+            stripes: Arc::new((0..shards.max(1)).map(|_| PaddedU64::default()).collect()),
+            enabled,
+        }
+    }
+
+    /// A detached, disabled instance (for tests and defaults).
+    pub fn noop(shards: usize) -> ShardedCounter {
+        ShardedCounter::new(shards, false)
+    }
+
+    /// Number of stripes.
+    pub fn shards(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Adds `n` on `shard`'s stripe (modulo the stripe count).
+    #[inline]
+    pub fn add(&self, shard: usize, n: u64) {
+        if self.enabled {
+            self.stripes[shard % self.stripes.len()]
+                .0
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The per-stripe values.
+    pub fn per_shard(&self) -> Vec<u64> {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The aggregated total.
+    pub fn total(&self) -> u64 {
+        self.per_shard().iter().sum()
+    }
+}
+
+/// The default latency bucket bounds, in nanoseconds: 1 µs … ~1 s in
+/// powers of 4, a good fit for everything from operator firings to wire
+/// round trips.
+pub const LATENCY_BUCKETS_NS: &[u64] = &[
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_024_000,
+    4_096_000,
+    16_384_000,
+    65_536_000,
+    262_144_000,
+    1_048_576_000,
+];
+
+struct HistogramCell {
+    /// Inclusive upper bounds, strictly increasing; an implicit `+inf`
+    /// bucket follows.
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl std::fmt::Debug for HistogramCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistogramCell")
+            .field("bounds", &self.bounds)
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// A fixed-bucket histogram (bounds are inclusive upper edges, plus an
+/// implicit overflow bucket). Cloning shares the cell.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    cell: Arc<HistogramCell>,
+    enabled: bool,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64], enabled: bool) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            cell: Arc::new(HistogramCell {
+                bounds: bounds.to_vec(),
+                buckets: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+            enabled,
+        }
+    }
+
+    /// A detached, disabled instance (for tests and defaults).
+    pub fn noop() -> Histogram {
+        Histogram::new(LATENCY_BUCKETS_NS, false)
+    }
+
+    /// True when observations are recorded. Guard `Instant::now()` captures
+    /// with this so a disabled histogram costs one branch, not a clock read.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        let c = &self.cell;
+        let idx = c
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(c.bounds.len());
+        c.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Starts a latency measurement; `None` when disabled (no clock read).
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        self.enabled.then(Instant::now)
+    }
+
+    /// Completes a measurement started with [`Histogram::start`].
+    #[inline]
+    pub fn observe_since(&self, start: Option<Instant>) {
+        if let Some(t) = start {
+            self.observe(t.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// A coherent read of the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let c = &self.cell;
+        HistogramSnapshot {
+            bounds: c.bounds.clone(),
+            buckets: c.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: c.count.load(Ordering::Relaxed),
+            sum: c.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A stable, comparable snapshot of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bucket bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; one longer than `bounds` (the overflow bucket).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A stable snapshot of the whole registry, keyed by rendered series name
+/// (`name` or `name{k="v"}`). Sharded counters appear both aggregated
+/// (under the plain name) and per shard (`name{shard="i"}`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter series.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge series.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram series.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The value of a counter series by its rendered name.
+    pub fn counter(&self, series: &str) -> Option<u64> {
+        self.counters.get(series).copied()
+    }
+
+    /// The value of a gauge series by its rendered name.
+    pub fn gauge(&self, series: &str) -> Option<i64> {
+        self.gauges.get(series).copied()
+    }
+
+    /// A histogram snapshot by its rendered name.
+    pub fn histogram(&self, series: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(series)
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegInner {
+    counters: BTreeMap<MetricKey, Counter>,
+    gauges: BTreeMap<MetricKey, Gauge>,
+    histograms: BTreeMap<MetricKey, Histogram>,
+    sharded: BTreeMap<MetricKey, ShardedCounter>,
+}
+
+/// The metric registry half of the observability hub. See the module docs.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    inner: Mutex<RegInner>,
+}
+
+impl MetricsRegistry {
+    /// An enabled registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            enabled: true,
+            inner: Mutex::new(RegInner::default()),
+        }
+    }
+
+    /// A registry whose handles record nothing.
+    pub fn disabled() -> MetricsRegistry {
+        MetricsRegistry {
+            enabled: false,
+            inner: Mutex::new(RegInner::default()),
+        }
+    }
+
+    /// True when handles from this registry record.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// A counter under `name` with no labels.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// A counter under `name` with `labels`. The same `(name, labels)` key
+    /// always yields the same cell.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        if !self.enabled {
+            return Counter::noop();
+        }
+        let key = MetricKey::new(name, labels);
+        self.inner
+            .lock()
+            .counters
+            .entry(key)
+            .or_insert_with(|| Counter {
+                cell: Arc::new(AtomicU64::new(0)),
+                enabled: true,
+            })
+            .clone()
+    }
+
+    /// A gauge under `name` with no labels.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// A gauge under `name` with `labels`.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        if !self.enabled {
+            return Gauge::noop();
+        }
+        let key = MetricKey::new(name, labels);
+        self.inner
+            .lock()
+            .gauges
+            .entry(key)
+            .or_insert_with(|| Gauge {
+                cell: Arc::new(AtomicI64::new(0)),
+                enabled: true,
+            })
+            .clone()
+    }
+
+    /// A histogram under `name` with the given inclusive upper bucket
+    /// bounds (strictly increasing; an overflow bucket is implicit). A
+    /// re-registration under the same key returns the existing cell and
+    /// ignores the bounds argument.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        self.histogram_with(name, &[], bounds)
+    }
+
+    /// A labeled histogram; see [`MetricsRegistry::histogram`].
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64]) -> Histogram {
+        if !self.enabled {
+            return Histogram::noop();
+        }
+        let key = MetricKey::new(name, labels);
+        self.inner
+            .lock()
+            .histograms
+            .entry(key)
+            .or_insert_with(|| Histogram::new(bounds, true))
+            .clone()
+    }
+
+    /// A sharded counter under `name` with `shards` stripes. A
+    /// re-registration returns the existing cell (the stripe count argument
+    /// is ignored then).
+    pub fn sharded_counter(&self, name: &str, shards: usize) -> ShardedCounter {
+        if !self.enabled {
+            return ShardedCounter::noop(shards);
+        }
+        let key = MetricKey::new(name, &[]);
+        self.inner
+            .lock()
+            .sharded
+            .entry(key)
+            .or_insert_with(|| ShardedCounter::new(shards, true))
+            .clone()
+    }
+
+    /// Reads every registered cell in one pass under the registration lock.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        let mut snap = MetricsSnapshot::default();
+        for (key, c) in &inner.counters {
+            snap.counters.insert(key.render(), c.get());
+        }
+        for (key, sc) in &inner.sharded {
+            snap.counters.insert(key.render(), sc.total());
+            for (i, v) in sc.per_shard().iter().enumerate() {
+                let shard = i.to_string();
+                let labeled = MetricKey::new(&key.name, &[("shard", shard.as_str())]);
+                snap.counters.insert(labeled.render(), *v);
+            }
+        }
+        for (key, g) in &inner.gauges {
+            snap.gauges.insert(key.render(), g.get());
+        }
+        for (key, h) in &inner.histograms {
+            snap.histograms.insert(key.render(), h.snapshot());
+        }
+        snap
+    }
+
+    /// Renders the registry in the Prometheus text exposition format:
+    /// `# TYPE` headers, one sample per series line, histograms as
+    /// cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        let mut last_base = String::new();
+        for (series, value) in &snap.counters {
+            let base = base_name(series);
+            if base != last_base {
+                let _ = writeln!(out, "# TYPE {base} counter");
+                last_base = base.to_owned();
+            }
+            let _ = writeln!(out, "{series} {value}");
+        }
+        last_base.clear();
+        for (series, value) in &snap.gauges {
+            let base = base_name(series);
+            if base != last_base {
+                let _ = writeln!(out, "# TYPE {base} gauge");
+                last_base = base.to_owned();
+            }
+            let _ = writeln!(out, "{series} {value}");
+        }
+        for (series, h) in &snap.histograms {
+            let (base, labels) = split_series(series);
+            let _ = writeln!(out, "# TYPE {base} histogram");
+            let mut cumulative = 0u64;
+            for (i, b) in h.buckets.iter().enumerate() {
+                cumulative += b;
+                let le = match h.bounds.get(i) {
+                    Some(bound) => bound.to_string(),
+                    None => "+Inf".to_owned(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{base}_bucket{{{}le=\"{le}\"}} {cumulative}",
+                    if labels.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{labels},")
+                    }
+                );
+            }
+            let suffix = if labels.is_empty() {
+                String::new()
+            } else {
+                format!("{{{labels}}}")
+            };
+            let _ = writeln!(out, "{base}_sum{suffix} {}", h.sum);
+            let _ = writeln!(out, "{base}_count{suffix} {}", h.count);
+        }
+        out
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+/// `name{...}` → `name`.
+fn base_name(series: &str) -> &str {
+    series.split('{').next().unwrap_or(series)
+}
+
+/// `name{k="v"}` → `("name", "k=\"v\"")`; `name` → `("name", "")`.
+fn split_series(series: &str) -> (&str, &str) {
+    match series.split_once('{') {
+        Some((base, rest)) => (base, rest.strip_suffix('}').unwrap_or(rest)),
+        None => (series, ""),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_share_cells_by_key() {
+        let r = MetricsRegistry::new();
+        let a = r.counter_with("reqs", &[("session", "1")]);
+        let b = r.counter_with("reqs", &[("session", "1")]);
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        let other = r.counter_with("reqs", &[("session", "2")]);
+        assert_eq!(other.get(), 0);
+        let g = r.gauge("pending");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(r.gauge("pending").get(), 3);
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let r = MetricsRegistry::new();
+        let a = r.counter_with("m", &[("b", "2"), ("a", "1")]);
+        let b = r.counter_with("m", &[("a", "1"), ("b", "2")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert_eq!(r.snapshot().counter("m{a=\"1\",b=\"2\"}"), Some(1));
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_zero_edges_overflow() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat", &[10, 100, 1000]);
+        // 0 lands in the first bucket (bounds are inclusive upper edges).
+        h.observe(0);
+        // Exact edges land in their own bucket, not the next.
+        h.observe(10);
+        h.observe(100);
+        h.observe(1000);
+        // Edge+1 lands in the next bucket; beyond the last edge → overflow.
+        h.observe(11);
+        h.observe(1001);
+        h.observe(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.bounds, vec![10, 100, 1000]);
+        assert_eq!(s.buckets, vec![2, 2, 1, 2], "0+10 | 100+11 | 1000 | 1001+MAX");
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 0u64.wrapping_add(10 + 100 + 1000 + 11 + 1001).wrapping_add(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_timer_skips_clock_when_disabled() {
+        let r = MetricsRegistry::disabled();
+        let h = r.histogram("lat", LATENCY_BUCKETS_NS);
+        assert!(!h.is_enabled());
+        assert!(h.start().is_none());
+        h.observe_since(h.start());
+        h.observe(123);
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn sharded_counter_aggregation_equals_serial_oracle_under_hammer() {
+        let r = MetricsRegistry::new();
+        let sc = r.sharded_counter("ingested", 4);
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let sc = sc.clone();
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        sc.add((t + i as usize) % 7, 1 + (i % 3));
+                    }
+                });
+            }
+        });
+        // Serial oracle: the exact sum every thread contributed.
+        let oracle: u64 = (0..threads as u64)
+            .map(|_| (0..per_thread).map(|i| 1 + (i % 3)).sum::<u64>())
+            .sum();
+        assert_eq!(sc.total(), oracle);
+        assert_eq!(sc.per_shard().iter().sum::<u64>(), oracle);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("ingested"), Some(oracle));
+        let per_shard_sum: u64 = (0..4)
+            .map(|i| snap.counter(&format!("ingested{{shard=\"{i}\"}}")).unwrap())
+            .sum();
+        assert_eq!(per_shard_sum, oracle);
+    }
+
+    #[test]
+    fn exposition_format_golden() {
+        let r = MetricsRegistry::new();
+        r.counter("cmi_requests_total").add(3);
+        r.counter_with("cmi_requests_total", &[("kind", "hello")]).add(2);
+        r.gauge("cmi_sessions_live").set(1);
+        let h = r.histogram("cmi_ingest_ns", &[100, 1000]);
+        h.observe(50);
+        h.observe(100);
+        h.observe(5000);
+        let sc = r.sharded_counter("cmi_ingested", 2);
+        sc.add(0, 4);
+        sc.add(1, 6);
+        let expected = "\
+# TYPE cmi_ingested counter
+cmi_ingested 10
+cmi_ingested{shard=\"0\"} 4
+cmi_ingested{shard=\"1\"} 6
+# TYPE cmi_requests_total counter
+cmi_requests_total 3
+cmi_requests_total{kind=\"hello\"} 2
+# TYPE cmi_sessions_live gauge
+cmi_sessions_live 1
+# TYPE cmi_ingest_ns histogram
+cmi_ingest_ns_bucket{le=\"100\"} 2
+cmi_ingest_ns_bucket{le=\"1000\"} 2
+cmi_ingest_ns_bucket{le=\"+Inf\"} 3
+cmi_ingest_ns_sum 5150
+cmi_ingest_ns_count 3
+";
+        assert_eq!(r.render_prometheus(), expected);
+    }
+
+    #[test]
+    fn snapshot_is_stable_struct_for_tests() {
+        let r = MetricsRegistry::new();
+        r.counter("a").inc();
+        let s1 = r.snapshot();
+        let s2 = r.snapshot();
+        assert_eq!(s1, s2);
+        r.counter("a").inc();
+        assert_ne!(s1, r.snapshot());
+    }
+}

@@ -1,0 +1,384 @@
+//! Causal detection tracing.
+//!
+//! For each composite awareness event the engine detects, the tracer keeps
+//! the lineage that produced it: the primitive event that entered
+//! `Engine::ingest`, every operator firing along the DAG (node id, operator
+//! kind, input event, enqueue→fire latency), and — once the detection turns
+//! into a queued notification — the downstream per-stage latencies (queue,
+//! push, ack) keyed by the notification's global sequence number.
+//!
+//! Traces are stored in a bounded ring **per process instance**, mirroring
+//! how the engine partitions operator state: a chatty instance cannot evict
+//! the history of a quiet one. All ids are raw `u64`s so the crate has no
+//! dependency on the core id types.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// The ring key used for traces whose event had no process instance.
+const NO_INSTANCE: u64 = u64::MAX;
+
+/// One operator firing in a detection's lineage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Engine node index of the operator that fired.
+    pub node: usize,
+    /// The operator's kind (e.g. `Seq`, `And`, `Filter`).
+    pub op: String,
+    /// A rendering of the input event the operator consumed.
+    pub input: String,
+    /// Latency from the event being enqueued on the node's input slot to
+    /// the operator application completing.
+    pub enqueue_to_fire_ns: u64,
+    /// Whether the application emitted an output event.
+    pub emitted: bool,
+}
+
+/// The recorded lineage of one composite event detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectionTrace {
+    /// Tracer-assigned trace id.
+    pub id: u64,
+    /// Raw id of the specification whose root fired.
+    pub spec: u64,
+    /// Raw process instance the detection belongs to, when the triggering
+    /// event carried one.
+    pub instance: Option<u64>,
+    /// A rendering of the primitive event that entered `ingest`.
+    pub primitive: String,
+    /// Latency from ingest entry to the root detection.
+    pub detection_ns: u64,
+    /// Operator firings, in engine work-queue order.
+    pub steps: Vec<TraceStep>,
+    /// Downstream `(stage label, ns since detection)` pairs, e.g.
+    /// `("queue", …)`, `("push", …)`, `("ack", …)`.
+    pub stages: Vec<(String, u64)>,
+    /// Notification sequence numbers bound to this trace (one per
+    /// recipient of the composite event).
+    pub seqs: Vec<u64>,
+}
+
+impl DetectionTrace {
+    /// Renders the trace as indented text, the form shipped in
+    /// `Response::Telemetry`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "trace #{} spec={}", self.id, self.spec);
+        if let Some(i) = self.instance {
+            let _ = write!(out, " instance={i}");
+        }
+        if !self.seqs.is_empty() {
+            let _ = write!(out, " seqs={:?}", self.seqs);
+        }
+        out.push('\n');
+        let _ = writeln!(out, "  primitive: {}", self.primitive);
+        for s in &self.steps {
+            let _ = writeln!(
+                out,
+                "  node {} [{}] +{}ns {} in={}",
+                s.node,
+                s.op,
+                s.enqueue_to_fire_ns,
+                if s.emitted { "emit" } else { "absorb" },
+                s.input
+            );
+        }
+        let _ = writeln!(out, "  detection: +{}ns", self.detection_ns);
+        for (label, ns) in &self.stages {
+            let _ = writeln!(out, "  stage {label}: +{ns}ns");
+        }
+        out
+    }
+}
+
+/// A stored trace plus the wall-clock anchor downstream stage latencies are
+/// measured from.
+struct TraceEntry {
+    trace: DetectionTrace,
+    detected_at: Instant,
+}
+
+#[derive(Default)]
+struct TracerInner {
+    traces: HashMap<u64, TraceEntry>,
+    /// Per-instance ring of trace ids, oldest first.
+    rings: HashMap<u64, VecDeque<u64>>,
+    /// Notification sequence number → trace id.
+    by_seq: HashMap<u64, u64>,
+}
+
+/// The causal detection tracer. See the module docs.
+pub struct DetectionTracer {
+    enabled: bool,
+    per_instance_cap: usize,
+    next_id: AtomicU64,
+    inner: Mutex<TracerInner>,
+}
+
+impl std::fmt::Debug for DetectionTracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetectionTracer")
+            .field("enabled", &self.enabled)
+            .field("per_instance_cap", &self.per_instance_cap)
+            .finish()
+    }
+}
+
+impl DetectionTracer {
+    /// A tracer keeping at most `per_instance_cap` traces per process
+    /// instance (traces without an instance share one ring).
+    pub fn new(per_instance_cap: usize) -> DetectionTracer {
+        DetectionTracer {
+            enabled: true,
+            per_instance_cap: per_instance_cap.max(1),
+            next_id: AtomicU64::new(1),
+            inner: Mutex::new(TracerInner::default()),
+        }
+    }
+
+    /// A tracer that records nothing.
+    pub fn disabled() -> DetectionTracer {
+        DetectionTracer {
+            enabled: false,
+            per_instance_cap: 1,
+            next_id: AtomicU64::new(1),
+            inner: Mutex::new(TracerInner::default()),
+        }
+    }
+
+    /// True when this tracer records. The engine checks this once per
+    /// ingest to decide whether to capture timestamps at all.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a detection's lineage; returns the trace id, or `None` when
+    /// disabled. Evicts the oldest trace of the same instance once the ring
+    /// is full.
+    pub fn record_detection(
+        &self,
+        spec: u64,
+        instance: Option<u64>,
+        primitive: &str,
+        steps: Vec<TraceStep>,
+        detection_ns: u64,
+    ) -> Option<u64> {
+        if !self.enabled {
+            return None;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let key = instance.unwrap_or(NO_INSTANCE);
+        let mut inner = self.inner.lock();
+        let ring = inner.rings.entry(key).or_default();
+        let evicted = if ring.len() >= self.per_instance_cap {
+            ring.pop_front()
+        } else {
+            None
+        };
+        ring.push_back(id);
+        if let Some(old) = evicted {
+            Self::drop_trace(&mut inner, old);
+        }
+        inner.traces.insert(
+            id,
+            TraceEntry {
+                trace: DetectionTrace {
+                    id,
+                    spec,
+                    instance,
+                    primitive: primitive.to_owned(),
+                    detection_ns,
+                    steps,
+                    stages: Vec::new(),
+                    seqs: Vec::new(),
+                },
+                detected_at: Instant::now(),
+            },
+        );
+        Some(id)
+    }
+
+    /// Removes `id` from the trace table and any seq bindings pointing at
+    /// it. The ring entry is assumed already popped.
+    fn drop_trace(inner: &mut TracerInner, id: u64) {
+        if let Some(entry) = inner.traces.remove(&id) {
+            for seq in &entry.trace.seqs {
+                inner.by_seq.remove(seq);
+            }
+        }
+    }
+
+    /// Binds a notification sequence number to a trace, so the trace can
+    /// later be retrieved by the seq the wire protocol exposes.
+    pub fn bind_seq(&self, seq: u64, trace_id: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if let Some(entry) = inner.traces.get_mut(&trace_id) {
+            entry.trace.seqs.push(seq);
+            inner.by_seq.insert(seq, trace_id);
+        }
+    }
+
+    /// Appends a downstream stage (latency measured from the detection).
+    pub fn stage(&self, trace_id: u64, label: &str) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if let Some(entry) = inner.traces.get_mut(&trace_id) {
+            let ns = entry.detected_at.elapsed().as_nanos() as u64;
+            entry.trace.stages.push((label.to_owned(), ns));
+        }
+    }
+
+    /// Appends a downstream stage to the trace bound to `seq`, if any.
+    pub fn stage_for_seq(&self, seq: u64, label: &str) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if let Some(&id) = inner.by_seq.get(&seq) {
+            if let Some(entry) = inner.traces.get_mut(&id) {
+                let ns = entry.detected_at.elapsed().as_nanos() as u64;
+                entry.trace.stages.push((label.to_owned(), ns));
+            }
+        }
+    }
+
+    /// The trace with the given id.
+    pub fn get(&self, trace_id: u64) -> Option<DetectionTrace> {
+        self.inner
+            .lock()
+            .traces
+            .get(&trace_id)
+            .map(|e| e.trace.clone())
+    }
+
+    /// The trace bound to a notification sequence number.
+    pub fn trace_for_seq(&self, seq: u64) -> Option<DetectionTrace> {
+        let inner = self.inner.lock();
+        let id = inner.by_seq.get(&seq)?;
+        inner.traces.get(id).map(|e| e.trace.clone())
+    }
+
+    /// Number of traces currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().traces.len()
+    }
+
+    /// True when no traces are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every trace belonging to a process instance, mirroring
+    /// `Engine::evict_instance`.
+    pub fn evict_instance(&self, instance: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if let Some(ring) = inner.rings.remove(&instance) {
+            for id in ring {
+                Self::drop_trace(&mut inner, id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(node: usize) -> TraceStep {
+        TraceStep {
+            node,
+            op: "Seq".into(),
+            input: "e".into(),
+            enqueue_to_fire_ns: 5,
+            emitted: true,
+        }
+    }
+
+    #[test]
+    fn records_and_retrieves_by_id_and_seq() {
+        let t = DetectionTracer::new(4);
+        let id = t
+            .record_detection(7, Some(1), "prim", vec![step(2), step(3)], 111)
+            .unwrap();
+        t.bind_seq(42, id);
+        t.stage_for_seq(42, "push");
+        let tr = t.trace_for_seq(42).unwrap();
+        assert_eq!(tr.id, id);
+        assert_eq!(tr.spec, 7);
+        assert_eq!(tr.steps.len(), 2);
+        assert_eq!(tr.seqs, vec![42]);
+        assert_eq!(tr.stages.len(), 1);
+        assert_eq!(tr.stages[0].0, "push");
+        assert_eq!(t.get(id).unwrap(), tr);
+    }
+
+    #[test]
+    fn per_instance_ring_is_bounded_and_cleans_seq_bindings() {
+        let t = DetectionTracer::new(2);
+        let a = t.record_detection(1, Some(9), "a", vec![], 1).unwrap();
+        t.bind_seq(100, a);
+        let _b = t.record_detection(1, Some(9), "b", vec![], 1).unwrap();
+        let _c = t.record_detection(1, Some(9), "c", vec![], 1).unwrap();
+        // `a` was evicted: gone from the table and its seq binding dropped.
+        assert_eq!(t.len(), 2);
+        assert!(t.get(a).is_none());
+        assert!(t.trace_for_seq(100).is_none());
+        // A different instance has its own ring.
+        let d = t.record_detection(1, Some(10), "d", vec![], 1).unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(t.get(d).is_some());
+    }
+
+    #[test]
+    fn evict_instance_drops_that_instances_traces_only() {
+        let t = DetectionTracer::new(8);
+        let a = t.record_detection(1, Some(5), "a", vec![], 1).unwrap();
+        t.bind_seq(1, a);
+        let b = t.record_detection(1, None, "b", vec![], 1).unwrap();
+        t.evict_instance(5);
+        assert!(t.get(a).is_none());
+        assert!(t.trace_for_seq(1).is_none());
+        assert!(t.get(b).is_some());
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = DetectionTracer::disabled();
+        assert!(!t.is_enabled());
+        assert!(t.record_detection(1, None, "p", vec![], 1).is_none());
+        t.bind_seq(1, 1);
+        t.stage(1, "x");
+        t.stage_for_seq(1, "x");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn render_mentions_every_layer() {
+        let t = DetectionTracer::new(4);
+        let id = t
+            .record_detection(3, Some(8), "T_activity@…", vec![step(4)], 99)
+            .unwrap();
+        t.bind_seq(55, id);
+        t.stage(id, "queue");
+        let text = t.get(id).unwrap().render();
+        assert!(text.contains("spec=3"));
+        assert!(text.contains("instance=8"));
+        assert!(text.contains("node 4 [Seq]"));
+        assert!(text.contains("detection: +99ns"));
+        assert!(text.contains("stage queue"));
+        assert!(text.contains("seqs=[55]"));
+    }
+}

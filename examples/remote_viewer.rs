@@ -62,6 +62,36 @@ fn main() {
     let n = viewer.recv(Duration::from_secs(10)).expect("violation");
     println!("push received: {} (priority {:?})", n.description, n.priority);
 
+    // ---- live telemetry over the wire --------------------------------------
+    // The same request that a dashboard would poll: the Prometheus
+    // exposition of the whole stack, plus the causal detection trace behind
+    // the notification we just consumed (primitive event → operator chain →
+    // detection → queue → push → ack, with per-stage latencies), plus the
+    // flight-recorder dump.
+    let t = conn.telemetry(Some(n.seq), true).unwrap();
+    println!("\n-- telemetry: metrics exposition (excerpt) --");
+    for line in t
+        .exposition
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .take(12)
+    {
+        println!("  {line}");
+    }
+    if let Some(trace) = &t.trace {
+        println!("-- telemetry: detection trace for seq {} --", n.seq);
+        for line in trace.lines() {
+            println!("  {line}");
+        }
+    }
+    if let Some(flight) = &t.flight {
+        println!("-- telemetry: flight recorder (last {} records) --", flight.lines().count());
+        for line in flight.lines().take(8) {
+            println!("  {line}");
+        }
+    }
+    println!();
+
     // Kill the link mid-session: the client reconnects transparently and
     // the stream resumes with no loss and no duplicates.
     conn.kill_link();

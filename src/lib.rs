@@ -75,6 +75,7 @@
 //! | [`baselines`] (`cmi-baselines`) | related-work comparators + relevance metrics |
 //! | [`service`] (`cmi-service`) | Service Model: providers, QoS, agreements, violation awareness |
 //! | [`net`] (`cmi-net`) | Fig. 5 client/server split: wire protocol, TCP/loopback transports, session server, typed remote clients |
+//! | [`obs`] (`cmi-obs`) | observability: lock-free metrics registry, causal detection tracing, flight recorder |
 //! | [`workloads`] (`cmi-workloads`) | paper scenarios and synthetic workloads |
 
 #![warn(missing_docs)]
@@ -86,6 +87,7 @@ pub use cmi_coord as coord;
 pub use cmi_core as core;
 pub use cmi_events as events;
 pub use cmi_net as net;
+pub use cmi_obs as obs;
 pub use cmi_service as service;
 pub use cmi_workloads as workloads;
 
@@ -111,8 +113,10 @@ pub mod prelude {
     pub use cmi_coord::monitor::{ProcessMonitor, ProcessStats};
     pub use cmi_events::operator::CmpOp;
     pub use cmi_net::client::{
-        ClientConfig, Connection, MonitorClient, ViewerClient, WorklistClient,
+        ClientConfig, ClientStats, Connection, MonitorClient, ServerTelemetry, ViewerClient,
+        WorklistClient,
     };
     pub use cmi_net::server::{NetConfig, NetServer, NetStats};
+    pub use cmi_obs::{MetricsSnapshot, ObsRegistry};
     pub use cmi_service::{QualityOfService, SelectionPolicy, ServiceEngine};
 }
