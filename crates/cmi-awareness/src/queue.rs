@@ -414,6 +414,13 @@ struct QueueObs {
     pending: Gauge,
 }
 
+/// An enqueue subscriber: called (outside the queue's state lock) with the
+/// recipient of every newly enqueued notification. Returning `false`
+/// unsubscribes the hook — that is how a hook owned by a shut-down consumer
+/// (e.g. a reactor event loop holding only a `Weak` back-reference)
+/// removes itself.
+pub type EnqueueHook = Box<dyn Fn(UserId) -> bool + Send + Sync>;
+
 /// The delivery queue. With a path it is durable (WAL + recovery); without,
 /// it is an in-memory queue with identical semantics.
 pub struct DeliveryQueue {
@@ -421,6 +428,7 @@ pub struct DeliveryQueue {
     wal: Mutex<Option<File>>,
     path: Option<PathBuf>,
     obs: Mutex<Option<QueueObs>>,
+    hooks: Mutex<Vec<EnqueueHook>>,
 }
 
 impl std::fmt::Debug for DeliveryQueue {
@@ -443,6 +451,7 @@ impl DeliveryQueue {
             wal: Mutex::new(None),
             path: None,
             obs: Mutex::new(None),
+            hooks: Mutex::new(Vec::new()),
         }
     }
 
@@ -516,22 +525,42 @@ impl DeliveryQueue {
             wal: Mutex::new(Some(file)),
             path: Some(path.to_owned()),
             obs: Mutex::new(None),
+            hooks: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Subscribes `hook` to enqueue notifications: it runs after every
+    /// successful [`DeliveryQueue::enqueue`], outside the queue's state
+    /// lock, with the recipient's id. Event-driven consumers (the reactor
+    /// net backend) use this to get woken on new work instead of
+    /// tick-polling [`DeliveryQueue::fetch`].
+    pub fn subscribe_enqueue(&self, hook: EnqueueHook) {
+        self.hooks.lock().push(hook);
     }
 
     /// Enqueues a notification for its recipient, assigning the sequence
     /// number and logging before making it visible. Returns the sequence
     /// number.
     pub fn enqueue(&self, mut n: Notification) -> std::io::Result<u64> {
-        let mut state = self.state.lock();
-        n.seq = state.next_seq;
-        state.next_seq += 1;
-        self.append(&WalRecord::Event(n.clone()))?;
-        let seq = n.seq;
-        state.pending.entry(n.user).or_default().push_back(n);
+        let user = n.user;
+        let seq = {
+            let mut state = self.state.lock();
+            n.seq = state.next_seq;
+            state.next_seq += 1;
+            self.append(&WalRecord::Event(n.clone()))?;
+            let seq = n.seq;
+            state.pending.entry(n.user).or_default().push_back(n);
+            seq
+        };
         if let Some(o) = self.obs.lock().as_ref() {
             o.enqueued.inc();
             o.pending.add(1);
+        }
+        // Enqueue hooks run outside the state lock so they may call back
+        // into the queue (fetch) or take unrelated locks without deadlock.
+        let mut hooks = self.hooks.lock();
+        if !hooks.is_empty() {
+            hooks.retain(|h| h(user));
         }
         Ok(seq)
     }

@@ -1,0 +1,239 @@
+//! EXP-REACTOR — connection scaling of the two cmi-net session engines.
+//!
+//! Ramps N concurrent loopback sessions (each signed on and idle between
+//! probes) against the same [`NetServer`] under both backends, then measures
+//! per-request round-trip latency sampled across the live sessions. The
+//! point of the experiment: the thread-per-connection engine pays one OS
+//! thread plus one tick-polling read loop per session, so its tail latency
+//! degrades with session count; the reactor pool holds the whole population
+//! on a fixed number of event loops and keeps per-request p99 flat to 10k
+//! sessions and beyond.
+//!
+//! Full run (writes `BENCH_REACTOR.json` into the working directory):
+//! `cargo run --release -p cmi-bench --bin exp_reactor_scaling`
+//! CI smoke: set `QUICK=1` for small session counts and no JSON.
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cmi_awareness::system::CmiServer;
+use cmi_bench::{banner, render_table};
+use cmi_net::codec::{encode_frame, FrameKind, FrameReader};
+use cmi_net::server::{NetBackend, NetConfig, NetServer};
+use cmi_net::transport::NetStream;
+use cmi_net::wire::{Request, Response};
+
+struct Arm {
+    backend: NetBackend,
+    sessions: usize,
+    ramp_ms: f64,
+    p50_us: f64,
+    p99_us: f64,
+    samples: usize,
+}
+
+fn call(
+    stream: &mut Box<dyn NetStream>,
+    frames: &mut FrameReader,
+    req: &Request,
+) -> Response {
+    stream
+        .write_all(&encode_frame(FrameKind::Request, &req.encode()))
+        .unwrap();
+    loop {
+        if let Some(f) = frames.poll(&mut **stream).unwrap() {
+            if f.kind == FrameKind::Response {
+                return Response::decode(&f.payload).unwrap();
+            }
+        }
+    }
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+fn run_arm(backend: NetBackend, sessions: usize, samples: usize) -> Arm {
+    let cmi = Arc::new(CmiServer::new());
+    cmi.directory().add_user("bench");
+    let cfg = NetConfig {
+        backend,
+        reactor_threads: 2,
+        max_sessions: sessions + 16,
+        // Sessions idle during the ramp and between probes; on a small
+        // machine the blocking 10k ramp alone can take many minutes, so
+        // the reap deadline must sit far beyond any plausible run time.
+        idle_timeout: Duration::from_secs(6 * 3600),
+        // The blocking engine wakes every session thread each tick. At
+        // thousands of sessions a 10 ms tick saturates the machine with
+        // timeout wakeups before a single request is measured; a coarser
+        // tick keeps the arm measuring request latency, not tick thrash.
+        // (Ticks only pace push/shutdown polling — request reads wake
+        // immediately on data either way.)
+        tick: if backend == NetBackend::Blocking && sessions > 1024 {
+            Duration::from_millis(250)
+        } else {
+            Duration::from_millis(10)
+        },
+        ..NetConfig::default()
+    };
+    let (server, connector) = NetServer::serve_loopback(cmi, cfg);
+
+    // Ramp: dial + sign on every session (sign-on is refcounted, so one
+    // directory user carries the whole population).
+    let ramp_start = Instant::now();
+    let mut conns: Vec<(Box<dyn NetStream>, FrameReader)> = Vec::with_capacity(sessions);
+    for _ in 0..sessions {
+        let s = connector.dial().expect("dial");
+        s.set_stream_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        conns.push((s, FrameReader::new()));
+    }
+    for (s, fr) in conns.iter_mut() {
+        let resp = call(
+            s,
+            fr,
+            &Request::Hello {
+                user: "bench".into(),
+                resume: false,
+            },
+        );
+        assert!(matches!(resp, Response::HelloOk { .. }), "got {resp:?}");
+    }
+    let ramp_ms = ramp_start.elapsed().as_secs_f64() * 1_000.0;
+    assert_eq!(server.session_count(), sessions);
+
+    // Probe: synchronous request round trips, strided so the samples touch
+    // sessions across the whole population (and, for the reactor, across
+    // both event loops).
+    let mut lat_ns: Vec<u64> = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let idx = (i * 37) % sessions;
+        let (s, fr) = &mut conns[idx];
+        let t0 = Instant::now();
+        let resp = call(s, fr, &Request::Unread);
+        lat_ns.push(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        assert!(matches!(resp, Response::Count(_)), "got {resp:?}");
+    }
+    lat_ns.sort_unstable();
+    let arm = Arm {
+        backend,
+        sessions,
+        ramp_ms,
+        p50_us: percentile(&lat_ns, 0.50),
+        p99_us: percentile(&lat_ns, 0.99),
+        samples,
+    };
+    for (s, _) in &conns {
+        s.shutdown_stream();
+    }
+    drop(conns);
+    server.shutdown();
+    arm
+}
+
+fn backend_name(b: NetBackend) -> &'static str {
+    match b {
+        NetBackend::Blocking => "blocking",
+        NetBackend::Reactor => "reactor",
+    }
+}
+
+fn main() {
+    let quick = std::env::var("QUICK").is_ok();
+    let (session_counts, samples): (&[usize], usize) = if quick {
+        (&[64, 256], 200)
+    } else {
+        (&[256, 2_048, 10_000], 2_000)
+    };
+    println!(
+        "{}",
+        banner("EXP-REACTOR: session-count scaling, blocking vs reactor backend")
+    );
+
+    let mut arms: Vec<Arm> = Vec::new();
+    for &backend in &[NetBackend::Blocking, NetBackend::Reactor] {
+        for &n in session_counts {
+            eprintln!("  running {} @ {n} sessions...", backend_name(backend));
+            arms.push(run_arm(backend, n, samples));
+        }
+    }
+
+    let mut rows = vec![vec![
+        "backend".to_owned(),
+        "sessions".to_owned(),
+        "ramp (ms)".to_owned(),
+        "request p50 (us)".to_owned(),
+        "request p99 (us)".to_owned(),
+        "samples".to_owned(),
+    ]];
+    for a in &arms {
+        rows.push(vec![
+            backend_name(a.backend).to_owned(),
+            a.sessions.to_string(),
+            format!("{:.1}", a.ramp_ms),
+            format!("{:.1}", a.p50_us),
+            format!("{:.1}", a.p99_us),
+            a.samples.to_string(),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+
+    // The acceptance comparison: the reactor at its largest population must
+    // hold per-request p99 no worse than the blocking engine at its
+    // smallest.
+    let blocking_small = arms
+        .iter()
+        .find(|a| a.backend == NetBackend::Blocking && a.sessions == session_counts[0]);
+    let reactor_large = arms
+        .iter()
+        .find(|a| a.backend == NetBackend::Reactor && a.sessions == *session_counts.last().unwrap());
+    if let (Some(b), Some(r)) = (blocking_small, reactor_large) {
+        println!(
+            "reactor @ {} sessions p99 = {:.1} us vs blocking @ {} sessions p99 = {:.1} us ({})",
+            r.sessions,
+            r.p99_us,
+            b.sessions,
+            b.p99_us,
+            if r.p99_us <= b.p99_us { "OK" } else { "WORSE" },
+        );
+    }
+
+    if quick {
+        return;
+    }
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"description\": \"EXP-REACTOR: cmi-net session-count scaling, thread-per-connection (blocking) vs event-loop pool (reactor, 2 loops). Each arm ramps N signed-on loopback sessions, then samples synchronous Unread request round trips strided across the population. ramp_ms covers dial + Hello for all N sessions; latencies are client-observed request/response round trips while the other N-1 sessions idle.\",\n",
+    );
+    json.push_str(&format!(
+        "  \"environment\": {{\n    \"cpus\": {},\n    \"note\": \"Loopback transport (in-memory pipes). Blocking arms above 1024 sessions use a 250 ms tick: the per-session timeout-poll wakeups would otherwise saturate the machine (ticks pace push/stop polling only; request reads wake on data). The reactor is event-driven and has no tick.\"\n  }},\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    ));
+    json.push_str(
+        "  \"harness\": \"cargo run --release -p cmi-bench --bin exp_reactor_scaling\",\n",
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, a) in arms.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\n      \"backend\": \"{}\",\n      \"sessions\": {},\n      \"ramp_ms\": {:.1},\n      \"request_p50_us\": {:.1},\n      \"request_p99_us\": {:.1},\n      \"samples\": {}\n    }}{}\n",
+            backend_name(a.backend),
+            a.sessions,
+            a.ramp_ms,
+            a.p50_us,
+            a.p99_us,
+            a.samples,
+            if i + 1 == arms.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let out = std::env::var("BENCH_REACTOR_OUT").unwrap_or_else(|_| "BENCH_REACTOR.json".into());
+    std::fs::write(&out, json).expect("write BENCH_REACTOR.json");
+    println!("wrote {out}");
+}

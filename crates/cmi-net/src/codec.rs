@@ -271,6 +271,143 @@ mod tests {
         assert_eq!(frames[1].kind, FrameKind::Ping);
     }
 
+    /// A reader driven by an explicit script of slices and error kinds — an
+    /// even more adversarial socket stand-in than [`Chunked`]: each step is
+    /// exactly what (and only what) one `read` call yields.
+    struct Scripted {
+        steps: Vec<Result<Vec<u8>, io::ErrorKind>>,
+        next: usize,
+        /// Remainder of a step larger than the caller's read buffer.
+        pending: Vec<u8>,
+    }
+
+    impl Scripted {
+        fn new(steps: Vec<Result<Vec<u8>, io::ErrorKind>>) -> Scripted {
+            Scripted {
+                steps,
+                next: 0,
+                pending: Vec::new(),
+            }
+        }
+    }
+
+    impl Read for Scripted {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pending.is_empty() {
+                let step = self.steps.get(self.next).cloned().unwrap_or(Ok(Vec::new()));
+                self.next += 1;
+                match step {
+                    Ok(bytes) => self.pending = bytes,
+                    Err(kind) => return Err(io::Error::new(kind, "scripted")),
+                }
+                if self.pending.is_empty() {
+                    return Ok(0); // script exhausted: EOF
+                }
+            }
+            let n = self.pending.len().min(buf.len());
+            buf[..n].copy_from_slice(&self.pending[..n]);
+            self.pending.drain(..n);
+            Ok(n)
+        }
+    }
+
+    /// The 12-byte header itself arriving in three reads — with timeout
+    /// flavors interleaved — must leave the reader parked on `Ok(None)`
+    /// (state retained) until the payload completes the frame.
+    #[test]
+    fn header_split_across_three_reads_is_reassembled() {
+        let bytes = encode_frame(FrameKind::Request, b"split-header");
+        assert_eq!(HEADER_LEN, 12);
+        let (h, payload) = bytes.split_at(HEADER_LEN);
+        let mut r = Scripted::new(vec![
+            Ok(h[..4].to_vec()),
+            Err(io::ErrorKind::WouldBlock),
+            Ok(h[4..7].to_vec()),
+            Err(io::ErrorKind::TimedOut),
+            Ok(h[7..].to_vec()),
+            Err(io::ErrorKind::WouldBlock),
+            Ok(payload.to_vec()),
+        ]);
+        let mut fr = FrameReader::new();
+        let mut polls_without_frame = 0;
+        let frame = loop {
+            match fr.poll(&mut r).unwrap() {
+                Some(f) => break f,
+                None => polls_without_frame += 1,
+            }
+            assert!(polls_without_frame < 20, "reader lost partial-header state");
+        };
+        assert_eq!(frame.kind, FrameKind::Request);
+        assert_eq!(frame.payload, b"split-header");
+        assert!(
+            polls_without_frame >= 2,
+            "the split must actually span polls (got {polls_without_frame})"
+        );
+    }
+
+    /// The checksum verdict lands exactly when the last payload byte
+    /// arrives: with every byte but one, the reader reports no frame and no
+    /// error; the final byte yields the frame (good CRC) or `InvalidData`
+    /// (corrupt CRC) on that very poll.
+    #[test]
+    fn crc_verdict_completes_on_the_final_byte() {
+        let bytes = encode_frame(FrameKind::Response, b"crc-on-last-byte");
+        let (head, last) = bytes.split_at(bytes.len() - 1);
+
+        // Good CRC: frame materializes on the poll that sees the last byte.
+        let mut r = Scripted::new(vec![
+            Ok(head.to_vec()),
+            Err(io::ErrorKind::WouldBlock),
+            Err(io::ErrorKind::TimedOut),
+        ]);
+        let mut fr = FrameReader::new();
+        assert!(fr.poll(&mut r).unwrap().is_none(), "one byte short: no frame");
+        assert!(fr.poll(&mut r).unwrap().is_none(), "still parked on timeout");
+        let mut r = Scripted::new(vec![Ok(last.to_vec())]);
+        let f = fr.poll(&mut r).unwrap().expect("final byte completes the frame");
+        assert_eq!(f.payload, b"crc-on-last-byte");
+
+        // Corrupt CRC: the same final poll is the one that rejects.
+        let mut fr = FrameReader::new();
+        let mut r = Scripted::new(vec![Ok(head.to_vec()), Err(io::ErrorKind::WouldBlock)]);
+        assert!(fr.poll(&mut r).unwrap().is_none());
+        let mut r = Scripted::new(vec![Ok(vec![last[0] ^ 0xFF])]);
+        let err = fr.poll(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"));
+    }
+
+    /// Byte-at-a-time trickle of a *sequence* of frames, every single read
+    /// separated by a timeout: nothing is lost, nothing reordered, and the
+    /// kinds survive intact.
+    #[test]
+    fn byte_trickle_with_timeouts_between_every_byte() {
+        let mut data = encode_frame(FrameKind::Request, b"x");
+        data.extend(encode_frame(FrameKind::Push, &[0u8; 40]));
+        data.extend(encode_frame(FrameKind::Goodbye, b""));
+        let mut steps: Vec<Result<Vec<u8>, io::ErrorKind>> = Vec::new();
+        for (i, b) in data.iter().enumerate() {
+            steps.push(Ok(vec![*b]));
+            steps.push(Err(if i % 2 == 0 {
+                io::ErrorKind::WouldBlock
+            } else {
+                io::ErrorKind::TimedOut
+            }));
+        }
+        let mut r = Scripted::new(steps);
+        let mut fr = FrameReader::new();
+        let mut kinds = Vec::new();
+        for _ in 0..(data.len() * 2 + 4) {
+            if let Some(f) = fr.poll(&mut r).unwrap() {
+                kinds.push(f.kind);
+            }
+            if kinds.len() == 3 {
+                break;
+            }
+        }
+        assert_eq!(kinds, vec![FrameKind::Request, FrameKind::Push, FrameKind::Goodbye]);
+    }
+
     #[test]
     fn corrupted_payload_is_a_checksum_error() {
         let mut bytes = encode_frame(FrameKind::Response, b"payload");

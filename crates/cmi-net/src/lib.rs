@@ -14,11 +14,19 @@
 //! * [`transport`] — the [`transport::NetStream`] / [`transport::Listener`]
 //!   abstraction with a real TCP realization and a deterministic in-memory
 //!   loopback for tests,
-//! * [`server`] — a multi-threaded session server fronting
+//! * [`reactor`] — a vendored mini-reactor (epoll on Linux, poll(2)
+//!   elsewhere on unix; no external deps, consistent with `crates/shims/`)
+//!   providing readiness polling, userspace wake queues, and a hashed
+//!   timer wheel,
+//! * [`server`] — a session server fronting
 //!   [`cmi_awareness::system::CmiServer`]: sign-on drives
 //!   `Directory::set_signed_on`, notifications are pushed under a bounded
 //!   per-session window (slow consumers degrade to the persistent queue),
-//!   idle sessions are reaped, shutdown drains gracefully,
+//!   idle sessions are reaped, shutdown drains gracefully. Two backends
+//!   share the protocol logic: the original thread-per-connection
+//!   [`server::NetBackend::Blocking`] loop, and the event-driven
+//!   [`server::NetBackend::Reactor`] pool that multiplexes every session
+//!   over a small fixed set of event-loop threads,
 //! * [`client`] — typed clients ([`client::WorklistClient`],
 //!   [`client::MonitorClient`], [`client::ViewerClient`]) mirroring the
 //!   in-process APIs, with heartbeats and transparent reconnect-with-resume
@@ -30,6 +38,8 @@
 pub mod codec;
 pub mod wire;
 pub mod transport;
+#[cfg(unix)]
+pub mod reactor;
 pub mod server;
 pub mod client;
 
@@ -37,5 +47,5 @@ pub use client::{
     ClientConfig, ClientStats, Connection, MonitorClient, ServerTelemetry, ViewerClient,
     WorklistClient,
 };
-pub use server::{NetConfig, NetServer, NetStats};
+pub use server::{NetBackend, NetConfig, NetServer, NetStats};
 pub use transport::{LoopbackConnector, TcpAcceptor};

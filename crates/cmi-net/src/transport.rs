@@ -11,15 +11,40 @@
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
-/// A bidirectional, cloneable byte stream with read timeouts.
+/// A readiness-wakeup callback installed by a reactor event loop. Invoked
+/// whenever the source *may* have become readable (data arrived, peer
+/// closed); spurious invocations are fine — the loop drains to `WouldBlock`.
+pub type ReadinessWaker = Arc<dyn Fn() + Send + Sync>;
+
+/// How a stream participates in a readiness reactor (the event-driven
+/// session backend). Two realizations cover the in-tree transports:
+///
+/// * real sockets expose their file descriptor for kernel polling
+///   (`epoll`/`poll`),
+/// * the in-memory loopback pipes have no descriptor; they expose a
+///   [`PipeSignal`] through which the reactor installs a userspace waker
+///   fired on every write/close edge. Pipe writes never block (the buffer
+///   is unbounded), so write readiness is unconditional for this variant.
+pub enum EventSource {
+    /// A kernel-pollable file descriptor (only meaningful on Unix).
+    Fd(i32),
+    /// A userspace readable-edge signal (loopback pipes).
+    Signal(PipeSignal),
+}
+
+/// A bidirectional, cloneable byte stream with read timeouts and an
+/// optional non-blocking / readiness contract.
 ///
 /// `try_clone_stream` exists so one clone can sit in a blocking read while
-/// another writes: sessions use exactly two handles (reader + writer).
+/// another writes: blocking-backend sessions use exactly two handles
+/// (reader + writer). The reactor backend instead flips the stream into
+/// non-blocking mode and drives one handle from readiness events.
 pub trait NetStream: Read + Write + Send {
     /// An independently usable handle to the same stream.
     fn try_clone_stream(&self) -> io::Result<Box<dyn NetStream>>;
@@ -29,6 +54,23 @@ pub trait NetStream: Read + Write + Send {
     fn shutdown_stream(&self);
     /// A human-readable peer label for diagnostics.
     fn peer_label(&self) -> String;
+    /// Switches the stream between blocking and non-blocking mode. In
+    /// non-blocking mode reads (and, for sockets, writes) return
+    /// [`io::ErrorKind::WouldBlock`] instead of parking the thread.
+    /// Transports that cannot honor the contract return `Unsupported`,
+    /// which excludes them from the reactor backend.
+    fn set_nonblocking_stream(&self, nonblocking: bool) -> io::Result<()> {
+        let _ = nonblocking;
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "transport has no non-blocking mode",
+        ))
+    }
+    /// The stream's readiness source for reactor registration (`None` for
+    /// transports that only support the blocking backend).
+    fn event_source(&self) -> Option<EventSource> {
+        None
+    }
 }
 
 impl NetStream for TcpStream {
@@ -48,6 +90,16 @@ impl NetStream for TcpStream {
         self.peer_addr()
             .map(|a| a.to_string())
             .unwrap_or_else(|_| "tcp(?)".to_owned())
+    }
+
+    fn set_nonblocking_stream(&self, nonblocking: bool) -> io::Result<()> {
+        self.set_nonblocking(nonblocking)
+    }
+
+    #[cfg(unix)]
+    fn event_source(&self) -> Option<EventSource> {
+        use std::os::fd::AsRawFd;
+        Some(EventSource::Fd(self.as_raw_fd()))
     }
 }
 
@@ -123,15 +175,58 @@ impl Listener for TcpAcceptor {
 struct PipeBuf {
     data: VecDeque<u8>,
     closed: bool,
+    /// Reactor waker fired on every write/close edge into this buffer.
+    waker: Option<ReadinessWaker>,
 }
 
 type Shared = Arc<(Mutex<PipeBuf>, Condvar)>;
+
+/// Notifies the waker (if any) installed on `shared`, outside its lock.
+fn notify_buf(shared: &Shared) {
+    let (lock, cv) = &**shared;
+    let waker = {
+        let state = lock.lock();
+        cv.notify_all();
+        state.waker.clone()
+    };
+    if let Some(w) = waker {
+        w();
+    }
+}
+
+/// The userspace readiness signal of one pipe direction: the reactor
+/// installs a waker on the stream's *receive* buffer, and every write or
+/// close edge into that buffer fires it. See [`EventSource::Signal`].
+pub struct PipeSignal {
+    rx: Shared,
+}
+
+impl PipeSignal {
+    /// Installs (or clears) the waker. If data is already buffered — or the
+    /// pipe is already closed — the waker fires immediately, so edges that
+    /// happened before registration are not lost.
+    pub fn set_waker(&self, waker: Option<ReadinessWaker>) {
+        let (lock, _) = &*self.rx;
+        let fire = {
+            let mut state = lock.lock();
+            let pending = !state.data.is_empty() || state.closed;
+            state.waker = waker.clone();
+            pending && waker.is_some()
+        };
+        if fire {
+            if let Some(w) = waker {
+                w();
+            }
+        }
+    }
+}
 
 /// One end of an in-memory duplex byte pipe.
 pub struct PipeStream {
     rx: Shared,
     tx: Shared,
     read_timeout: Arc<Mutex<Option<Duration>>>,
+    nonblocking: Arc<AtomicBool>,
     label: String,
 }
 
@@ -144,12 +239,14 @@ pub fn pipe_pair(label: &str) -> (PipeStream, PipeStream) {
             rx: ba.clone(),
             tx: ab.clone(),
             read_timeout: Arc::new(Mutex::new(None)),
+            nonblocking: Arc::new(AtomicBool::new(false)),
             label: format!("{label}:a"),
         },
         PipeStream {
             rx: ab,
             tx: ba,
             read_timeout: Arc::new(Mutex::new(None)),
+            nonblocking: Arc::new(AtomicBool::new(false)),
             label: format!("{label}:b"),
         },
     )
@@ -158,12 +255,16 @@ pub fn pipe_pair(label: &str) -> (PipeStream, PipeStream) {
 impl Read for PipeStream {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         let timeout = *self.read_timeout.lock();
+        let nonblocking = self.nonblocking.load(Ordering::Relaxed);
         let (lock, cv) = &*self.rx;
         let mut state = lock.lock();
         let deadline = timeout.map(|t| Instant::now() + t);
         while state.data.is_empty() {
             if state.closed {
                 return Ok(0);
+            }
+            if nonblocking {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "pipe empty"));
             }
             match deadline {
                 Some(d) => {
@@ -186,13 +287,15 @@ impl Read for PipeStream {
 
 impl Write for PipeStream {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        let (lock, cv) = &*self.tx;
-        let mut state = lock.lock();
-        if state.closed {
-            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"));
+        {
+            let (lock, _) = &*self.tx;
+            let mut state = lock.lock();
+            if state.closed {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"));
+            }
+            state.data.extend(buf.iter().copied());
         }
-        state.data.extend(buf.iter().copied());
-        cv.notify_all();
+        notify_buf(&self.tx);
         Ok(buf.len())
     }
 
@@ -207,6 +310,7 @@ impl NetStream for PipeStream {
             rx: self.rx.clone(),
             tx: self.tx.clone(),
             read_timeout: self.read_timeout.clone(),
+            nonblocking: self.nonblocking.clone(),
             label: self.label.clone(),
         }))
     }
@@ -218,14 +322,27 @@ impl NetStream for PipeStream {
 
     fn shutdown_stream(&self) {
         for shared in [&self.rx, &self.tx] {
-            let (lock, cv) = &**shared;
-            lock.lock().closed = true;
-            cv.notify_all();
+            {
+                let (lock, _) = &**shared;
+                lock.lock().closed = true;
+            }
+            notify_buf(shared);
         }
     }
 
     fn peer_label(&self) -> String {
         self.label.clone()
+    }
+
+    fn set_nonblocking_stream(&self, nonblocking: bool) -> io::Result<()> {
+        self.nonblocking.store(nonblocking, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn event_source(&self) -> Option<EventSource> {
+        Some(EventSource::Signal(PipeSignal {
+            rx: self.rx.clone(),
+        }))
     }
 }
 

@@ -38,6 +38,7 @@ use std::sync::Arc;
 pub use flight::{FlightKind, FlightRecord, FlightRecorder};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, ShardedCounter,
+    LATENCY_BUCKETS_NS,
 };
 pub use trace::{DetectionTrace, DetectionTracer, TraceStep};
 

@@ -21,7 +21,8 @@ use cmi::core::time::Duration;
 use cmi::core::value::Value;
 use cmi::events::operators::ExternalFilter;
 use cmi::net::client::{ClientConfig, Connection};
-use cmi::net::server::{NetConfig, NetServer};
+use cmi::net::server::{NetBackend, NetConfig, NetServer};
+use cmi::net::transport::{LoopbackConnector, NetStream};
 use cmi::workloads::taskforce;
 
 const WATCHERS: usize = 4;
@@ -119,8 +120,7 @@ fn drive(server: &CmiServer, schemas: &taskforce::TaskForceSchemas) -> taskforce
     out
 }
 
-#[test]
-fn sharded_soak_matches_in_process_oracle() {
+fn sharded_soak_matches_oracle(backend: NetBackend) {
     // Oracle: unsharded, in-process, single-threaded replay.
     let oracle = CmiServer::new();
     let oracle_schemas = build_world(&oracle);
@@ -130,6 +130,7 @@ fn sharded_soak_matches_in_process_oracle() {
     let schemas = build_world(&cmi);
     let cfg = NetConfig {
         push_window: 8, // small window: exercises slow-consumer parking
+        backend,
         ..NetConfig::default()
     };
     let (server, connector) = NetServer::serve_loopback(cmi.clone(), cfg);
@@ -253,8 +254,167 @@ fn sharded_soak_matches_in_process_oracle() {
     );
 }
 
+#[test]
+fn sharded_soak_matches_in_process_oracle() {
+    sharded_soak_matches_oracle(NetBackend::Blocking);
+}
+
+#[test]
+fn sharded_soak_matches_in_process_oracle_reactor() {
+    sharded_soak_matches_oracle(NetBackend::Reactor);
+}
+
 fn out_requestor(cmi: &CmiServer) -> cmi::core::ids::UserId {
     cmi.directory()
         .user_by_name("requesting-epidemiologist")
         .unwrap()
+}
+
+/// The §5.4 world rebuilt in an identical order, so every id recovered
+/// from the WAL names the same participant after a restart.
+fn build_durable_world(path: &std::path::Path) -> Arc<CmiServer> {
+    let cmi = Arc::new(CmiServer::with_durable_queue(path).unwrap());
+    let dir = cmi.directory();
+    let watchers = dir.add_role("wal-watchers").unwrap();
+    let u = dir.add_user("wal-watcher");
+    dir.assign(u, watchers).unwrap();
+    let mut b = AwarenessSchemaBuilder::new(
+        cmi.fresh_awareness_id(),
+        "AS_WalEvent",
+        ProcessSchemaId(0),
+    );
+    let f = b
+        .external_filter(ExternalFilter::new(ProcessSchemaId(0), "evt", None).int_info_from("m"))
+        .unwrap();
+    cmi.register_awareness(
+        b.deliver_to(f, RoleSpec::org("wal-watchers"))
+            .describe("wal event observed")
+            .build()
+            .unwrap(),
+    );
+    cmi
+}
+
+/// Exactly-once delivery across a full *server* restart — not merely a
+/// killed link: the [`NetServer`] is shut down mid-stream with pushes in
+/// flight and acknowledgements outstanding, the durable-queue
+/// [`CmiServer`] behind it is dropped, a fresh one reopens the same WAL, a
+/// fresh [`NetServer`] fronts it, and the client's reconnect-with-resume
+/// lands on the reborn server. Every notification must surface exactly
+/// once, in order — the WAL carries the unacknowledged tail across the
+/// process "crash".
+fn durable_queue_resumes_across_server_restart(backend: NetBackend) {
+    let dir = std::env::temp_dir().join(format!(
+        "cmi-net-wal-{}-{backend:?}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("queue.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    let cfg = NetConfig {
+        push_window: 4, // keep plenty unacknowledged at the restart point
+        backend,
+        ..NetConfig::default()
+    };
+    let cmi = build_durable_world(&path);
+    let (server, connector) = NetServer::serve_loopback(cmi.clone(), cfg.clone());
+
+    // The client dials through a slot that the restart below re-points at
+    // the new server's connector.
+    let slot: Arc<std::sync::Mutex<LoopbackConnector>> =
+        Arc::new(std::sync::Mutex::new(connector));
+    let dial_slot = slot.clone();
+    let conn = Connection::connect(
+        Box::new(move || -> std::io::Result<Box<dyn NetStream>> {
+            dial_slot.lock().unwrap().dial()
+        }),
+        "wal-watcher",
+        ClientConfig::default(),
+    )
+    .unwrap();
+    let viewer = conn.viewer();
+    viewer.subscribe().unwrap();
+
+    const TOTAL: i64 = 40;
+    let mut got: Vec<Notification> = Vec::new();
+    let deadline = Instant::now() + StdDuration::from_secs(60);
+
+    // Phase 1: stream the first half, consume only some of it — the rest
+    // is pushed-but-unacked or parked behind the small window when the
+    // server dies.
+    for m in 0..TOTAL / 2 {
+        cmi.clock().advance(Duration::from_secs(1));
+        assert_eq!(
+            cmi.external_event("evt", vec![("m".to_owned(), Value::Int(m))]),
+            1
+        );
+    }
+    while (got.len() as i64) < TOTAL / 4 {
+        assert!(Instant::now() < deadline, "phase 1 stalled at {}", got.len());
+        if let Some(n) = viewer.recv(StdDuration::from_millis(50)) {
+            got.push(n);
+        }
+    }
+
+    // Kill the real server: drain the NetServer, drop the CmiServer, and
+    // recover the same WAL into a brand-new stack.
+    server.shutdown();
+    drop(cmi);
+    let cmi = build_durable_world(&path);
+    let (server, connector) = NetServer::serve_loopback(cmi.clone(), cfg);
+    *slot.lock().unwrap() = connector;
+    conn.kill_link(); // in case the client still believes in the old link
+
+    // Phase 2: the rest of the stream on the reborn server.
+    for m in TOTAL / 2..TOTAL {
+        cmi.clock().advance(Duration::from_secs(1));
+        assert_eq!(
+            cmi.external_event("evt", vec![("m".to_owned(), Value::Int(m))]),
+            1
+        );
+    }
+    while (got.len() as i64) < TOTAL {
+        assert!(
+            Instant::now() < deadline,
+            "resume stalled at {} notifications",
+            got.len()
+        );
+        if let Some(n) = viewer.recv(StdDuration::from_millis(50)) {
+            got.push(n);
+        }
+    }
+    assert!(
+        viewer.recv(StdDuration::from_millis(300)).is_none(),
+        "no duplicates after the restart"
+    );
+
+    let markers: Vec<i64> = got.iter().filter_map(|n| n.int_info).collect();
+    assert_eq!(
+        markers,
+        (0..TOTAL).collect::<Vec<_>>(),
+        "exactly-once, in-order delivery across the server restart"
+    );
+    assert!(conn.reconnects() >= 1, "the restart must force a reconnect");
+
+    // Everything acknowledged on the reborn server: its WAL-backed queue
+    // drains to zero.
+    let uid = cmi.directory().user_by_name("wal-watcher").unwrap();
+    while cmi.awareness().queue().pending_for(uid) != 0 {
+        assert!(Instant::now() < deadline, "queue never drained");
+        std::thread::sleep(StdDuration::from_millis(5));
+    }
+    conn.close();
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn durable_queue_resumes_across_server_restart_blocking() {
+    durable_queue_resumes_across_server_restart(NetBackend::Blocking);
+}
+
+#[test]
+fn durable_queue_resumes_across_server_restart_reactor() {
+    durable_queue_resumes_across_server_restart(NetBackend::Reactor);
 }
