@@ -26,6 +26,13 @@ use cmi_obs::{Counter, ObsRegistry};
 use crate::queue::{DeliveryQueue, Notification};
 use crate::schema::AwarenessSchema;
 
+/// Predicate over an emission's routing instance (`None` = instance-less).
+/// Installed by a federation layer so a node only *detects* for the process
+/// instances it owns; events still flow through every node's detector (they
+/// may advance multi-instance operators), but emissions for foreign
+/// instances are suppressed — the owning node produces those.
+pub type PartitionFilter = Arc<dyn Fn(Option<u64>) -> bool + Send + Sync>;
+
 /// Delivery counters for experiments.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DeliveryStats {
@@ -77,6 +84,7 @@ pub struct AwarenessEngine {
     contexts: Arc<ContextManager>,
     obs: Arc<ObsRegistry>,
     counters: DeliveryCounters,
+    partition: RwLock<Option<PartitionFilter>>,
 }
 
 impl fmt::Debug for AwarenessEngine {
@@ -145,7 +153,24 @@ impl AwarenessEngine {
             contexts,
             obs,
             counters,
+            partition: RwLock::new(None),
         }
+    }
+
+    /// Installs (or clears, with `None`) a standing partition filter: every
+    /// subsequent [`ingest`](Self::ingest) suppresses detections whose
+    /// routing instance the predicate rejects. Used by federation so each
+    /// node only detects for its owned partition.
+    pub fn set_partition_filter(&self, filter: Option<PartitionFilter>) {
+        *self.partition.write() = filter;
+    }
+
+    /// The conservative set of raw process-instance ids `event` may touch,
+    /// per the registered schemas' routing hints (see
+    /// [`cmi_events::sharded::ShardedEngine::routing_instances`]). Empty
+    /// means the event is instance-less / globally related.
+    pub fn routing_instances(&self, event: &Event) -> std::collections::BTreeSet<u64> {
+        self.detector.read().routing_instances(event)
     }
 
     /// The observability registry this engine publishes into.
@@ -204,7 +229,13 @@ impl AwarenessEngine {
     /// delivery fan-out below uses only lock-free counters and the
     /// queue's own synchronization.
     pub fn ingest(&self, event: &Event) -> Vec<Notification> {
-        let detections = self.detector.read().ingest(event);
+        let detections = {
+            let detector = self.detector.read();
+            match &*self.partition.read() {
+                Some(keep) => detector.ingest_kept(event, &**keep),
+                None => detector.ingest(event),
+            }
+        };
         self.deliver(detections)
     }
 

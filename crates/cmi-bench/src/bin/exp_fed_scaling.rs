@@ -1,0 +1,245 @@
+//! EXP-FED — federation scaling: ingest throughput and notification latency
+//! across cluster sizes, local vs forwarded.
+//!
+//! Each arm boots an N-node loopback federation (full Fig. 5 stack per
+//! node: engine + session server + peer links), partitions a fixed instance
+//! population by rendezvous hash, and measures:
+//!
+//! * **ingest throughput** — events injected at node 0 against instances
+//!   spread uniformly over the whole population, so roughly (N-1)/N of them
+//!   cross a peer link to their owning node (the federation tax on ingest);
+//! * **notification latency** — one subscriber signed on at node 0, probed
+//!   with events against a node-0-owned instance (`local`: detection and
+//!   delivery never leave the node) and against an instance owned by the
+//!   highest-id node (`forwarded`: the event crosses one peer hop out, the
+//!   notification crosses one hop back plus the pump batching delay).
+//!
+//! Full run (writes `BENCH_FED.json` into the working directory):
+//! `cargo run --release -p cmi-bench --bin exp_fed_scaling`
+//! CI smoke: set `QUICK=1` for small event counts and no JSON.
+
+use std::time::{Duration, Instant};
+
+use cmi_awareness::system::CmiServer;
+use cmi_bench::{banner, render_table};
+use cmi_core::state_schema::ActivityStateSchema;
+use cmi_core::schema::ActivitySchemaBuilder;
+use cmi_core::value::Value;
+use cmi_fed::testkit::LoopbackCluster;
+use cmi_net::client::ClientConfig;
+use cmi_net::server::NetConfig;
+
+/// Instances the throughput workload cycles through (spread over all nodes).
+const INSTANCES: u64 = 64;
+
+struct Arm {
+    nodes: usize,
+    ingest_eps: f64,
+    forwarded_share: f64,
+    local_p50_us: f64,
+    local_p99_us: f64,
+    fwd_p50_us: Option<f64>,
+    fwd_p99_us: Option<f64>,
+}
+
+fn setup(cmi: &CmiServer) {
+    let repo = cmi.repository();
+    let ss = repo.register_state_schema(ActivityStateSchema::generic(repo.fresh_state_schema_id()));
+    let pid = repo.fresh_activity_schema_id();
+    repo.register_activity_schema(
+        ActivitySchemaBuilder::process(pid, "Mission", ss)
+            .build()
+            .unwrap(),
+    );
+    for (user, role) in [("watch", "w-watch"), ("driver", "w-driver")] {
+        let u = cmi.directory().add_user(user);
+        let r = cmi.directory().add_role(role).unwrap();
+        cmi.directory().assign(u, r).unwrap();
+    }
+    cmi.load_awareness_source(
+        r#"awareness "AS_Hit" on Mission {
+               hit = external(sensor, mission)
+               deliver hit to org(w-watch)
+               describe "hit"
+           }"#,
+    )
+    .unwrap();
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+fn event(raw: u64, m: usize) -> Vec<(String, Value)> {
+    vec![
+        ("mission".to_owned(), Value::Id(raw)),
+        ("intInfo".to_owned(), Value::Int(m as i64)),
+    ]
+}
+
+fn run_arm(nodes: usize, throughput_events: usize, latency_samples: usize) -> Arm {
+    // A 1 ms session tick: pushes flush on the tick, and the default 10 ms
+    // would swamp both latency arms with pacing delay.
+    let net_cfg = NetConfig {
+        tick: Duration::from_millis(1),
+        ..NetConfig::default()
+    };
+    let cluster = LoopbackCluster::start(nodes, net_cfg, &setup);
+    let watcher = cluster
+        .connect(0, "watch", ClientConfig::default())
+        .unwrap();
+    let viewer = watcher.viewer();
+    viewer.subscribe().unwrap();
+
+    // Wait for the subscriber's sign-on to gossip everywhere, or forwarded
+    // probes would park at their detecting node instead of routing back.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    for i in 1..nodes {
+        while cluster.node(i).core().remote_signon_count(0) == 0 {
+            assert!(Instant::now() < deadline, "gossip never converged");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    // --- ingest throughput: uniform instance spread, injected at node 0 ----
+    let injector = cluster.node(0);
+    let forwarded = (1..=INSTANCES)
+        .filter(|&raw| cluster.cluster().owner_of_instance(raw) != 0)
+        .count();
+    let t0 = Instant::now();
+    let mut produced = 0u64;
+    for m in 0..throughput_events {
+        let raw = 1 + (m as u64 % INSTANCES);
+        produced += injector.external_event("sensor", event(raw, m)).unwrap();
+    }
+    let ingest_eps = throughput_events as f64 / t0.elapsed().as_secs_f64();
+    assert_eq!(produced as usize, throughput_events);
+    // Drain the backlog (through the same push subscription the latency
+    // probes use) so they measure a quiet system.
+    for _ in 0..throughput_events {
+        viewer
+            .recv(Duration::from_secs(60))
+            .expect("throughput backlog never drained");
+    }
+
+    // --- notification latency: inject-one, receive-one ---------------------
+    let probe = |raw: u64| -> Vec<u64> {
+        let mut lat = Vec::with_capacity(latency_samples);
+        for m in 0..latency_samples {
+            let t0 = Instant::now();
+            assert_eq!(injector.external_event("sensor", event(raw, m)).unwrap(), 1);
+            let n = viewer
+                .recv(Duration::from_secs(10))
+                .expect("latency probe notification");
+            lat.push(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            assert_eq!(n.process_instance.raw(), raw);
+        }
+        lat.sort_unstable();
+        lat
+    };
+    let local_raw = (1..1000)
+        .find(|&raw| cluster.cluster().owner_of_instance(raw) == 0)
+        .unwrap();
+    let local = probe(local_raw);
+    let (fwd_p50_us, fwd_p99_us) = if nodes > 1 {
+        let top = cluster.cluster().nodes().last().unwrap().id;
+        let fwd_raw = (1..1000)
+            .find(|&raw| cluster.cluster().owner_of_instance(raw) == top)
+            .unwrap();
+        let fwd = probe(fwd_raw);
+        (
+            Some(percentile(&fwd, 0.50)),
+            Some(percentile(&fwd, 0.99)),
+        )
+    } else {
+        (None, None)
+    };
+
+    watcher.close();
+    cluster.shutdown();
+    Arm {
+        nodes,
+        ingest_eps,
+        forwarded_share: forwarded as f64 / INSTANCES as f64,
+        local_p50_us: percentile(&local, 0.50),
+        local_p99_us: percentile(&local, 0.99),
+        fwd_p50_us,
+        fwd_p99_us,
+    }
+}
+
+fn main() {
+    let quick = std::env::var("QUICK").is_ok();
+    let (throughput_events, latency_samples): (usize, usize) =
+        if quick { (2_000, 100) } else { (40_000, 1_000) };
+    println!(
+        "{}",
+        banner("EXP-FED: federation scaling — ingest throughput and notification latency")
+    );
+
+    let mut arms = Vec::new();
+    for nodes in [1usize, 2, 4] {
+        eprintln!("  running {nodes}-node arm...");
+        arms.push(run_arm(nodes, throughput_events, latency_samples));
+    }
+
+    let fmt_opt = |v: Option<f64>| v.map_or_else(|| "-".to_owned(), |x| format!("{x:.1}"));
+    let mut rows = vec![vec![
+        "nodes".to_owned(),
+        "ingest (events/s)".to_owned(),
+        "forwarded share".to_owned(),
+        "local p50 (us)".to_owned(),
+        "local p99 (us)".to_owned(),
+        "forwarded p50 (us)".to_owned(),
+        "forwarded p99 (us)".to_owned(),
+    ]];
+    for a in &arms {
+        rows.push(vec![
+            a.nodes.to_string(),
+            format!("{:.0}", a.ingest_eps),
+            format!("{:.2}", a.forwarded_share),
+            format!("{:.1}", a.local_p50_us),
+            format!("{:.1}", a.local_p99_us),
+            fmt_opt(a.fwd_p50_us),
+            fmt_opt(a.fwd_p99_us),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+
+    if quick {
+        return;
+    }
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"description\": \"EXP-FED: federation scaling over loopback peer links. Each arm boots an N-node cluster (full engine + session server + pumps per node), with one subscriber signed on at node 0. Ingest throughput injects events at node 0 against 64 instances rendezvous-partitioned across the cluster, so ~(N-1)/N of events forward to a peer before detection (forwarded_share is the exact share). Notification latency is inject-one/receive-one against a node-0-owned instance (local: no hop) and an instance owned by the highest node (forwarded: one FedEvent hop out, one FedNotify pump hop back).\",\n",
+    );
+    json.push_str(&format!(
+        "  \"environment\": {{\n    \"cpus\": {},\n    \"note\": \"Loopback transport (in-memory pipes); peer links and client sessions share it. Forwarded latency includes the notification pump's batching delay, not just the wire hops.\"\n  }},\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    ));
+    json.push_str("  \"harness\": \"cargo run --release -p cmi-bench --bin exp_fed_scaling\",\n");
+    json.push_str("  \"results\": [\n");
+    for (i, a) in arms.iter().enumerate() {
+        let opt = |v: Option<f64>| v.map_or_else(|| "null".to_owned(), |x| format!("{x:.1}"));
+        json.push_str(&format!(
+            "    {{\n      \"nodes\": {},\n      \"ingest_events_per_sec\": {:.0},\n      \"forwarded_share\": {:.2},\n      \"notify_local_p50_us\": {:.1},\n      \"notify_local_p99_us\": {:.1},\n      \"notify_forwarded_p50_us\": {},\n      \"notify_forwarded_p99_us\": {}\n    }}{}\n",
+            a.nodes,
+            a.ingest_eps,
+            a.forwarded_share,
+            a.local_p50_us,
+            a.local_p99_us,
+            opt(a.fwd_p50_us),
+            opt(a.fwd_p99_us),
+            if i + 1 == arms.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let out = std::env::var("BENCH_FED_OUT").unwrap_or_else(|_| "BENCH_FED.json".into());
+    std::fs::write(&out, json).expect("write BENCH_FED.json");
+    println!("wrote {out}");
+}

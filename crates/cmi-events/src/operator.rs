@@ -50,8 +50,13 @@ pub type OpState = Box<dyn Any + Send>;
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum RoutingHint {
     /// The filter reads the raw instance id from this id-valued parameter
-    /// (activity filters, external filters with an instance parameter).
+    /// and ignores events where it is absent (activity filters).
     InstanceFromParam(String),
+    /// The filter reads the raw instance id from this id-valued parameter,
+    /// falling back to the fixed instance when it is absent (external
+    /// filters with an instance parameter). Exact, not a superset: an event
+    /// carrying the parameter touches only that instance.
+    InstanceFromParamOr(String, u64),
     /// The filter derives one instance per pair in the `processes` list
     /// parameter (context filters).
     InstancesFromProcesses,

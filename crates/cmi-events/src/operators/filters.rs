@@ -359,14 +359,14 @@ impl EventOperator for ExternalFilter {
     }
 
     fn routing_hints(&self) -> Vec<RoutingHint> {
-        // `apply` falls back to instance 0 when the parameter is absent, so
-        // the fixed hint rides along even when a parameter is configured
-        // (hints are conservative supersets).
+        // `apply` falls back to instance 0 exactly when the parameter is
+        // absent, which `InstanceFromParamOr` mirrors — an event carrying
+        // the parameter routes to that one instance, nothing else. (The
+        // old encoding rode a blanket `FixedInstance(0)` along as a
+        // conservative superset; under federation that made every external
+        // event cross to instance 0's owning node.)
         match &self.instance_param {
-            Some(p) => vec![
-                RoutingHint::InstanceFromParam(p.clone()),
-                RoutingHint::FixedInstance(0),
-            ],
+            Some(p) => vec![RoutingHint::InstanceFromParamOr(p.clone(), 0)],
             None => vec![RoutingHint::FixedInstance(0)],
         }
     }

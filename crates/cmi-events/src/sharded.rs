@@ -182,7 +182,13 @@ impl ShardedEngine {
     }
 
     /// The conservative set of raw process instance ids `event` may touch,
-    /// per the hosted filters' routing hints.
+    /// per the hosted filters' routing hints. This is the same derivation
+    /// the shard router uses — and it is what a federation layer hashes to
+    /// decide which *node* owns an event before any shard is involved.
+    pub fn routing_instances(&self, event: &Event) -> BTreeSet<u64> {
+        self.instances_for(event)
+    }
+
     fn instances_for(&self, event: &Event) -> BTreeSet<u64> {
         let mut set = BTreeSet::new();
         if let Some(i) = event.process_instance() {
@@ -197,6 +203,9 @@ impl ShardedEngine {
                     if let Some(i) = event.get_id(p) {
                         set.insert(i);
                     }
+                }
+                RoutingHint::InstanceFromParamOr(p, fallback) => {
+                    set.insert(event.get_id(p).unwrap_or(*fallback));
                 }
                 RoutingHint::InstancesFromProcesses => {
                     for (_, pi) in decode_processes(event) {
@@ -266,6 +275,56 @@ impl ShardedEngine {
                     None => t == primary,
                 };
                 out.extend(self.shards[t].ingest_filtered(event, &keep));
+            }
+            out
+        };
+        if let Some(o) = &self.obs {
+            o.ingest_ns.observe_since(timer);
+        }
+        out
+    }
+
+    /// Like [`ingest`](Self::ingest), but additionally drops any emission
+    /// whose routing instance fails the caller's `keep` predicate. A
+    /// federated node uses this to suppress detections for instances it does
+    /// not own (the owning node produces them instead), while instances this
+    /// node owns behave exactly as in `ingest` — including the cross-shard
+    /// exactly-once guarantee.
+    pub fn ingest_kept(
+        &self,
+        event: &Event,
+        keep: &(dyn Fn(Option<u64>) -> bool + Sync),
+    ) -> Vec<Detection> {
+        let timer = self.obs.as_ref().and_then(|o| {
+            if o.ingest_ns.is_enabled()
+                && o.sample.fetch_add(1, Ordering::Relaxed) % INGEST_SAMPLE_EVERY == 0
+            {
+                o.ingest_ns.start()
+            } else {
+                None
+            }
+        });
+        let targets = self.shards_for(event);
+        let out = if targets.len() == 1 {
+            if let Some(o) = &self.obs {
+                o.ingested.add(targets[0], 1);
+            }
+            self.shards[targets[0]].ingest_filtered(event, keep)
+        } else {
+            let primary = targets[0];
+            let mut out = Vec::new();
+            for &t in &targets {
+                if let Some(o) = &self.obs {
+                    o.ingested.add(t, 1);
+                }
+                let composed = |inst: Option<u64>| {
+                    let shard_keep = match inst {
+                        Some(raw) => self.shard_of_raw(raw) == t,
+                        None => t == primary,
+                    };
+                    shard_keep && keep(inst)
+                };
+                out.extend(self.shards[t].ingest_filtered(event, &composed));
             }
             out
         };

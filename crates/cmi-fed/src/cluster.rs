@@ -1,0 +1,199 @@
+//! Static cluster membership and the deterministic instance partitioner.
+//!
+//! Every node derives the same *instance → owning node* map from the shared
+//! [`ClusterConfig`] with **rendezvous (highest-random-weight) hashing**: the
+//! owner of a raw process-instance id is the member whose salted hash of that
+//! id is largest. Rendezvous hashing needs no coordination, no token ring
+//! state, and — unlike modulo placement — moving from `n` to `n+1` members
+//! relocates only `1/(n+1)` of the instances, which keeps the door open for
+//! the dynamic-membership follow-on.
+//!
+//! The per-instance derivation is intentionally the same one the intra-node
+//! shard router uses ([`cmi_events::sharded::ShardedEngine::routing_instances`]):
+//! federation is "sharding, one level up" — first the cluster hash picks the
+//! owning *node*, then that node's sharded detector picks the owning *shard*.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use cmi_awareness::engine::PartitionFilter;
+
+/// One member of a static cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// The member's stable id (unique within the cluster).
+    pub id: u32,
+    /// A human-readable dial address (`host:port` for TCP deployments,
+    /// a label for in-memory loopback clusters). The federation layer never
+    /// parses this — dialing is injected per peer — but it anchors logs,
+    /// diagrams and telemetry labels.
+    pub addr: String,
+}
+
+/// A static cluster membership list shared verbatim by every node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfig {
+    nodes: Vec<NodeSpec>,
+}
+
+/// splitmix64 — the same finalizer the sharded detector uses to decorrelate
+/// raw instance ids before placement.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A node's fixed rendezvous salt, decorrelated from its small integer id.
+fn salt(node: u32) -> u64 {
+    mix(0xC0FF_EE00_0000_0000 ^ u64::from(node))
+}
+
+impl ClusterConfig {
+    /// Builds a membership list. Panics on an empty list or duplicate ids —
+    /// a cluster config is deployment input, not runtime data.
+    pub fn new(nodes: Vec<NodeSpec>) -> Self {
+        assert!(!nodes.is_empty(), "a cluster needs at least one node");
+        let ids: BTreeSet<u32> = nodes.iter().map(|n| n.id).collect();
+        assert_eq!(ids.len(), nodes.len(), "duplicate node ids in cluster config");
+        ClusterConfig { nodes }
+    }
+
+    /// A loopback cluster of `n` nodes with ids `0..n` (test/bench helper).
+    pub fn loopback(n: usize) -> Self {
+        ClusterConfig::new(
+            (0..n as u32)
+                .map(|id| NodeSpec {
+                    id,
+                    addr: format!("loopback-node-{id}"),
+                })
+                .collect(),
+        )
+    }
+
+    /// The member list, in configuration order.
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for a single-node "cluster".
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// True when `node` is a member.
+    pub fn is_member(&self, node: u32) -> bool {
+        self.nodes.iter().any(|n| n.id == node)
+    }
+
+    /// The node that owns instance-less (globally related) events, and any
+    /// event whose routing instances cannot be derived: the lowest member
+    /// id, so every node agrees without communication.
+    pub fn default_node(&self) -> u32 {
+        self.nodes.iter().map(|n| n.id).min().expect("non-empty")
+    }
+
+    /// The member owning raw process-instance id `raw`, by rendezvous
+    /// hashing (highest salted hash wins; ties break to the lower id).
+    pub fn owner_of_instance(&self, raw: u64) -> u32 {
+        self.nodes
+            .iter()
+            .map(|n| (mix(raw ^ salt(n.id)), std::cmp::Reverse(n.id)))
+            .max()
+            .map(|(_, std::cmp::Reverse(id))| id)
+            .expect("non-empty")
+    }
+
+    /// The owner of an emission routing instance as the partition filter
+    /// sees it: `None` (instance-less) routes to the default node.
+    pub fn owner_of(&self, instance: Option<u64>) -> u32 {
+        match instance {
+            Some(raw) => self.owner_of_instance(raw),
+            None => self.default_node(),
+        }
+    }
+
+    /// The standing detector partition filter for member `me`: keeps
+    /// exactly the emissions this node owns (see
+    /// [`cmi_awareness::engine::AwarenessEngine::set_partition_filter`]).
+    pub fn partition_filter(&self, me: u32) -> PartitionFilter {
+        let cluster = self.clone();
+        Arc::new(move |instance| cluster.owner_of(instance) == me)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership_is_deterministic_and_total() {
+        let c = ClusterConfig::loopback(3);
+        for raw in 0..10_000u64 {
+            let owner = c.owner_of_instance(raw);
+            assert!(c.is_member(owner));
+            assert_eq!(owner, c.owner_of_instance(raw), "stable");
+        }
+        assert_eq!(c.owner_of(None), 0);
+    }
+
+    #[test]
+    fn placement_is_roughly_balanced() {
+        let c = ClusterConfig::loopback(4);
+        let mut counts = [0usize; 4];
+        for raw in 0..40_000u64 {
+            counts[c.owner_of_instance(raw) as usize] += 1;
+        }
+        for &n in &counts {
+            // 10_000 expected per node; allow ±15%.
+            assert!((8_500..=11_500).contains(&n), "skewed placement: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn growing_the_cluster_moves_a_minority_of_instances() {
+        let three = ClusterConfig::loopback(3);
+        let four = ClusterConfig::loopback(4);
+        let moved = (0..30_000u64)
+            .filter(|&raw| {
+                let old = three.owner_of_instance(raw);
+                let new = four.owner_of_instance(raw);
+                old != new
+            })
+            .count();
+        // Rendezvous hashing relocates ~1/4 when going 3 → 4 members.
+        assert!(moved < 30_000 / 3, "moved {moved} of 30000");
+        // And everything that moved, moved *to* the new node.
+        for raw in 0..30_000u64 {
+            if three.owner_of_instance(raw) != four.owner_of_instance(raw) {
+                assert_eq!(four.owner_of_instance(raw), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_filters_tile_the_instance_space() {
+        let c = ClusterConfig::loopback(3);
+        let filters: Vec<_> = (0..3).map(|me| c.partition_filter(me)).collect();
+        for raw in 0..5_000u64 {
+            let keepers = filters.iter().filter(|f| f(Some(raw))).count();
+            assert_eq!(keepers, 1, "instance {raw} kept by {keepers} nodes");
+        }
+        assert_eq!(filters.iter().filter(|f| f(None)).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node ids")]
+    fn duplicate_ids_rejected() {
+        ClusterConfig::new(vec![
+            NodeSpec { id: 1, addr: "a".into() },
+            NodeSpec { id: 1, addr: "b".into() },
+        ]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Typed federation errors.
+
+use std::fmt;
+use std::io;
+
+/// Result alias for federation operations.
+pub type FedResult<T> = Result<T, FedError>;
+
+/// A federation-layer failure.
+#[derive(Debug)]
+pub enum FedError {
+    /// The owning peer node is unreachable (dial failed, link dead and
+    /// reconnect exhausted, or in backoff after repeated failures). The
+    /// caller's event was **not** ingested anywhere; retrying later is safe
+    /// because forwarded events carry link-local sequence numbers.
+    PeerUnavailable {
+        /// The cluster node id that could not be reached.
+        node: u32,
+    },
+    /// A node id that is not a member of the cluster configuration.
+    NotAMember {
+        /// The offending node id.
+        node: u32,
+    },
+    /// The peer answered with a protocol-level error message.
+    Remote {
+        /// The peer that answered.
+        node: u32,
+        /// The rendered remote error.
+        message: String,
+    },
+    /// A local transport failure outside the dial/reconnect path.
+    Io(io::Error),
+}
+
+impl fmt::Display for FedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FedError::PeerUnavailable { node } => {
+                write!(f, "federation peer node {node} is unavailable")
+            }
+            FedError::NotAMember { node } => {
+                write!(f, "node {node} is not a member of the cluster")
+            }
+            FedError::Remote { node, message } => {
+                write!(f, "federation peer node {node} answered with an error: {message}")
+            }
+            FedError::Io(e) => write!(f, "federation transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FedError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FedError {
+    fn from(e: io::Error) -> Self {
+        FedError::Io(e)
+    }
+}

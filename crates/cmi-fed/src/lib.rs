@@ -1,0 +1,43 @@
+//! cmi-fed — multi-node federation of CMI servers.
+//!
+//! The paper's Fig. 5 architecture is a single enactment server with
+//! worklist / monitor / viewer clients on a wire. This crate lets *N* such
+//! servers form a cluster that behaves, to every client, like one server:
+//!
+//! * [`cluster`] — static membership plus the deterministic instance
+//!   partitioner (rendezvous hashing of raw process-instance ids onto
+//!   nodes). Federation is "sharding, one level up": the cluster hash picks
+//!   the owning **node**, then that node's sharded detector (PR 1) picks
+//!   the owning **shard**, using the same routing-instance derivation at
+//!   both levels.
+//! * [`peer`] — the inter-node link, layered on the ordinary `cmi-net`
+//!   framed protocol (`Request::FedHello` / `FedEvent` / `FedNotify` /
+//!   `FedGossip`). Links auto-reconnect with resume; forwarded events carry
+//!   strictly increasing link-local sequence numbers so retransmits
+//!   collapse in the receiver's replay cache (exactly-once ingest); a dead
+//!   peer fails fast with a typed error instead of wedging callers.
+//! * [`node`] — [`node::FedCore`] (the server-side hooks: peer protocol,
+//!   event forwarding, notification routing, directory gossip) and
+//!   [`node::FedNode`] (the per-node front owning the pumps and the
+//!   restartable listener). Any node accepts any client: events for
+//!   non-owned instances forward to their owner, and composite-event
+//!   notifications route back to wherever the subscriber is signed on,
+//!   with the same sequence/acknowledge exactly-once semantics the
+//!   client wire uses.
+//! * [`testkit`] — an in-memory loopback cluster harness with node
+//!   kill/restart, used by the differential suite and the benches.
+//! * [`error`] — typed federation errors.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod error;
+pub mod node;
+pub mod peer;
+pub mod testkit;
+
+pub use cluster::{ClusterConfig, NodeSpec};
+pub use error::{FedError, FedResult};
+pub use node::{FedConfig, FedCore, FedNode};
+pub use peer::{PeerConfig, PeerLink};

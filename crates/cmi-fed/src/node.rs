@@ -1,0 +1,871 @@
+//! The federated node: [`FedCore`] (the [`FederationHooks`] implementation
+//! servicing the peer protocol) and [`FedNode`] (the per-node front that
+//! owns the CMI server, the peer links, the notification pumps, and the
+//! optional network listener).
+//!
+//! ## How the pieces route
+//!
+//! * **Events in.** Any node accepts `ExternalEvent` from any client. The
+//!   hook derives the event's routing instances (the same conservative set
+//!   the intra-node shard router uses), maps each through the cluster's
+//!   rendezvous hash, ingests locally for instances this node owns, and
+//!   forwards one [`Request::FedEvent`] per remote owner over that peer's
+//!   link — with a link-local sequence number so a retransmit after a
+//!   reconnect is collapsed by the receiver's replay cache (exactly-once
+//!   ingest).
+//! * **Notifications out.** Detection and delivery run at the owning node,
+//!   enqueueing into its local persistent queue. A per-peer **pump thread**
+//!   watches the queue: notifications for users signed on at a peer (per
+//!   directory gossip) are batched into [`Request::FedNotify`], and only
+//!   acknowledged out of the local queue once the peer confirms — so a
+//!   mid-flight crash retransmits, and the receiver's per-origin dedup
+//!   window collapses the duplicates (exactly-once, in-order delivery
+//!   across the hop). The batch size bounds how much a slow peer can have
+//!   in flight (backpressure); a dead peer parks notifications in the
+//!   durable local queue.
+//! * **Directory gossip.** Sign-on edges (0↔1 sessions per user) gossip the
+//!   node's full signed-on set to every peer ([`Request::FedGossip`],
+//!   idempotent wholesale replacement), which is what the pumps route by.
+//!   Local sign-ons always take precedence over a stale remote claim.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use cmi_awareness::queue::Notification;
+use cmi_awareness::system::CmiServer;
+use cmi_core::ids::UserId;
+use cmi_core::time::{Clock, Timestamp};
+use cmi_core::value::Value;
+use cmi_events::producers;
+use cmi_net::client::DialFn;
+use cmi_net::server::{FederationHooks, NetConfig, NetServer, NetStats};
+use cmi_net::transport::{loopback, Listener, LoopbackConnector};
+use cmi_net::wire::{Request, Response};
+use cmi_service::ServiceEngine;
+use cmi_obs::{Counter, Gauge, Histogram, ObsRegistry, LATENCY_BUCKETS_NS};
+
+use crate::cluster::ClusterConfig;
+use crate::error::{FedError, FedResult};
+use crate::peer::{PeerConfig, PeerLink};
+
+/// Per-origin dedup window for routed notifications (entries, not bytes).
+const NOTE_DEDUP_WINDOW: usize = 4096;
+
+/// Federation tuning for one node.
+#[derive(Debug, Clone)]
+pub struct FedConfig {
+    /// Peer-link transport tuning.
+    pub peer: PeerConfig,
+    /// Maximum notifications per [`Request::FedNotify`] batch — the bound
+    /// on what a slow peer can have unacknowledged in flight.
+    pub window: usize,
+    /// Relay hop cap for notifications chasing a moving subscriber; beyond
+    /// it the notification parks in the local durable queue instead.
+    pub max_hops: u32,
+    /// Pump safety-net tick: the longest a routable notification waits when
+    /// every kick was missed (also the gossip retry cadence).
+    pub pump_interval: Duration,
+}
+
+impl Default for FedConfig {
+    fn default() -> Self {
+        FedConfig {
+            peer: PeerConfig::default(),
+            window: 64,
+            max_hops: 4,
+            pump_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Metric series names the federation layer publishes (per peer/origin
+/// label), all on the node's shared [`ObsRegistry`] so they surface through
+/// `Request::Telemetry` like every other subsystem's.
+pub mod series {
+    /// Events forwarded to an owning peer (label `peer`).
+    pub const FORWARDS: &str = "cmi_fed_forwards";
+    /// Forward round-trip latency in nanoseconds (label `peer`).
+    pub const FORWARD_NS: &str = "cmi_fed_forward_ns";
+    /// Peer-link reconnects with resume (label `peer`).
+    pub const RECONNECTS: &str = "cmi_fed_reconnects";
+    /// Notifications routed out to the node holding the subscriber (label
+    /// `peer`).
+    pub const NOTES_ROUTED: &str = "cmi_fed_notes_routed";
+    /// Notifications relayed onward after a stale gossip hop (label `peer`).
+    pub const RELAYS: &str = "cmi_fed_relays";
+    /// Forwarded events ingested on behalf of an origin peer (label
+    /// `origin`).
+    pub const EVENTS_IN: &str = "cmi_fed_forwarded_events";
+    /// Forwarded-event retransmits answered from the replay cache (label
+    /// `origin`).
+    pub const REPLAYS: &str = "cmi_fed_replays";
+    /// Routed notifications enqueued locally for delivery (label `origin`).
+    pub const REMOTE_ENQUEUED: &str = "cmi_fed_remote_enqueued";
+    /// Routed-notification duplicates dropped by the dedup window (label
+    /// `origin`).
+    pub const DUP_DROPPED: &str = "cmi_fed_dup_dropped";
+    /// Users currently signed on at a peer, per its last gossip (label
+    /// `peer`).
+    pub const REMOTE_SIGNONS: &str = "cmi_fed_remote_signons";
+    /// Distinct owned process instances this node has routed events for.
+    pub const PARTITION_INSTANCES: &str = "cmi_fed_partition_instances";
+}
+
+/// Per-peer metric handles (outbound direction).
+struct PeerMetrics {
+    forwards: Counter,
+    forward_ns: Histogram,
+    notes_routed: Counter,
+    relays: Counter,
+    remote_signons: Gauge,
+}
+
+/// Per-origin metric handles (inbound direction).
+struct OriginMetrics {
+    events_in: Counter,
+    replays: Counter,
+    remote_enqueued: Counter,
+    dup_dropped: Counter,
+}
+
+/// A bounded sliding dedup window over routed-notification keys.
+struct SeenWindow {
+    set: BTreeSet<u64>,
+    order: VecDeque<u64>,
+}
+
+impl SeenWindow {
+    fn new() -> SeenWindow {
+        SeenWindow {
+            set: BTreeSet::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.set.contains(&key)
+    }
+
+    fn insert(&mut self, key: u64) {
+        if self.set.insert(key) {
+            self.order.push_back(key);
+            if self.order.len() > NOTE_DEDUP_WINDOW {
+                if let Some(old) = self.order.pop_front() {
+                    self.set.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// Pump control block, one per peer: kick flag + gossip-dirty flag.
+struct PumpCtl {
+    state: Mutex<PumpState>,
+    cv: Condvar,
+}
+
+struct PumpState {
+    kicked: bool,
+    gossip_dirty: bool,
+}
+
+impl PumpCtl {
+    fn new() -> PumpCtl {
+        PumpCtl {
+            state: Mutex::new(PumpState {
+                kicked: true,
+                // Send the initial gossip eagerly so peers learn our (empty)
+                // sign-on set and the links come up before first use.
+                gossip_dirty: true,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn kick(&self) {
+        let mut s = self.state.lock();
+        s.kicked = true;
+        self.cv.notify_one();
+    }
+
+    fn mark_dirty(&self) {
+        let mut s = self.state.lock();
+        s.gossip_dirty = true;
+        s.kicked = true;
+        self.cv.notify_one();
+    }
+}
+
+/// The federation core for one node: owns the peer links, the routing
+/// state, and implements [`FederationHooks`] for the node's session server.
+pub struct FedCore {
+    me: u32,
+    cluster: ClusterConfig,
+    cmi: Arc<CmiServer>,
+    cfg: FedConfig,
+    peers: BTreeMap<u32, Arc<PeerLink>>,
+    pumps: BTreeMap<u32, Arc<PumpCtl>>,
+    peer_metrics: BTreeMap<u32, PeerMetrics>,
+    origin_metrics: BTreeMap<u32, OriginMetrics>,
+    partition_gauge: Gauge,
+    /// Users with at least one signed-on session on THIS node (maintained
+    /// from [`FederationHooks::signed_on_edge`]; never reads the server's
+    /// own sign-on map, so no lock ordering constraint exists between them).
+    local_signons: Mutex<BTreeSet<u64>>,
+    /// Last gossiped signed-on set per peer node.
+    remote_signons: Mutex<BTreeMap<u32, BTreeSet<u64>>>,
+    /// Per-origin forwarded-event replay cache: `(last_seq, last_count)`.
+    replay: Mutex<BTreeMap<u32, (u64, u64)>>,
+    /// Per-origin dedup windows for routed notifications.
+    seen_notes: Mutex<BTreeMap<u32, SeenWindow>>,
+    /// Distinct owned instance ids observed by the router (partition-size
+    /// telemetry).
+    owned_seen: Mutex<BTreeSet<u64>>,
+    stopping: AtomicBool,
+}
+
+impl FedCore {
+    fn new(
+        cmi: Arc<CmiServer>,
+        cluster: ClusterConfig,
+        me: u32,
+        cfg: FedConfig,
+        mut dialers: BTreeMap<u32, Box<DialFn>>,
+    ) -> Arc<FedCore> {
+        assert!(cluster.is_member(me), "node {me} is not in the cluster");
+        let obs: Arc<ObsRegistry> = Arc::clone(cmi.obs());
+        let mut peers = BTreeMap::new();
+        let mut pumps = BTreeMap::new();
+        let mut peer_metrics = BTreeMap::new();
+        let mut origin_metrics = BTreeMap::new();
+        for spec in cluster.nodes() {
+            if spec.id == me {
+                continue;
+            }
+            let label = spec.id.to_string();
+            let dial = dialers
+                .remove(&spec.id)
+                .unwrap_or_else(|| panic!("no dialer for peer node {}", spec.id));
+            let reconnects = obs.counter_with(series::RECONNECTS, &[("peer", &label)]);
+            peers.insert(
+                spec.id,
+                Arc::new(PeerLink::new(me, spec.id, dial, cfg.peer.clone(), reconnects)),
+            );
+            pumps.insert(spec.id, Arc::new(PumpCtl::new()));
+            peer_metrics.insert(
+                spec.id,
+                PeerMetrics {
+                    forwards: obs.counter_with(series::FORWARDS, &[("peer", &label)]),
+                    forward_ns: obs.histogram_with(
+                        series::FORWARD_NS,
+                        &[("peer", &label)],
+                        LATENCY_BUCKETS_NS,
+                    ),
+                    notes_routed: obs.counter_with(series::NOTES_ROUTED, &[("peer", &label)]),
+                    relays: obs.counter_with(series::RELAYS, &[("peer", &label)]),
+                    remote_signons: obs.gauge_with(series::REMOTE_SIGNONS, &[("peer", &label)]),
+                },
+            );
+            origin_metrics.insert(
+                spec.id,
+                OriginMetrics {
+                    events_in: obs.counter_with(series::EVENTS_IN, &[("origin", &label)]),
+                    replays: obs.counter_with(series::REPLAYS, &[("origin", &label)]),
+                    remote_enqueued: obs
+                        .counter_with(series::REMOTE_ENQUEUED, &[("origin", &label)]),
+                    dup_dropped: obs.counter_with(series::DUP_DROPPED, &[("origin", &label)]),
+                },
+            );
+        }
+        Arc::new(FedCore {
+            me,
+            cluster,
+            partition_gauge: obs.gauge(series::PARTITION_INSTANCES),
+            cmi,
+            cfg,
+            peers,
+            pumps,
+            peer_metrics,
+            origin_metrics,
+            local_signons: Mutex::new(BTreeSet::new()),
+            remote_signons: Mutex::new(BTreeMap::new()),
+            replay: Mutex::new(BTreeMap::new()),
+            seen_notes: Mutex::new(BTreeMap::new()),
+            owned_seen: Mutex::new(BTreeSet::new()),
+            stopping: AtomicBool::new(false),
+        })
+    }
+
+    /// This node's cluster id.
+    pub fn node_id(&self) -> u32 {
+        self.me
+    }
+
+    /// The shared cluster configuration.
+    pub fn cluster(&self) -> &ClusterConfig {
+        &self.cluster
+    }
+
+    /// How many users the last gossip from `node` reported signed on there
+    /// (zero for an unknown peer). Diagnostic / test introspection.
+    pub fn remote_signon_count(&self, node: u32) -> usize {
+        self.remote_signons
+            .lock()
+            .get(&node)
+            .map_or(0, BTreeSet::len)
+    }
+
+    /// How many users currently hold signed-on sessions on this node.
+    pub fn local_signon_count(&self) -> usize {
+        self.local_signons.lock().len()
+    }
+
+    /// How many peer links currently hold a live connection. Diagnostic /
+    /// readiness introspection (a full mesh reports `cluster.len() - 1`).
+    pub fn connected_peers(&self) -> usize {
+        self.peers.values().filter(|l| l.is_connected()).count()
+    }
+
+    /// Routes one external event: local ingest for owned instances, one
+    /// sequenced [`Request::FedEvent`] per remote owner. Returns the total
+    /// notifications enqueued across the cluster for this event.
+    pub fn route_external(
+        &self,
+        source: &str,
+        fields: &[(String, Value)],
+    ) -> FedResult<u64> {
+        let t: Timestamp = Clock::now(self.cmi.clock());
+        let event = producers::external_event(source, t, fields.to_vec());
+        let instances = self.cmi.awareness().routing_instances(&event);
+        let mut owners: BTreeSet<u32> = BTreeSet::new();
+        if instances.is_empty() {
+            owners.insert(self.cluster.default_node());
+        } else {
+            let mut owned = self.owned_seen.lock();
+            for &raw in &instances {
+                let owner = self.cluster.owner_of_instance(raw);
+                owners.insert(owner);
+                if owner == self.me {
+                    owned.insert(raw);
+                }
+            }
+            self.partition_gauge.set(owned.len() as i64);
+        }
+        let mut total = 0u64;
+        for node in owners {
+            if node == self.me {
+                total += self.cmi.awareness().ingest(&event).len() as u64;
+                continue;
+            }
+            let peer = &self.peers[&node];
+            let m = &self.peer_metrics[&node];
+            let timer = m.forward_ns.start();
+            let resp = peer.call_seq(|seq| Request::FedEvent {
+                origin: self.me,
+                seq,
+                source: source.to_owned(),
+                time_ms: t.millis(),
+                fields: fields.to_vec(),
+            })?;
+            m.forward_ns.observe_since(timer);
+            m.forwards.inc();
+            match resp {
+                Response::Count(k) => total += k,
+                other => {
+                    return Err(FedError::Remote {
+                        node,
+                        message: format!("unexpected FedEvent response: {other:?}"),
+                    })
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Handles a forwarded event from `origin` (exactly-once via the
+    /// per-origin replay cache keyed by the link-local sequence number).
+    fn on_fed_event(
+        &self,
+        origin: u32,
+        seq: u64,
+        source: &str,
+        time_ms: u64,
+        fields: &[(String, Value)],
+    ) -> Response {
+        let Some(m) = self.origin_metrics.get(&origin) else {
+            return Response::Err {
+                message: format!("node {origin} is not a cluster peer"),
+            };
+        };
+        // The replay lock is held through the ingest so (seq → count) is
+        // recorded atomically; contention is bounded because each origin's
+        // link serializes its own calls.
+        let mut replay = self.replay.lock();
+        let entry = replay.entry(origin).or_insert((0, 0));
+        if seq == entry.0 {
+            m.replays.inc();
+            return Response::Count(entry.1);
+        }
+        if seq < entry.0 {
+            // Older than the cache: long since processed; nothing sane to
+            // re-answer (single-link ordering makes this unreachable).
+            return Response::Count(0);
+        }
+        let event = producers::external_event(
+            source,
+            Timestamp::from_millis(time_ms),
+            fields.to_vec(),
+        );
+        {
+            let mut owned = self.owned_seen.lock();
+            for &raw in &self.cmi.awareness().routing_instances(&event) {
+                if self.cluster.owner_of_instance(raw) == self.me {
+                    owned.insert(raw);
+                }
+            }
+            self.partition_gauge.set(owned.len() as i64);
+        }
+        let count = self.cmi.awareness().ingest(&event).len() as u64;
+        *entry = (seq, count);
+        m.events_in.inc();
+        Response::Count(count)
+    }
+
+    /// Handles a routed-notification batch from `origin`.
+    fn on_fed_notify(&self, origin: u32, notes: &[(u64, u32, Notification)]) -> Response {
+        let Some(m) = self.origin_metrics.get(&origin) else {
+            return Response::Err {
+                message: format!("node {origin} is not a cluster peer"),
+            };
+        };
+        let mut processed = 0u64;
+        for (origin_seq, hops, n) in notes {
+            if self
+                .seen_notes
+                .lock()
+                .entry(origin)
+                .or_insert_with(SeenWindow::new)
+                .contains(*origin_seq)
+            {
+                m.dup_dropped.inc();
+                processed += 1;
+                continue;
+            }
+            let user = n.user;
+            let local = self.local_signons.lock().contains(&user.raw());
+            if !local {
+                // Stale gossip: the subscriber is not here. Chase them if
+                // another peer claims them (bounded by the hop cap), else
+                // park the notification in the local durable queue.
+                if let Some(next) = self.claiming_peer(user) {
+                    if *hops < self.cfg.max_hops {
+                        let relayed = self.peers[&next]
+                            .call(&Request::FedNotify {
+                                origin,
+                                notes: vec![(*origin_seq, hops + 1, n.clone())],
+                            })
+                            .is_ok();
+                        if relayed {
+                            self.peer_metrics[&next].relays.inc();
+                            self.mark_note_seen(origin, *origin_seq);
+                            processed += 1;
+                            continue;
+                        }
+                    }
+                }
+            }
+            // Enqueue locally (fresh local sequence number). Only a durable
+            // enqueue marks the key seen, so an I/O failure here leaves the
+            // retransmit path open.
+            if self.cmi.awareness().queue().enqueue(n.clone()).is_ok() {
+                let _ = self.cmi.directory().adjust_load(user, 1);
+                m.remote_enqueued.inc();
+                self.mark_note_seen(origin, *origin_seq);
+                processed += 1;
+            }
+        }
+        Response::Count(processed)
+    }
+
+    fn mark_note_seen(&self, origin: u32, origin_seq: u64) {
+        self.seen_notes
+            .lock()
+            .entry(origin)
+            .or_insert_with(SeenWindow::new)
+            .insert(origin_seq);
+    }
+
+    /// The lowest-id peer whose last gossip claims `user` is signed on
+    /// there (lowest id so two claimants never both receive a route).
+    fn claiming_peer(&self, user: UserId) -> Option<u32> {
+        self.remote_signons
+            .lock()
+            .iter()
+            .find(|(_, set)| set.contains(&user.raw()))
+            .map(|(&node, _)| node)
+    }
+
+    /// Queue-enqueue hook: when a notification lands for a user who is
+    /// signed on at a peer (and not here), kick that peer's pump.
+    fn on_enqueued(&self, user: UserId) {
+        if self.stopping.load(Ordering::Relaxed) {
+            return;
+        }
+        if self.local_signons.lock().contains(&user.raw()) {
+            return;
+        }
+        if let Some(node) = self.claiming_peer(user) {
+            if let Some(ctl) = self.pumps.get(&node) {
+                ctl.kick();
+            }
+        }
+    }
+
+    fn kick_all(&self) {
+        for ctl in self.pumps.values() {
+            ctl.kick();
+        }
+    }
+
+    fn mark_all_dirty(&self) {
+        for ctl in self.pumps.values() {
+            ctl.mark_dirty();
+        }
+    }
+
+    /// One pump thread body: gossip when dirty (or after a link resume),
+    /// then route every pending notification owned by `target`.
+    fn pump_main(self: &Arc<Self>, target: u32) {
+        let link = self.peers[&target].clone();
+        let ctl = self.pumps[&target].clone();
+        let metrics = &self.peer_metrics[&target];
+        let queue = self.cmi.awareness().queue().clone();
+        let mut last_gossip_epoch = u64::MAX; // force gossip on first contact
+        while !self.stopping.load(Ordering::Acquire) {
+            {
+                let mut s = ctl.state.lock();
+                if !s.kicked {
+                    ctl.cv.wait_for(&mut s, self.cfg.pump_interval);
+                }
+                s.kicked = false;
+            }
+            if self.stopping.load(Ordering::Acquire) {
+                break;
+            }
+            // Gossip pass: on an explicit edge, or whenever the link has
+            // reconnected since the last successful gossip (the peer's
+            // replay state survives a resume, but its view of our sign-ons
+            // must be refreshed eagerly rather than waiting for the next
+            // edge).
+            let dirty = {
+                let mut s = ctl.state.lock();
+                std::mem::take(&mut s.gossip_dirty)
+            };
+            if dirty || link.epoch() != last_gossip_epoch {
+                let signed_on: Vec<u64> = self.local_signons.lock().iter().copied().collect();
+                match link.call(&Request::FedGossip {
+                    origin: self.me,
+                    signed_on,
+                }) {
+                    Ok(_) => last_gossip_epoch = link.epoch(),
+                    Err(_) => {
+                        // Peer down: re-arm and retry on the next tick.
+                        ctl.state.lock().gossip_dirty = true;
+                        continue;
+                    }
+                }
+            }
+            // Route pass: users pending locally but signed on at `target`.
+            // Loop while any batch came back full so a burst drains without
+            // waiting for the next kick, while the batch size keeps any one
+            // flight bounded (slow-peer backpressure).
+            loop {
+                let mut saturated = false;
+                let mut peer_down = false;
+                for user in queue.users_with_pending() {
+                    if self.local_signons.lock().contains(&user.raw()) {
+                        continue;
+                    }
+                    if self.claiming_peer(user) != Some(target) {
+                        continue;
+                    }
+                    let batch = queue.fetch(user, self.cfg.window);
+                    if batch.is_empty() {
+                        continue;
+                    }
+                    let seqs: Vec<u64> = batch.iter().map(|n| n.seq).collect();
+                    let notes: Vec<(u64, u32, Notification)> =
+                        batch.into_iter().map(|n| (n.seq, 0, n)).collect();
+                    let sent = notes.len();
+                    let timer = metrics.forward_ns.start();
+                    match link.call(&Request::FedNotify {
+                        origin: self.me,
+                        notes,
+                    }) {
+                        Ok(_) => {
+                            metrics.forward_ns.observe_since(timer);
+                            // The peer has durably enqueued (or deduped)
+                            // every entry: drop them here and release the
+                            // load the local delivery charged.
+                            let _ = queue.ack_exact(user, &seqs);
+                            let _ = self.cmi.directory().adjust_load(user, -(sent as i32));
+                            metrics.notes_routed.add(sent as u64);
+                            if sent == self.cfg.window {
+                                saturated = true;
+                            }
+                        }
+                        Err(_) => {
+                            // Dead peer: notifications stay parked in the
+                            // durable queue; retry on the next tick.
+                            peer_down = true;
+                            break;
+                        }
+                    }
+                }
+                if !saturated || peer_down {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl FederationHooks for FedCore {
+    fn handle(&self, req: &Request) -> Option<Response> {
+        match req {
+            Request::FedHello { node, resume: _ } => {
+                if !self.cluster.is_member(*node) || *node == self.me {
+                    return Some(Response::Err {
+                        message: format!("node {node} is not a cluster peer"),
+                    });
+                }
+                // A (re)connected peer needs our current sign-on view; its
+                // own gossip to us rides on the link it just opened.
+                if let Some(ctl) = self.pumps.get(node) {
+                    ctl.mark_dirty();
+                }
+                Some(Response::Ok)
+            }
+            Request::FedEvent {
+                origin,
+                seq,
+                source,
+                time_ms,
+                fields,
+            } => Some(self.on_fed_event(*origin, *seq, source, *time_ms, fields)),
+            Request::FedNotify { origin, notes } => Some(self.on_fed_notify(*origin, notes)),
+            Request::FedGossip { origin, signed_on } => {
+                if let Some(m) = self.peer_metrics.get(origin) {
+                    m.remote_signons.set(signed_on.len() as i64);
+                } else {
+                    return Some(Response::Err {
+                        message: format!("node {origin} is not a cluster peer"),
+                    });
+                }
+                self.remote_signons
+                    .lock()
+                    .insert(*origin, signed_on.iter().copied().collect());
+                // Users may have become routable (or stopped being): every
+                // pump re-evaluates.
+                self.kick_all();
+                Some(Response::Ok)
+            }
+            Request::ExternalEvent { source, fields } => Some(match self.route_external(source, fields) {
+                Ok(count) => Response::Count(count),
+                Err(e) => Response::Err {
+                    message: e.to_string(),
+                },
+            }),
+            _ => None,
+        }
+    }
+
+    fn signed_on_edge(&self, user: UserId, on: bool) {
+        {
+            let mut set = self.local_signons.lock();
+            if on {
+                set.insert(user.raw());
+            } else {
+                set.remove(&user.raw());
+            }
+        }
+        self.mark_all_dirty();
+    }
+}
+
+impl std::fmt::Debug for FedCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FedCore")
+            .field("me", &self.me)
+            .field("cluster", &self.cluster.len())
+            .field("peers", &self.peers.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// One node of a federated cluster: the CMI server, its federation core,
+/// the notification pumps, and the (restartable) network front.
+pub struct FedNode {
+    cmi: Arc<CmiServer>,
+    core: Arc<FedCore>,
+    net: Mutex<Option<NetServer>>,
+    pump_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl FedNode {
+    /// Builds a federated node around `cmi`. `dialers` must contain one
+    /// dial function per *other* cluster member, keyed by node id. The
+    /// node's detector partition filter is installed here; serve a listener
+    /// with [`FedNode::serve`] (or [`FedNode::serve_loopback`]) to accept
+    /// clients and peers.
+    pub fn new(
+        cmi: Arc<CmiServer>,
+        cluster: ClusterConfig,
+        me: u32,
+        cfg: FedConfig,
+        dialers: BTreeMap<u32, Box<DialFn>>,
+    ) -> Arc<FedNode> {
+        let core = FedCore::new(cmi.clone(), cluster.clone(), me, cfg, dialers);
+        cmi.awareness()
+            .set_partition_filter(Some(cluster.partition_filter(me)));
+        // The enqueue hook holds a weak ref: the queue outlives nothing
+        // here, and a strong ref would cycle (CmiServer → queue → hook →
+        // core → CmiServer).
+        let weak: Weak<FedCore> = Arc::downgrade(&core);
+        cmi.awareness().queue().subscribe_enqueue(Box::new(move |user| {
+            match weak.upgrade() {
+                Some(core) => {
+                    core.on_enqueued(user);
+                    true
+                }
+                None => false,
+            }
+        }));
+        let mut threads = Vec::new();
+        for &target in core.peers.keys() {
+            let core2 = core.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("cmi-fed-peer-{target}"))
+                    .spawn(move || core2.pump_main(target))
+                    .expect("spawn fed pump thread"),
+            );
+        }
+        Arc::new(FedNode {
+            cmi,
+            core,
+            net: Mutex::new(None),
+            pump_threads: Mutex::new(threads),
+        })
+    }
+
+    /// The wrapped CMI server.
+    pub fn cmi(&self) -> &Arc<CmiServer> {
+        &self.cmi
+    }
+
+    /// The federation core (also the [`FederationHooks`] implementation).
+    pub fn core(&self) -> &Arc<FedCore> {
+        &self.core
+    }
+
+    /// This node's cluster id.
+    pub fn node_id(&self) -> u32 {
+        self.core.me
+    }
+
+    /// Serves clients and peers behind `listener`, replacing any previous
+    /// front. Returns `true` if an old front was shut down first.
+    pub fn serve(&self, listener: Box<dyn Listener>, cfg: NetConfig) -> bool {
+        let server = NetServer::serve_with_federation(
+            self.cmi.clone(),
+            listener,
+            cfg,
+            Some(self.core.clone() as Arc<dyn FederationHooks>),
+        );
+        let old = self.net.lock().replace(server);
+        match old {
+            Some(s) => {
+                s.shutdown();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Serves over a fresh in-memory loopback; returns the connector
+    /// clients (and peers) dial.
+    pub fn serve_loopback(&self, cfg: NetConfig) -> LoopbackConnector {
+        let (listener, connector) = loopback();
+        self.serve(Box::new(listener), cfg);
+        connector
+    }
+
+    /// Tears the network front down (sessions drain, peers see a dead
+    /// node), keeping engine + queue state intact. [`FedNode::serve`] again
+    /// to simulate a restart.
+    pub fn kill_net(&self) -> Option<NetStats> {
+        self.net.lock().take().map(NetServer::shutdown)
+    }
+
+    /// Wires a [`ServiceEngine`] into the federation: its violation events
+    /// route to the node owning the consumer's process instance instead of
+    /// ingesting into the local (partition-filtered) engine, where a
+    /// non-owned violation would be silently dropped. A violation that
+    /// cannot be routed because the owner is unreachable is counted on
+    /// `cmi_fed_violation_route_errors` (the local share of the route has
+    /// already been ingested by then).
+    pub fn federate_service(&self, services: &ServiceEngine) {
+        let weak: Weak<FedCore> = Arc::downgrade(&self.core);
+        let errors = self.cmi.obs().counter("cmi_fed_violation_route_errors");
+        services.set_violation_sink(Some(Arc::new(move |source, fields| {
+            if let Some(core) = weak.upgrade() {
+                if core.route_external(source, &fields).is_err() {
+                    errors.inc();
+                }
+            }
+        })));
+    }
+
+    /// Local ingress for an external event, federation-routed (the
+    /// in-process equivalent of a client's `ExternalEvent` request hitting
+    /// this node). Returns the cluster-wide notification count.
+    pub fn external_event(
+        &self,
+        source: &str,
+        fields: Vec<(String, Value)>,
+    ) -> FedResult<u64> {
+        self.core.route_external(source, &fields)
+    }
+
+    /// Stops the pumps and the network front. Idempotent.
+    pub fn shutdown(&self) {
+        self.core.stopping.store(true, Ordering::Release);
+        self.core.kick_all();
+        for t in self.pump_threads.lock().drain(..) {
+            let _ = t.join();
+        }
+        if let Some(net) = self.net.lock().take() {
+            net.shutdown();
+        }
+    }
+}
+
+impl Drop for FedNode {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for FedNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FedNode")
+            .field("core", &self.core)
+            .field("serving", &self.net.lock().is_some())
+            .finish()
+    }
+}

@@ -1,0 +1,303 @@
+//! The inter-node peer link: one outbound, auto-reconnecting connection per
+//! `(this node, peer node)` pair, speaking the ordinary `cmi-net` framed
+//! protocol with the `Request::Fed*` extensions.
+//!
+//! A link is a plain client of the peer's session server — it dials the
+//! same listener participants use, identifies itself with
+//! [`Request::FedHello`], and then issues requests like any session. What
+//! makes it a *peer* link is the exactly-once machinery layered on top:
+//!
+//! * **Strictly increasing sequence numbers.** [`PeerLink::call_seq`] claims
+//!   the next link-local sequence number *while holding the link's I/O
+//!   lock*, so the sequence a peer observes is monotone even under
+//!   concurrent forwarders. A retransmit after a reconnect reuses the same
+//!   number, which the receiver recognizes as a replay and answers from its
+//!   cache instead of re-ingesting.
+//! * **Reconnect with resume.** A failed write/read tears the stream down
+//!   and the next call re-dials with `FedHello { resume: true }`; the
+//!   receiver keeps its replay state across resumes.
+//! * **Bounded backoff.** After a failed dial the link marks itself down
+//!   for a doubling interval (capped at half a second); calls inside the
+//!   window fail fast with [`FedError::PeerUnavailable`] instead of
+//!   stacking threads on a dead TCP connect — this is what keeps a dead
+//!   peer from wedging its neighbours.
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use cmi_net::client::DialFn;
+use cmi_net::codec::{encode_frame, FrameKind, FrameReader};
+use cmi_net::transport::NetStream;
+use cmi_net::wire::{Request, Response};
+use cmi_obs::Counter;
+
+use crate::error::{FedError, FedResult};
+
+/// Cap on the down-marking interval after consecutive failed dials.
+const MAX_BACKOFF: Duration = Duration::from_millis(500);
+/// Initial down-marking interval after a failed dial.
+const BASE_BACKOFF: Duration = Duration::from_millis(10);
+
+/// Tuning for one peer link.
+#[derive(Debug, Clone)]
+pub struct PeerConfig {
+    /// How long one request waits for its response before the link is
+    /// declared broken and reconnected.
+    pub response_timeout: Duration,
+}
+
+impl Default for PeerConfig {
+    fn default() -> Self {
+        PeerConfig {
+            response_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+struct LinkIo {
+    stream: Option<Box<dyn NetStream>>,
+    reader: FrameReader,
+    /// Next link-local sequence number to claim (strictly increasing).
+    next_seq: u64,
+    /// Whether this link has ever been up (drives `FedHello::resume`).
+    connected_once: bool,
+    /// Fail-fast window after a failed dial.
+    down_until: Option<Instant>,
+    backoff: Duration,
+}
+
+/// One outbound peer link (see the module docs).
+pub struct PeerLink {
+    /// This node's cluster id (sent in `FedHello`).
+    me: u32,
+    /// The peer's cluster id.
+    target: u32,
+    dial: Box<DialFn>,
+    cfg: PeerConfig,
+    io: Mutex<LinkIo>,
+    /// Bumped on every successful (re)connect; pumps compare epochs to know
+    /// when to re-gossip the full sign-on set after a resume.
+    epoch: AtomicU64,
+    /// `cmi_fed_reconnects{peer}` — resumes, not counting the first connect.
+    reconnects: Counter,
+}
+
+impl PeerLink {
+    /// A link from node `me` to node `target` dialing through `dial`.
+    /// `reconnects` is the per-peer reconnect counter to publish into.
+    pub fn new(
+        me: u32,
+        target: u32,
+        dial: Box<DialFn>,
+        cfg: PeerConfig,
+        reconnects: Counter,
+    ) -> PeerLink {
+        PeerLink {
+            me,
+            target,
+            dial,
+            cfg,
+            io: Mutex::new(LinkIo {
+                stream: None,
+                reader: FrameReader::new(),
+                next_seq: 1,
+                connected_once: false,
+                down_until: None,
+                backoff: BASE_BACKOFF,
+            }),
+            epoch: AtomicU64::new(0),
+            reconnects,
+        }
+    }
+
+    /// The peer's cluster node id.
+    pub fn target(&self) -> u32 {
+        self.target
+    }
+
+    /// The connect epoch: bumped on every successful (re)connect. A pump
+    /// that observes a new epoch re-sends its full directory gossip.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Sends `req` and awaits the response, transparently reconnecting
+    /// once on a broken link. Use for idempotent requests (`FedNotify`
+    /// dedups by origin sequence, `FedGossip` replaces wholesale).
+    pub fn call(&self, req: &Request) -> FedResult<Response> {
+        let mut io = self.io.lock();
+        self.call_io(&mut io, req)
+    }
+
+    /// Claims the next link-local sequence number and sends `build(seq)`,
+    /// retrying the *same* sequence number across one reconnect so the
+    /// receiver can collapse the retransmit (exactly-once ingest). The
+    /// claim happens under the link lock, so concurrent forwarders observe
+    /// strictly increasing sequence numbers on the wire.
+    pub fn call_seq(&self, build: impl Fn(u64) -> Request) -> FedResult<Response> {
+        let mut io = self.io.lock();
+        self.ensure_connected(&mut io)?;
+        let seq = io.next_seq;
+        io.next_seq += 1;
+        let req = build(seq);
+        self.call_io(&mut io, &req)
+    }
+
+    /// Whether the link currently holds a live stream. Diagnostic only:
+    /// the peer may still have gone away without the stream noticing yet.
+    pub fn is_connected(&self) -> bool {
+        self.io.lock().stream.is_some()
+    }
+
+    /// Drops the live stream (if any) so the next call re-dials. Test hook
+    /// mirroring `Connection::kill_link`.
+    pub fn kill_link(&self) {
+        let mut io = self.io.lock();
+        if let Some(s) = io.stream.take() {
+            s.shutdown_stream();
+        }
+        io.reader = FrameReader::new();
+    }
+
+    fn call_io(&self, io: &mut LinkIo, req: &Request) -> FedResult<Response> {
+        // Two attempts: the live (possibly stale) stream, then one fresh
+        // reconnect. Beyond that the peer is reported unavailable.
+        for _attempt in 0..2 {
+            self.ensure_connected(io)?;
+            match self.roundtrip(io, req) {
+                Ok(Response::Err { message }) => {
+                    return Err(FedError::Remote {
+                        node: self.target,
+                        message,
+                    })
+                }
+                Ok(resp) => return Ok(resp),
+                Err(_) => {
+                    // Broken link: tear down and let the next loop
+                    // iteration re-dial (with resume).
+                    if let Some(s) = io.stream.take() {
+                        s.shutdown_stream();
+                    }
+                    io.reader = FrameReader::new();
+                }
+            }
+        }
+        Err(FedError::PeerUnavailable { node: self.target })
+    }
+
+    fn ensure_connected(&self, io: &mut LinkIo) -> FedResult<()> {
+        if io.stream.is_some() {
+            return Ok(());
+        }
+        if let Some(t) = io.down_until {
+            if Instant::now() < t {
+                return Err(FedError::PeerUnavailable { node: self.target });
+            }
+        }
+        let resume = io.connected_once;
+        match self.try_dial(resume) {
+            Ok((stream, reader)) => {
+                io.stream = Some(stream);
+                io.reader = reader;
+                io.down_until = None;
+                io.backoff = BASE_BACKOFF;
+                if resume {
+                    self.reconnects.inc();
+                }
+                io.connected_once = true;
+                self.epoch.fetch_add(1, Ordering::AcqRel);
+                Ok(())
+            }
+            Err(_) => {
+                io.down_until = Some(Instant::now() + io.backoff);
+                io.backoff = (io.backoff * 2).min(MAX_BACKOFF);
+                Err(FedError::PeerUnavailable { node: self.target })
+            }
+        }
+    }
+
+    /// Dials and performs the `FedHello` handshake on the fresh stream.
+    fn try_dial(&self, resume: bool) -> io::Result<(Box<dyn NetStream>, FrameReader)> {
+        let mut stream = (self.dial)()?;
+        stream.set_stream_read_timeout(Some(self.cfg.response_timeout.min(Duration::from_millis(50))))?;
+        let mut reader = FrameReader::new();
+        let hello = Request::FedHello {
+            node: self.me,
+            resume,
+        };
+        stream.write_all(&encode_frame(FrameKind::Request, &hello.encode()))?;
+        match self.read_response(&mut stream, &mut reader)? {
+            Response::Ok => Ok((stream, reader)),
+            Response::Err { message } => Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("peer rejected FedHello: {message}"),
+            )),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected FedHello response: {other:?}"),
+            )),
+        }
+    }
+
+    /// One request/response exchange on the live stream.
+    fn roundtrip(&self, io: &mut LinkIo, req: &Request) -> io::Result<Response> {
+        let stream = io.stream.as_mut().expect("ensure_connected ran");
+        stream.write_all(&encode_frame(FrameKind::Request, &req.encode()))?;
+        let mut reader = std::mem::take(&mut io.reader);
+        let out = self.read_response(stream, &mut reader);
+        io.reader = reader;
+        out
+    }
+
+    /// Polls for the next `Response` frame until the response timeout
+    /// elapses. Pongs are skipped; a `Goodbye` (server shutdown) is a
+    /// broken link.
+    fn read_response(
+        &self,
+        stream: &mut Box<dyn NetStream>,
+        reader: &mut FrameReader,
+    ) -> io::Result<Response> {
+        let deadline = Instant::now() + self.cfg.response_timeout;
+        loop {
+            match reader.poll(&mut **stream)? {
+                Some(f) if f.kind == FrameKind::Response => {
+                    return Response::decode(&f.payload).map_err(|e| {
+                        io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}"))
+                    });
+                }
+                Some(f) if f.kind == FrameKind::Pong || f.kind == FrameKind::Push => {
+                    // A peer link never subscribes, but tolerate stray
+                    // pushes rather than tearing the link down.
+                    continue;
+                }
+                Some(_) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        "peer closed the session",
+                    ));
+                }
+                None => {
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "peer response timeout",
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for PeerLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeerLink")
+            .field("me", &self.me)
+            .field("target", &self.target)
+            .field("epoch", &self.epoch())
+            .finish()
+    }
+}

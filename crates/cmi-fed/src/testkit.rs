@@ -1,0 +1,172 @@
+//! An in-memory federated cluster harness for tests, benches and examples.
+//!
+//! Every node serves over the deterministic loopback transport. Dialing —
+//! by peer links and by test clients — goes through per-node *dial slots*
+//! so a killed node's dials fail fast and a restarted node's fresh
+//! listener is picked up transparently by the auto-reconnect machinery.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use cmi_awareness::system::CmiServer;
+use cmi_net::client::{ClientConfig, Connection, DialFn};
+use cmi_net::server::NetConfig;
+use cmi_net::transport::{LoopbackConnector, NetStream};
+
+use crate::cluster::ClusterConfig;
+use crate::node::{FedConfig, FedNode};
+
+/// One swappable dial target (None while the node's front is down).
+type DialSlot = Arc<Mutex<Option<LoopbackConnector>>>;
+
+fn dial_through(slot: &DialSlot) -> io::Result<Box<dyn NetStream>> {
+    match slot.lock().as_ref() {
+        Some(connector) => connector.dial(),
+        None => Err(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            "node is down",
+        )),
+    }
+}
+
+/// A running loopback cluster of [`FedNode`]s with kill/restart support.
+pub struct LoopbackCluster {
+    cluster: ClusterConfig,
+    nodes: Vec<Arc<FedNode>>,
+    slots: Vec<DialSlot>,
+    net_cfg: NetConfig,
+}
+
+impl LoopbackCluster {
+    /// Starts `n` nodes with default federation tuning, running `setup` on
+    /// each node's fresh [`CmiServer`] **before** it serves. Run the exact
+    /// same setup (schemas, users, specs — in the same order) on every node
+    /// and on any single-node oracle so ids line up cluster-wide.
+    pub fn start(n: usize, net_cfg: NetConfig, setup: &dyn Fn(&CmiServer)) -> LoopbackCluster {
+        LoopbackCluster::start_with(n, net_cfg, FedConfig::default(), setup)
+    }
+
+    /// [`LoopbackCluster::start`] with explicit federation tuning.
+    pub fn start_with(
+        n: usize,
+        net_cfg: NetConfig,
+        fed_cfg: FedConfig,
+        setup: &dyn Fn(&CmiServer),
+    ) -> LoopbackCluster {
+        let cluster = ClusterConfig::loopback(n);
+        let slots: Vec<DialSlot> = (0..n).map(|_| Arc::new(Mutex::new(None))).collect();
+        let mut nodes = Vec::with_capacity(n);
+        for me in 0..n as u32 {
+            let cmi = Arc::new(CmiServer::new());
+            setup(&cmi);
+            let mut dialers: BTreeMap<u32, Box<DialFn>> = BTreeMap::new();
+            for peer in 0..n as u32 {
+                if peer == me {
+                    continue;
+                }
+                let slot = slots[peer as usize].clone();
+                dialers.insert(peer, Box::new(move || dial_through(&slot)));
+            }
+            let node = FedNode::new(cmi, cluster.clone(), me, fed_cfg.clone(), dialers);
+            let connector = node.serve_loopback(net_cfg.clone());
+            *slots[me as usize].lock() = Some(connector);
+            nodes.push(node);
+        }
+        let built = LoopbackCluster {
+            cluster,
+            nodes,
+            slots,
+            net_cfg,
+        };
+        // Nodes start their pumps before later peers are listening, so the
+        // first dials fail and push links into reconnect backoff. Wait for
+        // the mesh to settle; otherwise the first forwarded event of a test
+        // can land inside a fail-fast window and report PeerUnavailable.
+        built.await_full_mesh();
+        built
+    }
+
+    /// Blocks until every node holds a live link to every peer (the pumps
+    /// establish links while retrying their initial gossip). Panics after a
+    /// generous deadline — a mesh that cannot form is a harness bug.
+    pub fn await_full_mesh(&self) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        for node in &self.nodes {
+            while node.core().connected_peers() + 1 < self.nodes.len() {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "peer mesh never formed (node {} sees {}/{} links)",
+                    node.core().node_id(),
+                    node.core().connected_peers(),
+                    self.nodes.len() - 1
+                );
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+    }
+
+    /// The shared membership / partitioner.
+    pub fn cluster(&self) -> &ClusterConfig {
+        &self.cluster
+    }
+
+    /// Node `i`.
+    pub fn node(&self, i: usize) -> &Arc<FedNode> {
+        &self.nodes[i]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the cluster has no nodes (never, once started).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Connects a client to node `i` and signs on `user`. The connection
+    /// re-dials through the node's slot, so it survives a kill + restart
+    /// of that node (transparent resume).
+    pub fn connect(
+        &self,
+        i: usize,
+        user: &str,
+        cfg: ClientConfig,
+    ) -> io::Result<Connection> {
+        let slot = self.slots[i].clone();
+        Connection::connect(Box::new(move || dial_through(&slot)), user, cfg)
+    }
+
+    /// Tears node `i`'s network front down: its sessions drop, peer dials
+    /// to it fail fast, and notifications destined for it park durably at
+    /// their origin nodes. Engine and queue state survive.
+    pub fn kill(&self, i: usize) {
+        *self.slots[i].lock() = None;
+        self.nodes[i].kill_net();
+    }
+
+    /// Restarts node `i`'s network front on a fresh loopback listener.
+    /// Peer links and clients resume on their next dial.
+    pub fn restart(&self, i: usize) {
+        let connector = self.nodes[i].serve_loopback(self.net_cfg.clone());
+        *self.slots[i].lock() = Some(connector);
+    }
+
+    /// Shuts every node down (pumps joined, fronts drained).
+    pub fn shutdown(&self) {
+        for (i, node) in self.nodes.iter().enumerate() {
+            *self.slots[i].lock() = None;
+            node.shutdown();
+        }
+    }
+}
+
+impl Drop for LoopbackCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -192,6 +192,9 @@ fn handshake_call(
 /// Returns the connected stream and its (possibly part-filled) frame reader.
 fn establish(inner: &ClientInner) -> io::Result<(Box<dyn NetStream>, FrameReader)> {
     let mut stream = (inner.dial)()?;
+    // Short poll granularity for the handshake only; once the session is
+    // up, `reader_main` re-arms the timeout to the next heartbeat deadline
+    // so the reader sleeps instead of tick-polling.
     stream.set_stream_read_timeout(Some(Duration::from_millis(20)))?;
     let mut frames = FrameReader::new();
     let deadline = Instant::now() + inner.cfg.response_timeout;
@@ -267,6 +270,26 @@ fn reader_main(inner: Arc<ClientInner>) {
         let mut reader = stream;
         let mut last_send = Instant::now();
         loop {
+            // The heartbeat deadline is folded into the read timeout: the
+            // reader sleeps exactly until the next heartbeat is due (woken
+            // early by data arrival or stream shutdown), instead of
+            // tick-polling on a fixed short timeout. One reader thread per
+            // connection — reused across every reconnect — is all the
+            // client ever runs; there are no per-session heartbeat threads
+            // to leak.
+            let until_heartbeat = inner
+                .cfg
+                .heartbeat
+                .saturating_sub(last_send.elapsed())
+                .max(Duration::from_millis(1));
+            if reader
+                .set_stream_read_timeout(Some(until_heartbeat))
+                .is_err()
+            {
+                inner.link_down();
+                inner.reconnects.fetch_add(1, Ordering::Relaxed);
+                continue 'outer;
+            }
             if inner.stop.load(Ordering::SeqCst) {
                 let mut link = inner.link.lock();
                 if let Some(w) = link.writer.as_mut() {
@@ -870,6 +893,39 @@ mod tests {
             assert!(Instant::now() < deadline);
             std::thread::sleep(Duration::from_millis(5));
         }
+        conn.close();
+        server.shutdown();
+    }
+
+    #[test]
+    fn deadline_driven_heartbeats_survive_reconnect() {
+        // Regression for the heartbeat refactor: the reader thread arms its
+        // read timeout to the next heartbeat deadline (no tick-polling, no
+        // per-session heartbeat threads). If the re-armed deadline were
+        // lost across a reconnect, the resumed — and otherwise silent —
+        // session would hit the server's idle timeout below.
+        let cmi = system_with_identity_schema();
+        let server_cfg = NetConfig {
+            idle_timeout: Duration::from_millis(150),
+            ..NetConfig::default()
+        };
+        let (server, connector) = NetServer::serve_loopback(cmi, server_cfg);
+        let client_cfg = ClientConfig {
+            heartbeat: Duration::from_millis(40),
+            ..ClientConfig::default()
+        };
+        let conn = Connection::connect_loopback(connector, "alice", client_cfg).unwrap();
+        conn.kill_link();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while conn.reconnects() == 0 {
+            assert!(Instant::now() < deadline, "reconnect after kill_link");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Say nothing for several idle-timeout periods: only heartbeats
+        // from the resumed session keep it alive.
+        std::thread::sleep(Duration::from_millis(500));
+        assert_eq!(server.stats().idle_timeouts, 0, "heartbeats kept the session alive");
+        assert!(conn.viewer().unread().is_ok());
         conn.close();
         server.shutdown();
     }

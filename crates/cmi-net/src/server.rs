@@ -210,6 +210,28 @@ pub struct NetStats {
     pub refused_sessions: u64,
 }
 
+/// Hooks a federation layer (see the `cmi-fed` crate) installs into a
+/// serving [`NetServer`].
+///
+/// The server consults the hooks at two points:
+///
+/// * every decoded request is offered to [`FederationHooks::handle`] before
+///   default dispatch, so the federation layer can service the peer
+///   protocol (`Request::Fed*`) and intercept `ExternalEvent` to forward
+///   non-owned instances to their owning node;
+/// * every 0↔1 edge of a user's local signed-on session count is reported
+///   through [`FederationHooks::signed_on_edge`] (outside the server's
+///   sign-on lock), which drives directory gossip to peer nodes.
+pub trait FederationHooks: Send + Sync {
+    /// Offers a decoded request before default dispatch. Returning `Some`
+    /// short-circuits the request; `None` falls through to the server's
+    /// normal handling.
+    fn handle(&self, req: &Request) -> Option<Response>;
+    /// The user's signed-on session count on this server crossed the 0↔1
+    /// edge (`on` = signed on).
+    fn signed_on_edge(&self, user: UserId, on: bool);
+}
+
 struct Inner {
     cmi: Arc<CmiServer>,
     cfg: NetConfig,
@@ -226,25 +248,50 @@ struct Inner {
     /// threads.
     session_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     transport_label: String,
+    /// Federation hooks, when this server is a cluster node.
+    fed: Option<Arc<dyn FederationHooks>>,
 }
 
 impl Inner {
     fn sign_on(&self, user: UserId) {
-        let mut map = self.signons.lock();
-        let count = map.entry(user).or_insert(0);
-        *count += 1;
-        if *count == 1 {
-            let _ = self.cmi.directory().set_signed_on(user, true);
+        let edge = {
+            let mut map = self.signons.lock();
+            let count = map.entry(user).or_insert(0);
+            *count += 1;
+            if *count == 1 {
+                let _ = self.cmi.directory().set_signed_on(user, true);
+                true
+            } else {
+                false
+            }
+        };
+        if edge {
+            if let Some(fed) = &self.fed {
+                fed.signed_on_edge(user, true);
+            }
         }
     }
 
     fn sign_off(&self, user: UserId) {
-        let mut map = self.signons.lock();
-        if let Some(count) = map.get_mut(&user) {
-            *count = count.saturating_sub(1);
-            if *count == 0 {
-                map.remove(&user);
-                let _ = self.cmi.directory().set_signed_on(user, false);
+        let edge = {
+            let mut map = self.signons.lock();
+            match map.get_mut(&user) {
+                Some(count) => {
+                    *count = count.saturating_sub(1);
+                    if *count == 0 {
+                        map.remove(&user);
+                        let _ = self.cmi.directory().set_signed_on(user, false);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => false,
+            }
+        };
+        if edge {
+            if let Some(fed) = &self.fed {
+                fed.signed_on_edge(user, false);
             }
         }
     }
@@ -266,7 +313,19 @@ pub struct NetServer {
 
 impl NetServer {
     /// Serves `cmi` behind an arbitrary listener.
-    pub fn serve(cmi: Arc<CmiServer>, listener: Box<dyn Listener>, mut cfg: NetConfig) -> NetServer {
+    pub fn serve(cmi: Arc<CmiServer>, listener: Box<dyn Listener>, cfg: NetConfig) -> NetServer {
+        NetServer::serve_with_federation(cmi, listener, cfg, None)
+    }
+
+    /// Serves `cmi` behind an arbitrary listener, with federation hooks
+    /// installed when this server is one node of a cluster (see
+    /// [`FederationHooks`] and the `cmi-fed` crate).
+    pub fn serve_with_federation(
+        cmi: Arc<CmiServer>,
+        listener: Box<dyn Listener>,
+        mut cfg: NetConfig,
+        fed: Option<Arc<dyn FederationHooks>>,
+    ) -> NetServer {
         if !cfg!(unix) {
             // The vendored reactor has no Windows realization; degrade.
             cfg.backend = NetBackend::Blocking;
@@ -283,10 +342,27 @@ impl NetServer {
             live_sessions: AtomicU64::new(0),
             session_threads: Mutex::new(Vec::new()),
             transport_label: listener.label(),
+            fed,
         });
+        // Readiness-based accept: under the reactor backend, a listener
+        // that can signal accept readiness (a pollable descriptor, or a
+        // waker on descriptor-less transports) is owned by the first event
+        // loop — there is no accept thread and no tick-polling at all. The
+        // blocking backend, and listeners without a readiness source, keep
+        // the polling accept thread.
+        #[cfg_attr(not(unix), allow(unused_mut))]
+        let mut acceptor: Option<Box<dyn Listener>> = Some(listener);
         #[cfg(unix)]
         let pool = match inner.cfg.backend {
-            NetBackend::Reactor => Some(reactor_backend::ReactorPool::start(inner.clone())),
+            NetBackend::Reactor => {
+                let readiness = acceptor
+                    .as_ref()
+                    .is_some_and(|l| l.accept_fd().is_some() || l.supports_accept_waker());
+                Some(reactor_backend::ReactorPool::start(
+                    inner.clone(),
+                    if readiness { acceptor.take() } else { None },
+                ))
+            }
             NetBackend::Blocking => None,
         };
         #[cfg(unix)]
@@ -299,14 +375,16 @@ impl NetServer {
         };
         #[cfg(not(unix))]
         let dispatch = Dispatch::Blocking;
-        let accept_inner = inner.clone();
-        let accept_thread = std::thread::Builder::new()
-            .name("cmi-net-accept".into())
-            .spawn(move || accept_loop(accept_inner, listener, dispatch))
-            .expect("spawn accept thread");
+        let accept_thread = acceptor.map(|listener| {
+            let accept_inner = inner.clone();
+            std::thread::Builder::new()
+                .name("cmi-net-accept".into())
+                .spawn(move || accept_loop(accept_inner, listener, dispatch))
+                .expect("spawn accept thread")
+        });
         NetServer {
             inner,
-            accept_thread: Some(accept_thread),
+            accept_thread,
             #[cfg(unix)]
             pool,
         }
@@ -329,6 +407,19 @@ impl NetServer {
     pub fn serve_loopback(cmi: Arc<CmiServer>, cfg: NetConfig) -> (NetServer, LoopbackConnector) {
         let (listener, connector) = loopback();
         (NetServer::serve(cmi, Box::new(listener), cfg), connector)
+    }
+
+    /// [`NetServer::serve_loopback`] with federation hooks installed.
+    pub fn serve_loopback_with_federation(
+        cmi: Arc<CmiServer>,
+        cfg: NetConfig,
+        fed: Option<Arc<dyn FederationHooks>>,
+    ) -> (NetServer, LoopbackConnector) {
+        let (listener, connector) = loopback();
+        (
+            NetServer::serve_with_federation(cmi, Box::new(listener), cfg, fed),
+            connector,
+        )
     }
 
     /// Current statistics snapshot — a view over the shared
@@ -459,28 +550,37 @@ enum Dispatch {
     },
 }
 
+/// Admission control shared by the polling accept thread and the reactor's
+/// readiness-based accept: either counts the session as opened and live
+/// (returning `true`), or refuses it with accounting (the caller then
+/// shuts the stream down).
+fn admit_session(inner: &Inner) -> bool {
+    if inner.live_sessions.load(Ordering::Relaxed) as usize >= inner.cfg.max_sessions {
+        inner.stats.refused_sessions.inc();
+        inner
+            .obs
+            .flight()
+            .record(FlightKind::SessionClose, "refused: max_sessions reached");
+        return false;
+    }
+    inner.stats.sessions_opened.inc();
+    inner.obs.flight().record(
+        FlightKind::SessionOpen,
+        format!("accepted over {}", inner.transport_label),
+    );
+    inner.live_sessions.fetch_add(1, Ordering::Relaxed);
+    true
+}
+
 fn accept_loop(inner: Arc<Inner>, listener: Box<dyn Listener>, mut dispatch: Dispatch) {
     let tick = inner.cfg.tick.max(Duration::from_millis(1));
     while !inner.stop.load(Ordering::SeqCst) {
         match listener.poll_accept(tick) {
             Ok(Some(stream)) => {
-                if inner.live_sessions.load(Ordering::Relaxed) as usize
-                    >= inner.cfg.max_sessions
-                {
-                    inner.stats.refused_sessions.inc();
-                    inner.obs.flight().record(
-                        FlightKind::SessionClose,
-                        "refused: max_sessions reached",
-                    );
+                if !admit_session(&inner) {
                     stream.shutdown_stream();
                     continue;
                 }
-                inner.stats.sessions_opened.inc();
-                inner.obs.flight().record(
-                    FlightKind::SessionOpen,
-                    format!("accepted over {}", inner.transport_label),
-                );
-                inner.live_sessions.fetch_add(1, Ordering::Relaxed);
                 match &mut dispatch {
                     Dispatch::Blocking => {
                         // Reap finished session threads first: a long-lived
@@ -684,6 +784,14 @@ impl SessionCore {
     fn dispatch(&mut self, req: Request) -> Response {
         let cmi = &self.inner.cmi;
         let fail = |message: String| Response::Err { message };
+        // A federated node sees every request first: the hooks service the
+        // peer protocol (`Fed*`) and intercept `ExternalEvent` to forward
+        // events whose routing instances this node does not own.
+        if let Some(fed) = &self.inner.fed {
+            if let Some(resp) = fed.handle(&req) {
+                return resp;
+            }
+        }
         match req {
             Request::Hello { user, resume: _ } => {
                 let Some(id) = cmi.directory().user_by_name(&user) else {
@@ -836,6 +944,12 @@ impl SessionCore {
                     flight: include_flight.then(|| obs.flight().render()),
                 }
             }
+            Request::FedHello { .. }
+            | Request::FedEvent { .. }
+            | Request::FedNotify { .. }
+            | Request::FedGossip { .. } => {
+                fail("federation is not enabled on this server".into())
+            }
         }
     }
 }
@@ -939,6 +1053,11 @@ mod reactor_backend {
     /// short stall instead of a hang.
     const MAX_PARK: Duration = Duration::from_millis(500);
 
+    /// Poller token reserved for the listener's accept readiness (the
+    /// poller itself reserves `u64::MAX` for wakeups; session tokens count
+    /// up from zero and can never collide).
+    const ACCEPT_TOKEN: u64 = u64::MAX - 1;
+
     /// Cross-thread work submitted to one event loop.
     pub(super) enum LoopCmd {
         /// A freshly accepted connection (already counted as opened/live).
@@ -948,6 +1067,8 @@ mod reactor_backend {
         PushWork(UserId, Instant),
         /// A loopback pipe's readable-edge waker fired for this session.
         PipeReady(u64, Instant),
+        /// The listener's accept waker fired (descriptor-less transports).
+        AcceptReady(Instant),
     }
 
     /// The submission side of one event loop (shared with the accept
@@ -971,26 +1092,44 @@ mod reactor_backend {
     }
 
     impl ReactorPool {
-        pub(super) fn start(inner: Arc<Inner>) -> ReactorPool {
+        /// Starts the event loops. When `listener` is given (readiness
+        /// accept), the first loop owns it: accept readiness is just another
+        /// poll event, and accepted sessions are dealt round-robin across
+        /// all loops.
+        pub(super) fn start(
+            inner: Arc<Inner>,
+            mut listener: Option<Box<dyn Listener>>,
+        ) -> ReactorPool {
             let n = inner.cfg.reactor_threads.max(1);
             let mut handles = Vec::with_capacity(n);
-            let mut threads = Vec::with_capacity(n);
-            for i in 0..n {
+            let mut parts = Vec::with_capacity(n);
+            for _ in 0..n {
                 let poller = Arc::new(Poller::new().expect("create reactor poller"));
                 let cmds: Arc<WakeQueue<LoopCmd>> = Arc::new(WakeQueue::new());
                 handles.push(LoopHandle {
                     cmds: cmds.clone(),
                     poller: poller.clone(),
                 });
+                parts.push((poller, cmds));
+            }
+            // Every loop sees the full handle vector before any loop runs,
+            // so the accepting loop can distribute sessions immediately.
+            let handles = Arc::new(handles);
+            let mut threads = Vec::with_capacity(n);
+            for (i, (poller, cmds)) in parts.into_iter().enumerate() {
                 let loop_inner = inner.clone();
+                let loop_handles = handles.clone();
+                let loop_listener = listener.take();
                 threads.push(
                     std::thread::Builder::new()
                         .name(format!("cmi-net-loop-{i}"))
-                        .spawn(move || EventLoop::new(loop_inner, poller, cmds, i).run())
+                        .spawn(move || {
+                            EventLoop::new(loop_inner, poller, cmds, i, loop_handles, loop_listener)
+                                .run()
+                        })
                         .expect("spawn reactor event loop"),
                 );
             }
-            let handles = Arc::new(handles);
             // Hook the persistent queue's enqueue edge into reactor
             // wakeups: instead of every session tick-polling `fetch`, the
             // loops are kicked exactly when there is push work. The hook
@@ -1068,6 +1207,14 @@ mod reactor_backend {
         by_user: BTreeMap<UserId, BTreeSet<u64>>,
         wheel: TimerWheel,
         next_token: u64,
+        /// This loop's position in `handles` (self-dispatch shortcut).
+        index: usize,
+        /// Submission handles of every loop, for round-robin accept.
+        handles: Arc<Vec<LoopHandle>>,
+        /// Readiness accept: the listener this loop owns, if any.
+        listener: Option<Box<dyn Listener>>,
+        /// Round-robin cursor over `handles` for accepted sessions.
+        next_dispatch: usize,
         iterations: Counter,
         ready_batches: Counter,
         ready_events: Counter,
@@ -1081,6 +1228,8 @@ mod reactor_backend {
             poller: Arc<Poller>,
             cmds: Arc<WakeQueue<LoopCmd>>,
             index: usize,
+            handles: Arc<Vec<LoopHandle>>,
+            listener: Option<Box<dyn Listener>>,
         ) -> EventLoop {
             let obs = Arc::clone(&inner.obs);
             let granularity = (inner.cfg.idle_timeout / 8)
@@ -1098,13 +1247,38 @@ mod reactor_backend {
                 sessions: BTreeMap::new(),
                 by_user: BTreeMap::new(),
                 next_token: 0,
+                index,
+                handles,
+                listener,
+                next_dispatch: 0,
                 inner,
                 poller,
                 cmds,
             }
         }
 
+        /// Registers the owned listener's readiness source: the listening
+        /// descriptor with the poller, or — for descriptor-less transports —
+        /// an accept waker that submits [`LoopCmd::AcceptReady`].
+        fn install_acceptor(&mut self) {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            if let Some(fd) = listener.accept_fd() {
+                if self.poller.register(fd, ACCEPT_TOKEN, Interest::READ).is_ok() {
+                    return;
+                }
+            }
+            let cmds = self.cmds.clone();
+            let poller = self.poller.clone();
+            listener.set_accept_waker(Some(Arc::new(move || {
+                cmds.push(LoopCmd::AcceptReady(Instant::now()));
+                poller.wake();
+            })));
+        }
+
         fn run(mut self) {
+            self.install_acceptor();
             let mut events: Vec<Event> = Vec::new();
             let mut fired: Vec<(u64, u32)> = Vec::new();
             loop {
@@ -1130,6 +1304,10 @@ mod reactor_backend {
                         LoopCmd::PipeReady(tok, t0) => {
                             self.observe_wakeup(t0);
                             self.service_readable(tok);
+                        }
+                        LoopCmd::AcceptReady(t0) => {
+                            self.observe_wakeup(t0);
+                            self.drain_accept();
                         }
                     }
                 }
@@ -1157,6 +1335,10 @@ mod reactor_backend {
                     self.ready_events.add(events.len() as u64);
                 }
                 for ev in &events {
+                    if ev.token == ACCEPT_TOKEN {
+                        self.drain_accept();
+                        continue;
+                    }
                     if ev.readable {
                         self.service_readable(ev.token);
                     }
@@ -1170,6 +1352,50 @@ mod reactor_backend {
         fn observe_wakeup(&self, t0: Instant) {
             self.wakeup_ns
                 .observe(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+
+        /// Accepts every pending connection (readiness accept), admitting
+        /// each and dealing it round-robin across the pool — including this
+        /// loop, which adds its share directly.
+        fn drain_accept(&mut self) {
+            loop {
+                let verdict = match &self.listener {
+                    Some(listener) => listener.try_accept(),
+                    None => return,
+                };
+                match verdict {
+                    Ok(Some(stream)) => {
+                        if !admit_session(&self.inner) {
+                            stream.shutdown_stream();
+                            continue;
+                        }
+                        let i = self.next_dispatch % self.handles.len();
+                        self.next_dispatch = self.next_dispatch.wrapping_add(1);
+                        if i == self.index {
+                            self.add_session(stream);
+                        } else {
+                            self.handles[i].submit(LoopCmd::NewSession(stream));
+                        }
+                    }
+                    Ok(None) => return,
+                    Err(_) => {
+                        // Listener closed under us; release it.
+                        self.close_listener();
+                        return;
+                    }
+                }
+            }
+        }
+
+        /// Deregisters and closes the owned listener, if any.
+        fn close_listener(&mut self) {
+            if let Some(listener) = self.listener.take() {
+                if let Some(fd) = listener.accept_fd() {
+                    let _ = self.poller.deregister(fd);
+                }
+                listener.set_accept_waker(None);
+                listener.close();
+            }
         }
 
         /// Registers a freshly accepted connection with this loop.
@@ -1413,8 +1639,10 @@ mod reactor_backend {
             self.inner.session_closed();
         }
 
-        /// Server drain: Goodbye + close every owned session.
+        /// Server drain: stop accepting, then Goodbye + close every owned
+        /// session.
         fn drain_all(&mut self) {
+            self.close_listener();
             let toks: Vec<u64> = self.sessions.keys().copied().collect();
             for tok in toks {
                 self.close_session(tok, Exit::Drain, true);

@@ -111,6 +111,31 @@ pub trait Listener: Send {
     fn close(&self);
     /// A label for diagnostics ("127.0.0.1:4000", "loopback").
     fn label(&self) -> String;
+    /// Non-blocking accept attempt: `Ok(None)` when no connection is
+    /// pending. Used by the reactor backend's readiness-based accept.
+    fn try_accept(&self) -> io::Result<Option<Box<dyn NetStream>>> {
+        self.poll_accept(Duration::ZERO)
+    }
+    /// The pollable file descriptor of the listening socket, if the
+    /// transport has one (Unix sockets). A reactor registers it and calls
+    /// [`Listener::try_accept`] on readable edges instead of tick-polling.
+    fn accept_fd(&self) -> Option<i32> {
+        None
+    }
+    /// Whether [`Listener::set_accept_waker`] is supported — the userspace
+    /// alternative to [`Listener::accept_fd`] for descriptor-less
+    /// transports.
+    fn supports_accept_waker(&self) -> bool {
+        false
+    }
+    /// Installs (or clears) a waker fired whenever a connection may be
+    /// pending. Returns `false` on transports without waker support.
+    /// Installing while dials are already queued fires the waker
+    /// immediately, so edges that raced registration are not lost.
+    fn set_accept_waker(&self, waker: Option<ReadinessWaker>) -> bool {
+        let _ = waker;
+        false
+    }
 }
 
 /// TCP listener adapter (non-blocking accept under a poll loop, so server
@@ -164,6 +189,14 @@ impl Listener for TcpAcceptor {
 
     fn label(&self) -> String {
         self.addr.to_string()
+    }
+
+    #[cfg(unix)]
+    fn accept_fd(&self) -> Option<i32> {
+        use std::os::fd::AsRawFd;
+        // The listener is already non-blocking (see `bind`), so a readable
+        // edge plus `try_accept` drains every pending connection.
+        Some(self.listener.as_raw_fd())
     }
 }
 
@@ -350,6 +383,8 @@ struct HubState {
     pending: VecDeque<PipeStream>,
     closed: bool,
     dialed: u64,
+    /// Reactor accept waker fired on every dial/close edge.
+    waker: Option<ReadinessWaker>,
 }
 
 /// The shared state behind a loopback listener/connector pair.
@@ -365,6 +400,7 @@ pub fn loopback() -> (LoopbackListener, LoopbackConnector) {
             pending: VecDeque::new(),
             closed: false,
             dialed: 0,
+            waker: None,
         }),
         cv: Condvar::new(),
     });
@@ -402,17 +438,42 @@ impl Listener for LoopbackListener {
     }
 
     fn close(&self) {
-        let mut state = self.hub.state.lock();
-        state.closed = true;
-        // Refuse queued-but-unaccepted dials.
-        for s in state.pending.drain(..) {
-            s.shutdown_stream();
+        let waker = {
+            let mut state = self.hub.state.lock();
+            state.closed = true;
+            // Refuse queued-but-unaccepted dials.
+            for s in state.pending.drain(..) {
+                s.shutdown_stream();
+            }
+            self.hub.cv.notify_all();
+            state.waker.clone()
+        };
+        if let Some(w) = waker {
+            w();
         }
-        self.hub.cv.notify_all();
     }
 
     fn label(&self) -> String {
         "loopback".to_owned()
+    }
+
+    fn supports_accept_waker(&self) -> bool {
+        true
+    }
+
+    fn set_accept_waker(&self, waker: Option<ReadinessWaker>) -> bool {
+        let fire = {
+            let mut state = self.hub.state.lock();
+            let pending = !state.pending.is_empty() || state.closed;
+            state.waker = waker.clone();
+            pending && waker.is_some()
+        };
+        if fire {
+            if let Some(w) = waker {
+                w();
+            }
+        }
+        true
     }
 }
 
@@ -438,6 +499,11 @@ impl LoopbackConnector {
         let (client, server) = pipe_pair(&format!("loopback-{n}"));
         state.pending.push_back(server);
         self.hub.cv.notify_all();
+        let waker = state.waker.clone();
+        drop(state);
+        if let Some(w) = waker {
+            w();
+        }
         Ok(Box::new(client))
     }
 }

@@ -383,6 +383,50 @@ pub enum Request {
         /// Whether to include the flight-recorder dump.
         include_flight: bool,
     },
+    /// Federation: opens a peer link from another cluster node. Only valid
+    /// on servers started with federation hooks; the node id must be a
+    /// cluster member.
+    FedHello {
+        /// Cluster node id of the dialing peer.
+        node: u32,
+        /// True on automatic reconnect of an existing peer link.
+        resume: bool,
+    },
+    /// Federation: an external event forwarded to the node that owns its
+    /// routing instances. `seq` is strictly increasing per peer link, so a
+    /// retransmit after a reconnect is detected as a replay and answered
+    /// from the receiver's cache (exactly-once ingest).
+    FedEvent {
+        /// Cluster node id of the forwarding peer.
+        origin: u32,
+        /// Link-local sequence number (strictly increasing per origin).
+        seq: u64,
+        /// The external source name.
+        source: String,
+        /// Event timestamp (milliseconds) as observed at the origin node.
+        time_ms: u64,
+        /// Event fields.
+        fields: Vec<(String, Value)>,
+    },
+    /// Federation: composite-event notifications routed to the node that
+    /// holds the subscriber's signed-on session. Each entry carries the
+    /// origin node's queue sequence (the dedup key for exactly-once
+    /// delivery across reconnects) and the hop count so far.
+    FedNotify {
+        /// Cluster node id of the forwarding peer.
+        origin: u32,
+        /// `(origin_seq, hops, notification)` triples.
+        notes: Vec<(u64, u32, Notification)>,
+    },
+    /// Federation: full-set gossip of the users signed on at the origin
+    /// node. Idempotent — the receiver replaces its view of the origin's
+    /// sign-ons wholesale.
+    FedGossip {
+        /// Cluster node id of the gossiping peer.
+        origin: u32,
+        /// Raw `UserId`s currently signed on at the origin.
+        signed_on: Vec<u64>,
+    },
 }
 
 impl Request {
@@ -453,6 +497,47 @@ impl Request {
                 e.opt_u64(*trace_seq);
                 e.bool(*include_flight);
             }
+            Request::FedHello { node, resume } => {
+                e.u8(17);
+                e.u32(*node);
+                e.bool(*resume);
+            }
+            Request::FedEvent {
+                origin,
+                seq,
+                source,
+                time_ms,
+                fields,
+            } => {
+                e.u8(18);
+                e.u32(*origin);
+                e.u64(*seq);
+                e.str(source);
+                e.u64(*time_ms);
+                e.u32(fields.len() as u32);
+                for (k, v) in fields {
+                    e.str(k);
+                    encode_value(&mut e, v).expect("wire-encodable value");
+                }
+            }
+            Request::FedNotify { origin, notes } => {
+                e.u8(19);
+                e.u32(*origin);
+                e.u32(notes.len() as u32);
+                for (origin_seq, hops, n) in notes {
+                    e.u64(*origin_seq);
+                    e.u32(*hops);
+                    encode_notification(&mut e, n);
+                }
+            }
+            Request::FedGossip { origin, signed_on } => {
+                e.u8(20);
+                e.u32(*origin);
+                e.u32(signed_on.len() as u32);
+                for u in signed_on {
+                    e.u64(*u);
+                }
+            }
         }
         e.buf
     }
@@ -501,6 +586,50 @@ impl Request {
                 trace_seq: d.opt_u64()?,
                 include_flight: d.bool()?,
             },
+            17 => Request::FedHello {
+                node: d.u32()?,
+                resume: d.bool()?,
+            },
+            18 => {
+                let origin = d.u32()?;
+                let seq = d.u64()?;
+                let source = d.str()?;
+                let time_ms = d.u64()?;
+                let n = d.u32()?;
+                let mut fields = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let k = d.str()?;
+                    let v = decode_value(&mut d)?;
+                    fields.push((k, v));
+                }
+                Request::FedEvent {
+                    origin,
+                    seq,
+                    source,
+                    time_ms,
+                    fields,
+                }
+            }
+            19 => {
+                let origin = d.u32()?;
+                let n = d.u32()?;
+                let mut notes = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let origin_seq = d.u64()?;
+                    let hops = d.u32()?;
+                    notes.push((origin_seq, hops, decode_notification(&mut d)?));
+                }
+                Request::FedNotify { origin, notes }
+            }
+            20 => {
+                let origin = d.u32()?;
+                let n = d.u32()?;
+                let mut signed_on = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    signed_on.push(d.u64()?);
+                }
+                Request::FedGossip { origin, signed_on }
+            }
             t => return err(&format!("unknown request tag {t}")),
         };
         if d.remaining() != 0 {
@@ -753,6 +882,28 @@ mod tests {
             Request::Telemetry {
                 trace_seq: None,
                 include_flight: false,
+            },
+            Request::FedHello {
+                node: 2,
+                resume: true,
+            },
+            Request::FedEvent {
+                origin: 1,
+                seq: 77,
+                source: "sensor".into(),
+                time_ms: 123_456,
+                fields: vec![
+                    ("mission".into(), Value::Id(9)),
+                    ("level".into(), Value::Int(3)),
+                ],
+            },
+            Request::FedNotify {
+                origin: 0,
+                notes: vec![(41, 1, sample_notification()), (42, 0, sample_notification())],
+            },
+            Request::FedGossip {
+                origin: 3,
+                signed_on: vec![1, 2, 99],
             },
         ];
         for r in reqs {

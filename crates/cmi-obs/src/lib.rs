@@ -128,9 +128,19 @@ impl ObsRegistry {
         self.metrics.gauge(name)
     }
 
+    /// Shorthand for [`MetricsRegistry::gauge_with`].
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.metrics.gauge_with(name, labels)
+    }
+
     /// Shorthand for [`MetricsRegistry::histogram`].
     pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
         self.metrics.histogram(name, bounds)
+    }
+
+    /// Shorthand for [`MetricsRegistry::histogram_with`].
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64]) -> Histogram {
+        self.metrics.histogram_with(name, labels, bounds)
     }
 
     /// Shorthand for [`MetricsRegistry::sharded_counter`].

@@ -17,11 +17,20 @@ use cmi_awareness::engine::AwarenessEngine;
 use cmi_core::error::CoreError;
 use cmi_core::ids::{ActivityInstanceId, ProcessInstanceId, UserId};
 use cmi_core::time::Clock;
+use cmi_core::value::Value;
 use cmi_coord::engine::EnactmentEngine;
 use cmi_events::producers::external_event;
+use parking_lot::RwLock;
 
 use crate::agreement::{violation_event_fields, Agreement, AgreementStore, VIOLATION_SOURCE};
 use crate::registry::{SelectionPolicy, ServiceRegistry};
+
+/// A pluggable destination for violation events: `(source, fields)` as they
+/// would reach [`AwarenessEngine::ingest`]. A federated deployment installs
+/// a sink that routes each violation to the node owning the consumer's
+/// process instance — publishing straight into the local engine would let
+/// the node's partition filter silently drop violations it doesn't own.
+pub type ViolationSink = Arc<dyn Fn(&str, Vec<(String, Value)>) + Send + Sync>;
 
 /// The service engine.
 pub struct ServiceEngine {
@@ -29,6 +38,7 @@ pub struct ServiceEngine {
     agreements: Arc<AgreementStore>,
     coordination: Arc<EnactmentEngine>,
     awareness: Option<Arc<AwarenessEngine>>,
+    violation_sink: RwLock<Option<ViolationSink>>,
     clock: Arc<dyn Clock>,
 }
 
@@ -54,8 +64,15 @@ impl ServiceEngine {
             agreements: Arc::new(AgreementStore::new(clock.clone())),
             coordination,
             awareness,
+            violation_sink: RwLock::new(None),
             clock,
         }
+    }
+
+    /// Overrides where violation events are published. `None` restores the
+    /// default (direct ingest into the local awareness engine).
+    pub fn set_violation_sink(&self, sink: Option<ViolationSink>) {
+        *self.violation_sink.write() = sink;
     }
 
     /// The service registry (publish providers here).
@@ -172,12 +189,13 @@ impl ServiceEngine {
     }
 
     fn publish_violation(&self, a: &Agreement) {
+        let fields = violation_event_fields(a);
+        if let Some(sink) = self.violation_sink.read().clone() {
+            sink(VIOLATION_SOURCE, fields);
+            return;
+        }
         if let Some(awareness) = &self.awareness {
-            let ev = external_event(
-                VIOLATION_SOURCE,
-                self.clock.now(),
-                violation_event_fields(a),
-            );
+            let ev = external_event(VIOLATION_SOURCE, self.clock.now(), fields);
             awareness.ingest(&ev);
         }
     }
@@ -335,6 +353,40 @@ mod tests {
         let n = &f.server.awareness().queue().fetch(duty, 1)[0];
         assert!(n.description.contains("lab-analysis"));
         assert_eq!(n.process_instance, pi);
+    }
+
+    #[test]
+    fn violation_sink_intercepts_publication() {
+        let f = fixture();
+        type Captured = Vec<(String, Vec<(String, Value)>)>;
+        let seen: Arc<parking_lot::Mutex<Captured>> = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let tap = seen.clone();
+        f.services.set_violation_sink(Some(Arc::new(move |source, fields| {
+            tap.lock().push((source.to_owned(), fields));
+        })));
+
+        let pi = f
+            .server
+            .coordination()
+            .start_process(f.consumer_schema, None)
+            .unwrap();
+        let agreement = f
+            .services
+            .invoke(pi, "analysis", "lab-analysis", SelectionPolicy::Fastest, None, 1.0)
+            .unwrap();
+        f.server.clock().advance(Duration::from_hours(2));
+        let settled = f.services.complete(agreement.invocation).unwrap();
+        assert_eq!(settled.status, AgreementStatus::ViolatedLate);
+
+        // The sink received the event; the local engine did not.
+        let captured = seen.lock();
+        assert_eq!(captured.len(), 1);
+        assert_eq!(captured[0].0, VIOLATION_SOURCE);
+        assert!(captured[0]
+            .1
+            .iter()
+            .any(|(k, v)| k == "consumerInstance" && *v == Value::Id(pi.raw())));
+        assert_eq!(f.server.awareness().queue().pending_total(), 0);
     }
 
     #[test]

@@ -75,6 +75,7 @@
 //! | [`baselines`] (`cmi-baselines`) | related-work comparators + relevance metrics |
 //! | [`service`] (`cmi-service`) | Service Model: providers, QoS, agreements, violation awareness |
 //! | [`net`] (`cmi-net`) | Fig. 5 client/server split: wire protocol, TCP/loopback transports, session server, typed remote clients |
+//! | [`fed`] (`cmi-fed`) | multi-node federation: rendezvous-partitioned instances, cross-node awareness routing, directory gossip |
 //! | [`obs`] (`cmi-obs`) | observability: lock-free metrics registry, causal detection tracing, flight recorder |
 //! | [`workloads`] (`cmi-workloads`) | paper scenarios and synthetic workloads |
 
@@ -86,6 +87,7 @@ pub use cmi_baselines as baselines;
 pub use cmi_coord as coord;
 pub use cmi_core as core;
 pub use cmi_events as events;
+pub use cmi_fed as fed;
 pub use cmi_net as net;
 pub use cmi_obs as obs;
 pub use cmi_service as service;
@@ -116,6 +118,7 @@ pub mod prelude {
         ClientConfig, ClientStats, Connection, MonitorClient, ServerTelemetry, ViewerClient,
         WorklistClient,
     };
+    pub use cmi_fed::{ClusterConfig, FedConfig, FedNode, NodeSpec};
     pub use cmi_net::server::{NetConfig, NetServer, NetStats};
     pub use cmi_obs::{MetricsSnapshot, ObsRegistry};
     pub use cmi_service::{QualityOfService, SelectionPolicy, ServiceEngine};
