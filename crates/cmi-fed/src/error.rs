@@ -11,11 +11,19 @@ pub type FedResult<T> = Result<T, FedError>;
 pub enum FedError {
     /// The owning peer node is unreachable (dial failed, link dead and
     /// reconnect exhausted, or in backoff after repeated failures). The
-    /// caller's event was **not** ingested anywhere; retrying later is safe
-    /// because forwarded events carry link-local sequence numbers.
+    /// window fields distinguish backpressure from a dead peer: a nonzero
+    /// `window` with an `oldest_unacked` means sequenced batches are parked
+    /// awaiting the peer, while `window == 0` means the link is simply
+    /// down with nothing committed to it.
     PeerUnavailable {
         /// The cluster node id that could not be reached.
         node: u32,
+        /// Sequenced-but-unacknowledged batches parked on the link (the
+        /// send-window depth at failure time).
+        window: usize,
+        /// Sequence number of the oldest unacknowledged batch, if any —
+        /// where a retransmit will resume once the peer returns.
+        oldest_unacked: Option<u64>,
     },
     /// A node id that is not a member of the cluster configuration.
     NotAMember {
@@ -36,8 +44,19 @@ pub enum FedError {
 impl fmt::Display for FedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FedError::PeerUnavailable { node } => {
-                write!(f, "federation peer node {node} is unavailable")
+            FedError::PeerUnavailable {
+                node,
+                window,
+                oldest_unacked,
+            } => {
+                write!(f, "federation peer node {node} is unavailable")?;
+                match oldest_unacked {
+                    Some(seq) => write!(
+                        f,
+                        " ({window} unacked batches parked, retransmit resumes at seq {seq})"
+                    ),
+                    None => write!(f, " (send window empty)"),
+                }
             }
             FedError::NotAMember { node } => {
                 write!(f, "node {node} is not a member of the cluster")

@@ -11,11 +11,15 @@
 //!   the owning **shard**, using the same routing-instance derivation at
 //!   both levels.
 //! * [`peer`] — the inter-node link, layered on the ordinary `cmi-net`
-//!   framed protocol (`Request::FedHello` / `FedEvent` / `FedNotify` /
-//!   `FedGossip`). Links auto-reconnect with resume; forwarded events carry
-//!   strictly increasing link-local sequence numbers so retransmits
-//!   collapse in the receiver's replay cache (exactly-once ingest); a dead
-//!   peer fails fast with a typed error instead of wedging callers.
+//!   framed protocol (`Request::FedHello` / `FedBatch` / `FedNotify` /
+//!   `FedGossip`). Forwarded events batch into multi-event frames under
+//!   one strictly increasing link-local sequence number, with a bounded
+//!   window of batches in flight and cumulative FIFO acknowledgement on a
+//!   dedicated reader thread. Links auto-reconnect with resume and
+//!   retransmit unacknowledged batches under their original sequence
+//!   numbers, so the receiver's batch-granularity replay cache collapses
+//!   them (exactly-once ingest); a dead peer fails fast with a typed error
+//!   carrying the window depth instead of wedging callers.
 //! * [`node`] — [`node::FedCore`] (the server-side hooks: peer protocol,
 //!   event forwarding, notification routing, directory gossip) and
 //!   [`node::FedNode`] (the per-node front owning the pumps and the
@@ -39,5 +43,5 @@ pub mod testkit;
 
 pub use cluster::{ClusterConfig, NodeSpec};
 pub use error::{FedError, FedResult};
-pub use node::{FedConfig, FedCore, FedNode};
-pub use peer::{PeerConfig, PeerLink};
+pub use node::{FedConfig, FedCore, FedNode, RouteHandle};
+pub use peer::{CallTicket, EventTicket, PeerConfig, PeerLink};

@@ -9,10 +9,12 @@
 //!   hook derives the event's routing instances (the same conservative set
 //!   the intra-node shard router uses), maps each through the cluster's
 //!   rendezvous hash, ingests locally for instances this node owns, and
-//!   forwards one [`Request::FedEvent`] per remote owner over that peer's
-//!   link — with a link-local sequence number so a retransmit after a
-//!   reconnect is collapsed by the receiver's replay cache (exactly-once
-//!   ingest).
+//!   submits the event to each remote owner's link, where it rides a
+//!   [`Request::FedBatch`] — many events under one link-local sequence
+//!   number, up to a bounded window of batches in flight concurrently. A
+//!   retransmit after a reconnect reuses the original sequence numbers, so
+//!   the receiver's batch-granularity replay cache collapses it
+//!   (exactly-once ingest).
 //! * **Notifications out.** Detection and delivery run at the owning node,
 //!   enqueueing into its local persistent queue. A per-peer **pump thread**
 //!   watches the queue: notifications for users signed on at a peer (per
@@ -31,7 +33,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -44,16 +46,22 @@ use cmi_events::producers;
 use cmi_net::client::DialFn;
 use cmi_net::server::{FederationHooks, NetConfig, NetServer, NetStats};
 use cmi_net::transport::{loopback, Listener, LoopbackConnector};
-use cmi_net::wire::{Request, Response};
+use cmi_net::wire::{FedEventBody, Request, Response};
 use cmi_service::ServiceEngine;
 use cmi_obs::{Counter, Gauge, Histogram, ObsRegistry, LATENCY_BUCKETS_NS};
 
 use crate::cluster::ClusterConfig;
 use crate::error::{FedError, FedResult};
-use crate::peer::{PeerConfig, PeerLink};
+use crate::peer::{CallTicket, EventTicket, PeerConfig, PeerLink};
 
 /// Per-origin dedup window for routed notifications (entries, not bytes).
 const NOTE_DEDUP_WINDOW: usize = 4096;
+
+/// Per-origin replay-cache depth in batches. Must cover at least the
+/// sender's in-flight window ([`PeerConfig::window_batches`], default 8) so
+/// a retransmitted half-window after a crash is always answered from cache;
+/// sized well beyond it for safety margin.
+const REPLAY_DEPTH: usize = 64;
 
 /// Federation tuning for one node.
 #[derive(Debug, Clone)]
@@ -162,6 +170,40 @@ impl SeenWindow {
     }
 }
 
+/// Per-origin forwarded-ingest replay cache, batch granularity: the
+/// per-event notification counts of the last [`REPLAY_DEPTH`] acknowledged
+/// sequence numbers. A retransmitted sequence is answered from cache
+/// (never re-ingested); a sequence at or below the high-water mark that has
+/// fallen out of the cache is a protocol error (the sender's window bounds
+/// how far behind a live retransmit can be).
+struct ReplayCache {
+    /// Highest sequence number ever ingested from this origin.
+    last_seq: u64,
+    /// `(seq, per-event counts)`, oldest first.
+    entries: VecDeque<(u64, Vec<u64>)>,
+}
+
+impl ReplayCache {
+    fn new() -> ReplayCache {
+        ReplayCache {
+            last_seq: 0,
+            entries: VecDeque::new(),
+        }
+    }
+
+    fn lookup(&self, seq: u64) -> Option<&Vec<u64>> {
+        self.entries.iter().find(|(s, _)| *s == seq).map(|(_, c)| c)
+    }
+
+    fn remember(&mut self, seq: u64, counts: Vec<u64>) {
+        self.last_seq = self.last_seq.max(seq);
+        self.entries.push_back((seq, counts));
+        while self.entries.len() > REPLAY_DEPTH {
+            self.entries.pop_front();
+        }
+    }
+}
+
 /// Pump control block, one per peer: kick flag + gossip-dirty flag.
 struct PumpCtl {
     state: Mutex<PumpState>,
@@ -200,6 +242,24 @@ impl PumpCtl {
     }
 }
 
+/// An in-flight routed event from [`FedCore::route_external_async`]: the
+/// local ingest already happened; the remote shares are riding their links'
+/// batchers. Settle with [`FedCore::wait_route`] (dropping the handle
+/// abandons the wait, not the delivery — the batches still flush and ack).
+pub struct RouteHandle {
+    local: u64,
+    remote: Vec<(u32, EventTicket, Option<Instant>)>,
+}
+
+impl std::fmt::Debug for RouteHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouteHandle")
+            .field("local", &self.local)
+            .field("remote", &self.remote.len())
+            .finish()
+    }
+}
+
 /// The federation core for one node: owns the peer links, the routing
 /// state, and implements [`FederationHooks`] for the node's session server.
 pub struct FedCore {
@@ -218,8 +278,8 @@ pub struct FedCore {
     local_signons: Mutex<BTreeSet<u64>>,
     /// Last gossiped signed-on set per peer node.
     remote_signons: Mutex<BTreeMap<u32, BTreeSet<u64>>>,
-    /// Per-origin forwarded-event replay cache: `(last_seq, last_count)`.
-    replay: Mutex<BTreeMap<u32, (u64, u64)>>,
+    /// Per-origin forwarded-ingest replay caches, batch granularity.
+    replay: Mutex<BTreeMap<u32, ReplayCache>>,
     /// Per-origin dedup windows for routed notifications.
     seen_notes: Mutex<BTreeMap<u32, SeenWindow>>,
     /// Distinct owned instance ids observed by the router (partition-size
@@ -331,13 +391,27 @@ impl FedCore {
     }
 
     /// Routes one external event: local ingest for owned instances, one
-    /// sequenced [`Request::FedEvent`] per remote owner. Returns the total
-    /// notifications enqueued across the cluster for this event.
+    /// batched submission per remote owner. Returns the total notifications
+    /// enqueued across the cluster for this event.
     pub fn route_external(
         &self,
         source: &str,
         fields: &[(String, Value)],
     ) -> FedResult<u64> {
+        let handle = self.route_external_async(source, fields);
+        self.wait_route(handle)
+    }
+
+    /// The pipelined half of [`FedCore::route_external`]: ingests locally
+    /// and *submits* to each remote owner's batcher without waiting for
+    /// acknowledgements, so a caller can keep many events in flight (the
+    /// links aggregate concurrent submissions into multi-event
+    /// [`Request::FedBatch`] frames). Settle with [`FedCore::wait_route`].
+    pub fn route_external_async(
+        &self,
+        source: &str,
+        fields: &[(String, Value)],
+    ) -> RouteHandle {
         let t: Timestamp = Clock::now(self.cmi.clock());
         let event = producers::external_event(source, t, fields.to_vec());
         let instances = self.cmi.awareness().routing_instances(&event);
@@ -355,39 +429,108 @@ impl FedCore {
             }
             self.partition_gauge.set(owned.len() as i64);
         }
-        let mut total = 0u64;
+        let mut local = 0u64;
+        let mut remote = Vec::new();
         for node in owners {
             if node == self.me {
-                total += self.cmi.awareness().ingest(&event).len() as u64;
+                local += self.cmi.awareness().ingest(&event).len() as u64;
                 continue;
             }
-            let peer = &self.peers[&node];
-            let m = &self.peer_metrics[&node];
-            let timer = m.forward_ns.start();
-            let resp = peer.call_seq(|seq| Request::FedEvent {
-                origin: self.me,
-                seq,
+            let timer = self.peer_metrics[&node].forward_ns.start();
+            let ticket = self.peers[&node].submit(FedEventBody {
                 source: source.to_owned(),
                 time_ms: t.millis(),
                 fields: fields.to_vec(),
-            })?;
-            m.forward_ns.observe_since(timer);
-            m.forwards.inc();
-            match resp {
-                Response::Count(k) => total += k,
-                other => {
-                    return Err(FedError::Remote {
-                        node,
-                        message: format!("unexpected FedEvent response: {other:?}"),
-                    })
+            });
+            remote.push((node, ticket, timer));
+        }
+        RouteHandle { local, remote }
+    }
+
+    /// Waits for every remote acknowledgement behind `handle` and returns
+    /// the cluster-wide notification count. Every ticket is drained even on
+    /// failure (the first error wins) so per-peer metrics stay accurate.
+    pub fn wait_route(&self, handle: RouteHandle) -> FedResult<u64> {
+        let mut total = handle.local;
+        let mut first_err: Option<FedError> = None;
+        for (node, ticket, timer) in handle.remote {
+            let m = &self.peer_metrics[&node];
+            match self.peers[&node].wait_event(&ticket) {
+                Ok(k) => {
+                    m.forward_ns.observe_since(timer);
+                    m.forwards.inc();
+                    total += k;
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
                 }
             }
         }
-        Ok(total)
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(total),
+        }
     }
 
-    /// Handles a forwarded event from `origin` (exactly-once via the
-    /// per-origin replay cache keyed by the link-local sequence number).
+    /// Handles a forwarded multi-event batch from `origin` (exactly-once
+    /// via the per-origin replay cache keyed by the link-local sequence
+    /// number, one cached count vector per batch).
+    fn on_fed_batch(&self, origin: u32, seq: u64, events: &[FedEventBody]) -> Response {
+        let Some(m) = self.origin_metrics.get(&origin) else {
+            return Response::Err {
+                message: format!("node {origin} is not a cluster peer"),
+            };
+        };
+        // The replay lock is held through the ingest so (seq → counts) is
+        // recorded atomically; contention is bounded because each origin's
+        // link serializes its own frames.
+        let mut replay = self.replay.lock();
+        let cache = replay.entry(origin).or_insert_with(ReplayCache::new);
+        if let Some(counts) = cache.lookup(seq) {
+            m.replays.inc();
+            return Response::Counts(counts.clone());
+        }
+        if seq <= cache.last_seq {
+            // At or below the high-water mark but no longer cached: the
+            // sender's bounded window can never legitimately resend this
+            // far back, so refuse rather than risk a double ingest.
+            return Response::Err {
+                message: format!(
+                    "replayed batch seq {seq} from node {origin} is beyond the replay \
+                     cache (high-water mark {})",
+                    cache.last_seq
+                ),
+            };
+        }
+        let mut counts = Vec::with_capacity(events.len());
+        {
+            let mut owned = self.owned_seen.lock();
+            for body in events {
+                let event = producers::external_event(
+                    &body.source,
+                    Timestamp::from_millis(body.time_ms),
+                    body.fields.clone(),
+                );
+                for &raw in &self.cmi.awareness().routing_instances(&event) {
+                    if self.cluster.owner_of_instance(raw) == self.me {
+                        owned.insert(raw);
+                    }
+                }
+                counts.push(self.cmi.awareness().ingest(&event).len() as u64);
+            }
+            self.partition_gauge.set(owned.len() as i64);
+        }
+        m.events_in.add(events.len() as u64);
+        let resp = Response::Counts(counts.clone());
+        cache.remember(seq, counts);
+        resp
+    }
+
+    /// Handles a single forwarded event from `origin` — the pre-batching
+    /// wire form, kept for mixed-version peers. Shares the batch replay
+    /// cache (a one-event batch under the same sequence space).
     fn on_fed_event(
         &self,
         origin: u32,
@@ -396,43 +539,15 @@ impl FedCore {
         time_ms: u64,
         fields: &[(String, Value)],
     ) -> Response {
-        let Some(m) = self.origin_metrics.get(&origin) else {
-            return Response::Err {
-                message: format!("node {origin} is not a cluster peer"),
-            };
+        let body = FedEventBody {
+            source: source.to_owned(),
+            time_ms,
+            fields: fields.to_vec(),
         };
-        // The replay lock is held through the ingest so (seq → count) is
-        // recorded atomically; contention is bounded because each origin's
-        // link serializes its own calls.
-        let mut replay = self.replay.lock();
-        let entry = replay.entry(origin).or_insert((0, 0));
-        if seq == entry.0 {
-            m.replays.inc();
-            return Response::Count(entry.1);
+        match self.on_fed_batch(origin, seq, std::slice::from_ref(&body)) {
+            Response::Counts(counts) => Response::Count(counts.first().copied().unwrap_or(0)),
+            other => other,
         }
-        if seq < entry.0 {
-            // Older than the cache: long since processed; nothing sane to
-            // re-answer (single-link ordering makes this unreachable).
-            return Response::Count(0);
-        }
-        let event = producers::external_event(
-            source,
-            Timestamp::from_millis(time_ms),
-            fields.to_vec(),
-        );
-        {
-            let mut owned = self.owned_seen.lock();
-            for &raw in &self.cmi.awareness().routing_instances(&event) {
-                if self.cluster.owner_of_instance(raw) == self.me {
-                    owned.insert(raw);
-                }
-            }
-            self.partition_gauge.set(owned.len() as i64);
-        }
-        let count = self.cmi.awareness().ingest(&event).len() as u64;
-        *entry = (seq, count);
-        m.events_in.inc();
-        Response::Count(count)
     }
 
     /// Handles a routed-notification batch from `origin`.
@@ -580,13 +695,20 @@ impl FedCore {
                 }
             }
             // Route pass: users pending locally but signed on at `target`.
-            // Loop while any batch came back full so a burst drains without
+            // Batches for different users are pipelined — up to the link's
+            // batch window of `FedNotify` flights stay unacknowledged at
+            // once, and each is only acked out of the durable queue when
+            // its response lands (a dropped flight retransmits next pass;
+            // the receiver's dedup window collapses the duplicates). Loop
+            // while any batch came back full so a burst drains without
             // waiting for the next kick, while the batch size keeps any one
             // flight bounded (slow-peer backpressure).
+            let flight_window = self.cfg.peer.window_batches.max(1);
             loop {
                 let mut saturated = false;
                 let mut peer_down = false;
-                for user in queue.users_with_pending() {
+                let mut flights: VecDeque<NotifyFlight> = VecDeque::new();
+                'users: for user in queue.users_with_pending() {
                     if self.local_signons.lock().contains(&user.raw()) {
                         continue;
                     }
@@ -602,29 +724,38 @@ impl FedCore {
                         batch.into_iter().map(|n| (n.seq, 0, n)).collect();
                     let sent = notes.len();
                     let timer = metrics.forward_ns.start();
-                    match link.call(&Request::FedNotify {
+                    match link.call_pipelined(&Request::FedNotify {
                         origin: self.me,
                         notes,
                     }) {
-                        Ok(_) => {
-                            metrics.forward_ns.observe_since(timer);
-                            // The peer has durably enqueued (or deduped)
-                            // every entry: drop them here and release the
-                            // load the local delivery charged.
-                            let _ = queue.ack_exact(user, &seqs);
-                            let _ = self.cmi.directory().adjust_load(user, -(sent as i32));
-                            metrics.notes_routed.add(sent as u64);
-                            if sent == self.cfg.window {
-                                saturated = true;
-                            }
-                        }
+                        Ok(ticket) => flights.push_back(NotifyFlight {
+                            user,
+                            seqs,
+                            sent,
+                            ticket,
+                            timer,
+                        }),
                         Err(_) => {
-                            // Dead peer: notifications stay parked in the
-                            // durable queue; retry on the next tick.
                             peer_down = true;
-                            break;
+                            break 'users;
                         }
                     }
+                    while flights.len() >= flight_window {
+                        let fl = flights.pop_front().expect("nonempty flights");
+                        self.settle_notify(&link, metrics, fl, &mut saturated, &mut peer_down);
+                        if peer_down {
+                            break 'users;
+                        }
+                    }
+                }
+                // Drain the tail. On a dead peer the remaining tickets are
+                // dropped unsettled: their notifications stay parked in the
+                // durable queue (never acked) and retransmit next pass.
+                for fl in flights {
+                    if peer_down {
+                        break;
+                    }
+                    self.settle_notify(&link, metrics, fl, &mut saturated, &mut peer_down);
                 }
                 if !saturated || peer_down {
                     break;
@@ -632,6 +763,48 @@ impl FedCore {
             }
         }
     }
+
+    /// Settles one pipelined `FedNotify` flight: on acknowledgement the
+    /// entries leave the durable queue and release their delivery load; on
+    /// failure they stay parked for the next pass.
+    fn settle_notify(
+        &self,
+        link: &PeerLink,
+        metrics: &PeerMetrics,
+        fl: NotifyFlight,
+        saturated: &mut bool,
+        peer_down: &mut bool,
+    ) {
+        let queue = self.cmi.awareness().queue();
+        match link.wait_call(fl.ticket) {
+            Ok(_) => {
+                metrics.forward_ns.observe_since(fl.timer);
+                // The peer has durably enqueued (or deduped) every entry:
+                // drop them here and release the load the local delivery
+                // charged.
+                let _ = queue.ack_exact(fl.user, &fl.seqs);
+                let _ = self.cmi.directory().adjust_load(fl.user, -(fl.sent as i32));
+                metrics.notes_routed.add(fl.sent as u64);
+                if fl.sent == self.cfg.window {
+                    *saturated = true;
+                }
+            }
+            Err(_) => {
+                // Dead peer: notifications stay parked in the durable
+                // queue; retry on the next tick.
+                *peer_down = true;
+            }
+        }
+    }
+}
+
+/// One unacknowledged pipelined `FedNotify` batch in a pump's route pass.
+struct NotifyFlight {
+    user: UserId,
+    seqs: Vec<u64>,
+    sent: usize,
+    ticket: CallTicket,
+    timer: Option<Instant>,
 }
 
 impl FederationHooks for FedCore {
@@ -657,6 +830,11 @@ impl FederationHooks for FedCore {
                 time_ms,
                 fields,
             } => Some(self.on_fed_event(*origin, *seq, source, *time_ms, fields)),
+            Request::FedBatch {
+                origin,
+                seq,
+                events,
+            } => Some(self.on_fed_batch(*origin, *seq, events)),
             Request::FedNotify { origin, notes } => Some(self.on_fed_notify(*origin, notes)),
             Request::FedGossip { origin, signed_on } => {
                 if let Some(m) = self.peer_metrics.get(origin) {
@@ -842,12 +1020,32 @@ impl FedNode {
         self.core.route_external(source, &fields)
     }
 
-    /// Stops the pumps and the network front. Idempotent.
+    /// Pipelined local ingress: ingests the local share and submits the
+    /// remote shares to the peer batchers without waiting. Keeping several
+    /// handles open before settling them with [`FedNode::wait_external`] is
+    /// what lets the links aggregate multi-event batches.
+    pub fn external_event_async(
+        &self,
+        source: &str,
+        fields: Vec<(String, Value)>,
+    ) -> RouteHandle {
+        self.core.route_external_async(source, &fields)
+    }
+
+    /// Settles a handle from [`FedNode::external_event_async`].
+    pub fn wait_external(&self, handle: RouteHandle) -> FedResult<u64> {
+        self.core.wait_route(handle)
+    }
+
+    /// Stops the pumps, the peer links, and the network front. Idempotent.
     pub fn shutdown(&self) {
         self.core.stopping.store(true, Ordering::Release);
         self.core.kick_all();
         for t in self.pump_threads.lock().drain(..) {
             let _ = t.join();
+        }
+        for link in self.core.peers.values() {
+            link.shutdown();
         }
         if let Some(net) = self.net.lock().take() {
             net.shutdown();

@@ -3,35 +3,55 @@
 //! protocol with the `Request::Fed*` extensions.
 //!
 //! A link is a plain client of the peer's session server — it dials the
-//! same listener participants use, identifies itself with
-//! [`Request::FedHello`], and then issues requests like any session. What
-//! makes it a *peer* link is the exactly-once machinery layered on top:
+//! same listener participants use and identifies itself with
+//! [`Request::FedHello`]. What makes it a *peer* link is the pipelined,
+//! exactly-once data plane layered on top:
 //!
-//! * **Strictly increasing sequence numbers.** [`PeerLink::call_seq`] claims
-//!   the next link-local sequence number *while holding the link's I/O
-//!   lock*, so the sequence a peer observes is monotone even under
-//!   concurrent forwarders. A retransmit after a reconnect reuses the same
-//!   number, which the receiver recognizes as a replay and answers from its
-//!   cache instead of re-ingesting.
-//! * **Reconnect with resume.** A failed write/read tears the stream down
-//!   and the next call re-dials with `FedHello { resume: true }`; the
-//!   receiver keeps its replay state across resumes.
-//! * **Bounded backoff.** After a failed dial the link marks itself down
-//!   for a doubling interval (capped at half a second); calls inside the
-//!   window fail fast with [`FedError::PeerUnavailable`] instead of
-//!   stacking threads on a dead TCP connect — this is what keeps a dead
-//!   peer from wedging its neighbours.
+//! * **Batching.** Forwarded events accumulate in a per-link buffer and
+//!   flush as one [`Request::FedBatch`] frame when the batch fills
+//!   ([`PeerConfig::batch_events`] events or the byte cap) or the flush
+//!   deadline ([`PeerConfig::batch_deadline`]) elapses — one frame, one
+//!   sequence number, one response for many events.
+//! * **A bounded in-flight window.** Up to [`PeerConfig::window_batches`]
+//!   sequenced batches may await acknowledgement concurrently (tracked by
+//!   the same [`SendWindow`] the session server bounds client pushes with).
+//!   Responses arrive on a dedicated reader thread and settle flights in
+//!   FIFO order — the protocol answers requests in order, so the front of
+//!   the in-flight queue is always the next response's owner. When the
+//!   window is full, new events keep buffering and the next acknowledgement
+//!   flushes them: batches form exactly when the link is the bottleneck.
+//! * **Retransmit-from-seq.** A broken link parks every unacknowledged
+//!   batch, in order, and a successful re-dial (with
+//!   `FedHello { resume: true }`) retransmits them under their original
+//!   sequence numbers before anything new is sent. The receiver's
+//!   batch-granularity replay cache answers already-processed sequence
+//!   numbers from cache, so a response lost to the crash cannot cause a
+//!   double ingest.
+//! * **Bounded backoff with typed failures.** After a failed dial the link
+//!   marks itself down for a doubling interval (capped at half a second).
+//!   An event that has never been sequenced fails fast with
+//!   [`FedError::PeerUnavailable`] once [`PeerConfig::dial_patience`] is
+//!   exhausted; the error carries the send-window depth and oldest unacked
+//!   sequence so callers can tell backpressure from a dead peer.
+//!
+//! Zero-copy encoding: batches are encoded straight from the event buffer
+//! into a reusable per-link buffer (`encode_fed_batch_into`) and written
+//! with one vectored write (`write_frame_vectored`) — steady-state batched
+//! ingest performs no per-event heap allocation in the encode path.
 
-use std::io::{self, Write};
+use std::collections::VecDeque;
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use cmi_net::client::DialFn;
-use cmi_net::codec::{encode_frame, FrameKind, FrameReader};
+use cmi_net::codec::{write_frame_vectored, FrameKind, FrameReader};
 use cmi_net::transport::NetStream;
-use cmi_net::wire::{Request, Response};
+use cmi_net::window::SendWindow;
+use cmi_net::wire::{encode_fed_batch_into, FedEventBody, Request, Response};
 use cmi_obs::Counter;
 
 use crate::error::{FedError, FedResult};
@@ -40,26 +60,135 @@ use crate::error::{FedError, FedResult};
 const MAX_BACKOFF: Duration = Duration::from_millis(500);
 /// Initial down-marking interval after a failed dial.
 const BASE_BACKOFF: Duration = Duration::from_millis(10);
+/// Reader-thread poll tick (also bounds shutdown latency).
+const READ_TICK: Duration = Duration::from_millis(25);
+/// Approximate encoded-bytes cap that flushes a batch early regardless of
+/// the event count, keeping frames comfortably under `MAX_FRAME_LEN`.
+const MAX_BATCH_BYTES: usize = 256 * 1024;
 
 /// Tuning for one peer link.
 #[derive(Debug, Clone)]
 pub struct PeerConfig {
-    /// How long one request waits for its response before the link is
-    /// declared broken and reconnected.
+    /// How long the oldest in-flight batch (or call) may await its response
+    /// before the link is declared broken and reconnected.
     pub response_timeout: Duration,
+    /// Maximum events per [`Request::FedBatch`]; the batcher flushes as soon
+    /// as the buffer reaches this size. `1` degenerates to one event per
+    /// frame (the pre-batching wire behavior).
+    pub batch_events: usize,
+    /// How long a partial batch may wait for more events before a waiting
+    /// forwarder flushes it. Zero flushes on every submit. A positive
+    /// deadline still flushes immediately while the link is idle (the
+    /// Nagle rule — a lone event never pays the deadline) but lets
+    /// acknowledgements, the size caps, or at worst the deadline flush the
+    /// accumulating batch while flights are outstanding: larger batches
+    /// under load at no idle-path latency cost.
+    pub batch_deadline: Duration,
+    /// Maximum sequenced-but-unacknowledged batches in flight. Beyond it,
+    /// events keep buffering and each acknowledgement flushes the backlog
+    /// (group commit under backpressure).
+    pub window_batches: usize,
+    /// How long an event that has never been put on the wire may wait for
+    /// the link to come (back) up before its forwarder fails fast with
+    /// [`FedError::PeerUnavailable`].
+    pub dial_patience: Duration,
 }
 
 impl Default for PeerConfig {
     fn default() -> Self {
         PeerConfig {
             response_timeout: Duration::from_secs(2),
+            batch_events: 64,
+            batch_deadline: Duration::ZERO,
+            window_batches: 8,
+            dial_patience: Duration::from_secs(1),
         }
     }
 }
 
-struct LinkIo {
+/// A one-shot completion slot: the reader thread (or a teardown) fulfills
+/// it, exactly one waiter takes the result.
+pub struct Ticket<T> {
+    slot: Mutex<Option<FedResult<T>>>,
+    cv: Condvar,
+}
+
+impl<T> Ticket<T> {
+    fn new() -> Ticket<T> {
+        Ticket {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn fulfill(&self, res: FedResult<T>) {
+        let mut slot = self.slot.lock();
+        if slot.is_none() {
+            *slot = Some(res);
+        }
+        self.cv.notify_all();
+    }
+
+    fn try_take(&self) -> Option<FedResult<T>> {
+        self.slot.lock().take()
+    }
+
+    /// Parks until fulfilled or `deadline`, whichever first.
+    fn wait_until(&self, deadline: Instant) {
+        let mut slot = self.slot.lock();
+        while slot.is_none() {
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            self.cv.wait_for(&mut slot, deadline - now);
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Ticket<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("settled", &self.slot.lock().is_some())
+            .finish()
+    }
+}
+
+/// Handle for one submitted event: settles with the remote notification
+/// count once the event's batch is acknowledged.
+pub type EventTicket = Arc<Ticket<u64>>;
+/// Handle for one pipelined request: settles with the peer's response.
+pub type CallTicket = Arc<Ticket<Response>>;
+
+/// A sequenced batch: kept (with its waiters) until acknowledged so a
+/// broken link can retransmit it byte-identically under the same seq.
+struct BatchFlight {
+    seq: u64,
+    bodies: Vec<FedEventBody>,
+    tickets: Vec<EventTicket>,
+    sent_at: Instant,
+}
+
+/// One sent-but-unanswered transaction, in wire order.
+enum Flight {
+    Batch(BatchFlight),
+    Call { ticket: CallTicket, sent_at: Instant },
+}
+
+impl Flight {
+    fn sent_at(&self) -> Instant {
+        match self {
+            Flight::Batch(b) => b.sent_at,
+            Flight::Call { sent_at, .. } => *sent_at,
+        }
+    }
+}
+
+struct LinkState {
+    /// Connection generation: bumped on every connect *and* teardown so a
+    /// stale reader (or writer) can detect it lost the stream.
+    gen: u64,
     stream: Option<Box<dyn NetStream>>,
-    reader: FrameReader,
     /// Next link-local sequence number to claim (strictly increasing).
     next_seq: u64,
     /// Whether this link has ever been up (drives `FedHello::resume`).
@@ -67,17 +196,37 @@ struct LinkIo {
     /// Fail-fast window after a failed dial.
     down_until: Option<Instant>,
     backoff: Duration,
+    /// The forming batch: bodies and their waiters, parallel by index.
+    pending_bodies: Vec<FedEventBody>,
+    pending_tickets: Vec<EventTicket>,
+    pending_since: Option<Instant>,
+    pending_bytes: usize,
+    /// Set when a flush found the window full — the next acknowledgement
+    /// flushes the backlog.
+    flush_blocked: bool,
+    /// Sequenced-but-unacknowledged batch seqs (in-flight + parked).
+    window: SendWindow,
+    /// Sent transactions awaiting responses, FIFO in wire order.
+    inflight: VecDeque<Flight>,
+    /// Unacknowledged batches rescued from a dead connection, oldest first;
+    /// retransmitted (same seqs) before anything new after a reconnect.
+    retransmit: VecDeque<BatchFlight>,
+    /// Reusable batch-payload encode buffer (grows to the working set once).
+    encode_buf: Vec<u8>,
+    stopping: bool,
 }
 
-/// One outbound peer link (see the module docs).
-pub struct PeerLink {
-    /// This node's cluster id (sent in `FedHello`).
+/// Everything the reader thread shares with the link front.
+struct LinkShared {
     me: u32,
-    /// The peer's cluster id.
     target: u32,
     dial: Box<DialFn>,
     cfg: PeerConfig,
-    io: Mutex<LinkIo>,
+    state: Mutex<LinkState>,
+    /// Signals stream arrival/departure (reader parks on it when down).
+    link_cv: Condvar,
+    /// Signals window space / settled flights (submitters park on it).
+    progress_cv: Condvar,
     /// Bumped on every successful (re)connect; pumps compare epochs to know
     /// when to re-gossip the full sign-on set after a resume.
     epoch: AtomicU64,
@@ -85,194 +234,80 @@ pub struct PeerLink {
     reconnects: Counter,
 }
 
-impl PeerLink {
-    /// A link from node `me` to node `target` dialing through `dial`.
-    /// `reconnects` is the per-peer reconnect counter to publish into.
-    pub fn new(
-        me: u32,
-        target: u32,
-        dial: Box<DialFn>,
-        cfg: PeerConfig,
-        reconnects: Counter,
-    ) -> PeerLink {
-        PeerLink {
-            me,
-            target,
-            dial,
-            cfg,
-            io: Mutex::new(LinkIo {
-                stream: None,
-                reader: FrameReader::new(),
-                next_seq: 1,
-                connected_once: false,
-                down_until: None,
-                backoff: BASE_BACKOFF,
-            }),
-            epoch: AtomicU64::new(0),
-            reconnects,
+impl LinkShared {
+    fn unavailable_locked(&self, st: &LinkState) -> FedError {
+        FedError::PeerUnavailable {
+            node: self.target,
+            window: st.window.len(),
+            oldest_unacked: st.window.oldest(),
         }
     }
 
-    /// The peer's cluster node id.
-    pub fn target(&self) -> u32 {
-        self.target
-    }
-
-    /// The connect epoch: bumped on every successful (re)connect. A pump
-    /// that observes a new epoch re-sends its full directory gossip.
-    pub fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Acquire)
-    }
-
-    /// Sends `req` and awaits the response, transparently reconnecting
-    /// once on a broken link. Use for idempotent requests (`FedNotify`
-    /// dedups by origin sequence, `FedGossip` replaces wholesale).
-    pub fn call(&self, req: &Request) -> FedResult<Response> {
-        let mut io = self.io.lock();
-        self.call_io(&mut io, req)
-    }
-
-    /// Claims the next link-local sequence number and sends `build(seq)`,
-    /// retrying the *same* sequence number across one reconnect so the
-    /// receiver can collapse the retransmit (exactly-once ingest). The
-    /// claim happens under the link lock, so concurrent forwarders observe
-    /// strictly increasing sequence numbers on the wire.
-    pub fn call_seq(&self, build: impl Fn(u64) -> Request) -> FedResult<Response> {
-        let mut io = self.io.lock();
-        self.ensure_connected(&mut io)?;
-        let seq = io.next_seq;
-        io.next_seq += 1;
-        let req = build(seq);
-        self.call_io(&mut io, &req)
-    }
-
-    /// Whether the link currently holds a live stream. Diagnostic only:
-    /// the peer may still have gone away without the stream noticing yet.
-    pub fn is_connected(&self) -> bool {
-        self.io.lock().stream.is_some()
-    }
-
-    /// Drops the live stream (if any) so the next call re-dials. Test hook
-    /// mirroring `Connection::kill_link`.
-    pub fn kill_link(&self) {
-        let mut io = self.io.lock();
-        if let Some(s) = io.stream.take() {
+    /// Tears down generation `gen` (no-op if the state has moved on):
+    /// closes the stream, parks unacked batches for retransmit, and fails
+    /// in-flight calls.
+    fn teardown_locked(&self, st: &mut LinkState, gen: u64) {
+        if st.gen != gen {
+            return;
+        }
+        st.gen += 1;
+        if let Some(s) = st.stream.take() {
             s.shutdown_stream();
         }
-        io.reader = FrameReader::new();
+        let flights: Vec<Flight> = st.inflight.drain(..).collect();
+        let mut rescued: Vec<BatchFlight> = Vec::new();
+        let mut failed_calls: Vec<CallTicket> = Vec::new();
+        for fl in flights {
+            match fl {
+                Flight::Batch(b) => rescued.push(b),
+                Flight::Call { ticket, .. } => failed_calls.push(ticket),
+            }
+        }
+        // In-flight batches are older than anything already parked (parked
+        // batches only exist while the stream is down), so they go in front.
+        for b in rescued.into_iter().rev() {
+            st.retransmit.push_front(b);
+        }
+        for t in failed_calls {
+            t.fulfill(Err(self.unavailable_locked(st)));
+        }
+        self.link_cv.notify_all();
+        self.progress_cv.notify_all();
     }
 
-    fn call_io(&self, io: &mut LinkIo, req: &Request) -> FedResult<Response> {
-        // Two attempts: the live (possibly stale) stream, then one fresh
-        // reconnect. Beyond that the peer is reported unavailable.
-        for _attempt in 0..2 {
-            self.ensure_connected(io)?;
-            match self.roundtrip(io, req) {
-                Ok(Response::Err { message }) => {
-                    return Err(FedError::Remote {
-                        node: self.target,
-                        message,
-                    })
-                }
-                Ok(resp) => return Ok(resp),
-                Err(_) => {
-                    // Broken link: tear down and let the next loop
-                    // iteration re-dial (with resume).
-                    if let Some(s) = io.stream.take() {
-                        s.shutdown_stream();
-                    }
-                    io.reader = FrameReader::new();
-                }
-            }
-        }
-        Err(FedError::PeerUnavailable { node: self.target })
-    }
-
-    fn ensure_connected(&self, io: &mut LinkIo) -> FedResult<()> {
-        if io.stream.is_some() {
-            return Ok(());
-        }
-        if let Some(t) = io.down_until {
-            if Instant::now() < t {
-                return Err(FedError::PeerUnavailable { node: self.target });
-            }
-        }
-        let resume = io.connected_once;
-        match self.try_dial(resume) {
-            Ok((stream, reader)) => {
-                io.stream = Some(stream);
-                io.reader = reader;
-                io.down_until = None;
-                io.backoff = BASE_BACKOFF;
-                if resume {
-                    self.reconnects.inc();
-                }
-                io.connected_once = true;
-                self.epoch.fetch_add(1, Ordering::AcqRel);
-                Ok(())
-            }
-            Err(_) => {
-                io.down_until = Some(Instant::now() + io.backoff);
-                io.backoff = (io.backoff * 2).min(MAX_BACKOFF);
-                Err(FedError::PeerUnavailable { node: self.target })
-            }
-        }
-    }
-
-    /// Dials and performs the `FedHello` handshake on the fresh stream.
-    fn try_dial(&self, resume: bool) -> io::Result<(Box<dyn NetStream>, FrameReader)> {
+    /// Dials and performs the `FedHello` handshake on the fresh stream —
+    /// synchronously, before the reader thread ever sees it, so the
+    /// handshake response cannot race the pipelined reader.
+    fn try_dial(&self, resume: bool) -> io::Result<Box<dyn NetStream>> {
         let mut stream = (self.dial)()?;
-        stream.set_stream_read_timeout(Some(self.cfg.response_timeout.min(Duration::from_millis(50))))?;
-        let mut reader = FrameReader::new();
+        stream
+            .set_stream_read_timeout(Some(self.cfg.response_timeout.min(Duration::from_millis(50))))?;
         let hello = Request::FedHello {
             node: self.me,
             resume,
         };
-        stream.write_all(&encode_frame(FrameKind::Request, &hello.encode()))?;
-        match self.read_response(&mut stream, &mut reader)? {
-            Response::Ok => Ok((stream, reader)),
-            Response::Err { message } => Err(io::Error::new(
-                io::ErrorKind::ConnectionRefused,
-                format!("peer rejected FedHello: {message}"),
-            )),
-            other => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unexpected FedHello response: {other:?}"),
-            )),
-        }
-    }
-
-    /// One request/response exchange on the live stream.
-    fn roundtrip(&self, io: &mut LinkIo, req: &Request) -> io::Result<Response> {
-        let stream = io.stream.as_mut().expect("ensure_connected ran");
-        stream.write_all(&encode_frame(FrameKind::Request, &req.encode()))?;
-        let mut reader = std::mem::take(&mut io.reader);
-        let out = self.read_response(stream, &mut reader);
-        io.reader = reader;
-        out
-    }
-
-    /// Polls for the next `Response` frame until the response timeout
-    /// elapses. Pongs are skipped; a `Goodbye` (server shutdown) is a
-    /// broken link.
-    fn read_response(
-        &self,
-        stream: &mut Box<dyn NetStream>,
-        reader: &mut FrameReader,
-    ) -> io::Result<Response> {
+        write_frame_vectored(&mut *stream, FrameKind::Request, &hello.encode())?;
+        let mut reader = FrameReader::new();
         let deadline = Instant::now() + self.cfg.response_timeout;
         loop {
-            match reader.poll(&mut **stream)? {
+            match reader.poll(&mut *stream)? {
                 Some(f) if f.kind == FrameKind::Response => {
-                    return Response::decode(&f.payload).map_err(|e| {
+                    let resp = Response::decode(&f.payload).map_err(|e| {
                         io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}"))
-                    });
+                    })?;
+                    return match resp {
+                        Response::Ok => Ok(stream),
+                        Response::Err { message } => Err(io::Error::new(
+                            io::ErrorKind::ConnectionRefused,
+                            format!("peer rejected FedHello: {message}"),
+                        )),
+                        other => Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("unexpected FedHello response: {other:?}"),
+                        )),
+                    };
                 }
-                Some(f) if f.kind == FrameKind::Pong || f.kind == FrameKind::Push => {
-                    // A peer link never subscribes, but tolerate stray
-                    // pushes rather than tearing the link down.
-                    continue;
-                }
+                Some(f) if f.kind == FrameKind::Pong || f.kind == FrameKind::Push => continue,
                 Some(_) => {
                     return Err(io::Error::new(
                         io::ErrorKind::ConnectionAborted,
@@ -290,14 +325,614 @@ impl PeerLink {
             }
         }
     }
+
+    /// Connects if down (respecting backoff), then retransmits every parked
+    /// batch under its original sequence number, oldest first.
+    fn ensure_connected_locked(&self, st: &mut LinkState) -> FedResult<()> {
+        if st.stopping {
+            return Err(self.unavailable_locked(st));
+        }
+        if st.stream.is_some() {
+            return Ok(());
+        }
+        if let Some(t) = st.down_until {
+            if Instant::now() < t {
+                return Err(self.unavailable_locked(st));
+            }
+        }
+        let resume = st.connected_once;
+        match self.try_dial(resume) {
+            Ok(stream) => {
+                debug_assert!(st.inflight.is_empty(), "teardown drained in-flight");
+                st.stream = Some(stream);
+                st.gen += 1;
+                let gen = st.gen;
+                st.down_until = None;
+                st.backoff = BASE_BACKOFF;
+                if resume {
+                    self.reconnects.inc();
+                }
+                st.connected_once = true;
+                self.epoch.fetch_add(1, Ordering::AcqRel);
+                let mut parked: VecDeque<BatchFlight> = std::mem::take(&mut st.retransmit);
+                while let Some(mut b) = parked.pop_front() {
+                    let wrote = {
+                        let LinkState {
+                            stream, encode_buf, ..
+                        } = &mut *st;
+                        encode_fed_batch_into(encode_buf, self.me, b.seq, &b.bodies);
+                        let s = stream.as_mut().expect("stream installed above");
+                        write_frame_vectored(&mut **s, FrameKind::Request, encode_buf).is_ok()
+                    };
+                    if wrote {
+                        b.sent_at = Instant::now();
+                        st.inflight.push_back(Flight::Batch(b));
+                    } else {
+                        // Put the unsent suffix back; teardown rescues the
+                        // resent prefix from in-flight in front of it.
+                        parked.push_front(b);
+                        st.retransmit = parked;
+                        self.teardown_locked(st, gen);
+                        return Err(self.unavailable_locked(st));
+                    }
+                }
+                self.link_cv.notify_all();
+                self.progress_cv.notify_all();
+                Ok(())
+            }
+            Err(_) => {
+                st.down_until = Some(Instant::now() + st.backoff);
+                st.backoff = (st.backoff * 2).min(MAX_BACKOFF);
+                Err(self.unavailable_locked(st))
+            }
+        }
+    }
+
+    /// Sequences and writes the forming batch if the window has room; with
+    /// a full window the batch stays pending and the next acknowledgement
+    /// flushes it. A link-down failure also leaves the events pending (the
+    /// waiters drive reconnection and the fail-fast patience).
+    fn flush_locked(&self, st: &mut LinkState) -> FedResult<()> {
+        if st.pending_bodies.is_empty() {
+            return Ok(());
+        }
+        self.ensure_connected_locked(st)?;
+        if !st.window.has_room() {
+            st.flush_blocked = true;
+            return Ok(());
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.window.claim(seq);
+        let bodies = std::mem::take(&mut st.pending_bodies);
+        let tickets = std::mem::take(&mut st.pending_tickets);
+        st.pending_since = None;
+        st.pending_bytes = 0;
+        st.flush_blocked = false;
+        let b = BatchFlight {
+            seq,
+            bodies,
+            tickets,
+            sent_at: Instant::now(),
+        };
+        let gen = st.gen;
+        let wrote = {
+            let LinkState {
+                stream, encode_buf, ..
+            } = &mut *st;
+            encode_fed_batch_into(encode_buf, self.me, seq, &b.bodies);
+            let s = stream.as_mut().expect("ensure_connected ran");
+            write_frame_vectored(&mut **s, FrameKind::Request, encode_buf).is_ok()
+        };
+        if wrote {
+            st.inflight.push_back(Flight::Batch(b));
+            Ok(())
+        } else {
+            // Sequenced but not delivered: park for retransmit-from-seq.
+            st.retransmit.push_back(b);
+            self.teardown_locked(st, gen);
+            Err(self.unavailable_locked(st))
+        }
+    }
+
+    /// Settles the front flight with `resp`. Returns false on a protocol
+    /// violation (response with nothing in flight, count mismatch) — the
+    /// caller tears the link down to resync.
+    fn settle_front_locked(&self, st: &mut LinkState, resp: Response) -> bool {
+        let ok = match st.inflight.pop_front() {
+            None => false,
+            Some(Flight::Call { ticket, .. }) => {
+                let res = match resp {
+                    Response::Err { message } => Err(FedError::Remote {
+                        node: self.target,
+                        message,
+                    }),
+                    r => Ok(r),
+                };
+                ticket.fulfill(res);
+                true
+            }
+            Some(Flight::Batch(b)) => {
+                st.window.release(b.seq);
+                match resp {
+                    Response::Counts(counts) if counts.len() == b.bodies.len() => {
+                        for (t, c) in b.tickets.iter().zip(counts) {
+                            t.fulfill(Ok(c));
+                        }
+                        true
+                    }
+                    Response::Err { message } => {
+                        for t in &b.tickets {
+                            t.fulfill(Err(FedError::Remote {
+                                node: self.target,
+                                message: message.clone(),
+                            }));
+                        }
+                        true
+                    }
+                    other => {
+                        for t in &b.tickets {
+                            t.fulfill(Err(FedError::Remote {
+                                node: self.target,
+                                message: format!("unexpected FedBatch response: {other:?}"),
+                            }));
+                        }
+                        false
+                    }
+                }
+            }
+        };
+        // Freed window space (or settled a call): flush whatever accumulated
+        // while this flight was on the wire (group commit — the batch size
+        // self-tunes to the acknowledgement rate), then wake parked
+        // submitters.
+        if ok && !st.pending_bodies.is_empty() {
+            let _ = self.flush_locked(st);
+        }
+        self.progress_cv.notify_all();
+        ok
+    }
+
+    /// Reader-thread body: clone the live stream, settle responses in FIFO
+    /// order, declare the link broken when the oldest flight outlives the
+    /// response timeout.
+    fn reader_main(self: &Arc<LinkShared>) {
+        'sessions: loop {
+            let (gen, mut stream) = {
+                let mut st = self.state.lock();
+                loop {
+                    if st.stopping {
+                        return;
+                    }
+                    if let Some(s) = st.stream.as_ref() {
+                        match s.try_clone_stream() {
+                            Ok(c) => {
+                                let _ = c.set_stream_read_timeout(Some(READ_TICK));
+                                break (st.gen, c);
+                            }
+                            Err(_) => {
+                                let gen = st.gen;
+                                self.teardown_locked(&mut st, gen);
+                            }
+                        }
+                    } else {
+                        self.link_cv.wait(&mut st);
+                    }
+                }
+            };
+            let mut fr = FrameReader::new();
+            loop {
+                match fr.poll(&mut *stream) {
+                    Ok(Some(f)) if f.kind == FrameKind::Response => {
+                        let mut st = self.state.lock();
+                        if st.gen != gen {
+                            continue 'sessions;
+                        }
+                        let settled = match Response::decode(&f.payload) {
+                            Ok(resp) => self.settle_front_locked(&mut st, resp),
+                            Err(_) => false,
+                        };
+                        if !settled {
+                            self.teardown_locked(&mut st, gen);
+                            continue 'sessions;
+                        }
+                    }
+                    Ok(Some(f)) if f.kind == FrameKind::Pong || f.kind == FrameKind::Push => {
+                        // A peer link never subscribes, but tolerate stray
+                        // pushes rather than tearing the link down.
+                    }
+                    Ok(Some(_)) => {
+                        // Goodbye (server shutdown / idle reap) or protocol
+                        // abuse: either way the session is over.
+                        let mut st = self.state.lock();
+                        self.teardown_locked(&mut st, gen);
+                        continue 'sessions;
+                    }
+                    Ok(None) => {
+                        let mut st = self.state.lock();
+                        if st.gen != gen {
+                            continue 'sessions;
+                        }
+                        if st.stopping {
+                            return;
+                        }
+                        let stale = st
+                            .inflight
+                            .front()
+                            .is_some_and(|fl| fl.sent_at().elapsed() > self.cfg.response_timeout);
+                        if stale {
+                            self.teardown_locked(&mut st, gen);
+                            continue 'sessions;
+                        }
+                    }
+                    Err(_) => {
+                        let mut st = self.state.lock();
+                        self.teardown_locked(&mut st, gen);
+                        continue 'sessions;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One outbound peer link (see the module docs).
+pub struct PeerLink {
+    shared: Arc<LinkShared>,
+    reader: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl PeerLink {
+    /// A link from node `me` to node `target` dialing through `dial`.
+    /// `reconnects` is the per-peer reconnect counter to publish into.
+    /// Spawns the link's response-reader thread.
+    pub fn new(
+        me: u32,
+        target: u32,
+        dial: Box<DialFn>,
+        cfg: PeerConfig,
+        reconnects: Counter,
+    ) -> PeerLink {
+        let window_batches = cfg.window_batches.max(1);
+        let shared = Arc::new(LinkShared {
+            me,
+            target,
+            dial,
+            cfg,
+            state: Mutex::new(LinkState {
+                gen: 0,
+                stream: None,
+                next_seq: 1,
+                connected_once: false,
+                down_until: None,
+                backoff: BASE_BACKOFF,
+                pending_bodies: Vec::new(),
+                pending_tickets: Vec::new(),
+                pending_since: None,
+                pending_bytes: 0,
+                flush_blocked: false,
+                window: SendWindow::new(window_batches),
+                inflight: VecDeque::new(),
+                retransmit: VecDeque::new(),
+                encode_buf: Vec::new(),
+                stopping: false,
+            }),
+            link_cv: Condvar::new(),
+            progress_cv: Condvar::new(),
+            epoch: AtomicU64::new(0),
+            reconnects,
+        });
+        let reader_shared = Arc::clone(&shared);
+        let reader = std::thread::Builder::new()
+            .name(format!("cmi-fed-link-{target}"))
+            .spawn(move || reader_shared.reader_main())
+            .expect("spawn fed link reader thread");
+        PeerLink {
+            shared,
+            reader: Mutex::new(Some(reader)),
+        }
+    }
+
+    /// The peer's cluster node id.
+    pub fn target(&self) -> u32 {
+        self.shared.target
+    }
+
+    /// The connect epoch: bumped on every successful (re)connect. A pump
+    /// that observes a new epoch re-sends its full directory gossip.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// Whether the link currently holds a live stream. Diagnostic only:
+    /// the peer may still have gone away without the stream noticing yet.
+    pub fn is_connected(&self) -> bool {
+        self.shared.state.lock().stream.is_some()
+    }
+
+    /// How many sequenced batches are currently unacknowledged (in flight
+    /// or parked for retransmit). Diagnostic / test introspection.
+    pub fn unacked_batches(&self) -> usize {
+        self.shared.state.lock().window.len()
+    }
+
+    /// Drops the live stream (if any) so the next use re-dials. Unacked
+    /// batches park for retransmit. Test hook mirroring
+    /// `Connection::kill_link`.
+    pub fn kill_link(&self) {
+        let mut st = self.shared.state.lock();
+        let gen = st.gen;
+        self.shared.teardown_locked(&mut st, gen);
+    }
+
+    /// Buffers one event for the batched data plane and returns its ticket.
+    /// The batch flushes on size, byte cap, an idle link (nothing in
+    /// flight — the Nagle rule, so a lone event never waits out the
+    /// deadline), or on every submit when the deadline is zero; otherwise
+    /// the flush rides the next acknowledgement (group commit) or the
+    /// waiter's deadline in [`PeerLink::wait_event`]. Never blocks on the
+    /// window: with the window full the event rides the next
+    /// acknowledgement's flush.
+    pub fn submit(&self, body: FedEventBody) -> EventTicket {
+        let ticket: EventTicket = Arc::new(Ticket::new());
+        let mut st = self.shared.state.lock();
+        if st.stopping {
+            ticket.fulfill(Err(self.shared.unavailable_locked(&st)));
+            return ticket;
+        }
+        st.pending_bytes += approx_encoded_len(&body);
+        st.pending_bodies.push(body);
+        st.pending_tickets.push(Arc::clone(&ticket));
+        if st.pending_since.is_none() {
+            st.pending_since = Some(Instant::now());
+        }
+        if st.pending_bodies.len() >= self.shared.cfg.batch_events
+            || st.pending_bytes >= MAX_BATCH_BYTES
+            || self.shared.cfg.batch_deadline.is_zero()
+            || st.inflight.is_empty()
+        {
+            // Link-down flush failures leave the events pending; the waiter
+            // drives reconnection and the fail-fast patience.
+            let _ = self.shared.flush_locked(&mut st);
+        }
+        ticket
+    }
+
+    /// Waits for a submitted event's acknowledgement, driving the link as
+    /// needed: deadline flushes, reconnect attempts, and the fail-fast
+    /// policy. An event never put on the wire fails with
+    /// [`FedError::PeerUnavailable`] after [`PeerConfig::dial_patience`];
+    /// a sequenced event waits for the retransmit machinery (its batch is
+    /// only abandoned — waiters failed — if the peer stays down past the
+    /// patience with a dial failing).
+    pub fn wait_event(&self, ticket: &EventTicket) -> FedResult<u64> {
+        let shared = &self.shared;
+        let start = Instant::now();
+        loop {
+            if let Some(res) = ticket.try_take() {
+                return res;
+            }
+            let mut st = shared.state.lock();
+            if let Some(res) = ticket.try_take() {
+                return res;
+            }
+            if st.stopping {
+                return Err(shared.unavailable_locked(&st));
+            }
+            let now = Instant::now();
+            let mut next_wake = now + READ_TICK.max(Duration::from_millis(10));
+            let mine_pending = st
+                .pending_tickets
+                .iter()
+                .any(|t| Arc::ptr_eq(t, ticket));
+            if mine_pending {
+                let deadline_hit = st
+                    .pending_since
+                    .is_none_or(|t0| now.duration_since(t0) >= shared.cfg.batch_deadline);
+                if deadline_hit {
+                    let _ = shared.flush_locked(&mut st);
+                } else if let Some(t0) = st.pending_since {
+                    next_wake = next_wake.min(t0 + shared.cfg.batch_deadline);
+                }
+                let still_pending = st
+                    .pending_tickets
+                    .iter()
+                    .any(|t| Arc::ptr_eq(t, ticket));
+                if still_pending
+                    && st.stream.is_none()
+                    && start.elapsed() >= shared.cfg.dial_patience
+                {
+                    // Never sequenced: the event was not ingested anywhere,
+                    // so failing fast is safe (a retry cannot duplicate).
+                    if let Some(i) = st
+                        .pending_tickets
+                        .iter()
+                        .position(|t| Arc::ptr_eq(t, ticket))
+                    {
+                        st.pending_tickets.remove(i);
+                        st.pending_bodies.remove(i);
+                        if st.pending_bodies.is_empty() {
+                            st.pending_since = None;
+                            st.pending_bytes = 0;
+                        }
+                    }
+                    return Err(shared.unavailable_locked(&st));
+                }
+            } else if st.stream.is_none() {
+                // Sequenced and the link is down: drive the reconnect (which
+                // retransmits), and give the whole batch up only once the
+                // peer has stayed down past the patience.
+                let _ = shared.ensure_connected_locked(&mut st);
+                if st.stream.is_none() && start.elapsed() >= shared.cfg.dial_patience {
+                    if let Some(pos) = st
+                        .retransmit
+                        .iter()
+                        .position(|b| b.tickets.iter().any(|t| Arc::ptr_eq(t, ticket)))
+                    {
+                        let b = st.retransmit.remove(pos).expect("position just found");
+                        st.window.release(b.seq);
+                        for t in &b.tickets {
+                            t.fulfill(Err(shared.unavailable_locked(&st)));
+                        }
+                    }
+                    if let Some(res) = ticket.try_take() {
+                        return res;
+                    }
+                    return Err(shared.unavailable_locked(&st));
+                }
+            }
+            drop(st);
+            ticket.wait_until(next_wake);
+        }
+    }
+
+    /// Sends `req` and awaits the response, transparently reconnecting
+    /// once on a broken link. Use for idempotent requests (`FedNotify`
+    /// dedups by origin sequence, `FedGossip` replaces wholesale).
+    pub fn call(&self, req: &Request) -> FedResult<Response> {
+        for attempt in 0..2 {
+            let ticket = match self.send_call(req) {
+                Ok(t) => t,
+                Err(e) => {
+                    if attempt == 0 {
+                        continue;
+                    }
+                    return Err(e);
+                }
+            };
+            match self.wait_call(ticket) {
+                Ok(resp) => return Ok(resp),
+                Err(e @ FedError::Remote { .. }) => return Err(e),
+                Err(e) => {
+                    if attempt == 1 {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        let st = self.shared.state.lock();
+        Err(self.shared.unavailable_locked(&st))
+    }
+
+    /// Pipelined variant of [`PeerLink::call`]: sends `req` and returns its
+    /// ticket without waiting, so a pump can keep a window of requests in
+    /// flight. No transparent retry — the caller decides what a broken
+    /// flight means for its protocol.
+    pub fn call_pipelined(&self, req: &Request) -> FedResult<CallTicket> {
+        self.send_call(req)
+    }
+
+    /// Waits for a ticket from [`PeerLink::call_pipelined`].
+    pub fn wait_call(&self, ticket: CallTicket) -> FedResult<Response> {
+        let deadline =
+            Instant::now() + self.shared.cfg.response_timeout + Duration::from_secs(1);
+        loop {
+            if let Some(res) = ticket.try_take() {
+                return res;
+            }
+            if Instant::now() >= deadline {
+                // The reader's staleness check should have fired first; if
+                // it somehow did not, force the teardown ourselves.
+                let mut st = self.shared.state.lock();
+                let gen = st.gen;
+                self.shared.teardown_locked(&mut st, gen);
+                if let Some(res) = ticket.try_take() {
+                    return res;
+                }
+                return Err(self.shared.unavailable_locked(&st));
+            }
+            ticket.wait_until(Instant::now() + READ_TICK.min(deadline - Instant::now()));
+        }
+    }
+
+    /// Connects (if needed), writes `req`, and registers its flight.
+    fn send_call(&self, req: &Request) -> FedResult<CallTicket> {
+        let shared = &self.shared;
+        let mut st = shared.state.lock();
+        if st.stopping {
+            return Err(shared.unavailable_locked(&st));
+        }
+        shared.ensure_connected_locked(&mut st)?;
+        let gen = st.gen;
+        let payload = req.encode();
+        let wrote = {
+            let s = st.stream.as_mut().expect("ensure_connected ran");
+            write_frame_vectored(&mut **s, FrameKind::Request, &payload).is_ok()
+        };
+        if !wrote {
+            shared.teardown_locked(&mut st, gen);
+            return Err(shared.unavailable_locked(&st));
+        }
+        let ticket: CallTicket = Arc::new(Ticket::new());
+        st.inflight.push_back(Flight::Call {
+            ticket: Arc::clone(&ticket),
+            sent_at: Instant::now(),
+        });
+        Ok(ticket)
+    }
+
+    /// Stops the link: fails every parked waiter and joins the reader
+    /// thread. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.state.lock();
+            if !st.stopping {
+                st.stopping = true;
+                let gen = st.gen;
+                self.shared.teardown_locked(&mut st, gen);
+                let parked: Vec<BatchFlight> = st.retransmit.drain(..).collect();
+                for b in parked {
+                    st.window.release(b.seq);
+                    for t in &b.tickets {
+                        t.fulfill(Err(self.shared.unavailable_locked(&st)));
+                    }
+                }
+                let waiters: Vec<EventTicket> = st.pending_tickets.drain(..).collect();
+                st.pending_bodies.clear();
+                st.pending_since = None;
+                st.pending_bytes = 0;
+                for t in waiters {
+                    t.fulfill(Err(self.shared.unavailable_locked(&st)));
+                }
+            }
+            self.shared.link_cv.notify_all();
+            self.shared.progress_cv.notify_all();
+        }
+        if let Some(h) = self.reader.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for PeerLink {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Rough encoded size of one event body (string bytes plus fixed field
+/// overheads) — drives the early byte-cap flush, not the wire format.
+fn approx_encoded_len(body: &FedEventBody) -> usize {
+    let mut n = 4 + body.source.len() + 8 + 4;
+    for (k, v) in &body.fields {
+        n += 4 + k.len() + 1;
+        n += match v {
+            cmi_core::value::Value::Str(s) => 4 + s.len(),
+            _ => 8,
+        };
+    }
+    n
 }
 
 impl std::fmt::Debug for PeerLink {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.shared.state.lock();
         f.debug_struct("PeerLink")
-            .field("me", &self.me)
-            .field("target", &self.target)
+            .field("me", &self.shared.me)
+            .field("target", &self.shared.target)
             .field("epoch", &self.epoch())
+            .field("unacked", &st.window.len())
+            .field("pending", &st.pending_bodies.len())
             .finish()
     }
 }

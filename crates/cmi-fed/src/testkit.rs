@@ -141,6 +141,16 @@ impl LoopbackCluster {
         Connection::connect(Box::new(move || dial_through(&slot)), user, cfg)
     }
 
+    /// A raw connector to node `i`'s current loopback listener, for tests
+    /// that speak the peer wire protocol by hand (e.g. torn-frame fault
+    /// injection). Panics if the node is currently killed.
+    pub fn connector(&self, i: usize) -> cmi_net::transport::LoopbackConnector {
+        self.slots[i]
+            .lock()
+            .clone()
+            .unwrap_or_else(|| panic!("node {i} is not serving"))
+    }
+
     /// Tears node `i`'s network front down: its sessions drop, peer dials
     /// to it fail fast, and notifications destined for it park durably at
     /// their origin nodes. Engine and queue state survive.

@@ -20,7 +20,7 @@
 //! [`std::io::ErrorKind::UnexpectedEof`]. Oversized declarations and checksum
 //! mismatches are rejected before any payload decoding happens.
 
-use std::io::{self, Read};
+use std::io::{self, IoSlice, Read, Write};
 
 /// The two magic bytes opening every frame.
 pub const MAGIC: [u8; 2] = *b"CM";
@@ -109,6 +109,57 @@ pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Encodes just the 12-byte frame header for `payload` on the stack — no
+/// heap traffic, pairs with [`write_frame_vectored`] for the hot path where
+/// the payload lives in a reusable buffer.
+pub fn frame_header(kind: FrameKind, payload: &[u8]) -> [u8; HEADER_LEN] {
+    debug_assert!(payload.len() as u32 <= MAX_FRAME_LEN);
+    let mut h = [0u8; HEADER_LEN];
+    h[0..2].copy_from_slice(&MAGIC);
+    h[2] = VERSION;
+    h[3] = kind.to_byte();
+    h[4..8].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    h[8..12].copy_from_slice(&crc32(payload).to_le_bytes());
+    h
+}
+
+/// Writes one frame as `[header][payload]` using a single vectored write
+/// where the stream supports it, falling back to plain writes for the
+/// remainder. Unlike [`encode_frame`] this never copies the payload into a
+/// fresh allocation: the header lives on the stack and the payload is
+/// borrowed, so a sender looping over a reusable encode buffer performs
+/// zero per-frame heap allocations.
+pub fn write_frame_vectored<W: Write + ?Sized>(
+    w: &mut W,
+    kind: FrameKind,
+    payload: &[u8],
+) -> io::Result<()> {
+    let header = frame_header(kind, payload);
+    let mut written = 0usize;
+    let total = HEADER_LEN + payload.len();
+    while written < total {
+        let res = if written < HEADER_LEN {
+            let bufs = [IoSlice::new(&header[written..]), IoSlice::new(payload)];
+            w.write_vectored(&bufs)
+        } else {
+            w.write(&payload[written - HEADER_LEN..])
+        };
+        let n = match res {
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "stream refused frame bytes",
+            ));
+        }
+        written += n;
+    }
+    Ok(())
+}
+
 fn protocol_err(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
@@ -176,24 +227,36 @@ impl FrameReader {
                 Some((_, len, _)) => HEADER_LEN + len as usize - self.buf.len(),
                 None => HEADER_LEN - self.buf.len(),
             };
-            let mut chunk = [0u8; 4096];
-            match r.read(&mut chunk[..want.min(4096)]) {
+            // Read straight into the assembly buffer sized for the frame
+            // remainder — no fixed-size bounce buffer, no second copy, and a
+            // large batch frame arrives in one read instead of 4 KiB chunks.
+            let have = self.buf.len();
+            self.buf.resize(have + want, 0);
+            match r.read(&mut self.buf[have..]) {
                 Ok(0) => {
+                    self.buf.truncate(have);
                     return Err(if self.mid_frame() {
                         io::Error::new(io::ErrorKind::UnexpectedEof, "disconnect mid-frame")
                     } else {
                         io::Error::new(io::ErrorKind::ConnectionAborted, "peer closed")
                     });
                 }
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Ok(n) => self.buf.truncate(have + n),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    self.buf.truncate(have);
+                    continue;
+                }
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
                         || e.kind() == io::ErrorKind::TimedOut =>
                 {
+                    self.buf.truncate(have);
                     return Ok(None);
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    self.buf.truncate(have);
+                    return Err(e);
+                }
             }
         }
     }
@@ -406,6 +469,47 @@ mod tests {
             }
         }
         assert_eq!(kinds, vec![FrameKind::Request, FrameKind::Push, FrameKind::Goodbye]);
+    }
+
+    /// A writer that accepts at most `cap` bytes per call and ignores the
+    /// second vectored slice half the time — exercises the partial-write
+    /// resume logic in `write_frame_vectored`.
+    struct Dribble {
+        out: Vec<u8>,
+        cap: usize,
+    }
+
+    impl Write for Dribble {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = self.cap.min(buf.len());
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vectored_write_matches_encode_frame() {
+        let payload = b"vectored-payload-bytes".to_vec();
+        let mut sink = Vec::new();
+        write_frame_vectored(&mut sink, FrameKind::Request, &payload).unwrap();
+        assert_eq!(sink, encode_frame(FrameKind::Request, &payload));
+        assert_eq!(frame_header(FrameKind::Request, &payload), sink[..HEADER_LEN]);
+    }
+
+    #[test]
+    fn vectored_write_survives_partial_writes() {
+        for cap in [1, 3, 7, 13] {
+            let payload: Vec<u8> = (0..100u8).collect();
+            let mut sink = Dribble {
+                out: Vec::new(),
+                cap,
+            };
+            write_frame_vectored(&mut sink, FrameKind::Push, &payload).unwrap();
+            assert_eq!(sink.out, encode_frame(FrameKind::Push, &payload), "cap={cap}");
+        }
     }
 
     #[test]

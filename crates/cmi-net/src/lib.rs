@@ -37,6 +37,7 @@
 
 pub mod codec;
 pub mod wire;
+pub mod window;
 pub mod transport;
 #[cfg(unix)]
 pub mod reactor;

@@ -58,6 +58,7 @@ use crate::codec::{encode_frame, Frame, FrameKind, FrameReader};
 use crate::transport::{
     loopback, Listener, LoopbackConnector, NetStream, TcpAcceptor,
 };
+use crate::window::SendWindow;
 use crate::wire::{encode_push, Request, Response};
 
 /// Which engine drives accepted sessions.
@@ -642,8 +643,10 @@ struct SessionCore {
     user: Option<UserId>,
     viewer: Option<AwarenessViewer>,
     subscribed: bool,
-    /// Pushed-but-unacknowledged sequence numbers (the bounded send buffer).
-    in_flight: BTreeSet<u64>,
+    /// Pushed-but-unacknowledged sequence numbers — the same bounded
+    /// [`SendWindow`] the federation data plane uses for its batch and
+    /// notify flights.
+    in_flight: SendWindow,
     /// Whether the last push pass left notifications parked (the flight
     /// recorder logs only the park/unpark *transitions*, not every pass).
     parked: bool,
@@ -653,12 +656,13 @@ struct SessionCore {
 
 impl SessionCore {
     fn new(inner: Arc<Inner>) -> SessionCore {
+        let in_flight = SendWindow::new(inner.cfg.push_window);
         SessionCore {
             inner,
             user: None,
             viewer: None,
             subscribed: false,
-            in_flight: BTreeSet::new(),
+            in_flight,
             parked: false,
             out: Vec::new(),
         }
@@ -712,25 +716,23 @@ impl SessionCore {
         let Some(user) = self.user else {
             return;
         };
-        let window = self.inner.cfg.push_window;
-        if self.in_flight.len() >= window {
+        if !self.in_flight.has_room() {
             return;
         }
         let queue = self.inner.cmi.awareness().queue();
-        // Everything pending for the user, oldest first; the in-flight set
-        // filters what this session already sent and awaits acks for.
-        let pending = queue.fetch(user, window + self.in_flight.len());
+        // Everything pending for the user, oldest first; the in-flight
+        // window filters what this session already sent and awaits acks for.
+        let pending = queue.fetch(user, self.in_flight.capacity() + self.in_flight.len());
         let mut parked = false;
         for n in pending {
-            if self.in_flight.contains(&n.seq) {
+            if self.in_flight.contains(n.seq) {
                 continue;
             }
-            if self.in_flight.len() >= window {
+            if !self.in_flight.claim(n.seq) {
                 parked = true;
                 break;
             }
             self.queue_frame(FrameKind::Push, &encode_push(&n));
-            self.in_flight.insert(n.seq);
             self.inner.stats.pushes.inc();
             // Extend the notification's detection trace (if any) with the
             // moment it crossed the wire.
@@ -900,7 +902,7 @@ impl SessionCore {
                 // client flushes acks for deliveries made over its previous
                 // session.
                 for s in &seqs {
-                    self.in_flight.remove(s);
+                    self.in_flight.release(*s);
                 }
                 match cmi.awareness().queue().ack_exact(user, &seqs) {
                     Ok(n) => {
@@ -946,6 +948,7 @@ impl SessionCore {
             }
             Request::FedHello { .. }
             | Request::FedEvent { .. }
+            | Request::FedBatch { .. }
             | Request::FedNotify { .. }
             | Request::FedGossip { .. } => {
                 fail("federation is not enabled on this server".into())
@@ -975,15 +978,24 @@ fn blocking_flush(core: &mut SessionCore, writer: &mut Box<dyn NetStream>) -> io
     Ok(())
 }
 
+/// Read-timeout floor for sessions with no push subscription. The tick
+/// exists to pace push flushing; a session that never subscribed has no
+/// push work, and incoming request data wakes the read immediately
+/// regardless of the timeout — so peer links and request-only clients
+/// idle at a coarse cadence instead of tick-spinning. Stop-flag notice
+/// worst-cases at this floor, but shutdown also shuts the streams down,
+/// which wakes the read instantly.
+const IDLE_READ_FLOOR: Duration = Duration::from_millis(5);
+
 fn blocking_serve(core: &mut SessionCore, stream: Box<dyn NetStream>) -> Exit {
     let Ok(mut writer) = stream.try_clone_stream() else {
         return Exit::PeerClosed;
     };
     let mut reader: Box<dyn NetStream> = stream;
-    if reader
-        .set_stream_read_timeout(Some(core.inner.cfg.tick))
-        .is_err()
-    {
+    let live_tick = core.inner.cfg.tick;
+    let idle_tick = live_tick.max(IDLE_READ_FLOOR);
+    let mut read_tick = if core.subscribed { live_tick } else { idle_tick };
+    if reader.set_stream_read_timeout(Some(read_tick)).is_err() {
         return Exit::PeerClosed;
     }
     let mut frames = FrameReader::new();
@@ -1022,6 +1034,12 @@ fn blocking_serve(core: &mut SessionCore, stream: Box<dyn NetStream>) -> Exit {
         core.push_pending();
         if blocking_flush(core, &mut writer).is_err() {
             return Exit::PeerClosed;
+        }
+        // Subscribing (or unsubscribing) moves the session between the
+        // tick-paced push cadence and the coarse idle cadence.
+        let want = if core.subscribed { live_tick } else { idle_tick };
+        if want != read_tick && reader.set_stream_read_timeout(Some(want)).is_ok() {
+            read_tick = want;
         }
         if last_activity.elapsed() > core.inner.cfg.idle_timeout {
             core.queue_frame(FrameKind::Goodbye, &[]);

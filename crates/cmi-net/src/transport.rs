@@ -310,10 +310,17 @@ impl Read for PipeStream {
                 None => cv.wait(&mut state),
             }
         }
+        // Drain as (up to) two contiguous memcpys rather than per-byte pops:
+        // batch frames move tens of KiB per read, and a byte-at-a-time loop
+        // dominates the loopback crossing cost.
         let n = buf.len().min(state.data.len());
-        for b in buf.iter_mut().take(n) {
-            *b = state.data.pop_front().unwrap();
+        let (front, back) = state.data.as_slices();
+        let from_front = front.len().min(n);
+        buf[..from_front].copy_from_slice(&front[..from_front]);
+        if n > from_front {
+            buf[from_front..n].copy_from_slice(&back[..n - from_front]);
         }
+        state.data.drain(..n);
         Ok(n)
     }
 }
@@ -334,6 +341,26 @@ impl Write for PipeStream {
 
     fn flush(&mut self) -> io::Result<()> {
         Ok(())
+    }
+
+    /// All slices land under one buffer lock — a frame written as
+    /// `[header][payload]` via `write_frame_vectored` is appended atomically
+    /// instead of costing one lock/notify round per slice.
+    fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+        let mut n = 0usize;
+        {
+            let (lock, _) = &*self.tx;
+            let mut state = lock.lock();
+            if state.closed {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"));
+            }
+            for buf in bufs {
+                state.data.extend(buf.iter().copied());
+                n += buf.len();
+            }
+        }
+        notify_buf(&self.tx);
+        Ok(n)
     }
 }
 

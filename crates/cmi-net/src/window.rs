@@ -1,0 +1,136 @@
+//! A bounded send window: the one piece of flow-control state shared by
+//! every pipelined sender in the stack.
+//!
+//! Three senders bound what they keep in flight the same way — the session
+//! server's per-client notification push window, the federation peer link's
+//! in-flight `FedBatch` window, and the notification pump's `FedNotify`
+//! flight window. [`SendWindow`] is that shared mechanism: a capacity plus
+//! the set of outstanding sequence numbers, with cumulative release for
+//! protocols whose acknowledgements cover "everything through seq". It
+//! deliberately carries no I/O and no locking — each owner embeds it in
+//! whatever synchronization it already has.
+
+use std::collections::BTreeSet;
+
+/// A bounded set of in-flight sequence numbers (see the module docs).
+#[derive(Debug, Clone)]
+pub struct SendWindow {
+    cap: usize,
+    in_flight: BTreeSet<u64>,
+}
+
+impl SendWindow {
+    /// An empty window admitting at most `cap` outstanding entries.
+    pub fn new(cap: usize) -> SendWindow {
+        SendWindow {
+            cap,
+            in_flight: BTreeSet::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// How many entries are currently outstanding.
+    pub fn len(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// True when nothing is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+
+    /// True when another entry may be claimed.
+    pub fn has_room(&self) -> bool {
+        self.in_flight.len() < self.cap
+    }
+
+    /// Whether `seq` is currently outstanding.
+    pub fn contains(&self, seq: u64) -> bool {
+        self.in_flight.contains(&seq)
+    }
+
+    /// The oldest outstanding sequence number — what a retransmit would
+    /// start from, and what a backpressure error reports.
+    pub fn oldest(&self) -> Option<u64> {
+        self.in_flight.iter().next().copied()
+    }
+
+    /// Claims `seq` if the window has room. Returns false (window full,
+    /// nothing recorded) otherwise; re-claiming an outstanding seq is a
+    /// no-op success (a retransmit does not consume extra window).
+    pub fn claim(&mut self, seq: u64) -> bool {
+        if self.in_flight.contains(&seq) {
+            return true;
+        }
+        if !self.has_room() {
+            return false;
+        }
+        self.in_flight.insert(seq);
+        true
+    }
+
+    /// Releases one acknowledged seq. Returns whether it was outstanding.
+    pub fn release(&mut self, seq: u64) -> bool {
+        self.in_flight.remove(&seq)
+    }
+
+    /// Cumulative acknowledgement: releases every outstanding seq `<= seq`,
+    /// returning how many were released.
+    pub fn release_through(&mut self, seq: u64) -> usize {
+        let keep = self.in_flight.split_off(&(seq + 1));
+        let released = self.in_flight.len();
+        self.in_flight = keep;
+        released
+    }
+
+    /// Forgets everything outstanding (session reset / sign-off).
+    pub fn clear(&mut self) {
+        self.in_flight.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_respects_capacity_and_is_retransmit_idempotent() {
+        let mut w = SendWindow::new(2);
+        assert!(w.has_room());
+        assert!(w.claim(10));
+        assert!(w.claim(11));
+        assert!(!w.has_room());
+        assert!(!w.claim(12), "window full");
+        assert!(w.claim(10), "re-claiming an outstanding seq is free");
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.oldest(), Some(10));
+    }
+
+    #[test]
+    fn release_and_cumulative_release() {
+        let mut w = SendWindow::new(8);
+        for s in [1u64, 2, 3, 5, 9] {
+            assert!(w.claim(s));
+        }
+        assert!(w.release(3));
+        assert!(!w.release(3), "double release is a no-op");
+        assert_eq!(w.release_through(5), 3, "releases 1, 2, 5");
+        assert_eq!(w.oldest(), Some(9));
+        assert!(w.contains(9));
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.oldest(), None);
+    }
+
+    #[test]
+    fn zero_capacity_never_admits() {
+        let mut w = SendWindow::new(0);
+        assert!(!w.has_room());
+        assert!(!w.claim(1));
+        assert!(w.is_empty());
+    }
+}

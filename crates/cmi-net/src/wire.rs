@@ -302,6 +302,66 @@ fn decode_digest_entry(d: &mut Dec<'_>) -> WireResult<DigestEntry> {
     })
 }
 
+/// One event inside a [`Request::FedBatch`]: the same payload a
+/// [`Request::FedEvent`] carries, minus the per-message origin/sequence
+/// header (the batch carries one sequence number for all of its events).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FedEventBody {
+    /// The external source name.
+    pub source: String,
+    /// Event timestamp (milliseconds) as observed at the origin node.
+    pub time_ms: u64,
+    /// Event fields.
+    pub fields: Vec<(String, Value)>,
+}
+
+fn encode_fed_event_body(e: &mut Enc, ev: &FedEventBody) {
+    e.str(&ev.source);
+    e.u64(ev.time_ms);
+    e.u32(ev.fields.len() as u32);
+    for (k, v) in &ev.fields {
+        e.str(k);
+        encode_value(e, v).expect("wire-encodable value");
+    }
+}
+
+fn decode_fed_event_body(d: &mut Dec<'_>) -> WireResult<FedEventBody> {
+    let source = d.str()?;
+    let time_ms = d.u64()?;
+    let n = d.u32()?;
+    let mut fields = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let k = d.str()?;
+        let v = decode_value(d)?;
+        fields.push((k, v));
+    }
+    Ok(FedEventBody {
+        source,
+        time_ms,
+        fields,
+    })
+}
+
+/// Encodes a [`Request::FedBatch`] payload into `buf` (cleared first, not
+/// reallocated once it has grown to the working-set size) without building
+/// a `Request` value — the hot forwarding path encodes straight from the
+/// batcher's event slice, so steady-state batched ingest performs zero
+/// per-event heap allocations in the encode path.
+pub fn encode_fed_batch_into(buf: &mut Vec<u8>, origin: u32, seq: u64, events: &[FedEventBody]) {
+    buf.clear();
+    let mut e = Enc {
+        buf: std::mem::take(buf),
+    };
+    e.u8(21);
+    e.u32(origin);
+    e.u64(seq);
+    e.u32(events.len() as u32);
+    for ev in events {
+        encode_fed_event_body(&mut e, ev);
+    }
+    *buf = e.buf;
+}
+
 /// A client request. One request frame yields exactly one response frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -418,6 +478,22 @@ pub enum Request {
         /// `(origin_seq, hops, notification)` triples.
         notes: Vec<(u64, u32, Notification)>,
     },
+    /// Federation: a multi-event batch forwarded under **one** link-local
+    /// sequence number. The receiver ingests the events in order and answers
+    /// with [`Response::Counts`] (one count per event, same order); a
+    /// retransmit after a reconnect is answered wholesale from the
+    /// batch-granularity replay cache. This is the pipelined data plane:
+    /// many `FedBatch` frames may be in flight before the first response
+    /// arrives, bounded by the sender's window.
+    FedBatch {
+        /// Cluster node id of the forwarding peer.
+        origin: u32,
+        /// Link-local sequence number (strictly increasing per origin,
+        /// shared with [`Request::FedEvent`] on the same link).
+        seq: u64,
+        /// The events, in origin submission order.
+        events: Vec<FedEventBody>,
+    },
     /// Federation: full-set gossip of the users signed on at the origin
     /// node. Idempotent — the receiver replaces its view of the origin's
     /// sign-ons wholesale.
@@ -530,6 +606,19 @@ impl Request {
                     encode_notification(&mut e, n);
                 }
             }
+            Request::FedBatch {
+                origin,
+                seq,
+                events,
+            } => {
+                e.u8(21);
+                e.u32(*origin);
+                e.u64(*seq);
+                e.u32(events.len() as u32);
+                for ev in events {
+                    encode_fed_event_body(&mut e, ev);
+                }
+            }
             Request::FedGossip { origin, signed_on } => {
                 e.u8(20);
                 e.u32(*origin);
@@ -630,6 +719,20 @@ impl Request {
                 }
                 Request::FedGossip { origin, signed_on }
             }
+            21 => {
+                let origin = d.u32()?;
+                let seq = d.u64()?;
+                let n = d.u32()?;
+                let mut events = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    events.push(decode_fed_event_body(&mut d)?);
+                }
+                Request::FedBatch {
+                    origin,
+                    seq,
+                    events,
+                }
+            }
             t => return err(&format!("unknown request tag {t}")),
         };
         if d.remaining() != 0 {
@@ -662,6 +765,9 @@ pub enum Response {
     DigestEntries(Vec<DigestEntry>),
     /// A scalar count (unread, deliveries, acknowledged).
     Count(u64),
+    /// Per-event notification counts for a [`Request::FedBatch`], in the
+    /// batch's event order.
+    Counts(Vec<u64>),
     /// Monitor statistics.
     Stats(ProcessStats),
     /// Rendered text (monitor tree).
@@ -745,6 +851,13 @@ impl Response {
                 e.opt_str(trace.as_deref());
                 e.opt_str(flight.as_deref());
             }
+            Response::Counts(cs) => {
+                e.u8(10);
+                e.u32(cs.len() as u32);
+                for c in cs {
+                    e.u64(*c);
+                }
+            }
         }
         e.buf
     }
@@ -796,6 +909,14 @@ impl Response {
                 trace: d.opt_str()?,
                 flight: d.opt_str()?,
             },
+            10 => {
+                let n = d.u32()?;
+                let mut cs = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    cs.push(d.u64()?);
+                }
+                Response::Counts(cs)
+            }
             t => return err(&format!("unknown response tag {t}")),
         };
         if d.remaining() != 0 {
@@ -905,6 +1026,30 @@ mod tests {
                 origin: 3,
                 signed_on: vec![1, 2, 99],
             },
+            Request::FedBatch {
+                origin: 2,
+                seq: 901,
+                events: vec![
+                    FedEventBody {
+                        source: "sensor".into(),
+                        time_ms: 1_000,
+                        fields: vec![
+                            ("mission".into(), Value::Id(7)),
+                            ("label".into(), Value::Str("größe".into())),
+                        ],
+                    },
+                    FedEventBody {
+                        source: "probe".into(),
+                        time_ms: 1_001,
+                        fields: vec![],
+                    },
+                ],
+            },
+            Request::FedBatch {
+                origin: 1,
+                seq: 1,
+                events: vec![],
+            },
         ];
         for r in reqs {
             let bytes = r.encode();
@@ -950,6 +1095,8 @@ mod tests {
                 trace: Some("trace #1 spec=2".into()),
                 flight: None,
             },
+            Response::Counts(vec![0, 3, 1]),
+            Response::Counts(vec![]),
         ];
         for r in resps {
             let bytes = r.encode();
@@ -961,6 +1108,46 @@ mod tests {
     fn push_roundtrips() {
         let n = sample_notification();
         assert_eq!(decode_push(&encode_push(&n)).unwrap(), n);
+    }
+
+    /// The zero-copy batch encoder must be byte-identical to the enum
+    /// encoder and reuse the caller's buffer capacity across calls.
+    #[test]
+    fn fed_batch_into_matches_enum_encoding_and_reuses_capacity() {
+        let events = vec![
+            FedEventBody {
+                source: "sensor".into(),
+                time_ms: 42,
+                fields: vec![("mission".into(), Value::Id(3))],
+            },
+            FedEventBody {
+                source: "probe".into(),
+                time_ms: 43,
+                fields: vec![("flag".into(), Value::Bool(false))],
+            },
+        ];
+        let via_enum = Request::FedBatch {
+            origin: 5,
+            seq: 77,
+            events: events.clone(),
+        }
+        .encode();
+        let mut buf = Vec::new();
+        encode_fed_batch_into(&mut buf, 5, 77, &events);
+        assert_eq!(buf, via_enum);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        encode_fed_batch_into(&mut buf, 5, 78, &events);
+        assert_eq!(buf.capacity(), cap, "re-encode must not reallocate");
+        assert_eq!(buf.as_ptr(), ptr, "re-encode must reuse the same buffer");
+        assert_eq!(
+            Request::decode(&buf).unwrap(),
+            Request::FedBatch {
+                origin: 5,
+                seq: 78,
+                events,
+            }
+        );
     }
 
     #[test]

@@ -299,6 +299,154 @@ fn three_node_cluster_matches_oracle_reactor_backend() {
     differential_vs_oracle(NetBackend::Reactor);
 }
 
+/// Batch invariance: the 3-node-vs-oracle differential, pipelined so the
+/// links actually aggregate multi-event `FedBatch` frames, swept over batch
+/// sizes and flush deadlines. Every arm must produce the identical
+/// per-subscriber multiset and per-instance order; `batch_events = 1` is
+/// the degenerate one-event-per-frame arm (today's wire behavior).
+///
+/// Events are injected with instance affinity (instance → node) so
+/// pipelining cannot reorder two events of the same instance across
+/// different links — per-link FIFO plus in-batch order then guarantees the
+/// oracle's per-instance ingest order at the owning node, which is the only
+/// order the detection model defines.
+fn differential_pipelined(backend: NetBackend, batch_events: usize, deadline: Duration) {
+    use cmi::fed::{FedConfig, PeerConfig};
+
+    let fed_cfg = FedConfig {
+        peer: PeerConfig {
+            batch_events,
+            batch_deadline: deadline,
+            ..PeerConfig::default()
+        },
+        ..FedConfig::default()
+    };
+    let label = format!("batch={batch_events}/deadline={deadline:?}");
+    let cluster = LoopbackCluster::start_with(3, net_cfg(backend), fed_cfg, &setup);
+    let oracle = CmiServer::new();
+    setup(&oracle);
+
+    let alice = cluster.connect(0, "alice", client_cfg()).unwrap();
+    let bob = cluster.connect(1, "bob", client_cfg()).unwrap();
+    let carol = cluster.connect(2, "carol", client_cfg()).unwrap();
+
+    let mut rng = Rng(0x5EED_0002);
+    const EVENTS: usize = 180;
+    const DEPTH: usize = 32;
+    let mut oracle_total = 0usize;
+    // (event index, in-flight handle, oracle's count for that event).
+    let mut handles: std::collections::VecDeque<(usize, cmi::fed::RouteHandle, u64)> =
+        std::collections::VecDeque::new();
+    // Records which node injected event m (instance-affine, rng-determined;
+    // filled in injection order and read back FIFO by the settler).
+    let mut inject_nodes: Vec<usize> = Vec::with_capacity(EVENTS);
+    let settle_indexed =
+        |cluster: &LoopbackCluster,
+         inject_nodes: &[usize],
+         (m, handle, want): (usize, cmi::fed::RouteHandle, u64)| {
+            let got = cluster
+                .node(inject_nodes[m])
+                .wait_external(handle)
+                .unwrap_or_else(|e| panic!("{label}: event {m} failed: {e}"));
+            assert_eq!(
+                got, want,
+                "{label}: event {m}: cluster-wide delivery count diverged from oracle"
+            );
+            got as usize
+        };
+    for m in 0..EVENTS {
+        if m % 30 == 0 {
+            // Drain everything in flight before the clocks move so every
+            // event's timestamp agrees between cluster and oracle.
+            while let Some(entry) = handles.pop_front() {
+                oracle_total += settle_indexed(&cluster, &inject_nodes, entry);
+            }
+            for i in 0..3 {
+                cluster
+                    .node(i)
+                    .cmi()
+                    .clock()
+                    .advance(cmi::core::time::Duration::from_millis(10));
+            }
+            oracle
+                .clock()
+                .advance(cmi::core::time::Duration::from_millis(10));
+        }
+        let (source, fields) = event_for(m, &mut rng);
+        let instance = fields
+            .iter()
+            .find_map(|(k, v)| match v {
+                Value::Id(raw) if k == "mission" => Some(*raw),
+                _ => None,
+            })
+            .expect("event_for always sets mission");
+        let node = (instance % 3) as usize;
+        inject_nodes.push(node);
+        let want = oracle.external_event(source, fields.clone()) as u64;
+        let handle = cluster.node(node).external_event_async(source, fields);
+        handles.push_back((m, handle, want));
+        while handles.len() >= DEPTH {
+            let entry = handles.pop_front().unwrap();
+            oracle_total += settle_indexed(&cluster, &inject_nodes, entry);
+        }
+    }
+    while let Some(entry) = handles.pop_front() {
+        oracle_total += settle_indexed(&cluster, &inject_nodes, entry);
+    }
+    assert!(oracle_total > 0, "{label}: workload produced no notifications");
+
+    let mut expected: BTreeMap<u64, Vec<Notification>> = BTreeMap::new();
+    for name in ["alice", "bob", "carol"] {
+        let u = oracle.directory().user_by_name(name).unwrap();
+        expected.insert(u.raw(), oracle.awareness().queue().fetch(u, usize::MAX));
+    }
+    for (conn, name) in [(&alice, "alice"), (&bob, "bob"), (&carol, "carol")] {
+        let uid = conn.user_id().raw();
+        let want = &expected[&uid];
+        let got = drain_exact(conn, want.len(), &format!("{name} ({label})"));
+        let mut want_keys: Vec<NoteKey> = want.iter().map(key).collect();
+        let mut got_keys: Vec<NoteKey> = got.iter().map(key).collect();
+        want_keys.sort();
+        got_keys.sort();
+        assert_eq!(
+            want_keys, got_keys,
+            "{name} ({label}): notification multisets differ"
+        );
+        let per_instance = |ns: &[Notification]| {
+            let mut m: BTreeMap<u64, Vec<NoteKey>> = BTreeMap::new();
+            for n in ns {
+                m.entry(n.process_instance.raw()).or_default().push(key(n));
+            }
+            m
+        };
+        assert_eq!(
+            per_instance(want),
+            per_instance(&got),
+            "{name} ({label}): per-instance notification order differs"
+        );
+    }
+    cluster.shutdown();
+}
+
+fn batch_invariance_sweep(backend: NetBackend) {
+    for batch_events in [1usize, 4, 64] {
+        for deadline in [Duration::ZERO, Duration::from_millis(5)] {
+            differential_pipelined(backend, batch_events, deadline);
+        }
+    }
+}
+
+#[test]
+fn batch_invariance_all_arms_blocking_backend() {
+    batch_invariance_sweep(NetBackend::Blocking);
+}
+
+#[test]
+#[cfg(unix)]
+fn batch_invariance_all_arms_reactor_backend() {
+    batch_invariance_sweep(NetBackend::Reactor);
+}
+
 /// Kill/restart: a subscriber's node goes down mid-stream; every
 /// notification detected meanwhile parks durably at its origin and resumes
 /// across the reconnected peer link — exactly once, in order.
@@ -412,7 +560,7 @@ fn dead_peer_is_a_typed_error_not_a_hang() {
         )
         .unwrap_err();
     assert!(
-        matches!(err, cmi::fed::FedError::PeerUnavailable { node: 1 }),
+        matches!(err, cmi::fed::FedError::PeerUnavailable { node: 1, .. }),
         "expected PeerUnavailable, got: {err}"
     );
     assert!(

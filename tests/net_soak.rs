@@ -246,6 +246,37 @@ fn sharded_soak_matches_oracle(backend: NetBackend) {
         assert!(!cmi.directory().participant(uid).unwrap().signed_on);
     }
 
+    // Park accounting during the live stream is timing-dependent: on a
+    // loaded machine the watchers can drain every push before the window
+    // ever overflows mid-pass. Force a deterministic slow-consumer episode
+    // instead — build a backlog deeper than the push window while nobody
+    // is connected, then subscribe and consume a few notifications. Every
+    // single-seq ack frees one window slot against the deep backlog, so
+    // each subsequent push pass must park.
+    for m in 0..5 * EVENTS.min(8) {
+        cmi.external_event("evt", vec![("m".to_owned(), Value::Int(EVENTS + m))]);
+    }
+    let lazy = Connection::connect_loopback(
+        connector.clone(),
+        "soak-0",
+        ClientConfig::default(),
+    )
+    .unwrap();
+    let lazy_viewer = lazy.viewer();
+    lazy_viewer.subscribe().unwrap();
+    let mut consumed = 0;
+    let park_deadline = Instant::now() + StdDuration::from_secs(30);
+    while consumed < 16 {
+        assert!(
+            Instant::now() < park_deadline,
+            "slow-consumer pass stalled at {consumed} notifications"
+        );
+        if lazy_viewer.recv(StdDuration::from_millis(50)).is_some() {
+            consumed += 1;
+        }
+    }
+    lazy.close();
+
     let stats = server.shutdown();
     assert_eq!(stats.sessions_opened, stats.sessions_closed);
     assert!(
